@@ -1,0 +1,117 @@
+// Reproduces Table 4: "DWARF storage performance — Size (MB) used to store a
+// DWARF cube" for the four schemas x five datasets. Each benchmark stores
+// the dataset's cube into a fresh on-disk instance of one schema and records
+// real bytes on disk. The summary prints the matrix next to the paper's and
+// verifies the shape relations §5.1 highlights.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace scdwarf;
+using benchutil::StorageSchema;
+
+std::map<std::string, std::map<std::string, double>> g_mb;  // schema -> dataset
+
+void BM_StoreSize(benchmark::State& state, const std::string& dataset,
+                  StorageSchema schema, bool last_schema_for_dataset) {
+  auto cube = benchutil::GetDatasetCube(dataset);
+  if (!cube.ok()) {
+    state.SkipWithError(cube.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto result = benchutil::RunStore(schema, **cube);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    double mb = static_cast<double>(result->disk_bytes) / (1 << 20);
+    g_mb[benchutil::SchemaName(schema)][dataset] = mb;
+    state.counters["disk_MB"] = mb;
+    state.counters["rows"] = static_cast<double>(result->rows);
+  }
+  if (last_schema_for_dataset) benchutil::EvictDatasetCube(dataset);
+}
+
+void PrintTable4() {
+  std::printf("\n=== Table 4: Size (MB) used to store a DWARF cube ===\n");
+  std::printf("%-12s", "Schema");
+  auto datasets = benchutil::SelectedDatasets();
+  for (const std::string& dataset : datasets) {
+    std::printf(" %9s %9s", dataset.c_str(), "(paper)");
+  }
+  std::printf("\n");
+  for (StorageSchema schema : benchutil::kAllSchemas) {
+    std::printf("%-12s", benchutil::SchemaName(schema));
+    for (const std::string& dataset : datasets) {
+      auto schema_it = g_mb.find(benchutil::SchemaName(schema));
+      double ours = schema_it != g_mb.end() && schema_it->second.count(dataset)
+                        ? schema_it->second.at(dataset)
+                        : -1;
+      std::printf(" %9.1f %9.1f", ours,
+                  benchutil::PaperTable4Mb(schema, dataset));
+    }
+    std::printf("\n");
+  }
+
+  // Shape checks from §5.1.
+  std::printf("\nShape checks (per dataset, from §5.1):\n");
+  for (const std::string& dataset : datasets) {
+    auto get = [&](StorageSchema schema) {
+      auto it = g_mb.find(benchutil::SchemaName(schema));
+      return it != g_mb.end() && it->second.count(dataset)
+                 ? it->second.at(dataset)
+                 : -1.0;
+    };
+    double mysql_dwarf = get(StorageSchema::kMySqlDwarf);
+    double mysql_min = get(StorageSchema::kMySqlMin);
+    double nosql_dwarf = get(StorageSchema::kNoSqlDwarf);
+    double nosql_min = get(StorageSchema::kNoSqlMin);
+    if (mysql_dwarf < 0) continue;
+    std::printf(
+        "  %-8s MySQL-DWARF largest: %s | NoSQL-Min > NoSQL-DWARF: %s | "
+        "NoSQL-DWARF within 2x of MySQL-Min: %s\n",
+        dataset.c_str(),
+        (mysql_dwarf > mysql_min && mysql_dwarf > nosql_dwarf &&
+         mysql_dwarf > nosql_min)
+            ? "yes"
+            : "NO",
+        nosql_min > nosql_dwarf ? "yes" : "NO",
+        (nosql_dwarf < 2 * mysql_min && mysql_min < 2 * nosql_dwarf) ? "yes"
+                                                                     : "NO");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const std::string& dataset : benchutil::SelectedDatasets()) {
+    size_t index = 0;
+    constexpr size_t kNumSchemas =
+        sizeof(benchutil::kAllSchemas) / sizeof(benchutil::kAllSchemas[0]);
+    for (StorageSchema schema : benchutil::kAllSchemas) {
+      bool last = ++index == kNumSchemas;
+      std::string name = std::string("Table4/") + benchutil::SchemaName(schema) +
+                         "/" + dataset;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [dataset, schema, last](benchmark::State& state) {
+            BM_StoreSize(state, dataset, schema, last);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintTable4();
+  return 0;
+}

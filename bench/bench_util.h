@@ -1,0 +1,85 @@
+/// \file bench_util.h
+/// \brief Shared harness for the table-reproduction benchmarks: dataset cube
+/// caching, the four storage-schema drivers, scratch directories and the
+/// paper's reference numbers for side-by-side reporting.
+///
+/// Dataset selection: the environment variable SCDWARF_DATASETS may hold a
+/// comma-separated subset ("Day,Week") to shorten a run; default is all five
+/// Table-2 datasets.
+
+#ifndef SCDWARF_BENCH_BENCH_UTIL_H_
+#define SCDWARF_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "citibikes/datasets.h"
+#include "dwarf/dwarf_cube.h"
+
+namespace scdwarf::benchutil {
+
+/// \brief Dataset names selected for this run (env-filtered Table 2 order).
+std::vector<std::string> SelectedDatasets();
+
+/// \brief Builds (or returns the cached) cube for a Table-2 dataset by
+/// running the generated XML feed through the 8-dimension bikes pipeline.
+/// Cubes are cached for the process lifetime — the expensive part of the
+/// sweep is shared by every schema.
+Result<std::shared_ptr<const dwarf::DwarfCube>> GetDatasetCube(
+    const std::string& dataset);
+
+/// \brief Feed statistics captured while building a dataset cube.
+struct FeedStats {
+  uint64_t documents = 0;
+  uint64_t records = 0;
+  uint64_t raw_bytes = 0;
+  double parse_build_ms = 0;
+};
+
+/// \brief Stats recorded by the last GetDatasetCube build of \p dataset.
+Result<FeedStats> GetDatasetFeedStats(const std::string& dataset);
+
+/// \brief Drops a dataset cube from the cache (frees memory between the
+/// sweep's datasets; the SMonth cube alone holds hundreds of MB).
+void EvictDatasetCube(const std::string& dataset);
+
+/// \brief The four §5 storage schemas.
+enum class StorageSchema {
+  kMySqlDwarf,
+  kMySqlMin,
+  kNoSqlDwarf,
+  kNoSqlMin,
+};
+constexpr StorageSchema kAllSchemas[] = {
+    StorageSchema::kMySqlDwarf, StorageSchema::kMySqlMin,
+    StorageSchema::kNoSqlDwarf, StorageSchema::kNoSqlMin};
+
+/// Paper spelling: "MySQL-DWARF", "MySQL-Min", "NoSQL-DWARF", "NoSQL-Min".
+const char* SchemaName(StorageSchema schema);
+
+/// \brief Result of storing one cube into one schema.
+struct StoreRunResult {
+  double insert_ms = 0;      ///< wall time of the mapper Store() call
+  uint64_t disk_bytes = 0;   ///< store size on disk after flush
+  uint64_t rows = 0;         ///< rows written across all tables
+};
+
+/// \brief Stores \p cube into a fresh on-disk store of \p schema under a
+/// scratch directory, measures Table-4/5 quantities and removes the store.
+Result<StoreRunResult> RunStore(StorageSchema schema,
+                                const dwarf::DwarfCube& cube);
+
+/// \brief Paper values for Table 4 (MB) and Table 5 (ms), keyed by schema
+/// then dataset (Table-2 order). Used only for printed comparisons.
+double PaperTable4Mb(StorageSchema schema, const std::string& dataset);
+double PaperTable5Ms(StorageSchema schema, const std::string& dataset);
+
+/// \brief Scratch directory for this process's bench stores (removed and
+/// recreated per call site as needed).
+std::string ScratchDir(const std::string& tag);
+
+}  // namespace scdwarf::benchutil
+
+#endif  // SCDWARF_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,153 @@
+// Incremental cube maintenance + dimensional hierarchies — the paper's §7
+// future work ("Our current focus is on cube updates") and the §6 extension
+// it sketches (hierarchical DWARFs after Sismanis et al. [11]).
+//
+// A bike feed arrives in hourly batches. Each batch is merged into the
+// standing cube with CubeUpdater, the updated cube is re-stored into the
+// NoSQL-DWARF schema, and a City > Area > Station hierarchy answers
+// ROLLUP / DRILL DOWN questions after every merge.
+
+#include <iostream>
+
+#include "citibikes/bike_feed.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "dwarf/hierarchy.h"
+#include "dwarf/update.h"
+#include "etl/extractor.h"
+#include "mapper/nosql_dwarf_mapper.h"
+#include "nosql/database.h"
+
+using namespace scdwarf;
+
+namespace {
+
+/// (Area, Station) cube with SUM(available_bikes).
+dwarf::CubeSchema Schema() {
+  return dwarf::CubeSchema(
+      "bikes", {dwarf::DimensionSpec("Area"), dwarf::DimensionSpec("Station")},
+      "available_bikes", dwarf::AggFn::kSum);
+}
+
+Result<std::vector<std::pair<std::vector<std::string>, dwarf::Measure>>>
+ExtractBatch(const etl::XmlExtractor& extractor, const std::string& document) {
+  SCD_ASSIGN_OR_RETURN(std::vector<etl::FeedRecord> records,
+                       extractor.Extract(document));
+  std::vector<std::pair<std::vector<std::string>, dwarf::Measure>> tuples;
+  for (const etl::FeedRecord& record : records) {
+    SCD_ASSIGN_OR_RETURN(std::string area, record.Get("area"));
+    SCD_ASSIGN_OR_RETURN(std::string name, record.Get("name"));
+    SCD_ASSIGN_OR_RETURN(std::string bikes, record.Get("available_bikes"));
+    SCD_ASSIGN_OR_RETURN(int64_t measure, ParseInt64(bikes));
+    tuples.push_back({{area, name}, measure});
+  }
+  return tuples;
+}
+
+}  // namespace
+
+int main() {
+  citibikes::BikeFeedConfig config;
+  config.num_stations = 24;
+  config.target_records = 24 * 12;  // 12 snapshots
+  citibikes::BikeFeedGenerator feed(config);
+
+  auto extractor = etl::XmlExtractor::Create(
+      "station",
+      {{"name", "name", etl::FieldScope::kRecord, true, ""},
+       {"area", "area", etl::FieldScope::kRecord, true, ""},
+       {"available_bikes", "available_bikes", etl::FieldScope::kRecord, true,
+        ""}});
+  if (!extractor.ok()) {
+    std::cerr << extractor.status() << "\n";
+    return 1;
+  }
+
+  // Build the City > Area > Station hierarchy from the station catalog.
+  auto hierarchy = dwarf::Hierarchy::Create("geo", {"City", "Area", "Station"});
+  if (!hierarchy.ok()) {
+    std::cerr << hierarchy.status() << "\n";
+    return 1;
+  }
+  for (const citibikes::Station& station : feed.stations()) {
+    (void)hierarchy->AddEdge(1, station.area, "Dublin");
+    (void)hierarchy->AddEdge(2, station.name, station.area);
+  }
+
+  // Standing cube starts empty; the store holds its persisted versions.
+  dwarf::DwarfBuilder empty_builder(Schema());
+  auto cube = std::move(empty_builder).Build();
+  if (!cube.ok()) {
+    std::cerr << cube.status() << "\n";
+    return 1;
+  }
+  nosql::Database db;
+  mapper::NoSqlDwarfMapper store(&db, "dwarfks");
+
+  int batch_number = 0;
+  int64_t previous_version = -1;
+  while (feed.HasNext()) {
+    ++batch_number;
+    auto tuples = ExtractBatch(*extractor, feed.NextXml());
+    if (!tuples.ok()) {
+      std::cerr << tuples.status() << "\n";
+      return 1;
+    }
+    Stopwatch watch;
+    auto updated = dwarf::MergeTuples(std::move(*cube), *tuples);
+    if (!updated.ok()) {
+      std::cerr << "merge failed: " << updated.status() << "\n";
+      return 1;
+    }
+    cube = std::move(updated);
+    auto schema_id = store.Store(*cube);
+    if (!schema_id.ok()) {
+      std::cerr << "store failed: " << schema_id.status() << "\n";
+      return 1;
+    }
+    // Retire the stale version: the store holds exactly one live cube.
+    if (previous_version >= 0) {
+      if (Status deleted = store.DeleteCube(previous_version); !deleted.ok()) {
+        std::cerr << "delete failed: " << deleted << "\n";
+        return 1;
+      }
+    }
+    previous_version = *schema_id;
+    if (batch_number % 4 == 0 || !feed.HasNext()) {
+      std::cout << "after batch " << batch_number << " (" << tuples->size()
+                << " records, merge+store " << watch.ElapsedMillis()
+                << " ms): cube has " << cube->num_nodes()
+                << " nodes, stored as schema " << *schema_id << "\n";
+      auto city_total =
+          dwarf::HierarchicalQuery(*cube, 1, *hierarchy, 0, "Dublin");
+      std::cout << "  ROLLUP  bikes(Dublin) = "
+                << (city_total.ok() ? std::to_string(*city_total) : "n/a")
+                << "\n";
+      auto areas = dwarf::DrillDown(*cube, 1, *hierarchy, 0, "Dublin");
+      if (areas.ok()) {
+        std::cout << "  DRILL DOWN by area:";
+        for (const dwarf::SliceRow& row : *areas) {
+          std::cout << "  " << row.keys[0] << "=" << row.measure;
+        }
+        std::cout << "\n";
+      }
+    }
+  }
+
+  // Exactly one version remains in the store and it round-trips.
+  auto ids = store.ListSchemas();
+  if (ids.ok()) {
+    std::cout << "\nstored versions remaining after retirement: "
+              << ids->size() << "\n";
+    if (!ids->empty()) {
+      auto reloaded = store.Load(ids->back());
+      std::cout << "reloaded newest stored version (schema " << ids->back()
+                << "): structurally equal to the live cube: "
+                << (reloaded.ok() && reloaded->StructurallyEquals(*cube)
+                        ? "yes"
+                        : "NO")
+                << "\n";
+    }
+  }
+  return 0;
+}

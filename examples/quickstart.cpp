@@ -1,0 +1,84 @@
+// Quickstart: builds the paper's running example (Fig. 1 -> Fig. 2) and
+// queries it. Mirrors the README's first code block.
+
+#include <iostream>
+
+#include "dwarf/builder.h"
+#include "dwarf/query.h"
+
+using namespace scdwarf;
+
+int main() {
+  // Fig. 1: tuples of the form (dimension_1, ..., dimension_n, measure).
+  dwarf::CubeSchema schema(
+      "stations",
+      {dwarf::DimensionSpec("Country"), dwarf::DimensionSpec("City"),
+       dwarf::DimensionSpec("Station", /*dimension_table=*/"Station")},
+      "bikes", dwarf::AggFn::kSum);
+
+  dwarf::DwarfBuilder builder(schema);
+  struct InputTuple {
+    const char* country;
+    const char* city;
+    const char* station;
+    dwarf::Measure bikes;
+  };
+  const InputTuple input[] = {
+      {"Ireland", "Dublin", "Fenian St", 3},
+      {"Ireland", "Dublin", "Pearse St", 5},
+      {"Ireland", "Cork", "Patrick St", 2},
+      {"France", "Paris", "Bastille", 7},
+  };
+  std::cout << "Input tuples (Fig. 1):\n";
+  for (const InputTuple& tuple : input) {
+    std::cout << "  (" << tuple.country << ", " << tuple.city << ", "
+              << tuple.station << ", " << tuple.bikes << ")\n";
+    Status status =
+        builder.AddTuple({tuple.country, tuple.city, tuple.station}, tuple.bikes);
+    if (!status.ok()) {
+      std::cerr << "AddTuple failed: " << status << "\n";
+      return 1;
+    }
+  }
+
+  auto cube = std::move(builder).Build();
+  if (!cube.ok()) {
+    std::cerr << "Build failed: " << cube.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "\nThe resulting DWARF cube (Fig. 2):\n"
+            << cube->ToDebugString();
+
+  const dwarf::CubeStats& stats = cube->stats();
+  std::cout << "nodes: " << stats.node_count << ", cells: " << stats.cell_count
+            << ", coalesced ALL pointers: " << stats.coalesced_all_count
+            << "\n\n";
+
+  // Point queries, including the precomputed ALL aggregates.
+  auto report = [&](const char* label,
+                    const std::vector<std::optional<std::string>>& keys) {
+    auto result = dwarf::PointQueryByName(*cube, keys);
+    std::cout << "  " << label << " = "
+              << (result.ok() ? std::to_string(*result)
+                              : result.status().ToString())
+              << "\n";
+  };
+  std::cout << "Queries:\n";
+  report("bikes(Ireland, Dublin, Fenian St)", {"Ireland", "Dublin", "Fenian St"});
+  report("bikes(Ireland, ALL, ALL)        ", {"Ireland", std::nullopt, std::nullopt});
+  report("bikes(ALL, ALL, ALL)            ",
+         {std::nullopt, std::nullopt, std::nullopt});
+  report("bikes(ALL, ALL, Patrick St)     ",
+         {std::nullopt, std::nullopt, "Patrick St"});
+
+  // A rollup over cities using the ALL sub-dwarfs.
+  auto rollup = dwarf::RollUp(*cube, {1});
+  if (rollup.ok()) {
+    std::cout << "\nRoll-up by city:\n";
+    for (const dwarf::SliceRow& row : *rollup) {
+      std::cout << "  " << row.keys[0] << " -> " << row.measure << "\n";
+    }
+  }
+  return 0;
+}

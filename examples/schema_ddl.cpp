@@ -1,0 +1,76 @@
+// Prints the storage schemas of all four evaluation layouts as DDL:
+// the Table 1 column families (NoSQL-DWARF), the Table 3 families
+// (NoSQL-Min), the Fig. 4 relational schema (MySQL-DWARF) and MySQL-Min.
+// Every emitted statement parses back through the corresponding query
+// language subset.
+
+#include <iostream>
+
+#include "mapper/nosql_dwarf_mapper.h"
+#include "mapper/nosql_min_mapper.h"
+#include "mapper/sql_dwarf_mapper.h"
+#include "mapper/sql_min_mapper.h"
+#include "nosql/database.h"
+#include "sql/engine.h"
+
+using namespace scdwarf;
+
+namespace {
+
+void PrintKeyspace(const nosql::Database& db, const std::string& keyspace,
+                   const std::string& title) {
+  std::cout << "-- " << title << "\n";
+  std::cout << "CREATE KEYSPACE " << keyspace << ";\n";
+  auto tables = db.ListTables(keyspace);
+  if (!tables.ok()) return;
+  for (const std::string& name : *tables) {
+    auto table = db.GetTable(keyspace, name);
+    if (!table.ok()) continue;
+    std::cout << (*table)->schema().ToCqlDdl() << ";\n";
+    for (const std::string& index : (*table)->schema().ToCreateIndexDdl()) {
+      std::cout << index << ";\n";
+    }
+  }
+  std::cout << "\n";
+}
+
+void PrintDatabase(const sql::SqlEngine& engine, const std::string& database,
+                   const std::string& title) {
+  std::cout << "-- " << title << "\n";
+  std::cout << "CREATE DATABASE " << database << ";\n";
+  auto tables = engine.ListTables(database);
+  if (!tables.ok()) return;
+  for (const std::string& name : *tables) {
+    auto table = engine.GetTable(database, name);
+    if (!table.ok()) continue;
+    std::cout << (*table)->def().ToSqlDdl() << ";\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  nosql::Database dwarf_db;
+  mapper::NoSqlDwarfMapper dwarf_mapper(&dwarf_db, "dwarfks");
+  nosql::Database min_db;
+  mapper::NoSqlMinMapper min_mapper(&min_db, "minks");
+  sql::SqlEngine dwarf_engine;
+  mapper::SqlDwarfMapper sql_dwarf_mapper(&dwarf_engine, "dwarfdb");
+  sql::SqlEngine min_engine;
+  mapper::SqlMinMapper sql_min_mapper(&min_engine, "mindb");
+  for (const Status& status :
+       {dwarf_mapper.EnsureSchema(), min_mapper.EnsureSchema(),
+        sql_dwarf_mapper.EnsureSchema(), sql_min_mapper.EnsureSchema()}) {
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+  }
+
+  PrintKeyspace(dwarf_db, "dwarfks", "NoSQL-DWARF (Table 1 column families)");
+  PrintKeyspace(min_db, "minks", "NoSQL-Min (Table 3)");
+  PrintDatabase(dwarf_engine, "dwarfdb", "MySQL-DWARF (Fig. 4 schema)");
+  PrintDatabase(min_engine, "mindb", "MySQL-Min");
+  return 0;
+}

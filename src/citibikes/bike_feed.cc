@@ -1,0 +1,127 @@
+#include "citibikes/bike_feed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "json/json_parser.h"
+#include "xml/xml_parser.h"
+
+namespace scdwarf::citibikes {
+
+BikeFeedGenerator::BikeFeedGenerator(BikeFeedConfig config)
+    : config_(std::move(config)),
+      stations_(GenerateStations(config_.num_stations, config_.seed)),
+      rng_(config_.seed ^ 0xb1cefeedULL) {
+  SCD_CHECK_GT(config_.num_stations, 0u);
+  SCD_CHECK_GT(config_.target_records, 0u);
+  total_ticks_ = (config_.target_records + config_.num_stations - 1) /
+                 config_.num_stations;
+  current_bikes_.reserve(stations_.size());
+  for (const Station& station : stations_) {
+    current_bikes_.push_back(
+        static_cast<int>(rng_.NextBelow(station.capacity + 1)));
+  }
+}
+
+BikeFeedGenerator::Snapshot BikeFeedGenerator::NextSnapshot() {
+  SCD_CHECK(HasNext());
+  Snapshot snapshot;
+  int64_t offset = total_ticks_ <= 1
+                       ? 0
+                       : static_cast<int64_t>(
+                             (static_cast<double>(tick_) / total_ticks_) *
+                             config_.period_seconds);
+  snapshot.time =
+      CivilFromSeconds(SecondsFromCivil(config_.start) + offset);
+
+  uint64_t remaining = config_.target_records - records_emitted_;
+  snapshot.station_count = static_cast<size_t>(
+      std::min<uint64_t>(remaining, config_.num_stations));
+
+  // Diurnal demand: commuters drain stations around 8-9 and 17-18.
+  double hour = snapshot.time.hour + snapshot.time.minute / 60.0;
+  double pressure = 0.5 + 0.35 * std::sin((hour - 9.0) / 24.0 * 2 * M_PI);
+
+  snapshot.available.resize(snapshot.station_count);
+  snapshot.open.resize(snapshot.station_count);
+  for (size_t i = 0; i < snapshot.station_count; ++i) {
+    int capacity = stations_[i].capacity;
+    // Random walk biased toward the diurnal target fill.
+    int target = static_cast<int>(pressure * capacity);
+    int delta = static_cast<int>(rng_.NextInRange(-3, 3));
+    if (current_bikes_[i] < target) delta += 1;
+    if (current_bikes_[i] > target) delta -= 1;
+    current_bikes_[i] =
+        std::clamp(current_bikes_[i] + delta, 0, capacity);
+    snapshot.available[i] = current_bikes_[i];
+    snapshot.open[i] = !rng_.NextBool(0.01);  // rare maintenance closures
+  }
+
+  records_emitted_ += snapshot.station_count;
+  ++documents_emitted_;
+  ++tick_;
+  return snapshot;
+}
+
+std::string BikeFeedGenerator::NextXml() {
+  Snapshot snapshot = NextSnapshot();
+  std::string timestamp = FormatIso(snapshot.time);
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out += "<stations city=\"" + xml::EscapeXmlText(config_.city) +
+         "\" lastUpdate=\"" + timestamp + "\">\n";
+  for (size_t i = 0; i < snapshot.station_count; ++i) {
+    const Station& station = stations_[i];
+    int available = snapshot.available[i];
+    out += "  <station>\n";
+    out += "    <id>" + std::to_string(station.id) + "</id>\n";
+    out += "    <name>" + xml::EscapeXmlText(station.name) + "</name>\n";
+    out += "    <area>" + xml::EscapeXmlText(station.area) + "</area>\n";
+    out += "    <bike_stands>" + std::to_string(station.capacity) +
+           "</bike_stands>\n";
+    out += "    <available_bikes>" + std::to_string(available) +
+           "</available_bikes>\n";
+    out += "    <available_bike_stands>" +
+           std::to_string(station.capacity - available) +
+           "</available_bike_stands>\n";
+    out += std::string("    <status>") +
+           (snapshot.open[i] ? "OPEN" : "CLOSED") + "</status>\n";
+    out += "    <last_update>" + timestamp + "</last_update>\n";
+    out += "  </station>\n";
+  }
+  out += "</stations>\n";
+  bytes_emitted_ += out.size();
+  return out;
+}
+
+std::string BikeFeedGenerator::NextJson() {
+  Snapshot snapshot = NextSnapshot();
+  std::string timestamp = FormatIso(snapshot.time);
+  json::JsonArray station_array;
+  for (size_t i = 0; i < snapshot.station_count; ++i) {
+    const Station& station = stations_[i];
+    int available = snapshot.available[i];
+    json::JsonObject obj;
+    obj.emplace_back("id", json::JsonValue(station.id));
+    obj.emplace_back("name", json::JsonValue(station.name));
+    obj.emplace_back("area", json::JsonValue(station.area));
+    obj.emplace_back("bike_stands", json::JsonValue(station.capacity));
+    obj.emplace_back("available_bikes", json::JsonValue(available));
+    obj.emplace_back("available_bike_stands",
+                     json::JsonValue(station.capacity - available));
+    obj.emplace_back("status",
+                     json::JsonValue(snapshot.open[i] ? "OPEN" : "CLOSED"));
+    obj.emplace_back("last_update", json::JsonValue(timestamp));
+    station_array.emplace_back(std::move(obj));
+  }
+  json::JsonObject root;
+  root.emplace_back("city", json::JsonValue(config_.city));
+  root.emplace_back("lastUpdate", json::JsonValue(timestamp));
+  root.emplace_back("stations", json::JsonValue(std::move(station_array)));
+  std::string out = json::SerializeJson(json::JsonValue(std::move(root)));
+  bytes_emitted_ += out.size();
+  return out;
+}
+
+}  // namespace scdwarf::citibikes

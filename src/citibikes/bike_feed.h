@@ -1,0 +1,85 @@
+/// \file bike_feed.h
+/// \brief Synthetic bike-sharing web feed: emits station-status snapshot
+/// documents (XML or JSON) with a diurnal demand pattern, matching the shape
+/// of the dublinbikes/CitiBikes feeds used in §5 [7].
+
+#ifndef SCDWARF_CITIBIKES_BIKE_FEED_H_
+#define SCDWARF_CITIBIKES_BIKE_FEED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/civil_time.h"
+#include "common/rng.h"
+#include "citibikes/stations.h"
+
+namespace scdwarf::citibikes {
+
+/// \brief Configuration of one generated feed.
+struct BikeFeedConfig {
+  size_t num_stations = 46;
+  CivilTime start = {2016, 1, 1, 0, 0, 0};
+  /// Length of the covered period in seconds (snapshots spread evenly).
+  int64_t period_seconds = 24 * 3600;
+  /// Exact number of station records to emit across the whole feed; the
+  /// final snapshot is truncated to hit it exactly (Table 2's tuple counts).
+  uint64_t target_records = 7358;
+  uint64_t seed = 2016;
+  std::string city = "Dublin";
+};
+
+/// \brief Streaming generator: one document per snapshot tick.
+///
+/// \code
+///   BikeFeedGenerator feed(config);
+///   while (feed.HasNext()) Consume(feed.NextXml());
+/// \endcode
+class BikeFeedGenerator {
+ public:
+  explicit BikeFeedGenerator(BikeFeedConfig config);
+
+  bool HasNext() const { return records_emitted_ < config_.target_records; }
+
+  /// Next snapshot as an XML document.
+  std::string NextXml();
+
+  /// Next snapshot as a JSON document (same schema, same data stream).
+  std::string NextJson();
+
+  uint64_t records_emitted() const { return records_emitted_; }
+  uint64_t documents_emitted() const { return documents_emitted_; }
+  /// Total bytes of all documents produced so far (Table 2's Size column).
+  uint64_t bytes_emitted() const { return bytes_emitted_; }
+
+  const std::vector<Station>& stations() const { return stations_; }
+  const BikeFeedConfig& config() const { return config_; }
+
+  /// Number of snapshot ticks this config will produce.
+  uint64_t total_ticks() const { return total_ticks_; }
+
+ private:
+  struct Snapshot {
+    CivilTime time;
+    /// Per included station: available bikes and open/closed status.
+    std::vector<int> available;
+    std::vector<bool> open;
+    size_t station_count;  ///< stations included in this snapshot
+  };
+
+  Snapshot NextSnapshot();
+
+  BikeFeedConfig config_;
+  std::vector<Station> stations_;
+  Rng rng_;
+  std::vector<int> current_bikes_;  // simulation state
+  uint64_t total_ticks_ = 0;
+  uint64_t tick_ = 0;
+  uint64_t records_emitted_ = 0;
+  uint64_t documents_emitted_ = 0;
+  uint64_t bytes_emitted_ = 0;
+};
+
+}  // namespace scdwarf::citibikes
+
+#endif  // SCDWARF_CITIBIKES_BIKE_FEED_H_

@@ -1,0 +1,32 @@
+#include "citibikes/datasets.h"
+
+namespace scdwarf::citibikes {
+
+const std::vector<DatasetSpec>& Table2Datasets() {
+  static const std::vector<DatasetSpec> kDatasets = {
+      {"Day", 7358, 1, 2.1},        {"Week", 60102, 7, 17.1},
+      {"Month", 118934, 31, 54.1},  {"TMonth", 396756, 60, 113.0},
+      {"SMonth", 1181344, 181, 338.0},
+  };
+  return kDatasets;
+}
+
+Result<DatasetSpec> FindDataset(const std::string& name) {
+  for (const DatasetSpec& dataset : Table2Datasets()) {
+    if (dataset.name == name) return dataset;
+  }
+  return Status::NotFound("no dataset named '" + name +
+                          "' (expected Day, Week, Month, TMonth or SMonth)");
+}
+
+BikeFeedConfig MakeFeedConfig(const DatasetSpec& dataset, uint64_t seed) {
+  BikeFeedConfig config;
+  config.num_stations = 46;
+  config.start = {2016, 1, 1, 0, 0, 0};
+  config.period_seconds = static_cast<int64_t>(dataset.days) * 24 * 3600;
+  config.target_records = dataset.tuples;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace scdwarf::citibikes

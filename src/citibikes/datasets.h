@@ -1,0 +1,36 @@
+/// \file datasets.h
+/// \brief The five evaluation datasets of Table 2 (Day, Week, Month, TMonth,
+/// SMonth) as generator presets with the paper's exact tuple counts.
+
+#ifndef SCDWARF_CITIBIKES_DATASETS_H_
+#define SCDWARF_CITIBIKES_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "citibikes/bike_feed.h"
+
+namespace scdwarf::citibikes {
+
+/// \brief One Table-2 dataset row.
+struct DatasetSpec {
+  std::string name;         ///< "Day", "Week", "Month", "TMonth", "SMonth"
+  uint64_t tuples;          ///< number of source tuples (paper's exact count)
+  int days;                 ///< covered period in days
+  double paper_raw_mb;      ///< raw XML size the paper reports (Table 2)
+};
+
+/// \brief Table 2, in order of increasing size.
+const std::vector<DatasetSpec>& Table2Datasets();
+
+/// \brief Looks up a dataset by name ("Day" ... "SMonth"), NotFound otherwise.
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// \brief Builds the generator config for a dataset. All presets share the
+/// same 46-station city and the 2016-01-01 epoch; only period and target
+/// count vary, so smaller datasets are prefixes in time of larger ones.
+BikeFeedConfig MakeFeedConfig(const DatasetSpec& dataset, uint64_t seed = 2016);
+
+}  // namespace scdwarf::citibikes
+
+#endif  // SCDWARF_CITIBIKES_DATASETS_H_

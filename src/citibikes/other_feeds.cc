@@ -1,0 +1,143 @@
+#include "citibikes/other_feeds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "citibikes/stations.h"
+#include "json/json_parser.h"
+#include "xml/xml_parser.h"
+
+namespace scdwarf::citibikes {
+
+namespace {
+
+void AdvanceClock(CivilTime* clock, int64_t seconds) {
+  *clock = CivilFromSeconds(SecondsFromCivil(*clock) + seconds);
+}
+
+const char* kCarParkNames[] = {
+    "Arnotts",      "Jervis",      "Ilac Centre", "Drury Street",
+    "Trinity Street", "Setanta",   "Fleet Street", "Christchurch",
+    "Smithfield Market", "Parnell", "Stephens Green", "Dawson",
+};
+
+const char* kAirSites[] = {
+    "Winetavern Street", "Coleraine Street", "Rathmines", "Ringsend",
+    "Ballyfermot",       "Finglas",          "Marino",    "Dun Laoghaire",
+};
+
+const char* kAuctionCategories[] = {
+    "Electronics", "Furniture", "Vehicles", "Fashion",
+    "Collectibles", "Sports",   "Garden",   "Books",
+};
+
+const char* kRatingBands[] = {"Bronze", "Silver", "Gold", "Platinum"};
+
+}  // namespace
+
+CarParkFeedGenerator::CarParkFeedGenerator(size_t num_carparks, CivilTime start,
+                                           int64_t tick_seconds, uint64_t seed)
+    : clock_(start), tick_seconds_(tick_seconds), rng_(seed ^ 0xca9a43ULL) {
+  const std::vector<std::string>& areas = CityAreas();
+  size_t pool = sizeof(kCarParkNames) / sizeof(kCarParkNames[0]);
+  for (size_t i = 0; i < num_carparks; ++i) {
+    std::string name = kCarParkNames[i % pool];
+    if (i >= pool) name += " " + std::to_string(i / pool + 1);
+    names_.push_back(std::move(name));
+    zones_.push_back(areas[rng_.NextBelow(areas.size())]);
+    capacities_.push_back(static_cast<int>(150 + 50 * rng_.NextBelow(8)));
+    occupied_.push_back(
+        static_cast<int>(rng_.NextBelow(capacities_.back() + 1)));
+  }
+}
+
+std::string CarParkFeedGenerator::NextXml() {
+  std::string timestamp = FormatIso(clock_);
+  double hour = clock_.hour + clock_.minute / 60.0;
+  double pressure = 0.45 + 0.4 * std::sin((hour - 14.0) / 24.0 * 2 * M_PI);
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<carparks updated=\"" +
+                    timestamp + "\">\n";
+  for (size_t i = 0; i < names_.size(); ++i) {
+    int target = static_cast<int>(pressure * capacities_[i]);
+    int delta = static_cast<int>(rng_.NextInRange(-10, 10));
+    if (occupied_[i] < target) delta += 5;
+    if (occupied_[i] > target) delta -= 5;
+    occupied_[i] = std::clamp(occupied_[i] + delta, 0, capacities_[i]);
+    out += "  <carpark>\n";
+    out += "    <name>" + xml::EscapeXmlText(names_[i]) + "</name>\n";
+    out += "    <zone>" + xml::EscapeXmlText(zones_[i]) + "</zone>\n";
+    out += "    <capacity>" + std::to_string(capacities_[i]) + "</capacity>\n";
+    out += "    <free_spaces>" + std::to_string(capacities_[i] - occupied_[i]) +
+           "</free_spaces>\n";
+    out += "    <updated>" + timestamp + "</updated>\n";
+    out += "  </carpark>\n";
+  }
+  out += "</carparks>\n";
+  AdvanceClock(&clock_, tick_seconds_);
+  return out;
+}
+
+AirQualityFeedGenerator::AirQualityFeedGenerator(size_t num_sites,
+                                                 CivilTime start,
+                                                 int64_t tick_seconds,
+                                                 uint64_t seed)
+    : clock_(start), tick_seconds_(tick_seconds), rng_(seed ^ 0xa19ULL) {
+  const std::vector<std::string>& areas = CityAreas();
+  size_t pool = sizeof(kAirSites) / sizeof(kAirSites[0]);
+  for (size_t i = 0; i < num_sites; ++i) {
+    std::string site = kAirSites[i % pool];
+    if (i >= pool) site += " " + std::to_string(i / pool + 1);
+    sites_.push_back(std::move(site));
+    zones_.push_back(areas[rng_.NextBelow(areas.size())]);
+    baseline_.push_back(8.0 + rng_.NextDouble() * 12.0);
+  }
+}
+
+std::string AirQualityFeedGenerator::NextJson() {
+  std::string timestamp = FormatIso(clock_);
+  json::JsonArray readings;
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    double rush = clock_.hour == 8 || clock_.hour == 17 ? 6.0 : 0.0;
+    int pm25 = static_cast<int>(baseline_[i] + rush + rng_.NextDouble() * 5.0);
+    json::JsonObject reading;
+    reading.emplace_back("site", json::JsonValue(sites_[i]));
+    reading.emplace_back("zone", json::JsonValue(zones_[i]));
+    reading.emplace_back("pollutant", json::JsonValue("PM2.5"));
+    reading.emplace_back("index", json::JsonValue(pm25));
+    reading.emplace_back("measured_at", json::JsonValue(timestamp));
+    readings.emplace_back(std::move(reading));
+  }
+  json::JsonObject root;
+  root.emplace_back("network", json::JsonValue("Dublin Air"));
+  root.emplace_back("readings", json::JsonValue(std::move(readings)));
+  AdvanceClock(&clock_, tick_seconds_);
+  return json::SerializeJson(json::JsonValue(std::move(root)));
+}
+
+AuctionFeedGenerator::AuctionFeedGenerator(CivilTime start, uint64_t seed)
+    : clock_(start), rng_(seed ^ 0xa0c71072ULL) {}
+
+std::string AuctionFeedGenerator::NextXml(size_t lots) {
+  std::string timestamp = FormatIso(clock_);
+  std::string out =
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<auctions closed=\"" +
+      timestamp + "\">\n";
+  for (size_t i = 0; i < lots; ++i) {
+    const char* category =
+        kAuctionCategories[rng_.NextBelow(sizeof(kAuctionCategories) /
+                                          sizeof(kAuctionCategories[0]))];
+    const char* band = kRatingBands[rng_.NextBelow(4)];
+    int price = static_cast<int>(5 + rng_.NextBelow(500));
+    out += "  <lot id=\"" + std::to_string(next_lot_id_++) + "\">\n";
+    out += std::string("    <category>") + category + "</category>\n";
+    out += std::string("    <seller_band>") + band + "</seller_band>\n";
+    out += "    <price>" + std::to_string(price) + "</price>\n";
+    out += "    <closed_at>" + timestamp + "</closed_at>\n";
+    out += "  </lot>\n";
+  }
+  out += "</auctions>\n";
+  AdvanceClock(&clock_, 3600);
+  return out;
+}
+
+}  // namespace scdwarf::citibikes

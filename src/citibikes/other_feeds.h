@@ -1,0 +1,78 @@
+/// \file other_feeds.h
+/// \brief The remaining smart-city streams the paper's introduction lists —
+/// car parks, air-quality sensors and online auctions — as small synthetic
+/// generators. They feed the multi-source fusion example: the paper's goal
+/// is cubes "fused from multiple sources".
+
+#ifndef SCDWARF_CITIBIKES_OTHER_FEEDS_H_
+#define SCDWARF_CITIBIKES_OTHER_FEEDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/civil_time.h"
+#include "common/rng.h"
+
+namespace scdwarf::citibikes {
+
+/// \brief Car-park occupancy feed (XML): one document per tick listing every
+/// car park with free spaces.
+class CarParkFeedGenerator {
+ public:
+  CarParkFeedGenerator(size_t num_carparks, CivilTime start,
+                       int64_t tick_seconds, uint64_t seed);
+
+  /// One snapshot document; advances the simulation clock.
+  std::string NextXml();
+
+  size_t num_carparks() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::string> zones_;
+  std::vector<int> capacities_;
+  std::vector<int> occupied_;
+  CivilTime clock_;
+  int64_t tick_seconds_;
+  Rng rng_;
+};
+
+/// \brief Air-quality sensor feed (JSON): one document per tick with one
+/// reading per monitoring site (PM2.5 index).
+class AirQualityFeedGenerator {
+ public:
+  AirQualityFeedGenerator(size_t num_sites, CivilTime start,
+                          int64_t tick_seconds, uint64_t seed);
+
+  std::string NextJson();
+
+  size_t num_sites() const { return sites_.size(); }
+
+ private:
+  std::vector<std::string> sites_;
+  std::vector<std::string> zones_;
+  std::vector<double> baseline_;
+  CivilTime clock_;
+  int64_t tick_seconds_;
+  Rng rng_;
+};
+
+/// \brief Online auction sales feed (XML): one document per batch of closed
+/// auctions with category, seller rating band and final price.
+class AuctionFeedGenerator {
+ public:
+  AuctionFeedGenerator(CivilTime start, uint64_t seed);
+
+  /// One batch of \p lots closed auctions.
+  std::string NextXml(size_t lots);
+
+ private:
+  CivilTime clock_;
+  Rng rng_;
+  int next_lot_id_ = 1;
+};
+
+}  // namespace scdwarf::citibikes
+
+#endif  // SCDWARF_CITIBIKES_OTHER_FEEDS_H_

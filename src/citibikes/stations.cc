@@ -1,0 +1,65 @@
+#include "citibikes/stations.h"
+
+#include "common/rng.h"
+
+namespace scdwarf::citibikes {
+
+namespace {
+
+const char* kStreetNames[] = {
+    "Fenian Street",       "Pearse Street",      "Dame Street",
+    "Eyre Square",         "Patrick Street",     "Grafton Street",
+    "O'Connell Street",    "Talbot Street",      "Capel Street",
+    "Parnell Square",      "Merrion Square",     "Fitzwilliam Square",
+    "Mountjoy Square",     "Smithfield",         "Ormond Quay",
+    "Bachelors Walk",      "Eden Quay",          "Custom House Quay",
+    "North Wall Quay",     "Sir John Rogerson's Quay",
+    "Grand Canal Dock",    "Barrow Street",      "Charlemont Place",
+    "Portobello Harbour",  "Rathmines Road",     "Harcourt Street",
+    "Camden Street",       "Wexford Street",     "Aungier Street",
+    "Christchurch Place",  "High Street",        "Thomas Street",
+    "James Street",        "Heuston Station",    "Parkgate Street",
+    "Benburb Street",      "Blackhall Place",    "Stoneybatter",
+    "Phibsborough Road",   "Dorset Street",      "Gardiner Street",
+    "Amiens Street",       "Seville Place",      "Mayor Street",
+    "Hanover Quay",        "Townsend Street",    "College Green",
+    "Nassau Street",       "Kildare Street",     "Baggot Street",
+    "Leeson Street",       "Earlsfort Terrace",  "Hatch Street",
+    "Clanbrassil Terrace", "Cuffe Street",       "York Street",
+    "Exchequer Street",    "Jervis Street",      "Bolton Street",
+    "King Street North",
+};
+constexpr size_t kNumStreetNames = sizeof(kStreetNames) / sizeof(kStreetNames[0]);
+
+const char* kRomanNumerals[] = {"",    " II",  " III", " IV", " V",
+                                " VI", " VII", " VIII"};
+
+}  // namespace
+
+const std::vector<std::string>& CityAreas() {
+  static const std::vector<std::string> kAreas = {
+      "City Centre", "Docklands",  "Northside", "Southside",
+      "Liberties",   "Portobello", "Smithfield", "Ballsbridge"};
+  return kAreas;
+}
+
+std::vector<Station> GenerateStations(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<std::string>& areas = CityAreas();
+  std::vector<Station> stations;
+  stations.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Station station;
+    station.id = static_cast<int>(i + 1);
+    station.name = kStreetNames[i % kNumStreetNames];
+    station.name += kRomanNumerals[(i / kNumStreetNames) % 8];
+    station.area = areas[rng.NextBelow(areas.size())];
+    station.capacity = static_cast<int>(20 + 5 * rng.NextBelow(5));  // 20..40
+    station.latitude = 53.33 + rng.NextDouble() * 0.06;
+    station.longitude = -6.30 + rng.NextDouble() * 0.08;
+    stations.push_back(std::move(station));
+  }
+  return stations;
+}
+
+}  // namespace scdwarf::citibikes

@@ -1,0 +1,35 @@
+/// \file stations.h
+/// \brief Synthetic bike-station catalog standing in for the Dublin bikes /
+/// CitiBikes station list the paper's datasets were harvested from.
+/// Deterministic from a seed so every dataset regenerates bit-identically.
+
+#ifndef SCDWARF_CITIBIKES_STATIONS_H_
+#define SCDWARF_CITIBIKES_STATIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scdwarf::citibikes {
+
+/// \brief One bike station.
+struct Station {
+  int id = 0;
+  std::string name;   ///< e.g. "Fenian Street"
+  std::string area;   ///< city district, e.g. "Docklands"
+  int capacity = 0;   ///< total bike stands
+  double latitude = 0;
+  double longitude = 0;
+};
+
+/// \brief Generates \p count stations with distinct names drawn from a pool
+/// of Dublin street names (cycled with Roman numerals when count exceeds the
+/// pool), areas from the city's districts and capacities in 20-40.
+std::vector<Station> GenerateStations(size_t count, uint64_t seed);
+
+/// \brief The district names used by GenerateStations.
+const std::vector<std::string>& CityAreas();
+
+}  // namespace scdwarf::citibikes
+
+#endif  // SCDWARF_CITIBIKES_STATIONS_H_

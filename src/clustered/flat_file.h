@@ -1,0 +1,121 @@
+/// \file flat_file.h
+/// \brief Flat-file DWARF storage after Bao et al. [1] ("A Clustered Dwarf
+/// Structure to Speed up Queries on Data Cubes", JCSE 2007) — the storage
+/// baseline §5.1 compares against. Nodes are written to a single file using
+/// *node indexing*: a node references its children by id, not by file
+/// offset, exactly the indirection our Cassandra schema adopted from [1].
+///
+/// Two clustering layouts are implemented:
+///  * **Hierarchical** — nodes laid out level by level; siblings cluster,
+///    which favors range queries that fan out across one level.
+///  * **Recursive** — depth-first layout; each drill-down path is nearly
+///    contiguous, which favors point queries.
+///
+/// FlatFileCube queries the file without loading it, tracking read/seek
+/// statistics so the layouts can be compared quantitatively.
+
+#ifndef SCDWARF_CLUSTERED_FLAT_FILE_H_
+#define SCDWARF_CLUSTERED_FLAT_FILE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dwarf/dwarf_cube.h"
+#include "dwarf/query.h"
+
+namespace scdwarf::clustered {
+
+/// \brief Node placement policy in the flat file.
+enum class ClusterLayout : uint8_t {
+  kHierarchical = 0,  ///< level-order clustering (range-query optimised)
+  kRecursive = 1,     ///< depth-first clustering (point-query optimised)
+};
+
+const char* ClusterLayoutName(ClusterLayout layout);
+
+/// \brief Writes \p cube to \p path using \p layout. The file carries the
+/// logical schema, dictionaries, a node directory (id -> offset) and the
+/// node records.
+Status WriteDwarfFile(const dwarf::DwarfCube& cube, const std::string& path,
+                      ClusterLayout layout);
+
+/// \brief Loads the whole file back into an in-memory cube.
+Result<dwarf::DwarfCube> ReadDwarfFile(const std::string& path);
+
+/// \brief I/O counters of a FlatFileCube session.
+struct FlatFileStats {
+  uint64_t node_reads = 0;     ///< node records fetched from the file
+  uint64_t bytes_read = 0;     ///< payload bytes fetched
+  uint64_t seek_distance = 0;  ///< |previous end - next start| summed
+};
+
+/// \brief Queries a flat-file DWARF in place (no full load): the header and
+/// node directory are resident; node records are fetched on demand.
+class FlatFileCube {
+ public:
+  static Result<FlatFileCube> Open(const std::string& path);
+
+  /// Point query with per-dimension key or ALL (std::nullopt), reading only
+  /// the nodes on the path.
+  Result<dwarf::Measure> PointQuery(
+      const std::vector<std::optional<std::string>>& keys);
+
+  /// Aggregate query with encoded-key predicates per dimension.
+  Result<dwarf::Measure> AggregateQuery(
+      const std::vector<dwarf::DimPredicate>& predicates);
+
+  size_t num_dimensions() const { return dimension_names_.size(); }
+  const std::vector<std::string>& dimension_names() const {
+    return dimension_names_;
+  }
+  dwarf::AggFn agg() const { return agg_; }
+  ClusterLayout layout() const { return layout_; }
+
+  /// Encodes a key string for dimension \p dim; NotFound if absent.
+  Result<dwarf::DimKey> EncodeKey(size_t dim, const std::string& key) const;
+
+  const FlatFileStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
+  /// Total file size in bytes.
+  uint64_t file_size() const { return file_size_; }
+
+ private:
+  /// One decoded node record.
+  struct FileNode {
+    std::vector<dwarf::DwarfCell> cells;
+    uint32_t all_child = 0;
+    dwarf::Measure all_measure = 0;
+    uint16_t level = 0;
+  };
+
+  FlatFileCube() = default;
+
+  Result<FileNode> FetchNode(uint32_t id);
+  Result<dwarf::Measure> Aggregate(uint32_t node_id, size_t level,
+                                   const std::vector<dwarf::DimPredicate>& preds,
+                                   bool* found);
+
+  std::string path_;
+  mutable std::ifstream file_;
+  ClusterLayout layout_ = ClusterLayout::kHierarchical;
+  dwarf::AggFn agg_ = dwarf::AggFn::kSum;
+  std::vector<std::string> dimension_names_;
+  /// Per dimension: key string -> encoded id (file dictionaries).
+  std::vector<std::unordered_map<std::string, dwarf::DimKey>> dictionaries_;
+  std::vector<uint64_t> node_offsets_;  ///< by node id
+  std::vector<uint32_t> node_sizes_;
+  uint32_t root_id_ = 0;
+  bool empty_ = true;
+  uint64_t file_size_ = 0;
+  uint64_t last_read_end_ = 0;
+  FlatFileStats stats_;
+};
+
+}  // namespace scdwarf::clustered
+
+#endif  // SCDWARF_CLUSTERED_FLAT_FILE_H_

@@ -1,0 +1,67 @@
+/// \file civil_time.h
+/// \brief Minimal proleptic-Gregorian civil time for the ETL layer: parsing
+/// ISO-8601 timestamps from feeds and deriving the calendar dimensions
+/// (month, date, weekday, hour) the cube schemas group by.
+
+#ifndef SCDWARF_COMMON_CIVIL_TIME_H_
+#define SCDWARF_COMMON_CIVIL_TIME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace scdwarf {
+
+/// \brief A wall-clock timestamp with no timezone (feeds are city-local).
+struct CivilTime {
+  int year = 1970;
+  int month = 1;  // 1-12
+  int day = 1;    // 1-31
+  int hour = 0;   // 0-23
+  int minute = 0;
+  int second = 0;
+
+  bool operator==(const CivilTime& other) const = default;
+};
+
+/// \brief Days since 1970-01-01 for a civil date (negative before epoch).
+/// Uses the days-from-civil algorithm (H. Hinnant), valid across the full
+/// int range of years.
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// \brief Inverse of DaysFromCivil.
+CivilTime CivilFromDays(int64_t days);
+
+/// \brief Seconds since 1970-01-01T00:00:00 for a civil timestamp.
+int64_t SecondsFromCivil(const CivilTime& time);
+
+/// \brief Inverse of SecondsFromCivil.
+CivilTime CivilFromSeconds(int64_t seconds);
+
+/// \brief Day of week, 0 = Monday ... 6 = Sunday.
+int WeekdayIndex(int year, int month, int day);
+
+/// \brief "Monday" ... "Sunday".
+const char* WeekdayName(int weekday_index);
+
+/// \brief "January" ... "December"; \p month is 1-12.
+const char* MonthName(int month);
+
+/// \brief Number of days in \p month of \p year (handles leap years).
+int DaysInMonth(int year, int month);
+
+/// \brief Formats "YYYY-MM-DDTHH:MM:SS".
+std::string FormatIso(const CivilTime& time);
+
+/// \brief Formats "YYYY-MM-DD".
+std::string FormatIsoDate(const CivilTime& time);
+
+/// \brief Parses "YYYY-MM-DD" or "YYYY-MM-DD[T ]HH:MM[:SS]". Rejects
+/// out-of-range fields (month 13, Feb 30, hour 25, ...).
+Result<CivilTime> ParseIso(std::string_view text);
+
+}  // namespace scdwarf
+
+#endif  // SCDWARF_COMMON_CIVIL_TIME_H_

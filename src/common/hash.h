@@ -1,0 +1,47 @@
+/// \file hash.h
+/// \brief 64-bit non-cryptographic hashing (FNV-1a with an avalanche
+/// finalizer) used by the suffix-coalescing tables and the storage engines.
+
+#ifndef SCDWARF_COMMON_HASH_H_
+#define SCDWARF_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace scdwarf {
+
+/// \brief Mixes the bits of \p x so that small input deltas flip roughly half
+/// of the output bits (the splitmix64 finalizer).
+inline uint64_t MixBits(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// \brief Hashes a byte span with FNV-1a then finalizes with MixBits.
+inline uint64_t HashBytes(const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return MixBits(hash);
+}
+
+inline uint64_t HashString(std::string_view text) {
+  return HashBytes(text.data(), text.size());
+}
+
+/// \brief Combines an existing hash with another value, order-sensitively.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return MixBits(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                         (seed >> 2)));
+}
+
+}  // namespace scdwarf
+
+#endif  // SCDWARF_COMMON_HASH_H_

@@ -1,0 +1,77 @@
+/// \file logging.h
+/// \brief Minimal leveled logging plus CHECK macros for invariant violations
+/// (programming errors that should abort, as opposed to Status failures).
+
+#ifndef SCDWARF_COMMON_LOGGING_H_
+#define SCDWARF_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace scdwarf {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Global minimum level; messages below it are dropped.
+/// Defaults to kInfo; benchmarks raise it to kWarning to keep output clean.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// \brief Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// \brief Like LogMessage but aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace scdwarf
+
+#define SCD_LOG(level)                                          \
+  ::scdwarf::internal::LogMessage(::scdwarf::LogLevel::level,   \
+                                  __FILE__, __LINE__)
+
+/// Aborts with a diagnostic when \p condition is false. Use only for
+/// programming errors; recoverable failures return Status.
+#define SCD_CHECK(condition)                                              \
+  if (!(condition))                                                       \
+  ::scdwarf::internal::FatalLogMessage(__FILE__, __LINE__, #condition)
+
+#define SCD_CHECK_EQ(a, b) SCD_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SCD_CHECK_NE(a, b) SCD_CHECK((a) != (b))
+#define SCD_CHECK_LT(a, b) SCD_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SCD_CHECK_LE(a, b) SCD_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SCD_CHECK_GT(a, b) SCD_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define SCD_CHECK_GE(a, b) SCD_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // SCDWARF_COMMON_LOGGING_H_

@@ -1,0 +1,87 @@
+/// \file result.h
+/// \brief Result<T>: a value or a Status, in the style of arrow::Result.
+
+#ifndef SCDWARF_COMMON_RESULT_H_
+#define SCDWARF_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace scdwarf {
+
+/// \brief Holds either a successfully computed T or the Status explaining why
+/// the computation failed.
+///
+/// Usage:
+/// \code
+///   Result<int> ParsePort(std::string_view s);
+///   SCD_ASSIGN_OR_RETURN(int port, ParsePort(arg));
+/// \endcode
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs a failed result. Aborts (in debug) if \p status is OK, since
+  /// an OK result must carry a value.
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT implicit
+    if (std::get<Status>(storage_).ok()) {
+      std::cerr << "Result<T> constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  /// Constructs a successful result holding \p value.
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT implicit
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(storage_);
+  }
+
+  /// Returns the value; aborts if this result holds an error.
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(storage_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(storage_);
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(storage_));
+  }
+
+  /// Returns the value or \p fallback when this result holds an error.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(storage_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::cerr << "Result<T>::ValueOrDie on error: "
+                << std::get<Status>(storage_).ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<Status, T> storage_;
+};
+
+}  // namespace scdwarf
+
+#endif  // SCDWARF_COMMON_RESULT_H_

@@ -1,0 +1,72 @@
+/// \file rng.h
+/// \brief Deterministic pseudo-random number generation for the synthetic
+/// feed generators. Every dataset in the evaluation must be reproducible
+/// bit-for-bit from its seed, so we avoid std::mt19937's platform quirks by
+/// using a self-contained xoshiro256** implementation.
+
+#ifndef SCDWARF_COMMON_RNG_H_
+#define SCDWARF_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace scdwarf {
+
+/// \brief xoshiro256** PRNG seeded through splitmix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      word = MixBits(x);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). \p bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+      uint64_t value = NextU64();
+      if (value >= threshold) return value % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability \p p of returning true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace scdwarf
+
+#endif  // SCDWARF_COMMON_RNG_H_

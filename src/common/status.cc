@@ -1,0 +1,51 @@
+#include "common/status.h"
+
+namespace scdwarf {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kIoError:
+      return "IO error";
+    case StatusCode::kParseError:
+      return "Parse error";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message)
+    : state_(std::make_unique<State>(State{code, std::move(message)})) {}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(code());
+  result += ": ";
+  result += message();
+  return result;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + message());
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace scdwarf

@@ -1,0 +1,157 @@
+/// \file status.h
+/// \brief Arrow-style Status error model used across the library.
+///
+/// Library code never throws on expected failure paths; every fallible
+/// operation returns a Status (or a Result<T>, see result.h). The
+/// SCD_RETURN_IF_ERROR / SCD_ASSIGN_OR_RETURN macros keep call sites terse.
+
+#ifndef SCDWARF_COMMON_STATUS_H_
+#define SCDWARF_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace scdwarf {
+
+/// \brief Machine-readable error category carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kIoError = 4,
+  kParseError = 5,
+  kOutOfRange = 6,
+  kFailedPrecondition = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+};
+
+/// \brief Returns the canonical lower-case name of a status code
+/// (e.g. "invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: either OK or a code plus message.
+///
+/// The OK state is represented by a null internal pointer, so returning and
+/// testing an OK status is a single pointer move/compare — cheap enough for
+/// hot loops such as per-row inserts.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs a status with \p code and a human-readable \p message.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// \brief Factory helpers, one per error category.
+  /// \{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// \}
+
+  /// True iff the status carries no error.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code; kOk when ok().
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+
+  /// The error message; empty when ok().
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// \brief Returns "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// \brief Returns a copy of this status with \p context prepended to the
+  /// message; useful when propagating errors up through layers.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace scdwarf
+
+/// Propagates a non-OK Status to the caller.
+#define SCD_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::scdwarf::Status _scd_status = (expr);       \
+    if (!_scd_status.ok()) return _scd_status;    \
+  } while (false)
+
+#define SCD_CONCAT_IMPL(a, b) a##b
+#define SCD_CONCAT(a, b) SCD_CONCAT_IMPL(a, b)
+
+/// Evaluates an expression returning Result<T>; on success binds the value to
+/// `lhs`, on failure returns the error status.
+#define SCD_ASSIGN_OR_RETURN(lhs, expr)                                \
+  auto SCD_CONCAT(_scd_result_, __LINE__) = (expr);                    \
+  if (!SCD_CONCAT(_scd_result_, __LINE__).ok())                        \
+    return SCD_CONCAT(_scd_result_, __LINE__).status();                \
+  lhs = std::move(SCD_CONCAT(_scd_result_, __LINE__)).ValueOrDie()
+
+#endif  // SCDWARF_COMMON_STATUS_H_

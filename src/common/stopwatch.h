@@ -1,0 +1,45 @@
+/// \file stopwatch.h
+/// \brief Wall-clock stopwatch used by the benchmark harnesses to report the
+/// same units as the paper (milliseconds, Table 5).
+
+#ifndef SCDWARF_COMMON_STOPWATCH_H_
+#define SCDWARF_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace scdwarf {
+
+/// \brief Measures elapsed wall-clock time from construction or Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace scdwarf
+
+#endif  // SCDWARF_COMMON_STOPWATCH_H_

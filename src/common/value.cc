@@ -1,0 +1,192 @@
+#include "common/value.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace scdwarf {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt: return "int";
+    case DataType::kBigint: return "bigint";
+    case DataType::kText: return "text";
+    case DataType::kBool: return "boolean";
+    case DataType::kIntSet: return "set<int>";
+  }
+  return "?";
+}
+
+Result<DataType> ParseDataType(std::string_view name) {
+  std::string lower = AsciiToLower(name);
+  // Normalize internal whitespace for "set < int >".
+  lower.erase(std::remove_if(lower.begin(), lower.end(),
+                             [](char c) { return c == ' ' || c == '\t'; }),
+              lower.end());
+  if (lower == "int") return DataType::kInt;
+  if (lower == "bigint") return DataType::kBigint;
+  if (lower == "text" || lower == "varchar") return DataType::kText;
+  if (lower == "boolean" || lower == "bool") return DataType::kBool;
+  if (lower == "set<int>" || lower == "set<bigint>") return DataType::kIntSet;
+  return Status::ParseError("unknown data type '" + std::string(name) + "'");
+}
+
+Value Value::IntSet(std::vector<int64_t> v) {
+  if (!std::is_sorted(v.begin(), v.end())) {
+    std::sort(v.begin(), v.end());
+  }
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return Value(Storage(std::move(v)));
+}
+
+Result<int64_t> Value::AsInt() const {
+  if (const int64_t* v = std::get_if<int64_t>(&data_)) return *v;
+  return Status::InvalidArgument("value is not an int");
+}
+
+Result<std::string> Value::AsText() const {
+  if (const std::string* v = std::get_if<std::string>(&data_)) return *v;
+  return Status::InvalidArgument("value is not text");
+}
+
+Result<bool> Value::AsBool() const {
+  if (const bool* v = std::get_if<bool>(&data_)) return *v;
+  return Status::InvalidArgument("value is not a boolean");
+}
+
+Result<std::vector<int64_t>> Value::AsIntSet() const {
+  if (const auto* v = std::get_if<std::vector<int64_t>>(&data_)) return *v;
+  return Status::InvalidArgument("value is not a set<int>");
+}
+
+bool Value::MatchesType(DataType type) const {
+  if (is_null()) return true;
+  switch (type) {
+    case DataType::kInt:
+    case DataType::kBigint:
+      return is_int();
+    case DataType::kText:
+      return is_text();
+    case DataType::kBool:
+      return is_bool();
+    case DataType::kIntSet:
+      return is_int_set();
+  }
+  return false;
+}
+
+std::string Value::ToCqlLiteral() const {
+  if (is_null()) return "null";
+  if (is_bool()) return std::get<bool>(data_) ? "true" : "false";
+  if (is_int()) return std::to_string(std::get<int64_t>(data_));
+  if (is_text()) return QuoteSqlString(std::get<std::string>(data_));
+  const auto& set = std::get<std::vector<int64_t>>(data_);
+  std::string out = "{";
+  for (size_t i = 0; i < set.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(set[i]);
+  }
+  out += "}";
+  return out;
+}
+
+std::string Value::ToDisplayString() const {
+  if (is_text()) return std::get<std::string>(data_);
+  return ToCqlLiteral();
+}
+
+namespace {
+enum Tag : uint8_t {
+  kTagNull = 0,
+  kTagBool = 1,
+  kTagInt = 2,
+  kTagText = 3,
+  kTagIntSet = 4,
+};
+}  // namespace
+
+void Value::EncodeTo(ByteWriter* writer) const {
+  if (is_null()) {
+    writer->PutU8(kTagNull);
+  } else if (is_bool()) {
+    writer->PutU8(kTagBool);
+    writer->PutU8(std::get<bool>(data_) ? 1 : 0);
+  } else if (is_int()) {
+    writer->PutU8(kTagInt);
+    writer->PutSignedVarint(std::get<int64_t>(data_));
+  } else if (is_text()) {
+    writer->PutU8(kTagText);
+    writer->PutString(std::get<std::string>(data_));
+  } else {
+    const auto& set = std::get<std::vector<int64_t>>(data_);
+    writer->PutU8(kTagIntSet);
+    writer->PutVarint(set.size());
+    // Delta-encode the sorted members: ids of sibling cells cluster tightly,
+    // which keeps child sets to ~1-2 bytes per member.
+    int64_t previous = 0;
+    for (int64_t member : set) {
+      writer->PutSignedVarint(member - previous);
+      previous = member;
+    }
+  }
+}
+
+// GCC 12 emits a spurious -Wfree-nonheap-object when the variant destructor
+// is inlined into the Result return path below.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wfree-nonheap-object"
+Result<Value> Value::DecodeFrom(ByteReader* reader) {
+  SCD_ASSIGN_OR_RETURN(uint8_t tag, reader->ReadU8());
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagBool: {
+      SCD_ASSIGN_OR_RETURN(uint8_t v, reader->ReadU8());
+      return Value::Bool(v != 0);
+    }
+    case kTagInt: {
+      SCD_ASSIGN_OR_RETURN(int64_t v, reader->ReadSignedVarint());
+      return Value::Int(v);
+    }
+    case kTagText: {
+      SCD_ASSIGN_OR_RETURN(std::string v, reader->ReadString());
+      return Value::Text(std::move(v));
+    }
+    case kTagIntSet: {
+      SCD_ASSIGN_OR_RETURN(uint64_t count, reader->ReadVarint());
+      std::vector<int64_t> members;
+      members.reserve(count);
+      int64_t previous = 0;
+      for (uint64_t i = 0; i < count; ++i) {
+        SCD_ASSIGN_OR_RETURN(int64_t delta, reader->ReadSignedVarint());
+        previous += delta;
+        members.push_back(previous);
+      }
+      return Value::IntSet(std::move(members));
+    }
+    default:
+      return Status::ParseError("unknown value tag " + std::to_string(tag));
+  }
+}
+#pragma GCC diagnostic pop
+
+size_t Value::EncodedSize() const {
+  ByteWriter writer;
+  EncodeTo(&writer);
+  return writer.size();
+}
+
+uint64_t Value::Hash() const {
+  if (is_null()) return 0x6e756c6cULL;
+  if (is_bool()) return std::get<bool>(data_) ? 0x74727565ULL : 0x66616c73ULL;
+  if (is_int()) return MixBits(static_cast<uint64_t>(std::get<int64_t>(data_)));
+  if (is_text()) return HashString(std::get<std::string>(data_));
+  uint64_t h = 0x736574ULL;
+  for (int64_t member : std::get<std::vector<int64_t>>(data_)) {
+    h = HashCombine(h, static_cast<uint64_t>(member));
+  }
+  return h;
+}
+
+}  // namespace scdwarf

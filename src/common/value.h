@@ -1,0 +1,106 @@
+/// \file value.h
+/// \brief Typed cell values for the columnar NoSQL store. The type system is
+/// the subset of Cassandra's that the paper's schemas use: int, bigint, text,
+/// boolean and set<int> (Table 1-B stores parentIds/childrenIds as sets).
+
+#ifndef SCDWARF_COMMON_VALUE_H_
+#define SCDWARF_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace scdwarf {
+
+/// \brief Column data types (CQL names in comments).
+enum class DataType : uint8_t {
+  kInt = 0,     // int     (stored as int64)
+  kBigint = 1,  // bigint
+  kText = 2,    // text
+  kBool = 3,    // boolean
+  kIntSet = 4,  // set<int>
+};
+
+/// \brief Returns the CQL spelling ("set<int>", "text", ...).
+const char* DataTypeName(DataType type);
+
+/// \brief Parses a CQL type name; case-insensitive.
+Result<DataType> ParseDataType(std::string_view name);
+
+/// \brief A single typed value or NULL.
+///
+/// Set values are kept sorted and deduplicated so that comparison and
+/// serialization are canonical.
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Storage(v)); }
+  static Value Text(std::string v) { return Value(Storage(std::move(v))); }
+  static Value Bool(bool v) { return Value(Storage(v)); }
+  /// Sorts and deduplicates \p v.
+  static Value IntSet(std::vector<int64_t> v);
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_text() const { return std::holds_alternative<std::string>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_int_set() const {
+    return std::holds_alternative<std::vector<int64_t>>(data_);
+  }
+
+  Result<int64_t> AsInt() const;
+  Result<std::string> AsText() const;
+  Result<bool> AsBool() const;
+  Result<std::vector<int64_t>> AsIntSet() const;
+
+  /// True when this value is assignable to a column of \p type
+  /// (NULL is assignable to anything; int covers int and bigint).
+  bool MatchesType(DataType type) const;
+
+  /// Total ordering across values of the same kind (NULL sorts first); used
+  /// by ordered indexes. Comparing values of different kinds orders by kind.
+  bool operator<(const Value& other) const { return data_ < other.data_; }
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Renders as a CQL literal: 7, 'text' (quotes doubled), true, {1,2}.
+  std::string ToCqlLiteral() const;
+
+  /// Renders for result display (no quotes on text).
+  std::string ToDisplayString() const;
+
+  /// Binary encoding: 1 tag byte + payload. Inverse of DecodeValue.
+  void EncodeTo(ByteWriter* writer) const;
+  static Result<Value> DecodeFrom(ByteReader* reader);
+
+  /// Serialized size in bytes (matches EncodeTo output length).
+  size_t EncodedSize() const;
+
+  /// Hash for hash-index buckets.
+  uint64_t Hash() const;
+
+ private:
+  using Storage = std::variant<std::monostate, bool, int64_t, std::string,
+                               std::vector<int64_t>>;
+  explicit Value(Storage data) : data_(std::move(data)) {}
+
+  Storage data_;
+};
+
+/// \brief Hash functor routing Values into unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& value) const {
+    return static_cast<size_t>(value.Hash());
+  }
+};
+
+}  // namespace scdwarf
+
+#endif  // SCDWARF_COMMON_VALUE_H_

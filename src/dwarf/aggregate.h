@@ -1,0 +1,74 @@
+/// \file aggregate.h
+/// \brief Aggregation functions applied when DWARF coalesces measures.
+/// DWARF requires the aggregate to be distributive; SUM/COUNT/MIN/MAX are.
+
+#ifndef SCDWARF_DWARF_AGGREGATE_H_
+#define SCDWARF_DWARF_AGGREGATE_H_
+
+#include <algorithm>
+#include <limits>
+#include <string_view>
+
+#include "common/result.h"
+#include "dwarf/tuple.h"
+
+namespace scdwarf::dwarf {
+
+enum class AggFn { kSum, kCount, kMin, kMax };
+
+inline const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum: return "SUM";
+    case AggFn::kCount: return "COUNT";
+    case AggFn::kMin: return "MIN";
+    case AggFn::kMax: return "MAX";
+  }
+  return "?";
+}
+
+/// \brief Inverse of AggFnName; used when rebuilding cubes from a store.
+inline Result<AggFn> ParseAggFn(std::string_view name) {
+  if (name == "SUM") return AggFn::kSum;
+  if (name == "COUNT") return AggFn::kCount;
+  if (name == "MIN") return AggFn::kMin;
+  if (name == "MAX") return AggFn::kMax;
+  return Status::ParseError("unknown aggregate '" + std::string(name) + "'");
+}
+
+/// \brief Identity element: combining it with any x yields x.
+inline Measure AggIdentity(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum:
+    case AggFn::kCount:
+      return 0;
+    case AggFn::kMin:
+      return std::numeric_limits<Measure>::max();
+    case AggFn::kMax:
+      return std::numeric_limits<Measure>::min();
+  }
+  return 0;
+}
+
+/// \brief Combines two already-aggregated values.
+inline Measure AggCombine(AggFn fn, Measure a, Measure b) {
+  switch (fn) {
+    case AggFn::kSum:
+    case AggFn::kCount:
+      return a + b;
+    case AggFn::kMin:
+      return std::min(a, b);
+    case AggFn::kMax:
+      return std::max(a, b);
+  }
+  return a;
+}
+
+/// \brief Maps a raw tuple measure to its leaf contribution
+/// (COUNT counts tuples regardless of the measure value).
+inline Measure AggLeafValue(AggFn fn, Measure raw) {
+  return fn == AggFn::kCount ? 1 : raw;
+}
+
+}  // namespace scdwarf::dwarf
+
+#endif  // SCDWARF_DWARF_AGGREGATE_H_

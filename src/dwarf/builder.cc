@@ -1,0 +1,308 @@
+#include "dwarf/builder.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace scdwarf::dwarf {
+
+namespace {
+
+/// Hash functor for merge memoization keys (sorted multisets of NodeId).
+struct NodeListHash {
+  size_t operator()(const std::vector<NodeId>& ids) const {
+    uint64_t h = 0x9ae16a3b2f90404fULL;
+    for (NodeId id : ids) h = HashCombine(h, id);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+/// \brief Stateful construction pass over the sorted, deduplicated tuples.
+class DwarfBuilder::Impl {
+ public:
+  Impl(const CubeSchema& schema, const BuilderOptions& options)
+      : schema_(schema),
+        options_(options),
+        num_dims_(schema.num_dimensions()),
+        agg_(schema.agg()) {}
+
+  Result<NodeId> Run(const std::vector<Tuple>& tuples,
+                     std::vector<DwarfNode>* nodes) {
+    nodes_ = nodes;
+    if (tuples.empty()) return kNullNode;
+
+    open_.assign(num_dims_, {});
+    // Seed the path for the first tuple.
+    for (size_t level = 0; level < num_dims_; ++level) {
+      open_[level].push_back(MakeCell(tuples[0], level));
+    }
+
+    for (size_t i = 1; i < tuples.size(); ++i) {
+      const Tuple& tuple = tuples[i];
+      const Tuple& prev = tuples[i - 1];
+      size_t diverge = 0;
+      while (tuple.keys[diverge] == prev.keys[diverge]) ++diverge;
+      // Close every open node strictly below the divergence level,
+      // bottom-up, wiring each closed node into its parent's pending cell.
+      for (size_t level = num_dims_ - 1; level > diverge; --level) {
+        NodeId closed = CloseOpenNode(level);
+        open_[level - 1].back().child = closed;
+        open_[level].clear();
+      }
+      // Extend the divergence node and reopen the path below it.
+      open_[diverge].push_back(MakeCell(tuple, diverge));
+      for (size_t level = diverge + 1; level < num_dims_; ++level) {
+        open_[level].push_back(MakeCell(tuple, level));
+      }
+    }
+
+    // Final close up to the root.
+    for (size_t level = num_dims_ - 1; level > 0; --level) {
+      NodeId closed = CloseOpenNode(level);
+      open_[level - 1].back().child = closed;
+    }
+    return CloseOpenNode(0);
+  }
+
+ private:
+  DwarfCell MakeCell(const Tuple& tuple, size_t level) const {
+    DwarfCell cell;
+    cell.key = tuple.keys[level];
+    if (level + 1 == num_dims_) {
+      cell.measure = tuple.measure;
+    }
+    return cell;
+  }
+
+  bool IsLeafLevel(size_t level) const { return level + 1 == num_dims_; }
+
+  /// Finalizes the open node at \p level: computes its ALL cell and commits
+  /// it to the arena.
+  NodeId CloseOpenNode(size_t level) {
+    DwarfNode node;
+    node.level = static_cast<uint16_t>(level);
+    node.cells = std::move(open_[level]);
+    open_[level].clear();
+    FinalizeAll(&node);
+    return Commit(std::move(node));
+  }
+
+  /// Computes the ALL cell of \p node from its (already closed) children.
+  void FinalizeAll(DwarfNode* node) {
+    if (IsLeafLevel(node->level)) {
+      Measure all = AggIdentity(agg_);
+      for (const DwarfCell& cell : node->cells) {
+        all = AggCombine(agg_, all, cell.measure);
+      }
+      node->all_measure = all;
+      return;
+    }
+    std::vector<NodeId> children;
+    children.reserve(node->cells.size());
+    for (const DwarfCell& cell : node->cells) children.push_back(cell.child);
+    node->all_child = SuffixCoalesce(std::move(children), node->level + 1);
+    node->all_coalesced =
+        options_.enable_suffix_coalescing && node->cells.size() == 1;
+  }
+
+  NodeId Commit(DwarfNode node) {
+    NodeId id = static_cast<NodeId>(nodes_->size());
+    nodes_->push_back(std::move(node));
+    return id;
+  }
+
+  /// Merges the sub-dwarfs rooted at \p inputs (all at \p level) into the
+  /// aggregate sub-dwarf, sharing structure where possible.
+  ///
+  /// Duplicate input ids are intentional and must be aggregated once per
+  /// occurrence: two cells whose subtrees coalesced both contribute.
+  NodeId SuffixCoalesce(std::vector<NodeId> inputs, size_t level) {
+    SCD_CHECK(!inputs.empty());
+    if (options_.enable_suffix_coalescing && inputs.size() == 1) {
+      return inputs[0];  // Share the existing sub-dwarf.
+    }
+    if (!options_.enable_suffix_coalescing && inputs.size() == 1) {
+      return CopySubtree(inputs[0]);
+    }
+
+    std::vector<NodeId> memo_key;
+    bool use_memo =
+        options_.enable_suffix_coalescing && options_.enable_merge_memoization;
+    if (use_memo) {
+      memo_key = inputs;
+      std::sort(memo_key.begin(), memo_key.end());
+      auto it = merge_memo_.find(memo_key);
+      if (it != merge_memo_.end()) return it->second;
+    }
+
+    // Gather all input cells and sort by key; equal keys group together.
+    struct Entry {
+      DimKey key;
+      NodeId child;
+      Measure measure;
+    };
+    std::vector<Entry> entries;
+    for (NodeId input : inputs) {
+      const DwarfNode& in = (*nodes_)[input];
+      for (const DwarfCell& cell : in.cells) {
+        entries.push_back({cell.key, cell.child, cell.measure});
+      }
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) { return a.key < b.key; });
+
+    DwarfNode merged;
+    merged.level = static_cast<uint16_t>(level);
+    bool leaf = IsLeafLevel(level);
+    size_t i = 0;
+    while (i < entries.size()) {
+      size_t j = i;
+      while (j < entries.size() && entries[j].key == entries[i].key) ++j;
+      DwarfCell cell;
+      cell.key = entries[i].key;
+      if (leaf) {
+        Measure value = AggIdentity(agg_);
+        for (size_t k = i; k < j; ++k) {
+          value = AggCombine(agg_, value, entries[k].measure);
+        }
+        cell.measure = value;
+      } else {
+        std::vector<NodeId> group;
+        group.reserve(j - i);
+        for (size_t k = i; k < j; ++k) group.push_back(entries[k].child);
+        cell.child = SuffixCoalesce(std::move(group), level + 1);
+      }
+      merged.cells.push_back(cell);
+      i = j;
+    }
+    FinalizeAll(&merged);
+    NodeId id = Commit(std::move(merged));
+    if (use_memo) merge_memo_.emplace(std::move(memo_key), id);
+    return id;
+  }
+
+  /// Deep-copies a sub-dwarf (suffix-coalescing ablation only).
+  NodeId CopySubtree(NodeId source) {
+    // Copy the source node by value first: recursive Commit() calls may
+    // reallocate the arena and invalidate any reference into it.
+    DwarfNode copy = (*nodes_)[source];
+    copy.all_coalesced = false;
+    if (!IsLeafLevel(copy.level)) {
+      for (DwarfCell& cell : copy.cells) {
+        cell.child = CopySubtree(cell.child);
+      }
+      copy.all_child = CopySubtree(copy.all_child);
+    }
+    return Commit(std::move(copy));
+  }
+
+  const CubeSchema& schema_;
+  const BuilderOptions& options_;
+  size_t num_dims_;
+  AggFn agg_;
+  std::vector<DwarfNode>* nodes_ = nullptr;
+  std::vector<std::vector<DwarfCell>> open_;
+  std::unordered_map<std::vector<NodeId>, NodeId, NodeListHash> merge_memo_;
+};
+
+DwarfBuilder::DwarfBuilder(CubeSchema schema, BuilderOptions options)
+    : schema_(std::move(schema)), options_(options) {
+  dictionaries_.reserve(schema_.num_dimensions());
+  for (const DimensionSpec& dim : schema_.dimensions()) {
+    dictionaries_.emplace_back(dim.name);
+  }
+}
+
+Status DwarfBuilder::AddTuple(const std::vector<std::string>& keys,
+                              Measure measure) {
+  if (keys.size() != schema_.num_dimensions()) {
+    return Status::InvalidArgument(
+        "tuple has " + std::to_string(keys.size()) + " keys, schema has " +
+        std::to_string(schema_.num_dimensions()) + " dimensions");
+  }
+  Tuple tuple;
+  tuple.keys.reserve(keys.size());
+  for (size_t dim = 0; dim < keys.size(); ++dim) {
+    tuple.keys.push_back(dictionaries_[dim].Encode(keys[dim]));
+  }
+  tuple.measure = AggLeafValue(schema_.agg(), measure);
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Status DwarfBuilder::AddAggregatedTuple(const std::vector<std::string>& keys,
+                                        Measure measure) {
+  if (keys.size() != schema_.num_dimensions()) {
+    return Status::InvalidArgument(
+        "tuple has " + std::to_string(keys.size()) + " keys, schema has " +
+        std::to_string(schema_.num_dimensions()) + " dimensions");
+  }
+  Tuple tuple;
+  tuple.keys.reserve(keys.size());
+  for (size_t dim = 0; dim < keys.size(); ++dim) {
+    tuple.keys.push_back(dictionaries_[dim].Encode(keys[dim]));
+  }
+  tuple.measure = measure;  // no AggLeafValue: already aggregated
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Status DwarfBuilder::AddEncodedTuple(Tuple tuple) {
+  if (tuple.keys.size() != schema_.num_dimensions()) {
+    return Status::InvalidArgument("encoded tuple arity mismatch");
+  }
+  for (size_t dim = 0; dim < tuple.keys.size(); ++dim) {
+    if (tuple.keys[dim] >= dictionaries_[dim].size()) {
+      return Status::InvalidArgument(
+          "encoded key " + std::to_string(tuple.keys[dim]) +
+          " not present in dictionary for dimension " + std::to_string(dim));
+    }
+  }
+  tuple.measure = AggLeafValue(schema_.agg(), tuple.measure);
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Result<DimKey> DwarfBuilder::EncodeKey(size_t dim, std::string_view value) {
+  if (dim >= dictionaries_.size()) {
+    return Status::OutOfRange("no dimension " + std::to_string(dim));
+  }
+  return dictionaries_[dim].Encode(value);
+}
+
+Result<DwarfCube> DwarfBuilder::Build() && {
+  SCD_RETURN_IF_ERROR(schema_.Validate());
+
+  uint64_t source_count = tuples_.size();
+  std::sort(tuples_.begin(), tuples_.end(), TupleKeyLess);
+  // Merge duplicate key combinations through the aggregate.
+  size_t write = 0;
+  for (size_t read = 0; read < tuples_.size(); ++read) {
+    if (write > 0 && TupleKeysEqual(tuples_[write - 1], tuples_[read])) {
+      tuples_[write - 1].measure = AggCombine(
+          schema_.agg(), tuples_[write - 1].measure, tuples_[read].measure);
+    } else {
+      if (write != read) tuples_[write] = std::move(tuples_[read]);
+      ++write;
+    }
+  }
+  tuples_.resize(write);
+
+  DwarfCube cube;
+  cube.schema_ = schema_;
+  cube.dictionaries_ = std::move(dictionaries_);
+  Impl impl(schema_, options_);
+  SCD_ASSIGN_OR_RETURN(cube.root_, impl.Run(tuples_, &cube.nodes_));
+  cube.stats_.tuple_count = write;
+  cube.stats_.source_tuple_count = source_count;
+  CubeStats stats = cube.ComputeStats();
+  stats.tuple_count = write;
+  stats.source_tuple_count = source_count;
+  cube.stats_ = stats;
+  return cube;
+}
+
+}  // namespace scdwarf::dwarf

@@ -1,0 +1,85 @@
+/// \file builder.h
+/// \brief Single-pass DWARF construction (Sismanis et al., SIGMOD 2002).
+///
+/// The builder sorts the input tuples lexicographically on their dimension
+/// keys, merges duplicate key combinations through the schema's aggregate,
+/// and then constructs the cube in one sweep:
+///
+///  * **Prefix expansion** — consecutive tuples share node paths for their
+///    common key prefix, so each distinct prefix is stored once.
+///  * **Suffix coalescing** — when a closing node's ALL sub-dwarf would be
+///    identical to an existing sub-dwarf (single-cell nodes, or repeated
+///    merges), the ALL pointer aliases it instead of copying.
+///
+/// Both optimizations can be disabled individually for the ablation benches.
+
+#ifndef SCDWARF_DWARF_BUILDER_H_
+#define SCDWARF_DWARF_BUILDER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "dwarf/dwarf_cube.h"
+
+namespace scdwarf::dwarf {
+
+/// \brief Construction options (defaults reproduce the paper's DWARF).
+struct BuilderOptions {
+  /// Share the ALL sub-dwarf of single-cell nodes and memoize repeated
+  /// merges. Disabling this materializes every aggregate sub-dwarf
+  /// separately (the "full cube" ablation) — exponentially larger.
+  bool enable_suffix_coalescing = true;
+
+  /// Memoize SuffixCoalesce merges by input node set. Only meaningful while
+  /// suffix coalescing is enabled.
+  bool enable_merge_memoization = true;
+};
+
+/// \brief Builds immutable DwarfCube instances.
+///
+/// Typical usage:
+/// \code
+///   DwarfBuilder builder(schema);
+///   for (...) builder.AddTuple({"Ireland", "Dublin", "Fenian St"}, 3);
+///   SCD_ASSIGN_OR_RETURN(DwarfCube cube, std::move(builder).Build());
+/// \endcode
+class DwarfBuilder {
+ public:
+  explicit DwarfBuilder(CubeSchema schema, BuilderOptions options = {});
+
+  /// Adds a tuple given decoded string keys (encoded through the builder's
+  /// dictionaries). Returns InvalidArgument when the arity mismatches.
+  Status AddTuple(const std::vector<std::string>& keys, Measure measure);
+
+  /// Adds a pre-encoded tuple. Keys must come from the builder's
+  /// dictionaries (EncodeKey).
+  Status AddEncodedTuple(Tuple tuple);
+
+  /// Adds a tuple whose measure is already aggregated, bypassing the leaf
+  /// mapping (COUNT would otherwise re-count it as one tuple). Used by the
+  /// cube-update path to re-feed a cube's base tuples.
+  Status AddAggregatedTuple(const std::vector<std::string>& keys,
+                            Measure measure);
+
+  /// Encodes a single key through dimension \p dim's dictionary.
+  Result<DimKey> EncodeKey(size_t dim, std::string_view value);
+
+  /// Number of raw tuples added so far.
+  size_t num_tuples() const { return tuples_.size(); }
+
+  /// Consumes the builder and constructs the cube.
+  Result<DwarfCube> Build() &&;
+
+ private:
+  class Impl;
+
+  CubeSchema schema_;
+  BuilderOptions options_;
+  std::vector<Dictionary> dictionaries_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace scdwarf::dwarf
+
+#endif  // SCDWARF_DWARF_BUILDER_H_

@@ -1,0 +1,70 @@
+/// \file dictionary.h
+/// \brief Per-dimension dictionary encoding between feed strings (station
+/// names, weekdays, ...) and the dense DimKey ids the cube operates on.
+/// The NoSQL mapping stores the decoded string in DWARF_Cell.key (Fig. 3),
+/// so dictionaries are retained by the cube for bidirectional mapping.
+
+#ifndef SCDWARF_DWARF_DICTIONARY_H_
+#define SCDWARF_DWARF_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "dwarf/tuple.h"
+
+namespace scdwarf::dwarf {
+
+/// \brief Append-only string dictionary assigning ids in first-seen order.
+class Dictionary {
+ public:
+  Dictionary() = default;
+  explicit Dictionary(std::string name) : name_(std::move(name)) {}
+
+  /// Returns the id for \p value, inserting it if new.
+  DimKey Encode(std::string_view value) {
+    auto it = index_.find(std::string(value));
+    if (it != index_.end()) return it->second;
+    DimKey id = static_cast<DimKey>(values_.size());
+    values_.emplace_back(value);
+    index_.emplace(values_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for \p value or NotFound without inserting.
+  Result<DimKey> Lookup(std::string_view value) const {
+    auto it = index_.find(std::string(value));
+    if (it == index_.end()) {
+      return Status::NotFound("value '" + std::string(value) +
+                              "' not in dictionary '" + name_ + "'");
+    }
+    return it->second;
+  }
+
+  /// Returns the string for \p id or OutOfRange.
+  Result<std::string> Decode(DimKey id) const {
+    if (id >= values_.size()) {
+      return Status::OutOfRange("dictionary '" + name_ + "' has no id " +
+                                std::to_string(id));
+    }
+    return values_[id];
+  }
+
+  /// Unchecked decode for hot paths; id must be < size().
+  const std::string& DecodeUnchecked(DimKey id) const { return values_[id]; }
+
+  size_t size() const { return values_.size(); }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::string name_;
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, DimKey> index_;
+};
+
+}  // namespace scdwarf::dwarf
+
+#endif  // SCDWARF_DWARF_DICTIONARY_H_

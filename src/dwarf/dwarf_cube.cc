@@ -1,0 +1,175 @@
+#include "dwarf/dwarf_cube.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace scdwarf::dwarf {
+
+const DwarfCell* DwarfNode::FindCell(DimKey key) const {
+  auto it = std::lower_bound(
+      cells.begin(), cells.end(), key,
+      [](const DwarfCell& cell, DimKey k) { return cell.key < k; });
+  if (it == cells.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+CubeStats DwarfCube::ComputeStats() const {
+  CubeStats stats;
+  stats.tuple_count = stats_.tuple_count;
+  stats.source_tuple_count = stats_.source_tuple_count;
+  stats.node_count = nodes_.size();
+  for (const DwarfNode& node : nodes_) {
+    stats.cell_count += node.cells.size();
+    if (node.all_coalesced) ++stats.coalesced_all_count;
+    stats.approx_bytes += sizeof(DwarfNode) + node.cells.size() * sizeof(DwarfCell);
+  }
+  return stats;
+}
+
+namespace {
+
+void DebugPrint(const DwarfCube& cube, NodeId id, int indent,
+                std::ostringstream* out) {
+  const DwarfNode& node = cube.node(id);
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  bool leaf = cube.IsLeafLevel(node.level);
+  *out << pad << "node#" << id << " ["
+       << cube.schema().dimensions()[node.level].name << "]\n";
+  for (const DwarfCell& cell : node.cells) {
+    std::string label =
+        cube.dictionary(node.level).Decode(cell.key).ValueOr("<id " +
+                                                             std::to_string(cell.key) + ">");
+    if (leaf) {
+      *out << pad << "  " << label << " = " << cell.measure << "\n";
+    } else {
+      *out << pad << "  " << label << " ->\n";
+      DebugPrint(cube, cell.child, indent + 2, out);
+    }
+  }
+  if (leaf) {
+    *out << pad << "  ALL = " << node.all_measure << "\n";
+  } else if (node.all_coalesced) {
+    *out << pad << "  ALL -> node#" << node.all_child << " (coalesced)\n";
+  } else {
+    *out << pad << "  ALL ->\n";
+    DebugPrint(cube, node.all_child, indent + 2, out);
+  }
+}
+
+/// Recursively compares the subtrees rooted at `a_id` / `b_id`.
+bool SubtreeEquals(const DwarfCube& a, NodeId a_id, const DwarfCube& b,
+                   NodeId b_id) {
+  const DwarfNode& na = a.node(a_id);
+  const DwarfNode& nb = b.node(b_id);
+  if (na.level != nb.level) return false;
+  if (na.cells.size() != nb.cells.size()) return false;
+  bool leaf = a.IsLeafLevel(na.level);
+  // Compare by decoded label, not raw id: two cubes may have assigned
+  // dictionary ids in different orders, which also changes cell sort order.
+  auto label_order = [](const DwarfCube& cube, const DwarfNode& node) {
+    std::vector<std::pair<std::string, const DwarfCell*>> ordered;
+    ordered.reserve(node.cells.size());
+    for (const DwarfCell& cell : node.cells) {
+      ordered.emplace_back(
+          cube.dictionary(node.level).Decode(cell.key).ValueOr(""), &cell);
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    return ordered;
+  };
+  auto oa = label_order(a, na);
+  auto ob = label_order(b, nb);
+  for (size_t i = 0; i < oa.size(); ++i) {
+    if (oa[i].first != ob[i].first) return false;
+    if (leaf) {
+      if (oa[i].second->measure != ob[i].second->measure) return false;
+    } else if (!SubtreeEquals(a, oa[i].second->child, b, ob[i].second->child)) {
+      return false;
+    }
+  }
+  if (leaf) {
+    return na.all_measure == nb.all_measure;
+  }
+  return SubtreeEquals(a, na.all_child, b, nb.all_child);
+}
+
+}  // namespace
+
+std::string DwarfCube::ToDebugString() const {
+  std::ostringstream out;
+  if (empty()) {
+    out << "(empty cube)\n";
+    return out.str();
+  }
+  DebugPrint(*this, root_, 0, &out);
+  return out.str();
+}
+
+bool DwarfCube::StructurallyEquals(const DwarfCube& other) const {
+  if (num_dimensions() != other.num_dimensions()) return false;
+  if (empty() != other.empty()) return false;
+  if (empty()) return true;
+  return SubtreeEquals(*this, root_, other, other.root_);
+}
+
+NodeId CubeAssembler::AddNode(DwarfNode node) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+Result<DwarfCube> CubeAssembler::Finish() {
+  SCD_RETURN_IF_ERROR(schema_.Validate());
+  if (dictionaries_.size() != schema_.num_dimensions()) {
+    return Status::InvalidArgument(
+        "assembler needs one dictionary per dimension");
+  }
+  size_t num_dims = schema_.num_dimensions();
+  if (root_ == kNullNode && !nodes_.empty()) {
+    return Status::InvalidArgument("nodes added but no root set");
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const DwarfNode& node = nodes_[i];
+    if (node.level >= num_dims) {
+      return Status::InvalidArgument("node " + std::to_string(i) +
+                                     " has invalid level " +
+                                     std::to_string(node.level));
+    }
+    bool leaf = static_cast<size_t>(node.level) + 1 == num_dims;
+    for (const DwarfCell& cell : node.cells) {
+      if (!leaf) {
+        if (cell.child >= nodes_.size()) {
+          return Status::InvalidArgument("node " + std::to_string(i) +
+                                         " has dangling child reference");
+        }
+        if (nodes_[cell.child].level != node.level + 1) {
+          return Status::InvalidArgument(
+              "node " + std::to_string(i) + " child level mismatch");
+        }
+      }
+    }
+    if (!leaf) {
+      if (node.all_child >= nodes_.size()) {
+        return Status::InvalidArgument("node " + std::to_string(i) +
+                                       " has dangling ALL reference");
+      }
+    }
+    for (size_t c = 1; c < node.cells.size(); ++c) {
+      if (node.cells[c - 1].key >= node.cells[c].key) {
+        return Status::InvalidArgument("node " + std::to_string(i) +
+                                       " cells are not strictly sorted");
+      }
+    }
+  }
+  DwarfCube cube;
+  cube.schema_ = std::move(schema_);
+  cube.dictionaries_ = std::move(dictionaries_);
+  cube.nodes_ = std::move(nodes_);
+  cube.root_ = root_;
+  cube.stats_ = cube.ComputeStats();
+  return cube;
+}
+
+}  // namespace scdwarf::dwarf

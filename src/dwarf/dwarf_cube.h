@@ -1,0 +1,145 @@
+/// \file dwarf_cube.h
+/// \brief The in-memory DWARF cube: an arena of nodes, each holding sorted
+/// cells, plus per-node ALL aggregates with suffix coalescing (shared
+/// subtrees). See Sismanis et al., SIGMOD 2002, and Fig. 2 of the paper.
+///
+/// Layout notes: nodes live in one contiguous arena indexed by NodeId so that
+/// traversal, the visited lookup table used by the NoSQL mapper, and
+/// serialization are all O(1) per node with no pointer chasing through the
+/// heap. A cell is 16 bytes; a leaf cell stores its measure in place of the
+/// child id.
+
+#ifndef SCDWARF_DWARF_DWARF_CUBE_H_
+#define SCDWARF_DWARF_DWARF_CUBE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dwarf/cube_schema.h"
+#include "dwarf/dictionary.h"
+#include "dwarf/tuple.h"
+
+namespace scdwarf::dwarf {
+
+/// Index of a node in the cube's arena.
+using NodeId = uint32_t;
+constexpr NodeId kNullNode = static_cast<NodeId>(-1);
+
+/// \brief One cell of a DWARF node: a dimension key plus either a pointer to
+/// the node at the next level (interior) or the aggregated measure (leaf).
+struct DwarfCell {
+  DimKey key = 0;
+  NodeId child = kNullNode;  ///< valid for interior cells only
+  Measure measure = 0;       ///< valid for leaf cells only
+};
+
+/// \brief One DWARF node: sorted cells plus the ALL cell.
+///
+/// The ALL cell holds the aggregate over every cell of the node. For interior
+/// nodes it points at the aggregate sub-dwarf (`all_child`); when the node has
+/// a single cell that pointer is *suffix-coalesced*: it aliases the cell's own
+/// child and `all_coalesced` is set. For leaf nodes the ALL cell carries
+/// `all_measure` directly.
+struct DwarfNode {
+  std::vector<DwarfCell> cells;      ///< sorted by key, ascending
+  NodeId all_child = kNullNode;      ///< interior nodes
+  Measure all_measure = 0;           ///< leaf nodes
+  uint16_t level = 0;                ///< 0-based dimension index
+  bool all_coalesced = false;        ///< ALL pointer aliases a cell subtree
+
+  /// Binary search for \p key; nullptr when absent.
+  const DwarfCell* FindCell(DimKey key) const;
+};
+
+/// \brief Aggregate statistics about a cube's physical structure.
+struct CubeStats {
+  uint64_t node_count = 0;
+  uint64_t cell_count = 0;        ///< regular cells, excluding ALL cells
+  uint64_t coalesced_all_count = 0;
+  uint64_t tuple_count = 0;       ///< distinct input tuples
+  uint64_t source_tuple_count = 0;  ///< raw tuples before duplicate merging
+  /// Approximate in-memory bytes (arena + cell payloads).
+  uint64_t approx_bytes = 0;
+};
+
+/// \brief An immutable DWARF cube. Build one with DwarfBuilder; query with
+/// the functions in query.h; persist with the mappers in src/mapper.
+class DwarfCube {
+ public:
+  DwarfCube() = default;
+
+  const CubeSchema& schema() const { return schema_; }
+  size_t num_dimensions() const { return schema_.num_dimensions(); }
+  AggFn agg() const { return schema_.agg(); }
+
+  NodeId root() const { return root_; }
+  bool empty() const { return root_ == kNullNode; }
+
+  const DwarfNode& node(NodeId id) const { return nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// True when \p level is the bottom (measure-carrying) level.
+  bool IsLeafLevel(uint16_t level) const {
+    return static_cast<size_t>(level) + 1 == num_dimensions();
+  }
+
+  /// Dictionary for dimension \p dim (decodes DimKey ids back to strings).
+  const Dictionary& dictionary(size_t dim) const { return dictionaries_[dim]; }
+  const std::vector<Dictionary>& dictionaries() const { return dictionaries_; }
+
+  const CubeStats& stats() const { return stats_; }
+
+  /// \brief Recomputes structural statistics by walking the arena.
+  /// (Counts every node exactly once even though coalesced subtrees are
+  /// reachable through several parents.)
+  CubeStats ComputeStats() const;
+
+  /// \brief Renders the cube as an indented tree for debugging and the
+  /// quickstart example (mirrors Fig. 2). Intended for small cubes.
+  std::string ToDebugString() const;
+
+  /// \brief Structural equality: same schema shape, same tree contents.
+  /// Used to verify that a cube rebuilt from a store round-trips.
+  /// Compares the logical structure (keys, measures, ALL aggregates)
+  /// independent of arena numbering.
+  bool StructurallyEquals(const DwarfCube& other) const;
+
+ private:
+  friend class DwarfBuilder;
+  friend class CubeAssembler;
+
+  CubeSchema schema_;
+  std::vector<DwarfNode> nodes_;
+  std::vector<Dictionary> dictionaries_;
+  NodeId root_ = kNullNode;
+  CubeStats stats_;
+};
+
+/// \brief Low-level assembler used by the store mappers to rebuild a cube
+/// from persisted nodes/cells. Performs validation on Finish().
+class CubeAssembler {
+ public:
+  explicit CubeAssembler(CubeSchema schema, std::vector<Dictionary> dictionaries)
+      : schema_(std::move(schema)), dictionaries_(std::move(dictionaries)) {}
+
+  /// Appends a node and returns its id.
+  NodeId AddNode(DwarfNode node);
+
+  void SetRoot(NodeId root) { root_ = root; }
+
+  /// Validates child references and level consistency, computes stats and
+  /// produces the cube.
+  Result<DwarfCube> Finish();
+
+ private:
+  CubeSchema schema_;
+  std::vector<Dictionary> dictionaries_;
+  std::vector<DwarfNode> nodes_;
+  NodeId root_ = kNullNode;
+};
+
+}  // namespace scdwarf::dwarf
+
+#endif  // SCDWARF_DWARF_DWARF_CUBE_H_

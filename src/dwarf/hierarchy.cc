@@ -1,0 +1,230 @@
+#include "dwarf/hierarchy.h"
+
+#include <algorithm>
+#include <set>
+
+#include "dwarf/update.h"
+
+namespace scdwarf::dwarf {
+
+Result<Hierarchy> Hierarchy::Create(std::string name,
+                                    std::vector<std::string> level_names) {
+  if (level_names.size() < 2) {
+    return Status::InvalidArgument(
+        "a hierarchy needs at least two levels, got " +
+        std::to_string(level_names.size()));
+  }
+  for (size_t i = 0; i < level_names.size(); ++i) {
+    if (level_names[i].empty()) {
+      return Status::InvalidArgument("empty hierarchy level name");
+    }
+    for (size_t j = i + 1; j < level_names.size(); ++j) {
+      if (level_names[i] == level_names[j]) {
+        return Status::InvalidArgument("duplicate hierarchy level '" +
+                                       level_names[i] + "'");
+      }
+    }
+  }
+  Hierarchy hierarchy;
+  hierarchy.name_ = std::move(name);
+  hierarchy.parents_.resize(level_names.size() - 1);
+  hierarchy.level_names_ = std::move(level_names);
+  return hierarchy;
+}
+
+Status Hierarchy::AddEdge(size_t child_level, const std::string& child,
+                          const std::string& parent) {
+  if (child_level == 0 || child_level >= level_names_.size()) {
+    return Status::OutOfRange("child level " + std::to_string(child_level) +
+                              " out of range for hierarchy '" + name_ + "'");
+  }
+  auto [it, inserted] = parents_[child_level - 1].emplace(child, parent);
+  if (!inserted && it->second != parent) {
+    return Status::InvalidArgument("member '" + child + "' at level '" +
+                                   level_names_[child_level] +
+                                   "' already has parent '" + it->second +
+                                   "'");
+  }
+  return Status::OK();
+}
+
+Result<size_t> Hierarchy::LevelIndex(const std::string& level_name) const {
+  for (size_t i = 0; i < level_names_.size(); ++i) {
+    if (level_names_[i] == level_name) return i;
+  }
+  return Status::NotFound("hierarchy '" + name_ + "' has no level '" +
+                          level_name + "'");
+}
+
+Result<std::string> Hierarchy::ParentOf(size_t level,
+                                        const std::string& member) const {
+  if (level == 0) {
+    return Status::OutOfRange("level-0 members of '" + name_ +
+                              "' have no parent");
+  }
+  if (level >= level_names_.size()) {
+    return Status::OutOfRange("no level " + std::to_string(level) +
+                              " in hierarchy '" + name_ + "'");
+  }
+  auto it = parents_[level - 1].find(member);
+  if (it == parents_[level - 1].end()) {
+    return Status::NotFound("member '" + member + "' unknown at level '" +
+                            level_names_[level] + "'");
+  }
+  return it->second;
+}
+
+Result<std::string> Hierarchy::AncestorOf(size_t level,
+                                          const std::string& member,
+                                          size_t ancestor_level) const {
+  if (ancestor_level > level) {
+    return Status::InvalidArgument("ancestor level must be above the member");
+  }
+  std::string current = member;
+  for (size_t l = level; l > ancestor_level; --l) {
+    SCD_ASSIGN_OR_RETURN(current, ParentOf(l, current));
+  }
+  return current;
+}
+
+std::vector<std::string> Hierarchy::ChildrenOf(size_t level,
+                                               const std::string& member) const {
+  std::vector<std::string> children;
+  if (level + 1 < level_names_.size()) {
+    for (const auto& [child, parent] : parents_[level]) {
+      if (parent == member) children.push_back(child);
+    }
+  }
+  std::sort(children.begin(), children.end());
+  return children;
+}
+
+std::vector<std::string> Hierarchy::LeafDescendantsOf(
+    size_t level, const std::string& member) const {
+  if (level + 1 == level_names_.size()) return {member};
+  std::vector<std::string> leaves;
+  for (const std::string& child : ChildrenOf(level, member)) {
+    std::vector<std::string> sub = LeafDescendantsOf(level + 1, child);
+    leaves.insert(leaves.end(), sub.begin(), sub.end());
+  }
+  return leaves;
+}
+
+std::vector<std::string> Hierarchy::MembersAt(size_t level) const {
+  std::set<std::string> members;
+  // Parents referenced by level+1 members.
+  if (level < parents_.size()) {
+    for (const auto& [child, parent] : parents_[level]) members.insert(parent);
+  }
+  // Children declared at this level.
+  if (level >= 1) {
+    for (const auto& [child, parent] : parents_[level - 1]) {
+      members.insert(child);
+    }
+  }
+  return {members.begin(), members.end()};
+}
+
+Status Hierarchy::ValidateCovers(const Dictionary& dictionary) const {
+  size_t leaf_level = level_names_.size() - 1;
+  for (DimKey id = 0; id < dictionary.size(); ++id) {
+    const std::string& member = dictionary.DecodeUnchecked(id);
+    auto ancestor = AncestorOf(leaf_level, member, 0);
+    if (!ancestor.ok()) {
+      return Status::FailedPrecondition(
+          "hierarchy '" + name_ + "' does not cover dimension value '" +
+          member + "': " + ancestor.status().message());
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Encodes the leaf descendants of a member into cube dimension keys;
+/// values absent from the cube are skipped (no data under them).
+Result<DimPredicate> DescendantPredicate(const DwarfCube& cube, size_t dim,
+                                         const Hierarchy& hierarchy,
+                                         size_t member_level,
+                                         const std::string& member) {
+  if (dim >= cube.num_dimensions()) {
+    return Status::OutOfRange("dimension index out of range");
+  }
+  if (member_level >= hierarchy.num_levels()) {
+    return Status::OutOfRange("hierarchy level out of range");
+  }
+  std::vector<DimKey> keys;
+  for (const std::string& leaf :
+       hierarchy.LeafDescendantsOf(member_level, member)) {
+    auto key = cube.dictionary(dim).Lookup(leaf);
+    if (key.ok()) keys.push_back(*key);
+  }
+  return DimPredicate::Set(std::move(keys));
+}
+
+}  // namespace
+
+Result<Measure> HierarchicalQuery(const DwarfCube& cube, size_t dim,
+                                  const Hierarchy& hierarchy,
+                                  size_t member_level,
+                                  const std::string& member) {
+  SCD_ASSIGN_OR_RETURN(
+      DimPredicate predicate,
+      DescendantPredicate(cube, dim, hierarchy, member_level, member));
+  std::vector<DimPredicate> predicates(cube.num_dimensions(),
+                                       DimPredicate::All());
+  predicates[dim] = std::move(predicate);
+  return AggregateQuery(cube, predicates);
+}
+
+Result<std::vector<SliceRow>> DrillDown(const DwarfCube& cube, size_t dim,
+                                        const Hierarchy& hierarchy,
+                                        size_t member_level,
+                                        const std::string& member) {
+  if (member_level + 1 >= hierarchy.num_levels()) {
+    return Status::OutOfRange("cannot drill below level '" +
+                              hierarchy.level_names().back() + "'");
+  }
+  std::vector<SliceRow> rows;
+  for (const std::string& child :
+       hierarchy.ChildrenOf(member_level, member)) {
+    auto value =
+        HierarchicalQuery(cube, dim, hierarchy, member_level + 1, child);
+    if (value.status().IsNotFound()) continue;  // no data under this child
+    SCD_RETURN_IF_ERROR(value.status());
+    rows.push_back({{child}, *value});
+  }
+  return rows;
+}
+
+Result<DwarfCube> RollUpToLevel(const DwarfCube& cube, size_t dim,
+                                const Hierarchy& hierarchy,
+                                size_t target_level) {
+  if (dim >= cube.num_dimensions()) {
+    return Status::OutOfRange("dimension index out of range");
+  }
+  if (target_level + 1 >= hierarchy.num_levels()) {
+    return Status::InvalidArgument(
+        "target level must be strictly above the leaf level");
+  }
+  SCD_RETURN_IF_ERROR(hierarchy.ValidateCovers(cube.dictionary(dim)));
+
+  // New schema: same dimensions, the rolled-up one renamed to the level.
+  std::vector<DimensionSpec> dims = cube.schema().dimensions();
+  dims[dim].name = hierarchy.level_names()[target_level];
+  CubeSchema schema(cube.schema().name(), std::move(dims),
+                    cube.schema().measure_name(), cube.agg());
+
+  size_t leaf_level = hierarchy.num_levels() - 1;
+  SCD_ASSIGN_OR_RETURN(std::vector<SliceRow> base, ExtractBaseTuples(cube));
+  DwarfBuilder builder(schema);
+  for (SliceRow& row : base) {
+    SCD_ASSIGN_OR_RETURN(
+        row.keys[dim],
+        hierarchy.AncestorOf(leaf_level, row.keys[dim], target_level));
+    SCD_RETURN_IF_ERROR(builder.AddAggregatedTuple(row.keys, row.measure));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace scdwarf::dwarf

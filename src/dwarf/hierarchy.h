@@ -1,0 +1,108 @@
+/// \file hierarchy.h
+/// \brief Dimension hierarchies and the ROLLUP / DRILL DOWN operations the
+/// paper's related work (§6, citing Sismanis et al. [11] and Jensen et al.
+/// [5]) identifies as necessary for cubes built from XML sources.
+///
+/// A hierarchy declares named levels from coarse to fine (e.g. City > Area >
+/// Station) and the parent of every member. Queries can then be posed at any
+/// level of a hierarchical dimension: rolling up aggregates over all
+/// descendants, drilling down enumerates children. RollUpToLevel materializes
+/// a coarser cube — the Hierarchical-DWARF behaviour of [11] realized on top
+/// of the unmodified DWARF structure.
+
+#ifndef SCDWARF_DWARF_HIERARCHY_H_
+#define SCDWARF_DWARF_HIERARCHY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "dwarf/dwarf_cube.h"
+#include "dwarf/query.h"
+
+namespace scdwarf::dwarf {
+
+/// \brief A hierarchy over one dimension's values.
+///
+/// Level 0 is the coarsest (e.g. City); the last level is the dimension's
+/// own value domain (e.g. Station). Every member of level l+1 has exactly
+/// one parent at level l.
+class Hierarchy {
+ public:
+  /// Creates a hierarchy with the given level names (coarse to fine); at
+  /// least two levels are required.
+  static Result<Hierarchy> Create(std::string name,
+                                  std::vector<std::string> level_names);
+
+  /// Declares \p parent (at \p child_level - 1) as the parent of \p child
+  /// (at \p child_level). InvalidArgument if the child already has a
+  /// different parent.
+  Status AddEdge(size_t child_level, const std::string& child,
+                 const std::string& parent);
+
+  const std::string& name() const { return name_; }
+  size_t num_levels() const { return level_names_.size(); }
+  const std::vector<std::string>& level_names() const { return level_names_; }
+  Result<size_t> LevelIndex(const std::string& level_name) const;
+
+  /// Parent of \p member at \p level (result lives at level - 1); NotFound
+  /// for unknown members, OutOfRange at level 0.
+  Result<std::string> ParentOf(size_t level, const std::string& member) const;
+
+  /// The ancestor of \p member (at \p level) up at \p ancestor_level.
+  Result<std::string> AncestorOf(size_t level, const std::string& member,
+                                 size_t ancestor_level) const;
+
+  /// Direct children of \p member at \p level (results live at level + 1).
+  std::vector<std::string> ChildrenOf(size_t level,
+                                      const std::string& member) const;
+
+  /// All leaf-level descendants of \p member at \p level.
+  std::vector<std::string> LeafDescendantsOf(size_t level,
+                                             const std::string& member) const;
+
+  /// Members declared at \p level (parents of level+1 members and children
+  /// of level-1 members).
+  std::vector<std::string> MembersAt(size_t level) const;
+
+  /// Checks that every value of \p dictionary has a full ancestor path —
+  /// required before using the hierarchy against a cube dimension.
+  Status ValidateCovers(const Dictionary& dictionary) const;
+
+ private:
+  Hierarchy() = default;
+
+  std::string name_;
+  std::vector<std::string> level_names_;
+  /// edge maps, one per non-root level: member at level l -> parent at l-1.
+  /// parents_[l - 1] holds the parents of level-l members.
+  std::vector<std::unordered_map<std::string, std::string>> parents_;
+};
+
+/// \brief Aggregate of everything under \p member (at \p member_level of
+/// \p hierarchy) on \p dim, with all other dimensions rolled up: the
+/// hierarchical point query / ROLLUP primitive.
+Result<Measure> HierarchicalQuery(const DwarfCube& cube, size_t dim,
+                                  const Hierarchy& hierarchy,
+                                  size_t member_level,
+                                  const std::string& member);
+
+/// \brief DRILL DOWN: one row per child of \p member, each with the
+/// aggregate of its own subtree on \p dim.
+Result<std::vector<SliceRow>> DrillDown(const DwarfCube& cube, size_t dim,
+                                        const Hierarchy& hierarchy,
+                                        size_t member_level,
+                                        const std::string& member);
+
+/// \brief Materializes the cube with dimension \p dim coarsened to
+/// \p target_level of \p hierarchy: every leaf value is replaced by its
+/// ancestor and the cube is re-aggregated. The dimension keeps its position
+/// and is renamed to the level name.
+Result<DwarfCube> RollUpToLevel(const DwarfCube& cube, size_t dim,
+                                const Hierarchy& hierarchy,
+                                size_t target_level);
+
+}  // namespace scdwarf::dwarf
+
+#endif  // SCDWARF_DWARF_HIERARCHY_H_

@@ -1,0 +1,207 @@
+#include "dwarf/query.h"
+
+#include <algorithm>
+
+namespace scdwarf::dwarf {
+
+bool DimPredicate::Matches(DimKey key) const {
+  switch (kind) {
+    case Kind::kAll:
+      return true;
+    case Kind::kPoint:
+      return key == point;
+    case Kind::kRange:
+      return key >= lo && key <= hi;
+    case Kind::kSet:
+      return std::find(keys.begin(), keys.end(), key) != keys.end();
+  }
+  return false;
+}
+
+Result<Measure> PointQuery(const DwarfCube& cube,
+                           const std::vector<std::optional<DimKey>>& keys) {
+  if (keys.size() != cube.num_dimensions()) {
+    return Status::InvalidArgument("point query arity mismatch: got " +
+                                   std::to_string(keys.size()) + ", cube has " +
+                                   std::to_string(cube.num_dimensions()));
+  }
+  if (cube.empty()) return Status::NotFound("cube is empty");
+
+  NodeId current = cube.root();
+  for (size_t level = 0; level < keys.size(); ++level) {
+    const DwarfNode& node = cube.node(current);
+    bool leaf = level + 1 == keys.size();
+    if (keys[level].has_value()) {
+      const DwarfCell* cell = node.FindCell(*keys[level]);
+      if (cell == nullptr) {
+        return Status::NotFound("no data at dimension " + std::to_string(level) +
+                                " key id " + std::to_string(*keys[level]));
+      }
+      if (leaf) return cell->measure;
+      current = cell->child;
+    } else {
+      if (leaf) return node.all_measure;
+      current = node.all_child;
+    }
+  }
+  return Status::Internal("unreachable: point query fell through");
+}
+
+Result<Measure> PointQueryByName(
+    const DwarfCube& cube,
+    const std::vector<std::optional<std::string>>& keys) {
+  if (keys.size() != cube.num_dimensions()) {
+    return Status::InvalidArgument("point query arity mismatch");
+  }
+  std::vector<std::optional<DimKey>> encoded(keys.size());
+  for (size_t dim = 0; dim < keys.size(); ++dim) {
+    if (keys[dim].has_value()) {
+      SCD_ASSIGN_OR_RETURN(DimKey id, cube.dictionary(dim).Lookup(*keys[dim]));
+      encoded[dim] = id;
+    }
+  }
+  return PointQuery(cube, encoded);
+}
+
+namespace {
+
+/// Recursive evaluator for AggregateQuery.
+struct AggregateEvaluator {
+  const DwarfCube& cube;
+  const std::vector<DimPredicate>& predicates;
+  AggFn agg;
+  Measure accumulated;
+  bool found = false;
+
+  void Visit(NodeId id, size_t level) {
+    const DwarfNode& node = cube.node(id);
+    const DimPredicate& pred = predicates[level];
+    bool leaf = level + 1 == predicates.size();
+    if (pred.kind == DimPredicate::Kind::kAll) {
+      // Use the precomputed ALL aggregate instead of fanning out.
+      if (leaf) {
+        if (!node.cells.empty()) {
+          accumulated = AggCombine(agg, accumulated, node.all_measure);
+          found = true;
+        }
+      } else {
+        Visit(node.all_child, level + 1);
+      }
+      return;
+    }
+    if (pred.kind == DimPredicate::Kind::kPoint) {
+      const DwarfCell* cell = node.FindCell(pred.point);
+      if (cell == nullptr) return;
+      if (leaf) {
+        accumulated = AggCombine(agg, accumulated, cell->measure);
+        found = true;
+      } else {
+        Visit(cell->child, level + 1);
+      }
+      return;
+    }
+    for (const DwarfCell& cell : node.cells) {
+      if (!pred.Matches(cell.key)) continue;
+      if (leaf) {
+        accumulated = AggCombine(agg, accumulated, cell.measure);
+        found = true;
+      } else {
+        Visit(cell.child, level + 1);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Result<Measure> AggregateQuery(const DwarfCube& cube,
+                               const std::vector<DimPredicate>& predicates) {
+  if (predicates.size() != cube.num_dimensions()) {
+    return Status::InvalidArgument("aggregate query arity mismatch");
+  }
+  if (cube.empty()) return Status::NotFound("cube is empty");
+  AggregateEvaluator evaluator{cube, predicates, cube.agg(),
+                               AggIdentity(cube.agg())};
+  evaluator.Visit(cube.root(), 0);
+  if (!evaluator.found) return Status::NotFound("no tuples match the query");
+  return evaluator.accumulated;
+}
+
+namespace {
+
+/// Shared enumerator for Slice and RollUp: dims in `enumerate` are grouped
+/// (cells fanned out and labels recorded); dims with a pinned key filter to
+/// that key; all remaining dims roll up through the ALL pointer.
+struct Enumerator {
+  const DwarfCube& cube;
+  const std::vector<bool>& enumerate;
+  const std::vector<std::optional<DimKey>>& pinned;
+  std::vector<SliceRow>* rows;
+  std::vector<std::string> labels;
+
+  void Visit(NodeId id, size_t level) {
+    const DwarfNode& node = cube.node(id);
+    bool leaf = level + 1 == cube.num_dimensions();
+    if (enumerate[level]) {
+      for (const DwarfCell& cell : node.cells) {
+        labels.push_back(cube.dictionary(level).DecodeUnchecked(cell.key));
+        Emit(node, cell, leaf, level);
+        labels.pop_back();
+      }
+    } else if (pinned[level].has_value()) {
+      const DwarfCell* cell = node.FindCell(*pinned[level]);
+      if (cell != nullptr) Emit(node, *cell, leaf, level);
+    } else {
+      if (leaf) {
+        rows->push_back({labels, node.all_measure});
+      } else {
+        Visit(node.all_child, level + 1);
+      }
+    }
+  }
+
+  void Emit(const DwarfNode&, const DwarfCell& cell, bool leaf, size_t level) {
+    if (leaf) {
+      rows->push_back({labels, cell.measure});
+    } else {
+      Visit(cell.child, level + 1);
+    }
+  }
+};
+
+}  // namespace
+
+Result<std::vector<SliceRow>> Slice(const DwarfCube& cube, size_t fixed_dim,
+                                    DimKey key) {
+  if (fixed_dim >= cube.num_dimensions()) {
+    return Status::OutOfRange("slice dimension out of range");
+  }
+  if (cube.empty()) return std::vector<SliceRow>{};
+  std::vector<bool> enumerate(cube.num_dimensions(), true);
+  enumerate[fixed_dim] = false;
+  std::vector<std::optional<DimKey>> pinned(cube.num_dimensions());
+  pinned[fixed_dim] = key;
+  std::vector<SliceRow> rows;
+  Enumerator enumerator{cube, enumerate, pinned, &rows, {}};
+  enumerator.Visit(cube.root(), 0);
+  return rows;
+}
+
+Result<std::vector<SliceRow>> RollUp(const DwarfCube& cube,
+                                     const std::vector<size_t>& group_dims) {
+  std::vector<bool> enumerate(cube.num_dimensions(), false);
+  for (size_t dim : group_dims) {
+    if (dim >= cube.num_dimensions()) {
+      return Status::OutOfRange("group dimension out of range");
+    }
+    enumerate[dim] = true;
+  }
+  if (cube.empty()) return std::vector<SliceRow>{};
+  std::vector<std::optional<DimKey>> pinned(cube.num_dimensions());
+  std::vector<SliceRow> rows;
+  Enumerator enumerator{cube, enumerate, pinned, &rows, {}};
+  enumerator.Visit(cube.root(), 0);
+  return rows;
+}
+
+}  // namespace scdwarf::dwarf

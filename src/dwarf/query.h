@@ -1,0 +1,92 @@
+/// \file query.h
+/// \brief Query primitives over a DwarfCube: point queries with ALL
+/// wildcards, range/set aggregate queries and slice extraction. These are the
+/// "efficient query primitives" the paper's conclusion targets for cube
+/// updates and retrieval.
+
+#ifndef SCDWARF_DWARF_QUERY_H_
+#define SCDWARF_DWARF_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dwarf/dwarf_cube.h"
+
+namespace scdwarf::dwarf {
+
+/// \brief Per-dimension predicate of an aggregate query.
+struct DimPredicate {
+  enum class Kind { kAll, kPoint, kRange, kSet };
+
+  Kind kind = Kind::kAll;
+  DimKey point = 0;          ///< kPoint
+  DimKey lo = 0, hi = 0;     ///< kRange, inclusive bounds on encoded ids
+  std::vector<DimKey> keys;  ///< kSet
+
+  static DimPredicate All() { return {}; }
+  static DimPredicate Point(DimKey key) {
+    DimPredicate p;
+    p.kind = Kind::kPoint;
+    p.point = key;
+    return p;
+  }
+  static DimPredicate Range(DimKey lo, DimKey hi) {
+    DimPredicate p;
+    p.kind = Kind::kRange;
+    p.lo = lo;
+    p.hi = hi;
+    return p;
+  }
+  static DimPredicate Set(std::vector<DimKey> keys) {
+    DimPredicate p;
+    p.kind = Kind::kSet;
+    p.keys = std::move(keys);
+    return p;
+  }
+
+  /// True when \p key satisfies this predicate.
+  bool Matches(DimKey key) const;
+};
+
+/// \brief Point query: one key or ALL (`std::nullopt`) per dimension.
+/// Navigates a single root-to-leaf path (ALL follows the precomputed
+/// aggregate pointer — the DWARF fast path). Returns NotFound when the
+/// requested coordinate has no data.
+Result<Measure> PointQuery(const DwarfCube& cube,
+                           const std::vector<std::optional<DimKey>>& keys);
+
+/// \brief Point query on decoded string keys ("Ireland", std::nullopt, ...).
+Result<Measure> PointQueryByName(
+    const DwarfCube& cube,
+    const std::vector<std::optional<std::string>>& keys);
+
+/// \brief General aggregate query: applies one predicate per dimension and
+/// aggregates all matching leaf measures with the cube's aggregate function.
+/// ALL predicates use the precomputed ALL sub-dwarfs; other predicates fan
+/// out over matching cells. Returns NotFound when nothing matches.
+Result<Measure> AggregateQuery(const DwarfCube& cube,
+                               const std::vector<DimPredicate>& predicates);
+
+/// \brief One row of a slice result: decoded keys of the non-fixed
+/// dimensions plus the aggregated measure.
+struct SliceRow {
+  std::vector<std::string> keys;
+  Measure measure = 0;
+};
+
+/// \brief Materializes the sub-cube where dimension \p fixed_dim equals
+/// \p key, grouped by every remaining dimension (a classic OLAP slice).
+Result<std::vector<SliceRow>> Slice(const DwarfCube& cube, size_t fixed_dim,
+                                    DimKey key);
+
+/// \brief Group-by over a subset of dimensions (roll-up of the rest):
+/// returns one row per distinct combination of \p group_dims values, with
+/// all other dimensions rolled up through their ALL cells.
+Result<std::vector<SliceRow>> RollUp(const DwarfCube& cube,
+                                     const std::vector<size_t>& group_dims);
+
+}  // namespace scdwarf::dwarf
+
+#endif  // SCDWARF_DWARF_QUERY_H_

@@ -1,0 +1,103 @@
+#include "dwarf/traversal.h"
+
+#include <deque>
+
+namespace scdwarf::dwarf {
+
+namespace {
+
+Status VisitOneNode(const DwarfCube& cube, NodeId id, const CubeVisitor& visitor,
+                    bool leaf) {
+  const DwarfNode& node = cube.node(id);
+  if (visitor.on_node) {
+    SCD_RETURN_IF_ERROR(visitor.on_node(id, node));
+  }
+  if (visitor.on_cell) {
+    for (const DwarfCell& cell : node.cells) {
+      SCD_RETURN_IF_ERROR(visitor.on_cell(id, cell, leaf));
+    }
+  }
+  if (visitor.on_all_cell) {
+    SCD_RETURN_IF_ERROR(visitor.on_all_cell(id, node, leaf));
+  }
+  return Status::OK();
+}
+
+/// Appends a node's unvisited children (cell children plus the ALL child).
+void PushChildren(const DwarfCube& cube, NodeId id, std::vector<bool>* visited,
+                  std::deque<NodeId>* queue, bool front) {
+  const DwarfNode& node = cube.node(id);
+  if (cube.IsLeafLevel(node.level)) return;
+  // For depth-first order children are pushed to the front in reverse so the
+  // first cell's subtree is processed first, mirroring §4's description.
+  std::vector<NodeId> children;
+  children.reserve(node.cells.size() + 1);
+  for (const DwarfCell& cell : node.cells) children.push_back(cell.child);
+  children.push_back(node.all_child);
+  if (front) {
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      if (!(*visited)[*it]) {
+        (*visited)[*it] = true;
+        queue->push_front(*it);
+      }
+    }
+  } else {
+    for (NodeId child : children) {
+      if (!(*visited)[child]) {
+        (*visited)[child] = true;
+        queue->push_back(child);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Status TraverseCube(const DwarfCube& cube, TraversalOrder order,
+                    const CubeVisitor& visitor) {
+  if (cube.empty()) return Status::OK();
+  std::vector<bool> visited(cube.num_nodes(), false);
+  std::deque<NodeId> queue;
+  visited[cube.root()] = true;
+  queue.push_back(cube.root());
+  bool depth_first = order == TraversalOrder::kDepthFirst;
+  while (!queue.empty()) {
+    NodeId id = queue.front();
+    queue.pop_front();
+    bool leaf = cube.IsLeafLevel(cube.node(id).level);
+    SCD_RETURN_IF_ERROR(VisitOneNode(cube, id, visitor, leaf));
+    PushChildren(cube, id, &visited, &queue, depth_first);
+  }
+  return Status::OK();
+}
+
+std::vector<NodeId> CollectReachableNodes(const DwarfCube& cube,
+                                          TraversalOrder order) {
+  std::vector<NodeId> ids;
+  ids.reserve(cube.num_nodes());
+  CubeVisitor visitor;
+  visitor.on_node = [&ids](NodeId id, const DwarfNode&) {
+    ids.push_back(id);
+    return Status::OK();
+  };
+  // Traversal over an in-memory cube cannot fail; assert-free ignore.
+  (void)TraverseCube(cube, order, visitor);
+  return ids;
+}
+
+std::vector<std::vector<NodeId>> ComputeParentIds(const DwarfCube& cube) {
+  std::vector<std::vector<NodeId>> parents(cube.num_nodes());
+  auto add_parent = [&parents](NodeId child, NodeId parent) {
+    std::vector<NodeId>& list = parents[child];
+    if (list.empty() || list.back() != parent) list.push_back(parent);
+  };
+  for (NodeId id = 0; id < cube.num_nodes(); ++id) {
+    const DwarfNode& node = cube.node(id);
+    if (cube.IsLeafLevel(node.level)) continue;
+    for (const DwarfCell& cell : node.cells) add_parent(cell.child, id);
+    add_parent(node.all_child, id);
+  }
+  return parents;
+}
+
+}  // namespace scdwarf::dwarf

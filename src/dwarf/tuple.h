@@ -1,0 +1,37 @@
+/// \file tuple.h
+/// \brief Input tuples for DWARF construction. A tuple is an ordered list of
+/// dictionary-encoded dimension keys plus a measure, mirroring the paper's
+/// input format `(dimension_1, ..., dimension_n, measure)` (Fig. 1).
+
+#ifndef SCDWARF_DWARF_TUPLE_H_
+#define SCDWARF_DWARF_TUPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace scdwarf::dwarf {
+
+/// Dictionary-encoded dimension value. Encoded ids are dense and start at 0.
+using DimKey = uint32_t;
+
+/// Measures are 64-bit integers (the paper's DWARF_Cell.measure is an int).
+using Measure = int64_t;
+
+/// \brief One fact: n dimension keys plus a measure.
+struct Tuple {
+  std::vector<DimKey> keys;
+  Measure measure = 0;
+};
+
+/// \brief Lexicographic comparison on the key vector (construction order).
+inline bool TupleKeyLess(const Tuple& a, const Tuple& b) {
+  return a.keys < b.keys;
+}
+
+inline bool TupleKeysEqual(const Tuple& a, const Tuple& b) {
+  return a.keys == b.keys;
+}
+
+}  // namespace scdwarf::dwarf
+
+#endif  // SCDWARF_DWARF_TUPLE_H_

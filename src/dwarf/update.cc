@@ -1,0 +1,71 @@
+#include "dwarf/update.h"
+
+namespace scdwarf::dwarf {
+
+Result<std::vector<SliceRow>> ExtractBaseTuples(const DwarfCube& cube) {
+  // A group-by over every dimension enumerates exactly the distinct leaf
+  // coordinates with their aggregated measures.
+  std::vector<size_t> all_dims(cube.num_dimensions());
+  for (size_t dim = 0; dim < all_dims.size(); ++dim) all_dims[dim] = dim;
+  return RollUp(cube, all_dims);
+}
+
+Status CubeUpdater::AddTuple(const std::vector<std::string>& keys,
+                             Measure measure) {
+  if (keys.size() != cube_.num_dimensions()) {
+    return Status::InvalidArgument(
+        "update tuple has " + std::to_string(keys.size()) +
+        " keys, cube has " + std::to_string(cube_.num_dimensions()) +
+        " dimensions");
+  }
+  pending_.emplace_back(keys, measure);
+  return Status::OK();
+}
+
+Result<DwarfCube> CubeUpdater::Rebuild() && {
+  SCD_ASSIGN_OR_RETURN(std::vector<SliceRow> base, ExtractBaseTuples(cube_));
+  DwarfBuilder builder(cube_.schema());
+  for (const SliceRow& row : base) {
+    SCD_RETURN_IF_ERROR(builder.AddAggregatedTuple(row.keys, row.measure));
+  }
+  for (const auto& [keys, measure] : pending_) {
+    SCD_RETURN_IF_ERROR(builder.AddTuple(keys, measure));
+  }
+  return std::move(builder).Build();
+}
+
+Result<DwarfCube> MaterializeSubCube(
+    const DwarfCube& cube, const std::vector<DimPredicate>& predicates) {
+  if (predicates.size() != cube.num_dimensions()) {
+    return Status::InvalidArgument("sub-cube predicate arity mismatch");
+  }
+  SCD_ASSIGN_OR_RETURN(std::vector<SliceRow> base, ExtractBaseTuples(cube));
+  DwarfBuilder builder(cube.schema());
+  for (const SliceRow& row : base) {
+    bool match = true;
+    for (size_t dim = 0; dim < predicates.size(); ++dim) {
+      // Base tuples carry decoded keys; translate through the dictionary.
+      auto key = cube.dictionary(dim).Lookup(row.keys[dim]);
+      if (!key.ok() || !predicates[dim].Matches(*key)) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    SCD_RETURN_IF_ERROR(builder.AddAggregatedTuple(row.keys, row.measure));
+  }
+  return std::move(builder).Build();
+}
+
+Result<DwarfCube> MergeTuples(
+    DwarfCube cube,
+    const std::vector<std::pair<std::vector<std::string>, Measure>>&
+        new_tuples) {
+  CubeUpdater updater(std::move(cube));
+  for (const auto& [keys, measure] : new_tuples) {
+    SCD_RETURN_IF_ERROR(updater.AddTuple(keys, measure));
+  }
+  return std::move(updater).Rebuild();
+}
+
+}  // namespace scdwarf::dwarf

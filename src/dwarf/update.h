@@ -1,0 +1,71 @@
+/// \file update.h
+/// \brief Cube updates — the paper's stated next step ("Our current focus is
+/// on cube updates", §7). New feed batches are merged into an existing cube
+/// by re-aggregating its base tuples together with the new ones: correct for
+/// every distributive aggregate the library supports, and bounded by the
+/// size of the *compressed* cube rather than the original stream.
+
+#ifndef SCDWARF_DWARF_UPDATE_H_
+#define SCDWARF_DWARF_UPDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dwarf/builder.h"
+#include "dwarf/query.h"
+
+namespace scdwarf::dwarf {
+
+/// \brief The cube's base relation: one row per distinct dimension
+/// combination with its aggregated measure (equivalent to a group-by over
+/// every dimension). COUNT cubes return counts as measures.
+Result<std::vector<SliceRow>> ExtractBaseTuples(const DwarfCube& cube);
+
+/// \brief Applies batches of new tuples to an existing cube.
+///
+/// \code
+///   CubeUpdater updater(std::move(cube));
+///   updater.AddTuple({"Ireland", "Dublin", "Fenian St"}, 4);
+///   SCD_ASSIGN_OR_RETURN(cube, std::move(updater).Rebuild());
+/// \endcode
+///
+/// Rebuild() re-runs DWARF construction over the cube's base tuples plus the
+/// added ones. Because already-aggregated measures re-enter construction,
+/// the updater feeds them through a raw path that bypasses the COUNT
+/// leaf-value mapping (a re-counted count would collapse to 1).
+class CubeUpdater {
+ public:
+  /// Takes over \p cube. Fails only later, at Rebuild(), never here.
+  explicit CubeUpdater(DwarfCube cube) : cube_(std::move(cube)) {}
+
+  /// Stages one new source tuple (measure semantics identical to
+  /// DwarfBuilder::AddTuple, including COUNT counting tuples).
+  Status AddTuple(const std::vector<std::string>& keys, Measure measure);
+
+  /// Number of staged tuples.
+  size_t num_pending() const { return pending_.size(); }
+
+  /// Builds the updated cube. Consumes the updater.
+  Result<DwarfCube> Rebuild() &&;
+
+ private:
+  DwarfCube cube_;
+  std::vector<std::pair<std::vector<std::string>, Measure>> pending_;
+};
+
+/// \brief Materializes the sub-cube of tuples matching \p predicates (same
+/// schema, re-aggregated). This is the "DWARF cube constructed from querying
+/// a DWARF schema" that Table 1-A's is_cube flag marks when stored.
+Result<DwarfCube> MaterializeSubCube(const DwarfCube& cube,
+                                     const std::vector<DimPredicate>& predicates);
+
+/// \brief One-shot convenience: merge \p new_tuples into \p cube.
+Result<DwarfCube> MergeTuples(
+    DwarfCube cube,
+    const std::vector<std::pair<std::vector<std::string>, Measure>>&
+        new_tuples);
+
+}  // namespace scdwarf::dwarf
+
+#endif  // SCDWARF_DWARF_UPDATE_H_

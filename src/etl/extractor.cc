@@ -1,0 +1,148 @@
+#include "etl/extractor.h"
+
+#include "xml/xml_parser.h"
+
+namespace scdwarf::etl {
+
+namespace {
+
+/// Applies required/default policy for a missing field.
+Status HandleMissing(const FieldSpec& field, FeedRecord* record) {
+  if (field.required) {
+    return Status::NotFound("required field '" + field.name +
+                            "' missing (path '" + field.path + "')");
+  }
+  record->Set(field.name, field.default_value);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<XmlExtractor> XmlExtractor::Create(std::string record_path,
+                                          std::vector<FieldSpec> fields) {
+  XmlExtractor extractor;
+  SCD_ASSIGN_OR_RETURN(extractor.record_path_,
+                       xml::XmlPath::Compile(record_path));
+  for (const FieldSpec& field : fields) {
+    SCD_ASSIGN_OR_RETURN(xml::XmlPath path, xml::XmlPath::Compile(field.path));
+    extractor.field_paths_.push_back(std::move(path));
+  }
+  extractor.fields_ = std::move(fields);
+  return extractor;
+}
+
+Result<std::vector<FeedRecord>> XmlExtractor::Extract(
+    std::string_view document) const {
+  SCD_ASSIGN_OR_RETURN(xml::XmlDocument parsed, xml::ParseXml(document));
+  return ExtractFromDocument(parsed);
+}
+
+Result<std::vector<FeedRecord>> XmlExtractor::ExtractFromDocument(
+    const xml::XmlDocument& document) const {
+  if (document.root() == nullptr) {
+    return Status::InvalidArgument("document has no root element");
+  }
+  const xml::XmlElement& root = *document.root();
+
+  // Document-scope values are read once.
+  std::vector<std::string> document_values(fields_.size());
+  std::vector<bool> document_found(fields_.size(), false);
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].scope != FieldScope::kDocument) continue;
+    auto value = field_paths_[i].SelectFirstValue(root);
+    if (value.ok()) {
+      document_values[i] = *std::move(value);
+      document_found[i] = true;
+    }
+  }
+
+  std::vector<FeedRecord> records;
+  for (const xml::XmlElement* element : record_path_.SelectElements(root)) {
+    FeedRecord record;
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      const FieldSpec& field = fields_[i];
+      if (field.scope == FieldScope::kDocument) {
+        if (document_found[i]) {
+          record.Set(field.name, document_values[i]);
+        } else {
+          SCD_RETURN_IF_ERROR(HandleMissing(field, &record));
+        }
+        continue;
+      }
+      auto value = field_paths_[i].SelectFirstValue(*element);
+      if (value.ok()) {
+        record.Set(field.name, *std::move(value));
+      } else {
+        SCD_RETURN_IF_ERROR(HandleMissing(field, &record));
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Result<JsonExtractor> JsonExtractor::Create(std::string records_path,
+                                            std::vector<FieldSpec> fields) {
+  if (records_path.empty()) {
+    return Status::InvalidArgument("records path must not be empty");
+  }
+  JsonExtractor extractor;
+  extractor.records_path_ = std::move(records_path);
+  extractor.fields_ = std::move(fields);
+  return extractor;
+}
+
+Result<std::vector<FeedRecord>> JsonExtractor::Extract(
+    std::string_view document) const {
+  SCD_ASSIGN_OR_RETURN(json::JsonValue parsed, json::ParseJson(document));
+  return ExtractFromValue(parsed);
+}
+
+Result<std::vector<FeedRecord>> JsonExtractor::ExtractFromValue(
+    const json::JsonValue& document) const {
+  SCD_ASSIGN_OR_RETURN(json::JsonValue array_value,
+                       document.GetPath(records_path_));
+  const json::JsonArray* array = array_value.AsArray();
+  if (array == nullptr) {
+    return Status::InvalidArgument("records path '" + records_path_ +
+                                   "' does not address an array");
+  }
+
+  std::vector<std::string> document_values(fields_.size());
+  std::vector<bool> document_found(fields_.size(), false);
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].scope != FieldScope::kDocument) continue;
+    auto value = document.GetPath(fields_[i].path);
+    if (value.ok()) {
+      document_values[i] = value->ToFieldString();
+      document_found[i] = true;
+    }
+  }
+
+  std::vector<FeedRecord> records;
+  records.reserve(array->size());
+  for (const json::JsonValue& element : *array) {
+    FeedRecord record;
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      const FieldSpec& field = fields_[i];
+      if (field.scope == FieldScope::kDocument) {
+        if (document_found[i]) {
+          record.Set(field.name, document_values[i]);
+        } else {
+          SCD_RETURN_IF_ERROR(HandleMissing(field, &record));
+        }
+        continue;
+      }
+      auto value = element.GetPath(field.path);
+      if (value.ok()) {
+        record.Set(field.name, value->ToFieldString());
+      } else {
+        SCD_RETURN_IF_ERROR(HandleMissing(field, &record));
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace scdwarf::etl

@@ -1,0 +1,123 @@
+#include "etl/pipeline.h"
+
+namespace scdwarf::etl {
+
+CubePipeline::CubePipeline(dwarf::CubeSchema schema, TupleMapper mapper,
+                           std::optional<XmlExtractor> xml_extractor,
+                           std::optional<JsonExtractor> json_extractor,
+                           bool strict, dwarf::BuilderOptions builder_options)
+    : mapper_(std::move(mapper)),
+      xml_extractor_(std::move(xml_extractor)),
+      json_extractor_(std::move(json_extractor)),
+      strict_(strict),
+      builder_(std::move(schema), builder_options) {}
+
+Status CubePipeline::ConsumeRecords(const std::vector<FeedRecord>& records) {
+  for (const FeedRecord& record : records) {
+    auto mapped = mapper_.Map(record);
+    if (!mapped.ok()) {
+      if (strict_) return mapped.status();
+      ++stats_.skipped_records;
+      continue;
+    }
+    SCD_RETURN_IF_ERROR(builder_.AddTuple(mapped->first, mapped->second));
+    ++stats_.records;
+  }
+  return Status::OK();
+}
+
+Status CubePipeline::ConsumeXml(std::string_view document) {
+  if (!xml_extractor_.has_value()) {
+    return Status::FailedPrecondition("pipeline has no XML extractor");
+  }
+  SCD_ASSIGN_OR_RETURN(std::vector<FeedRecord> records,
+                       xml_extractor_->Extract(document));
+  ++stats_.documents;
+  stats_.bytes += document.size();
+  return ConsumeRecords(records);
+}
+
+Status CubePipeline::ConsumeJson(std::string_view document) {
+  if (!json_extractor_.has_value()) {
+    return Status::FailedPrecondition("pipeline has no JSON extractor");
+  }
+  SCD_ASSIGN_OR_RETURN(std::vector<FeedRecord> records,
+                       json_extractor_->Extract(document));
+  ++stats_.documents;
+  stats_.bytes += document.size();
+  return ConsumeRecords(records);
+}
+
+Result<dwarf::DwarfCube> CubePipeline::Finish() && {
+  return std::move(builder_).Build();
+}
+
+dwarf::CubeSchema MakeBikesCubeSchema() {
+  return dwarf::CubeSchema(
+      "bikes",
+      {
+          dwarf::DimensionSpec("Month"),
+          dwarf::DimensionSpec("Date"),
+          dwarf::DimensionSpec("Weekday"),
+          dwarf::DimensionSpec("Hour"),
+          dwarf::DimensionSpec("Area"),
+          dwarf::DimensionSpec("Station", "Station"),
+          dwarf::DimensionSpec("Status"),
+          dwarf::DimensionSpec("DockGroup"),
+      },
+      "available_bikes", dwarf::AggFn::kSum);
+}
+
+namespace {
+
+std::vector<FieldSpec> BikesFieldSpecs() {
+  return {
+      {"name", "name", FieldScope::kRecord, true, ""},
+      {"area", "area", FieldScope::kRecord, true, ""},
+      {"bike_stands", "bike_stands", FieldScope::kRecord, true, ""},
+      {"available_bikes", "available_bikes", FieldScope::kRecord, true, ""},
+      {"status", "status", FieldScope::kRecord, false, "UNKNOWN"},
+      {"last_update", "last_update", FieldScope::kRecord, true, ""},
+  };
+}
+
+std::vector<DimensionMapping> BikesDimensionMappings() {
+  return {
+      {"last_update", Transform::kMonthName},
+      {"last_update", Transform::kDate},
+      {"last_update", Transform::kWeekday},
+      {"last_update", Transform::kHour},
+      {"area", Transform::kIdentity},
+      {"name", Transform::kIdentity},
+      {"status", Transform::kIdentity},
+      {"bike_stands", Transform::kBucket10},
+  };
+}
+
+}  // namespace
+
+Result<CubePipeline> MakeBikesXmlPipeline(
+    dwarf::BuilderOptions builder_options) {
+  dwarf::CubeSchema schema = MakeBikesCubeSchema();
+  SCD_ASSIGN_OR_RETURN(
+      TupleMapper mapper,
+      TupleMapper::Create(schema, BikesDimensionMappings(), "available_bikes"));
+  SCD_ASSIGN_OR_RETURN(XmlExtractor extractor,
+                       XmlExtractor::Create("station", BikesFieldSpecs()));
+  return CubePipeline(std::move(schema), std::move(mapper), std::move(extractor),
+                      std::nullopt, /*strict=*/true, builder_options);
+}
+
+Result<CubePipeline> MakeBikesJsonPipeline(
+    dwarf::BuilderOptions builder_options) {
+  dwarf::CubeSchema schema = MakeBikesCubeSchema();
+  SCD_ASSIGN_OR_RETURN(
+      TupleMapper mapper,
+      TupleMapper::Create(schema, BikesDimensionMappings(), "available_bikes"));
+  SCD_ASSIGN_OR_RETURN(JsonExtractor extractor,
+                       JsonExtractor::Create("stations", BikesFieldSpecs()));
+  return CubePipeline(std::move(schema), std::move(mapper), std::nullopt,
+                      std::move(extractor), /*strict=*/true, builder_options);
+}
+
+}  // namespace scdwarf::etl

@@ -1,0 +1,107 @@
+#include "etl/tuple_mapper.h"
+
+#include "common/civil_time.h"
+#include "common/strings.h"
+
+namespace scdwarf::etl {
+
+const char* TransformName(Transform transform) {
+  switch (transform) {
+    case Transform::kIdentity: return "identity";
+    case Transform::kMonthName: return "month";
+    case Transform::kDate: return "date";
+    case Transform::kWeekday: return "weekday";
+    case Transform::kHour: return "hour";
+    case Transform::kBucket10: return "bucket10";
+    case Transform::kBucket100: return "bucket100";
+  }
+  return "?";
+}
+
+namespace {
+
+Result<std::string> BucketValue(const std::string& value, int64_t width) {
+  SCD_ASSIGN_OR_RETURN(int64_t number, ParseInt64(value));
+  int64_t lo = (number >= 0 ? number / width : (number - width + 1) / width) *
+               width;
+  return std::to_string(lo) + "-" + std::to_string(lo + width - 1);
+}
+
+}  // namespace
+
+Result<std::string> ApplyTransform(Transform transform,
+                                   const std::string& value) {
+  switch (transform) {
+    case Transform::kIdentity:
+      return value;
+    case Transform::kMonthName: {
+      SCD_ASSIGN_OR_RETURN(CivilTime time, ParseIso(value));
+      return std::string(MonthName(time.month));
+    }
+    case Transform::kDate: {
+      SCD_ASSIGN_OR_RETURN(CivilTime time, ParseIso(value));
+      return FormatIsoDate(time);
+    }
+    case Transform::kWeekday: {
+      SCD_ASSIGN_OR_RETURN(CivilTime time, ParseIso(value));
+      return std::string(WeekdayName(WeekdayIndex(time.year, time.month,
+                                                  time.day)));
+    }
+    case Transform::kHour: {
+      SCD_ASSIGN_OR_RETURN(CivilTime time, ParseIso(value));
+      return StrFormat("%02d", time.hour);
+    }
+    case Transform::kBucket10:
+      return BucketValue(value, 10);
+    case Transform::kBucket100:
+      return BucketValue(value, 100);
+  }
+  return Status::Internal("unhandled transform");
+}
+
+Result<TupleMapper> TupleMapper::Create(const dwarf::CubeSchema& schema,
+                                        std::vector<DimensionMapping> dimensions,
+                                        std::string measure_field) {
+  SCD_RETURN_IF_ERROR(schema.Validate());
+  if (dimensions.size() != schema.num_dimensions()) {
+    return Status::InvalidArgument(
+        "mapping has " + std::to_string(dimensions.size()) +
+        " dimensions, schema has " + std::to_string(schema.num_dimensions()));
+  }
+  for (const DimensionMapping& dimension : dimensions) {
+    if (dimension.field.empty()) {
+      return Status::InvalidArgument("dimension mapping with empty field");
+    }
+  }
+  if (measure_field.empty()) {
+    return Status::InvalidArgument("measure field must not be empty");
+  }
+  TupleMapper mapper;
+  mapper.dimensions_ = std::move(dimensions);
+  mapper.measure_field_ = std::move(measure_field);
+  return mapper;
+}
+
+Result<std::pair<std::vector<std::string>, dwarf::Measure>> TupleMapper::Map(
+    const FeedRecord& record) const {
+  std::vector<std::string> keys;
+  keys.reserve(dimensions_.size());
+  for (const DimensionMapping& dimension : dimensions_) {
+    SCD_ASSIGN_OR_RETURN(std::string raw, record.Get(dimension.field));
+    auto transformed = ApplyTransform(dimension.transform, raw);
+    if (!transformed.ok()) {
+      return transformed.status().WithContext("field '" + dimension.field +
+                                              "'");
+    }
+    keys.push_back(*std::move(transformed));
+  }
+  SCD_ASSIGN_OR_RETURN(std::string measure_raw, record.Get(measure_field_));
+  auto measure = ParseInt64(measure_raw);
+  if (!measure.ok()) {
+    return measure.status().WithContext("measure field '" + measure_field_ +
+                                        "'");
+  }
+  return std::make_pair(std::move(keys), *measure);
+}
+
+}  // namespace scdwarf::etl

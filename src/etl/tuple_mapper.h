@@ -1,0 +1,70 @@
+/// \file tuple_mapper.h
+/// \brief Maps extracted records to cube tuples `(d_1..d_n, measure)`:
+/// per-dimension field references with optional derivation transforms
+/// (calendar dimensions from ISO timestamps, numeric bucketing).
+
+#ifndef SCDWARF_ETL_TUPLE_MAPPER_H_
+#define SCDWARF_ETL_TUPLE_MAPPER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dwarf/cube_schema.h"
+#include "etl/record.h"
+
+namespace scdwarf::etl {
+
+/// \brief Derivation applied to a field value before dictionary encoding.
+enum class Transform {
+  kIdentity,   ///< use the field string as-is
+  kMonthName,  ///< ISO timestamp -> "January" ... "December"
+  kDate,       ///< ISO timestamp -> "2016-01-05"
+  kWeekday,    ///< ISO timestamp -> "Monday" ... "Sunday"
+  kHour,       ///< ISO timestamp -> "00" ... "23"
+  kBucket10,   ///< integer -> decade bucket "20-29"
+  kBucket100,  ///< integer -> century bucket "100-199"
+};
+
+const char* TransformName(Transform transform);
+
+/// \brief Applies \p transform to \p value.
+Result<std::string> ApplyTransform(Transform transform, const std::string& value);
+
+/// \brief One cube dimension: which record field feeds it and how.
+struct DimensionMapping {
+  std::string field;
+  Transform transform = Transform::kIdentity;
+
+  DimensionMapping() = default;
+  DimensionMapping(std::string field_in,
+                   Transform transform_in = Transform::kIdentity)
+      : field(std::move(field_in)), transform(transform_in) {}
+};
+
+/// \brief Record-to-tuple mapping: ordered dimension mappings plus the
+/// measure field (parsed as an integer).
+class TupleMapper {
+ public:
+  /// \p dimensions must match \p schema's dimension count.
+  static Result<TupleMapper> Create(const dwarf::CubeSchema& schema,
+                                    std::vector<DimensionMapping> dimensions,
+                                    std::string measure_field);
+
+  /// Maps one record. Returns the decoded string keys + measure.
+  Result<std::pair<std::vector<std::string>, dwarf::Measure>> Map(
+      const FeedRecord& record) const;
+
+  const std::vector<DimensionMapping>& dimensions() const { return dimensions_; }
+  const std::string& measure_field() const { return measure_field_; }
+
+ private:
+  TupleMapper() = default;
+
+  std::vector<DimensionMapping> dimensions_;
+  std::string measure_field_;
+};
+
+}  // namespace scdwarf::etl
+
+#endif  // SCDWARF_ETL_TUPLE_MAPPER_H_

@@ -1,0 +1,69 @@
+#include "json/json_value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace scdwarf::json {
+
+Result<bool> JsonValue::AsBool() const {
+  if (const bool* value = std::get_if<bool>(&data_)) return *value;
+  return Status::InvalidArgument("JSON value is not a bool");
+}
+
+Result<double> JsonValue::AsNumber() const {
+  if (const double* value = std::get_if<double>(&data_)) return *value;
+  return Status::InvalidArgument("JSON value is not a number");
+}
+
+Result<std::string> JsonValue::AsString() const {
+  if (const std::string* value = std::get_if<std::string>(&data_)) return *value;
+  return Status::InvalidArgument("JSON value is not a string");
+}
+
+Result<JsonValue> JsonValue::Get(std::string_view key) const {
+  const JsonObject* object = AsObject();
+  if (object == nullptr) {
+    return Status::InvalidArgument("JSON value is not an object");
+  }
+  for (const auto& [member_key, member_value] : *object) {
+    if (member_key == key) return member_value;
+  }
+  return Status::NotFound("missing JSON key '" + std::string(key) + "'");
+}
+
+Result<JsonValue> JsonValue::GetPath(std::string_view dotted_path) const {
+  JsonValue current = *this;
+  for (const std::string& key : StrSplit(dotted_path, '.')) {
+    SCD_ASSIGN_OR_RETURN(current, current.Get(key));
+  }
+  return current;
+}
+
+std::string JsonValue::ToFieldString() const {
+  switch (type()) {
+    case JsonType::kNull:
+      return "null";
+    case JsonType::kBool:
+      return std::get<bool>(data_) ? "true" : "false";
+    case JsonType::kNumber: {
+      double value = std::get<double>(data_);
+      if (std::nearbyint(value) == value && std::fabs(value) < 1e15) {
+        return std::to_string(static_cast<long long>(value));
+      }
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+      return buffer;
+    }
+    case JsonType::kString:
+      return std::get<std::string>(data_);
+    case JsonType::kArray:
+      return "[array]";
+    case JsonType::kObject:
+      return "[object]";
+  }
+  return "";
+}
+
+}  // namespace scdwarf::json

@@ -1,0 +1,99 @@
+/// \file json_value.h
+/// \brief JSON value model for feeds delivered as JSON (the paper treats XML
+/// and JSON streams as equivalent inputs to the cube pipeline).
+
+#ifndef SCDWARF_JSON_JSON_VALUE_H_
+#define SCDWARF_JSON_JSON_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace scdwarf::json {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+/// Object member order is preserved (vector of pairs) so serialization is
+/// deterministic — the generators rely on byte-stable output.
+using JsonObject = std::vector<std::pair<std::string, JsonValue>>;
+
+enum class JsonType { kNull, kBool, kNumber, kString, kArray, kObject };
+
+/// \brief A JSON value: null, bool, number (double), string, array or object.
+class JsonValue {
+ public:
+  JsonValue() : data_(nullptr) {}
+  JsonValue(std::nullptr_t) : data_(nullptr) {}            // NOLINT implicit
+  JsonValue(bool value) : data_(value) {}                  // NOLINT implicit
+  JsonValue(double value) : data_(value) {}                // NOLINT implicit
+  JsonValue(int value) : data_(static_cast<double>(value)) {}  // NOLINT
+  JsonValue(int64_t value) : data_(static_cast<double>(value)) {}  // NOLINT
+  JsonValue(std::string value) : data_(std::move(value)) {}     // NOLINT
+  JsonValue(const char* value) : data_(std::string(value)) {}   // NOLINT
+  JsonValue(JsonArray value)                                    // NOLINT
+      : data_(std::make_shared<JsonArray>(std::move(value))) {}
+  JsonValue(JsonObject value)                                   // NOLINT
+      : data_(std::make_shared<JsonObject>(std::move(value))) {}
+
+  JsonType type() const {
+    switch (data_.index()) {
+      case 0: return JsonType::kNull;
+      case 1: return JsonType::kBool;
+      case 2: return JsonType::kNumber;
+      case 3: return JsonType::kString;
+      case 4: return JsonType::kArray;
+      default: return JsonType::kObject;
+    }
+  }
+
+  bool is_null() const { return type() == JsonType::kNull; }
+  bool is_bool() const { return type() == JsonType::kBool; }
+  bool is_number() const { return type() == JsonType::kNumber; }
+  bool is_string() const { return type() == JsonType::kString; }
+  bool is_array() const { return type() == JsonType::kArray; }
+  bool is_object() const { return type() == JsonType::kObject; }
+
+  /// Typed accessors; each returns an error Status on type mismatch.
+  Result<bool> AsBool() const;
+  Result<double> AsNumber() const;
+  Result<std::string> AsString() const;
+
+  /// Borrowing accessors; nullptr on type mismatch.
+  const JsonArray* AsArray() const {
+    auto* p = std::get_if<std::shared_ptr<JsonArray>>(&data_);
+    return p ? p->get() : nullptr;
+  }
+  const JsonObject* AsObject() const {
+    auto* p = std::get_if<std::shared_ptr<JsonObject>>(&data_);
+    return p ? p->get() : nullptr;
+  }
+
+  /// Looks up an object member by key; NotFound for missing keys or when this
+  /// value is not an object.
+  Result<JsonValue> Get(std::string_view key) const;
+
+  /// Dotted-path lookup descending through nested objects
+  /// (e.g. "station.status.bikes"). Array indices are not supported; use
+  /// AsArray for arrays.
+  Result<JsonValue> GetPath(std::string_view dotted_path) const;
+
+  /// Renders this value as its field string for ETL purposes: strings
+  /// verbatim, numbers with minimal formatting, bools as true/false.
+  std::string ToFieldString() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      data_;
+};
+
+}  // namespace scdwarf::json
+
+#endif  // SCDWARF_JSON_JSON_VALUE_H_

@@ -1,0 +1,90 @@
+/// \file dimension_table.h
+/// \brief Dimension tables — §4: "if a dimension table is specified in the
+/// schema definition, the dimension_table_name is also updated to include
+/// the name of the dimension table which contains additional information
+/// about the DWARF Cell."
+///
+/// A dimension table carries descriptive attributes for one dimension's
+/// members (for Station: area, capacity, coordinates). This helper stores
+/// such tables next to a cube in the NoSQL store and resolves cube query
+/// results against them — the star-schema lookup the cell's
+/// dimension_table_name enables.
+
+#ifndef SCDWARF_MAPPER_DIMENSION_TABLE_H_
+#define SCDWARF_MAPPER_DIMENSION_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "dwarf/dwarf_cube.h"
+#include "nosql/database.h"
+
+namespace scdwarf::mapper {
+
+/// \brief In-memory form of a dimension table: a key column (the dimension's
+/// member string) plus named attribute columns.
+class DimensionTable {
+ public:
+  /// \p name must match the DimensionSpec::dimension_table of the cube
+  /// dimension it describes.
+  DimensionTable(std::string name, std::vector<std::string> attribute_names)
+      : name_(std::move(name)), attribute_names_(std::move(attribute_names)) {}
+
+  /// Adds one member row; arity must match the attribute list.
+  /// AlreadyExists on duplicate members.
+  Status AddRow(const std::string& member, std::vector<Value> attributes);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+  size_t num_rows() const { return members_.size(); }
+
+  /// Attribute values of \p member, or NotFound.
+  Result<std::vector<Value>> Lookup(const std::string& member) const;
+
+  /// One named attribute of \p member.
+  Result<Value> LookupAttribute(const std::string& member,
+                                const std::string& attribute) const;
+
+  const std::vector<std::string>& members() const { return members_; }
+
+ private:
+  friend class DimensionTableStore;
+
+  std::string name_;
+  std::vector<std::string> attribute_names_;
+  std::vector<std::string> members_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+/// \brief Persists dimension tables in a keyspace, one column family per
+/// table: `dim_<name>` with a text primary key (the member) plus one column
+/// per attribute. Bidirectional like the cube mappers.
+class DimensionTableStore {
+ public:
+  DimensionTableStore(nosql::Database* db, std::string keyspace)
+      : db_(db), keyspace_(std::move(keyspace)) {}
+
+  /// Creates the column family (if missing) and upserts every row.
+  Status Store(const DimensionTable& table);
+
+  /// Loads the named dimension table.
+  Result<DimensionTable> Load(const std::string& name) const;
+
+  /// Validates that every member of \p cube's dimension \p dim that names
+  /// this store's keyspace has a row in its declared dimension table —
+  /// referential integrity between DWARF cells and dimension tables.
+  Status ValidateCoverage(const dwarf::DwarfCube& cube, size_t dim) const;
+
+  /// Column-family name for a dimension table.
+  static std::string ColumnFamilyName(const std::string& table_name);
+
+ private:
+  nosql::Database* db_;
+  std::string keyspace_;
+};
+
+}  // namespace scdwarf::mapper
+
+#endif  // SCDWARF_MAPPER_DIMENSION_TABLE_H_

@@ -1,0 +1,42 @@
+#include "mapper/id_map.h"
+
+namespace scdwarf::mapper {
+
+CubeIdMap AssignIds(const dwarf::DwarfCube& cube, int64_t node_base,
+                    int64_t cell_base) {
+  CubeIdMap map;
+  map.node_ids.assign(cube.num_nodes(), CubeIdMap::kInvalidId);
+  map.cell_ids.resize(cube.num_nodes());
+  map.all_cell_ids.assign(cube.num_nodes(), CubeIdMap::kInvalidId);
+  map.next_node_id = node_base;
+  map.next_cell_id = cell_base;
+
+  dwarf::CubeVisitor visitor;
+  visitor.on_node = [&](dwarf::NodeId id, const dwarf::DwarfNode& node) {
+    map.node_ids[id] = map.next_node_id++;
+    map.visit_order.push_back(id);
+    map.cell_ids[id].resize(node.cells.size());
+    for (size_t c = 0; c < node.cells.size(); ++c) {
+      map.cell_ids[id][c] = map.next_cell_id++;
+    }
+    map.all_cell_ids[id] = map.next_cell_id++;
+    return Status::OK();
+  };
+  // Traversal over an in-memory cube with an OK-returning visitor never fails.
+  (void)dwarf::TraverseCube(cube, dwarf::TraversalOrder::kDepthFirst, visitor);
+  return map;
+}
+
+Status ValidateNoReservedKeys(const dwarf::DwarfCube& cube) {
+  for (size_t dim = 0; dim < cube.num_dimensions(); ++dim) {
+    if (cube.dictionary(dim).Lookup(kAllCellKey).ok()) {
+      return Status::InvalidArgument(
+          "dimension '" + cube.schema().dimensions()[dim].name +
+          "' contains the reserved key \"" + std::string(kAllCellKey) +
+          "\"; it cannot be stored losslessly");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace scdwarf::mapper

@@ -1,0 +1,59 @@
+/// \file nosql_min_mapper.h
+/// \brief The NoSQL-Min comparison schema (Table 3): two column families —
+/// DWARF_Cube and DWARF_Cell — with no node rows. Cells carry their parent
+/// and child node ids, so nodes "can be rebuilt at a later stage"; that
+/// rebuild requires secondary indexes on parentNodeId and childNodeId, whose
+/// maintenance cost is exactly what Table 5 blames for this schema's slow
+/// inserts.
+
+#ifndef SCDWARF_MAPPER_NOSQL_MIN_MAPPER_H_
+#define SCDWARF_MAPPER_NOSQL_MIN_MAPPER_H_
+
+#include <string>
+
+#include "dwarf/dwarf_cube.h"
+#include "nosql/database.h"
+
+namespace scdwarf::mapper {
+
+struct NoSqlMinMapperOptions {
+  /// The two secondary indexes of §5.1. Disabling them is the index-cost
+  /// ablation (bench_ablations); loads then fall back to filtering scans.
+  bool create_secondary_indexes = true;
+};
+
+/// \brief DWARF <-> NoSQL-Min schema mapping.
+class NoSqlMinMapper {
+ public:
+  NoSqlMinMapper(nosql::Database* db, std::string keyspace,
+                 NoSqlMinMapperOptions options = {})
+      : db_(db), keyspace_(std::move(keyspace)), options_(options) {}
+
+  /// Creates the two column families (plus metadata) if missing.
+  Status EnsureSchema();
+
+  /// Stores \p cube; returns its DWARF_Cube id.
+  Result<int64_t> Store(const dwarf::DwarfCube& cube);
+
+  /// Rebuilds the cube stored under \p cube_id, reconstructing nodes from
+  /// the parent/child ids on the cells.
+  Result<dwarf::DwarfCube> Load(int64_t cube_id) const;
+
+  /// Removes every row of the stored cube.
+  Status DeleteCube(int64_t cube_id);
+
+  static constexpr const char* kCubeCf = "dwarf_cube";
+  static constexpr const char* kCellCf = "dwarf_cell";
+  static constexpr const char* kMetaCf = "dwarf_metadata";
+
+ private:
+  Result<int64_t> NextId(const std::string& table) const;
+
+  nosql::Database* db_;
+  std::string keyspace_;
+  NoSqlMinMapperOptions options_;
+};
+
+}  // namespace scdwarf::mapper
+
+#endif  // SCDWARF_MAPPER_NOSQL_MIN_MAPPER_H_

@@ -1,0 +1,43 @@
+/// \file sql_min_mapper.h
+/// \brief The MySQL-Min comparison schema: the NoSQL-Min layout (Table 3)
+/// expressed relationally — "designed to test how well MySQL performs using
+/// a schema without joins" (§5). Two tables, no node rows, no secondary
+/// indexes; rebuilds pay for it with full scans.
+
+#ifndef SCDWARF_MAPPER_SQL_MIN_MAPPER_H_
+#define SCDWARF_MAPPER_SQL_MIN_MAPPER_H_
+
+#include <string>
+
+#include "dwarf/dwarf_cube.h"
+#include "sql/engine.h"
+
+namespace scdwarf::mapper {
+
+/// \brief DWARF <-> MySQL-Min mapping.
+class SqlMinMapper {
+ public:
+  SqlMinMapper(sql::SqlEngine* engine, std::string database)
+      : engine_(engine), database_(std::move(database)) {}
+
+  Status EnsureSchema();
+  Result<int64_t> Store(const dwarf::DwarfCube& cube);
+  Result<dwarf::DwarfCube> Load(int64_t cube_id) const;
+
+  /// Removes every row of the stored cube.
+  Status DeleteCube(int64_t cube_id);
+
+  static constexpr const char* kCubeTable = "dwarf_cube";
+  static constexpr const char* kCellTable = "dwarf_cell";
+  static constexpr const char* kMetaTable = "dwarf_metadata";
+
+ private:
+  Result<int64_t> NextId(const std::string& table) const;
+
+  sql::SqlEngine* engine_;
+  std::string database_;
+};
+
+}  // namespace scdwarf::mapper
+
+#endif  // SCDWARF_MAPPER_SQL_MIN_MAPPER_H_

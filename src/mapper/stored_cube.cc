@@ -1,0 +1,246 @@
+#include "mapper/stored_cube.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "mapper/id_map.h"
+
+namespace scdwarf::mapper {
+
+CubeMeta CubeMeta::FromSchema(const dwarf::CubeSchema& schema) {
+  CubeMeta meta;
+  meta.cube_name = schema.name();
+  for (const dwarf::DimensionSpec& dim : schema.dimensions()) {
+    meta.dimension_names.push_back(dim.name);
+    meta.dimension_tables.push_back(dim.dimension_table);
+  }
+  meta.measure_name = schema.measure_name();
+  meta.agg = schema.agg();
+  return meta;
+}
+
+Result<dwarf::CubeSchema> CubeMeta::ToSchema() const {
+  if (dimension_names.size() != dimension_tables.size()) {
+    return Status::Internal("dimension metadata arity mismatch");
+  }
+  std::vector<dwarf::DimensionSpec> dims;
+  dims.reserve(dimension_names.size());
+  for (size_t i = 0; i < dimension_names.size(); ++i) {
+    dims.emplace_back(dimension_names[i], dimension_tables[i]);
+  }
+  dwarf::CubeSchema schema(cube_name, std::move(dims), measure_name, agg);
+  SCD_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+std::vector<MetaRow> MetaToRows(const CubeMeta& meta) {
+  std::vector<MetaRow> rows;
+  rows.push_back({"name", 0, meta.cube_name});
+  rows.push_back({"measure", 0, meta.measure_name});
+  rows.push_back({"agg", 0, dwarf::AggFnName(meta.agg)});
+  for (size_t i = 0; i < meta.dimension_names.size(); ++i) {
+    rows.push_back({"dimension", static_cast<int64_t>(i),
+                    meta.dimension_names[i]});
+    if (!meta.dimension_tables[i].empty()) {
+      rows.push_back({"dimension_table", static_cast<int64_t>(i),
+                      meta.dimension_tables[i]});
+    }
+  }
+  return rows;
+}
+
+Result<CubeMeta> MetaFromRows(const std::vector<MetaRow>& rows) {
+  CubeMeta meta;
+  std::map<int64_t, std::string> dims;
+  std::map<int64_t, std::string> tables;
+  for (const MetaRow& row : rows) {
+    if (row.kind == "name") {
+      meta.cube_name = row.value;
+    } else if (row.kind == "measure") {
+      meta.measure_name = row.value;
+    } else if (row.kind == "agg") {
+      SCD_ASSIGN_OR_RETURN(meta.agg, dwarf::ParseAggFn(row.value));
+    } else if (row.kind == "dimension") {
+      dims[row.idx] = row.value;
+    } else if (row.kind == "dimension_table") {
+      tables[row.idx] = row.value;
+    } else {
+      return Status::ParseError("unknown metadata kind '" + row.kind + "'");
+    }
+  }
+  if (dims.empty()) {
+    return Status::NotFound("no dimension metadata found");
+  }
+  int64_t expected = 0;
+  for (const auto& [idx, name] : dims) {
+    if (idx != expected++) {
+      return Status::ParseError("dimension metadata has gaps");
+    }
+    meta.dimension_names.push_back(name);
+    auto it = tables.find(idx);
+    meta.dimension_tables.push_back(it == tables.end() ? "" : it->second);
+  }
+  return meta;
+}
+
+Result<dwarf::DwarfCube> RebuildCube(const StoredCube& stored) {
+  SCD_ASSIGN_OR_RETURN(dwarf::CubeSchema schema, stored.meta.ToSchema());
+  size_t num_dims = schema.num_dimensions();
+
+  std::vector<dwarf::Dictionary> dictionaries;
+  dictionaries.reserve(num_dims);
+  for (const dwarf::DimensionSpec& dim : schema.dimensions()) {
+    dictionaries.emplace_back(dim.name);
+  }
+
+  if (stored.cells.empty()) {
+    dwarf::CubeAssembler assembler(schema, std::move(dictionaries));
+    return assembler.Finish();
+  }
+
+  // Group cells into their nodes. Ordered map => deterministic arena order.
+  struct NodeGroup {
+    std::vector<const StoredCell*> cells;  // regular cells
+    const StoredCell* all_cell = nullptr;
+    size_t level = SIZE_MAX;
+  };
+  std::map<int64_t, NodeGroup> nodes;
+  for (const StoredCell& cell : stored.cells) {
+    NodeGroup& group = nodes[cell.parent_node];
+    if (cell.key == kAllCellKey) {
+      if (group.all_cell != nullptr) {
+        return Status::ParseError("node " + std::to_string(cell.parent_node) +
+                                  " has two ALL cells");
+      }
+      group.all_cell = &cell;
+    } else {
+      group.cells.push_back(&cell);
+    }
+  }
+
+  auto entry = nodes.find(stored.entry_node_id);
+  if (entry == nodes.end()) {
+    return Status::ParseError("entry node " +
+                              std::to_string(stored.entry_node_id) +
+                              " has no cells");
+  }
+
+  // Derive levels by BFS over pointer edges.
+  std::deque<int64_t> queue;
+  entry->second.level = 0;
+  queue.push_back(stored.entry_node_id);
+  while (!queue.empty()) {
+    int64_t node_id = queue.front();
+    queue.pop_front();
+    NodeGroup& group = nodes[node_id];
+    std::vector<const StoredCell*> outgoing = group.cells;
+    if (group.all_cell != nullptr) outgoing.push_back(group.all_cell);
+    for (const StoredCell* cell : outgoing) {
+      if (cell->leaf || cell->pointer_node < 0) continue;
+      auto child = nodes.find(cell->pointer_node);
+      if (child == nodes.end()) {
+        return Status::ParseError("cell " + std::to_string(cell->id) +
+                                  " points to unknown node " +
+                                  std::to_string(cell->pointer_node));
+      }
+      size_t child_level = group.level + 1;
+      if (child_level >= num_dims) {
+        return Status::ParseError("node " + std::to_string(cell->pointer_node) +
+                                  " sits below the leaf level");
+      }
+      if (child->second.level == SIZE_MAX) {
+        child->second.level = child_level;
+        queue.push_back(cell->pointer_node);
+      } else if (child->second.level != child_level) {
+        return Status::ParseError("node " + std::to_string(cell->pointer_node) +
+                                  " is reachable at two levels");
+      }
+    }
+  }
+
+  // Assemble bottom-up so children have arena ids before their parents.
+  // Order nodes by descending level; arena ids assigned in that order.
+  std::vector<std::pair<int64_t, NodeGroup*>> ordered;
+  ordered.reserve(nodes.size());
+  for (auto& [id, group] : nodes) {
+    if (group.level == SIZE_MAX) {
+      return Status::ParseError("node " + std::to_string(id) +
+                                " is unreachable from the entry node");
+    }
+    ordered.emplace_back(id, &group);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second->level > b.second->level;
+                   });
+
+  std::map<int64_t, dwarf::NodeId> arena_ids;
+  std::vector<dwarf::DwarfNode> arena_nodes;
+
+  for (auto& [store_id, group] : ordered) {
+    bool leaf_level = group->level + 1 == num_dims;
+    dwarf::DwarfNode node;
+    node.level = static_cast<uint16_t>(group->level);
+    if (group->cells.empty()) {
+      return Status::ParseError("node " + std::to_string(store_id) +
+                                " has no regular cells");
+    }
+    if (group->all_cell == nullptr) {
+      return Status::ParseError("node " + std::to_string(store_id) +
+                                " is missing its ALL cell");
+    }
+    for (const StoredCell* cell : group->cells) {
+      dwarf::DwarfCell out;
+      out.key = dictionaries[group->level].Encode(cell->key);
+      if (leaf_level) {
+        if (!cell->leaf) {
+          return Status::ParseError("cell " + std::to_string(cell->id) +
+                                    " at leaf level lacks the leaf flag");
+        }
+        out.measure = cell->measure;
+      } else {
+        if (cell->pointer_node < 0) {
+          return Status::ParseError("interior cell " + std::to_string(cell->id) +
+                                    " has no pointer node");
+        }
+        auto it = arena_ids.find(cell->pointer_node);
+        if (it == arena_ids.end()) {
+          return Status::ParseError("cell " + std::to_string(cell->id) +
+                                    " points to unassembled node");
+        }
+        out.child = it->second;
+      }
+      node.cells.push_back(out);
+    }
+    std::sort(node.cells.begin(), node.cells.end(),
+              [](const dwarf::DwarfCell& a, const dwarf::DwarfCell& b) {
+                return a.key < b.key;
+              });
+    if (leaf_level) {
+      node.all_measure = group->all_cell->measure;
+    } else {
+      auto it = arena_ids.find(group->all_cell->pointer_node);
+      if (it == arena_ids.end()) {
+        return Status::ParseError("ALL cell of node " +
+                                  std::to_string(store_id) +
+                                  " points to unassembled node");
+      }
+      node.all_child = it->second;
+      node.all_coalesced =
+          node.cells.size() == 1 && node.cells[0].child == node.all_child;
+    }
+    dwarf::NodeId arena_id = static_cast<dwarf::NodeId>(arena_nodes.size());
+    arena_nodes.push_back(std::move(node));
+    arena_ids.emplace(store_id, arena_id);
+  }
+
+  dwarf::CubeAssembler final_assembler(schema, std::move(dictionaries));
+  for (dwarf::DwarfNode& node : arena_nodes) {
+    final_assembler.AddNode(std::move(node));
+  }
+  final_assembler.SetRoot(arena_ids[stored.entry_node_id]);
+  return final_assembler.Finish();
+}
+
+}  // namespace scdwarf::mapper

@@ -1,0 +1,75 @@
+/// \file stored_cube.h
+/// \brief Store-independent intermediate form shared by the four mappers'
+/// load paths. Every storage schema (NoSQL-DWARF, NoSQL-Min, MySQL-DWARF,
+/// MySQL-Min) decodes its rows into a StoredCube; RebuildCube() then
+/// reconstructs the in-memory DWARF — the "bi-directional model mapper" of
+/// the paper's contribution.
+///
+/// Also defines the cube-metadata row codec. The paper's column families
+/// (Table 1) do not persist the logical schema (dimension names, aggregate
+/// function), which a bidirectional mapping needs; every store therefore
+/// carries one extra metadata table (documented in DESIGN.md as the single
+/// extension to the paper's schemas).
+
+#ifndef SCDWARF_MAPPER_STORED_CUBE_H_
+#define SCDWARF_MAPPER_STORED_CUBE_H_
+
+#include <string>
+#include <vector>
+
+#include "dwarf/dwarf_cube.h"
+
+namespace scdwarf::mapper {
+
+/// \brief One persisted cell row, in the shape of Table 1-C. ALL cells use
+/// key == kAllCellKey (id_map.h).
+struct StoredCell {
+  int64_t id = 0;
+  std::string key;
+  dwarf::Measure measure = 0;
+  int64_t parent_node = 0;   ///< id of the owning node
+  int64_t pointer_node = -1; ///< id of the pointed-to node; -1 for leaf cells
+  bool leaf = false;
+};
+
+/// \brief Logical-schema metadata persisted next to each cube.
+struct CubeMeta {
+  std::string cube_name;
+  std::vector<std::string> dimension_names;
+  std::vector<std::string> dimension_tables;  ///< parallel to names; "" = none
+  std::string measure_name;
+  dwarf::AggFn agg = dwarf::AggFn::kSum;
+
+  static CubeMeta FromSchema(const dwarf::CubeSchema& schema);
+  Result<dwarf::CubeSchema> ToSchema() const;
+};
+
+/// \brief Generic metadata rows (kind, idx, value) for the dwarf_metadata
+/// table every store carries. Kinds: "name", "dimension", "dimension_table",
+/// "measure", "agg".
+struct MetaRow {
+  std::string kind;
+  int64_t idx = 0;
+  std::string value;
+};
+
+std::vector<MetaRow> MetaToRows(const CubeMeta& meta);
+Result<CubeMeta> MetaFromRows(const std::vector<MetaRow>& rows);
+
+/// \brief A fully decoded cube image.
+struct StoredCube {
+  CubeMeta meta;
+  int64_t entry_node_id = -1;
+  std::vector<StoredCell> cells;  ///< includes ALL cells; any order
+};
+
+/// \brief Reconstructs the in-memory DWARF: groups cells into nodes by
+/// parent id, derives levels by BFS from the entry node, re-encodes keys
+/// through fresh dictionaries and validates the result. Fails with a
+/// descriptive error on dangling references, missing ALL cells, level
+/// mismatches or cells past the leaf level.
+Result<dwarf::DwarfCube> RebuildCube(const StoredCube& stored);
+
+}  // namespace scdwarf::mapper
+
+#endif  // SCDWARF_MAPPER_STORED_CUBE_H_

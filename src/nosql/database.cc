@@ -1,0 +1,327 @@
+#include "nosql/database.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
+namespace scdwarf::nosql {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& bytes) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp + " for writing");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Status::IoError("short write to " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IoError("rename failed: " + ec.message());
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    return Status::IoError("short read from " + path);
+  }
+  return bytes;
+}
+
+/// Encodes a table or keyspace name safely into a file name.
+std::string SanitizeName(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-') {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Database> Database::Open(const std::string& data_dir) {
+  if (data_dir.empty()) {
+    return Status::InvalidArgument("data_dir must not be empty; "
+                                   "use the default constructor for memory mode");
+  }
+  Database db;
+  db.data_dir_ = data_dir;
+  std::error_code ec;
+  fs::create_directories(data_dir, ec);
+  if (ec) return Status::IoError("cannot create " + data_dir + ": " + ec.message());
+
+  // Load existing segments: <dir>/<keyspace>/<table>.cf
+  for (const auto& ks_entry : fs::directory_iterator(data_dir)) {
+    if (!ks_entry.is_directory()) continue;
+    std::string keyspace = ks_entry.path().filename().string();
+    db.keyspaces_[keyspace];  // ensure keyspace exists even if empty
+    for (const auto& cf_entry : fs::directory_iterator(ks_entry.path())) {
+      if (cf_entry.path().extension() != ".cf") continue;
+      SCD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                           ReadFile(cf_entry.path().string()));
+      ByteReader reader(bytes);
+      auto table = Table::Deserialize(&reader);
+      if (!table.ok()) {
+        return table.status().WithContext("loading " +
+                                          cf_entry.path().string());
+      }
+      std::string name = (*table)->schema().name();
+      db.keyspaces_[keyspace][name] = std::move(*table);
+    }
+  }
+  SCD_RETURN_IF_ERROR(db.ReplayCommitLog());
+  return db;
+}
+
+Status Database::CreateKeyspace(const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("empty keyspace name");
+  if (keyspaces_.count(name) > 0) {
+    return Status::AlreadyExists("keyspace '" + name + "' already exists");
+  }
+  keyspaces_[name];
+  return Status::OK();
+}
+
+Status Database::CreateTable(const TableSchema& schema) {
+  SCD_RETURN_IF_ERROR(schema.Validate());
+  auto ks = keyspaces_.find(schema.keyspace());
+  if (ks == keyspaces_.end()) {
+    return Status::NotFound("keyspace '" + schema.keyspace() + "' does not exist");
+  }
+  if (ks->second.count(schema.name()) > 0) {
+    return Status::AlreadyExists("table " + schema.QualifiedName() +
+                                 " already exists");
+  }
+  ks->second[schema.name()] = std::make_unique<Table>(schema);
+  return Status::OK();
+}
+
+Status Database::DropTable(const std::string& keyspace,
+                           const std::string& table) {
+  auto ks = keyspaces_.find(keyspace);
+  if (ks == keyspaces_.end() || ks->second.erase(table) == 0) {
+    return Status::NotFound("table " + keyspace + "." + table +
+                            " does not exist");
+  }
+  if (!data_dir_.empty()) {
+    std::error_code ec;
+    fs::remove(SegmentPath(keyspace, table), ec);
+  }
+  return Status::OK();
+}
+
+Status Database::CreateIndex(const std::string& keyspace,
+                             const std::string& table,
+                             const std::string& column) {
+  SCD_ASSIGN_OR_RETURN(Table * t, GetTable(keyspace, table));
+  return t->CreateIndex(column);
+}
+
+Result<Table*> Database::GetTable(const std::string& keyspace,
+                                  const std::string& table) {
+  auto ks = keyspaces_.find(keyspace);
+  if (ks == keyspaces_.end()) {
+    return Status::NotFound("keyspace '" + keyspace + "' does not exist");
+  }
+  auto it = ks->second.find(table);
+  if (it == ks->second.end()) {
+    return Status::NotFound("table " + keyspace + "." + table +
+                            " does not exist");
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Database::GetTable(const std::string& keyspace,
+                                        const std::string& table) const {
+  auto* self = const_cast<Database*>(this);
+  SCD_ASSIGN_OR_RETURN(Table * t, self->GetTable(keyspace, table));
+  return static_cast<const Table*>(t);
+}
+
+Status Database::Insert(const std::string& keyspace, const std::string& table,
+                        Row row) {
+  SCD_ASSIGN_OR_RETURN(Table * t, GetTable(keyspace, table));
+  if (!data_dir_.empty()) {
+    SCD_RETURN_IF_ERROR(AppendToCommitLog(keyspace, table, {row}));
+  }
+  return t->Insert(std::move(row));
+}
+
+Status Database::BulkInsert(const std::string& keyspace,
+                            const std::string& table, std::vector<Row> rows) {
+  SCD_ASSIGN_OR_RETURN(Table * t, GetTable(keyspace, table));
+  if (!data_dir_.empty()) {
+    SCD_RETURN_IF_ERROR(AppendToCommitLog(keyspace, table, rows));
+  }
+  t->ReserveAdditional(rows.size());
+  for (Row& row : rows) {
+    SCD_RETURN_IF_ERROR(t->Insert(std::move(row)));
+  }
+  return Status::OK();
+}
+
+Status Database::Delete(const std::string& keyspace, const std::string& table,
+                        const Value& key) {
+  return BulkDelete(keyspace, table, {key});
+}
+
+Status Database::BulkDelete(const std::string& keyspace,
+                            const std::string& table,
+                            const std::vector<Value>& keys) {
+  SCD_ASSIGN_OR_RETURN(Table * t, GetTable(keyspace, table));
+  if (!data_dir_.empty()) {
+    // Deletes are logged as single-value rows with the delete flag set.
+    std::vector<Row> key_rows;
+    key_rows.reserve(keys.size());
+    for (const Value& key : keys) key_rows.push_back({key});
+    SCD_RETURN_IF_ERROR(
+        AppendToCommitLog(keyspace, table, key_rows, /*is_delete=*/true));
+  }
+  for (const Value& key : keys) {
+    SCD_RETURN_IF_ERROR(t->DeleteByPk(key));
+  }
+  return Status::OK();
+}
+
+Status Database::Flush() {
+  if (data_dir_.empty()) return Status::OK();
+  for (const auto& [keyspace, tables] : keyspaces_) {
+    std::error_code ec;
+    fs::create_directories(fs::path(data_dir_) / SanitizeName(keyspace), ec);
+    if (ec) return Status::IoError("cannot create keyspace dir: " + ec.message());
+    for (const auto& [name, table] : tables) {
+      ByteWriter writer;
+      table->SerializeTo(&writer);
+      SCD_RETURN_IF_ERROR(
+          WriteFileAtomic(SegmentPath(keyspace, name), writer.data()));
+    }
+  }
+  std::error_code ec;
+  fs::remove(CommitLogPath(), ec);
+  return Status::OK();
+}
+
+Result<uint64_t> Database::DiskSizeBytes() const {
+  if (data_dir_.empty()) return uint64_t{0};
+  uint64_t total = 0;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(data_dir_, ec);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_regular_file()) total += it->file_size();
+  }
+  if (ec) return Status::IoError("walking " + data_dir_ + ": " + ec.message());
+  return total;
+}
+
+uint64_t Database::EstimateBytes() const {
+  uint64_t total = 0;
+  for (const auto& [keyspace, tables] : keyspaces_) {
+    for (const auto& [name, table] : tables) {
+      total += table->EstimateSegmentBytes();
+    }
+  }
+  return total;
+}
+
+Result<std::vector<std::string>> Database::ListTables(
+    const std::string& keyspace) const {
+  auto ks = keyspaces_.find(keyspace);
+  if (ks == keyspaces_.end()) {
+    return Status::NotFound("keyspace '" + keyspace + "' does not exist");
+  }
+  std::vector<std::string> names;
+  names.reserve(ks->second.size());
+  for (const auto& [name, table] : ks->second) names.push_back(name);
+  return names;
+}
+
+std::string Database::SegmentPath(const std::string& keyspace,
+                                  const std::string& table) const {
+  return (fs::path(data_dir_) / SanitizeName(keyspace) /
+          (SanitizeName(table) + ".cf"))
+      .string();
+}
+
+std::string Database::CommitLogPath() const {
+  return (fs::path(data_dir_) / "commitlog.bin").string();
+}
+
+Status Database::AppendToCommitLog(const std::string& keyspace,
+                                   const std::string& table,
+                                   const std::vector<Row>& rows,
+                                   bool is_delete) {
+  ByteWriter writer;
+  writer.PutU8(is_delete ? 1 : 0);
+  writer.PutString(keyspace);
+  writer.PutString(table);
+  writer.PutVarint(rows.size());
+  for (const Row& row : rows) {
+    writer.PutVarint(row.size());
+    for (const Value& value : row) value.EncodeTo(&writer);
+  }
+  std::ofstream out(CommitLogPath(), std::ios::binary | std::ios::app);
+  if (!out) return Status::IoError("cannot open commit log");
+  // Length-prefixed record so replay can find batch boundaries.
+  ByteWriter framed;
+  framed.PutU32(static_cast<uint32_t>(writer.size()));
+  out.write(reinterpret_cast<const char*>(framed.data().data()),
+            static_cast<std::streamsize>(framed.size()));
+  out.write(reinterpret_cast<const char*>(writer.data().data()),
+            static_cast<std::streamsize>(writer.size()));
+  if (!out) return Status::IoError("short write to commit log");
+  return Status::OK();
+}
+
+Status Database::ReplayCommitLog() {
+  if (!fs::exists(CommitLogPath())) return Status::OK();
+  SCD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(CommitLogPath()));
+  ByteReader reader(bytes);
+  while (!reader.AtEnd()) {
+    auto frame_size = reader.ReadU32();
+    if (!frame_size.ok()) break;  // torn tail: stop replay
+    if (reader.remaining() < *frame_size) break;
+    SCD_ASSIGN_OR_RETURN(uint8_t op, reader.ReadU8());
+    SCD_ASSIGN_OR_RETURN(std::string keyspace, reader.ReadString());
+    SCD_ASSIGN_OR_RETURN(std::string table, reader.ReadString());
+    SCD_ASSIGN_OR_RETURN(uint64_t num_rows, reader.ReadVarint());
+    auto table_result = GetTable(keyspace, table);
+    for (uint64_t r = 0; r < num_rows; ++r) {
+      SCD_ASSIGN_OR_RETURN(uint64_t arity, reader.ReadVarint());
+      Row row;
+      row.reserve(arity);
+      for (uint64_t c = 0; c < arity; ++c) {
+        SCD_ASSIGN_OR_RETURN(Value value, Value::DecodeFrom(&reader));
+        row.push_back(std::move(value));
+      }
+      // Rows for tables dropped since the log was written are skipped.
+      if (table_result.ok()) {
+        if (op == 1) {
+          // A delete of a row that never reached a segment replays as a
+          // no-op.
+          Status status = (*table_result)->DeleteByPk(row[0]);
+          if (!status.ok() && !status.IsNotFound()) return status;
+        } else {
+          SCD_RETURN_IF_ERROR((*table_result)->Insert(std::move(row)));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace scdwarf::nosql

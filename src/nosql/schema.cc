@@ -1,0 +1,127 @@
+#include "nosql/schema.h"
+
+#include <algorithm>
+
+namespace scdwarf::nosql {
+
+Status TableSchema::Validate() const {
+  if (keyspace_.empty()) return Status::InvalidArgument("empty keyspace name");
+  if (name_.empty()) return Status::InvalidArgument("empty table name");
+  if (columns_.empty()) {
+    return Status::InvalidArgument("table " + QualifiedName() +
+                                   " has no columns");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name.empty()) {
+      return Status::InvalidArgument("column " + std::to_string(i) +
+                                     " has an empty name");
+    }
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      if (columns_[i].name == columns_[j].name) {
+        return Status::InvalidArgument("duplicate column '" + columns_[i].name +
+                                       "' in " + QualifiedName());
+      }
+    }
+  }
+  if (!ColumnIndex(primary_key_).ok()) {
+    return Status::InvalidArgument("primary key '" + primary_key_ +
+                                   "' is not a column of " + QualifiedName());
+  }
+  for (size_t index : secondary_indexes_) {
+    if (index >= columns_.size()) {
+      return Status::InvalidArgument("secondary index out of range");
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> TableSchema::ColumnIndex(std::string_view column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column) return i;
+  }
+  return Status::NotFound("no column '" + std::string(column) + "' in " +
+                          QualifiedName());
+}
+
+size_t TableSchema::PrimaryKeyIndex() const {
+  return ColumnIndex(primary_key_).ValueOrDie();
+}
+
+Status TableSchema::AddSecondaryIndex(std::string_view column) {
+  SCD_ASSIGN_OR_RETURN(size_t index, ColumnIndex(column));
+  if (columns_[index].name == primary_key_) {
+    return Status::InvalidArgument("primary key is already indexed");
+  }
+  if (columns_[index].type == DataType::kIntSet) {
+    return Status::InvalidArgument("set columns cannot carry an index");
+  }
+  if (std::find(secondary_indexes_.begin(), secondary_indexes_.end(), index) !=
+      secondary_indexes_.end()) {
+    return Status::AlreadyExists("index on '" + std::string(column) +
+                                 "' already exists");
+  }
+  secondary_indexes_.push_back(index);
+  std::sort(secondary_indexes_.begin(), secondary_indexes_.end());
+  return Status::OK();
+}
+
+std::string TableSchema::ToCqlDdl() const {
+  std::string ddl = "CREATE TABLE " + QualifiedName() + " (";
+  for (const ColumnDef& column : columns_) {
+    ddl += column.name;
+    ddl += " ";
+    ddl += DataTypeName(column.type);
+    ddl += ", ";
+  }
+  ddl += "PRIMARY KEY (" + primary_key_ + "))";
+  return ddl;
+}
+
+std::vector<std::string> TableSchema::ToCreateIndexDdl() const {
+  std::vector<std::string> statements;
+  for (size_t index : secondary_indexes_) {
+    statements.push_back("CREATE INDEX ON " + QualifiedName() + " (" +
+                         columns_[index].name + ")");
+  }
+  return statements;
+}
+
+void TableSchema::EncodeTo(ByteWriter* writer) const {
+  writer->PutString(keyspace_);
+  writer->PutString(name_);
+  writer->PutVarint(columns_.size());
+  for (const ColumnDef& column : columns_) {
+    writer->PutString(column.name);
+    writer->PutU8(static_cast<uint8_t>(column.type));
+  }
+  writer->PutString(primary_key_);
+  writer->PutVarint(secondary_indexes_.size());
+  for (size_t index : secondary_indexes_) writer->PutVarint(index);
+}
+
+Result<TableSchema> TableSchema::DecodeFrom(ByteReader* reader) {
+  TableSchema schema;
+  SCD_ASSIGN_OR_RETURN(schema.keyspace_, reader->ReadString());
+  SCD_ASSIGN_OR_RETURN(schema.name_, reader->ReadString());
+  SCD_ASSIGN_OR_RETURN(uint64_t num_columns, reader->ReadVarint());
+  for (uint64_t i = 0; i < num_columns; ++i) {
+    ColumnDef column;
+    SCD_ASSIGN_OR_RETURN(column.name, reader->ReadString());
+    SCD_ASSIGN_OR_RETURN(uint8_t type, reader->ReadU8());
+    if (type > static_cast<uint8_t>(DataType::kIntSet)) {
+      return Status::ParseError("invalid column type tag");
+    }
+    column.type = static_cast<DataType>(type);
+    schema.columns_.push_back(std::move(column));
+  }
+  SCD_ASSIGN_OR_RETURN(schema.primary_key_, reader->ReadString());
+  SCD_ASSIGN_OR_RETURN(uint64_t num_indexes, reader->ReadVarint());
+  for (uint64_t i = 0; i < num_indexes; ++i) {
+    SCD_ASSIGN_OR_RETURN(uint64_t index, reader->ReadVarint());
+    schema.secondary_indexes_.push_back(static_cast<size_t>(index));
+  }
+  SCD_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+}  // namespace scdwarf::nosql

@@ -1,0 +1,143 @@
+#include "sql/catalog.h"
+
+#include <algorithm>
+
+namespace scdwarf::sql {
+
+Status SqlTableDef::Validate() const {
+  if (database_.empty()) return Status::InvalidArgument("empty database name");
+  if (name_.empty()) return Status::InvalidArgument("empty table name");
+  if (columns_.empty()) {
+    return Status::InvalidArgument("table " + QualifiedName() +
+                                   " has no columns");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name.empty()) {
+      return Status::InvalidArgument("column " + std::to_string(i) +
+                                     " has an empty name");
+    }
+    if (columns_[i].type == DataType::kIntSet) {
+      return Status::InvalidArgument(
+          "relational engine has no set type (column '" + columns_[i].name +
+          "'); use a join table");
+    }
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      if (columns_[i].name == columns_[j].name) {
+        return Status::InvalidArgument("duplicate column '" + columns_[i].name +
+                                       "' in " + QualifiedName());
+      }
+    }
+  }
+  if (!ColumnIndex(primary_key_).ok()) {
+    return Status::InvalidArgument("primary key '" + primary_key_ +
+                                   "' is not a column of " + QualifiedName());
+  }
+  for (size_t index : secondary_indexes_) {
+    if (index >= columns_.size()) {
+      return Status::InvalidArgument("secondary index out of range");
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> SqlTableDef::ColumnIndex(std::string_view column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column) return i;
+  }
+  return Status::NotFound("no column '" + std::string(column) + "' in " +
+                          QualifiedName());
+}
+
+size_t SqlTableDef::PrimaryKeyIndex() const {
+  return ColumnIndex(primary_key_).ValueOrDie();
+}
+
+Status SqlTableDef::AddSecondaryIndex(std::string_view column) {
+  SCD_ASSIGN_OR_RETURN(size_t index, ColumnIndex(column));
+  if (columns_[index].name == primary_key_) {
+    return Status::InvalidArgument("primary key is already indexed");
+  }
+  if (std::find(secondary_indexes_.begin(), secondary_indexes_.end(), index) !=
+      secondary_indexes_.end()) {
+    return Status::AlreadyExists("index on '" + std::string(column) +
+                                 "' already exists");
+  }
+  secondary_indexes_.push_back(index);
+  std::sort(secondary_indexes_.begin(), secondary_indexes_.end());
+  return Status::OK();
+}
+
+std::string SqlTableDef::ToSqlDdl() const {
+  std::string ddl = "CREATE TABLE " + QualifiedName() + " (";
+  for (const SqlColumn& column : columns_) {
+    ddl += column.name;
+    switch (column.type) {
+      case DataType::kInt:
+        ddl += " INT";
+        break;
+      case DataType::kBigint:
+        ddl += " BIGINT";
+        break;
+      case DataType::kText:
+        ddl += " TEXT";
+        break;
+      case DataType::kBool:
+        ddl += " BOOL";
+        break;
+      case DataType::kIntSet:
+        ddl += " /* unrepresentable */";
+        break;
+    }
+    if (!column.nullable) ddl += " NOT NULL";
+    ddl += ", ";
+  }
+  ddl += "PRIMARY KEY (" + primary_key_ + ")";
+  for (size_t index : secondary_indexes_) {
+    ddl += ", INDEX (" + columns_[index].name + ")";
+  }
+  ddl += ")";
+  return ddl;
+}
+
+void SqlTableDef::EncodeTo(ByteWriter* writer) const {
+  writer->PutString(database_);
+  writer->PutString(name_);
+  writer->PutVarint(columns_.size());
+  for (const SqlColumn& column : columns_) {
+    writer->PutString(column.name);
+    writer->PutU8(static_cast<uint8_t>(column.type));
+    writer->PutU8(column.nullable ? 1 : 0);
+  }
+  writer->PutString(primary_key_);
+  writer->PutVarint(secondary_indexes_.size());
+  for (size_t index : secondary_indexes_) writer->PutVarint(index);
+}
+
+Result<SqlTableDef> SqlTableDef::DecodeFrom(ByteReader* reader) {
+  SqlTableDef def;
+  SCD_ASSIGN_OR_RETURN(def.database_, reader->ReadString());
+  SCD_ASSIGN_OR_RETURN(def.name_, reader->ReadString());
+  SCD_ASSIGN_OR_RETURN(uint64_t num_columns, reader->ReadVarint());
+  for (uint64_t i = 0; i < num_columns; ++i) {
+    SqlColumn column;
+    SCD_ASSIGN_OR_RETURN(column.name, reader->ReadString());
+    SCD_ASSIGN_OR_RETURN(uint8_t type, reader->ReadU8());
+    if (type > static_cast<uint8_t>(DataType::kIntSet)) {
+      return Status::ParseError("invalid column type tag");
+    }
+    column.type = static_cast<DataType>(type);
+    SCD_ASSIGN_OR_RETURN(uint8_t nullable, reader->ReadU8());
+    column.nullable = nullable != 0;
+    def.columns_.push_back(std::move(column));
+  }
+  SCD_ASSIGN_OR_RETURN(def.primary_key_, reader->ReadString());
+  SCD_ASSIGN_OR_RETURN(uint64_t num_indexes, reader->ReadVarint());
+  for (uint64_t i = 0; i < num_indexes; ++i) {
+    SCD_ASSIGN_OR_RETURN(uint64_t index, reader->ReadVarint());
+    def.secondary_indexes_.push_back(static_cast<size_t>(index));
+  }
+  SCD_RETURN_IF_ERROR(def.Validate());
+  return def;
+}
+
+}  // namespace scdwarf::sql

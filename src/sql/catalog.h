@@ -1,0 +1,87 @@
+/// \file catalog.h
+/// \brief Relational schemas for the MySQL-like engine used by the paper's
+/// MySQL-DWARF (Fig. 4) and MySQL-Min comparison schemas.
+///
+/// The engine deliberately has no set type: a DWARF node's children must be
+/// exploded into NODE_CHILDREN / CELL_CHILDREN join-table rows, which is the
+/// exact storage blow-up Table 4 attributes to MySQL-DWARF.
+
+#ifndef SCDWARF_SQL_CATALOG_H_
+#define SCDWARF_SQL_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace scdwarf::sql {
+
+/// \brief One relational column. VARCHAR/TEXT map to kText, INT/BIGINT to
+/// the integer types, BOOL to kBool; kIntSet is rejected by Validate().
+struct SqlColumn {
+  std::string name;
+  DataType type = DataType::kInt;
+  bool nullable = true;
+
+  SqlColumn() = default;
+  SqlColumn(std::string name_in, DataType type_in, bool nullable_in = true)
+      : name(std::move(name_in)), type(type_in), nullable(nullable_in) {}
+
+  bool operator==(const SqlColumn& other) const {
+    return name == other.name && type == other.type &&
+           nullable == other.nullable;
+  }
+};
+
+/// \brief Relational table definition: columns, one primary key column and
+/// optional secondary (non-unique) indexes.
+class SqlTableDef {
+ public:
+  SqlTableDef() = default;
+  SqlTableDef(std::string database, std::string name,
+              std::vector<SqlColumn> columns, std::string primary_key)
+      : database_(std::move(database)),
+        name_(std::move(name)),
+        columns_(std::move(columns)),
+        primary_key_(std::move(primary_key)) {}
+
+  Status Validate() const;
+
+  const std::string& database() const { return database_; }
+  const std::string& name() const { return name_; }
+  std::string QualifiedName() const { return database_ + "." + name_; }
+  const std::vector<SqlColumn>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const std::string& primary_key() const { return primary_key_; }
+
+  Result<size_t> ColumnIndex(std::string_view column) const;
+  size_t PrimaryKeyIndex() const;
+
+  const std::vector<size_t>& secondary_indexes() const {
+    return secondary_indexes_;
+  }
+  Status AddSecondaryIndex(std::string_view column);
+
+  /// Renders the CREATE TABLE statement (parsable by the SQL subset),
+  /// including NOT NULL markers, the PRIMARY KEY clause and inline INDEX
+  /// clauses for secondary indexes — the Fig. 4 DDL.
+  std::string ToSqlDdl() const;
+
+  /// Binary round-trip for tablespace file headers.
+  void EncodeTo(ByteWriter* writer) const;
+  static Result<SqlTableDef> DecodeFrom(ByteReader* reader);
+
+ private:
+  std::string database_;
+  std::string name_;
+  std::vector<SqlColumn> columns_;
+  std::string primary_key_;
+  std::vector<size_t> secondary_indexes_;
+};
+
+using SqlRow = std::vector<Value>;
+
+}  // namespace scdwarf::sql
+
+#endif  // SCDWARF_SQL_CATALOG_H_

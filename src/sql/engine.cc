@@ -1,0 +1,344 @@
+#include "sql/engine.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
+namespace scdwarf::sql {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<uint8_t>& bytes) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp + " for writing");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Status::IoError("short write to " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IoError("rename failed: " + ec.message());
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0 && !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    return Status::IoError("short read from " + path);
+  }
+  return bytes;
+}
+
+std::string SanitizeName(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-') {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SqlEngine> SqlEngine::Open(const std::string& data_dir) {
+  if (data_dir.empty()) {
+    return Status::InvalidArgument(
+        "data_dir must not be empty; use the default constructor for memory "
+        "mode");
+  }
+  SqlEngine engine;
+  engine.data_dir_ = data_dir;
+  std::error_code ec;
+  fs::create_directories(data_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + data_dir + ": " + ec.message());
+  }
+  for (const auto& db_entry : fs::directory_iterator(data_dir)) {
+    if (!db_entry.is_directory()) continue;
+    std::string database = db_entry.path().filename().string();
+    engine.databases_[database];
+    for (const auto& tbl_entry : fs::directory_iterator(db_entry.path())) {
+      if (tbl_entry.path().extension() != ".tbl") continue;
+      SCD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                           ReadFile(tbl_entry.path().string()));
+      ByteReader reader(bytes);
+      auto table = HeapTable::Deserialize(&reader);
+      if (!table.ok()) {
+        return table.status().WithContext("loading " +
+                                          tbl_entry.path().string());
+      }
+      std::string name = (*table)->def().name();
+      engine.databases_[database][name] = std::move(*table);
+    }
+  }
+  SCD_RETURN_IF_ERROR(engine.ReplayRedoLog());
+  return engine;
+}
+
+Status SqlEngine::CreateDatabase(const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("empty database name");
+  if (databases_.count(name) > 0) {
+    return Status::AlreadyExists("database '" + name + "' already exists");
+  }
+  databases_[name];
+  return Status::OK();
+}
+
+Status SqlEngine::CreateTable(const SqlTableDef& def) {
+  SCD_RETURN_IF_ERROR(def.Validate());
+  auto db = databases_.find(def.database());
+  if (db == databases_.end()) {
+    return Status::NotFound("database '" + def.database() + "' does not exist");
+  }
+  if (db->second.count(def.name()) > 0) {
+    return Status::AlreadyExists("table " + def.QualifiedName() +
+                                 " already exists");
+  }
+  db->second[def.name()] = std::make_unique<HeapTable>(def);
+  return Status::OK();
+}
+
+Status SqlEngine::DropTable(const std::string& database,
+                            const std::string& table) {
+  auto db = databases_.find(database);
+  if (db == databases_.end() || db->second.erase(table) == 0) {
+    return Status::NotFound("table " + database + "." + table +
+                            " does not exist");
+  }
+  if (!data_dir_.empty()) {
+    std::error_code ec;
+    fs::remove(TablespacePath(database, table), ec);
+  }
+  return Status::OK();
+}
+
+Status SqlEngine::CreateIndex(const std::string& database,
+                              const std::string& table,
+                              const std::string& column) {
+  SCD_ASSIGN_OR_RETURN(HeapTable * t, GetTable(database, table));
+  return t->CreateIndex(column);
+}
+
+Result<HeapTable*> SqlEngine::GetTable(const std::string& database,
+                                       const std::string& table) {
+  auto db = databases_.find(database);
+  if (db == databases_.end()) {
+    return Status::NotFound("database '" + database + "' does not exist");
+  }
+  auto it = db->second.find(table);
+  if (it == db->second.end()) {
+    return Status::NotFound("table " + database + "." + table +
+                            " does not exist");
+  }
+  return it->second.get();
+}
+
+Result<const HeapTable*> SqlEngine::GetTable(const std::string& database,
+                                             const std::string& table) const {
+  auto* self = const_cast<SqlEngine*>(this);
+  SCD_ASSIGN_OR_RETURN(HeapTable * t, self->GetTable(database, table));
+  return static_cast<const HeapTable*>(t);
+}
+
+Status SqlEngine::Insert(const std::string& database, const std::string& table,
+                         SqlRow row) {
+  SCD_ASSIGN_OR_RETURN(HeapTable * t, GetTable(database, table));
+  if (!data_dir_.empty()) {
+    SCD_RETURN_IF_ERROR(AppendToRedoLog(database, table, {row}));
+  }
+  return t->Insert(std::move(row));
+}
+
+Status SqlEngine::BulkInsert(const std::string& database,
+                             const std::string& table,
+                             std::vector<SqlRow> rows) {
+  SCD_ASSIGN_OR_RETURN(HeapTable * t, GetTable(database, table));
+  if (!data_dir_.empty()) {
+    SCD_RETURN_IF_ERROR(AppendToRedoLog(database, table, rows));
+  }
+  for (SqlRow& row : rows) {
+    SCD_RETURN_IF_ERROR(t->Insert(std::move(row)));
+  }
+  return Status::OK();
+}
+
+Status SqlEngine::Delete(const std::string& database, const std::string& table,
+                         const Value& key) {
+  return BulkDelete(database, table, {key});
+}
+
+Status SqlEngine::BulkDelete(const std::string& database,
+                             const std::string& table,
+                             const std::vector<Value>& keys) {
+  SCD_ASSIGN_OR_RETURN(HeapTable * t, GetTable(database, table));
+  if (!data_dir_.empty()) {
+    std::vector<SqlRow> key_rows;
+    key_rows.reserve(keys.size());
+    for (const Value& key : keys) key_rows.push_back({key});
+    SCD_RETURN_IF_ERROR(
+        AppendToRedoLog(database, table, key_rows, /*is_delete=*/true));
+  }
+  for (const Value& key : keys) {
+    SCD_RETURN_IF_ERROR(t->DeleteByPk(key));
+  }
+  return Status::OK();
+}
+
+Status SqlEngine::Flush() {
+  if (data_dir_.empty()) {
+    for (const auto& [database, tables] : databases_) {
+      for (const auto& [name, table] : tables) table->CommitTransaction();
+    }
+    return Status::OK();
+  }
+  std::string doublewrite = (fs::path(data_dir_) / "doublewrite.bin").string();
+  for (const auto& [database, tables] : databases_) {
+    std::error_code ec;
+    fs::create_directories(fs::path(data_dir_) / SanitizeName(database), ec);
+    if (ec) return Status::IoError("cannot create database dir: " + ec.message());
+    for (const auto& [name, table] : tables) {
+      ByteWriter writer;
+      table->SerializeTo(&writer);
+      // InnoDB writes every page twice: first to the doublewrite buffer,
+      // then in place (torn-page protection; on by default).
+      SCD_RETURN_IF_ERROR(WriteFileAtomic(doublewrite, writer.data()));
+      SCD_RETURN_IF_ERROR(
+          WriteFileAtomic(TablespacePath(database, name), writer.data()));
+      table->CommitTransaction();
+    }
+  }
+  std::error_code ec;
+  fs::remove(doublewrite, ec);
+  fs::remove(RedoLogPath(), ec);
+  return Status::OK();
+}
+
+Result<uint64_t> SqlEngine::DiskSizeBytes() const {
+  if (data_dir_.empty()) return uint64_t{0};
+  uint64_t total = 0;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(data_dir_, ec);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_regular_file()) total += it->file_size();
+  }
+  if (ec) return Status::IoError("walking " + data_dir_ + ": " + ec.message());
+  return total;
+}
+
+uint64_t SqlEngine::EstimateBytes() const {
+  uint64_t total = 0;
+  for (const auto& [database, tables] : databases_) {
+    for (const auto& [name, table] : tables) {
+      total += table->EstimateTablespaceBytes();
+    }
+  }
+  return total;
+}
+
+Result<std::vector<std::string>> SqlEngine::ListTables(
+    const std::string& database) const {
+  auto db = databases_.find(database);
+  if (db == databases_.end()) {
+    return Status::NotFound("database '" + database + "' does not exist");
+  }
+  std::vector<std::string> names;
+  names.reserve(db->second.size());
+  for (const auto& [name, table] : db->second) names.push_back(name);
+  return names;
+}
+
+std::string SqlEngine::TablespacePath(const std::string& database,
+                                      const std::string& table) const {
+  return (fs::path(data_dir_) / SanitizeName(database) /
+          (SanitizeName(table) + ".tbl"))
+      .string();
+}
+
+std::string SqlEngine::RedoLogPath() const {
+  return (fs::path(data_dir_) / "redolog.bin").string();
+}
+
+Status SqlEngine::AppendToRedoLog(const std::string& database,
+                                  const std::string& table,
+                                  const std::vector<SqlRow>& rows,
+                                  bool is_delete) {
+  ByteWriter writer;
+  writer.PutU8(is_delete ? 1 : 0);
+  writer.PutString(database);
+  writer.PutString(table);
+  writer.PutVarint(rows.size());
+  for (const SqlRow& row : rows) {
+    writer.PutVarint(row.size());
+    for (const Value& value : row) value.EncodeTo(&writer);
+  }
+  // InnoDB's default durability (innodb_flush_log_at_trx_commit = 1) flushes
+  // and fsyncs the redo log at every commit; the Cassandra-style store uses
+  // periodic commit-log sync instead, one of the write-path differences
+  // behind Table 5.
+  int fd = ::open(RedoLogPath().c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Status::IoError("cannot open redo log");
+  ByteWriter framed;
+  framed.PutU32(static_cast<uint32_t>(writer.size()));
+  bool ok = ::write(fd, framed.data().data(), framed.size()) ==
+                static_cast<ssize_t>(framed.size()) &&
+            ::write(fd, writer.data().data(), writer.size()) ==
+                static_cast<ssize_t>(writer.size());
+  ok = ok && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) return Status::IoError("short write to redo log");
+  return Status::OK();
+}
+
+Status SqlEngine::ReplayRedoLog() {
+  if (!fs::exists(RedoLogPath())) return Status::OK();
+  SCD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(RedoLogPath()));
+  ByteReader reader(bytes);
+  while (!reader.AtEnd()) {
+    auto frame_size = reader.ReadU32();
+    if (!frame_size.ok()) break;  // torn tail
+    if (reader.remaining() < *frame_size) break;
+    SCD_ASSIGN_OR_RETURN(uint8_t op, reader.ReadU8());
+    SCD_ASSIGN_OR_RETURN(std::string database, reader.ReadString());
+    SCD_ASSIGN_OR_RETURN(std::string table, reader.ReadString());
+    SCD_ASSIGN_OR_RETURN(uint64_t num_rows, reader.ReadVarint());
+    auto table_result = GetTable(database, table);
+    for (uint64_t r = 0; r < num_rows; ++r) {
+      SCD_ASSIGN_OR_RETURN(uint64_t arity, reader.ReadVarint());
+      SqlRow row;
+      row.reserve(arity);
+      for (uint64_t c = 0; c < arity; ++c) {
+        SCD_ASSIGN_OR_RETURN(Value value, Value::DecodeFrom(&reader));
+        row.push_back(std::move(value));
+      }
+      if (table_result.ok()) {
+        if (op == 1) {
+          Status status = (*table_result)->DeleteByPk(row[0]);
+          if (!status.ok() && !status.IsNotFound()) return status;
+        } else {
+          Status status = (*table_result)->Insert(std::move(row));
+          // Rows already present in a flushed tablespace replay as
+          // duplicates.
+          if (!status.ok() && !status.IsAlreadyExists()) return status;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace scdwarf::sql

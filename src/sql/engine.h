@@ -1,0 +1,88 @@
+/// \file engine.h
+/// \brief The MySQL-like engine: named databases of HeapTables, a redo log on
+/// the write path, tablespace flush/reopen and disk accounting. Mirrors
+/// nosql::Database so the benchmark harness can drive both stores uniformly.
+
+#ifndef SCDWARF_SQL_ENGINE_H_
+#define SCDWARF_SQL_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sql/heap_table.h"
+
+namespace scdwarf::sql {
+
+/// \brief A single-node relational engine.
+///
+/// With a data directory, mutation batches append to a redo log before being
+/// applied, Flush() writes one tablespace file per table and truncates the
+/// log, Open() reloads tablespaces then replays any unflushed log tail.
+class SqlEngine {
+ public:
+  /// In-memory engine.
+  SqlEngine() = default;
+
+  /// Creates or opens a durable engine rooted at \p data_dir.
+  static Result<SqlEngine> Open(const std::string& data_dir);
+
+  SqlEngine(SqlEngine&&) noexcept = default;
+  SqlEngine& operator=(SqlEngine&&) noexcept = default;
+
+  Status CreateDatabase(const std::string& name);
+  bool HasDatabase(const std::string& name) const {
+    return databases_.count(name) > 0;
+  }
+
+  Status CreateTable(const SqlTableDef& def);
+  Status DropTable(const std::string& database, const std::string& table);
+  Status CreateIndex(const std::string& database, const std::string& table,
+                     const std::string& column);
+
+  Result<HeapTable*> GetTable(const std::string& database,
+                              const std::string& table);
+  Result<const HeapTable*> GetTable(const std::string& database,
+                                    const std::string& table) const;
+
+  Status Insert(const std::string& database, const std::string& table,
+                SqlRow row);
+
+  /// Multi-row insert with one redo-log append (MySQL's bulk INSERT ...
+  /// VALUES (...), (...), the mode §5 uses for both engines).
+  Status BulkInsert(const std::string& database, const std::string& table,
+                    std::vector<SqlRow> rows);
+
+  /// Deletes one row by primary key (redo-logged like inserts).
+  Status Delete(const std::string& database, const std::string& table,
+                const Value& key);
+
+  /// Deletes many rows by primary key with one redo-log append.
+  Status BulkDelete(const std::string& database, const std::string& table,
+                    const std::vector<Value>& keys);
+
+  Status Flush();
+  Result<uint64_t> DiskSizeBytes() const;
+  uint64_t EstimateBytes() const;
+  Result<std::vector<std::string>> ListTables(const std::string& database) const;
+
+  const std::string& data_dir() const { return data_dir_; }
+
+ private:
+  Status AppendToRedoLog(const std::string& database, const std::string& table,
+                         const std::vector<SqlRow>& rows,
+                         bool is_delete = false);
+  Status ReplayRedoLog();
+  std::string TablespacePath(const std::string& database,
+                             const std::string& table) const;
+  std::string RedoLogPath() const;
+
+  std::string data_dir_;
+  std::map<std::string, std::map<std::string, std::unique_ptr<HeapTable>>>
+      databases_;
+};
+
+}  // namespace scdwarf::sql
+
+#endif  // SCDWARF_SQL_ENGINE_H_

@@ -1,0 +1,39 @@
+#include "xml/xml_node.h"
+
+namespace scdwarf::xml {
+
+const std::string* XmlElement::FindAttribute(std::string_view name) const {
+  for (const auto& [attr_name, attr_value] : attributes_) {
+    if (attr_name == name) return &attr_value;
+  }
+  return nullptr;
+}
+
+XmlElement* XmlElement::AddChild(std::string name) {
+  children_.push_back(std::make_unique<XmlElement>(std::move(name)));
+  return children_.back().get();
+}
+
+const XmlElement* XmlElement::FindChild(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlElement*> XmlElement::FindChildren(
+    std::string_view name) const {
+  std::vector<const XmlElement*> result;
+  for (const auto& child : children_) {
+    if (child->name() == name) result.push_back(child.get());
+  }
+  return result;
+}
+
+size_t XmlElement::SubtreeSize() const {
+  size_t total = 1;
+  for (const auto& child : children_) total += child->SubtreeSize();
+  return total;
+}
+
+}  // namespace scdwarf::xml

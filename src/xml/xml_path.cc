@@ -1,0 +1,85 @@
+#include "xml/xml_path.h"
+
+#include "common/strings.h"
+
+namespace scdwarf::xml {
+
+Result<XmlPath> XmlPath::Compile(std::string_view expression) {
+  if (StrTrim(expression).empty()) {
+    return Status::ParseError("empty path expression");
+  }
+  XmlPath path;
+  path.expression_ = std::string(expression);
+  std::vector<std::string> parts = StrSplit(expression, '/');
+  for (size_t i = 0; i < parts.size(); ++i) {
+    std::string step(StrTrim(parts[i]));
+    if (step.empty()) {
+      return Status::ParseError("empty step in path '" + path.expression_ + "'");
+    }
+    if (step[0] == '@') {
+      if (i + 1 != parts.size()) {
+        return Status::ParseError("attribute step must be last in path '" +
+                                  path.expression_ + "'");
+      }
+      path.attribute_ = step.substr(1);
+      if (path.attribute_.empty()) {
+        return Status::ParseError("empty attribute name in path '" +
+                                  path.expression_ + "'");
+      }
+    } else {
+      path.steps_.push_back(std::move(step));
+    }
+  }
+  return path;
+}
+
+std::vector<const XmlElement*> XmlPath::SelectElements(
+    const XmlElement& context) const {
+  std::vector<const XmlElement*> current = {&context};
+  for (const std::string& step : steps_) {
+    std::vector<const XmlElement*> next;
+    for (const XmlElement* element : current) {
+      for (const auto& child : element->children()) {
+        if (step == "*" || child->name() == step) {
+          next.push_back(child.get());
+        }
+      }
+    }
+    current = std::move(next);
+    if (current.empty()) break;
+  }
+  if (!attribute_.empty()) {
+    std::vector<const XmlElement*> with_attr;
+    for (const XmlElement* element : current) {
+      if (element->FindAttribute(attribute_) != nullptr) {
+        with_attr.push_back(element);
+      }
+    }
+    return with_attr;
+  }
+  return current;
+}
+
+std::vector<std::string> XmlPath::SelectValues(const XmlElement& context) const {
+  std::vector<std::string> values;
+  for (const XmlElement* element : SelectElements(context)) {
+    if (!attribute_.empty()) {
+      const std::string* attr = element->FindAttribute(attribute_);
+      if (attr != nullptr) values.push_back(*attr);
+    } else {
+      values.push_back(element->text());
+    }
+  }
+  return values;
+}
+
+Result<std::string> XmlPath::SelectFirstValue(const XmlElement& context) const {
+  std::vector<std::string> values = SelectValues(context);
+  if (values.empty()) {
+    return Status::NotFound("path '" + expression_ + "' matched nothing under <" +
+                            context.name() + ">");
+  }
+  return values.front();
+}
+
+}  // namespace scdwarf::xml

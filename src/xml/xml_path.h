@@ -1,0 +1,53 @@
+/// \file xml_path.h
+/// \brief A tiny XPath-like selector used by the ETL extractors to address
+/// feed fields, e.g. "stations/station/name" or "station/@id".
+///
+/// Grammar:  path     := step ('/' step)*
+///           step     := NAME | '@' NAME | '*'
+/// A path is evaluated relative to a context element. The final step may be
+/// an attribute reference; intermediate steps must be element names or '*'
+/// (any element).
+
+#ifndef SCDWARF_XML_XML_PATH_H_
+#define SCDWARF_XML_XML_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/xml_node.h"
+
+namespace scdwarf::xml {
+
+/// \brief A compiled path expression.
+class XmlPath {
+ public:
+  /// Compiles \p expression; returns ParseError on invalid syntax (empty
+  /// steps, '@' on a non-final step, empty expression).
+  static Result<XmlPath> Compile(std::string_view expression);
+
+  /// Returns every element matched by this path under \p context.
+  /// For attribute paths this returns the elements owning the attribute.
+  std::vector<const XmlElement*> SelectElements(const XmlElement& context) const;
+
+  /// Returns the string values matched by this path: attribute values for
+  /// attribute paths, element text otherwise.
+  std::vector<std::string> SelectValues(const XmlElement& context) const;
+
+  /// Returns the first matched value, or NotFound.
+  Result<std::string> SelectFirstValue(const XmlElement& context) const;
+
+  const std::string& expression() const { return expression_; }
+
+ private:
+  XmlPath() = default;
+
+  std::string expression_;
+  std::vector<std::string> steps_;  // element name steps, "*" for wildcard
+  std::string attribute_;           // non-empty for attribute paths
+};
+
+}  // namespace scdwarf::xml
+
+#endif  // SCDWARF_XML_XML_PATH_H_

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "citibikes/bike_feed.h"
+#include "citibikes/datasets.h"
+#include "citibikes/other_feeds.h"
+#include "json/json_parser.h"
+#include "xml/xml_parser.h"
+
+namespace scdwarf::citibikes {
+namespace {
+
+TEST(StationsTest, GeneratesRequestedCount) {
+  auto stations = GenerateStations(46, 2016);
+  ASSERT_EQ(stations.size(), 46u);
+  std::set<std::string> names;
+  for (const Station& station : stations) {
+    EXPECT_FALSE(station.name.empty());
+    EXPECT_GE(station.capacity, 20);
+    EXPECT_LE(station.capacity, 40);
+    names.insert(station.name);
+  }
+  EXPECT_EQ(names.size(), 46u) << "station names must be distinct";
+}
+
+TEST(StationsTest, NamesStayDistinctBeyondPool) {
+  auto stations = GenerateStations(150, 1);
+  std::set<std::string> names;
+  for (const Station& station : stations) names.insert(station.name);
+  EXPECT_EQ(names.size(), 150u);
+}
+
+TEST(StationsTest, DeterministicForSeed) {
+  auto a = GenerateStations(46, 7);
+  auto b = GenerateStations(46, 7);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].area, b[i].area);
+    EXPECT_EQ(a[i].capacity, b[i].capacity);
+  }
+  auto c = GenerateStations(46, 8);
+  bool any_different = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].area != c[i].area || a[i].capacity != c[i].capacity) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(BikeFeedTest, EmitsExactTargetRecordCount) {
+  BikeFeedConfig config;
+  config.num_stations = 10;
+  config.target_records = 47;  // forces a truncated final snapshot
+  BikeFeedGenerator feed(config);
+  uint64_t docs = 0;
+  while (feed.HasNext()) {
+    feed.NextXml();
+    ++docs;
+  }
+  EXPECT_EQ(feed.records_emitted(), 47u);
+  EXPECT_EQ(docs, 5u);  // 4 full snapshots of 10 + one of 7
+  EXPECT_GT(feed.bytes_emitted(), 0u);
+}
+
+TEST(BikeFeedTest, XmlDocumentsParseAndValidate) {
+  BikeFeedConfig config;
+  config.num_stations = 5;
+  config.target_records = 15;
+  BikeFeedGenerator feed(config);
+  while (feed.HasNext()) {
+    std::string document = feed.NextXml();
+    auto parsed = xml::ParseXml(document);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    auto stations = parsed->root()->FindChildren("station");
+    ASSERT_FALSE(stations.empty());
+    for (const xml::XmlElement* station : stations) {
+      int capacity = std::stoi(station->FindChild("bike_stands")->text());
+      int bikes = std::stoi(station->FindChild("available_bikes")->text());
+      int stands =
+          std::stoi(station->FindChild("available_bike_stands")->text());
+      EXPECT_GE(bikes, 0);
+      EXPECT_EQ(bikes + stands, capacity);
+      std::string status = station->FindChild("status")->text();
+      EXPECT_TRUE(status == "OPEN" || status == "CLOSED");
+    }
+  }
+}
+
+TEST(BikeFeedTest, JsonDocumentsParse) {
+  BikeFeedConfig config;
+  config.num_stations = 5;
+  config.target_records = 10;
+  BikeFeedGenerator feed(config);
+  while (feed.HasNext()) {
+    auto parsed = json::ParseJson(feed.NextJson());
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    const json::JsonArray* stations = parsed->Get("stations")->AsArray();
+    ASSERT_NE(stations, nullptr);
+    EXPECT_EQ(stations->size(), 5u);
+  }
+}
+
+TEST(BikeFeedTest, TimestampsSpanTheConfiguredPeriod) {
+  BikeFeedConfig config;
+  config.num_stations = 4;
+  config.target_records = 400;
+  config.period_seconds = 24 * 3600;
+  config.start = {2016, 1, 1, 0, 0, 0};
+  BikeFeedGenerator feed(config);
+  std::string first_doc = feed.NextXml();
+  std::string last_doc;
+  while (feed.HasNext()) last_doc = feed.NextXml();
+  EXPECT_NE(first_doc.find("2016-01-01T00:00:00"), std::string::npos);
+  // Final snapshot lands near the end of the day.
+  EXPECT_NE(last_doc.find("2016-01-01T23"), std::string::npos) << last_doc;
+}
+
+TEST(BikeFeedTest, DeterministicStream) {
+  BikeFeedConfig config;
+  config.target_records = 100;
+  BikeFeedGenerator a(config);
+  BikeFeedGenerator b(config);
+  while (a.HasNext()) {
+    ASSERT_EQ(a.NextXml(), b.NextXml());
+  }
+}
+
+TEST(DatasetsTest, Table2Presets) {
+  const auto& datasets = Table2Datasets();
+  ASSERT_EQ(datasets.size(), 5u);
+  EXPECT_EQ(datasets[0].name, "Day");
+  EXPECT_EQ(datasets[0].tuples, 7358u);
+  EXPECT_EQ(datasets[4].name, "SMonth");
+  EXPECT_EQ(datasets[4].tuples, 1181344u);
+  for (size_t i = 1; i < datasets.size(); ++i) {
+    EXPECT_GT(datasets[i].tuples, datasets[i - 1].tuples);
+    EXPECT_GT(datasets[i].days, datasets[i - 1].days);
+  }
+}
+
+TEST(DatasetsTest, FindDataset) {
+  EXPECT_TRUE(FindDataset("Week").ok());
+  EXPECT_EQ(FindDataset("Week")->tuples, 60102u);
+  EXPECT_TRUE(FindDataset("Year").status().IsNotFound());
+}
+
+TEST(DatasetsTest, ConfigMatchesSpec) {
+  auto dataset = FindDataset("Day");
+  ASSERT_TRUE(dataset.ok());
+  BikeFeedConfig config = MakeFeedConfig(*dataset);
+  EXPECT_EQ(config.target_records, 7358u);
+  EXPECT_EQ(config.period_seconds, 24 * 3600);
+  BikeFeedGenerator feed(config);
+  while (feed.HasNext()) feed.NextXml();
+  EXPECT_EQ(feed.records_emitted(), 7358u);
+}
+
+TEST(OtherFeedsTest, CarParkXmlParses) {
+  CarParkFeedGenerator feed(8, {2016, 1, 1, 9, 0, 0}, 600, 1);
+  for (int i = 0; i < 3; ++i) {
+    auto parsed = xml::ParseXml(feed.NextXml());
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed->root()->FindChildren("carpark").size(), 8u);
+  }
+}
+
+TEST(OtherFeedsTest, AirQualityJsonParses) {
+  AirQualityFeedGenerator feed(6, {2016, 1, 1, 8, 0, 0}, 3600, 2);
+  auto parsed = json::ParseJson(feed.NextJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const json::JsonArray* readings = parsed->Get("readings")->AsArray();
+  ASSERT_NE(readings, nullptr);
+  EXPECT_EQ(readings->size(), 6u);
+  EXPECT_EQ(*(*readings)[0].Get("pollutant")->AsString(), "PM2.5");
+}
+
+TEST(OtherFeedsTest, AuctionXmlParses) {
+  AuctionFeedGenerator feed({2016, 1, 1, 12, 0, 0}, 3);
+  auto parsed = xml::ParseXml(feed.NextXml(10));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto lots = parsed->root()->FindChildren("lot");
+  ASSERT_EQ(lots.size(), 10u);
+  for (const xml::XmlElement* lot : lots) {
+    EXPECT_NE(lot->FindAttribute("id"), nullptr);
+    EXPECT_GT(std::stoi(lot->FindChild("price")->text()), 0);
+  }
+}
+
+}  // namespace
+}  // namespace scdwarf::citibikes

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace scdwarf {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::NotFound("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.ToString(), "Not found: missing thing");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status original = Status::IoError("disk on fire");
+  Status copy = original;
+  EXPECT_TRUE(copy.IsIoError());
+  EXPECT_EQ(copy.message(), "disk on fire");
+  EXPECT_EQ(copy, original);
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status status = Status::ParseError("bad token").WithContext("line 3");
+  EXPECT_EQ(status.message(), "line 3: bad token");
+  EXPECT_TRUE(status.IsParseError());
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int code = 0; code <= 9; ++code) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(code)), "Unknown");
+  }
+}
+
+// ---------------------------------------------------------------- Result
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = Half(10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 5);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Half(7);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_EQ(result.ValueOr(-1), -1);
+}
+
+Result<int> Quarter(int x) {
+  SCD_ASSIGN_OR_RETURN(int half, Half(x));
+  return Half(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());
+  EXPECT_TRUE(Quarter(7).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(42));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).ValueOrDie();
+  EXPECT_EQ(*value, 42);
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringsTest, SplitBasic) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringsTest, JoinInvertsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(StrJoin(parts, "-"), "x-y-z");
+  EXPECT_EQ(StrSplit(StrJoin(parts, ","), ','), parts);
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(StrTrim("  hi  "), "hi");
+  EXPECT_EQ(StrTrim("\t\nhi"), "hi");
+  EXPECT_EQ(StrTrim("hi"), "hi");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim(""), "");
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(AsciiToLower("HeLLo"), "hello");
+  EXPECT_EQ(AsciiToUpper("HeLLo"), "HELLO");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello world", "hello"));
+  EXPECT_FALSE(StartsWith("hel", "hello"));
+  EXPECT_TRUE(EndsWith("hello world", "world"));
+  EXPECT_FALSE(EndsWith("rld", "world"));
+}
+
+TEST(StringsTest, ParseInt64) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_EQ(*ParseInt64("  13  "), 13);
+  EXPECT_TRUE(ParseInt64("").status().IsParseError());
+  EXPECT_TRUE(ParseInt64("12x").status().IsParseError());
+  EXPECT_TRUE(ParseInt64("99999999999999999999").status().IsOutOfRange());
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_TRUE(ParseDouble("abc").status().IsParseError());
+}
+
+TEST(StringsTest, QuoteSqlStringDoublesQuotes) {
+  EXPECT_EQ(QuoteSqlString("Fenian St"), "'Fenian St'");
+  EXPECT_EQ(QuoteSqlString("O'Connell"), "'O''Connell'");
+}
+
+TEST(StringsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(5ull * 1024 * 1024), "5.0 MB");
+}
+
+TEST(StringsTest, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1181344), "1,181,344");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+// ---------------------------------------------------------------- bytes
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteWriter writer;
+  writer.PutU8(0xAB);
+  writer.PutU32(0xDEADBEEF);
+  writer.PutU64(0x0123456789ABCDEFULL);
+  writer.PutDouble(2.5);
+
+  ByteReader reader(writer.data());
+  EXPECT_EQ(*reader.ReadU8(), 0xAB);
+  EXPECT_EQ(*reader.ReadU32(), 0xDEADBEEF);
+  EXPECT_EQ(*reader.ReadU64(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(*reader.ReadDouble(), 2.5);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, VarintRoundTripBoundaries) {
+  std::vector<uint64_t> values = {0,       1,        127,        128,
+                                  16383,   16384,    (1ull << 32) - 1,
+                                  1ull << 32, std::numeric_limits<uint64_t>::max()};
+  ByteWriter writer;
+  for (uint64_t v : values) writer.PutVarint(v);
+  ByteReader reader(writer.data());
+  for (uint64_t v : values) EXPECT_EQ(*reader.ReadVarint(), v);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, SignedVarintRoundTrip) {
+  std::vector<int64_t> values = {0, -1, 1, -64, 64, INT64_MIN, INT64_MAX};
+  ByteWriter writer;
+  for (int64_t v : values) writer.PutSignedVarint(v);
+  ByteReader reader(writer.data());
+  for (int64_t v : values) EXPECT_EQ(*reader.ReadSignedVarint(), v);
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  ByteWriter writer;
+  writer.PutString("hello");
+  writer.PutString("");
+  writer.PutString(std::string(1000, 'x'));
+  ByteReader reader(writer.data());
+  EXPECT_EQ(*reader.ReadString(), "hello");
+  EXPECT_EQ(*reader.ReadString(), "");
+  EXPECT_EQ(reader.ReadString()->size(), 1000u);
+}
+
+TEST(BytesTest, TruncatedReadsFail) {
+  ByteWriter writer;
+  writer.PutU32(7);
+  ByteReader reader(writer.data());
+  EXPECT_TRUE(reader.ReadU64().status().IsOutOfRange());
+}
+
+TEST(BytesTest, TruncatedVarintFails) {
+  std::vector<uint8_t> bytes = {0x80, 0x80};  // continuation bit never cleared
+  ByteReader reader(bytes.data(), bytes.size());
+  EXPECT_FALSE(reader.ReadVarint().ok());
+}
+
+TEST(BytesTest, TruncatedStringFails) {
+  ByteWriter writer;
+  writer.PutVarint(100);  // claims 100 bytes follow
+  writer.PutRaw("abc", 3);
+  ByteReader reader(writer.data());
+  EXPECT_TRUE(reader.ReadString().status().IsOutOfRange());
+}
+
+TEST(BytesTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : {0ull, 127ull, 128ull, 300ull, 1ull << 40}) {
+    ByteWriter writer;
+    writer.PutVarint(v);
+    EXPECT_EQ(VarintLength(v), writer.size()) << v;
+  }
+}
+
+TEST(BytesTest, ZigZag) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  for (int64_t v : {int64_t{0}, int64_t{-5}, int64_t{5}, INT64_MIN, INT64_MAX}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+// ---------------------------------------------------------------- hash
+
+TEST(HashTest, DeterministicAndSpread) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(HashTest, CombineOrderSensitive) {
+  uint64_t a = HashCombine(HashString("x"), HashString("y"));
+  uint64_t b = HashCombine(HashString("y"), HashString("x"));
+  EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace scdwarf

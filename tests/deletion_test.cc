@@ -1,0 +1,277 @@
+// Deletion across the stack: engine row deletes (with index and durability
+// behaviour), DELETE statements in both query languages, and the mappers'
+// DeleteCube — the operation a cube-update workflow needs to retire stale
+// versions.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "dwarf/builder.h"
+#include "dwarf/query.h"
+#include "mapper/nosql_dwarf_mapper.h"
+#include "mapper/nosql_min_mapper.h"
+#include "mapper/sql_dwarf_mapper.h"
+#include "mapper/sql_min_mapper.h"
+#include "dwarf/update.h"
+#include "nosql/cql.h"
+#include "sql/sql.h"
+
+namespace scdwarf {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ----------------------------------------------------------- nosql engine
+
+nosql::TableSchema SmallSchema() {
+  return nosql::TableSchema("ks", "t",
+                            {{"id", DataType::kInt},
+                             {"tag", DataType::kText},
+                             {"group_id", DataType::kInt}},
+                            "id");
+}
+
+TEST(NoSqlDeleteTest, DeleteRemovesRowAndIndexEntries) {
+  nosql::Table table(SmallSchema());
+  ASSERT_TRUE(table.CreateIndex("group_id").ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        table.Insert({Value::Int(i), Value::Text("x"), Value::Int(i % 2)}).ok());
+  }
+  ASSERT_TRUE(table.DeleteByPk(Value::Int(2)).ok());
+  EXPECT_EQ(table.num_rows(), 5u);
+  EXPECT_TRUE(table.GetByPk(Value::Int(2)).status().IsNotFound());
+  EXPECT_EQ(table.SelectEq("group_id", Value::Int(0))->size(), 2u);  // 0, 4
+  EXPECT_TRUE(table.DeleteByPk(Value::Int(2)).IsNotFound());
+  // Scans skip the tombstone.
+  EXPECT_EQ(table.ScanAll().size(), 5u);
+}
+
+TEST(NoSqlDeleteTest, DeleteSurvivesSerializeRoundTrip) {
+  nosql::Table table(SmallSchema());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        table.Insert({Value::Int(i), Value::Text("x"), Value::Int(0)}).ok());
+  }
+  ASSERT_TRUE(table.DeleteByPk(Value::Int(1)).ok());
+  ByteWriter writer;
+  table.SerializeTo(&writer);
+  ByteReader reader(writer.data());
+  auto loaded = nosql::Table::Deserialize(&reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->num_rows(), 3u);
+  EXPECT_TRUE((*loaded)->GetByPk(Value::Int(1)).status().IsNotFound());
+}
+
+TEST(NoSqlDeleteTest, CommitLogReplaysDeletes) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("scdwarf_del_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  {
+    auto db = nosql::Database::Open(dir.string());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db->CreateKeyspace("ks").ok());
+    ASSERT_TRUE(db->CreateTable(SmallSchema()).ok());
+    ASSERT_TRUE(db->Flush().ok());  // persist the schema; data stays unflushed
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(db->Insert("ks", "t",
+                             {Value::Int(i), Value::Text("x"), Value::Int(0)})
+                      .ok());
+    }
+    ASSERT_TRUE(db->Delete("ks", "t", Value::Int(3)).ok());
+    // Crash without flush: both the inserts and the delete live only in the
+    // commit log.
+  }
+  {
+    auto db = nosql::Database::Open(dir.string());
+    ASSERT_TRUE(db.ok()) << db.status();
+    auto table = db->GetTable("ks", "t");
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ((*table)->num_rows(), 4u);
+    EXPECT_TRUE((*table)->GetByPk(Value::Int(3)).status().IsNotFound());
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CqlDeleteTest, DeleteStatement) {
+  nosql::Database db;
+  ASSERT_TRUE(nosql::ExecuteCql(&db, "CREATE KEYSPACE ks").ok());
+  ASSERT_TRUE(nosql::ExecuteCql(&db,
+                                "CREATE TABLE ks.t (id int, tag text, "
+                                "PRIMARY KEY (id))")
+                  .ok());
+  ASSERT_TRUE(
+      nosql::ExecuteCql(&db, "INSERT INTO ks.t (id, tag) VALUES (1, 'a')").ok());
+  ASSERT_TRUE(
+      nosql::ExecuteCql(&db, "INSERT INTO ks.t (id, tag) VALUES (2, 'b')").ok());
+  ASSERT_TRUE(nosql::ExecuteCql(&db, "DELETE FROM ks.t WHERE id = 1").ok());
+  auto remaining = nosql::ExecuteCql(&db, "SELECT id FROM ks.t");
+  ASSERT_TRUE(remaining.ok());
+  ASSERT_EQ(remaining->rows.size(), 1u);
+  EXPECT_EQ(*remaining->rows[0][0].AsInt(), 2);
+  // Non-pk DELETE rejected (Cassandra semantics).
+  EXPECT_TRUE(nosql::ExecuteCql(&db, "DELETE FROM ks.t WHERE tag = 'b'")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(nosql::ExecuteCql(&db, "DELETE FROM ks.t WHERE id = 99")
+                  .status()
+                  .IsNotFound());
+}
+
+// ------------------------------------------------------------- sql engine
+
+TEST(SqlDeleteTest, EngineDelete) {
+  sql::SqlEngine engine;
+  ASSERT_TRUE(sql::ExecuteSql(&engine, "CREATE DATABASE db").ok());
+  ASSERT_TRUE(sql::ExecuteSql(&engine,
+                              "CREATE TABLE db.t (id INT NOT NULL, g INT, "
+                              "PRIMARY KEY (id), INDEX (g))")
+                  .ok());
+  ASSERT_TRUE(sql::ExecuteSql(&engine,
+                              "INSERT INTO db.t (id, g) VALUES "
+                              "(1, 0), (2, 1), (3, 0), (4, 1)")
+                  .ok());
+  // DELETE by primary key.
+  ASSERT_TRUE(sql::ExecuteSql(&engine, "DELETE FROM db.t WHERE id = 2").ok());
+  // DELETE by non-pk equality removes all matches (scan/index semantics).
+  ASSERT_TRUE(sql::ExecuteSql(&engine, "DELETE FROM db.t WHERE g = 0").ok());
+  auto remaining = sql::ExecuteSql(&engine, "SELECT id FROM db.t");
+  ASSERT_TRUE(remaining.ok());
+  ASSERT_EQ(remaining->rows.size(), 1u);
+  EXPECT_EQ(*remaining->rows[0][0].AsInt(), 4);
+}
+
+TEST(SqlDeleteTest, RedoLogReplaysDeletes) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("scdwarf_sqldel_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  {
+    auto engine = sql::SqlEngine::Open(dir.string());
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(engine->CreateDatabase("db").ok());
+    ASSERT_TRUE(engine
+                    ->CreateTable(sql::SqlTableDef(
+                        "db", "t", {{"id", DataType::kInt, false}}, "id"))
+                    .ok());
+    ASSERT_TRUE(engine->Flush().ok());  // persist the schema only
+    ASSERT_TRUE(engine->Insert("db", "t", {Value::Int(1)}).ok());
+    ASSERT_TRUE(engine->Insert("db", "t", {Value::Int(2)}).ok());
+    ASSERT_TRUE(engine->Delete("db", "t", Value::Int(1)).ok());
+  }
+  {
+    auto engine = sql::SqlEngine::Open(dir.string());
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    auto table = engine->GetTable("db", "t");
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ((*table)->num_rows(), 1u);
+    EXPECT_TRUE((*table)->GetByPk(Value::Int(1)).status().IsNotFound());
+  }
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------- mapper delete
+
+dwarf::DwarfCube SmallCube(const char* suffix) {
+  dwarf::CubeSchema schema(
+      "c", {dwarf::DimensionSpec("a"), dwarf::DimensionSpec("b")}, "m");
+  dwarf::DwarfBuilder builder(schema);
+  EXPECT_TRUE(builder.AddTuple({std::string("x") + suffix, "y"}, 1).ok());
+  EXPECT_TRUE(builder.AddTuple({std::string("x") + suffix, "z"}, 2).ok());
+  return std::move(builder).Build().ValueOrDie();
+}
+
+TEST(MapperDeleteTest, NoSqlDwarfDeleteCubeLeavesOthersIntact) {
+  nosql::Database db;
+  mapper::NoSqlDwarfMapper mapper(&db, "dwarfks");
+  auto id1 = mapper.Store(SmallCube("1"));
+  auto id2 = mapper.Store(SmallCube("2"));
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  ASSERT_TRUE(mapper.DeleteCube(*id1).ok());
+  EXPECT_TRUE(mapper.Load(*id1).status().IsNotFound());
+  EXPECT_TRUE(mapper.DeleteCube(*id1).IsNotFound());
+  // The second cube is untouched.
+  auto survivor = mapper.Load(*id2);
+  ASSERT_TRUE(survivor.ok()) << survivor.status();
+  EXPECT_TRUE(survivor->StructurallyEquals(SmallCube("2")));
+  auto ids = mapper.ListSchemas();
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(ids->size(), 1u);
+  // Cell family holds only the survivor's rows.
+  auto cells = db.GetTable("dwarfks", mapper::NoSqlDwarfMapper::kCellCf);
+  ASSERT_TRUE(cells.ok());
+  EXPECT_EQ((*cells)->num_rows(),
+            SmallCube("2").stats().cell_count + SmallCube("2").num_nodes());
+}
+
+TEST(MapperDeleteTest, NoSqlMinDeleteCube) {
+  nosql::Database db;
+  mapper::NoSqlMinMapper mapper(&db, "minks");
+  auto id1 = mapper.Store(SmallCube("1"));
+  auto id2 = mapper.Store(SmallCube("2"));
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  ASSERT_TRUE(mapper.DeleteCube(*id2).ok());
+  EXPECT_TRUE(mapper.Load(*id2).status().IsNotFound());
+  ASSERT_TRUE(mapper.Load(*id1).ok());
+}
+
+TEST(MapperDeleteTest, SqlDwarfDeleteCubeClearsJoinTables) {
+  sql::SqlEngine engine;
+  mapper::SqlDwarfMapper mapper(&engine, "dwarfdb");
+  auto id1 = mapper.Store(SmallCube("1"));
+  auto id2 = mapper.Store(SmallCube("2"));
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  auto before = (*engine.GetTable("dwarfdb",
+                                  mapper::SqlDwarfMapper::kNodeChildrenTable))
+                    ->num_rows();
+  ASSERT_TRUE(mapper.DeleteCube(*id1).ok());
+  EXPECT_TRUE(mapper.Load(*id1).status().IsNotFound());
+  auto after = (*engine.GetTable("dwarfdb",
+                                 mapper::SqlDwarfMapper::kNodeChildrenTable))
+                   ->num_rows();
+  EXPECT_LT(after, before);
+  EXPECT_GT(after, 0u);  // survivor's edges remain
+  auto survivor = mapper.Load(*id2);
+  ASSERT_TRUE(survivor.ok()) << survivor.status();
+  EXPECT_TRUE(survivor->StructurallyEquals(SmallCube("2")));
+}
+
+TEST(MapperDeleteTest, SqlMinDeleteCube) {
+  sql::SqlEngine engine;
+  mapper::SqlMinMapper mapper(&engine, "mindb");
+  auto id = mapper.Store(SmallCube("1"));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mapper.DeleteCube(*id).ok());
+  EXPECT_TRUE(mapper.Load(*id).status().IsNotFound());
+  EXPECT_EQ((*engine.GetTable("mindb", mapper::SqlMinMapper::kCellTable))
+                ->num_rows(),
+            0u);
+}
+
+TEST(MapperDeleteTest, UpdateWorkflowRetiresStaleVersion) {
+  // Store v1, update, store v2, delete v1 — the store then holds exactly the
+  // new version.
+  nosql::Database db;
+  mapper::NoSqlDwarfMapper mapper(&db, "dwarfks");
+  dwarf::DwarfCube v1 = SmallCube("1");
+  auto id1 = mapper.Store(v1);
+  ASSERT_TRUE(id1.ok());
+  auto v2 = dwarf::MergeTuples(std::move(v1), {{{"x1", "w"}, 7}});
+  ASSERT_TRUE(v2.ok());
+  auto id2 = mapper.Store(*v2);
+  ASSERT_TRUE(id2.ok());
+  ASSERT_TRUE(mapper.DeleteCube(*id1).ok());
+  auto ids = mapper.ListSchemas();
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), 1u);
+  auto reloaded = mapper.Load((*ids)[0]);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded->StructurallyEquals(*v2));
+}
+
+}  // namespace
+}  // namespace scdwarf

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "citibikes/stations.h"
+#include "dwarf/builder.h"
+#include "mapper/dimension_table.h"
+#include "nosql/cql.h"
+
+namespace scdwarf::mapper {
+namespace {
+
+DimensionTable StationTable() {
+  DimensionTable table("Station", {"area", "capacity", "open"});
+  EXPECT_TRUE(table
+                  .AddRow("Fenian St", {Value::Text("Docklands"),
+                                        Value::Int(30), Value::Bool(true)})
+                  .ok());
+  EXPECT_TRUE(table
+                  .AddRow("Pearse St", {Value::Text("City Centre"),
+                                        Value::Int(25), Value::Bool(true)})
+                  .ok());
+  return table;
+}
+
+TEST(DimensionTableTest, RowRules) {
+  DimensionTable table = StationTable();
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_TRUE(table.AddRow("Fenian St", {Value::Null(), Value::Null(),
+                                         Value::Null()})
+                  .IsAlreadyExists());
+  EXPECT_TRUE(table.AddRow("Short", {Value::Null()}).IsInvalidArgument());
+}
+
+TEST(DimensionTableTest, Lookups) {
+  DimensionTable table = StationTable();
+  EXPECT_EQ(*table.LookupAttribute("Fenian St", "capacity"), Value::Int(30));
+  EXPECT_EQ(*table.LookupAttribute("Pearse St", "area"),
+            Value::Text("City Centre"));
+  EXPECT_TRUE(table.Lookup("Nowhere").status().IsNotFound());
+  EXPECT_TRUE(
+      table.LookupAttribute("Fenian St", "nope").status().IsNotFound());
+}
+
+TEST(DimensionTableStoreTest, StoreLoadRoundTrip) {
+  nosql::Database db;
+  DimensionTableStore store(&db, "dwarfks");
+  ASSERT_TRUE(store.Store(StationTable()).ok());
+  auto loaded = store.Load("Station");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_rows(), 2u);
+  EXPECT_EQ(*loaded->LookupAttribute("Fenian St", "capacity"), Value::Int(30));
+  EXPECT_EQ(*loaded->LookupAttribute("Fenian St", "open"), Value::Bool(true));
+  EXPECT_TRUE(store.Load("Nothing").status().IsNotFound());
+}
+
+TEST(DimensionTableStoreTest, QueryableThroughCql) {
+  nosql::Database db;
+  DimensionTableStore store(&db, "dwarfks");
+  ASSERT_TRUE(store.Store(StationTable()).ok());
+  auto result = nosql::ExecuteCql(
+      &db, "SELECT area, capacity FROM dwarfks.dim_station "
+           "WHERE member = 'Fenian St'");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(*result->rows[0][0].AsText(), "Docklands");
+  EXPECT_EQ(*result->rows[0][1].AsInt(), 30);
+}
+
+TEST(DimensionTableStoreTest, StoreIsUpsert) {
+  nosql::Database db;
+  DimensionTableStore store(&db, "dwarfks");
+  ASSERT_TRUE(store.Store(StationTable()).ok());
+  DimensionTable updated("Station", {"area", "capacity", "open"});
+  ASSERT_TRUE(updated
+                  .AddRow("Fenian St", {Value::Text("Docklands"),
+                                        Value::Int(40), Value::Bool(false)})
+                  .ok());
+  ASSERT_TRUE(store.Store(updated).ok());
+  auto loaded = store.Load("Station");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded->LookupAttribute("Fenian St", "capacity"), Value::Int(40));
+  // Pearse St survives (upsert, not truncate).
+  EXPECT_TRUE(loaded->Lookup("Pearse St").ok());
+}
+
+TEST(DimensionTableStoreTest, MixedAttributeTypesRejected) {
+  DimensionTable table("Bad", {"attr"});
+  ASSERT_TRUE(table.AddRow("a", {Value::Int(1)}).ok());
+  ASSERT_TRUE(table.AddRow("b", {Value::Text("x")}).ok());
+  nosql::Database db;
+  DimensionTableStore store(&db, "dwarfks");
+  EXPECT_TRUE(store.Store(table).IsInvalidArgument());
+}
+
+TEST(DimensionTableStoreTest, CoverageValidation) {
+  // Cube whose Station dimension declares a dimension table.
+  dwarf::CubeSchema schema(
+      "bikes",
+      {dwarf::DimensionSpec("Day"), dwarf::DimensionSpec("Station", "Station")},
+      "bikes");
+  dwarf::DwarfBuilder builder(schema);
+  ASSERT_TRUE(builder.AddTuple({"Mon", "Fenian St"}, 1).ok());
+  ASSERT_TRUE(builder.AddTuple({"Mon", "Pearse St"}, 2).ok());
+  dwarf::DwarfCube cube = std::move(builder).Build().ValueOrDie();
+
+  nosql::Database db;
+  DimensionTableStore store(&db, "dwarfks");
+  ASSERT_TRUE(store.Store(StationTable()).ok());
+  EXPECT_TRUE(store.ValidateCoverage(cube, 1).ok());
+  // Day declares no dimension table.
+  EXPECT_TRUE(store.ValidateCoverage(cube, 0).IsFailedPrecondition());
+
+  // A member outside the table breaks coverage.
+  dwarf::DwarfBuilder builder2(schema);
+  ASSERT_TRUE(builder2.AddTuple({"Mon", "Ghost Stop"}, 1).ok());
+  dwarf::DwarfCube uncovered = std::move(builder2).Build().ValueOrDie();
+  EXPECT_TRUE(store.ValidateCoverage(uncovered, 1).IsFailedPrecondition());
+}
+
+TEST(DimensionTableStoreTest, StationCatalogAsDimensionTable) {
+  // The generator's station catalog becomes the Station dimension table.
+  auto stations = citibikes::GenerateStations(12, 2016);
+  DimensionTable table("Station", {"area", "capacity"});
+  for (const citibikes::Station& station : stations) {
+    ASSERT_TRUE(table
+                    .AddRow(station.name,
+                            {Value::Text(station.area),
+                             Value::Int(station.capacity)})
+                    .ok());
+  }
+  nosql::Database db;
+  DimensionTableStore store(&db, "dwarfks");
+  ASSERT_TRUE(store.Store(table).ok());
+  auto loaded = store.Load("Station");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 12u);
+  EXPECT_EQ(*loaded->LookupAttribute(stations[3].name, "capacity"),
+            Value::Int(stations[3].capacity));
+}
+
+}  // namespace
+}  // namespace scdwarf::mapper

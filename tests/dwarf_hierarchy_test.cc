@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dwarf/builder.h"
+#include "dwarf/hierarchy.h"
+#include "dwarf/query.h"
+
+namespace scdwarf::dwarf {
+namespace {
+
+/// City > Area > Station hierarchy over a bikes cube.
+Hierarchy BikesHierarchy() {
+  auto hierarchy = Hierarchy::Create("geo", {"City", "Area", "Station"});
+  EXPECT_TRUE(hierarchy.ok());
+  struct Edge {
+    int level;
+    const char* child;
+    const char* parent;
+  };
+  const Edge edges[] = {
+      {1, "Docklands", "Dublin"},   {1, "Northside", "Dublin"},
+      {1, "Centre", "Cork"},        {2, "Fenian St", "Docklands"},
+      {2, "Hanover Quay", "Docklands"}, {2, "Dorset St", "Northside"},
+      {2, "Patrick St", "Centre"},
+  };
+  for (const Edge& edge : edges) {
+    EXPECT_TRUE(hierarchy->AddEdge(edge.level, edge.child, edge.parent).ok());
+  }
+  return std::move(hierarchy).ValueOrDie();
+}
+
+DwarfCube BikesCube() {
+  CubeSchema schema(
+      "bikes", {DimensionSpec("Day"), DimensionSpec("Station")}, "bikes");
+  DwarfBuilder builder(schema);
+  struct Row {
+    const char* day;
+    const char* station;
+    Measure bikes;
+  };
+  const Row rows[] = {
+      {"Mon", "Fenian St", 3},   {"Mon", "Hanover Quay", 5},
+      {"Mon", "Dorset St", 2},   {"Mon", "Patrick St", 7},
+      {"Tue", "Fenian St", 4},   {"Tue", "Patrick St", 1},
+  };
+  for (const Row& row : rows) {
+    EXPECT_TRUE(builder.AddTuple({row.day, row.station}, row.bikes).ok());
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+// --------------------------------------------------------- structure
+
+TEST(HierarchyTest, CreateValidation) {
+  EXPECT_FALSE(Hierarchy::Create("h", {"only"}).ok());
+  EXPECT_FALSE(Hierarchy::Create("h", {"a", ""}).ok());
+  EXPECT_FALSE(Hierarchy::Create("h", {"a", "a"}).ok());
+  EXPECT_TRUE(Hierarchy::Create("h", {"a", "b", "c"}).ok());
+}
+
+TEST(HierarchyTest, EdgeRules) {
+  auto hierarchy = Hierarchy::Create("h", {"top", "leaf"}).ValueOrDie();
+  EXPECT_TRUE(hierarchy.AddEdge(1, "x", "p").ok());
+  EXPECT_TRUE(hierarchy.AddEdge(1, "x", "p").ok());  // same edge: idempotent
+  EXPECT_TRUE(hierarchy.AddEdge(1, "x", "q").IsInvalidArgument());
+  EXPECT_TRUE(hierarchy.AddEdge(0, "x", "p").IsOutOfRange());
+  EXPECT_TRUE(hierarchy.AddEdge(2, "x", "p").IsOutOfRange());
+}
+
+TEST(HierarchyTest, Navigation) {
+  Hierarchy hierarchy = BikesHierarchy();
+  EXPECT_EQ(*hierarchy.ParentOf(2, "Fenian St"), "Docklands");
+  EXPECT_EQ(*hierarchy.ParentOf(1, "Docklands"), "Dublin");
+  EXPECT_TRUE(hierarchy.ParentOf(0, "Dublin").status().IsOutOfRange());
+  EXPECT_TRUE(hierarchy.ParentOf(2, "Nowhere").status().IsNotFound());
+
+  EXPECT_EQ(*hierarchy.AncestorOf(2, "Fenian St", 0), "Dublin");
+  EXPECT_EQ(*hierarchy.AncestorOf(2, "Fenian St", 2), "Fenian St");
+
+  EXPECT_EQ(hierarchy.ChildrenOf(0, "Dublin"),
+            (std::vector<std::string>{"Docklands", "Northside"}));
+  EXPECT_EQ(hierarchy.ChildrenOf(1, "Docklands"),
+            (std::vector<std::string>{"Fenian St", "Hanover Quay"}));
+  EXPECT_TRUE(hierarchy.ChildrenOf(2, "Fenian St").empty());
+
+  EXPECT_EQ(hierarchy.LeafDescendantsOf(0, "Dublin"),
+            (std::vector<std::string>{"Fenian St", "Hanover Quay",
+                                      "Dorset St"}));
+  EXPECT_EQ(hierarchy.LeafDescendantsOf(2, "Patrick St"),
+            (std::vector<std::string>{"Patrick St"}));
+
+  EXPECT_EQ(hierarchy.MembersAt(0),
+            (std::vector<std::string>{"Cork", "Dublin"}));
+  EXPECT_EQ(*hierarchy.LevelIndex("Area"), 1u);
+  EXPECT_TRUE(hierarchy.LevelIndex("Country").status().IsNotFound());
+}
+
+TEST(HierarchyTest, ValidateCovers) {
+  Hierarchy hierarchy = BikesHierarchy();
+  DwarfCube cube = BikesCube();
+  EXPECT_TRUE(hierarchy.ValidateCovers(cube.dictionary(1)).ok());
+
+  // A cube with a station missing from the hierarchy fails validation.
+  CubeSchema schema("b", {DimensionSpec("Station")}, "m");
+  DwarfBuilder builder(schema);
+  ASSERT_TRUE(builder.AddTuple({"Unknown St"}, 1).ok());
+  DwarfCube bad = std::move(builder).Build().ValueOrDie();
+  EXPECT_TRUE(
+      hierarchy.ValidateCovers(bad.dictionary(0)).IsFailedPrecondition());
+}
+
+// ------------------------------------------------------------ queries
+
+TEST(HierarchicalQueryTest, RollsUpOverDescendants) {
+  DwarfCube cube = BikesCube();
+  Hierarchy hierarchy = BikesHierarchy();
+  // Dublin = Fenian St (3+4) + Hanover Quay (5) + Dorset St (2) = 14.
+  EXPECT_EQ(*HierarchicalQuery(cube, 1, hierarchy, 0, "Dublin"), 14);
+  EXPECT_EQ(*HierarchicalQuery(cube, 1, hierarchy, 0, "Cork"), 8);
+  EXPECT_EQ(*HierarchicalQuery(cube, 1, hierarchy, 1, "Docklands"), 12);
+  // Leaf level behaves like a point query.
+  EXPECT_EQ(*HierarchicalQuery(cube, 1, hierarchy, 2, "Fenian St"), 7);
+}
+
+TEST(HierarchicalQueryTest, UnknownMemberIsNotFound) {
+  DwarfCube cube = BikesCube();
+  Hierarchy hierarchy = BikesHierarchy();
+  // Member with no data under it.
+  EXPECT_TRUE(HierarchicalQuery(cube, 1, hierarchy, 0, "Galway")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(HierarchicalQuery(cube, 9, hierarchy, 0, "Dublin")
+                  .status()
+                  .IsOutOfRange());
+}
+
+TEST(DrillDownTest, EnumeratesChildrenWithAggregates) {
+  DwarfCube cube = BikesCube();
+  Hierarchy hierarchy = BikesHierarchy();
+  auto rows = DrillDown(cube, 1, hierarchy, 0, "Dublin");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  std::map<std::string, Measure> by_area;
+  for (const SliceRow& row : *rows) by_area[row.keys[0]] = row.measure;
+  EXPECT_EQ(by_area.size(), 2u);
+  EXPECT_EQ(by_area["Docklands"], 12);
+  EXPECT_EQ(by_area["Northside"], 2);
+  // Drilling below the leaf level is rejected.
+  EXPECT_TRUE(DrillDown(cube, 1, hierarchy, 2, "Fenian St")
+                  .status()
+                  .IsOutOfRange());
+}
+
+TEST(RollUpToLevelTest, MaterializesCoarserCube) {
+  DwarfCube cube = BikesCube();
+  Hierarchy hierarchy = BikesHierarchy();
+  auto rolled = RollUpToLevel(cube, 1, hierarchy, 1);
+  ASSERT_TRUE(rolled.ok()) << rolled.status();
+  EXPECT_EQ(rolled->schema().dimensions()[1].name, "Area");
+  // Three areas instead of four stations.
+  EXPECT_EQ(rolled->dictionary(1).size(), 3u);
+  EXPECT_EQ(*PointQueryByName(*rolled, {"Mon", "Docklands"}), 8);
+  EXPECT_EQ(*PointQueryByName(*rolled, {std::nullopt, "Centre"}), 8);
+  // Grand total preserved.
+  EXPECT_EQ(*PointQueryByName(*rolled, {std::nullopt, std::nullopt}),
+            *PointQueryByName(cube, {std::nullopt, std::nullopt}));
+}
+
+TEST(RollUpToLevelTest, CityLevel) {
+  DwarfCube cube = BikesCube();
+  Hierarchy hierarchy = BikesHierarchy();
+  auto rolled = RollUpToLevel(cube, 1, hierarchy, 0);
+  ASSERT_TRUE(rolled.ok()) << rolled.status();
+  EXPECT_EQ(*PointQueryByName(*rolled, {std::nullopt, "Dublin"}), 14);
+  EXPECT_EQ(*PointQueryByName(*rolled, {"Tue", "Cork"}), 1);
+}
+
+TEST(RollUpToLevelTest, Validation) {
+  DwarfCube cube = BikesCube();
+  Hierarchy hierarchy = BikesHierarchy();
+  EXPECT_TRUE(RollUpToLevel(cube, 1, hierarchy, 2).status()
+                  .IsInvalidArgument());  // leaf level is not a rollup
+  EXPECT_TRUE(RollUpToLevel(cube, 7, hierarchy, 0).status().IsOutOfRange());
+}
+
+TEST(RollUpToLevelTest, MinMaxAggregatesRollUpCorrectly) {
+  CubeSchema schema("m", {DimensionSpec("Station")}, "bikes", AggFn::kMax);
+  DwarfBuilder builder(schema);
+  ASSERT_TRUE(builder.AddTuple({"Fenian St"}, 3).ok());
+  ASSERT_TRUE(builder.AddTuple({"Hanover Quay"}, 9).ok());
+  ASSERT_TRUE(builder.AddTuple({"Patrick St"}, 5).ok());
+  DwarfCube cube = std::move(builder).Build().ValueOrDie();
+  Hierarchy hierarchy = BikesHierarchy();
+  auto rolled = RollUpToLevel(cube, 0, hierarchy, 1);
+  ASSERT_TRUE(rolled.ok()) << rolled.status();
+  EXPECT_EQ(*PointQueryByName(*rolled, {"Docklands"}), 9);  // max(3, 9)
+  EXPECT_EQ(*PointQueryByName(*rolled, {"Centre"}), 5);
+}
+
+}  // namespace
+}  // namespace scdwarf::dwarf

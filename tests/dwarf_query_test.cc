@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "common/rng.h"
+#include "dwarf/builder.h"
+#include "dwarf/query.h"
+
+namespace scdwarf::dwarf {
+namespace {
+
+/// 3-dim bikes cube: day x city x station -> available bikes.
+DwarfCube BuildBikesCube() {
+  CubeSchema schema("bikes",
+                    {DimensionSpec("Day"), DimensionSpec("City"),
+                     DimensionSpec("Station")},
+                    "available", AggFn::kSum);
+  DwarfBuilder builder(schema);
+  struct Row {
+    const char* day;
+    const char* city;
+    const char* station;
+    Measure bikes;
+  };
+  const Row rows[] = {
+      {"Mon", "Dublin", "Fenian St", 3},  {"Mon", "Dublin", "Pearse St", 5},
+      {"Mon", "Cork", "Patrick St", 2},   {"Tue", "Dublin", "Fenian St", 4},
+      {"Tue", "Cork", "Patrick St", 1},   {"Wed", "Dublin", "Pearse St", 6},
+      {"Wed", "Galway", "Eyre Sq", 8},
+  };
+  for (const Row& row : rows) {
+    EXPECT_TRUE(builder.AddTuple({row.day, row.city, row.station}, row.bikes).ok());
+  }
+  auto cube = std::move(builder).Build();
+  EXPECT_TRUE(cube.ok()) << cube.status();
+  return std::move(cube).ValueOrDie();
+}
+
+class DwarfQueryTest : public ::testing::Test {
+ protected:
+  DwarfQueryTest() : cube_(BuildBikesCube()) {}
+
+  DimKey Key(size_t dim, const std::string& value) {
+    return cube_.dictionary(dim).Lookup(value).ValueOrDie();
+  }
+
+  DwarfCube cube_;
+};
+
+TEST_F(DwarfQueryTest, FullPointQuery) {
+  EXPECT_EQ(*PointQueryByName(cube_, {"Mon", "Dublin", "Fenian St"}), 3);
+  EXPECT_EQ(*PointQueryByName(cube_, {"Wed", "Galway", "Eyre Sq"}), 8);
+}
+
+TEST_F(DwarfQueryTest, PointQueryMissingCoordinate) {
+  EXPECT_TRUE(
+      PointQueryByName(cube_, {"Mon", "Galway", "Eyre Sq"}).status().IsNotFound());
+  EXPECT_TRUE(PointQueryByName(cube_, {"Sun", "Dublin", "Fenian St"})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(DwarfQueryTest, PointQueryUnknownLabelIsNotFound) {
+  EXPECT_TRUE(PointQueryByName(cube_, {"Mon", "Dublin", "Nowhere"})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(DwarfQueryTest, AllWildcards) {
+  // Grand total.
+  EXPECT_EQ(*PointQueryByName(cube_, {std::nullopt, std::nullopt, std::nullopt}),
+            29);
+  // Per-day totals through ALL cells.
+  EXPECT_EQ(*PointQueryByName(cube_, {"Mon", std::nullopt, std::nullopt}), 10);
+  EXPECT_EQ(*PointQueryByName(cube_, {"Tue", std::nullopt, std::nullopt}), 5);
+  // Middle-dimension wildcard.
+  EXPECT_EQ(*PointQueryByName(cube_, {"Mon", std::nullopt, "Fenian St"}), 3);
+  EXPECT_EQ(*PointQueryByName(cube_, {std::nullopt, "Dublin", std::nullopt}), 18);
+  EXPECT_EQ(*PointQueryByName(cube_, {std::nullopt, std::nullopt, "Patrick St"}),
+            3);
+}
+
+TEST_F(DwarfQueryTest, ArityMismatchRejected) {
+  EXPECT_TRUE(PointQueryByName(cube_, {"Mon", "Dublin"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(DwarfQueryTest, EmptyCubeQueries) {
+  CubeSchema schema("e", {DimensionSpec("x")}, "m");
+  DwarfBuilder builder(schema);
+  auto empty = std::move(builder).Build();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(PointQuery(*empty, {std::nullopt}).status().IsNotFound());
+  EXPECT_TRUE(
+      AggregateQuery(*empty, {DimPredicate::All()}).status().IsNotFound());
+}
+
+TEST_F(DwarfQueryTest, AggregateQueryPointEqualsPointQuery) {
+  std::vector<DimPredicate> predicates = {
+      DimPredicate::Point(Key(0, "Mon")), DimPredicate::Point(Key(1, "Dublin")),
+      DimPredicate::All()};
+  EXPECT_EQ(*AggregateQuery(cube_, predicates), 8);
+}
+
+TEST_F(DwarfQueryTest, AggregateQuerySet) {
+  std::vector<DimPredicate> predicates = {
+      DimPredicate::Set({Key(0, "Mon"), Key(0, "Tue")}),
+      DimPredicate::All(),
+      DimPredicate::All(),
+  };
+  EXPECT_EQ(*AggregateQuery(cube_, predicates), 15);
+}
+
+TEST_F(DwarfQueryTest, AggregateQueryRange) {
+  // Ids are assigned in first-seen order: Mon=0, Tue=1, Wed=2.
+  std::vector<DimPredicate> predicates = {
+      DimPredicate::Range(Key(0, "Mon"), Key(0, "Tue")),
+      DimPredicate::All(),
+      DimPredicate::All(),
+  };
+  EXPECT_EQ(*AggregateQuery(cube_, predicates), 15);
+}
+
+TEST_F(DwarfQueryTest, AggregateQueryNoMatchIsNotFound) {
+  std::vector<DimPredicate> predicates = {
+      DimPredicate::Point(Key(0, "Mon")),
+      DimPredicate::Point(Key(1, "Galway")),
+      DimPredicate::All(),
+  };
+  EXPECT_TRUE(AggregateQuery(cube_, predicates).status().IsNotFound());
+}
+
+TEST_F(DwarfQueryTest, AggregateQueryEmptySetMatchesNothing) {
+  std::vector<DimPredicate> predicates = {
+      DimPredicate::Set({}), DimPredicate::All(), DimPredicate::All()};
+  EXPECT_TRUE(AggregateQuery(cube_, predicates).status().IsNotFound());
+}
+
+TEST_F(DwarfQueryTest, SliceByCity) {
+  auto rows = Slice(cube_, 1, Key(1, "Dublin"));
+  ASSERT_TRUE(rows.ok());
+  // Rows are (day, station) pairs within Dublin.
+  ASSERT_EQ(rows->size(), 4u);
+  Measure total = 0;
+  for (const SliceRow& row : *rows) {
+    ASSERT_EQ(row.keys.size(), 2u);
+    total += row.measure;
+  }
+  EXPECT_EQ(total, 18);
+}
+
+TEST_F(DwarfQueryTest, SliceOutOfRangeDim) {
+  EXPECT_TRUE(Slice(cube_, 9, 0).status().IsOutOfRange());
+}
+
+TEST_F(DwarfQueryTest, RollUpByDay) {
+  auto rows = RollUp(cube_, {0});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  std::map<std::string, Measure> by_day;
+  for (const SliceRow& row : *rows) by_day[row.keys[0]] = row.measure;
+  EXPECT_EQ(by_day["Mon"], 10);
+  EXPECT_EQ(by_day["Tue"], 5);
+  EXPECT_EQ(by_day["Wed"], 14);
+}
+
+TEST_F(DwarfQueryTest, RollUpByCityUsesAllCells) {
+  auto rows = RollUp(cube_, {1});
+  ASSERT_TRUE(rows.ok());
+  std::map<std::string, Measure> by_city;
+  for (const SliceRow& row : *rows) by_city[row.keys[0]] = row.measure;
+  EXPECT_EQ(by_city["Dublin"], 18);
+  EXPECT_EQ(by_city["Cork"], 3);
+  EXPECT_EQ(by_city["Galway"], 8);
+}
+
+TEST_F(DwarfQueryTest, RollUpTwoDims) {
+  auto rows = RollUp(cube_, {0, 1});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 6u);  // distinct (day, city) pairs
+  Measure total = 0;
+  for (const SliceRow& row : *rows) total += row.measure;
+  EXPECT_EQ(total, 29);
+}
+
+TEST_F(DwarfQueryTest, RollUpNoDimsIsGrandTotal) {
+  auto rows = RollUp(cube_, {});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].measure, 29);
+  EXPECT_TRUE((*rows)[0].keys.empty());
+}
+
+TEST_F(DwarfQueryTest, RollUpBadDimRejected) {
+  EXPECT_TRUE(RollUp(cube_, {7}).status().IsOutOfRange());
+}
+
+TEST(DimPredicateTest, Matches) {
+  EXPECT_TRUE(DimPredicate::All().Matches(99));
+  EXPECT_TRUE(DimPredicate::Point(5).Matches(5));
+  EXPECT_FALSE(DimPredicate::Point(5).Matches(6));
+  EXPECT_TRUE(DimPredicate::Range(2, 4).Matches(3));
+  EXPECT_TRUE(DimPredicate::Range(2, 4).Matches(2));
+  EXPECT_TRUE(DimPredicate::Range(2, 4).Matches(4));
+  EXPECT_FALSE(DimPredicate::Range(2, 4).Matches(5));
+  EXPECT_TRUE(DimPredicate::Set({1, 3}).Matches(3));
+  EXPECT_FALSE(DimPredicate::Set({1, 3}).Matches(2));
+}
+
+// Property: AggregateQuery over random predicates equals brute force.
+class AggregateQueryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregateQueryPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  constexpr size_t kDims = 3;
+  const size_t card = 6;
+  CubeSchema schema(
+      "p", {DimensionSpec("x"), DimensionSpec("y"), DimensionSpec("z")}, "m");
+  DwarfBuilder builder(schema);
+  std::vector<std::pair<std::vector<DimKey>, Measure>> facts;
+  for (int i = 0; i < 150; ++i) {
+    std::vector<std::string> keys(kDims);
+    std::vector<DimKey> ids(kDims);
+    for (size_t d = 0; d < kDims; ++d) {
+      // Pre-encode labels k0..k5 so ids match label indices.
+      ids[d] = static_cast<DimKey>(rng.NextBelow(card));
+      keys[d] = "k" + std::to_string(ids[d]);
+    }
+    Measure m = rng.NextInRange(1, 9);
+    ASSERT_TRUE(builder.AddTuple(keys, m).ok());
+    facts.emplace_back(ids, m);
+  }
+  auto cube_result = std::move(builder).Build();
+  ASSERT_TRUE(cube_result.ok());
+  const DwarfCube& cube = *cube_result;
+
+  // Map label -> id per dim, since first-seen encoding need not match k index.
+  auto key_id = [&](size_t dim, DimKey label_index) {
+    return cube.dictionary(dim)
+        .Lookup("k" + std::to_string(label_index))
+        .ValueOr(static_cast<DimKey>(-1));
+  };
+
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<DimPredicate> predicates(kDims);
+    // Label-space predicates for brute force.
+    std::vector<DimPredicate> label_predicates(kDims);
+    for (size_t d = 0; d < kDims; ++d) {
+      switch (rng.NextBelow(4)) {
+        case 0:
+          predicates[d] = DimPredicate::All();
+          label_predicates[d] = DimPredicate::All();
+          break;
+        case 1: {
+          DimKey label = static_cast<DimKey>(rng.NextBelow(card));
+          predicates[d] = DimPredicate::Point(key_id(d, label));
+          label_predicates[d] = DimPredicate::Point(label);
+          break;
+        }
+        case 2: {
+          std::vector<DimKey> labels, ids;
+          for (DimKey label = 0; label < card; ++label) {
+            if (rng.NextBool(0.4)) {
+              labels.push_back(label);
+              ids.push_back(key_id(d, label));
+            }
+          }
+          predicates[d] = DimPredicate::Set(ids);
+          label_predicates[d] = DimPredicate::Set(labels);
+          break;
+        }
+        default: {
+          // Range over ids: translate to an id set for brute force.
+          DimKey lo = static_cast<DimKey>(rng.NextBelow(card));
+          DimKey hi = static_cast<DimKey>(lo + rng.NextBelow(card - lo));
+          predicates[d] = DimPredicate::Range(lo, hi);
+          label_predicates[d] = DimPredicate::Range(lo, hi);
+          break;
+        }
+      }
+    }
+    // Brute force over encoded facts. Range/Set cases built above operate on
+    // different domains (label vs id); normalize: evaluate brute force in id
+    // space directly using `predicates` for ranges, label predicates mapped
+    // to ids otherwise.
+    std::optional<Measure> expected;
+    for (const auto& [ids, m] : facts) {
+      bool match = true;
+      for (size_t d = 0; d < kDims; ++d) {
+        const DimPredicate& pred = predicates[d];
+        DimKey id = cube.dictionary(d)
+                        .Lookup("k" + std::to_string(ids[d]))
+                        .ValueOrDie();
+        if (!pred.Matches(id)) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      expected = expected.has_value() ? AggCombine(AggFn::kSum, *expected, m) : m;
+    }
+    Result<Measure> actual = AggregateQuery(cube, predicates);
+    if (expected.has_value()) {
+      ASSERT_TRUE(actual.ok()) << actual.status();
+      EXPECT_EQ(*actual, *expected);
+    } else {
+      EXPECT_TRUE(actual.status().IsNotFound());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregateQueryPropertyTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace scdwarf::dwarf

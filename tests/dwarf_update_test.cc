@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "dwarf/builder.h"
+#include "dwarf/query.h"
+#include "dwarf/update.h"
+
+namespace scdwarf::dwarf {
+namespace {
+
+CubeSchema BikesSchema(AggFn agg = AggFn::kSum) {
+  return CubeSchema("bikes",
+                    {DimensionSpec("Day"), DimensionSpec("Station")}, "bikes",
+                    agg);
+}
+
+DwarfCube BuildCube(
+    const std::vector<std::pair<std::vector<std::string>, Measure>>& tuples,
+    AggFn agg = AggFn::kSum) {
+  DwarfBuilder builder(BikesSchema(agg));
+  for (const auto& [keys, measure] : tuples) {
+    EXPECT_TRUE(builder.AddTuple(keys, measure).ok());
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+TEST(ExtractBaseTuplesTest, RoundTripsTheBaseRelation) {
+  DwarfCube cube = BuildCube({{{"Mon", "Fenian St"}, 3},
+                              {{"Mon", "Pearse St"}, 5},
+                              {{"Tue", "Fenian St"}, 4}});
+  auto base = ExtractBaseTuples(cube);
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base->size(), 3u);
+  // Rebuilding from the base relation reproduces the cube exactly.
+  DwarfBuilder builder(cube.schema());
+  for (const SliceRow& row : *base) {
+    ASSERT_TRUE(builder.AddAggregatedTuple(row.keys, row.measure).ok());
+  }
+  DwarfCube rebuilt = std::move(builder).Build().ValueOrDie();
+  EXPECT_TRUE(rebuilt.StructurallyEquals(cube));
+}
+
+TEST(CubeUpdaterTest, UpdateEqualsBuildFromScratch) {
+  std::vector<std::pair<std::vector<std::string>, Measure>> first = {
+      {{"Mon", "Fenian St"}, 3}, {{"Mon", "Pearse St"}, 5}};
+  std::vector<std::pair<std::vector<std::string>, Measure>> second = {
+      {{"Tue", "Fenian St"}, 4}, {{"Mon", "Fenian St"}, 2}};
+
+  DwarfCube incremental = BuildCube(first);
+  CubeUpdater updater(std::move(incremental));
+  for (const auto& [keys, measure] : second) {
+    ASSERT_TRUE(updater.AddTuple(keys, measure).ok());
+  }
+  EXPECT_EQ(updater.num_pending(), 2u);
+  auto updated = std::move(updater).Rebuild();
+  ASSERT_TRUE(updated.ok()) << updated.status();
+
+  std::vector<std::pair<std::vector<std::string>, Measure>> all = first;
+  all.insert(all.end(), second.begin(), second.end());
+  DwarfCube reference = BuildCube(all);
+  EXPECT_TRUE(updated->StructurallyEquals(reference));
+  EXPECT_EQ(*PointQueryByName(*updated, {"Mon", "Fenian St"}), 5);
+}
+
+TEST(CubeUpdaterTest, CountCubesKeepCounting) {
+  // The subtle case: COUNT measures must not be re-counted on rebuild.
+  std::vector<std::pair<std::vector<std::string>, Measure>> first = {
+      {{"Mon", "Fenian St"}, 99}, {{"Mon", "Fenian St"}, 99}};
+  DwarfCube cube = BuildCube(first, AggFn::kCount);
+  EXPECT_EQ(*PointQueryByName(cube, {"Mon", "Fenian St"}), 2);
+
+  auto updated = MergeTuples(std::move(cube), {{{"Mon", "Fenian St"}, 99}});
+  ASSERT_TRUE(updated.ok()) << updated.status();
+  EXPECT_EQ(*PointQueryByName(*updated, {"Mon", "Fenian St"}), 3);
+}
+
+TEST(CubeUpdaterTest, MinMaxUpdates) {
+  DwarfCube min_cube = BuildCube({{{"Mon", "Fenian St"}, 5}}, AggFn::kMin);
+  auto updated = MergeTuples(std::move(min_cube), {{{"Mon", "Fenian St"}, 2}});
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*PointQueryByName(*updated, {"Mon", "Fenian St"}), 2);
+
+  DwarfCube max_cube = BuildCube({{{"Mon", "Fenian St"}, 5}}, AggFn::kMax);
+  auto max_updated =
+      MergeTuples(std::move(max_cube), {{{"Mon", "Fenian St"}, 2}});
+  ASSERT_TRUE(max_updated.ok());
+  EXPECT_EQ(*PointQueryByName(*max_updated, {"Mon", "Fenian St"}), 5);
+}
+
+TEST(CubeUpdaterTest, NewDimensionValuesExtendDictionaries) {
+  DwarfCube cube = BuildCube({{{"Mon", "Fenian St"}, 3}});
+  auto updated = MergeTuples(std::move(cube), {{{"Wed", "Eyre Sq"}, 8}});
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated->dictionary(0).size(), 2u);
+  EXPECT_EQ(*PointQueryByName(*updated, {"Wed", "Eyre Sq"}), 8);
+  EXPECT_EQ(*PointQueryByName(*updated, {std::nullopt, std::nullopt}), 11);
+}
+
+TEST(CubeUpdaterTest, EmptyCubeUpdate) {
+  DwarfBuilder builder(BikesSchema());
+  DwarfCube empty = std::move(builder).Build().ValueOrDie();
+  auto updated = MergeTuples(std::move(empty), {{{"Mon", "Fenian St"}, 3}});
+  ASSERT_TRUE(updated.ok()) << updated.status();
+  EXPECT_EQ(*PointQueryByName(*updated, {"Mon", "Fenian St"}), 3);
+}
+
+TEST(CubeUpdaterTest, NoPendingTuplesIsIdentity) {
+  DwarfCube cube = BuildCube({{{"Mon", "Fenian St"}, 3}});
+  DwarfCube copy = BuildCube({{{"Mon", "Fenian St"}, 3}});
+  CubeUpdater updater(std::move(cube));
+  auto updated = std::move(updater).Rebuild();
+  ASSERT_TRUE(updated.ok());
+  EXPECT_TRUE(updated->StructurallyEquals(copy));
+}
+
+TEST(CubeUpdaterTest, ArityMismatchRejected) {
+  DwarfCube cube = BuildCube({{{"Mon", "Fenian St"}, 3}});
+  CubeUpdater updater(std::move(cube));
+  EXPECT_TRUE(updater.AddTuple({"Mon"}, 1).IsInvalidArgument());
+}
+
+TEST(MaterializeSubCubeTest, FiltersAndReaggregates) {
+  DwarfCube cube = BuildCube({{{"Mon", "Fenian St"}, 3},
+                              {{"Mon", "Pearse St"}, 5},
+                              {{"Tue", "Fenian St"}, 4}});
+  DimKey monday = cube.dictionary(0).Lookup("Mon").ValueOrDie();
+  std::vector<DimPredicate> predicates = {DimPredicate::Point(monday),
+                                          DimPredicate::All()};
+  auto sub = MaterializeSubCube(cube, predicates);
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  EXPECT_EQ(*PointQueryByName(*sub, {"Mon", "Fenian St"}), 3);
+  EXPECT_EQ(*PointQueryByName(*sub, {std::nullopt, std::nullopt}), 8);
+  EXPECT_TRUE(
+      PointQueryByName(*sub, {"Tue", "Fenian St"}).status().IsNotFound());
+  // Schema is preserved.
+  EXPECT_EQ(sub->schema().dimensions()[0].name, "Day");
+}
+
+TEST(MaterializeSubCubeTest, EmptySelectionYieldsEmptyCube) {
+  DwarfCube cube = BuildCube({{{"Mon", "Fenian St"}, 3}});
+  std::vector<DimPredicate> predicates = {DimPredicate::Set({}),
+                                          DimPredicate::All()};
+  auto sub = MaterializeSubCube(cube, predicates);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_TRUE(sub->empty());
+}
+
+TEST(MaterializeSubCubeTest, ArityChecked) {
+  DwarfCube cube = BuildCube({{{"Mon", "Fenian St"}, 3}});
+  EXPECT_TRUE(MaterializeSubCube(cube, {DimPredicate::All()})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// Property: a long random stream split into K batches applied through the
+// updater equals the cube built from the full stream in one shot.
+class UpdaterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UpdaterPropertyTest, BatchedEqualsOneShot) {
+  Rng rng(GetParam());
+  std::vector<std::pair<std::vector<std::string>, Measure>> stream;
+  for (int i = 0; i < 300; ++i) {
+    stream.push_back(
+        {{"d" + std::to_string(rng.NextBelow(5)),
+          "s" + std::to_string(rng.NextBelow(12))},
+         rng.NextInRange(-10, 50)});
+  }
+  DwarfCube reference = BuildCube(stream);
+
+  // Apply in 4 batches.
+  DwarfBuilder builder(BikesSchema());
+  DwarfCube cube = std::move(builder).Build().ValueOrDie();
+  size_t batch_size = stream.size() / 4 + 1;
+  for (size_t begin = 0; begin < stream.size(); begin += batch_size) {
+    size_t end = std::min(stream.size(), begin + batch_size);
+    std::vector<std::pair<std::vector<std::string>, Measure>> batch(
+        stream.begin() + begin, stream.begin() + end);
+    auto updated = MergeTuples(std::move(cube), batch);
+    ASSERT_TRUE(updated.ok()) << updated.status();
+    cube = std::move(updated).ValueOrDie();
+  }
+  EXPECT_TRUE(cube.StructurallyEquals(reference));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpdaterPropertyTest,
+                         ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace scdwarf::dwarf
