@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clustered_baseline.dir/bench_clustered_baseline.cc.o"
+  "CMakeFiles/bench_clustered_baseline.dir/bench_clustered_baseline.cc.o.d"
+  "bench_clustered_baseline"
+  "bench_clustered_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clustered_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dwarf_construction.dir/bench_dwarf_construction.cc.o"
+  "CMakeFiles/bench_dwarf_construction.dir/bench_dwarf_construction.cc.o.d"
+  "bench_dwarf_construction"
+  "bench_dwarf_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dwarf_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

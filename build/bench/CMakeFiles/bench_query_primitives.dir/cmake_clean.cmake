@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_primitives.dir/bench_query_primitives.cc.o"
+  "CMakeFiles/bench_query_primitives.dir/bench_query_primitives.cc.o.d"
+  "bench_query_primitives"
+  "bench_query_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

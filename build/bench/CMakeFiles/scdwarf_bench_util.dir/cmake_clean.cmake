@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scdwarf_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/scdwarf_bench_util.dir/bench_util.cc.o.d"
+  "libscdwarf_bench_util.a"
+  "libscdwarf_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scdwarf_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

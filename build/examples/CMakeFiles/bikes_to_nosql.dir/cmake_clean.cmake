@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bikes_to_nosql.dir/bikes_to_nosql.cpp.o"
+  "CMakeFiles/bikes_to_nosql.dir/bikes_to_nosql.cpp.o.d"
+  "bikes_to_nosql"
+  "bikes_to_nosql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bikes_to_nosql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

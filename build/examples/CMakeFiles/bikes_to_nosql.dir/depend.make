@@ -1,0 +1,2 @@
+# Empty dependencies file for bikes_to_nosql.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_queries.dir/cube_queries.cpp.o"
+  "CMakeFiles/cube_queries.dir/cube_queries.cpp.o.d"
+  "cube_queries"
+  "cube_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

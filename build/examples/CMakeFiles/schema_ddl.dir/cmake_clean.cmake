@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_ddl.dir/schema_ddl.cpp.o"
+  "CMakeFiles/schema_ddl.dir/schema_ddl.cpp.o.d"
+  "schema_ddl"
+  "schema_ddl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_ddl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/citibikes/bike_feed.cc" "src/citibikes/CMakeFiles/scdwarf_citibikes.dir/bike_feed.cc.o" "gcc" "src/citibikes/CMakeFiles/scdwarf_citibikes.dir/bike_feed.cc.o.d"
+  "/root/repo/src/citibikes/datasets.cc" "src/citibikes/CMakeFiles/scdwarf_citibikes.dir/datasets.cc.o" "gcc" "src/citibikes/CMakeFiles/scdwarf_citibikes.dir/datasets.cc.o.d"
+  "/root/repo/src/citibikes/other_feeds.cc" "src/citibikes/CMakeFiles/scdwarf_citibikes.dir/other_feeds.cc.o" "gcc" "src/citibikes/CMakeFiles/scdwarf_citibikes.dir/other_feeds.cc.o.d"
+  "/root/repo/src/citibikes/stations.cc" "src/citibikes/CMakeFiles/scdwarf_citibikes.dir/stations.cc.o" "gcc" "src/citibikes/CMakeFiles/scdwarf_citibikes.dir/stations.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scdwarf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/scdwarf_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/scdwarf_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

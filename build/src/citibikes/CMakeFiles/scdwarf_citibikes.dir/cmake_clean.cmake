@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scdwarf_citibikes.dir/bike_feed.cc.o"
+  "CMakeFiles/scdwarf_citibikes.dir/bike_feed.cc.o.d"
+  "CMakeFiles/scdwarf_citibikes.dir/datasets.cc.o"
+  "CMakeFiles/scdwarf_citibikes.dir/datasets.cc.o.d"
+  "CMakeFiles/scdwarf_citibikes.dir/other_feeds.cc.o"
+  "CMakeFiles/scdwarf_citibikes.dir/other_feeds.cc.o.d"
+  "CMakeFiles/scdwarf_citibikes.dir/stations.cc.o"
+  "CMakeFiles/scdwarf_citibikes.dir/stations.cc.o.d"
+  "libscdwarf_citibikes.a"
+  "libscdwarf_citibikes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scdwarf_citibikes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scdwarf_citibikes.
+# This may be replaced when dependencies are built.

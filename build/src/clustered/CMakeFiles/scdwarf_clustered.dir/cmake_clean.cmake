@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scdwarf_clustered.dir/flat_file.cc.o"
+  "CMakeFiles/scdwarf_clustered.dir/flat_file.cc.o.d"
+  "libscdwarf_clustered.a"
+  "libscdwarf_clustered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scdwarf_clustered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

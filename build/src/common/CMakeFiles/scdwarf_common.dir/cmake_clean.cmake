@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scdwarf_common.dir/bytes.cc.o"
+  "CMakeFiles/scdwarf_common.dir/bytes.cc.o.d"
+  "CMakeFiles/scdwarf_common.dir/civil_time.cc.o"
+  "CMakeFiles/scdwarf_common.dir/civil_time.cc.o.d"
+  "CMakeFiles/scdwarf_common.dir/logging.cc.o"
+  "CMakeFiles/scdwarf_common.dir/logging.cc.o.d"
+  "CMakeFiles/scdwarf_common.dir/status.cc.o"
+  "CMakeFiles/scdwarf_common.dir/status.cc.o.d"
+  "CMakeFiles/scdwarf_common.dir/strings.cc.o"
+  "CMakeFiles/scdwarf_common.dir/strings.cc.o.d"
+  "CMakeFiles/scdwarf_common.dir/value.cc.o"
+  "CMakeFiles/scdwarf_common.dir/value.cc.o.d"
+  "libscdwarf_common.a"
+  "libscdwarf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scdwarf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

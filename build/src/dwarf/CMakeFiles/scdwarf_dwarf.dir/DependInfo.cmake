@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dwarf/builder.cc" "src/dwarf/CMakeFiles/scdwarf_dwarf.dir/builder.cc.o" "gcc" "src/dwarf/CMakeFiles/scdwarf_dwarf.dir/builder.cc.o.d"
+  "/root/repo/src/dwarf/dwarf_cube.cc" "src/dwarf/CMakeFiles/scdwarf_dwarf.dir/dwarf_cube.cc.o" "gcc" "src/dwarf/CMakeFiles/scdwarf_dwarf.dir/dwarf_cube.cc.o.d"
+  "/root/repo/src/dwarf/hierarchy.cc" "src/dwarf/CMakeFiles/scdwarf_dwarf.dir/hierarchy.cc.o" "gcc" "src/dwarf/CMakeFiles/scdwarf_dwarf.dir/hierarchy.cc.o.d"
+  "/root/repo/src/dwarf/query.cc" "src/dwarf/CMakeFiles/scdwarf_dwarf.dir/query.cc.o" "gcc" "src/dwarf/CMakeFiles/scdwarf_dwarf.dir/query.cc.o.d"
+  "/root/repo/src/dwarf/traversal.cc" "src/dwarf/CMakeFiles/scdwarf_dwarf.dir/traversal.cc.o" "gcc" "src/dwarf/CMakeFiles/scdwarf_dwarf.dir/traversal.cc.o.d"
+  "/root/repo/src/dwarf/update.cc" "src/dwarf/CMakeFiles/scdwarf_dwarf.dir/update.cc.o" "gcc" "src/dwarf/CMakeFiles/scdwarf_dwarf.dir/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scdwarf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scdwarf_dwarf.dir/builder.cc.o"
+  "CMakeFiles/scdwarf_dwarf.dir/builder.cc.o.d"
+  "CMakeFiles/scdwarf_dwarf.dir/dwarf_cube.cc.o"
+  "CMakeFiles/scdwarf_dwarf.dir/dwarf_cube.cc.o.d"
+  "CMakeFiles/scdwarf_dwarf.dir/hierarchy.cc.o"
+  "CMakeFiles/scdwarf_dwarf.dir/hierarchy.cc.o.d"
+  "CMakeFiles/scdwarf_dwarf.dir/query.cc.o"
+  "CMakeFiles/scdwarf_dwarf.dir/query.cc.o.d"
+  "CMakeFiles/scdwarf_dwarf.dir/traversal.cc.o"
+  "CMakeFiles/scdwarf_dwarf.dir/traversal.cc.o.d"
+  "CMakeFiles/scdwarf_dwarf.dir/update.cc.o"
+  "CMakeFiles/scdwarf_dwarf.dir/update.cc.o.d"
+  "libscdwarf_dwarf.a"
+  "libscdwarf_dwarf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scdwarf_dwarf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

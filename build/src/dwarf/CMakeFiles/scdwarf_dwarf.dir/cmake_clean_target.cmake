@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscdwarf_dwarf.a"
+)

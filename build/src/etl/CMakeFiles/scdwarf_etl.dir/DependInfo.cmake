@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/etl/extractor.cc" "src/etl/CMakeFiles/scdwarf_etl.dir/extractor.cc.o" "gcc" "src/etl/CMakeFiles/scdwarf_etl.dir/extractor.cc.o.d"
+  "/root/repo/src/etl/pipeline.cc" "src/etl/CMakeFiles/scdwarf_etl.dir/pipeline.cc.o" "gcc" "src/etl/CMakeFiles/scdwarf_etl.dir/pipeline.cc.o.d"
+  "/root/repo/src/etl/tuple_mapper.cc" "src/etl/CMakeFiles/scdwarf_etl.dir/tuple_mapper.cc.o" "gcc" "src/etl/CMakeFiles/scdwarf_etl.dir/tuple_mapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scdwarf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/scdwarf_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/scdwarf_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/dwarf/CMakeFiles/scdwarf_dwarf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scdwarf_etl.dir/extractor.cc.o"
+  "CMakeFiles/scdwarf_etl.dir/extractor.cc.o.d"
+  "CMakeFiles/scdwarf_etl.dir/pipeline.cc.o"
+  "CMakeFiles/scdwarf_etl.dir/pipeline.cc.o.d"
+  "CMakeFiles/scdwarf_etl.dir/tuple_mapper.cc.o"
+  "CMakeFiles/scdwarf_etl.dir/tuple_mapper.cc.o.d"
+  "libscdwarf_etl.a"
+  "libscdwarf_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scdwarf_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scdwarf_json.dir/json_parser.cc.o"
+  "CMakeFiles/scdwarf_json.dir/json_parser.cc.o.d"
+  "CMakeFiles/scdwarf_json.dir/json_value.cc.o"
+  "CMakeFiles/scdwarf_json.dir/json_value.cc.o.d"
+  "libscdwarf_json.a"
+  "libscdwarf_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scdwarf_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

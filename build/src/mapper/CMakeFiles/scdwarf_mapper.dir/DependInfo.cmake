@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapper/dimension_table.cc" "src/mapper/CMakeFiles/scdwarf_mapper.dir/dimension_table.cc.o" "gcc" "src/mapper/CMakeFiles/scdwarf_mapper.dir/dimension_table.cc.o.d"
+  "/root/repo/src/mapper/id_map.cc" "src/mapper/CMakeFiles/scdwarf_mapper.dir/id_map.cc.o" "gcc" "src/mapper/CMakeFiles/scdwarf_mapper.dir/id_map.cc.o.d"
+  "/root/repo/src/mapper/nosql_dwarf_mapper.cc" "src/mapper/CMakeFiles/scdwarf_mapper.dir/nosql_dwarf_mapper.cc.o" "gcc" "src/mapper/CMakeFiles/scdwarf_mapper.dir/nosql_dwarf_mapper.cc.o.d"
+  "/root/repo/src/mapper/nosql_min_mapper.cc" "src/mapper/CMakeFiles/scdwarf_mapper.dir/nosql_min_mapper.cc.o" "gcc" "src/mapper/CMakeFiles/scdwarf_mapper.dir/nosql_min_mapper.cc.o.d"
+  "/root/repo/src/mapper/sql_dwarf_mapper.cc" "src/mapper/CMakeFiles/scdwarf_mapper.dir/sql_dwarf_mapper.cc.o" "gcc" "src/mapper/CMakeFiles/scdwarf_mapper.dir/sql_dwarf_mapper.cc.o.d"
+  "/root/repo/src/mapper/sql_min_mapper.cc" "src/mapper/CMakeFiles/scdwarf_mapper.dir/sql_min_mapper.cc.o" "gcc" "src/mapper/CMakeFiles/scdwarf_mapper.dir/sql_min_mapper.cc.o.d"
+  "/root/repo/src/mapper/stored_cube.cc" "src/mapper/CMakeFiles/scdwarf_mapper.dir/stored_cube.cc.o" "gcc" "src/mapper/CMakeFiles/scdwarf_mapper.dir/stored_cube.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scdwarf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dwarf/CMakeFiles/scdwarf_dwarf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nosql/CMakeFiles/scdwarf_nosql.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/scdwarf_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scdwarf_mapper.dir/dimension_table.cc.o"
+  "CMakeFiles/scdwarf_mapper.dir/dimension_table.cc.o.d"
+  "CMakeFiles/scdwarf_mapper.dir/id_map.cc.o"
+  "CMakeFiles/scdwarf_mapper.dir/id_map.cc.o.d"
+  "CMakeFiles/scdwarf_mapper.dir/nosql_dwarf_mapper.cc.o"
+  "CMakeFiles/scdwarf_mapper.dir/nosql_dwarf_mapper.cc.o.d"
+  "CMakeFiles/scdwarf_mapper.dir/nosql_min_mapper.cc.o"
+  "CMakeFiles/scdwarf_mapper.dir/nosql_min_mapper.cc.o.d"
+  "CMakeFiles/scdwarf_mapper.dir/sql_dwarf_mapper.cc.o"
+  "CMakeFiles/scdwarf_mapper.dir/sql_dwarf_mapper.cc.o.d"
+  "CMakeFiles/scdwarf_mapper.dir/sql_min_mapper.cc.o"
+  "CMakeFiles/scdwarf_mapper.dir/sql_min_mapper.cc.o.d"
+  "CMakeFiles/scdwarf_mapper.dir/stored_cube.cc.o"
+  "CMakeFiles/scdwarf_mapper.dir/stored_cube.cc.o.d"
+  "libscdwarf_mapper.a"
+  "libscdwarf_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scdwarf_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nosql/cql.cc" "src/nosql/CMakeFiles/scdwarf_nosql.dir/cql.cc.o" "gcc" "src/nosql/CMakeFiles/scdwarf_nosql.dir/cql.cc.o.d"
+  "/root/repo/src/nosql/database.cc" "src/nosql/CMakeFiles/scdwarf_nosql.dir/database.cc.o" "gcc" "src/nosql/CMakeFiles/scdwarf_nosql.dir/database.cc.o.d"
+  "/root/repo/src/nosql/schema.cc" "src/nosql/CMakeFiles/scdwarf_nosql.dir/schema.cc.o" "gcc" "src/nosql/CMakeFiles/scdwarf_nosql.dir/schema.cc.o.d"
+  "/root/repo/src/nosql/table.cc" "src/nosql/CMakeFiles/scdwarf_nosql.dir/table.cc.o" "gcc" "src/nosql/CMakeFiles/scdwarf_nosql.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scdwarf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scdwarf_nosql.dir/cql.cc.o"
+  "CMakeFiles/scdwarf_nosql.dir/cql.cc.o.d"
+  "CMakeFiles/scdwarf_nosql.dir/database.cc.o"
+  "CMakeFiles/scdwarf_nosql.dir/database.cc.o.d"
+  "CMakeFiles/scdwarf_nosql.dir/schema.cc.o"
+  "CMakeFiles/scdwarf_nosql.dir/schema.cc.o.d"
+  "CMakeFiles/scdwarf_nosql.dir/table.cc.o"
+  "CMakeFiles/scdwarf_nosql.dir/table.cc.o.d"
+  "libscdwarf_nosql.a"
+  "libscdwarf_nosql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scdwarf_nosql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

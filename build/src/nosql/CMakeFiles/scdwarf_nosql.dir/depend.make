@@ -1,0 +1,2 @@
+# Empty dependencies file for scdwarf_nosql.
+# This may be replaced when dependencies are built.

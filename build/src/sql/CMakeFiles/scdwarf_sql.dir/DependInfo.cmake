@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/catalog.cc" "src/sql/CMakeFiles/scdwarf_sql.dir/catalog.cc.o" "gcc" "src/sql/CMakeFiles/scdwarf_sql.dir/catalog.cc.o.d"
+  "/root/repo/src/sql/engine.cc" "src/sql/CMakeFiles/scdwarf_sql.dir/engine.cc.o" "gcc" "src/sql/CMakeFiles/scdwarf_sql.dir/engine.cc.o.d"
+  "/root/repo/src/sql/heap_table.cc" "src/sql/CMakeFiles/scdwarf_sql.dir/heap_table.cc.o" "gcc" "src/sql/CMakeFiles/scdwarf_sql.dir/heap_table.cc.o.d"
+  "/root/repo/src/sql/sql.cc" "src/sql/CMakeFiles/scdwarf_sql.dir/sql.cc.o" "gcc" "src/sql/CMakeFiles/scdwarf_sql.dir/sql.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scdwarf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

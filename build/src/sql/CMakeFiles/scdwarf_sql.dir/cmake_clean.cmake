@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scdwarf_sql.dir/catalog.cc.o"
+  "CMakeFiles/scdwarf_sql.dir/catalog.cc.o.d"
+  "CMakeFiles/scdwarf_sql.dir/engine.cc.o"
+  "CMakeFiles/scdwarf_sql.dir/engine.cc.o.d"
+  "CMakeFiles/scdwarf_sql.dir/heap_table.cc.o"
+  "CMakeFiles/scdwarf_sql.dir/heap_table.cc.o.d"
+  "CMakeFiles/scdwarf_sql.dir/sql.cc.o"
+  "CMakeFiles/scdwarf_sql.dir/sql.cc.o.d"
+  "libscdwarf_sql.a"
+  "libscdwarf_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scdwarf_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scdwarf_xml.dir/xml_node.cc.o"
+  "CMakeFiles/scdwarf_xml.dir/xml_node.cc.o.d"
+  "CMakeFiles/scdwarf_xml.dir/xml_parser.cc.o"
+  "CMakeFiles/scdwarf_xml.dir/xml_parser.cc.o.d"
+  "CMakeFiles/scdwarf_xml.dir/xml_path.cc.o"
+  "CMakeFiles/scdwarf_xml.dir/xml_path.cc.o.d"
+  "libscdwarf_xml.a"
+  "libscdwarf_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scdwarf_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citibikes_test.dir/citibikes_test.cc.o"
+  "CMakeFiles/citibikes_test.dir/citibikes_test.cc.o.d"
+  "citibikes_test"
+  "citibikes_test.pdb"
+  "citibikes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citibikes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimension_table_test.dir/dimension_table_test.cc.o"
+  "CMakeFiles/dimension_table_test.dir/dimension_table_test.cc.o.d"
+  "dimension_table_test"
+  "dimension_table_test.pdb"
+  "dimension_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimension_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

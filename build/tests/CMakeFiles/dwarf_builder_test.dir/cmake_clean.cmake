@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwarf_builder_test.dir/dwarf_builder_test.cc.o"
+  "CMakeFiles/dwarf_builder_test.dir/dwarf_builder_test.cc.o.d"
+  "dwarf_builder_test"
+  "dwarf_builder_test.pdb"
+  "dwarf_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwarf_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

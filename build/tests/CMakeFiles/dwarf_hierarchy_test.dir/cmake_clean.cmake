@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwarf_hierarchy_test.dir/dwarf_hierarchy_test.cc.o"
+  "CMakeFiles/dwarf_hierarchy_test.dir/dwarf_hierarchy_test.cc.o.d"
+  "dwarf_hierarchy_test"
+  "dwarf_hierarchy_test.pdb"
+  "dwarf_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwarf_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

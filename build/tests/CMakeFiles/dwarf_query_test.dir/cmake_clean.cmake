@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwarf_query_test.dir/dwarf_query_test.cc.o"
+  "CMakeFiles/dwarf_query_test.dir/dwarf_query_test.cc.o.d"
+  "dwarf_query_test"
+  "dwarf_query_test.pdb"
+  "dwarf_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwarf_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

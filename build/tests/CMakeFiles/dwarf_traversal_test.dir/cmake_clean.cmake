@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwarf_traversal_test.dir/dwarf_traversal_test.cc.o"
+  "CMakeFiles/dwarf_traversal_test.dir/dwarf_traversal_test.cc.o.d"
+  "dwarf_traversal_test"
+  "dwarf_traversal_test.pdb"
+  "dwarf_traversal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwarf_traversal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

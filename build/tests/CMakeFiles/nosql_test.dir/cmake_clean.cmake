@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nosql_test.dir/nosql_test.cc.o"
+  "CMakeFiles/nosql_test.dir/nosql_test.cc.o.d"
+  "nosql_test"
+  "nosql_test.pdb"
+  "nosql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nosql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/dwarf_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/dwarf_query_test[1]_include.cmake")
+include("/root/repo/build/tests/dwarf_traversal_test[1]_include.cmake")
+include("/root/repo/build/tests/nosql_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/mapper_test[1]_include.cmake")
+include("/root/repo/build/tests/civil_time_test[1]_include.cmake")
+include("/root/repo/build/tests/citibikes_test[1]_include.cmake")
+include("/root/repo/build/tests/etl_test[1]_include.cmake")
+include("/root/repo/build/tests/clustered_test[1]_include.cmake")
+include("/root/repo/build/tests/dwarf_hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/dwarf_update_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/dimension_table_test[1]_include.cmake")
+include("/root/repo/build/tests/deletion_test[1]_include.cmake")
