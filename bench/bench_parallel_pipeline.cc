@@ -1,0 +1,177 @@
+// Parallel ETL + construction sweep: runs the XML bikes feed of each Table-2
+// dataset through ParallelCubePipeline with threads in {1, 2, 4, N} (N =
+// DefaultThreadCount) and reports the per-stage breakdown plus the speedup
+// over the single-threaded run. Results are also written machine-readably to
+// BENCH_pipeline.json so future changes have a perf trajectory to compare
+// against.
+//
+// Dataset selection honours SCDWARF_DATASETS (see bench_util.h); the thread
+// sweep always includes 1 so speedups have a baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "citibikes/bike_feed.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "etl/parallel_pipeline.h"
+
+namespace {
+
+using namespace scdwarf;
+
+struct SweepRow {
+  std::string dataset;
+  uint64_t tuples = 0;
+  int threads = 0;
+  double parse_ms = 0;
+  double drain_ms = 0;
+  double dict_merge_ms = 0;
+  double sort_ms = 0;
+  double construct_ms = 0;
+  double parse_build_ms = 0;
+  double speedup = 1.0;  ///< single-thread parse_build_ms / this row's
+};
+std::vector<SweepRow> g_rows;
+
+std::vector<int> ThreadSweep() {
+  std::vector<int> sweep = {1, 2, 4, DefaultThreadCount()};
+  std::sort(sweep.begin(), sweep.end());
+  sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+  return sweep;
+}
+
+void BM_ParallelPipeline(benchmark::State& state, const std::string& dataset,
+                         int threads) {
+  for (auto _ : state) {
+    auto spec = citibikes::FindDataset(dataset);
+    if (!spec.ok()) {
+      state.SkipWithError(spec.status().ToString().c_str());
+      return;
+    }
+    citibikes::BikeFeedGenerator feed(citibikes::MakeFeedConfig(*spec));
+    auto pipeline =
+        etl::MakeBikesXmlParallelPipeline({}, {.num_threads = threads});
+    if (!pipeline.ok()) {
+      state.SkipWithError(pipeline.status().ToString().c_str());
+      return;
+    }
+    Stopwatch watch;
+    while (feed.HasNext()) {
+      Status status = pipeline->ConsumeXml(feed.NextXml());
+      if (!status.ok()) {
+        state.SkipWithError(status.ToString().c_str());
+        return;
+      }
+    }
+    double parse_ms = watch.ElapsedMillis();
+    etl::PipelineProfile profile;
+    auto cube = std::move(*pipeline).Finish(&profile);
+    if (!cube.ok()) {
+      state.SkipWithError(cube.status().ToString().c_str());
+      return;
+    }
+    SweepRow row;
+    row.dataset = dataset;
+    row.tuples = feed.records_emitted();
+    row.threads = threads;
+    row.parse_ms = parse_ms;
+    row.drain_ms = profile.drain_ms;
+    row.dict_merge_ms = profile.dict_merge_ms;
+    row.sort_ms = profile.build.sort_ms;
+    row.construct_ms = profile.build.construct_ms;
+    row.parse_build_ms = watch.ElapsedMillis();
+    g_rows.push_back(row);
+    state.counters["threads"] = threads;
+    state.counters["tuples"] = static_cast<double>(row.tuples);
+    benchmark::DoNotOptimize(cube->num_nodes());
+  }
+}
+
+void ComputeSpeedups() {
+  std::map<std::string, double> baseline;
+  for (const SweepRow& row : g_rows) {
+    if (row.threads == 1) baseline[row.dataset] = row.parse_build_ms;
+  }
+  for (SweepRow& row : g_rows) {
+    auto it = baseline.find(row.dataset);
+    if (it != baseline.end() && row.parse_build_ms > 0) {
+      row.speedup = it->second / row.parse_build_ms;
+    }
+  }
+}
+
+void PrintSweep() {
+  std::printf("\n=== Parallel pipeline sweep (XML feed -> cube) ===\n");
+  std::printf("%-8s %10s %8s %10s %10s %10s %10s %10s %12s %8s\n", "Dataset",
+              "tuples", "threads", "parse", "drain", "dictmerge", "sort",
+              "construct", "total (ms)", "speedup");
+  for (const SweepRow& row : g_rows) {
+    std::printf("%-8s %10llu %8d %10.1f %10.1f %10.1f %10.1f %10.1f %12.1f %8.2f\n",
+                row.dataset.c_str(),
+                static_cast<unsigned long long>(row.tuples), row.threads,
+                row.parse_ms, row.drain_ms, row.dict_merge_ms, row.sort_ms,
+                row.construct_ms, row.parse_build_ms, row.speedup);
+  }
+  std::printf(
+      "\nNote: with %d hardware thread(s) available, speedups above 1.0 only\n"
+      "appear on multi-core machines; the sweep exists to record them.\n",
+      DefaultThreadCount());
+}
+
+void WriteJson(const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"parallel_pipeline\",\n  \"results\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const SweepRow& row = g_rows[i];
+    std::fprintf(out,
+                 "    {\"dataset\": \"%s\", \"tuples\": %llu, \"threads\": %d, "
+                 "\"parse_ms\": %.3f, \"drain_ms\": %.3f, "
+                 "\"dict_merge_ms\": %.3f, \"sort_ms\": %.3f, "
+                 "\"construct_ms\": %.3f, \"parse_build_ms\": %.3f, "
+                 "\"speedup\": %.3f}%s\n",
+                 row.dataset.c_str(),
+                 static_cast<unsigned long long>(row.tuples), row.threads,
+                 row.parse_ms, row.drain_ms, row.dict_merge_ms, row.sort_ms,
+                 row.construct_ms, row.parse_build_ms, row.speedup,
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s (%zu rows)\n", path, g_rows.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const std::string& dataset : benchutil::SelectedDatasets()) {
+    for (int threads : ThreadSweep()) {
+      std::string name =
+          "ParallelPipeline/" + dataset + "/t" + std::to_string(threads);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [dataset, threads](benchmark::State& state) {
+            BM_ParallelPipeline(state, dataset, threads);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ComputeSpeedups();
+  PrintSweep();
+  WriteJson("BENCH_pipeline.json");
+  return 0;
+}

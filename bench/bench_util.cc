@@ -63,11 +63,17 @@ Result<std::shared_ptr<const dwarf::DwarfCube>> GetDatasetCube(
   while (feed.HasNext()) {
     SCD_RETURN_IF_ERROR(pipeline.ConsumeXml(feed.NextXml()));
   }
-  SCD_ASSIGN_OR_RETURN(dwarf::DwarfCube cube, std::move(pipeline).Finish());
+  double parse_ms = watch.ElapsedMillis();
+  etl::PipelineProfile profile;
+  SCD_ASSIGN_OR_RETURN(dwarf::DwarfCube cube,
+                       std::move(pipeline).Finish(&profile));
   DatasetCache entry;
   entry.feed.documents = feed.documents_emitted();
   entry.feed.records = feed.records_emitted();
   entry.feed.raw_bytes = feed.bytes_emitted();
+  entry.feed.parse_ms = parse_ms;
+  entry.feed.sort_ms = profile.build.sort_ms;
+  entry.feed.construct_ms = profile.build.construct_ms;
   entry.feed.parse_build_ms = watch.ElapsedMillis();
   entry.cube = std::make_shared<const dwarf::DwarfCube>(std::move(cube));
   Cache()[dataset] = entry;

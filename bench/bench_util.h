@@ -35,7 +35,10 @@ struct FeedStats {
   uint64_t documents = 0;
   uint64_t records = 0;
   uint64_t raw_bytes = 0;
-  double parse_build_ms = 0;
+  double parse_ms = 0;        ///< extraction + mapping (the Consume loop)
+  double sort_ms = 0;         ///< builder tuple sort + duplicate aggregation
+  double construct_ms = 0;    ///< DWARF construction sweep
+  double parse_build_ms = 0;  ///< end-to-end feed -> cube wall time
 };
 
 /// \brief Stats recorded by the last GetDatasetCube build of \p dataset.

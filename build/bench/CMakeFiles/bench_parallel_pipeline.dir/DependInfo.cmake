@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallel_pipeline.cc" "bench/CMakeFiles/bench_parallel_pipeline.dir/bench_parallel_pipeline.cc.o" "gcc" "bench/CMakeFiles/bench_parallel_pipeline.dir/bench_parallel_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/scdwarf_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/citibikes/CMakeFiles/scdwarf_citibikes.dir/DependInfo.cmake"
+  "/root/repo/build/src/etl/CMakeFiles/scdwarf_etl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/scdwarf_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/scdwarf_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapper/CMakeFiles/scdwarf_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/dwarf/CMakeFiles/scdwarf_dwarf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nosql/CMakeFiles/scdwarf_nosql.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/scdwarf_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scdwarf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_pipeline.dir/bench_parallel_pipeline.cc.o"
+  "CMakeFiles/bench_parallel_pipeline.dir/bench_parallel_pipeline.cc.o.d"
+  "bench_parallel_pipeline"
+  "bench_parallel_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

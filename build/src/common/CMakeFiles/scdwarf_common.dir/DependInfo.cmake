@@ -11,8 +11,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/bytes.cc" "src/common/CMakeFiles/scdwarf_common.dir/bytes.cc.o" "gcc" "src/common/CMakeFiles/scdwarf_common.dir/bytes.cc.o.d"
   "/root/repo/src/common/civil_time.cc" "src/common/CMakeFiles/scdwarf_common.dir/civil_time.cc.o" "gcc" "src/common/CMakeFiles/scdwarf_common.dir/civil_time.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/scdwarf_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/scdwarf_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/common/CMakeFiles/scdwarf_common.dir/parallel.cc.o" "gcc" "src/common/CMakeFiles/scdwarf_common.dir/parallel.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/scdwarf_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/scdwarf_common.dir/status.cc.o.d"
   "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/scdwarf_common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/scdwarf_common.dir/strings.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/scdwarf_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/scdwarf_common.dir/thread_pool.cc.o.d"
   "/root/repo/src/common/value.cc" "src/common/CMakeFiles/scdwarf_common.dir/value.cc.o" "gcc" "src/common/CMakeFiles/scdwarf_common.dir/value.cc.o.d"
   )
 

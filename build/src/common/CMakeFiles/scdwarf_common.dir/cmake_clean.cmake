@@ -5,10 +5,14 @@ file(REMOVE_RECURSE
   "CMakeFiles/scdwarf_common.dir/civil_time.cc.o.d"
   "CMakeFiles/scdwarf_common.dir/logging.cc.o"
   "CMakeFiles/scdwarf_common.dir/logging.cc.o.d"
+  "CMakeFiles/scdwarf_common.dir/parallel.cc.o"
+  "CMakeFiles/scdwarf_common.dir/parallel.cc.o.d"
   "CMakeFiles/scdwarf_common.dir/status.cc.o"
   "CMakeFiles/scdwarf_common.dir/status.cc.o.d"
   "CMakeFiles/scdwarf_common.dir/strings.cc.o"
   "CMakeFiles/scdwarf_common.dir/strings.cc.o.d"
+  "CMakeFiles/scdwarf_common.dir/thread_pool.cc.o"
+  "CMakeFiles/scdwarf_common.dir/thread_pool.cc.o.d"
   "CMakeFiles/scdwarf_common.dir/value.cc.o"
   "CMakeFiles/scdwarf_common.dir/value.cc.o.d"
   "libscdwarf_common.a"

@@ -217,6 +217,22 @@ src/dwarf/CMakeFiles/scdwarf_dwarf.dir/builder.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/limits /root/repo/src/dwarf/tuple.h \
- /root/repo/src/dwarf/dictionary.h /root/repo/src/common/hash.h \
- /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc
+ /root/repo/src/dwarf/dictionary.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/common/hash.h /root/repo/src/common/logging.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/common/parallel.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /root/repo/src/common/thread_pool.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/thread /root/repo/src/common/stopwatch.h \
+ /usr/include/c++/12/chrono

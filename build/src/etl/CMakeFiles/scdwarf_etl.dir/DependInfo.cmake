@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/etl/extractor.cc" "src/etl/CMakeFiles/scdwarf_etl.dir/extractor.cc.o" "gcc" "src/etl/CMakeFiles/scdwarf_etl.dir/extractor.cc.o.d"
+  "/root/repo/src/etl/parallel_pipeline.cc" "src/etl/CMakeFiles/scdwarf_etl.dir/parallel_pipeline.cc.o" "gcc" "src/etl/CMakeFiles/scdwarf_etl.dir/parallel_pipeline.cc.o.d"
   "/root/repo/src/etl/pipeline.cc" "src/etl/CMakeFiles/scdwarf_etl.dir/pipeline.cc.o" "gcc" "src/etl/CMakeFiles/scdwarf_etl.dir/pipeline.cc.o.d"
   "/root/repo/src/etl/tuple_mapper.cc" "src/etl/CMakeFiles/scdwarf_etl.dir/tuple_mapper.cc.o" "gcc" "src/etl/CMakeFiles/scdwarf_etl.dir/tuple_mapper.cc.o.d"
   )

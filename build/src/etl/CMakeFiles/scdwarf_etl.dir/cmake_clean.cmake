@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/scdwarf_etl.dir/extractor.cc.o"
   "CMakeFiles/scdwarf_etl.dir/extractor.cc.o.d"
+  "CMakeFiles/scdwarf_etl.dir/parallel_pipeline.cc.o"
+  "CMakeFiles/scdwarf_etl.dir/parallel_pipeline.cc.o.d"
   "CMakeFiles/scdwarf_etl.dir/pipeline.cc.o"
   "CMakeFiles/scdwarf_etl.dir/pipeline.cc.o.d"
   "CMakeFiles/scdwarf_etl.dir/tuple_mapper.cc.o"

@@ -225,7 +225,20 @@ src/mapper/CMakeFiles/scdwarf_mapper.dir/sql_min_mapper.cc.o: \
  /root/repo/src/common/bytes.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/sql/catalog.h /root/repo/src/common/value.h \
- /root/repo/src/mapper/id_map.h /root/repo/src/dwarf/traversal.h \
+ /root/repo/src/common/parallel.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /root/repo/src/common/thread_pool.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /root/repo/src/mapper/row_batcher.h \
- /root/repo/src/mapper/stored_cube.h
+ /usr/include/c++/12/array /usr/include/c++/12/thread \
+ /root/repo/src/mapper/id_map.h /root/repo/src/dwarf/traversal.h \
+ /root/repo/src/mapper/parallel_rows.h \
+ /root/repo/src/mapper/row_batcher.h /root/repo/src/mapper/stored_cube.h

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_pipeline_test.cc" "tests/CMakeFiles/parallel_pipeline_test.dir/parallel_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/parallel_pipeline_test.dir/parallel_pipeline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/etl/CMakeFiles/scdwarf_etl.dir/DependInfo.cmake"
+  "/root/repo/build/src/citibikes/CMakeFiles/scdwarf_citibikes.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapper/CMakeFiles/scdwarf_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/scdwarf_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/scdwarf_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/dwarf/CMakeFiles/scdwarf_dwarf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nosql/CMakeFiles/scdwarf_nosql.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/scdwarf_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scdwarf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

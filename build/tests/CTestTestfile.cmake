@@ -23,3 +23,4 @@ include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
 include("/root/repo/build/tests/dimension_table_test[1]_include.cmake")
 include("/root/repo/build/tests/deletion_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_pipeline_test[1]_include.cmake")

@@ -1,0 +1,44 @@
+#include "common/parallel.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace scdwarf {
+
+int DefaultThreadCount() {
+  const char* env = std::getenv("SCDWARF_THREADS");
+  if (env != nullptr && *env != '\0') {
+    Result<int64_t> parsed = ParseInt64(env);
+    if (parsed.ok() && *parsed >= 1) {
+      // Cap at something sane; SCDWARF_THREADS=100000 is a typo, not a plan.
+      return static_cast<int>(*parsed > 1024 ? 1024 : *parsed);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ResolveThreadCount(int requested) {
+  return requested >= 1 ? requested : DefaultThreadCount();
+}
+
+std::vector<ShardRange> SplitShards(size_t n, int num_shards) {
+  std::vector<ShardRange> shards;
+  if (n == 0) return shards;
+  size_t count = num_shards < 1 ? 1 : static_cast<size_t>(num_shards);
+  if (count > n) count = n;
+  shards.reserve(count);
+  size_t base = n / count;
+  size_t remainder = n % count;
+  size_t begin = 0;
+  for (size_t i = 0; i < count; ++i) {
+    size_t size = base + (i < remainder ? 1 : 0);
+    shards.push_back({i, begin, begin + size});
+    begin += size;
+  }
+  return shards;
+}
+
+}  // namespace scdwarf

@@ -1,0 +1,50 @@
+/// \file thread_pool.h
+/// \brief Small fixed-size worker pool for the parallel construction
+/// pipeline. Tasks are plain closures drained FIFO; completion is
+/// coordinated by the helpers in parallel.h, which shard work
+/// deterministically and join before returning.
+
+#ifndef SCDWARF_COMMON_THREAD_POOL_H_
+#define SCDWARF_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scdwarf {
+
+/// \brief Fixed set of worker threads draining a FIFO task queue.
+///
+/// The destructor drains every queued task before joining, so submitting
+/// and immediately destroying the pool is a valid (if blunt) barrier; the
+/// parallel-for helpers wait explicitly instead.
+class ThreadPool {
+ public:
+  /// Spawns \p num_threads workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues \p task. Never blocks; the queue is unbounded.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace scdwarf
+
+#endif  // SCDWARF_COMMON_THREAD_POOL_H_

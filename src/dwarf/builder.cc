@@ -1,13 +1,21 @@
 #include "dwarf/builder.h"
 
 #include <algorithm>
+#include <queue>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace scdwarf::dwarf {
 
 namespace {
+
+/// Below this many tuples the shard/merge machinery costs more than the
+/// serial sort it replaces.
+constexpr size_t kMinParallelSortTuples = 4096;
 
 /// Hash functor for merge memoization keys (sorted multisets of NodeId).
 struct NodeListHash {
@@ -273,24 +281,101 @@ Result<DimKey> DwarfBuilder::EncodeKey(size_t dim, std::string_view value) {
   return dictionaries_[dim].Encode(value);
 }
 
-Result<DwarfCube> DwarfBuilder::Build() && {
+Status DwarfBuilder::ImportDictionaries(std::vector<Dictionary> dictionaries) {
+  if (!tuples_.empty()) {
+    return Status::FailedPrecondition(
+        "dictionaries must be imported before any tuple is added");
+  }
+  if (dictionaries.size() != schema_.num_dimensions()) {
+    return Status::InvalidArgument(
+        "imported " + std::to_string(dictionaries.size()) +
+        " dictionaries, schema has " +
+        std::to_string(schema_.num_dimensions()) + " dimensions");
+  }
+  dictionaries_ = std::move(dictionaries);
+  for (size_t dim = 0; dim < dictionaries_.size(); ++dim) {
+    dictionaries_[dim].set_name(schema_.dimensions()[dim].name);
+  }
+  return Status::OK();
+}
+
+void DwarfBuilder::SortAndAggregate(int num_threads) {
+  if (num_threads <= 1 || tuples_.size() < kMinParallelSortTuples) {
+    std::sort(tuples_.begin(), tuples_.end(), TupleKeyLess);
+    // Merge duplicate key combinations through the aggregate.
+    size_t write = 0;
+    for (size_t read = 0; read < tuples_.size(); ++read) {
+      if (write > 0 && TupleKeysEqual(tuples_[write - 1], tuples_[read])) {
+        tuples_[write - 1].measure = AggCombine(
+            schema_.agg(), tuples_[write - 1].measure, tuples_[read].measure);
+      } else {
+        if (write != read) tuples_[write] = std::move(tuples_[read]);
+        ++write;
+      }
+    }
+    tuples_.resize(write);
+    return;
+  }
+
+  // Parallel path: sort contiguous shards concurrently, then k-way merge
+  // them, aggregating duplicate key combinations as they surface adjacent in
+  // the merge order. Equal keys across shards are popped consecutively
+  // (ties break on shard index), so one look-behind suffices exactly as in
+  // the serial dedup loop; because the per-key combine is commutative and
+  // associative, the merged measures match the serial result bit for bit.
+  std::vector<ShardRange> shards;
+  {
+    ThreadPool pool(num_threads);
+    shards = SplitShards(tuples_.size(), pool.num_threads());
+    ParallelForShards(pool, tuples_.size(), [&](const ShardRange& shard) {
+      std::sort(tuples_.begin() + shard.begin, tuples_.begin() + shard.end,
+                TupleKeyLess);
+    });
+  }
+
+  struct Head {
+    size_t shard;
+    size_t pos;  ///< absolute index into tuples_
+  };
+  auto greater = [this](const Head& a, const Head& b) {
+    if (tuples_[b.pos].keys != tuples_[a.pos].keys) {
+      return TupleKeyLess(tuples_[b.pos], tuples_[a.pos]);
+    }
+    return a.shard > b.shard;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(greater)> heads(greater);
+  for (const ShardRange& shard : shards) {
+    if (shard.begin < shard.end) heads.push({shard.shard, shard.begin});
+  }
+
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size());
+  while (!heads.empty()) {
+    Head head = heads.top();
+    heads.pop();
+    Tuple& tuple = tuples_[head.pos];
+    if (!merged.empty() && TupleKeysEqual(merged.back(), tuple)) {
+      merged.back().measure =
+          AggCombine(schema_.agg(), merged.back().measure, tuple.measure);
+    } else {
+      merged.push_back(std::move(tuple));
+    }
+    size_t next = head.pos + 1;
+    if (next < shards[head.shard].end) heads.push({head.shard, next});
+  }
+  tuples_ = std::move(merged);
+}
+
+Result<DwarfCube> DwarfBuilder::Build(BuildProfile* profile) && {
   SCD_RETURN_IF_ERROR(schema_.Validate());
 
   uint64_t source_count = tuples_.size();
-  std::sort(tuples_.begin(), tuples_.end(), TupleKeyLess);
-  // Merge duplicate key combinations through the aggregate.
-  size_t write = 0;
-  for (size_t read = 0; read < tuples_.size(); ++read) {
-    if (write > 0 && TupleKeysEqual(tuples_[write - 1], tuples_[read])) {
-      tuples_[write - 1].measure = AggCombine(
-          schema_.agg(), tuples_[write - 1].measure, tuples_[read].measure);
-    } else {
-      if (write != read) tuples_[write] = std::move(tuples_[read]);
-      ++write;
-    }
-  }
-  tuples_.resize(write);
+  Stopwatch watch;
+  SortAndAggregate(ResolveThreadCount(options_.num_threads));
+  size_t write = tuples_.size();
+  if (profile != nullptr) profile->sort_ms = watch.ElapsedMillis();
 
+  watch.Restart();
   DwarfCube cube;
   cube.schema_ = schema_;
   cube.dictionaries_ = std::move(dictionaries_);
@@ -302,6 +387,7 @@ Result<DwarfCube> DwarfBuilder::Build() && {
   stats.tuple_count = write;
   stats.source_tuple_count = source_count;
   cube.stats_ = stats;
+  if (profile != nullptr) profile->construct_ms = watch.ElapsedMillis();
   return cube;
 }
 

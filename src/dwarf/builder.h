@@ -34,6 +34,20 @@ struct BuilderOptions {
   /// Memoize SuffixCoalesce merges by input node set. Only meaningful while
   /// suffix coalescing is enabled.
   bool enable_merge_memoization = true;
+
+  /// Threads for the Build()-time tuple sort: 0 = auto (SCDWARF_THREADS env
+  /// override, else hardware_concurrency), 1 = the exact serial path. More
+  /// than one thread sorts contiguous tuple shards concurrently and k-way
+  /// merges them with duplicate aggregation; the resulting cube is identical
+  /// to the serial one (the sort order is a total order on keys and the
+  /// aggregates are commutative), only faster.
+  int num_threads = 0;
+};
+
+/// \brief Per-stage wall-clock breakdown of one Build() call.
+struct BuildProfile {
+  double sort_ms = 0;       ///< tuple sort + duplicate aggregation
+  double construct_ms = 0;  ///< single-sweep DWARF construction
 };
 
 /// \brief Builds immutable DwarfCube instances.
@@ -65,14 +79,25 @@ class DwarfBuilder {
   /// Encodes a single key through dimension \p dim's dictionary.
   Result<DimKey> EncodeKey(size_t dim, std::string_view value);
 
+  /// Replaces the builder's (empty) dictionaries with pre-built ones, so a
+  /// front-end that interned keys itself — e.g. the parallel pipeline's
+  /// dictionary merge — can feed AddEncodedTuple directly. Fails once any
+  /// tuple has been added or when the dimension count mismatches.
+  Status ImportDictionaries(std::vector<Dictionary> dictionaries);
+
   /// Number of raw tuples added so far.
   size_t num_tuples() const { return tuples_.size(); }
 
-  /// Consumes the builder and constructs the cube.
-  Result<DwarfCube> Build() &&;
+  /// Consumes the builder and constructs the cube. When \p profile is
+  /// non-null it receives the sort/construct stage timings.
+  Result<DwarfCube> Build(BuildProfile* profile = nullptr) &&;
 
  private:
   class Impl;
+
+  /// Sorts tuples_ and merges duplicate key combinations through the
+  /// aggregate, serially or via sort-shards + k-way merge.
+  void SortAndAggregate(int num_threads);
 
   CubeSchema schema_;
   BuilderOptions options_;

@@ -1,0 +1,314 @@
+#include "etl/parallel_pipeline.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+
+namespace scdwarf::etl {
+
+/// Shared worker state, heap-allocated so the pipeline object stays movable
+/// while worker threads hold a stable pointer.
+struct ParallelCubePipeline::State {
+  State(dwarf::CubeSchema schema_in, TupleMapper mapper_in,
+        std::optional<XmlExtractor> xml_in, std::optional<JsonExtractor> json_in,
+        bool strict_in, dwarf::BuilderOptions builder_options_in,
+        size_t max_queue_in)
+      : schema(std::move(schema_in)),
+        mapper(std::move(mapper_in)),
+        xml_extractor(std::move(xml_in)),
+        json_extractor(std::move(json_in)),
+        strict(strict_in),
+        builder_options(builder_options_in),
+        max_queue(max_queue_in) {}
+
+  // Immutable configuration (safe to share across workers: extraction and
+  // mapping are const and allocation-free of shared state).
+  dwarf::CubeSchema schema;
+  TupleMapper mapper;
+  std::optional<XmlExtractor> xml_extractor;
+  std::optional<JsonExtractor> json_extractor;
+  bool strict = true;
+  dwarf::BuilderOptions builder_options;
+  size_t max_queue = 0;
+
+  struct DocTask {
+    uint64_t seq = 0;
+    bool is_json = false;
+    std::string text;
+  };
+
+  /// Everything one document contributes: tuples keyed by document-local
+  /// dictionary ids plus the local id -> string tables used for the merge.
+  struct DocResult {
+    Status status = Status::OK();
+    std::vector<std::vector<std::string>> dict_values;  ///< per dim
+    std::vector<dwarf::Tuple> tuples;  ///< keys are document-local ids
+    uint64_t records = 0;
+    uint64_t skipped = 0;
+  };
+
+  std::mutex mu;
+  std::condition_variable not_empty;
+  std::condition_variable not_full;
+  std::deque<DocTask> queue;
+  bool closed = false;
+  uint64_t documents = 0;
+  uint64_t bytes = 0;
+
+  std::mutex results_mu;
+  std::vector<DocResult> results;  ///< indexed by document sequence number
+
+  /// Filled by Finish(); documents/bytes mirror the live counters.
+  PipelineStats final_stats;
+  bool finished = false;
+
+  void WorkerLoop() {
+    for (;;) {
+      DocTask task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        not_empty.wait(lock, [this] { return closed || !queue.empty(); });
+        if (queue.empty()) return;  // closed and drained
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      not_full.notify_one();
+      DocResult result = ProcessDocument(task);
+      {
+        // Workers grow the results vector themselves: a task can be picked
+        // up the instant it is queued, before the producer could size it.
+        std::lock_guard<std::mutex> lock(results_mu);
+        if (results.size() <= task.seq) results.resize(task.seq + 1);
+        results[task.seq] = std::move(result);
+      }
+    }
+  }
+
+  DocResult ProcessDocument(const DocTask& task) {
+    DocResult out;
+    Result<std::vector<FeedRecord>> records =
+        task.is_json ? json_extractor->Extract(task.text)
+                     : xml_extractor->Extract(task.text);
+    if (!records.ok()) {
+      // Malformed documents fail the pipeline regardless of the record
+      // policy, matching CubePipeline::Consume*.
+      out.status = records.status();
+      return out;
+    }
+    size_t dims = schema.num_dimensions();
+    out.dict_values.resize(dims);
+    std::vector<std::unordered_map<std::string, dwarf::DimKey>> local(dims);
+    for (const FeedRecord& record : *records) {
+      auto mapped = mapper.Map(record);
+      if (!mapped.ok()) {
+        if (strict) {
+          out.status = mapped.status();
+          return out;
+        }
+        ++out.skipped;
+        continue;
+      }
+      dwarf::Tuple tuple;
+      tuple.keys.reserve(dims);
+      for (size_t dim = 0; dim < dims; ++dim) {
+        const std::string& key = mapped->first[dim];
+        auto [it, inserted] = local[dim].emplace(
+            key, static_cast<dwarf::DimKey>(out.dict_values[dim].size()));
+        if (inserted) out.dict_values[dim].push_back(key);
+        tuple.keys.push_back(it->second);
+      }
+      tuple.measure = mapped->second;
+      out.tuples.push_back(std::move(tuple));
+      ++out.records;
+    }
+    return out;
+  }
+};
+
+ParallelCubePipeline::ParallelCubePipeline(
+    dwarf::CubeSchema schema, TupleMapper mapper,
+    std::optional<XmlExtractor> xml_extractor,
+    std::optional<JsonExtractor> json_extractor, bool strict,
+    dwarf::BuilderOptions builder_options,
+    ParallelPipelineOptions parallel_options) {
+  int threads = ResolveThreadCount(parallel_options.num_threads);
+  if (threads <= 1) {
+    serial_ = std::make_unique<CubePipeline>(
+        std::move(schema), std::move(mapper), std::move(xml_extractor),
+        std::move(json_extractor), strict, builder_options);
+    return;
+  }
+  size_t max_queue = parallel_options.max_queued_documents > 0
+                         ? parallel_options.max_queued_documents
+                         : static_cast<size_t>(threads) * 4;
+  state_ = std::make_unique<State>(
+      std::move(schema), std::move(mapper), std::move(xml_extractor),
+      std::move(json_extractor), strict, builder_options, max_queue);
+  workers_.reserve(threads);
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([state = state_.get()] { state->WorkerLoop(); });
+  }
+}
+
+ParallelCubePipeline::~ParallelCubePipeline() { JoinWorkers(); }
+
+void ParallelCubePipeline::JoinWorkers() {
+  if (state_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->closed = true;
+  }
+  state_->not_empty.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+int ParallelCubePipeline::num_threads() const {
+  return serial_ != nullptr ? 1 : static_cast<int>(workers_.size());
+}
+
+Status ParallelCubePipeline::ConsumeXml(std::string document) {
+  if (serial_ != nullptr) return serial_->ConsumeXml(document);
+  if (!state_->xml_extractor.has_value()) {
+    return Status::FailedPrecondition("pipeline has no XML extractor");
+  }
+  return Enqueue(/*is_json=*/false, std::move(document));
+}
+
+Status ParallelCubePipeline::ConsumeJson(std::string document) {
+  if (serial_ != nullptr) return serial_->ConsumeJson(document);
+  if (!state_->json_extractor.has_value()) {
+    return Status::FailedPrecondition("pipeline has no JSON extractor");
+  }
+  return Enqueue(/*is_json=*/true, std::move(document));
+}
+
+Status ParallelCubePipeline::Enqueue(bool is_json, std::string document) {
+  uint64_t seq;
+  {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (state_->closed) {
+      return Status::FailedPrecondition("pipeline already finished");
+    }
+    state_->not_full.wait(
+        lock, [this] { return state_->queue.size() < state_->max_queue; });
+    seq = state_->documents++;
+    state_->bytes += document.size();
+    state_->queue.push_back({seq, is_json, std::move(document)});
+  }
+  state_->not_empty.notify_one();
+  return Status::OK();
+}
+
+PipelineStats ParallelCubePipeline::stats() const {
+  if (serial_ != nullptr) return serial_->stats();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->finished) return state_->final_stats;
+  PipelineStats stats;
+  stats.documents = state_->documents;
+  stats.bytes = state_->bytes;
+  return stats;
+}
+
+Result<dwarf::DwarfCube> ParallelCubePipeline::Finish(
+    PipelineProfile* profile) && {
+  if (serial_ != nullptr) return std::move(*serial_).Finish(profile);
+
+  Stopwatch watch;
+  JoinWorkers();
+  if (profile != nullptr) profile->drain_ms = watch.ElapsedMillis();
+  watch.Restart();
+
+  // The earliest failing document decides the pipeline's fate — the same
+  // error the serial pipeline would have returned from its Consume* call.
+  for (const State::DocResult& result : state_->results) {
+    SCD_RETURN_IF_ERROR(result.status);
+  }
+
+  // Dictionary merge: global ids are assigned in document order, then in
+  // per-document first-seen order — exactly the order the serial pipeline's
+  // Encode calls would have produced. Tuple keys are remapped in place.
+  size_t dims = state_->schema.num_dimensions();
+  std::vector<dwarf::Dictionary> dictionaries;
+  dictionaries.reserve(dims);
+  for (const dwarf::DimensionSpec& dim : state_->schema.dimensions()) {
+    dictionaries.emplace_back(dim.name);
+  }
+  std::vector<std::vector<dwarf::DimKey>> remap(dims);
+  for (State::DocResult& result : state_->results) {
+    for (size_t dim = 0; dim < dims; ++dim) {
+      remap[dim].clear();
+      remap[dim].reserve(result.dict_values[dim].size());
+      for (const std::string& value : result.dict_values[dim]) {
+        remap[dim].push_back(dictionaries[dim].Encode(value));
+      }
+    }
+    for (dwarf::Tuple& tuple : result.tuples) {
+      for (size_t dim = 0; dim < dims; ++dim) {
+        tuple.keys[dim] = remap[dim][tuple.keys[dim]];
+      }
+    }
+  }
+
+  dwarf::DwarfBuilder builder(state_->schema, state_->builder_options);
+  SCD_RETURN_IF_ERROR(builder.ImportDictionaries(std::move(dictionaries)));
+  PipelineStats stats;
+  stats.documents = state_->documents;
+  stats.bytes = state_->bytes;
+  for (State::DocResult& result : state_->results) {
+    for (dwarf::Tuple& tuple : result.tuples) {
+      SCD_RETURN_IF_ERROR(builder.AddEncodedTuple(std::move(tuple)));
+    }
+    stats.records += result.records;
+    stats.skipped_records += result.skipped;
+    result.tuples.clear();
+    result.tuples.shrink_to_fit();
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->final_stats = stats;
+    state_->finished = true;
+  }
+  if (profile != nullptr) profile->dict_merge_ms = watch.ElapsedMillis();
+
+  return std::move(builder).Build(profile == nullptr ? nullptr
+                                                     : &profile->build);
+}
+
+Result<ParallelCubePipeline> MakeBikesXmlParallelPipeline(
+    dwarf::BuilderOptions builder_options,
+    ParallelPipelineOptions parallel_options) {
+  dwarf::CubeSchema schema = MakeBikesCubeSchema();
+  SCD_ASSIGN_OR_RETURN(
+      TupleMapper mapper,
+      TupleMapper::Create(schema, BikesDimensionMappings(), "available_bikes"));
+  SCD_ASSIGN_OR_RETURN(XmlExtractor extractor,
+                       XmlExtractor::Create("station", BikesFieldSpecs()));
+  return ParallelCubePipeline(std::move(schema), std::move(mapper),
+                              std::move(extractor), std::nullopt,
+                              /*strict=*/true, builder_options,
+                              parallel_options);
+}
+
+Result<ParallelCubePipeline> MakeBikesJsonParallelPipeline(
+    dwarf::BuilderOptions builder_options,
+    ParallelPipelineOptions parallel_options) {
+  dwarf::CubeSchema schema = MakeBikesCubeSchema();
+  SCD_ASSIGN_OR_RETURN(
+      TupleMapper mapper,
+      TupleMapper::Create(schema, BikesDimensionMappings(), "available_bikes"));
+  SCD_ASSIGN_OR_RETURN(JsonExtractor extractor,
+                       JsonExtractor::Create("stations", BikesFieldSpecs()));
+  return ParallelCubePipeline(std::move(schema), std::move(mapper),
+                              std::nullopt, std::move(extractor),
+                              /*strict=*/true, builder_options,
+                              parallel_options);
+}
+
+}  // namespace scdwarf::etl

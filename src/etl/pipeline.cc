@@ -48,8 +48,9 @@ Status CubePipeline::ConsumeJson(std::string_view document) {
   return ConsumeRecords(records);
 }
 
-Result<dwarf::DwarfCube> CubePipeline::Finish() && {
-  return std::move(builder_).Build();
+Result<dwarf::DwarfCube> CubePipeline::Finish(PipelineProfile* profile) && {
+  return std::move(builder_).Build(profile == nullptr ? nullptr
+                                                      : &profile->build);
 }
 
 dwarf::CubeSchema MakeBikesCubeSchema() {
@@ -67,8 +68,6 @@ dwarf::CubeSchema MakeBikesCubeSchema() {
       },
       "available_bikes", dwarf::AggFn::kSum);
 }
-
-namespace {
 
 std::vector<FieldSpec> BikesFieldSpecs() {
   return {
@@ -93,8 +92,6 @@ std::vector<DimensionMapping> BikesDimensionMappings() {
       {"bike_stands", Transform::kBucket10},
   };
 }
-
-}  // namespace
 
 Result<CubePipeline> MakeBikesXmlPipeline(
     dwarf::BuilderOptions builder_options) {

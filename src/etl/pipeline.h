@@ -26,6 +26,13 @@ struct PipelineStats {
   uint64_t skipped_records = 0;  ///< records dropped by a non-strict pipeline
 };
 
+/// \brief Per-stage wall-clock breakdown of one Finish() call.
+struct PipelineProfile {
+  double drain_ms = 0;       ///< waiting for queued documents (parallel only)
+  double dict_merge_ms = 0;  ///< dictionary merge + shard remap (parallel only)
+  dwarf::BuildProfile build;  ///< sort + construct inside the builder
+};
+
 /// \brief Drives extraction + mapping + cube construction.
 ///
 /// A pipeline accepts either format as long as the corresponding extractor
@@ -48,7 +55,8 @@ class CubePipeline {
   Status ConsumeJson(std::string_view document);
 
   /// Finishes construction. The pipeline must not be reused afterwards.
-  Result<dwarf::DwarfCube> Finish() &&;
+  /// When \p profile is non-null it receives the stage timings.
+  Result<dwarf::DwarfCube> Finish(PipelineProfile* profile = nullptr) &&;
 
   const PipelineStats& stats() const { return stats_; }
   size_t num_tuples() const { return builder_.num_tuples(); }
@@ -78,6 +86,13 @@ Result<CubePipeline> MakeBikesXmlPipeline(
 /// \brief Same pipeline reading the JSON variant of the feed.
 Result<CubePipeline> MakeBikesJsonPipeline(
     dwarf::BuilderOptions builder_options = {});
+
+/// \brief The extraction field specs of the bikes feed (shared by the serial
+/// and parallel bikes pipelines).
+std::vector<FieldSpec> BikesFieldSpecs();
+
+/// \brief The record-field -> dimension mappings of the bikes cube.
+std::vector<DimensionMapping> BikesDimensionMappings();
 
 }  // namespace scdwarf::etl
 

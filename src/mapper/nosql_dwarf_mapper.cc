@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "mapper/id_map.h"
+#include "mapper/parallel_rows.h"
 #include "mapper/row_batcher.h"
 #include "mapper/stored_cube.h"
 #include "nosql/cql.h"
@@ -127,16 +129,6 @@ Result<int64_t> NoSqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
     ++local_stats.statements;
     return nosql::ExecuteCql(db_, stmt).status();
   };
-  auto emit_node = [&](Row row) -> Status {
-    ++local_stats.node_rows;
-    if (options.via_cql_statements) return insert_cql(kNodeCf, kNodeCols, row);
-    return node_batch.Add(std::move(row));
-  };
-  auto emit_cell = [&](Row row) -> Status {
-    ++local_stats.cell_rows;
-    if (options.via_cql_statements) return insert_cql(kCellCf, kCellCols, row);
-    return cell_batch.Add(std::move(row));
-  };
 
   uint64_t total_cells = 0;
   for (dwarf::NodeId node_id : ids.visit_order) {
@@ -155,45 +147,83 @@ Result<int64_t> NoSqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
     SCD_RETURN_IF_ERROR(db_->BulkInsert(keyspace_, kSchemaCf, {schema_row}));
   }
 
-  for (dwarf::NodeId node_id : ids.visit_order) {
-    const dwarf::DwarfNode& node = cube.node(node_id);
-    bool leaf = cube.IsLeafLevel(node.level);
-    const std::string& dim_table =
-        cube.schema().dimensions()[node.level].dimension_table;
+  // Row serialization: generation (key decoding, Value construction) runs on
+  // worker threads in node chunks, application stays here in chunk order —
+  // the emitted per-table row sequences match the serial ones exactly.
+  struct NodeCellRows {
+    std::vector<Row> node_rows;
+    std::vector<Row> cell_rows;
+  };
+  auto generate = [&](size_t begin, size_t end) {
+    NodeCellRows out;
+    out.node_rows.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      dwarf::NodeId node_id = ids.visit_order[i];
+      const dwarf::DwarfNode& node = cube.node(node_id);
+      bool leaf = cube.IsLeafLevel(node.level);
+      const std::string& dim_table =
+          cube.schema().dimensions()[node.level].dimension_table;
 
-    // DWARF_Node row.
-    std::vector<int64_t> parent_ids;
-    for (dwarf::NodeId parent : parents[node_id]) {
-      parent_ids.push_back(ids.node_ids[parent]);
-    }
-    std::vector<int64_t> children_ids = ids.cell_ids[node_id];
-    children_ids.push_back(ids.all_cell_ids[node_id]);
-    SCD_RETURN_IF_ERROR(emit_node({Value::Int(ids.node_ids[node_id]),
-                                   Value::IntSet(std::move(parent_ids)),
-                                   Value::IntSet(std::move(children_ids)),
-                                   Value::Bool(node_id == cube.root()),
-                                   Value::Int(schema_id)}));
+      // DWARF_Node row.
+      std::vector<int64_t> parent_ids;
+      for (dwarf::NodeId parent : parents[node_id]) {
+        parent_ids.push_back(ids.node_ids[parent]);
+      }
+      std::vector<int64_t> children_ids = ids.cell_ids[node_id];
+      children_ids.push_back(ids.all_cell_ids[node_id]);
+      out.node_rows.push_back({Value::Int(ids.node_ids[node_id]),
+                               Value::IntSet(std::move(parent_ids)),
+                               Value::IntSet(std::move(children_ids)),
+                               Value::Bool(node_id == cube.root()),
+                               Value::Int(schema_id)});
 
-    // Regular cells.
-    for (size_t c = 0; c < node.cells.size(); ++c) {
-      const dwarf::DwarfCell& cell = node.cells[c];
-      const std::string& key =
-          cube.dictionary(node.level).DecodeUnchecked(cell.key);
-      SCD_RETURN_IF_ERROR(emit_cell(
-          {Value::Int(ids.cell_ids[node_id][c]), Value::Text(key),
-           Value::Int(leaf ? cell.measure : 0),
+      // Regular cells.
+      for (size_t c = 0; c < node.cells.size(); ++c) {
+        const dwarf::DwarfCell& cell = node.cells[c];
+        const std::string& key =
+            cube.dictionary(node.level).DecodeUnchecked(cell.key);
+        out.cell_rows.push_back(
+            {Value::Int(ids.cell_ids[node_id][c]), Value::Text(key),
+             Value::Int(leaf ? cell.measure : 0),
+             Value::Int(ids.node_ids[node_id]),
+             leaf ? Value::Null() : Value::Int(ids.node_ids[cell.child]),
+             Value::Bool(leaf), Value::Int(schema_id), Value::Text(dim_table)});
+      }
+      // ALL cell (reserved key, see id_map.h).
+      out.cell_rows.push_back(
+          {Value::Int(ids.all_cell_ids[node_id]), Value::Text(kAllCellKey),
+           Value::Int(leaf ? node.all_measure : 0),
            Value::Int(ids.node_ids[node_id]),
-           leaf ? Value::Null() : Value::Int(ids.node_ids[cell.child]),
-           Value::Bool(leaf), Value::Int(schema_id), Value::Text(dim_table)}));
+           leaf ? Value::Null() : Value::Int(ids.node_ids[node.all_child]),
+           Value::Bool(leaf), Value::Int(schema_id), Value::Text(dim_table)});
     }
-    // ALL cell (reserved key, see id_map.h).
-    SCD_RETURN_IF_ERROR(emit_cell(
-        {Value::Int(ids.all_cell_ids[node_id]), Value::Text(kAllCellKey),
-         Value::Int(leaf ? node.all_measure : 0),
-         Value::Int(ids.node_ids[node_id]),
-         leaf ? Value::Null() : Value::Int(ids.node_ids[node.all_child]),
-         Value::Bool(leaf), Value::Int(schema_id), Value::Text(dim_table)}));
-  }
+    return out;
+  };
+  auto apply = [&](NodeCellRows rows) -> Status {
+    for (Row& row : rows.node_rows) {
+      ++local_stats.node_rows;
+      if (options.via_cql_statements) {
+        SCD_RETURN_IF_ERROR(insert_cql(kNodeCf, kNodeCols, row));
+      } else {
+        SCD_RETURN_IF_ERROR(node_batch.Add(std::move(row)));
+      }
+    }
+    for (Row& row : rows.cell_rows) {
+      ++local_stats.cell_rows;
+      if (options.via_cql_statements) {
+        SCD_RETURN_IF_ERROR(insert_cql(kCellCf, kCellCols, row));
+      } else {
+        SCD_RETURN_IF_ERROR(cell_batch.Add(std::move(row)));
+      }
+    }
+    return Status::OK();
+  };
+  // Statement mode stays serial: it exists to measure per-statement cost.
+  int threads = options.via_cql_statements
+                    ? 1
+                    : ResolveThreadCount(options.num_threads);
+  SCD_RETURN_IF_ERROR(GenerateApplyChunks<NodeCellRows>(
+      threads, ids.visit_order.size(), kDefaultRowChunkItems, generate, apply));
   SCD_RETURN_IF_ERROR(node_batch.Flush());
   SCD_RETURN_IF_ERROR(cell_batch.Flush());
 

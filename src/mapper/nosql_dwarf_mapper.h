@@ -35,6 +35,12 @@ struct NoSqlDwarfMapperOptions {
   /// bulk mutation batches — same data, no per-row parse; the bulk-vs-
   /// statement ablation bench measures the difference.
   bool via_cql_statements = false;
+
+  /// Threads for row serialization: 0 = auto (SCDWARF_THREADS env override,
+  /// else hardware_concurrency), 1 = serial. Rows are generated in parallel
+  /// but applied in order, so the stored bytes are identical for any value.
+  /// Ignored (serial) in statement mode.
+  int num_threads = 0;
 };
 
 /// \brief DWARF <-> NoSQL-DWARF schema mapping.

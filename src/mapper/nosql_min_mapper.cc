@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "mapper/id_map.h"
+#include "mapper/parallel_rows.h"
 #include "mapper/row_batcher.h"
 #include "mapper/stored_cube.h"
 
@@ -84,28 +86,44 @@ Result<int64_t> NoSqlMinMapper::Store(const dwarf::DwarfCube& cube) {
   CubeIdMap ids = AssignIds(cube, node_base, node_base + cube.num_nodes());
 
   RowBatcher<nosql::Database> cell_batch(db_, keyspace_, kCellCf);
-  for (dwarf::NodeId node_id : ids.visit_order) {
-    const dwarf::DwarfNode& node = cube.node(node_id);
-    bool leaf = cube.IsLeafLevel(node.level);
-    bool is_root = node_id == cube.root();
-    for (size_t c = 0; c < node.cells.size(); ++c) {
-      const dwarf::DwarfCell& cell = node.cells[c];
-      const std::string& key =
-          cube.dictionary(node.level).DecodeUnchecked(cell.key);
-      SCD_RETURN_IF_ERROR(cell_batch.Add(
-          {Value::Int(ids.cell_ids[node_id][c]), Value::Text(key),
-           Value::Int(leaf ? cell.measure : 0), Value::Bool(leaf),
+  // Cell rows are generated on worker threads in node chunks and applied
+  // here in chunk order — the row sequence matches the serial one exactly.
+  auto generate = [&](size_t begin, size_t end) {
+    std::vector<Row> out;
+    for (size_t i = begin; i < end; ++i) {
+      dwarf::NodeId node_id = ids.visit_order[i];
+      const dwarf::DwarfNode& node = cube.node(node_id);
+      bool leaf = cube.IsLeafLevel(node.level);
+      bool is_root = node_id == cube.root();
+      for (size_t c = 0; c < node.cells.size(); ++c) {
+        const dwarf::DwarfCell& cell = node.cells[c];
+        const std::string& key =
+            cube.dictionary(node.level).DecodeUnchecked(cell.key);
+        out.push_back(
+            {Value::Int(ids.cell_ids[node_id][c]), Value::Text(key),
+             Value::Int(leaf ? cell.measure : 0), Value::Bool(leaf),
+             Value::Bool(is_root), Value::Int(cube_id),
+             Value::Int(ids.node_ids[node_id]),
+             leaf ? Value::Null() : Value::Int(ids.node_ids[cell.child])});
+      }
+      out.push_back(
+          {Value::Int(ids.all_cell_ids[node_id]), Value::Text(kAllCellKey),
+           Value::Int(leaf ? node.all_measure : 0), Value::Bool(leaf),
            Value::Bool(is_root), Value::Int(cube_id),
            Value::Int(ids.node_ids[node_id]),
-           leaf ? Value::Null() : Value::Int(ids.node_ids[cell.child])}));
+           leaf ? Value::Null() : Value::Int(ids.node_ids[node.all_child])});
     }
-    SCD_RETURN_IF_ERROR(cell_batch.Add(
-        {Value::Int(ids.all_cell_ids[node_id]), Value::Text(kAllCellKey),
-         Value::Int(leaf ? node.all_measure : 0), Value::Bool(leaf),
-         Value::Bool(is_root), Value::Int(cube_id),
-         Value::Int(ids.node_ids[node_id]),
-         leaf ? Value::Null() : Value::Int(ids.node_ids[node.all_child])}));
-  }
+    return out;
+  };
+  auto apply = [&](std::vector<Row> rows) -> Status {
+    for (Row& row : rows) {
+      SCD_RETURN_IF_ERROR(cell_batch.Add(std::move(row)));
+    }
+    return Status::OK();
+  };
+  SCD_RETURN_IF_ERROR(GenerateApplyChunks<std::vector<Row>>(
+      ResolveThreadCount(options_.num_threads), ids.visit_order.size(),
+      kDefaultRowChunkItems, generate, apply));
   SCD_RETURN_IF_ERROR(cell_batch.Flush());
 
   Row cube_row = {Value::Int(cube_id),

@@ -20,6 +20,11 @@ struct NoSqlMinMapperOptions {
   /// The two secondary indexes of §5.1. Disabling them is the index-cost
   /// ablation (bench_ablations); loads then fall back to filtering scans.
   bool create_secondary_indexes = true;
+
+  /// Threads for row serialization: 0 = auto (SCDWARF_THREADS env override,
+  /// else hardware_concurrency), 1 = serial. Rows are generated in parallel
+  /// but applied in order, so the stored bytes are identical for any value.
+  int num_threads = 0;
 };
 
 /// \brief DWARF <-> NoSQL-Min schema mapping.

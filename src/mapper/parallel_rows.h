@@ -1,0 +1,65 @@
+/// \file parallel_rows.h
+/// \brief Parallel row serialization for the Store() transformations: row
+/// *generation* (key decoding, Value construction) fans out to worker
+/// threads in contiguous node chunks, while row *application* stays on the
+/// calling thread in chunk order — the engines and RowBatcher are
+/// single-writer, and the emitted row sequence is byte-identical to the
+/// serial one for any thread count.
+///
+/// Memory stays bounded by processing one wave (num_threads chunks) at a
+/// time instead of materializing every row of the cube up front.
+
+#ifndef SCDWARF_MAPPER_PARALLEL_ROWS_H_
+#define SCDWARF_MAPPER_PARALLEL_ROWS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/result.h"
+
+namespace scdwarf::mapper {
+
+/// Default items (nodes) per generation chunk.
+inline constexpr size_t kDefaultRowChunkItems = 1024;
+
+/// \brief Runs \p gen over contiguous chunks of [0, n) — concurrently when
+/// \p num_threads > 1 — and feeds each chunk's output to \p apply in chunk
+/// order.
+///
+/// \p gen has signature T(size_t begin, size_t end) and must be pure with
+/// respect to shared state; \p apply has signature Status(T) and runs only
+/// on the calling thread. Because chunk boundaries depend only on
+/// (n, chunk_items, num_threads) and application is ordered, the apply
+/// sequence is independent of scheduling.
+template <typename T, typename Gen, typename Apply>
+Status GenerateApplyChunks(int num_threads, size_t n, size_t chunk_items,
+                           Gen&& gen, Apply&& apply) {
+  if (n == 0) return Status::OK();
+  if (chunk_items == 0) chunk_items = 1;
+  if (num_threads <= 1) {
+    for (size_t begin = 0; begin < n; begin += chunk_items) {
+      SCD_RETURN_IF_ERROR(apply(gen(begin, std::min(n, begin + chunk_items))));
+    }
+    return Status::OK();
+  }
+  ThreadPool pool(num_threads);
+  size_t wave_items = chunk_items * static_cast<size_t>(num_threads);
+  for (size_t wave = 0; wave < n; wave += wave_items) {
+    size_t wave_n = std::min(n, wave + wave_items) - wave;
+    // One near-equal shard per worker ~= chunk_items items each.
+    std::vector<T> outputs = ParallelMapShards<T>(
+        pool, wave_n, [&](const ShardRange& shard) {
+          return gen(wave + shard.begin, wave + shard.end);
+        });
+    for (T& output : outputs) {
+      SCD_RETURN_IF_ERROR(apply(std::move(output)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace scdwarf::mapper
+
+#endif  // SCDWARF_MAPPER_PARALLEL_ROWS_H_

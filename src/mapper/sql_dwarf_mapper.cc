@@ -4,7 +4,9 @@
 #include <map>
 #include <set>
 
+#include "common/parallel.h"
 #include "mapper/id_map.h"
+#include "mapper/parallel_rows.h"
 #include "mapper/row_batcher.h"
 #include "mapper/stored_cube.h"
 
@@ -100,48 +102,87 @@ Result<int64_t> SqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
   RowBatcher<sql::SqlEngine> cell_children_batch(engine_, database_,
                                                  kCellChildrenTable);
 
-  auto emit_cell = [&](int64_t cell_id, const std::string& key,
-                       dwarf::Measure measure, bool leaf, int64_t node_id,
-                       int64_t pointed_node,
-                       const std::string& dim_table) -> Status {
-    SCD_RETURN_IF_ERROR(cell_batch.Add(
-        {Value::Int(cell_id), Value::Text(key), Value::Int(measure),
-         Value::Bool(leaf), Value::Int(cube_id), Value::Text(dim_table)}));
-    SCD_RETURN_IF_ERROR(node_children_batch.Add({Value::Int(node_children_base++),
-                                                 Value::Int(node_id),
-                                                 Value::Int(cell_id)}));
-    if (pointed_node >= 0) {
-      SCD_RETURN_IF_ERROR(
-          cell_children_batch.Add({Value::Int(cell_children_base++),
-                                   Value::Int(cell_id),
-                                   Value::Int(pointed_node)}));
+  // The edge tables draw their ids from sequential counters. So chunks can
+  // serialize independently, prefix-count the edges each node contributes:
+  // every cell (incl. ALL) adds one NODE_CHILDREN row, and non-leaf nodes
+  // add one CELL_CHILDREN row per cell. Chunk [b, e) then starts its edge
+  // ids at base + prefix[b] — identical ids to the serial counters.
+  size_t n = ids.visit_order.size();
+  std::vector<uint64_t> nc_prefix(n + 1, 0);
+  std::vector<uint64_t> cc_prefix(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const dwarf::DwarfNode& node = cube.node(ids.visit_order[i]);
+    uint64_t cells = node.cells.size() + 1;  // + the ALL cell
+    nc_prefix[i + 1] = nc_prefix[i] + cells;
+    cc_prefix[i + 1] =
+        cc_prefix[i] + (cube.IsLeafLevel(node.level) ? 0 : cells);
+  }
+
+  struct SqlDwarfRows {
+    std::vector<SqlRow> node_rows;
+    std::vector<SqlRow> cell_rows;
+    std::vector<SqlRow> node_children_rows;
+    std::vector<SqlRow> cell_children_rows;
+  };
+  auto generate = [&](size_t begin, size_t end) {
+    SqlDwarfRows out;
+    int64_t nc_id = node_children_base + static_cast<int64_t>(nc_prefix[begin]);
+    int64_t cc_id = cell_children_base + static_cast<int64_t>(cc_prefix[begin]);
+    auto emit_cell = [&](int64_t cell_id, const std::string& key,
+                         dwarf::Measure measure, bool leaf, int64_t node_id,
+                         int64_t pointed_node, const std::string& dim_table) {
+      out.cell_rows.push_back(
+          {Value::Int(cell_id), Value::Text(key), Value::Int(measure),
+           Value::Bool(leaf), Value::Int(cube_id), Value::Text(dim_table)});
+      out.node_children_rows.push_back(
+          {Value::Int(nc_id++), Value::Int(node_id), Value::Int(cell_id)});
+      if (pointed_node >= 0) {
+        out.cell_children_rows.push_back(
+            {Value::Int(cc_id++), Value::Int(cell_id),
+             Value::Int(pointed_node)});
+      }
+    };
+    for (size_t i = begin; i < end; ++i) {
+      dwarf::NodeId node_id = ids.visit_order[i];
+      const dwarf::DwarfNode& node = cube.node(node_id);
+      bool leaf = cube.IsLeafLevel(node.level);
+      const std::string& dim_table =
+          cube.schema().dimensions()[node.level].dimension_table;
+      out.node_rows.push_back({Value::Int(ids.node_ids[node_id]),
+                               Value::Bool(node_id == cube.root()),
+                               Value::Int(cube_id)});
+      for (size_t c = 0; c < node.cells.size(); ++c) {
+        const dwarf::DwarfCell& cell = node.cells[c];
+        const std::string& key =
+            cube.dictionary(node.level).DecodeUnchecked(cell.key);
+        emit_cell(ids.cell_ids[node_id][c], key, leaf ? cell.measure : 0,
+                  leaf, ids.node_ids[node_id],
+                  leaf ? -1 : ids.node_ids[cell.child], dim_table);
+      }
+      emit_cell(ids.all_cell_ids[node_id], kAllCellKey,
+                leaf ? node.all_measure : 0, leaf, ids.node_ids[node_id],
+                leaf ? -1 : ids.node_ids[node.all_child], dim_table);
+    }
+    return out;
+  };
+  auto apply = [&](SqlDwarfRows rows) -> Status {
+    for (SqlRow& row : rows.node_rows) {
+      SCD_RETURN_IF_ERROR(node_batch.Add(std::move(row)));
+    }
+    for (SqlRow& row : rows.cell_rows) {
+      SCD_RETURN_IF_ERROR(cell_batch.Add(std::move(row)));
+    }
+    for (SqlRow& row : rows.node_children_rows) {
+      SCD_RETURN_IF_ERROR(node_children_batch.Add(std::move(row)));
+    }
+    for (SqlRow& row : rows.cell_children_rows) {
+      SCD_RETURN_IF_ERROR(cell_children_batch.Add(std::move(row)));
     }
     return Status::OK();
   };
-
-  for (dwarf::NodeId node_id : ids.visit_order) {
-    const dwarf::DwarfNode& node = cube.node(node_id);
-    bool leaf = cube.IsLeafLevel(node.level);
-    const std::string& dim_table =
-        cube.schema().dimensions()[node.level].dimension_table;
-    SCD_RETURN_IF_ERROR(node_batch.Add({Value::Int(ids.node_ids[node_id]),
-                                        Value::Bool(node_id == cube.root()),
-                                        Value::Int(cube_id)}));
-    for (size_t c = 0; c < node.cells.size(); ++c) {
-      const dwarf::DwarfCell& cell = node.cells[c];
-      const std::string& key =
-          cube.dictionary(node.level).DecodeUnchecked(cell.key);
-      SCD_RETURN_IF_ERROR(emit_cell(ids.cell_ids[node_id][c], key,
-                                    leaf ? cell.measure : 0, leaf,
-                                    ids.node_ids[node_id],
-                                    leaf ? -1 : ids.node_ids[cell.child],
-                                    dim_table));
-    }
-    SCD_RETURN_IF_ERROR(
-        emit_cell(ids.all_cell_ids[node_id], kAllCellKey,
-                  leaf ? node.all_measure : 0, leaf, ids.node_ids[node_id],
-                  leaf ? -1 : ids.node_ids[node.all_child], dim_table));
-  }
+  SCD_RETURN_IF_ERROR(GenerateApplyChunks<SqlDwarfRows>(
+      ResolveThreadCount(num_threads_), n, kDefaultRowChunkItems, generate,
+      apply));
   SCD_RETURN_IF_ERROR(node_batch.Flush());
   SCD_RETURN_IF_ERROR(cell_batch.Flush());
   SCD_RETURN_IF_ERROR(node_children_batch.Flush());

@@ -30,6 +30,12 @@ class SqlDwarfMapper {
   SqlDwarfMapper(sql::SqlEngine* engine, std::string database)
       : engine_(engine), database_(std::move(database)) {}
 
+  /// Threads for Store()'s row serialization: 0 = auto (SCDWARF_THREADS env
+  /// override, else hardware_concurrency), 1 = serial. Rows are generated in
+  /// parallel but applied in order — edge-table ids come from per-chunk
+  /// prefix counts — so the stored bytes are identical for any value.
+  void set_num_threads(int num_threads) { num_threads_ = num_threads; }
+
   /// Creates the five Fig. 4 tables (plus metadata) if missing.
   Status EnsureSchema();
 
@@ -53,6 +59,7 @@ class SqlDwarfMapper {
 
   sql::SqlEngine* engine_;
   std::string database_;
+  int num_threads_ = 0;
 };
 
 }  // namespace scdwarf::mapper

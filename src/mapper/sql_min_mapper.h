@@ -20,6 +20,12 @@ class SqlMinMapper {
   SqlMinMapper(sql::SqlEngine* engine, std::string database)
       : engine_(engine), database_(std::move(database)) {}
 
+  /// Threads for Store()'s row serialization: 0 = auto (SCDWARF_THREADS env
+  /// override, else hardware_concurrency), 1 = serial. Rows are generated in
+  /// parallel but applied in order, so the stored bytes are identical for
+  /// any value.
+  void set_num_threads(int num_threads) { num_threads_ = num_threads; }
+
   Status EnsureSchema();
   Result<int64_t> Store(const dwarf::DwarfCube& cube);
   Result<dwarf::DwarfCube> Load(int64_t cube_id) const;
@@ -36,6 +42,7 @@ class SqlMinMapper {
 
   sql::SqlEngine* engine_;
   std::string database_;
+  int num_threads_ = 0;
 };
 
 }  // namespace scdwarf::mapper

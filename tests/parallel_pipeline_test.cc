@@ -1,0 +1,372 @@
+// Determinism tests for the parallel construction path: cubes built through
+// ParallelCubePipeline with any worker count must be identical — same
+// dictionaries (ids AND order), same structure, same query results, same
+// stored bytes — to the serial CubePipeline's, including under the
+// lenient/strict malformed-record policies and the builder ablations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "citibikes/bike_feed.h"
+#include "common/parallel.h"
+#include "dwarf/query.h"
+#include "etl/parallel_pipeline.h"
+#include "etl/pipeline.h"
+#include "mapper/nosql_dwarf_mapper.h"
+#include "mapper/nosql_min_mapper.h"
+#include "mapper/sql_dwarf_mapper.h"
+#include "mapper/sql_min_mapper.h"
+
+namespace scdwarf::etl {
+namespace {
+
+// Large enough that the builder's parallel sort path (>= 4096 tuples)
+// actually engages.
+citibikes::BikeFeedConfig TestFeedConfig() {
+  citibikes::BikeFeedConfig config;
+  config.num_stations = 24;
+  config.target_records = 6000;
+  return config;
+}
+
+dwarf::DwarfCube BuildSerialXml(dwarf::BuilderOptions builder_options = {}) {
+  citibikes::BikeFeedGenerator feed(TestFeedConfig());
+  auto pipeline = MakeBikesXmlPipeline(builder_options);
+  EXPECT_TRUE(pipeline.ok()) << pipeline.status();
+  while (feed.HasNext()) {
+    Status status = pipeline->ConsumeXml(feed.NextXml());
+    EXPECT_TRUE(status.ok()) << status;
+  }
+  auto cube = std::move(*pipeline).Finish();
+  EXPECT_TRUE(cube.ok()) << cube.status();
+  return std::move(*cube);
+}
+
+dwarf::DwarfCube BuildParallelXml(int threads,
+                                  dwarf::BuilderOptions builder_options = {}) {
+  citibikes::BikeFeedGenerator feed(TestFeedConfig());
+  builder_options.num_threads = threads;
+  auto pipeline = MakeBikesXmlParallelPipeline(builder_options,
+                                               {.num_threads = threads});
+  EXPECT_TRUE(pipeline.ok()) << pipeline.status();
+  while (feed.HasNext()) {
+    Status status = pipeline->ConsumeXml(feed.NextXml());
+    EXPECT_TRUE(status.ok()) << status;
+  }
+  auto cube = std::move(*pipeline).Finish();
+  EXPECT_TRUE(cube.ok()) << cube.status();
+  return std::move(*cube);
+}
+
+uint64_t StoredBytes(const dwarf::DwarfCube& cube) {
+  nosql::Database db;  // in-memory
+  mapper::NoSqlDwarfMapper cube_mapper(&db, "eqks");
+  auto id = cube_mapper.Store(cube);
+  EXPECT_TRUE(id.ok()) << id.status();
+  return db.EstimateBytes();
+}
+
+// Byte-identical in every observable way: structure, statistics, dictionary
+// contents *in id order* (the strongest determinism claim — ids depend on
+// first-seen order), query results, and serialized size.
+void ExpectCubesIdentical(const dwarf::DwarfCube& serial,
+                          const dwarf::DwarfCube& parallel) {
+  EXPECT_TRUE(serial.StructurallyEquals(parallel));
+  EXPECT_EQ(serial.stats().node_count, parallel.stats().node_count);
+  EXPECT_EQ(serial.stats().cell_count, parallel.stats().cell_count);
+  EXPECT_EQ(serial.stats().coalesced_all_count,
+            parallel.stats().coalesced_all_count);
+  EXPECT_EQ(serial.stats().tuple_count, parallel.stats().tuple_count);
+  EXPECT_EQ(serial.stats().source_tuple_count,
+            parallel.stats().source_tuple_count);
+  EXPECT_EQ(serial.stats().approx_bytes, parallel.stats().approx_bytes);
+
+  ASSERT_EQ(serial.num_dimensions(), parallel.num_dimensions());
+  for (size_t dim = 0; dim < serial.num_dimensions(); ++dim) {
+    ASSERT_EQ(serial.dictionary(dim).size(), parallel.dictionary(dim).size());
+    for (dwarf::DimKey id = 0; id < serial.dictionary(dim).size(); ++id) {
+      EXPECT_EQ(serial.dictionary(dim).DecodeUnchecked(id),
+                parallel.dictionary(dim).DecodeUnchecked(id));
+    }
+  }
+
+  // Grand total and a per-dimension rollup agree.
+  size_t dims = serial.num_dimensions();
+  std::vector<std::optional<dwarf::DimKey>> all(dims, std::nullopt);
+  auto serial_total = dwarf::PointQuery(serial, all);
+  auto parallel_total = dwarf::PointQuery(parallel, all);
+  ASSERT_TRUE(serial_total.ok()) << serial_total.status();
+  ASSERT_TRUE(parallel_total.ok()) << parallel_total.status();
+  EXPECT_EQ(*serial_total, *parallel_total);
+  for (size_t dim = 0; dim < dims; ++dim) {
+    for (dwarf::DimKey id = 0; id < serial.dictionary(dim).size(); ++id) {
+      std::vector<std::optional<dwarf::DimKey>> keys(dims, std::nullopt);
+      keys[dim] = id;
+      auto lhs = dwarf::PointQuery(serial, keys);
+      auto rhs = dwarf::PointQuery(parallel, keys);
+      ASSERT_EQ(lhs.ok(), rhs.ok());
+      if (lhs.ok()) {
+        EXPECT_EQ(*lhs, *rhs);
+      }
+    }
+  }
+
+  EXPECT_EQ(StoredBytes(serial), StoredBytes(parallel));
+}
+
+TEST(ParallelPipelineTest, XmlTwoAndFourThreadsMatchSerial) {
+  dwarf::DwarfCube serial = BuildSerialXml();
+  for (int threads : {2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    dwarf::DwarfCube parallel = BuildParallelXml(threads);
+    ExpectCubesIdentical(serial, parallel);
+  }
+}
+
+TEST(ParallelPipelineTest, JsonParallelMatchesSerial) {
+  citibikes::BikeFeedGenerator serial_feed(TestFeedConfig());
+  auto serial_pipeline = MakeBikesJsonPipeline();
+  ASSERT_TRUE(serial_pipeline.ok());
+  while (serial_feed.HasNext()) {
+    ASSERT_TRUE(serial_pipeline->ConsumeJson(serial_feed.NextJson()).ok());
+  }
+  auto serial = std::move(*serial_pipeline).Finish();
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  citibikes::BikeFeedGenerator feed(TestFeedConfig());
+  auto pipeline = MakeBikesJsonParallelPipeline({}, {.num_threads = 4});
+  ASSERT_TRUE(pipeline.ok());
+  while (feed.HasNext()) {
+    ASSERT_TRUE(pipeline->ConsumeJson(feed.NextJson()).ok());
+  }
+  auto parallel = std::move(*pipeline).Finish();
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+
+  ExpectCubesIdentical(*serial, *parallel);
+}
+
+TEST(ParallelPipelineTest, AblationOptionsStayIdentical) {
+  dwarf::BuilderOptions no_coalescing;
+  no_coalescing.enable_suffix_coalescing = false;
+  dwarf::BuilderOptions no_memo;
+  no_memo.enable_merge_memoization = false;
+  for (const dwarf::BuilderOptions& options : {no_coalescing, no_memo}) {
+    SCOPED_TRACE(options.enable_suffix_coalescing ? "no_memo"
+                                                  : "no_coalescing");
+    dwarf::DwarfCube serial = BuildSerialXml(options);
+    dwarf::DwarfCube parallel = BuildParallelXml(4, options);
+    ExpectCubesIdentical(serial, parallel);
+  }
+}
+
+TEST(ParallelPipelineTest, StatsMatchSerial) {
+  citibikes::BikeFeedGenerator serial_feed(TestFeedConfig());
+  auto serial_pipeline = MakeBikesXmlPipeline();
+  ASSERT_TRUE(serial_pipeline.ok());
+  while (serial_feed.HasNext()) {
+    ASSERT_TRUE(serial_pipeline->ConsumeXml(serial_feed.NextXml()).ok());
+  }
+  PipelineStats serial_stats = serial_pipeline->stats();
+  ASSERT_TRUE(std::move(*serial_pipeline).Finish().ok());
+
+  citibikes::BikeFeedGenerator feed(TestFeedConfig());
+  auto pipeline = MakeBikesXmlParallelPipeline({}, {.num_threads = 3});
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_EQ(pipeline->num_threads(), 3);
+  while (feed.HasNext()) {
+    ASSERT_TRUE(pipeline->ConsumeXml(feed.NextXml()).ok());
+  }
+  ASSERT_TRUE(std::move(*pipeline).Finish().ok());
+  PipelineStats parallel_stats = pipeline->stats();
+
+  EXPECT_EQ(parallel_stats.documents, serial_stats.documents);
+  EXPECT_EQ(parallel_stats.records, serial_stats.records);
+  EXPECT_EQ(parallel_stats.bytes, serial_stats.bytes);
+  EXPECT_EQ(parallel_stats.skipped_records, serial_stats.skipped_records);
+}
+
+// ------------------------------------------------- malformed-record policy
+
+constexpr const char* kGoodAndBadStations =
+    "<stations>"
+    "<station><name>a</name><area>z</area>"
+    "<bike_stands>20</bike_stands>"
+    "<available_bikes>3</available_bikes>"
+    "<status>OPEN</status>"
+    "<last_update>2016-01-05T08:00:00</last_update>"
+    "</station>"
+    "<station><name>b</name><area>z</area>"
+    "<available_bikes>4</available_bikes>"
+    "</station>"
+    "</stations>";
+
+// Extractor whose fields are all optional, so a record can survive
+// extraction yet fail mapping (the unparsable bike_stands default).
+Result<XmlExtractor> LenientExtractor() {
+  return XmlExtractor::Create(
+      "station",
+      {{"name", "name", FieldScope::kRecord, false, ""},
+       {"area", "area", FieldScope::kRecord, false, ""},
+       {"bike_stands", "bike_stands", FieldScope::kRecord, false, "xx"},
+       {"available_bikes", "available_bikes", FieldScope::kRecord, false, "0"},
+       {"status", "status", FieldScope::kRecord, false, "UNKNOWN"},
+       {"last_update", "last_update", FieldScope::kRecord, false,
+        "2016-01-01T00:00:00"}});
+}
+
+ParallelCubePipeline MakeLenientParallel(bool strict, int threads) {
+  dwarf::CubeSchema schema = MakeBikesCubeSchema();
+  auto mapper =
+      TupleMapper::Create(schema, BikesDimensionMappings(), "available_bikes");
+  EXPECT_TRUE(mapper.ok());
+  auto extractor = LenientExtractor();
+  EXPECT_TRUE(extractor.ok());
+  return ParallelCubePipeline(schema, std::move(*mapper),
+                              std::move(*extractor), std::nullopt, strict,
+                              /*builder_options=*/{},
+                              {.num_threads = threads});
+}
+
+TEST(ParallelPipelineTest, LenientPolicySkipsBadRecords) {
+  ParallelCubePipeline pipeline = MakeLenientParallel(/*strict=*/false, 4);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pipeline.ConsumeXml(kGoodAndBadStations).ok());
+  }
+  auto cube = std::move(pipeline).Finish();
+  ASSERT_TRUE(cube.ok()) << cube.status();
+  EXPECT_EQ(pipeline.stats().records, 8u);
+  EXPECT_EQ(pipeline.stats().skipped_records, 8u);
+  EXPECT_EQ(cube->stats().source_tuple_count, 8u);
+}
+
+TEST(ParallelPipelineTest, StrictPolicyFailsAtFinish) {
+  ParallelCubePipeline pipeline = MakeLenientParallel(/*strict=*/true, 4);
+  // The enqueue itself succeeds — the failure surfaces when draining.
+  ASSERT_TRUE(pipeline.ConsumeXml(kGoodAndBadStations).ok());
+  EXPECT_FALSE(std::move(pipeline).Finish().ok());
+}
+
+TEST(ParallelPipelineTest, MalformedDocumentFailsAtFinish) {
+  auto pipeline = MakeBikesXmlParallelPipeline({}, {.num_threads = 2});
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE(pipeline->ConsumeXml("<broken").ok());  // queued, not parsed yet
+  EXPECT_TRUE(std::move(*pipeline).Finish().status().IsParseError());
+}
+
+TEST(ParallelPipelineTest, WrongFormatRejectedImmediately) {
+  auto pipeline = MakeBikesXmlParallelPipeline({}, {.num_threads = 2});
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_TRUE(pipeline->ConsumeJson("{}").IsFailedPrecondition());
+  ASSERT_TRUE(std::move(*pipeline).Finish().ok());
+}
+
+// ------------------------------------------------------- thread-count knob
+
+TEST(ParallelPipelineTest, SingleThreadUsesSerialFallback) {
+  auto pipeline = MakeBikesXmlParallelPipeline({}, {.num_threads = 1});
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_EQ(pipeline->num_threads(), 1);
+}
+
+TEST(ParallelPipelineTest, ScdwarfThreadsEnvOverridesAuto) {
+  ASSERT_EQ(::setenv("SCDWARF_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(DefaultThreadCount(), 3);
+  EXPECT_EQ(ResolveThreadCount(0), 3);
+  EXPECT_EQ(ResolveThreadCount(2), 2);  // explicit knob wins
+  auto pipeline = MakeBikesXmlParallelPipeline({}, {});
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_EQ(pipeline->num_threads(), 3);
+  ASSERT_EQ(::setenv("SCDWARF_THREADS", "junk", 1), 0);
+  EXPECT_GE(DefaultThreadCount(), 1);  // unparsable -> hardware fallback
+  ASSERT_EQ(::unsetenv("SCDWARF_THREADS"), 0);
+  ASSERT_TRUE(std::move(*pipeline).Finish().ok());
+}
+
+// ------------------------------------------------ parallel row serialization
+
+TEST(ParallelStoreTest, NoSqlMappersStoreIdenticalBytes) {
+  dwarf::DwarfCube cube = BuildSerialXml();
+
+  nosql::Database serial_db, parallel_db;
+  mapper::NoSqlDwarfMapper serial_mapper(&serial_db, "ks");
+  mapper::NoSqlDwarfMapper parallel_mapper(&parallel_db, "ks");
+  ASSERT_TRUE(serial_mapper.Store(cube, {.num_threads = 1}).ok());
+  ASSERT_TRUE(parallel_mapper.Store(cube, {.num_threads = 4}).ok());
+  EXPECT_EQ(serial_db.EstimateBytes(), parallel_db.EstimateBytes());
+  auto reloaded = parallel_mapper.Load(0);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_TRUE(reloaded->StructurallyEquals(cube));
+
+  nosql::Database serial_min_db, parallel_min_db;
+  mapper::NoSqlMinMapper serial_min(&serial_min_db, "ks", {.num_threads = 1});
+  mapper::NoSqlMinMapper parallel_min(&parallel_min_db, "ks",
+                                      {.num_threads = 4});
+  ASSERT_TRUE(serial_min.Store(cube).ok());
+  ASSERT_TRUE(parallel_min.Store(cube).ok());
+  EXPECT_EQ(serial_min_db.EstimateBytes(), parallel_min_db.EstimateBytes());
+  auto min_reloaded = parallel_min.Load(0);
+  ASSERT_TRUE(min_reloaded.ok()) << min_reloaded.status();
+  EXPECT_TRUE(min_reloaded->StructurallyEquals(cube));
+}
+
+TEST(ParallelStoreTest, SqlMappersStoreIdenticalBytes) {
+  dwarf::DwarfCube cube = BuildSerialXml();
+
+  sql::SqlEngine serial_engine, parallel_engine;
+  mapper::SqlDwarfMapper serial_mapper(&serial_engine, "db");
+  serial_mapper.set_num_threads(1);
+  mapper::SqlDwarfMapper parallel_mapper(&parallel_engine, "db");
+  parallel_mapper.set_num_threads(4);
+  ASSERT_TRUE(serial_mapper.Store(cube).ok());
+  ASSERT_TRUE(parallel_mapper.Store(cube).ok());
+  EXPECT_EQ(serial_engine.EstimateBytes(), parallel_engine.EstimateBytes());
+  auto reloaded = parallel_mapper.Load(0);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_TRUE(reloaded->StructurallyEquals(cube));
+
+  sql::SqlEngine serial_min_engine, parallel_min_engine;
+  mapper::SqlMinMapper serial_min(&serial_min_engine, "db");
+  serial_min.set_num_threads(1);
+  mapper::SqlMinMapper parallel_min(&parallel_min_engine, "db");
+  parallel_min.set_num_threads(4);
+  ASSERT_TRUE(serial_min.Store(cube).ok());
+  ASSERT_TRUE(parallel_min.Store(cube).ok());
+  EXPECT_EQ(serial_min_engine.EstimateBytes(),
+            parallel_min_engine.EstimateBytes());
+  auto min_reloaded = parallel_min.Load(0);
+  ASSERT_TRUE(min_reloaded.ok()) << min_reloaded.status();
+  EXPECT_TRUE(min_reloaded->StructurallyEquals(cube));
+}
+
+// -------------------------------------------------- common/parallel helpers
+
+TEST(ParallelHelpersTest, SplitShardsCoversRangeContiguously) {
+  auto shards = SplitShards(10, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].begin, 0u);
+  size_t total = 0;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].shard, i);
+    if (i > 0) {
+      EXPECT_EQ(shards[i].begin, shards[i - 1].end);
+    }
+    total += shards[i].end - shards[i].begin;
+  }
+  EXPECT_EQ(shards.back().end, 10u);
+  EXPECT_EQ(total, 10u);
+  EXPECT_TRUE(SplitShards(0, 4).empty());
+  EXPECT_EQ(SplitShards(2, 4).size(), 2u);  // never emits empty shards
+}
+
+TEST(ParallelHelpersTest, ParallelMapShardsPreservesShardOrder) {
+  ThreadPool pool(4);
+  std::vector<size_t> begins = ParallelMapShards<size_t>(
+      pool, 1000, [](const ShardRange& shard) { return shard.begin; });
+  ASSERT_EQ(begins.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(begins.begin(), begins.end()));
+}
+
+}  // namespace
+}  // namespace scdwarf::etl
