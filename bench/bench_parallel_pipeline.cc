@@ -126,29 +126,26 @@ void PrintSweep() {
 }
 
 void WriteJson(const char* path) {
-  std::FILE* out = std::fopen(path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
+  std::vector<benchutil::BenchJsonRow> rows;
+  rows.reserve(g_rows.size());
+  for (const SweepRow& row : g_rows) {
+    benchutil::BenchJsonRow out;
+    out.emplace_back("dataset", json::JsonValue(row.dataset));
+    out.emplace_back("tuples", json::JsonValue(static_cast<int64_t>(row.tuples)));
+    out.emplace_back("threads", json::JsonValue(row.threads));
+    out.emplace_back("parse_ms", json::JsonValue(row.parse_ms));
+    out.emplace_back("drain_ms", json::JsonValue(row.drain_ms));
+    out.emplace_back("dict_merge_ms", json::JsonValue(row.dict_merge_ms));
+    out.emplace_back("sort_ms", json::JsonValue(row.sort_ms));
+    out.emplace_back("construct_ms", json::JsonValue(row.construct_ms));
+    out.emplace_back("parse_build_ms", json::JsonValue(row.parse_build_ms));
+    out.emplace_back("speedup", json::JsonValue(row.speedup));
+    rows.push_back(std::move(out));
   }
-  std::fprintf(out, "{\n  \"benchmark\": \"parallel_pipeline\",\n  \"results\": [\n");
-  for (size_t i = 0; i < g_rows.size(); ++i) {
-    const SweepRow& row = g_rows[i];
-    std::fprintf(out,
-                 "    {\"dataset\": \"%s\", \"tuples\": %llu, \"threads\": %d, "
-                 "\"parse_ms\": %.3f, \"drain_ms\": %.3f, "
-                 "\"dict_merge_ms\": %.3f, \"sort_ms\": %.3f, "
-                 "\"construct_ms\": %.3f, \"parse_build_ms\": %.3f, "
-                 "\"speedup\": %.3f}%s\n",
-                 row.dataset.c_str(),
-                 static_cast<unsigned long long>(row.tuples), row.threads,
-                 row.parse_ms, row.drain_ms, row.dict_merge_ms, row.sort_ms,
-                 row.construct_ms, row.parse_build_ms, row.speedup,
-                 i + 1 < g_rows.size() ? "," : "");
+  if (Status status = benchutil::WriteBenchJson(path, "parallel_pipeline", rows);
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
   }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("wrote %s (%zu rows)\n", path, g_rows.size());
 }
 
 }  // namespace

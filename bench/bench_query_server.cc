@@ -1,0 +1,235 @@
+// Query-service load generator: serves each selected dataset's cube from a
+// QueryServer and drives it with concurrent clients issuing a mixed
+// point/aggregate/slice/rollup workload through the in-process ServerHandle
+// (the same execution, admission and caching path as the TCP front-end).
+// Reports QPS, latency quantiles from the server's histogram, and the cache
+// hit rate, then measures the epoch-bump path by applying a small
+// incremental update. Results land machine-readably in BENCH_server.json.
+//
+// Defaults to the Day and Month datasets (the acceptance pair);
+// SCDWARF_DATASETS overrides as usual. SCDWARF_SERVER_CLIENTS and
+// SCDWARF_SERVER_REQUESTS override the client count / per-client requests.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "dwarf/dwarf_cube.h"
+#include "json/json_parser.h"
+#include "server/query_server.h"
+
+namespace {
+
+using namespace scdwarf;
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+// Draws a random decoded value of dimension `dim` from the cube dictionary.
+std::string RandomKey(const dwarf::DwarfCube& cube, size_t dim, Rng& rng) {
+  const dwarf::Dictionary& dictionary = cube.dictionary(dim);
+  return dictionary.DecodeUnchecked(
+      static_cast<dwarf::DimKey>(rng.NextBelow(dictionary.size())));
+}
+
+// Pre-generates a pool of request frames. Clients cycle through the pool
+// from random offsets, so repeated queries exercise the result cache the
+// way a real fleet of dashboards would.
+std::vector<std::string> MakeRequestPool(const dwarf::DwarfCube& cube,
+                                         size_t pool_size, uint64_t seed) {
+  Rng rng(seed);
+  size_t dims = cube.num_dimensions();
+  std::vector<std::string> pool;
+  pool.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    double draw = rng.NextDouble();
+    json::JsonObject request;
+    if (draw < 0.5) {  // point query, a few fixed coordinates, rest ALL
+      request.emplace_back("op", json::JsonValue("point"));
+      json::JsonArray keys;
+      for (size_t dim = 0; dim < dims; ++dim) {
+        if (rng.NextBool(0.25)) {
+          keys.push_back(json::JsonValue(RandomKey(cube, dim, rng)));
+        } else {
+          keys.push_back(json::JsonValue(nullptr));
+        }
+      }
+      request.emplace_back("keys", json::JsonValue(std::move(keys)));
+    } else if (draw < 0.7) {  // aggregate with one range + one set
+      request.emplace_back("op", json::JsonValue("aggregate"));
+      json::JsonArray predicates;
+      size_t range_dim = rng.NextBelow(dims);
+      size_t set_dim = (range_dim + 1) % dims;
+      for (size_t dim = 0; dim < dims; ++dim) {
+        json::JsonObject predicate;
+        if (dim == range_dim && cube.dictionary(dim).size() > 1) {
+          size_t size = cube.dictionary(dim).size();
+          uint64_t lo = rng.NextBelow(size);
+          uint64_t hi = lo + rng.NextBelow(size - lo);
+          predicate.emplace_back("kind", json::JsonValue("range"));
+          predicate.emplace_back("lo", json::JsonValue(static_cast<int64_t>(lo)));
+          predicate.emplace_back("hi", json::JsonValue(static_cast<int64_t>(hi)));
+        } else if (dim == set_dim) {
+          predicate.emplace_back("kind", json::JsonValue("set"));
+          json::JsonArray members;
+          size_t count = 1 + rng.NextBelow(3);
+          for (size_t k = 0; k < count; ++k) {
+            members.push_back(json::JsonValue(RandomKey(cube, dim, rng)));
+          }
+          predicate.emplace_back("keys", json::JsonValue(std::move(members)));
+        } else {
+          predicate.emplace_back("kind", json::JsonValue("all"));
+        }
+        predicates.push_back(json::JsonValue(std::move(predicate)));
+      }
+      request.emplace_back("predicates", json::JsonValue(std::move(predicates)));
+    } else if (draw < 0.9) {  // slice on a random dimension
+      size_t dim = rng.NextBelow(dims);
+      request.emplace_back("op", json::JsonValue("slice"));
+      request.emplace_back(
+          "dim", json::JsonValue(cube.schema().dimensions()[dim].name));
+      request.emplace_back("key", json::JsonValue(RandomKey(cube, dim, rng)));
+    } else {  // single-dimension rollup
+      size_t dim = rng.NextBelow(dims);
+      request.emplace_back("op", json::JsonValue("rollup"));
+      json::JsonArray group;
+      group.push_back(json::JsonValue(cube.schema().dimensions()[dim].name));
+      request.emplace_back("dims", json::JsonValue(std::move(group)));
+    }
+    pool.push_back(json::SerializeJson(json::JsonValue(std::move(request))));
+  }
+  return pool;
+}
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t requests = 0;
+};
+
+RunResult RunClients(server::QueryServer& server,
+                     const std::vector<std::string>& pool, int clients,
+                     int requests_per_client) {
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int client = 0; client < clients; ++client) {
+    threads.emplace_back([&server, &pool, client, requests_per_client] {
+      server::ServerHandle handle(&server);
+      Rng rng(0x5eed + static_cast<uint64_t>(client));
+      size_t cursor = rng.NextBelow(pool.size());
+      for (int i = 0; i < requests_per_client; ++i) {
+        handle.Call(pool[cursor]);
+        cursor = (cursor + 1) % pool.size();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  RunResult result;
+  result.seconds = watch.ElapsedSeconds();
+  result.requests =
+      static_cast<uint64_t>(clients) * static_cast<uint64_t>(requests_per_client);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  int clients = EnvInt("SCDWARF_SERVER_CLIENTS", 8);
+  int requests_per_client = EnvInt("SCDWARF_SERVER_REQUESTS", 2000);
+  std::vector<std::string> datasets =
+      std::getenv("SCDWARF_DATASETS") != nullptr
+          ? benchutil::SelectedDatasets()
+          : std::vector<std::string>{"Day", "Month"};
+
+  std::vector<benchutil::BenchJsonRow> rows;
+  std::printf("=== Query server load (in-process handle, %d clients x %d requests) ===\n",
+              clients, requests_per_client);
+  std::printf("%-8s %10s %10s %10s %10s %10s %9s %9s %12s\n", "Dataset",
+              "tuples", "qps", "p50_us", "p90_us", "p99_us", "hitrate",
+              "rejected", "update_ms");
+  for (const std::string& dataset : datasets) {
+    auto cube = benchutil::GetDatasetCube(dataset);
+    if (!cube.ok()) {
+      std::fprintf(stderr, "%s: %s\n", dataset.c_str(),
+                   cube.status().ToString().c_str());
+      continue;
+    }
+    std::vector<std::string> pool = MakeRequestPool(**cube, 512, 0xcafe);
+    server::ServerOptions options;
+    options.max_queue_depth = 256;
+    server::QueryServer server(dwarf::DwarfCube(**cube), options);
+
+    RunResult run = RunClients(server, pool, clients, requests_per_client);
+    server::ServerStats stats = server.Stats();
+    double qps = run.seconds > 0
+                     ? static_cast<double>(run.requests) / run.seconds
+                     : 0;
+
+    // Epoch-bump path: merge a small batch and let the cache invalidate.
+    std::vector<std::pair<std::vector<std::string>, dwarf::Measure>> batch;
+    size_t dims = (*cube)->num_dimensions();
+    Rng rng(0xfeed);
+    for (int i = 0; i < 16; ++i) {
+      std::vector<std::string> keys;
+      for (size_t dim = 0; dim < dims; ++dim) {
+        keys.push_back(RandomKey(**cube, dim, rng));
+      }
+      batch.emplace_back(std::move(keys), 1);
+    }
+    Stopwatch update_watch;
+    auto epoch = server.ApplyUpdate(batch);
+    double update_ms = update_watch.ElapsedMillis();
+    if (!epoch.ok()) {
+      std::fprintf(stderr, "update failed: %s\n",
+                   epoch.status().ToString().c_str());
+    }
+
+    std::printf("%-8s %10llu %10.0f %10.1f %10.1f %10.1f %9.3f %9llu %12.1f\n",
+                dataset.c_str(),
+                static_cast<unsigned long long>((*cube)->stats().tuple_count),
+                qps, stats.latency_p50_us, stats.latency_p90_us,
+                stats.latency_p99_us, stats.cache_hit_rate,
+                static_cast<unsigned long long>(stats.rejected_total),
+                update_ms);
+
+    benchutil::BenchJsonRow row;
+    row.emplace_back("dataset", json::JsonValue(dataset));
+    row.emplace_back("tuples", json::JsonValue(static_cast<int64_t>(
+                                   (*cube)->stats().tuple_count)));
+    row.emplace_back("clients", json::JsonValue(clients));
+    row.emplace_back("requests", json::JsonValue(static_cast<int64_t>(run.requests)));
+    row.emplace_back("seconds", json::JsonValue(run.seconds));
+    row.emplace_back("qps", json::JsonValue(qps));
+    row.emplace_back("p50_us", json::JsonValue(stats.latency_p50_us));
+    row.emplace_back("p90_us", json::JsonValue(stats.latency_p90_us));
+    row.emplace_back("p99_us", json::JsonValue(stats.latency_p99_us));
+    row.emplace_back("cache_hit_rate", json::JsonValue(stats.cache_hit_rate));
+    row.emplace_back("cache_hits", json::JsonValue(static_cast<int64_t>(stats.cache.hits)));
+    row.emplace_back("cache_misses", json::JsonValue(static_cast<int64_t>(stats.cache.misses)));
+    row.emplace_back("rejected", json::JsonValue(static_cast<int64_t>(stats.rejected_total)));
+    row.emplace_back("workers", json::JsonValue(server.num_workers()));
+    row.emplace_back("update_ms", json::JsonValue(update_ms));
+    row.emplace_back("epoch_after_update",
+                     json::JsonValue(static_cast<int64_t>(server.epoch())));
+    rows.push_back(std::move(row));
+
+    benchutil::EvictDatasetCube(dataset);
+  }
+  if (Status status =
+          benchutil::WriteBenchJson("BENCH_server.json", "query_server", rows);
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

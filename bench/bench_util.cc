@@ -2,10 +2,12 @@
 
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 
 #include "citibikes/bike_feed.h"
+#include "json/json_parser.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "etl/pipeline.h"
@@ -17,6 +19,32 @@
 namespace scdwarf::benchutil {
 
 namespace fs = std::filesystem;
+
+Status WriteBenchJson(const std::string& path, const std::string& benchmark,
+                      const std::vector<BenchJsonRow>& rows) {
+  json::JsonArray results;
+  results.reserve(rows.size());
+  for (const BenchJsonRow& row : rows) {
+    results.push_back(json::JsonValue(row));
+  }
+  json::JsonObject root;
+  root.emplace_back("benchmark", json::JsonValue(benchmark));
+  root.emplace_back("results", json::JsonValue(std::move(results)));
+  std::string text =
+      json::SerializeJson(json::JsonValue(std::move(root)), /*pretty=*/true);
+  text += "\n";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::IoError("cannot write " + path);
+  }
+  size_t written = std::fwrite(text.data(), 1, text.size(), out);
+  std::fclose(out);
+  if (written != text.size()) {
+    return Status::IoError("short write to " + path);
+  }
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
+  return Status::OK();
+}
 
 std::vector<std::string> SelectedDatasets() {
   std::vector<std::string> all;

@@ -17,8 +17,19 @@
 
 #include "citibikes/datasets.h"
 #include "dwarf/dwarf_cube.h"
+#include "json/json_value.h"
 
 namespace scdwarf::benchutil {
+
+/// \brief One row of a BENCH_*.json "results" array: ordered field -> value
+/// pairs (field order is preserved in the emitted file).
+using BenchJsonRow = json::JsonObject;
+
+/// \brief Writes the machine-readable benchmark artifact
+/// {"benchmark": <name>, "results": [<rows>...]} to \p path and logs the row
+/// count. Every BENCH_*.json in the repo goes through this one emitter.
+Status WriteBenchJson(const std::string& path, const std::string& benchmark,
+                      const std::vector<BenchJsonRow>& rows);
 
 /// \brief Dataset names selected for this run (env-filtered Table 2 order).
 std::vector<std::string> SelectedDatasets();

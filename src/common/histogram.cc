@@ -1,0 +1,66 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace scdwarf {
+
+FixedBucketHistogram::FixedBucketHistogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+FixedBucketHistogram FixedBucketHistogram::ForLatencyMicros() {
+  std::vector<double> bounds;
+  for (double decade = 1; decade <= 1e6; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2);
+    bounds.push_back(decade * 5);
+  }
+  bounds.push_back(1e7);  // 10 s
+  return FixedBucketHistogram(std::move(bounds));
+}
+
+void FixedBucketHistogram::Record(double value) {
+  size_t index = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+                 bounds_.begin();
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double FixedBucketHistogram::Quantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
+    double lower = i == 0 ? 0 : bounds_[i - 1];
+    double upper = bounds_[i];
+    double fraction = in_bucket == 0
+                          ? 1.0
+                          : static_cast<double>(rank - cumulative) /
+                                static_cast<double>(in_bucket);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds_.back();
+}
+
+std::vector<FixedBucketHistogram::Bucket> FixedBucketHistogram::Snapshot()
+    const {
+  std::vector<Bucket> snapshot(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    snapshot[i].upper_bound = i < bounds_.size()
+                                  ? bounds_[i]
+                                  : std::numeric_limits<double>::infinity();
+    snapshot[i].count = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+}  // namespace scdwarf

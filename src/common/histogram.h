@@ -1,0 +1,61 @@
+/// \file histogram.h
+/// \brief Fixed-bucket concurrent histogram for latency-style measurements.
+///
+/// The bucket layout is fixed at construction, so recording is a single
+/// binary search plus one relaxed atomic increment — safe to call from any
+/// number of threads with no locking. Quantiles are estimated by linear
+/// interpolation inside the bucket containing the requested rank, which is
+/// the usual trade: bounded memory and wait-free writes for a bounded
+/// relative error set by the bucket spacing.
+
+#ifndef SCDWARF_COMMON_HISTOGRAM_H_
+#define SCDWARF_COMMON_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace scdwarf {
+
+/// \brief Wait-free multi-writer histogram over fixed bucket bounds.
+class FixedBucketHistogram {
+ public:
+  /// Buckets are (prev_bound, bounds[i]] plus a final overflow bucket.
+  /// \p bounds must be strictly ascending and non-empty.
+  explicit FixedBucketHistogram(std::vector<double> bounds);
+
+  /// Default layout for request latencies in microseconds: a 1-2-5 ladder
+  /// from 1us to 10s.
+  static FixedBucketHistogram ForLatencyMicros();
+
+  /// Records one sample. Thread-safe, wait-free.
+  void Record(double value);
+
+  /// Total samples recorded.
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// \brief Estimates the \p q quantile (0 <= q <= 1) by interpolating within
+  /// the bucket holding the rank. Returns 0 when empty; samples in the
+  /// overflow bucket report the last finite bound.
+  double Quantile(double q) const;
+
+  /// One bucket of a Snapshot(): inclusive upper bound plus its count.
+  struct Bucket {
+    double upper_bound = 0;  ///< +inf for the overflow bucket
+    uint64_t count = 0;
+  };
+
+  /// Consistent-enough copy of the counters (buckets are read individually,
+  /// so a snapshot taken during writes may be mid-update; totals still add
+  /// up for monitoring purposes).
+  std::vector<Bucket> Snapshot() const;
+
+ private:
+  std::vector<double> bounds_;                  ///< ascending upper bounds
+  std::vector<std::atomic<uint64_t>> buckets_;  ///< bounds_.size() + overflow
+  std::atomic<uint64_t> count_{0};
+};
+
+}  // namespace scdwarf
+
+#endif  // SCDWARF_COMMON_HISTOGRAM_H_

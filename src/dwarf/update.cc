@@ -1,5 +1,7 @@
 #include "dwarf/update.h"
 
+#include "common/stopwatch.h"
+
 namespace scdwarf::dwarf {
 
 Result<std::vector<SliceRow>> ExtractBaseTuples(const DwarfCube& cube) {
@@ -22,7 +24,8 @@ Status CubeUpdater::AddTuple(const std::vector<std::string>& keys,
   return Status::OK();
 }
 
-Result<DwarfCube> CubeUpdater::Rebuild() && {
+Result<DwarfCube> CubeUpdater::Rebuild(UpdateProfile* profile) && {
+  Stopwatch watch;
   SCD_ASSIGN_OR_RETURN(std::vector<SliceRow> base, ExtractBaseTuples(cube_));
   DwarfBuilder builder(cube_.schema());
   for (const SliceRow& row : base) {
@@ -31,7 +34,14 @@ Result<DwarfCube> CubeUpdater::Rebuild() && {
   for (const auto& [keys, measure] : pending_) {
     SCD_RETURN_IF_ERROR(builder.AddTuple(keys, measure));
   }
-  return std::move(builder).Build();
+  UpdateProfile local;
+  local.base_tuples = base.size();
+  local.new_tuples = pending_.size();
+  SCD_ASSIGN_OR_RETURN(DwarfCube updated, std::move(builder).Build());
+  local.rebuild_ms = watch.ElapsedMillis();
+  if (profile != nullptr) *profile = local;
+  if (hook_) hook_(updated, local);
+  return updated;
 }
 
 Result<DwarfCube> MaterializeSubCube(

@@ -8,7 +8,9 @@
 #ifndef SCDWARF_DWARF_UPDATE_H_
 #define SCDWARF_DWARF_UPDATE_H_
 
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -21,6 +23,20 @@ namespace scdwarf::dwarf {
 /// combination with its aggregated measure (equivalent to a group-by over
 /// every dimension). COUNT cubes return counts as measures.
 Result<std::vector<SliceRow>> ExtractBaseTuples(const DwarfCube& cube);
+
+/// \brief Volume and wall-clock profile of one CubeUpdater::Rebuild() call.
+struct UpdateProfile {
+  uint64_t base_tuples = 0;  ///< distinct tuples re-fed from the old cube
+  uint64_t new_tuples = 0;   ///< tuples staged through AddTuple
+  double rebuild_ms = 0;     ///< end-to-end Rebuild wall time
+};
+
+/// \brief Observer invoked with the rebuilt cube and its profile immediately
+/// before a successful Rebuild() returns. This is the hook the serving layer
+/// (src/server) uses to account for an epoch bump: the cube it sees is
+/// exactly the one the caller will publish next.
+using PostRebuildHook =
+    std::function<void(const DwarfCube& updated, const UpdateProfile& profile)>;
 
 /// \brief Applies batches of new tuples to an existing cube.
 ///
@@ -46,12 +62,17 @@ class CubeUpdater {
   /// Number of staged tuples.
   size_t num_pending() const { return pending_.size(); }
 
-  /// Builds the updated cube. Consumes the updater.
-  Result<DwarfCube> Rebuild() &&;
+  /// Installs \p hook, replacing any previous one. See PostRebuildHook.
+  void set_post_rebuild_hook(PostRebuildHook hook) { hook_ = std::move(hook); }
+
+  /// Builds the updated cube. Consumes the updater. When \p profile is
+  /// non-null it receives the rebuild profile on success.
+  Result<DwarfCube> Rebuild(UpdateProfile* profile = nullptr) &&;
 
  private:
   DwarfCube cube_;
   std::vector<std::pair<std::vector<std::string>, Measure>> pending_;
+  PostRebuildHook hook_;
 };
 
 /// \brief Materializes the sub-cube of tuples matching \p predicates (same

@@ -1,0 +1,35 @@
+#include "server/epoch_cube.h"
+
+namespace scdwarf::server {
+
+Result<uint64_t> EpochCubeStore::ApplyUpdate(
+    const std::vector<std::pair<std::vector<std::string>, dwarf::Measure>>&
+        tuples,
+    dwarf::UpdateProfile* profile) {
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  // Rebuild against a private copy; readers keep the published cube.
+  dwarf::CubeUpdater updater(dwarf::DwarfCube(*snapshot().cube));
+  for (const auto& [keys, measure] : tuples) {
+    SCD_RETURN_IF_ERROR(updater.AddTuple(keys, measure));
+  }
+  dwarf::UpdateProfile local_profile;
+  updater.set_post_rebuild_hook(
+      [&local_profile](const dwarf::DwarfCube&,
+                       const dwarf::UpdateProfile& rebuilt) {
+        local_profile = rebuilt;
+      });
+  SCD_ASSIGN_OR_RETURN(dwarf::DwarfCube updated, std::move(updater).Rebuild());
+  if (profile != nullptr) *profile = local_profile;
+  uint64_t published_epoch = 0;
+  auto published = std::make_shared<const dwarf::DwarfCube>(std::move(updated));
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    cube_ = std::move(published);
+    published_epoch = ++epoch_;
+  }
+  // Still under update_mu_, so invalidations arrive in epoch order.
+  if (publish_hook_) publish_hook_(published_epoch);
+  return published_epoch;
+}
+
+}  // namespace scdwarf::server

@@ -1,0 +1,80 @@
+/// \file epoch_cube.h
+/// \brief Versioned holder of the served cube: readers take an epoch-stamped
+/// snapshot under a shared lock, writers rebuild off to the side and publish
+/// the new cube under the next epoch.
+///
+/// Readers never block on an update: a snapshot is a shared_ptr to an
+/// immutable DwarfCube, so in-flight queries keep executing against the
+/// epoch they started on while the publish swaps the pointer. Updates are
+/// serialized among themselves (one CubeUpdater rebuild at a time), which is
+/// what makes the epoch sequence a linear history.
+
+#ifndef SCDWARF_SERVER_EPOCH_CUBE_H_
+#define SCDWARF_SERVER_EPOCH_CUBE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "dwarf/dwarf_cube.h"
+#include "dwarf/update.h"
+
+namespace scdwarf::server {
+
+/// \brief Epoch-snapshot store over one DwarfCube.
+class EpochCubeStore {
+ public:
+  explicit EpochCubeStore(dwarf::DwarfCube cube)
+      : cube_(std::make_shared<const dwarf::DwarfCube>(std::move(cube))) {}
+
+  /// \brief One consistent read view: the epoch and the cube it names.
+  struct Snapshot {
+    uint64_t epoch = 0;
+    std::shared_ptr<const dwarf::DwarfCube> cube;
+  };
+
+  /// Current epoch + cube, taken under the shared lock.
+  Snapshot snapshot() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return {epoch_, cube_};
+  }
+
+  uint64_t epoch() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return epoch_;
+  }
+
+  /// \brief Installs the publish observer, called with the new epoch right
+  /// after each publish (the server invalidates its result cache here).
+  /// Must be set before updates start flowing; not synchronized itself.
+  void set_publish_hook(std::function<void(uint64_t)> hook) {
+    publish_hook_ = std::move(hook);
+  }
+
+  /// \brief Merges \p tuples into the current cube via dwarf::CubeUpdater and
+  /// publishes the result under the next epoch. Returns that epoch. Updates
+  /// are serialized; readers are only blocked for the pointer swap. When
+  /// \p profile is non-null it receives the rebuild profile (captured through
+  /// the updater's post-rebuild hook).
+  Result<uint64_t> ApplyUpdate(
+      const std::vector<std::pair<std::vector<std::string>, dwarf::Measure>>&
+          tuples,
+      dwarf::UpdateProfile* profile = nullptr);
+
+ private:
+  mutable std::shared_mutex mu_;  ///< guards epoch_ + cube_
+  std::mutex update_mu_;          ///< serializes writers
+  uint64_t epoch_ = 0;
+  std::shared_ptr<const dwarf::DwarfCube> cube_;
+  std::function<void(uint64_t)> publish_hook_;
+};
+
+}  // namespace scdwarf::server
+
+#endif  // SCDWARF_SERVER_EPOCH_CUBE_H_

@@ -1,0 +1,166 @@
+#include "server/query_server.h"
+
+#include <future>
+
+#include "common/parallel.h"
+#include "json/json_parser.h"
+#include "json/json_value.h"
+
+namespace scdwarf::server {
+
+namespace {
+
+using json::JsonObject;
+using json::JsonValue;
+
+std::string MakeOverloadPayload(size_t max_queue_depth) {
+  JsonObject payload;
+  payload.emplace_back("code", JsonValue("overloaded"));
+  payload.emplace_back(
+      "error", JsonValue("server over capacity (max queue depth " +
+                         std::to_string(max_queue_depth) + "); retry later"));
+  return json::SerializeJson(JsonValue(std::move(payload)));
+}
+
+}  // namespace
+
+QueryServer::QueryServer(dwarf::DwarfCube cube, ServerOptions options)
+    : options_(std::move(options)),
+      num_workers_(ResolveThreadCount(options_.num_workers)),
+      store_(std::move(cube)),
+      cache_(options_.cache_capacity, options_.cache_shards),
+      latency_us_(FixedBucketHistogram::ForLatencyMicros()) {
+  if (num_workers_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_workers_);
+  }
+  store_.set_publish_hook([this](uint64_t) { cache_.InvalidateAll(); });
+}
+
+std::string QueryServer::HandleFrame(std::string_view request_json) {
+  Stopwatch watch;
+  size_t depth = in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (depth >= options_.max_queue_depth) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    rejected_total_.fetch_add(1, std::memory_order_relaxed);
+    return MakeResponse(false, store_.epoch(), false,
+                        MakeOverloadPayload(options_.max_queue_depth));
+  }
+  std::string response;
+  if (pool_ == nullptr) {
+    // Single-worker servers execute inline, the repo-wide num_threads == 1
+    // convention; admission control above still bounds concurrent callers.
+    if (options_.pre_execute_hook) options_.pre_execute_hook();
+    response = Process(request_json);
+  } else {
+    std::promise<std::string> promise;
+    std::future<std::string> future = promise.get_future();
+    pool_->Submit([this, request = std::string(request_json), &promise] {
+      if (options_.pre_execute_hook) options_.pre_execute_hook();
+      promise.set_value(Process(request));
+    });
+    response = future.get();
+  }
+  in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  queries_total_.fetch_add(1, std::memory_order_relaxed);
+  latency_us_.Record(watch.ElapsedMicros());
+  return response;
+}
+
+std::string QueryServer::Process(std::string_view request_json) {
+  Result<QueryRequest> request = ParseRequest(request_json);
+  EpochCubeStore::Snapshot snapshot = store_.snapshot();
+  if (!request.ok()) {
+    return MakeResponse(false, snapshot.epoch, false,
+                        MakeErrorPayload(request.status()));
+  }
+  if (request->op == RequestOp::kStats) {
+    return MakeResponse(true, snapshot.epoch, false, BuildStatsPayload());
+  }
+  std::string key = NormalizedCacheKey(*request);
+  if (std::optional<CachedResult> cached = cache_.Get(key, snapshot.epoch)) {
+    return MakeResponse(cached->ok, snapshot.epoch, true, cached->payload_json);
+  }
+  ExecResult result = ExecuteRequest(*snapshot.cube, *request);
+  cache_.Put(key, snapshot.epoch, CachedResult{result.ok, result.payload_json});
+  return MakeResponse(result.ok, snapshot.epoch, false, result.payload_json);
+}
+
+Result<uint64_t> QueryServer::ApplyUpdate(
+    const std::vector<std::pair<std::vector<std::string>, dwarf::Measure>>&
+        tuples) {
+  dwarf::UpdateProfile profile;
+  SCD_ASSIGN_OR_RETURN(uint64_t epoch, store_.ApplyUpdate(tuples, &profile));
+  updates_applied_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(last_update_mu_);
+    last_update_ = profile;
+  }
+  return epoch;
+}
+
+ServerStats QueryServer::Stats() const {
+  ServerStats stats;
+  stats.epoch = store_.epoch();
+  stats.queries_total = queries_total_.load(std::memory_order_relaxed);
+  stats.rejected_total = rejected_total_.load(std::memory_order_relaxed);
+  stats.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  stats.uptime_seconds = uptime_.ElapsedSeconds();
+  stats.qps = stats.uptime_seconds > 0
+                  ? static_cast<double>(stats.queries_total) /
+                        stats.uptime_seconds
+                  : 0;
+  stats.latency_count = latency_us_.count();
+  stats.latency_p50_us = latency_us_.Quantile(0.50);
+  stats.latency_p90_us = latency_us_.Quantile(0.90);
+  stats.latency_p99_us = latency_us_.Quantile(0.99);
+  stats.cache = cache_.stats();
+  uint64_t lookups = stats.cache.hits + stats.cache.misses;
+  stats.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(stats.cache.hits) /
+                        static_cast<double>(lookups)
+                  : 0;
+  stats.num_workers = num_workers_;
+  stats.max_queue_depth = options_.max_queue_depth;
+  {
+    std::lock_guard<std::mutex> lock(last_update_mu_);
+    stats.last_update = last_update_;
+  }
+  return stats;
+}
+
+std::string QueryServer::BuildStatsPayload() const {
+  ServerStats stats = Stats();
+  JsonObject latency;
+  latency.emplace_back("count", JsonValue(static_cast<int64_t>(stats.latency_count)));
+  latency.emplace_back("p50_us", JsonValue(stats.latency_p50_us));
+  latency.emplace_back("p90_us", JsonValue(stats.latency_p90_us));
+  latency.emplace_back("p99_us", JsonValue(stats.latency_p99_us));
+  JsonObject cache;
+  cache.emplace_back("hits", JsonValue(static_cast<int64_t>(stats.cache.hits)));
+  cache.emplace_back("misses", JsonValue(static_cast<int64_t>(stats.cache.misses)));
+  cache.emplace_back("evictions", JsonValue(static_cast<int64_t>(stats.cache.evictions)));
+  cache.emplace_back("invalidations", JsonValue(static_cast<int64_t>(stats.cache.invalidations)));
+  cache.emplace_back("entries", JsonValue(static_cast<int64_t>(stats.cache.entries)));
+  cache.emplace_back("hit_rate", JsonValue(stats.cache_hit_rate));
+  JsonObject last_update;
+  last_update.emplace_back("base_tuples", JsonValue(static_cast<int64_t>(stats.last_update.base_tuples)));
+  last_update.emplace_back("new_tuples", JsonValue(static_cast<int64_t>(stats.last_update.new_tuples)));
+  last_update.emplace_back("rebuild_ms", JsonValue(stats.last_update.rebuild_ms));
+  JsonObject inner;
+  inner.emplace_back("epoch", JsonValue(static_cast<int64_t>(stats.epoch)));
+  inner.emplace_back("queries_total", JsonValue(static_cast<int64_t>(stats.queries_total)));
+  inner.emplace_back("rejected_total", JsonValue(static_cast<int64_t>(stats.rejected_total)));
+  inner.emplace_back("updates_applied", JsonValue(static_cast<int64_t>(stats.updates_applied)));
+  inner.emplace_back("uptime_seconds", JsonValue(stats.uptime_seconds));
+  inner.emplace_back("qps", JsonValue(stats.qps));
+  inner.emplace_back("latency", JsonValue(std::move(latency)));
+  inner.emplace_back("cache", JsonValue(std::move(cache)));
+  inner.emplace_back("num_workers", JsonValue(stats.num_workers));
+  inner.emplace_back("max_queue_depth", JsonValue(static_cast<int64_t>(stats.max_queue_depth)));
+  inner.emplace_back("last_update", JsonValue(std::move(last_update)));
+  JsonObject payload;
+  payload.emplace_back("stats", JsonValue(std::move(inner)));
+  return json::SerializeJson(JsonValue(std::move(payload)));
+}
+
+}  // namespace scdwarf::server

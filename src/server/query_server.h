@@ -1,0 +1,143 @@
+/// \file query_server.h
+/// \brief The concurrent cube query service: owns the epoch-snapshot cube
+/// store, the result cache and a worker pool, and turns request frames into
+/// response frames.
+///
+/// Execution model: callers (TCP connection threads, or test/bench threads
+/// through ServerHandle) block in HandleFrame while the request runs on the
+/// worker pool. Admission control bounds the number of requests queued or
+/// executing; anything beyond the bound is answered immediately with an
+/// "overloaded" rejection instead of joining an unbounded queue — overload
+/// shows up as explicit errors, not as unbounded latency.
+
+#ifndef SCDWARF_SERVER_QUERY_SERVER_H_
+#define SCDWARF_SERVER_QUERY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "dwarf/dwarf_cube.h"
+#include "server/epoch_cube.h"
+#include "server/result_cache.h"
+#include "server/wire.h"
+
+namespace scdwarf::server {
+
+/// \brief Serving knobs. Defaults suit the tests and small deployments.
+struct ServerOptions {
+  /// Worker threads executing queries. Resolved through the same policy as
+  /// the construction pipeline: 0 = auto (SCDWARF_THREADS env override, else
+  /// hardware_concurrency); see common::ResolveThreadCount.
+  int num_workers = 0;
+
+  /// Admission bound: maximum requests queued or executing at once. Requests
+  /// arriving beyond it are rejected with code "overloaded".
+  size_t max_queue_depth = 128;
+
+  /// Result-cache entries across all shards; 0 disables caching.
+  size_t cache_capacity = 4096;
+
+  /// Result-cache shards (clamped to [1, cache_capacity]).
+  size_t cache_shards = 8;
+
+  /// Test/fault-injection seam: when set, every admitted request invokes it
+  /// on the worker thread before executing (the overload tests park the
+  /// worker here to fill the queue deterministically).
+  std::function<void()> pre_execute_hook;
+};
+
+/// \brief Point-in-time serving statistics (the "stats" op renders these).
+struct ServerStats {
+  uint64_t epoch = 0;
+  uint64_t queries_total = 0;   ///< completed requests, including errors
+  uint64_t rejected_total = 0;  ///< admission rejections
+  uint64_t updates_applied = 0;
+  double uptime_seconds = 0;
+  double qps = 0;  ///< queries_total / uptime
+  uint64_t latency_count = 0;
+  double latency_p50_us = 0;
+  double latency_p90_us = 0;
+  double latency_p99_us = 0;
+  ResultCacheStats cache;
+  double cache_hit_rate = 0;  ///< hits / (hits + misses), 0 when no lookups
+  int num_workers = 0;
+  size_t max_queue_depth = 0;
+  dwarf::UpdateProfile last_update;  ///< profile of the newest ApplyUpdate
+};
+
+/// \brief Multi-client cube query service over one DwarfCube.
+class QueryServer {
+ public:
+  explicit QueryServer(dwarf::DwarfCube cube, ServerOptions options = {});
+  ~QueryServer() = default;
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// \brief Serves one request frame payload and returns the response frame
+  /// payload. Blocks the calling thread until the request has executed on
+  /// the worker pool (or was rejected by admission control). Thread-safe.
+  std::string HandleFrame(std::string_view request_json);
+
+  /// \brief Merges \p tuples into the served cube and publishes the next
+  /// epoch; the result cache is invalidated before the call returns.
+  Result<uint64_t> ApplyUpdate(
+      const std::vector<std::pair<std::vector<std::string>, dwarf::Measure>>&
+          tuples);
+
+  ServerStats Stats() const;
+
+  uint64_t epoch() const { return store_.epoch(); }
+  int num_workers() const { return num_workers_; }
+  EpochCubeStore& store() { return store_; }
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  /// Executes a parsed-or-unparsable request (cache + snapshot path).
+  std::string Process(std::string_view request_json);
+  std::string BuildStatsPayload() const;
+
+  ServerOptions options_;
+  int num_workers_;
+  EpochCubeStore store_;
+  ResultCache cache_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when num_workers_ == 1
+  Stopwatch uptime_;
+  FixedBucketHistogram latency_us_;
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<uint64_t> queries_total_{0};
+  std::atomic<uint64_t> rejected_total_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+  mutable std::mutex last_update_mu_;
+  dwarf::UpdateProfile last_update_;
+};
+
+/// \brief In-process client used by tests and the load-generator bench: the
+/// same framing semantics as the TCP path minus the socket.
+class ServerHandle {
+ public:
+  explicit ServerHandle(QueryServer* server) : server_(server) {}
+
+  /// Sends one request payload, returns the response payload. Blocking.
+  std::string Call(std::string_view request_json) {
+    return server_->HandleFrame(request_json);
+  }
+
+ private:
+  QueryServer* server_;
+};
+
+}  // namespace scdwarf::server
+
+#endif  // SCDWARF_SERVER_QUERY_SERVER_H_

@@ -1,0 +1,89 @@
+#include "server/result_cache.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace scdwarf::server {
+
+ResultCache::ResultCache(size_t capacity, size_t num_shards)
+    : capacity_(capacity) {
+  num_shards = std::max<size_t>(1, std::min(num_shards, std::max<size_t>(1, capacity)));
+  shard_capacity_ = capacity == 0 ? 0 : std::max<size_t>(1, capacity / num_shards);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return *shards_[HashString(key) % shards_.size()];
+}
+
+std::string ResultCache::ComposeKey(const std::string& key, uint64_t epoch) {
+  return std::to_string(epoch) + "|" + key;
+}
+
+std::optional<CachedResult> ResultCache::Get(const std::string& key,
+                                             uint64_t epoch) {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::string composed = ComposeKey(key, epoch);
+  Shard& shard = ShardFor(composed);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(composed);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->result;
+}
+
+void ResultCache::Put(const std::string& key, uint64_t epoch,
+                      CachedResult result) {
+  if (capacity_ == 0) return;
+  std::string composed = ComposeKey(key, epoch);
+  Shard& shard = ShardFor(composed);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(composed);
+  if (it != shard.index.end()) {
+    it->second->result = std::move(result);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{composed, epoch, std::move(result)});
+  shard.index.emplace(composed, shard.lru.begin());
+  while (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ResultCache::InvalidateAll() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    invalidations_.fetch_add(shard->lru.size(), std::memory_order_relaxed);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace scdwarf::server

@@ -1,0 +1,89 @@
+/// \file result_cache.h
+/// \brief Sharded LRU cache of serialized query results, keyed by
+/// (normalized request, epoch).
+///
+/// The epoch is part of the key, so results from superseded epochs can never
+/// be served; InvalidateAll() additionally drops every entry wholesale on an
+/// epoch bump (stale entries would only waste capacity — they can no longer
+/// match). Sharding by key hash keeps the lock a short critical section per
+/// shard instead of one global mutex on the query hot path.
+
+#ifndef SCDWARF_SERVER_RESULT_CACHE_H_
+#define SCDWARF_SERVER_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace scdwarf::server {
+
+/// \brief One cached execution result (see wire.h ExecResult).
+struct CachedResult {
+  bool ok = false;
+  std::string payload_json;
+};
+
+/// \brief Monotonic cache counters (relaxed atomics; totals are exact, the
+/// entries count is a point-in-time sum over shards).
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;      ///< capacity evictions, not invalidations
+  uint64_t invalidations = 0;  ///< entries dropped by InvalidateAll
+  uint64_t entries = 0;
+};
+
+/// \brief Thread-safe sharded LRU. A capacity of 0 disables caching (every
+/// Get misses, Put is a no-op).
+class ResultCache {
+ public:
+  ResultCache(size_t capacity, size_t num_shards);
+
+  /// Returns the cached result for (key, epoch), refreshing its LRU
+  /// position, or nullopt (counted as a miss) when absent.
+  std::optional<CachedResult> Get(const std::string& key, uint64_t epoch);
+
+  /// Inserts or refreshes (key, epoch) -> result, evicting the shard's
+  /// least-recently-used entry when over capacity.
+  void Put(const std::string& key, uint64_t epoch, CachedResult result);
+
+  /// Drops every entry (called on epoch bump).
+  void InvalidateAll();
+
+  ResultCacheStats stats() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t epoch = 0;
+    CachedResult result;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  static std::string ComposeKey(const std::string& key, uint64_t epoch);
+
+  size_t capacity_ = 0;        ///< total across shards
+  size_t shard_capacity_ = 0;  ///< per shard
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace scdwarf::server
+
+#endif  // SCDWARF_SERVER_RESULT_CACHE_H_

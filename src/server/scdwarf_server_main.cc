@@ -1,0 +1,88 @@
+// scdwarf_server — standalone cube query service.
+//
+// Builds the 8-dimension bikes cube from the synthetic XML feed and serves
+// it over the length-prefixed JSON wire format (see src/server/wire.h):
+//
+//   scdwarf_server [port] [records] [workers]
+//
+//   port     TCP port on 127.0.0.1 (default 0 = kernel-assigned, printed)
+//   records  synthetic feed records for the served cube (default 20000)
+//   workers  query worker threads (default 0 = SCDWARF_THREADS / hardware)
+//
+// Runs until stdin closes or a "quit" line arrives. Example session with
+// python (4-byte big-endian length prefix per frame):
+//
+//   import socket, struct, json
+//   s = socket.create_connection(("127.0.0.1", PORT))
+//   req = json.dumps({"op": "rollup", "dims": ["Weekday"]}).encode()
+//   s.sendall(struct.pack(">I", len(req)) + req)
+//   n, = struct.unpack(">I", s.recv(4))
+//   print(json.loads(s.recv(n)))
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "citibikes/bike_feed.h"
+#include "etl/pipeline.h"
+#include "server/query_server.h"
+#include "server/tcp_server.h"
+
+using namespace scdwarf;
+
+int main(int argc, char** argv) {
+  int port = argc > 1 ? std::atoi(argv[1]) : 0;
+  int records = argc > 2 ? std::atoi(argv[2]) : 20000;
+  int workers = argc > 3 ? std::atoi(argv[3]) : 0;
+
+  citibikes::BikeFeedConfig config;
+  config.target_records = records;
+  citibikes::BikeFeedGenerator feed(config);
+  auto pipeline = etl::MakeBikesXmlPipeline();
+  if (!pipeline.ok()) {
+    std::cerr << pipeline.status() << "\n";
+    return 1;
+  }
+  while (feed.HasNext()) {
+    if (Status status = pipeline->ConsumeXml(feed.NextXml()); !status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+  }
+  auto cube = std::move(*pipeline).Finish();
+  if (!cube.ok()) {
+    std::cerr << cube.status() << "\n";
+    return 1;
+  }
+  std::cout << "cube ready: " << cube->num_nodes() << " nodes, "
+            << cube->stats().tuple_count << " tuples, "
+            << cube->num_dimensions() << " dimensions\n";
+
+  server::ServerOptions options;
+  options.num_workers = workers;
+  server::QueryServer server(std::move(*cube), options);
+  server::TcpServer tcp(&server);
+  if (Status status = tcp.Start(static_cast<uint16_t>(port)); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+  std::cout << "serving on 127.0.0.1:" << tcp.port() << " with "
+            << server.num_workers() << " worker(s)\n"
+            << "wire: 4-byte big-endian length + JSON, e.g.\n"
+            << R"(  {"op":"point","keys":[null,null,null,null,null,null,null,null]})"
+            << "\n"
+            << R"(  {"op":"rollup","dims":["Weekday"]})" << "\n"
+            << R"(  {"op":"stats"})" << "\n"
+            << "type 'quit' (or close stdin) to stop\n";
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+  }
+  tcp.Stop();
+  server::ServerStats stats = server.Stats();
+  std::cout << "served " << stats.queries_total << " queries ("
+            << stats.rejected_total << " rejected), cache hit rate "
+            << stats.cache_hit_rate << "\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "server/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "server/wire.h"
+
+namespace scdwarf::server {
+
+Status TcpServer::Start(uint16_t port) {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("server already started");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status =
+        Status::IoError("bind: " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    Status status =
+        Status::IoError("listen: " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    Status status =
+        Status::IoError("getsockname: " + std::string(std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or unrecoverable error): stop accepting
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Result<std::string> frame = ReadFrame(fd, max_frame_bytes_);
+    if (!frame.ok()) break;  // clean EOF, oversized frame, or read error
+    std::string response = server_->HandleFrame(*frame);
+    if (!WriteFrame(fd, response).ok()) break;
+  }
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+void TcpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::vector<std::thread> threads;
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(connection_threads_);
+    fds.swap(connection_fds_);
+  }
+  for (int fd : fds) ::shutdown(fd, SHUT_RDWR);  // unblocks pending reads
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  for (int fd : fds) ::close(fd);
+}
+
+}  // namespace scdwarf::server

@@ -1,0 +1,62 @@
+/// \file tcp_server.h
+/// \brief TCP front-end of the query service: a thread-per-connection accept
+/// loop speaking the length-prefixed JSON wire format of wire.h. Each
+/// connection thread reads one frame at a time and blocks in
+/// QueryServer::HandleFrame, so all execution, admission control and caching
+/// happen in the shared QueryServer, identically to in-process callers.
+
+#ifndef SCDWARF_SERVER_TCP_SERVER_H_
+#define SCDWARF_SERVER_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "server/query_server.h"
+
+namespace scdwarf::server {
+
+/// \brief Loopback TCP listener serving one QueryServer.
+class TcpServer {
+ public:
+  /// \p server must outlive this object. Frames beyond \p max_frame_bytes
+  /// close the offending connection.
+  explicit TcpServer(QueryServer* server, size_t max_frame_bytes = 1 << 20)
+      : server_(server), max_frame_bytes_(max_frame_bytes) {}
+  ~TcpServer() { Stop(); }
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds 127.0.0.1:\p port (0 = kernel-assigned, see port()) and starts
+  /// the accept thread.
+  Status Start(uint16_t port = 0);
+
+  /// The bound port; valid after a successful Start().
+  int port() const { return port_; }
+
+  /// Shuts the listener and every live connection down and joins all
+  /// threads. Idempotent; also run by the destructor.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  QueryServer* server_;
+  size_t max_frame_bytes_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex mu_;  ///< guards connection_threads_ + connection_fds_
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> connection_fds_;
+};
+
+}  // namespace scdwarf::server
+
+#endif  // SCDWARF_SERVER_TCP_SERVER_H_

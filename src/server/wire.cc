@@ -1,0 +1,454 @@
+#include "server/wire.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "json/json_parser.h"
+#include "json/json_value.h"
+
+namespace scdwarf::server {
+
+namespace {
+
+using json::JsonArray;
+using json::JsonObject;
+using json::JsonValue;
+
+Result<RequestOp> ParseOp(std::string_view name) {
+  if (name == "point") return RequestOp::kPoint;
+  if (name == "aggregate") return RequestOp::kAggregate;
+  if (name == "slice") return RequestOp::kSlice;
+  if (name == "rollup") return RequestOp::kRollUp;
+  if (name == "stats") return RequestOp::kStats;
+  return Status::InvalidArgument("unknown op '" + std::string(name) + "'");
+}
+
+Result<WirePredicate> ParsePredicate(const JsonValue& value) {
+  const JsonObject* object = value.AsObject();
+  if (object == nullptr) {
+    return Status::InvalidArgument("predicate must be an object");
+  }
+  WirePredicate predicate;
+  SCD_ASSIGN_OR_RETURN(JsonValue kind_value, value.Get("kind"));
+  SCD_ASSIGN_OR_RETURN(std::string kind, kind_value.AsString());
+  if (kind == "all") {
+    predicate.kind = dwarf::DimPredicate::Kind::kAll;
+  } else if (kind == "point") {
+    predicate.kind = dwarf::DimPredicate::Kind::kPoint;
+    SCD_ASSIGN_OR_RETURN(JsonValue key, value.Get("key"));
+    SCD_ASSIGN_OR_RETURN(predicate.key, key.AsString());
+  } else if (kind == "range") {
+    predicate.kind = dwarf::DimPredicate::Kind::kRange;
+    SCD_ASSIGN_OR_RETURN(JsonValue lo, value.Get("lo"));
+    SCD_ASSIGN_OR_RETURN(JsonValue hi, value.Get("hi"));
+    SCD_ASSIGN_OR_RETURN(double lo_number, lo.AsNumber());
+    SCD_ASSIGN_OR_RETURN(double hi_number, hi.AsNumber());
+    if (lo_number < 0 || hi_number < 0) {
+      return Status::InvalidArgument("range bounds must be non-negative ids");
+    }
+    predicate.lo = static_cast<dwarf::DimKey>(lo_number);
+    predicate.hi = static_cast<dwarf::DimKey>(hi_number);
+  } else if (kind == "set") {
+    predicate.kind = dwarf::DimPredicate::Kind::kSet;
+    SCD_ASSIGN_OR_RETURN(JsonValue keys, value.Get("keys"));
+    const JsonArray* array = keys.AsArray();
+    if (array == nullptr) {
+      return Status::InvalidArgument("set predicate needs a \"keys\" array");
+    }
+    for (const JsonValue& entry : *array) {
+      SCD_ASSIGN_OR_RETURN(std::string member, entry.AsString());
+      predicate.keys.push_back(std::move(member));
+    }
+  } else {
+    return Status::InvalidArgument("unknown predicate kind '" + kind + "'");
+  }
+  return predicate;
+}
+
+Result<std::vector<std::string>> ParseStringArray(const JsonValue& value,
+                                                  const char* field) {
+  const JsonArray* array = value.AsArray();
+  if (array == nullptr) {
+    return Status::InvalidArgument(std::string("\"") + field +
+                                   "\" must be an array of strings");
+  }
+  std::vector<std::string> out;
+  out.reserve(array->size());
+  for (const JsonValue& entry : *array) {
+    SCD_ASSIGN_OR_RETURN(std::string text, entry.AsString());
+    out.push_back(std::move(text));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* RequestOpName(RequestOp op) {
+  switch (op) {
+    case RequestOp::kPoint: return "point";
+    case RequestOp::kAggregate: return "aggregate";
+    case RequestOp::kSlice: return "slice";
+    case RequestOp::kRollUp: return "rollup";
+    case RequestOp::kStats: return "stats";
+  }
+  return "?";
+}
+
+namespace {
+
+Result<QueryRequest> ParseRequestImpl(std::string_view request_json) {
+  SCD_ASSIGN_OR_RETURN(JsonValue root, json::ParseJson(request_json));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  SCD_ASSIGN_OR_RETURN(JsonValue op_value, root.Get("op"));
+  SCD_ASSIGN_OR_RETURN(std::string op_name, op_value.AsString());
+  QueryRequest request;
+  SCD_ASSIGN_OR_RETURN(request.op, ParseOp(op_name));
+  switch (request.op) {
+    case RequestOp::kPoint: {
+      SCD_ASSIGN_OR_RETURN(JsonValue keys, root.Get("keys"));
+      const JsonArray* array = keys.AsArray();
+      if (array == nullptr) {
+        return Status::InvalidArgument(
+            "point request needs a \"keys\" array (null = ALL)");
+      }
+      for (const JsonValue& entry : *array) {
+        if (entry.is_null()) {
+          request.point_keys.push_back(std::nullopt);
+        } else {
+          SCD_ASSIGN_OR_RETURN(std::string key, entry.AsString());
+          request.point_keys.push_back(std::move(key));
+        }
+      }
+      break;
+    }
+    case RequestOp::kAggregate: {
+      SCD_ASSIGN_OR_RETURN(JsonValue predicates, root.Get("predicates"));
+      const JsonArray* array = predicates.AsArray();
+      if (array == nullptr) {
+        return Status::InvalidArgument(
+            "aggregate request needs a \"predicates\" array");
+      }
+      for (const JsonValue& entry : *array) {
+        SCD_ASSIGN_OR_RETURN(WirePredicate predicate, ParsePredicate(entry));
+        request.predicates.push_back(std::move(predicate));
+      }
+      break;
+    }
+    case RequestOp::kSlice: {
+      SCD_ASSIGN_OR_RETURN(JsonValue dim, root.Get("dim"));
+      SCD_ASSIGN_OR_RETURN(request.slice_dim, dim.AsString());
+      SCD_ASSIGN_OR_RETURN(JsonValue key, root.Get("key"));
+      SCD_ASSIGN_OR_RETURN(request.slice_key, key.AsString());
+      break;
+    }
+    case RequestOp::kRollUp: {
+      SCD_ASSIGN_OR_RETURN(JsonValue dims, root.Get("dims"));
+      SCD_ASSIGN_OR_RETURN(request.rollup_dims, ParseStringArray(dims, "dims"));
+      break;
+    }
+    case RequestOp::kStats:
+      break;
+  }
+  return request;
+}
+
+}  // namespace
+
+Result<QueryRequest> ParseRequest(std::string_view request_json) {
+  Result<QueryRequest> parsed = ParseRequestImpl(request_json);
+  if (!parsed.ok() && parsed.status().IsNotFound()) {
+    // A missing request field (e.g. no "keys") is a malformed request, not a
+    // missing cube value: report it as such.
+    return Status::InvalidArgument(parsed.status().message());
+  }
+  return parsed;
+}
+
+std::string NormalizedCacheKey(const QueryRequest& request) {
+  JsonObject root;
+  root.emplace_back("op", JsonValue(RequestOpName(request.op)));
+  switch (request.op) {
+    case RequestOp::kPoint: {
+      JsonArray keys;
+      for (const std::optional<std::string>& key : request.point_keys) {
+        keys.push_back(key.has_value() ? JsonValue(*key) : JsonValue(nullptr));
+      }
+      root.emplace_back("keys", JsonValue(std::move(keys)));
+      break;
+    }
+    case RequestOp::kAggregate: {
+      JsonArray predicates;
+      for (const WirePredicate& predicate : request.predicates) {
+        JsonObject entry;
+        switch (predicate.kind) {
+          case dwarf::DimPredicate::Kind::kAll:
+            entry.emplace_back("kind", JsonValue("all"));
+            break;
+          case dwarf::DimPredicate::Kind::kPoint:
+            entry.emplace_back("kind", JsonValue("point"));
+            entry.emplace_back("key", JsonValue(predicate.key));
+            break;
+          case dwarf::DimPredicate::Kind::kRange:
+            entry.emplace_back("kind", JsonValue("range"));
+            entry.emplace_back("lo", JsonValue(static_cast<int64_t>(predicate.lo)));
+            entry.emplace_back("hi", JsonValue(static_cast<int64_t>(predicate.hi)));
+            break;
+          case dwarf::DimPredicate::Kind::kSet: {
+            entry.emplace_back("kind", JsonValue("set"));
+            // A set is order-insensitive; sort + dedup so permutations of the
+            // same member list share one cache entry.
+            std::vector<std::string> members = predicate.keys;
+            std::sort(members.begin(), members.end());
+            members.erase(std::unique(members.begin(), members.end()),
+                          members.end());
+            JsonArray keys;
+            for (std::string& member : members) {
+              keys.push_back(JsonValue(std::move(member)));
+            }
+            entry.emplace_back("keys", JsonValue(std::move(keys)));
+            break;
+          }
+        }
+        predicates.push_back(JsonValue(std::move(entry)));
+      }
+      root.emplace_back("predicates", JsonValue(std::move(predicates)));
+      break;
+    }
+    case RequestOp::kSlice:
+      root.emplace_back("dim", JsonValue(request.slice_dim));
+      root.emplace_back("key", JsonValue(request.slice_key));
+      break;
+    case RequestOp::kRollUp: {
+      JsonArray dims;
+      for (const std::string& dim : request.rollup_dims) {
+        dims.push_back(JsonValue(dim));
+      }
+      root.emplace_back("dims", JsonValue(std::move(dims)));
+      break;
+    }
+    case RequestOp::kStats:
+      break;
+  }
+  return json::SerializeJson(JsonValue(std::move(root)));
+}
+
+Result<std::vector<dwarf::DimPredicate>> EncodePredicates(
+    const dwarf::DwarfCube& cube,
+    const std::vector<WirePredicate>& predicates) {
+  if (predicates.size() != cube.num_dimensions()) {
+    return Status::InvalidArgument(
+        "aggregate request has " + std::to_string(predicates.size()) +
+        " predicates, cube has " + std::to_string(cube.num_dimensions()) +
+        " dimensions");
+  }
+  std::vector<dwarf::DimPredicate> encoded;
+  encoded.reserve(predicates.size());
+  for (size_t dim = 0; dim < predicates.size(); ++dim) {
+    const WirePredicate& predicate = predicates[dim];
+    switch (predicate.kind) {
+      case dwarf::DimPredicate::Kind::kAll:
+        encoded.push_back(dwarf::DimPredicate::All());
+        break;
+      case dwarf::DimPredicate::Kind::kPoint: {
+        SCD_ASSIGN_OR_RETURN(dwarf::DimKey id,
+                             cube.dictionary(dim).Lookup(predicate.key));
+        encoded.push_back(dwarf::DimPredicate::Point(id));
+        break;
+      }
+      case dwarf::DimPredicate::Kind::kRange:
+        if (predicate.lo > predicate.hi) {
+          return Status::InvalidArgument("range predicate has lo > hi");
+        }
+        encoded.push_back(dwarf::DimPredicate::Range(predicate.lo, predicate.hi));
+        break;
+      case dwarf::DimPredicate::Kind::kSet: {
+        std::vector<dwarf::DimKey> ids;
+        for (const std::string& member : predicate.keys) {
+          auto id = cube.dictionary(dim).Lookup(member);
+          if (id.ok()) ids.push_back(*id);
+        }
+        if (ids.empty()) {
+          return Status::NotFound("no set member of dimension " +
+                                  std::to_string(dim) +
+                                  " exists in the cube dictionary");
+        }
+        encoded.push_back(dwarf::DimPredicate::Set(std::move(ids)));
+        break;
+      }
+    }
+  }
+  return encoded;
+}
+
+namespace {
+
+JsonValue RowsToJson(const std::vector<dwarf::SliceRow>& rows) {
+  JsonArray array;
+  array.reserve(rows.size());
+  for (const dwarf::SliceRow& row : rows) {
+    JsonObject entry;
+    JsonArray keys;
+    keys.reserve(row.keys.size());
+    for (const std::string& key : row.keys) keys.push_back(JsonValue(key));
+    entry.emplace_back("keys", JsonValue(std::move(keys)));
+    entry.emplace_back("measure", JsonValue(row.measure));
+    array.push_back(JsonValue(std::move(entry)));
+  }
+  return JsonValue(std::move(array));
+}
+
+ExecResult MeasureResult(const Result<dwarf::Measure>& measure) {
+  if (!measure.ok()) return {false, MakeErrorPayload(measure.status())};
+  JsonObject payload;
+  payload.emplace_back("measure", JsonValue(*measure));
+  return {true, json::SerializeJson(JsonValue(std::move(payload)))};
+}
+
+ExecResult RowsResult(const Result<std::vector<dwarf::SliceRow>>& rows) {
+  if (!rows.ok()) return {false, MakeErrorPayload(rows.status())};
+  JsonObject payload;
+  payload.emplace_back("rows", RowsToJson(*rows));
+  return {true, json::SerializeJson(JsonValue(std::move(payload)))};
+}
+
+}  // namespace
+
+ExecResult ExecuteRequest(const dwarf::DwarfCube& cube,
+                          const QueryRequest& request) {
+  switch (request.op) {
+    case RequestOp::kPoint:
+      return MeasureResult(dwarf::PointQueryByName(cube, request.point_keys));
+    case RequestOp::kAggregate: {
+      auto predicates = EncodePredicates(cube, request.predicates);
+      if (!predicates.ok()) {
+        return {false, MakeErrorPayload(predicates.status())};
+      }
+      return MeasureResult(dwarf::AggregateQuery(cube, *predicates));
+    }
+    case RequestOp::kSlice: {
+      auto dim = cube.schema().DimensionIndex(request.slice_dim);
+      if (!dim.ok()) return {false, MakeErrorPayload(dim.status())};
+      auto key = cube.dictionary(*dim).Lookup(request.slice_key);
+      if (!key.ok()) {
+        // A value the dictionary has never seen selects the empty sub-cube.
+        return RowsResult(std::vector<dwarf::SliceRow>{});
+      }
+      return RowsResult(dwarf::Slice(cube, *dim, *key));
+    }
+    case RequestOp::kRollUp: {
+      std::vector<size_t> dims;
+      dims.reserve(request.rollup_dims.size());
+      for (const std::string& name : request.rollup_dims) {
+        auto dim = cube.schema().DimensionIndex(name);
+        if (!dim.ok()) return {false, MakeErrorPayload(dim.status())};
+        dims.push_back(*dim);
+      }
+      return RowsResult(dwarf::RollUp(cube, dims));
+    }
+    case RequestOp::kStats:
+      return {false, MakeErrorPayload(Status::Internal(
+                         "stats requests are handled by the server"))};
+  }
+  return {false, MakeErrorPayload(Status::Internal("unreachable"))};
+}
+
+std::string MakeResponse(bool ok, uint64_t epoch, bool cached,
+                         const std::string& payload_json) {
+  std::string out = "{\"ok\":";
+  out += ok ? "true" : "false";
+  out += ",\"epoch\":";
+  out += std::to_string(epoch);
+  out += ",\"cached\":";
+  out += cached ? "true" : "false";
+  if (payload_json.size() > 2) {  // merge the payload object's fields
+    out += ",";
+    out.append(payload_json, 1, payload_json.size() - 1);
+  } else {
+    out += "}";
+  }
+  return out;
+}
+
+std::string MakeErrorPayload(const Status& status) {
+  std::string code = StatusCodeToString(status.code());
+  std::replace(code.begin(), code.end(), ' ', '_');
+  for (char& c : code) c = static_cast<char>(std::tolower(c));
+  JsonObject payload;
+  payload.emplace_back("code", JsonValue(std::move(code)));
+  payload.emplace_back("error", JsonValue(status.message()));
+  return json::SerializeJson(JsonValue(std::move(payload)));
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  unsigned char header[4] = {
+      static_cast<unsigned char>((payload.size() >> 24) & 0xff),
+      static_cast<unsigned char>((payload.size() >> 16) & 0xff),
+      static_cast<unsigned char>((payload.size() >> 8) & 0xff),
+      static_cast<unsigned char>(payload.size() & 0xff)};
+  std::string frame(reinterpret_cast<char*>(header), sizeof(header));
+  frame.append(payload);
+  size_t written = 0;
+  while (written < frame.size()) {
+    ssize_t n = ::write(fd, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("frame write failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Reads up to \p size bytes, stopping early only at EOF. Returns the number
+/// of bytes actually read (== size unless EOF arrived first).
+Result<size_t> ReadFull(int fd, char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::read(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("frame read failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;
+    done += static_cast<size_t>(n);
+  }
+  return done;
+}
+
+}  // namespace
+
+Result<std::string> ReadFrame(int fd, size_t max_frame_bytes) {
+  char header[4];
+  SCD_ASSIGN_OR_RETURN(size_t header_read, ReadFull(fd, header, sizeof(header)));
+  if (header_read == 0) return Status::NotFound("connection closed");
+  if (header_read < sizeof(header)) {
+    return Status::IoError("connection closed mid-header");
+  }
+  size_t size = (static_cast<size_t>(static_cast<unsigned char>(header[0])) << 24) |
+                (static_cast<size_t>(static_cast<unsigned char>(header[1])) << 16) |
+                (static_cast<size_t>(static_cast<unsigned char>(header[2])) << 8) |
+                static_cast<size_t>(static_cast<unsigned char>(header[3]));
+  if (size > max_frame_bytes) {
+    return Status::IoError("frame of " + std::to_string(size) +
+                           " bytes exceeds the " +
+                           std::to_string(max_frame_bytes) + "-byte limit");
+  }
+  std::string payload(size, '\0');
+  SCD_ASSIGN_OR_RETURN(size_t payload_read, ReadFull(fd, payload.data(), size));
+  if (payload_read < size) {
+    return Status::IoError("connection closed mid-frame");
+  }
+  return payload;
+}
+
+}  // namespace scdwarf::server

@@ -1,0 +1,117 @@
+/// \file wire.h
+/// \brief Wire format of the cube query service: length-prefixed JSON frames
+/// carrying one request or response each.
+///
+/// A frame is a 4-byte big-endian payload length followed by that many bytes
+/// of UTF-8 JSON. Requests are objects with an "op" field:
+///
+///   {"op":"point",     "keys":["Ireland", null, "Fenian St"]}
+///   {"op":"aggregate", "predicates":[{"kind":"point","key":"D2"},
+///                                    {"kind":"range","lo":0,"hi":4},
+///                                    {"kind":"set","keys":["Mon","Fri"]},
+///                                    {"kind":"all"}]}
+///   {"op":"slice",     "dim":"Area", "key":"D2"}
+///   {"op":"rollup",    "dims":["Weekday","Area"]}
+///   {"op":"stats"}
+///
+/// "point" takes one entry per dimension (null = ALL, the roll-up wildcard);
+/// "aggregate" takes one predicate per dimension in schema order. Point and
+/// set predicate keys are decoded dimension values; range bounds are encoded
+/// dictionary ids (the id order is first-seen feed order, exactly the
+/// semantics of dwarf::DimPredicate::Range).
+///
+/// Responses carry {"ok":bool, "epoch":N, "cached":bool} plus either a
+/// result ("measure" or "rows") or {"code","error"} on failure. Overloaded
+/// servers answer {"ok":false, "code":"overloaded", ...} without executing.
+
+#ifndef SCDWARF_SERVER_WIRE_H_
+#define SCDWARF_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "dwarf/dwarf_cube.h"
+#include "dwarf/query.h"
+
+namespace scdwarf::server {
+
+/// \brief Operation requested by a client.
+enum class RequestOp { kPoint, kAggregate, kSlice, kRollUp, kStats };
+
+/// Wire name of \p op ("point", "aggregate", ...).
+const char* RequestOpName(RequestOp op);
+
+/// \brief One per-dimension predicate of an "aggregate" request, still at
+/// the string level (dictionary encoding happens per epoch snapshot).
+struct WirePredicate {
+  dwarf::DimPredicate::Kind kind = dwarf::DimPredicate::Kind::kAll;
+  std::string key;                    ///< kPoint: decoded dimension value
+  dwarf::DimKey lo = 0;               ///< kRange: encoded id bounds,
+  dwarf::DimKey hi = 0;               ///< inclusive
+  std::vector<std::string> keys;      ///< kSet: decoded dimension values
+};
+
+/// \brief A parsed request. Only the fields of the active op are meaningful.
+struct QueryRequest {
+  RequestOp op = RequestOp::kStats;
+  std::vector<std::optional<std::string>> point_keys;  ///< kPoint
+  std::vector<WirePredicate> predicates;               ///< kAggregate
+  std::string slice_dim;                               ///< kSlice
+  std::string slice_key;                               ///< kSlice
+  std::vector<std::string> rollup_dims;                ///< kRollUp
+};
+
+/// \brief Parses one request frame payload. InvalidArgument / ParseError on
+/// malformed input.
+Result<QueryRequest> ParseRequest(std::string_view request_json);
+
+/// \brief Canonical serialization of \p request: fixed field order and
+/// formatting, so syntactically different frames of the same logical query
+/// normalize to one string. This is the result-cache key (paired with the
+/// epoch by the cache itself).
+std::string NormalizedCacheKey(const QueryRequest& request);
+
+/// \brief Encodes the predicates of an "aggregate" request against \p cube's
+/// dictionaries. Set members unknown to the dictionary are dropped (they can
+/// match nothing); a point key or a fully-unknown set yields NotFound, which
+/// matches AggregateQuery's no-tuples-match result.
+Result<std::vector<dwarf::DimPredicate>> EncodePredicates(
+    const dwarf::DwarfCube& cube, const std::vector<WirePredicate>& predicates);
+
+/// \brief Result of executing a request against one cube snapshot: the
+/// response payload fields (a serialized JSON object such as {"measure":42}
+/// or {"code":"not_found","error":"..."}) plus the ok flag.
+struct ExecResult {
+  bool ok = false;
+  std::string payload_json = "{}";
+};
+
+/// \brief Executes a point/aggregate/slice/rollup request against \p cube.
+/// Pure function of (cube, request) — the server calls it under an epoch
+/// snapshot and the tests call it directly to verify responses byte-for-byte.
+ExecResult ExecuteRequest(const dwarf::DwarfCube& cube,
+                          const QueryRequest& request);
+
+/// \brief Assembles a response frame payload from the envelope fields and a
+/// serialized payload object (merged into the envelope).
+std::string MakeResponse(bool ok, uint64_t epoch, bool cached,
+                         const std::string& payload_json);
+
+/// \brief Payload for a failed request: {"code":<slug>,"error":<message>}.
+std::string MakeErrorPayload(const Status& status);
+
+/// \brief Writes one frame (4-byte big-endian length + payload) to \p fd.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// \brief Reads one frame from \p fd. NotFound on clean EOF before a frame
+/// starts; IoError on truncation, read failure, or a frame longer than
+/// \p max_frame_bytes.
+Result<std::string> ReadFrame(int fd, size_t max_frame_bytes);
+
+}  // namespace scdwarf::server
+
+#endif  // SCDWARF_SERVER_WIRE_H_

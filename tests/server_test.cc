@@ -1,0 +1,492 @@
+// Tests of the concurrent cube query service (src/server): wire parsing and
+// error mapping, epoch-snapshot consistency under a live updater, result-cache
+// hits/invalidation, deterministic overload rejection, worker-pool sizing and
+// the TCP front-end. The concurrency tests are the reason this binary carries
+// the `server` ctest label: run them from a -DSCDWARF_TSAN=ON build to check
+// the locking.
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "dwarf/builder.h"
+#include "dwarf/query.h"
+#include "json/json_parser.h"
+#include "server/query_server.h"
+#include "server/tcp_server.h"
+#include "server/wire.h"
+
+namespace scdwarf::server {
+namespace {
+
+using dwarf::DwarfCube;
+using dwarf::Measure;
+
+dwarf::CubeSchema BikesSchema() {
+  return dwarf::CubeSchema(
+      "bikes",
+      {dwarf::DimensionSpec("Day"), dwarf::DimensionSpec("Station"),
+       dwarf::DimensionSpec("Area")},
+      "bikes", dwarf::AggFn::kSum);
+}
+
+using Tuple = std::pair<std::vector<std::string>, Measure>;
+
+const std::vector<Tuple>& SeedTuples() {
+  static const auto* tuples = new std::vector<Tuple>{
+      {{"Mon", "Fenian St", "D2"}, 3},  {{"Mon", "Pearse St", "D2"}, 5},
+      {{"Tue", "Fenian St", "D2"}, 4},  {{"Tue", "Custom House", "D1"}, 7},
+      {{"Wed", "Pearse St", "D2"}, 2},  {{"Wed", "Custom House", "D1"}, 1},
+      {{"Thu", "Fenian St", "D2"}, 6},  {{"Fri", "Heuston", "D8"}, 9},
+  };
+  return *tuples;
+}
+
+DwarfCube BuildSeedCube() {
+  dwarf::DwarfBuilder builder(BikesSchema());
+  for (const auto& [keys, measure] : SeedTuples()) {
+    EXPECT_TRUE(builder.AddTuple(keys, measure).ok());
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+// Parses a response payload and returns (ok, epoch, cached) plus the value.
+struct ParsedResponse {
+  bool ok = false;
+  uint64_t epoch = 0;
+  bool cached = false;
+  json::JsonValue value;
+};
+
+ParsedResponse ParseResponse(const std::string& payload) {
+  ParsedResponse parsed;
+  auto value = json::ParseJson(payload);
+  EXPECT_TRUE(value.ok()) << payload;
+  if (!value.ok()) return parsed;
+  parsed.value = *value;
+  parsed.ok = value->Get("ok").ValueOrDie().AsBool().ValueOrDie();
+  parsed.epoch = static_cast<uint64_t>(
+      value->Get("epoch").ValueOrDie().AsNumber().ValueOrDie());
+  parsed.cached = value->Get("cached").ValueOrDie().AsBool().ValueOrDie();
+  return parsed;
+}
+
+std::string ErrorCode(const ParsedResponse& parsed) {
+  auto code = parsed.value.Get("code");
+  return code.ok() ? code->AsString().ValueOrDie() : std::string();
+}
+
+TEST(WireTest, RejectsMalformedRequests) {
+  QueryServer server{BuildSeedCube()};
+  ServerHandle handle(&server);
+
+  struct Case {
+    const char* request;
+    const char* want_code;
+  };
+  const Case cases[] = {
+      {"{not json", "parse_error"},
+      {"[1,2,3]", "invalid_argument"},
+      {R"({"op":"transmogrify"})", "invalid_argument"},
+      {R"({"op":"point"})", "invalid_argument"},
+      {R"({"op":"point","keys":["Mon"]})", "invalid_argument"},  // arity 1 != 3
+      {R"({"op":"slice","dim":"NoSuchDim","key":"x"})", "not_found"},
+      {R"({"op":"rollup","dims":["Day","NoSuchDim"]})", "not_found"},
+      {R"({"op":"aggregate","predicates":[{"kind":"all"}]})",
+       "invalid_argument"},  // predicate arity 1 != 3
+  };
+  for (const Case& c : cases) {
+    ParsedResponse parsed = ParseResponse(handle.Call(c.request));
+    EXPECT_FALSE(parsed.ok) << c.request;
+    EXPECT_EQ(ErrorCode(parsed), c.want_code) << c.request;
+  }
+}
+
+TEST(WireTest, UnknownKeysReportNotFound) {
+  QueryServer server{BuildSeedCube()};
+  ServerHandle handle(&server);
+  ParsedResponse parsed = ParseResponse(
+      handle.Call(R"({"op":"point","keys":["Mon","No Such Station",null]})"));
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(ErrorCode(parsed), "not_found");
+}
+
+TEST(WireTest, PointQueryMatchesDirectQuery) {
+  DwarfCube cube = BuildSeedCube();
+  QueryServer server{DwarfCube(cube)};
+  ServerHandle handle(&server);
+
+  ParsedResponse parsed = ParseResponse(
+      handle.Call(R"({"op":"point","keys":["Mon",null,"D2"]})"));
+  ASSERT_TRUE(parsed.ok);
+  auto direct = dwarf::PointQueryByName(cube, {"Mon", std::nullopt, "D2"});
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(parsed.value.Get("measure").ValueOrDie().AsNumber().ValueOrDie(),
+            static_cast<double>(*direct));
+  EXPECT_EQ(parsed.epoch, 0u);
+}
+
+TEST(WireTest, NormalizedCacheKeyIgnoresSpellingDifferences) {
+  auto a = ParseRequest(R"({"op":"aggregate","predicates":[
+      {"kind":"all"},{"kind":"set","keys":["b","a","b"]},
+      {"kind":"range","lo":1,"hi":4}]})");
+  auto b = ParseRequest(R"({ "predicates":[{"kind":"all"},
+      {"keys":["a","b"],"kind":"set"},{"kind":"range","hi":4,"lo":1}],
+      "op":"aggregate" })");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(NormalizedCacheKey(*a), NormalizedCacheKey(*b));
+}
+
+// Mixed read workload used by the concurrency tests: every entry is a
+// (request payload) whose expected result is recomputed per epoch.
+std::vector<std::string> MixedRequests() {
+  return {
+      R"({"op":"point","keys":["Mon",null,"D2"]})",
+      R"({"op":"point","keys":[null,null,null]})",
+      R"({"op":"point","keys":["Tue","Fenian St","D2"]})",
+      R"({"op":"aggregate","predicates":[{"kind":"set","keys":["Mon","Tue"]},{"kind":"all"},{"kind":"point","key":"D2"}]})",
+      R"({"op":"aggregate","predicates":[{"kind":"range","lo":0,"hi":2},{"kind":"all"},{"kind":"all"}]})",
+      R"({"op":"slice","dim":"Area","key":"D2"})",
+      R"({"op":"slice","dim":"Day","key":"Fri"})",
+      R"({"op":"rollup","dims":["Area"]})",
+      R"({"op":"rollup","dims":["Day","Area"]})",
+  };
+}
+
+// The tentpole concurrency contract: >= 8 clients issue mixed queries while
+// an updater thread repeatedly merges new tuples. Every response must
+// byte-match a direct execution against the cube snapshot of the epoch the
+// response reports — i.e. each request saw one consistent cube, never a
+// half-published one.
+TEST(QueryServerConcurrencyTest, EpochSnapshotsStayConsistentUnderUpdates) {
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 200;
+  constexpr int kUpdates = 6;
+
+  DwarfCube seed = BuildSeedCube();
+  ServerOptions options;
+  options.cache_capacity = 256;
+  QueryServer server(DwarfCube(seed), options);
+
+  // Epoch -> cube snapshot, recorded by the (single) updater thread.
+  std::mutex epochs_mu;
+  std::map<uint64_t, std::shared_ptr<const DwarfCube>> cubes_by_epoch;
+  cubes_by_epoch[0] = std::make_shared<const DwarfCube>(std::move(seed));
+
+  std::atomic<bool> updater_done{false};
+  std::thread updater([&] {
+    for (int i = 0; i < kUpdates; ++i) {
+      std::vector<Tuple> batch = {
+          {{"Sat", "Fenian St", "D2"}, 10 + i},
+          {{"Mon", "Pearse St", "D2"}, 1},
+          {{"Sun", "Heuston", "D8"}, 2 * i + 1},
+      };
+      auto epoch = server.ApplyUpdate(batch);
+      ASSERT_TRUE(epoch.ok()) << epoch.status();
+      EpochCubeStore::Snapshot snapshot = server.store().snapshot();
+      ASSERT_EQ(snapshot.epoch, *epoch);  // single updater: no later publish
+      std::lock_guard<std::mutex> lock(epochs_mu);
+      cubes_by_epoch[snapshot.epoch] = snapshot.cube;
+    }
+    updater_done.store(true);
+  });
+
+  struct Observation {
+    std::string request;
+    std::string response;
+  };
+  std::vector<std::vector<Observation>> observations(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  const std::vector<std::string> pool = MixedRequests();
+  for (int client = 0; client < kClients; ++client) {
+    clients.emplace_back([&, client] {
+      ServerHandle handle(&server);
+      observations[client].reserve(kRequestsPerClient);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const std::string& request = pool[(client + i) % pool.size()];
+        observations[client].push_back({request, handle.Call(request)});
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  updater.join();
+  EXPECT_TRUE(updater_done.load());
+  EXPECT_EQ(server.epoch(), static_cast<uint64_t>(kUpdates));
+
+  // Post-hoc verification against the recorded epoch snapshots.
+  uint64_t verified = 0;
+  for (const std::vector<Observation>& per_client : observations) {
+    for (const Observation& observation : per_client) {
+      ParsedResponse parsed = ParseResponse(observation.response);
+      auto it = cubes_by_epoch.find(parsed.epoch);
+      ASSERT_NE(it, cubes_by_epoch.end())
+          << "response reported unknown epoch " << parsed.epoch;
+      auto request = ParseRequest(observation.request);
+      ASSERT_TRUE(request.ok());
+      ExecResult expected = ExecuteRequest(*it->second, *request);
+      EXPECT_EQ(observation.response,
+                MakeResponse(expected.ok, parsed.epoch, parsed.cached,
+                             expected.payload_json))
+          << "request " << observation.request << " diverged at epoch "
+          << parsed.epoch;
+      ++verified;
+    }
+  }
+  EXPECT_EQ(verified, static_cast<uint64_t>(kClients) * kRequestsPerClient);
+
+  ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.queries_total,
+            static_cast<uint64_t>(kClients) * kRequestsPerClient);
+  EXPECT_EQ(stats.rejected_total, 0u);
+  EXPECT_EQ(stats.updates_applied, static_cast<uint64_t>(kUpdates));
+  EXPECT_GT(stats.cache.hits + stats.cache.misses, 0u);
+}
+
+TEST(QueryServerTest, CacheHitsThenInvalidatesOnUpdate) {
+  ServerOptions options;
+  options.num_workers = 1;
+  QueryServer server(BuildSeedCube(), options);
+  ServerHandle handle(&server);
+  const std::string request = R"({"op":"point","keys":["Mon",null,"D2"]})";
+
+  ParsedResponse first = ParseResponse(handle.Call(request));
+  EXPECT_FALSE(first.cached);
+  ParsedResponse second = ParseResponse(handle.Call(request));
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(server.cache().stats().hits, 1u);
+  EXPECT_EQ(second.epoch, 0u);
+
+  ASSERT_TRUE(server.ApplyUpdate({{{"Mon", "Fenian St", "D2"}, 100}}).ok());
+  EXPECT_GT(server.cache().stats().invalidations, 0u);
+  EXPECT_EQ(server.cache().stats().entries, 0u);
+
+  ParsedResponse third = ParseResponse(handle.Call(request));
+  EXPECT_FALSE(third.cached);  // new epoch, fresh execution
+  EXPECT_EQ(third.epoch, 1u);
+  EXPECT_EQ(third.value.Get("measure").ValueOrDie().AsNumber().ValueOrDie(),
+            first.value.Get("measure").ValueOrDie().AsNumber().ValueOrDie() +
+                100);
+}
+
+TEST(QueryServerTest, CachedResponseBytesMatchUncached) {
+  QueryServer server{BuildSeedCube()};
+  ServerHandle handle(&server);
+  const std::string request = R"({"op":"rollup","dims":["Area"]})";
+  std::string first = handle.Call(request);
+  std::string second = handle.Call(request);
+  // Only the "cached" flag may differ between the two responses.
+  EXPECT_FALSE(ParseResponse(first).cached);
+  EXPECT_TRUE(ParseResponse(second).cached);
+  size_t flag = first.find("\"cached\":false");
+  ASSERT_NE(flag, std::string::npos);
+  std::string expected = first;
+  expected.replace(flag, 14, "\"cached\":true");
+  EXPECT_EQ(second, expected);
+}
+
+// Deterministic overload: one inline worker parks inside the pre-execute
+// hook, so a second concurrent request exceeds max_queue_depth=1 and must be
+// rejected immediately with code "overloaded".
+TEST(QueryServerTest, RejectsWhenQueueDepthExceeded) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool parked = false;
+  bool release = false;
+
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 1;
+  options.pre_execute_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    parked = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  QueryServer server(BuildSeedCube(), options);
+
+  std::thread blocker([&] {
+    ServerHandle handle(&server);
+    ParsedResponse parsed = ParseResponse(
+        handle.Call(R"({"op":"point","keys":["Mon",null,"D2"]})"));
+    EXPECT_TRUE(parsed.ok);  // the parked request still completes
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return parked; });
+  }
+
+  ServerHandle handle(&server);
+  ParsedResponse rejected = ParseResponse(
+      handle.Call(R"({"op":"point","keys":["Tue",null,null]})"));
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(ErrorCode(rejected), "overloaded");
+  EXPECT_EQ(server.Stats().rejected_total, 1u);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  blocker.join();
+  EXPECT_EQ(server.Stats().queries_total, 1u);  // rejection didn't execute
+}
+
+TEST(QueryServerTest, WorkerCountHonorsThreadPolicy) {
+  // Explicit worker count wins.
+  ServerOptions explicit_options;
+  explicit_options.num_workers = 2;
+  QueryServer explicit_server(BuildSeedCube(), explicit_options);
+  EXPECT_EQ(explicit_server.num_workers(), 2);
+
+  // num_workers=0 resolves through SCDWARF_THREADS, same as the pipeline.
+  ASSERT_EQ(setenv("SCDWARF_THREADS", "3", /*overwrite=*/1), 0);
+  QueryServer env_server{BuildSeedCube()};
+  EXPECT_EQ(env_server.num_workers(), 3);
+  ASSERT_EQ(unsetenv("SCDWARF_THREADS"), 0);
+}
+
+TEST(QueryServerTest, StatsEndpointReportsCounters) {
+  ServerOptions options;
+  options.num_workers = 1;
+  QueryServer server(BuildSeedCube(), options);
+  ServerHandle handle(&server);
+  handle.Call(R"({"op":"point","keys":["Mon",null,"D2"]})");
+  handle.Call(R"({"op":"point","keys":["Mon",null,"D2"]})");
+  ASSERT_TRUE(server.ApplyUpdate({{{"Sat", "Heuston", "D8"}, 4}}).ok());
+
+  ParsedResponse parsed = ParseResponse(handle.Call(R"({"op":"stats"})"));
+  ASSERT_TRUE(parsed.ok);
+  const json::JsonValue& value = parsed.value;
+  EXPECT_EQ(value.GetPath("stats.epoch").ValueOrDie().AsNumber().ValueOrDie(),
+            1.0);
+  EXPECT_EQ(value.GetPath("stats.queries_total")
+                .ValueOrDie()
+                .AsNumber()
+                .ValueOrDie(),
+            2.0);
+  EXPECT_EQ(value.GetPath("stats.cache.hits")
+                .ValueOrDie()
+                .AsNumber()
+                .ValueOrDie(),
+            1.0);
+  EXPECT_GT(value.GetPath("stats.latency.count")
+                .ValueOrDie()
+                .AsNumber()
+                .ValueOrDie(),
+            0.0);
+  EXPECT_GT(value.GetPath("stats.last_update.base_tuples")
+                .ValueOrDie()
+                .AsNumber()
+                .ValueOrDie(),
+            0.0);
+  EXPECT_EQ(value.GetPath("stats.num_workers").ValueOrDie()
+                .AsNumber().ValueOrDie(),
+            1.0);
+}
+
+// --- TCP front-end -------------------------------------------------------
+
+int ConnectLoopback(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+TEST(TcpServerTest, RoundTripsFramesIdenticallyToInProcessHandle) {
+  QueryServer server{BuildSeedCube()};
+  TcpServer tcp(&server);
+  ASSERT_TRUE(tcp.Start().ok());
+  ASSERT_GT(tcp.port(), 0);
+
+  int fd = ConnectLoopback(tcp.port());
+  ServerHandle handle(&server);
+  for (const std::string& request : MixedRequests()) {
+    ASSERT_TRUE(WriteFrame(fd, request).ok());
+    auto response = ReadFrame(fd, 1 << 20);
+    ASSERT_TRUE(response.ok()) << response.status();
+    // The TCP response must match the in-process path modulo the cached
+    // flag (the TCP request may have warmed the cache).
+    ParsedResponse over_tcp = ParseResponse(*response);
+    ParsedResponse in_process = ParseResponse(handle.Call(request));
+    EXPECT_EQ(over_tcp.ok, in_process.ok) << request;
+    EXPECT_EQ(json::SerializeJson(over_tcp.value.Get("epoch").ValueOrDie()),
+              json::SerializeJson(in_process.value.Get("epoch").ValueOrDie()));
+    auto request_parsed = ParseRequest(request);
+    ASSERT_TRUE(request_parsed.ok());
+    ExecResult direct = ExecuteRequest(*server.store().snapshot().cube,
+                                       *request_parsed);
+    EXPECT_EQ(*response, MakeResponse(direct.ok, over_tcp.epoch,
+                                      over_tcp.cached, direct.payload_json))
+        << request;
+  }
+  ::close(fd);
+  tcp.Stop();
+}
+
+TEST(TcpServerTest, ManyConnectionsServeConcurrently) {
+  constexpr int kConnections = 8;
+  constexpr int kRequestsEach = 25;
+  QueryServer server{BuildSeedCube()};
+  TcpServer tcp(&server);
+  ASSERT_TRUE(tcp.Start().ok());
+
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  const std::vector<std::string> pool = MixedRequests();
+  threads.reserve(kConnections);
+  for (int i = 0; i < kConnections; ++i) {
+    threads.emplace_back([&, i] {
+      int fd = ConnectLoopback(tcp.port());
+      for (int r = 0; r < kRequestsEach; ++r) {
+        const std::string& request = pool[(i + r) % pool.size()];
+        if (!WriteFrame(fd, request).ok()) { ++failures; break; }
+        auto response = ReadFrame(fd, 1 << 20);
+        if (!response.ok()) { ++failures; break; }
+        ParsedResponse parsed = ParseResponse(*response);
+        if (!parsed.ok) ++failures;
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.Stats().queries_total,
+            static_cast<uint64_t>(kConnections) * kRequestsEach);
+  tcp.Stop();
+}
+
+TEST(TcpServerTest, OversizedFrameClosesConnection) {
+  QueryServer server{BuildSeedCube()};
+  TcpServer tcp(&server, /*max_frame_bytes=*/64);
+  ASSERT_TRUE(tcp.Start().ok());
+  int fd = ConnectLoopback(tcp.port());
+  std::string big(1000, 'x');
+  ASSERT_TRUE(WriteFrame(fd, big).ok());
+  auto response = ReadFrame(fd, 1 << 20);
+  EXPECT_FALSE(response.ok());  // server hung up instead of serving it
+  ::close(fd);
+  tcp.Stop();
+}
+
+}  // namespace
+}  // namespace scdwarf::server
