@@ -12,8 +12,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "bench_util.h"
@@ -21,8 +23,12 @@
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "etl/parallel_pipeline.h"
+#include "mapper/nosql_dwarf_mapper.h"
+#include "nosql/database.h"
 
 namespace {
+
+namespace fs = std::filesystem;
 
 using namespace scdwarf;
 
@@ -35,13 +41,17 @@ struct SweepRow {
   double dict_merge_ms = 0;
   double sort_ms = 0;
   double construct_ms = 0;
+  int sweep_tasks = 0;  ///< parallel subtree tasks of the sweep (0 = serial)
+  double store_apply_ms = 0;  ///< nosql row generation + application
+  double store_flush_ms = 0;  ///< nosql segment flush barrier
   double parse_build_ms = 0;
   double speedup = 1.0;  ///< single-thread parse_build_ms / this row's
+  double construct_speedup = 1.0;  ///< single-thread construct_ms / this row's
 };
 std::vector<SweepRow> g_rows;
 
 std::vector<int> ThreadSweep() {
-  std::vector<int> sweep = {1, 2, 4, DefaultThreadCount()};
+  std::vector<int> sweep = {1, 2, 4, 8, DefaultThreadCount()};
   std::sort(sweep.begin(), sweep.end());
   sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
   return sweep;
@@ -56,8 +66,10 @@ void BM_ParallelPipeline(benchmark::State& state, const std::string& dataset,
       return;
     }
     citibikes::BikeFeedGenerator feed(citibikes::MakeFeedConfig(*spec));
-    auto pipeline =
-        etl::MakeBikesXmlParallelPipeline({}, {.num_threads = threads});
+    // The thread knob feeds both the ETL stage pool and the builder, so the
+    // construction sweep (sort + parallel subtree tasks) scales with it.
+    auto pipeline = etl::MakeBikesXmlParallelPipeline(
+        {.num_threads = threads}, {.num_threads = threads});
     if (!pipeline.ok()) {
       state.SkipWithError(pipeline.status().ToString().c_str());
       return;
@@ -86,7 +98,34 @@ void BM_ParallelPipeline(benchmark::State& state, const std::string& dataset,
     row.dict_merge_ms = profile.dict_merge_ms;
     row.sort_ms = profile.build.sort_ms;
     row.construct_ms = profile.build.construct_ms;
+    row.sweep_tasks = profile.build.sweep_tasks;
     row.parse_build_ms = watch.ElapsedMillis();
+
+    // Store phase: durable nosql apply (laned when threads > 1) + async
+    // segment flush, timed by the mapper itself.
+    fs::path store_dir = fs::temp_directory_path() /
+                         ("scdwarf_bench_store_" + dataset + "_t" +
+                          std::to_string(threads));
+    std::error_code ec;
+    fs::remove_all(store_dir, ec);
+    {
+      auto db = nosql::Database::Open(store_dir.string());
+      if (!db.ok()) {
+        state.SkipWithError(db.status().ToString().c_str());
+        return;
+      }
+      mapper::NoSqlDwarfMapper cube_mapper(&*db, "bench");
+      mapper::NoSqlStoreStats store_stats;
+      auto id = cube_mapper.Store(*cube, {.num_threads = threads},
+                                  &store_stats);
+      if (!id.ok()) {
+        state.SkipWithError(id.status().ToString().c_str());
+        return;
+      }
+      row.store_apply_ms = store_stats.apply_ms;
+      row.store_flush_ms = store_stats.flush_ms;
+    }
+    fs::remove_all(store_dir, ec);
     g_rows.push_back(row);
     state.counters["threads"] = threads;
     state.counters["tuples"] = static_cast<double>(row.tuples);
@@ -96,28 +135,41 @@ void BM_ParallelPipeline(benchmark::State& state, const std::string& dataset,
 
 void ComputeSpeedups() {
   std::map<std::string, double> baseline;
+  std::map<std::string, double> construct_baseline;
   for (const SweepRow& row : g_rows) {
-    if (row.threads == 1) baseline[row.dataset] = row.parse_build_ms;
+    if (row.threads == 1) {
+      baseline[row.dataset] = row.parse_build_ms;
+      construct_baseline[row.dataset] = row.construct_ms;
+    }
   }
   for (SweepRow& row : g_rows) {
     auto it = baseline.find(row.dataset);
     if (it != baseline.end() && row.parse_build_ms > 0) {
       row.speedup = it->second / row.parse_build_ms;
     }
+    auto cit = construct_baseline.find(row.dataset);
+    if (cit != construct_baseline.end() && row.construct_ms > 0) {
+      row.construct_speedup = cit->second / row.construct_ms;
+    }
   }
 }
 
 void PrintSweep() {
-  std::printf("\n=== Parallel pipeline sweep (XML feed -> cube) ===\n");
-  std::printf("%-8s %10s %8s %10s %10s %10s %10s %10s %12s %8s\n", "Dataset",
-              "tuples", "threads", "parse", "drain", "dictmerge", "sort",
-              "construct", "total (ms)", "speedup");
+  std::printf("\n=== Parallel pipeline sweep (XML feed -> cube -> store) ===\n");
+  std::printf(
+      "%-8s %10s %8s %10s %10s %10s %10s %10s %6s %10s %10s %12s %8s %8s\n",
+      "Dataset", "tuples", "threads", "parse", "drain", "dictmerge", "sort",
+      "construct", "tasks", "apply", "flush", "total (ms)", "speedup",
+      "c-spdup");
   for (const SweepRow& row : g_rows) {
-    std::printf("%-8s %10llu %8d %10.1f %10.1f %10.1f %10.1f %10.1f %12.1f %8.2f\n",
-                row.dataset.c_str(),
-                static_cast<unsigned long long>(row.tuples), row.threads,
-                row.parse_ms, row.drain_ms, row.dict_merge_ms, row.sort_ms,
-                row.construct_ms, row.parse_build_ms, row.speedup);
+    std::printf(
+        "%-8s %10llu %8d %10.1f %10.1f %10.1f %10.1f %10.1f %6d %10.1f "
+        "%10.1f %12.1f %8.2f %8.2f\n",
+        row.dataset.c_str(), static_cast<unsigned long long>(row.tuples),
+        row.threads, row.parse_ms, row.drain_ms, row.dict_merge_ms,
+        row.sort_ms, row.construct_ms, row.sweep_tasks, row.store_apply_ms,
+        row.store_flush_ms, row.parse_build_ms, row.speedup,
+        row.construct_speedup);
   }
   std::printf(
       "\nNote: with %d hardware thread(s) available, speedups above 1.0 only\n"
@@ -138,8 +190,12 @@ void WriteJson(const char* path) {
     out.emplace_back("dict_merge_ms", json::JsonValue(row.dict_merge_ms));
     out.emplace_back("sort_ms", json::JsonValue(row.sort_ms));
     out.emplace_back("construct_ms", json::JsonValue(row.construct_ms));
+    out.emplace_back("sweep_tasks", json::JsonValue(row.sweep_tasks));
+    out.emplace_back("store_apply_ms", json::JsonValue(row.store_apply_ms));
+    out.emplace_back("store_flush_ms", json::JsonValue(row.store_flush_ms));
     out.emplace_back("parse_build_ms", json::JsonValue(row.parse_build_ms));
     out.emplace_back("speedup", json::JsonValue(row.speedup));
+    out.emplace_back("construct_speedup", json::JsonValue(row.construct_speedup));
     rows.push_back(std::move(out));
   }
   if (Status status = benchutil::WriteBenchJson(path, "parallel_pipeline", rows);

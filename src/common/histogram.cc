@@ -23,13 +23,35 @@ void FixedBucketHistogram::Record(double value) {
   size_t index = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
                  bounds_.begin();
   buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  double observed = min_.load(std::memory_order_relaxed);
+  while (value < observed &&
+         !min_.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
+  observed = max_.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !max_.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double FixedBucketHistogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+double FixedBucketHistogram::max() const {
+  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
 }
 
 double FixedBucketHistogram::Quantile(double q) const {
   uint64_t total = count();
   if (total == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
+  double lo = min();
+  double hi = max();
+  if (q == 0.0) return lo;
+  if (q == 1.0) return hi;
   // Rank of the requested quantile, 1-based.
   uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
   uint64_t cumulative = 0;
@@ -39,16 +61,19 @@ double FixedBucketHistogram::Quantile(double q) const {
       cumulative += in_bucket;
       continue;
     }
-    if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
-    double lower = i == 0 ? 0 : bounds_[i - 1];
-    double upper = bounds_[i];
-    double fraction = in_bucket == 0
-                          ? 1.0
-                          : static_cast<double>(rank - cumulative) /
-                                static_cast<double>(in_bucket);
+    // cumulative < rank <= cumulative + in_bucket, so in_bucket > 0: empty
+    // buckets are always skipped above.
+    if (i >= bounds_.size()) return hi;  // overflow: no finite upper bound
+    // The tightest edges the recorded samples allow: the first bucket starts
+    // at the smallest sample (not 0), and no bucket extends past the largest.
+    double lower = i == 0 ? lo : bounds_[i - 1];
+    double upper = std::min(bounds_[i], hi);
+    double fraction = static_cast<double>(rank - cumulative) /
+                      static_cast<double>(in_bucket);
     return lower + (upper - lower) * fraction;
   }
-  return bounds_.back();
+  // Counters moved under a racing writer (count_ read before buckets_).
+  return hi;
 }
 
 std::vector<FixedBucketHistogram::Bucket> FixedBucketHistogram::Snapshot()

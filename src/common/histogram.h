@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace scdwarf {
@@ -28,15 +29,26 @@ class FixedBucketHistogram {
   /// from 1us to 10s.
   static FixedBucketHistogram ForLatencyMicros();
 
-  /// Records one sample. Thread-safe, wait-free.
+  /// Records one sample. Thread-safe, lock-free (bucket counts are single
+  /// increments; min/max tracking is a CAS loop).
   void Record(double value);
 
   /// Total samples recorded.
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
+  /// Smallest recorded sample; 0 when empty.
+  double min() const;
+
+  /// Largest recorded sample; 0 when empty.
+  double max() const;
+
   /// \brief Estimates the \p q quantile (0 <= q <= 1) by interpolating within
-  /// the bucket holding the rank. Returns 0 when empty; samples in the
-  /// overflow bucket report the last finite bound.
+  /// the bucket holding the rank. Returns 0 when empty. q=0 and q=1 report
+  /// the exact recorded min/max; ranks landing in the overflow bucket report
+  /// the largest recorded sample (never a bound below it); interpolation in
+  /// the first bucket starts at the recorded min rather than 0, so values
+  /// below the first bound (including negatives) stay inside the observed
+  /// range.
   double Quantile(double q) const;
 
   /// One bucket of a Snapshot(): inclusive upper bound plus its count.
@@ -54,6 +66,8 @@ class FixedBucketHistogram {
   std::vector<double> bounds_;                  ///< ascending upper bounds
   std::vector<std::atomic<uint64_t>> buckets_;  ///< bounds_.size() + overflow
   std::atomic<uint64_t> count_{0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 }  // namespace scdwarf

@@ -1,7 +1,10 @@
 #include "dwarf/builder.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <queue>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -16,6 +19,10 @@ namespace {
 /// Below this many tuples the shard/merge machinery costs more than the
 /// serial sort it replaces.
 constexpr size_t kMinParallelSortTuples = 4096;
+
+/// Below this many tuples the per-subtree task machinery costs more than the
+/// serial construction sweep it replaces.
+constexpr size_t kMinParallelSweepTuples = 4096;
 
 /// Hash functor for merge memoization keys (sorted multisets of NodeId).
 struct NodeListHash {
@@ -37,21 +44,25 @@ class DwarfBuilder::Impl {
         num_dims_(schema.num_dimensions()),
         agg_(schema.agg()) {}
 
-  Result<NodeId> Run(const std::vector<Tuple>& tuples,
+  /// Sweeps tuples [\p begin, \p end) whose keys agree on every dimension
+  /// below \p base_level, building the sub-dwarf rooted at \p base_level.
+  /// The full build is Run(tuples, 0, tuples.size(), 0, nodes).
+  Result<NodeId> Run(const std::vector<Tuple>& tuples, size_t begin,
+                     size_t end, size_t base_level,
                      std::vector<DwarfNode>* nodes) {
     nodes_ = nodes;
-    if (tuples.empty()) return kNullNode;
+    if (begin >= end) return kNullNode;
 
     open_.assign(num_dims_, {});
     // Seed the path for the first tuple.
-    for (size_t level = 0; level < num_dims_; ++level) {
-      open_[level].push_back(MakeCell(tuples[0], level));
+    for (size_t level = base_level; level < num_dims_; ++level) {
+      open_[level].push_back(MakeCell(tuples[begin], level));
     }
 
-    for (size_t i = 1; i < tuples.size(); ++i) {
+    for (size_t i = begin + 1; i < end; ++i) {
       const Tuple& tuple = tuples[i];
       const Tuple& prev = tuples[i - 1];
-      size_t diverge = 0;
+      size_t diverge = base_level;
       while (tuple.keys[diverge] == prev.keys[diverge]) ++diverge;
       // Close every open node strictly below the divergence level,
       // bottom-up, wiring each closed node into its parent's pending cell.
@@ -67,12 +78,41 @@ class DwarfBuilder::Impl {
       }
     }
 
-    // Final close up to the root.
-    for (size_t level = num_dims_ - 1; level > 0; --level) {
+    // Final close up to the base level.
+    for (size_t level = num_dims_ - 1; level > base_level; --level) {
       NodeId closed = CloseOpenNode(level);
       open_[level - 1].back().child = closed;
     }
-    return CloseOpenNode(0);
+    return CloseOpenNode(base_level);
+  }
+
+  /// Closes the top of the cube over pre-built subtrees: \p cells carries
+  /// one cell per distinct key at \p split_level (child = subtree root id in
+  /// \p nodes), and every level above the split holds the single key it has
+  /// in \p first. Replays the serial sweep's final cascade exactly: the
+  /// split-level node closes first (including the cross-subtree
+  /// suffix-coalescing merge), then one single-cell wrapper node per level
+  /// up to the root, in descending level order.
+  NodeId FinishTop(const Tuple& first, size_t split_level,
+                   std::vector<DwarfCell> cells,
+                   std::vector<DwarfNode>* nodes) {
+    nodes_ = nodes;
+    DwarfNode node;
+    node.level = static_cast<uint16_t>(split_level);
+    node.cells = std::move(cells);
+    FinalizeAll(&node);
+    NodeId below = Commit(std::move(node));
+    for (size_t level = split_level; level > 0; --level) {
+      DwarfNode wrap;
+      wrap.level = static_cast<uint16_t>(level - 1);
+      DwarfCell cell;
+      cell.key = first.keys[level - 1];
+      cell.child = below;
+      wrap.cells.push_back(cell);
+      FinalizeAll(&wrap);
+      below = Commit(std::move(wrap));
+    }
+    return below;
   }
 
  private:
@@ -366,12 +406,129 @@ void DwarfBuilder::SortAndAggregate(int num_threads) {
   tuples_ = std::move(merged);
 }
 
+// Parallel sweep invariant (why the arena is bit-identical to serial):
+//
+// After SortAndAggregate the tuples are grouped by their first *varying*
+// dimension key (the split level): every dimension above it holds a single
+// key across the whole sorted stream, so the serial sweep keeps exactly one
+// open cell per such level until the final cascade, and every tuple-to-tuple
+// divergence happens at or below the split level. In the serial sweep each
+// group's entire subtree (everything at levels > split reachable before the
+// split-level node closes) is committed to the arena as one contiguous,
+// ascending NodeId range before the next group's first node — the
+// split-level cell for group g is wired only after every node of group g is
+// committed, and the single-cell wrapper nodes above the split level close
+// after the split-level node, in descending level order, exactly as
+// FinishTop replays them. The merge memo never spans groups either: memo
+// keys recorded while a group is open consist solely of that group's ids,
+// while keys looked up during the split-level close contain ids from >= 2
+// distinct groups (a size-one input set is shared/copied, never memoized,
+// and cells within one node have distinct keys, so every memoized top-close
+// merge draws from >= 2 subtree roots). Hence building each group with a
+// fresh Impl into a local arena, concatenating the local arenas in group
+// order with child ids rebased by the group's arena offset, and closing the
+// top levels with another fresh Impl reproduces the serial arena id-for-id —
+// for any thread count and for every ablation combination.
+Result<NodeId> DwarfBuilder::ConstructSweep(int num_threads,
+                                            std::vector<DwarfNode>* nodes,
+                                            int* sweep_tasks) {
+  *sweep_tasks = 0;
+  const size_t num_dims = schema_.num_dimensions();
+  if (num_threads > 1 && num_dims >= 2 && !tuples_.empty() &&
+      tuples_.size() >= kMinParallelSweepTuples) {
+    // Split level: the first dimension whose key actually varies. Sorted
+    // order makes first-vs-last comparison sufficient — every dimension
+    // above the split holds one key stream-wide (e.g. a one-month feed
+    // whose leading dimension is Month).
+    size_t split = 0;
+    while (split < num_dims &&
+           tuples_.front().keys[split] == tuples_.back().keys[split]) {
+      ++split;
+    }
+    if (split + 1 < num_dims) {
+      // Partition the sorted stream into per-split-level-key groups
+      // (>= 2 by the choice of split).
+      std::vector<std::pair<size_t, size_t>> groups;
+      size_t begin = 0;
+      for (size_t i = 1; i <= tuples_.size(); ++i) {
+        if (i == tuples_.size() ||
+            tuples_[i].keys[split] != tuples_[begin].keys[split]) {
+          groups.emplace_back(begin, i);
+          begin = i;
+        }
+      }
+      struct Subtree {
+        std::vector<DwarfNode> nodes;
+        NodeId root = kNullNode;
+      };
+      std::vector<Subtree> built(groups.size());
+      Status first_error;
+      {
+        // Workers claim groups through an atomic cursor so large groups
+        // don't serialize behind a static partition. The pool destructor
+        // joins every worker, ordering all writes to built before the
+        // stitch below reads them.
+        ThreadPool pool(num_threads);
+        std::atomic<size_t> next{0};
+        std::mutex error_mu;
+        for (int worker = 0; worker < pool.num_threads(); ++worker) {
+          pool.Submit([this, &groups, &built, &next, &error_mu, &first_error,
+                       split] {
+            for (size_t g; (g = next.fetch_add(1)) < groups.size();) {
+              Impl impl(schema_, options_);
+              Result<NodeId> root = impl.Run(tuples_, groups[g].first,
+                                             groups[g].second, split + 1,
+                                             &built[g].nodes);
+              if (root.ok()) {
+                built[g].root = *root;
+              } else {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (first_error.ok()) first_error = root.status();
+              }
+            }
+          });
+        }
+      }
+      SCD_RETURN_IF_ERROR(first_error);
+
+      // Stitch: append the local arenas in group order, rebasing child ids
+      // by each group's offset, then close the split-level node and its
+      // single-cell wrappers exactly as the serial sweep's final cascade
+      // would (fresh merge memo — top-close merges never hit per-group memo
+      // entries, see the invariant note above).
+      std::vector<DwarfCell> split_cells;
+      split_cells.reserve(groups.size());
+      for (size_t g = 0; g < groups.size(); ++g) {
+        NodeId offset = static_cast<NodeId>(nodes->size());
+        for (DwarfNode& node : built[g].nodes) {
+          if (static_cast<size_t>(node.level) + 1 < num_dims) {
+            for (DwarfCell& cell : node.cells) cell.child += offset;
+            node.all_child += offset;
+          }
+          nodes->push_back(std::move(node));
+        }
+        DwarfCell cell;
+        cell.key = tuples_[groups[g].first].keys[split];
+        cell.child = offset + built[g].root;
+        split_cells.push_back(cell);
+      }
+      *sweep_tasks = static_cast<int>(groups.size());
+      Impl top_impl(schema_, options_);
+      return top_impl.FinishTop(tuples_.front(), split,
+                                std::move(split_cells), nodes);
+    }
+  }
+  Impl impl(schema_, options_);
+  return impl.Run(tuples_, 0, tuples_.size(), 0, nodes);
+}
+
 Result<DwarfCube> DwarfBuilder::Build(BuildProfile* profile) && {
   SCD_RETURN_IF_ERROR(schema_.Validate());
 
+  int num_threads = ResolveThreadCount(options_.num_threads);
   uint64_t source_count = tuples_.size();
   Stopwatch watch;
-  SortAndAggregate(ResolveThreadCount(options_.num_threads));
+  SortAndAggregate(num_threads);
   size_t write = tuples_.size();
   if (profile != nullptr) profile->sort_ms = watch.ElapsedMillis();
 
@@ -379,15 +536,19 @@ Result<DwarfCube> DwarfBuilder::Build(BuildProfile* profile) && {
   DwarfCube cube;
   cube.schema_ = schema_;
   cube.dictionaries_ = std::move(dictionaries_);
-  Impl impl(schema_, options_);
-  SCD_ASSIGN_OR_RETURN(cube.root_, impl.Run(tuples_, &cube.nodes_));
+  int sweep_tasks = 0;
+  SCD_ASSIGN_OR_RETURN(cube.root_,
+                       ConstructSweep(num_threads, &cube.nodes_, &sweep_tasks));
   cube.stats_.tuple_count = write;
   cube.stats_.source_tuple_count = source_count;
   CubeStats stats = cube.ComputeStats();
   stats.tuple_count = write;
   stats.source_tuple_count = source_count;
   cube.stats_ = stats;
-  if (profile != nullptr) profile->construct_ms = watch.ElapsedMillis();
+  if (profile != nullptr) {
+    profile->construct_ms = watch.ElapsedMillis();
+    profile->sweep_tasks = sweep_tasks;
+  }
   return cube;
 }
 

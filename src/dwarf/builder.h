@@ -35,12 +35,17 @@ struct BuilderOptions {
   /// suffix coalescing is enabled.
   bool enable_merge_memoization = true;
 
-  /// Threads for the Build()-time tuple sort: 0 = auto (SCDWARF_THREADS env
-  /// override, else hardware_concurrency), 1 = the exact serial path. More
-  /// than one thread sorts contiguous tuple shards concurrently and k-way
-  /// merges them with duplicate aggregation; the resulting cube is identical
-  /// to the serial one (the sort order is a total order on keys and the
-  /// aggregates are commutative), only faster.
+  /// Threads for the Build()-time tuple sort and construction sweep: 0 =
+  /// auto (SCDWARF_THREADS env override, else hardware_concurrency), 1 = the
+  /// exact serial path. More than one thread (a) sorts contiguous tuple
+  /// shards concurrently and k-way merges them with duplicate aggregation,
+  /// and (b) partitions the sorted stream into per-key subtree tasks at the
+  /// first dimension whose key varies (leading single-valued dimensions —
+  /// e.g. a one-month feed led by Month — become single-cell wrapper nodes
+  /// above the stitched split level), built concurrently and stitched under
+  /// a fresh top. The resulting cube arena is bit-identical to the serial
+  /// one for any thread count (see ConstructSweep for the invariant
+  /// argument), only faster.
   int num_threads = 0;
 };
 
@@ -48,6 +53,7 @@ struct BuilderOptions {
 struct BuildProfile {
   double sort_ms = 0;       ///< tuple sort + duplicate aggregation
   double construct_ms = 0;  ///< single-sweep DWARF construction
+  int sweep_tasks = 0;      ///< parallel subtree tasks (0 = serial sweep)
 };
 
 /// \brief Builds immutable DwarfCube instances.
@@ -98,6 +104,13 @@ class DwarfBuilder {
   /// Sorts tuples_ and merges duplicate key combinations through the
   /// aggregate, serially or via sort-shards + k-way merge.
   void SortAndAggregate(int num_threads);
+
+  /// Runs the construction sweep over the sorted tuples_ into \p nodes,
+  /// returning the root id. With more than one thread the sweep is split
+  /// into per-key subtree tasks at the first varying dimension;
+  /// \p sweep_tasks reports how many (0 for the serial sweep).
+  Result<NodeId> ConstructSweep(int num_threads, std::vector<DwarfNode>* nodes,
+                                int* sweep_tasks);
 
   CubeSchema schema_;
   BuilderOptions options_;

@@ -1,10 +1,13 @@
 #include "mapper/nosql_dwarf_mapper.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "mapper/id_map.h"
+#include "mapper/parallel_apply.h"
 #include "mapper/parallel_rows.h"
 #include "mapper/row_batcher.h"
 #include "mapper/stored_cube.h"
@@ -148,12 +151,21 @@ Result<int64_t> NoSqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
   }
 
   // Row serialization: generation (key decoding, Value construction) runs on
-  // worker threads in node chunks, application stays here in chunk order —
-  // the emitted per-table row sequences match the serial ones exactly.
+  // worker threads in node chunks; application happens in chunk order —
+  // serially here, or with more than one thread pushed onto one ordered
+  // ApplyLane per column family so the node and cell inserts overlap. Either
+  // way each table receives the exact serial row sequence.
   struct NodeCellRows {
     std::vector<Row> node_rows;
     std::vector<Row> cell_rows;
   };
+  // Statement mode stays serial: it exists to measure per-statement cost.
+  int threads = options.via_cql_statements
+                    ? 1
+                    : ResolveThreadCount(options.num_threads);
+  const bool laned = threads > 1 && !options.via_cql_statements;
+  ApplyLane node_lane(kNodeCf);
+  ApplyLane cell_lane(kCellCf);
   auto generate = [&](size_t begin, size_t end) {
     NodeCellRows out;
     out.node_rows.reserve(end - begin);
@@ -200,8 +212,30 @@ Result<int64_t> NoSqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
     return out;
   };
   auto apply = [&](NodeCellRows rows) -> Status {
+    local_stats.node_rows += rows.node_rows.size();
+    local_stats.cell_rows += rows.cell_rows.size();
+    if (laned) {
+      // std::function requires copyable callables, so the moved row chunks
+      // ride in shared_ptrs.
+      auto node_rows =
+          std::make_shared<std::vector<Row>>(std::move(rows.node_rows));
+      auto cell_rows =
+          std::make_shared<std::vector<Row>>(std::move(rows.cell_rows));
+      SCD_RETURN_IF_ERROR(node_lane.Push([&node_batch, node_rows]() -> Status {
+        for (Row& row : *node_rows) {
+          SCD_RETURN_IF_ERROR(node_batch.Add(std::move(row)));
+        }
+        return Status::OK();
+      }));
+      SCD_RETURN_IF_ERROR(cell_lane.Push([&cell_batch, cell_rows]() -> Status {
+        for (Row& row : *cell_rows) {
+          SCD_RETURN_IF_ERROR(cell_batch.Add(std::move(row)));
+        }
+        return Status::OK();
+      }));
+      return Status::OK();
+    }
     for (Row& row : rows.node_rows) {
-      ++local_stats.node_rows;
       if (options.via_cql_statements) {
         SCD_RETURN_IF_ERROR(insert_cql(kNodeCf, kNodeCols, row));
       } else {
@@ -209,7 +243,6 @@ Result<int64_t> NoSqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
       }
     }
     for (Row& row : rows.cell_rows) {
-      ++local_stats.cell_rows;
       if (options.via_cql_statements) {
         SCD_RETURN_IF_ERROR(insert_cql(kCellCf, kCellCols, row));
       } else {
@@ -218,14 +251,18 @@ Result<int64_t> NoSqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
     }
     return Status::OK();
   };
-  // Statement mode stays serial: it exists to measure per-statement cost.
-  int threads = options.via_cql_statements
-                    ? 1
-                    : ResolveThreadCount(options.num_threads);
-  SCD_RETURN_IF_ERROR(GenerateApplyChunks<NodeCellRows>(
-      threads, ids.visit_order.size(), kDefaultRowChunkItems, generate, apply));
+  Stopwatch apply_watch;
+  Status chunks_status = GenerateApplyChunks<NodeCellRows>(
+      threads, ids.visit_order.size(), kDefaultRowChunkItems, generate, apply);
+  // Join the lanes before touching the batchers they own, even on error.
+  Status node_lane_status = node_lane.Finish();
+  Status cell_lane_status = cell_lane.Finish();
+  SCD_RETURN_IF_ERROR(chunks_status);
+  SCD_RETURN_IF_ERROR(node_lane_status);
+  SCD_RETURN_IF_ERROR(cell_lane_status);
   SCD_RETURN_IF_ERROR(node_batch.Flush());
   SCD_RETURN_IF_ERROR(cell_batch.Flush());
+  local_stats.apply_ms = apply_watch.ElapsedMillis();
 
   // Metadata extension rows.
   std::vector<Row> meta_rows;
@@ -239,7 +276,9 @@ Result<int64_t> NoSqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
   // §4: "when all column families have been populated, the NoSQL store is
   // queried to determine the size of the DWARF structure and the size_as_mb
   // field ... is updated."
+  Stopwatch flush_watch;
   SCD_RETURN_IF_ERROR(db_->Flush());
+  local_stats.flush_ms = flush_watch.ElapsedMillis();
   SCD_ASSIGN_OR_RETURN(uint64_t disk_bytes, db_->DiskSizeBytes());
   uint64_t size_bytes = db_->data_dir().empty() ? db_->EstimateBytes()
                                                 : disk_bytes;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "common/parallel.h"
 #include "mapper/id_map.h"
+#include "mapper/parallel_apply.h"
 #include "mapper/parallel_rows.h"
 #include "mapper/row_batcher.h"
 #include "mapper/stored_cube.h"
@@ -165,7 +167,38 @@ Result<int64_t> SqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
     }
     return out;
   };
+  // With more than one thread each table's rows go to its own ordered
+  // ApplyLane: one worker per table applies chunks in order (byte-identical
+  // table contents), and the four tables' inserts overlap behind the
+  // engine's per-table shard locks.
+  int threads = ResolveThreadCount(num_threads_);
+  const bool laned = threads > 1;
+  ApplyLane node_lane(kNodeTable);
+  ApplyLane cell_lane(kCellTable);
+  ApplyLane node_children_lane(kNodeChildrenTable);
+  ApplyLane cell_children_lane(kCellChildrenTable);
+  auto push_rows = [](ApplyLane& lane, RowBatcher<sql::SqlEngine>& batch,
+                      std::vector<SqlRow> rows) -> Status {
+    auto shared = std::make_shared<std::vector<SqlRow>>(std::move(rows));
+    return lane.Push([&batch, shared]() -> Status {
+      for (SqlRow& row : *shared) {
+        SCD_RETURN_IF_ERROR(batch.Add(std::move(row)));
+      }
+      return Status::OK();
+    });
+  };
   auto apply = [&](SqlDwarfRows rows) -> Status {
+    if (laned) {
+      SCD_RETURN_IF_ERROR(
+          push_rows(node_lane, node_batch, std::move(rows.node_rows)));
+      SCD_RETURN_IF_ERROR(
+          push_rows(cell_lane, cell_batch, std::move(rows.cell_rows)));
+      SCD_RETURN_IF_ERROR(push_rows(node_children_lane, node_children_batch,
+                                    std::move(rows.node_children_rows)));
+      SCD_RETURN_IF_ERROR(push_rows(cell_children_lane, cell_children_batch,
+                                    std::move(rows.cell_children_rows)));
+      return Status::OK();
+    }
     for (SqlRow& row : rows.node_rows) {
       SCD_RETURN_IF_ERROR(node_batch.Add(std::move(row)));
     }
@@ -180,9 +213,19 @@ Result<int64_t> SqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
     }
     return Status::OK();
   };
-  SCD_RETURN_IF_ERROR(GenerateApplyChunks<SqlDwarfRows>(
-      ResolveThreadCount(num_threads_), n, kDefaultRowChunkItems, generate,
-      apply));
+  Status chunks_status = GenerateApplyChunks<SqlDwarfRows>(
+      threads, n, kDefaultRowChunkItems, generate, apply);
+  // Join the lanes before touching the batchers they own, even on error.
+  Status lane_status = node_lane.Finish();
+  if (Status s = cell_lane.Finish(); lane_status.ok()) lane_status = s;
+  if (Status s = node_children_lane.Finish(); lane_status.ok()) {
+    lane_status = s;
+  }
+  if (Status s = cell_children_lane.Finish(); lane_status.ok()) {
+    lane_status = s;
+  }
+  SCD_RETURN_IF_ERROR(chunks_status);
+  SCD_RETURN_IF_ERROR(lane_status);
   SCD_RETURN_IF_ERROR(node_batch.Flush());
   SCD_RETURN_IF_ERROR(cell_batch.Flush());
   SCD_RETURN_IF_ERROR(node_children_batch.Flush());

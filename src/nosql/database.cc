@@ -1,8 +1,13 @@
 #include "nosql/database.h"
 
 #include <cctype>
+#include <condition_variable>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <thread>
+#include <utility>
 
 namespace scdwarf::nosql {
 
@@ -54,6 +59,102 @@ std::string SanitizeName(const std::string& name) {
 
 }  // namespace
 
+/// \brief Background segment serializer: one worker thread drains a bounded
+/// queue of (keyspace, table) flush jobs.
+///
+/// Enqueue() blocks while the queue is full (back-pressure against an
+/// ingester outrunning the disk), Wait() blocks until the queue and any
+/// in-flight job drain and reports the first error since the last barrier.
+/// The destructor drains remaining jobs before joining, so no accepted
+/// flush is ever dropped.
+class Database::Flusher {
+ public:
+  explicit Flusher(Database* db) : db_(db), worker_([this] { Loop(); }) {}
+
+  ~Flusher() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    space_.notify_all();
+    worker_.join();
+  }
+
+  Status Enqueue(const std::string& keyspace, const std::string& table) {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_.wait(lock,
+                [this] { return queue_.size() < kCapacity || stopping_; });
+    if (stopping_) return Status::FailedPrecondition("flusher is stopping");
+    queue_.emplace_back(keyspace, table);
+    ++in_flight_;
+    wake_.notify_all();
+    return Status::OK();
+  }
+
+  Status Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_.wait(lock, [this] { return in_flight_ == 0; });
+    Status first = std::move(first_error_);
+    first_error_ = Status::OK();
+    return first;
+  }
+
+ private:
+  /// Bounded queue depth: enough to overlap serialization with ingestion,
+  /// small enough that back-pressure caps memory held in pending jobs.
+  static constexpr size_t kCapacity = 8;
+
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, and fully drained
+      std::pair<std::string, std::string> job = std::move(queue_.front());
+      queue_.pop_front();
+      space_.notify_all();
+      lock.unlock();
+      Status status = db_->FlushTableNow(job.first, job.second);
+      lock.lock();
+      if (!status.ok() && first_error_.ok()) first_error_ = std::move(status);
+      if (--in_flight_ == 0) drained_.notify_all();
+    }
+  }
+
+  Database* db_;
+  std::mutex mu_;
+  std::condition_variable wake_;     ///< worker: work available or stopping
+  std::condition_variable space_;    ///< producers: queue has room
+  std::condition_variable drained_;  ///< barrier: all jobs completed
+  std::deque<std::pair<std::string, std::string>> queue_;
+  size_t in_flight_ = 0;  ///< queued + currently running
+  bool stopping_ = false;
+  Status first_error_;
+  std::thread worker_;  // last member: starts after the state above exists
+};
+
+Database::Database() : sync_(std::make_unique<Sync>()) {}
+
+Database::~Database() = default;  // ~Flusher drains + joins first
+
+Database::Database(Database&& other) noexcept {
+  other.flusher_.reset();  // drain + join: the worker holds &other
+  data_dir_ = std::move(other.data_dir_);
+  keyspaces_ = std::move(other.keyspaces_);
+  sync_ = std::move(other.sync_);
+}
+
+Database& Database::operator=(Database&& other) noexcept {
+  if (this != &other) {
+    flusher_.reset();
+    other.flusher_.reset();
+    data_dir_ = std::move(other.data_dir_);
+    keyspaces_ = std::move(other.keyspaces_);
+    sync_ = std::move(other.sync_);
+  }
+  return *this;
+}
+
 Result<Database> Database::Open(const std::string& data_dir) {
   if (data_dir.empty()) {
     return Status::InvalidArgument("data_dir must not be empty; "
@@ -88,8 +189,14 @@ Result<Database> Database::Open(const std::string& data_dir) {
   return db;
 }
 
+bool Database::HasKeyspace(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
+  return keyspaces_.count(name) > 0;
+}
+
 Status Database::CreateKeyspace(const std::string& name) {
   if (name.empty()) return Status::InvalidArgument("empty keyspace name");
+  std::unique_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   if (keyspaces_.count(name) > 0) {
     return Status::AlreadyExists("keyspace '" + name + "' already exists");
   }
@@ -99,6 +206,7 @@ Status Database::CreateKeyspace(const std::string& name) {
 
 Status Database::CreateTable(const TableSchema& schema) {
   SCD_RETURN_IF_ERROR(schema.Validate());
+  std::unique_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   auto ks = keyspaces_.find(schema.keyspace());
   if (ks == keyspaces_.end()) {
     return Status::NotFound("keyspace '" + schema.keyspace() + "' does not exist");
@@ -113,6 +221,7 @@ Status Database::CreateTable(const TableSchema& schema) {
 
 Status Database::DropTable(const std::string& keyspace,
                            const std::string& table) {
+  std::unique_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   auto ks = keyspaces_.find(keyspace);
   if (ks == keyspaces_.end() || ks->second.erase(table) == 0) {
     return Status::NotFound("table " + keyspace + "." + table +
@@ -129,11 +238,13 @@ Status Database::CreateIndex(const std::string& keyspace,
                              const std::string& table,
                              const std::string& column) {
   SCD_ASSIGN_OR_RETURN(Table * t, GetTable(keyspace, table));
+  std::lock_guard<std::mutex> lock(TableLock(keyspace, table));
   return t->CreateIndex(column);
 }
 
 Result<Table*> Database::GetTable(const std::string& keyspace,
                                   const std::string& table) {
+  std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   auto ks = keyspaces_.find(keyspace);
   if (ks == keyspaces_.end()) {
     return Status::NotFound("keyspace '" + keyspace + "' does not exist");
@@ -157,8 +268,10 @@ Status Database::Insert(const std::string& keyspace, const std::string& table,
                         Row row) {
   SCD_ASSIGN_OR_RETURN(Table * t, GetTable(keyspace, table));
   if (!data_dir_.empty()) {
+    std::lock_guard<std::mutex> log_lock(sync_->log_mu);
     SCD_RETURN_IF_ERROR(AppendToCommitLog(keyspace, table, {row}));
   }
+  std::lock_guard<std::mutex> lock(TableLock(keyspace, table));
   return t->Insert(std::move(row));
 }
 
@@ -166,8 +279,10 @@ Status Database::BulkInsert(const std::string& keyspace,
                             const std::string& table, std::vector<Row> rows) {
   SCD_ASSIGN_OR_RETURN(Table * t, GetTable(keyspace, table));
   if (!data_dir_.empty()) {
+    std::lock_guard<std::mutex> log_lock(sync_->log_mu);
     SCD_RETURN_IF_ERROR(AppendToCommitLog(keyspace, table, rows));
   }
+  std::lock_guard<std::mutex> lock(TableLock(keyspace, table));
   t->ReserveAdditional(rows.size());
   for (Row& row : rows) {
     SCD_RETURN_IF_ERROR(t->Insert(std::move(row)));
@@ -189,9 +304,11 @@ Status Database::BulkDelete(const std::string& keyspace,
     std::vector<Row> key_rows;
     key_rows.reserve(keys.size());
     for (const Value& key : keys) key_rows.push_back({key});
+    std::lock_guard<std::mutex> log_lock(sync_->log_mu);
     SCD_RETURN_IF_ERROR(
         AppendToCommitLog(keyspace, table, key_rows, /*is_delete=*/true));
   }
+  std::lock_guard<std::mutex> lock(TableLock(keyspace, table));
   for (const Value& key : keys) {
     SCD_RETURN_IF_ERROR(t->DeleteByPk(key));
   }
@@ -200,20 +317,86 @@ Status Database::BulkDelete(const std::string& keyspace,
 
 Status Database::Flush() {
   if (data_dir_.empty()) return Status::OK();
-  for (const auto& [keyspace, tables] : keyspaces_) {
-    std::error_code ec;
-    fs::create_directories(fs::path(data_dir_) / SanitizeName(keyspace), ec);
-    if (ec) return Status::IoError("cannot create keyspace dir: " + ec.message());
-    for (const auto& [name, table] : tables) {
-      ByteWriter writer;
-      table->SerializeTo(&writer);
-      SCD_RETURN_IF_ERROR(
-          WriteFileAtomic(SegmentPath(keyspace, name), writer.data()));
+  std::vector<std::pair<std::string, std::string>> jobs;
+  {
+    std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
+    for (const auto& [keyspace, tables] : keyspaces_) {
+      // Keyspace directories are created even when empty so a reopen
+      // rediscovers the keyspace.
+      std::error_code ec;
+      fs::create_directories(fs::path(data_dir_) / SanitizeName(keyspace), ec);
+      if (ec) {
+        return Status::IoError("cannot create keyspace dir: " + ec.message());
+      }
+      for (const auto& [name, table] : tables) jobs.emplace_back(keyspace, name);
     }
   }
+  for (const auto& [keyspace, name] : jobs) {
+    SCD_RETURN_IF_ERROR(FlushTableAsync(keyspace, name));
+  }
+  SCD_RETURN_IF_ERROR(WaitFlushed());
   std::error_code ec;
   fs::remove(CommitLogPath(), ec);
   return Status::OK();
+}
+
+Status Database::FlushTableAsync(const std::string& keyspace,
+                                 const std::string& table) {
+  if (data_dir_.empty()) return Status::OK();
+  Flusher* flusher = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(sync_->flusher_mu);
+    if (flusher_ == nullptr) flusher_ = std::make_unique<Flusher>(this);
+    flusher = flusher_.get();
+  }
+  return flusher->Enqueue(keyspace, table);
+}
+
+Status Database::WaitFlushed() {
+  Flusher* flusher = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(sync_->flusher_mu);
+    flusher = flusher_.get();
+  }
+  if (flusher == nullptr) return Status::OK();
+  return flusher->Wait();
+}
+
+Status Database::FlushTableNow(const std::string& keyspace,
+                               const std::string& table) {
+  Table* t = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
+    auto ks = keyspaces_.find(keyspace);
+    if (ks == keyspaces_.end()) return Status::OK();  // dropped since enqueue
+    auto it = ks->second.find(table);
+    if (it == ks->second.end()) return Status::OK();
+    t = it->second.get();
+  }
+  ByteWriter writer;
+  uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(TableLock(keyspace, table));
+    version = t->mutation_version();
+    if (version == t->flushed_version()) return Status::OK();  // clean
+    t->SerializeTo(&writer);
+  }
+  std::error_code ec;
+  fs::create_directories(fs::path(data_dir_) / SanitizeName(keyspace), ec);
+  if (ec) {
+    return Status::IoError("cannot create keyspace dir: " + ec.message());
+  }
+  SCD_RETURN_IF_ERROR(
+      WriteFileAtomic(SegmentPath(keyspace, table), writer.data()));
+  t->MarkFlushed(version);
+  return Status::OK();
+}
+
+std::mutex& Database::TableLock(const std::string& keyspace,
+                                const std::string& table) const {
+  size_t h = std::hash<std::string>()(keyspace) * 1000003u ^
+             std::hash<std::string>()(table);
+  return sync_->table_shards[h % kTableLockShards];
 }
 
 Result<uint64_t> Database::DiskSizeBytes() const {
@@ -230,6 +413,7 @@ Result<uint64_t> Database::DiskSizeBytes() const {
 
 uint64_t Database::EstimateBytes() const {
   uint64_t total = 0;
+  std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   for (const auto& [keyspace, tables] : keyspaces_) {
     for (const auto& [name, table] : tables) {
       total += table->EstimateSegmentBytes();
@@ -240,6 +424,7 @@ uint64_t Database::EstimateBytes() const {
 
 Result<std::vector<std::string>> Database::ListTables(
     const std::string& keyspace) const {
+  std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   auto ks = keyspaces_.find(keyspace);
   if (ks == keyspaces_.end()) {
     return Status::NotFound("keyspace '" + keyspace + "' does not exist");

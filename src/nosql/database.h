@@ -7,8 +7,11 @@
 #ifndef SCDWARF_NOSQL_DATABASE_H_
 #define SCDWARF_NOSQL_DATABASE_H_
 
+#include <array>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "common/result.h"
@@ -22,21 +25,32 @@ namespace scdwarf::nosql {
 /// before being applied, Flush() writes one segment file per column family,
 /// and Open() reloads segments then replays any unflushed log tail. Without a
 /// directory the store is purely in-memory (used by unit tests).
+///
+/// Concurrency: mutations from different threads are safe and serialize
+/// behind a fixed pool of per-table shard locks (catalog changes — create /
+/// drop — take the catalog lock exclusively). Reads concurrent with writes
+/// to the *same* table are not synchronized; callers partition work so one
+/// table has one writer at a time or accept shard-lock serialization.
+/// FlushTableAsync() hands segment serialization to a background flusher
+/// thread with a bounded queue; WaitFlushed() is the completion barrier.
 class Database {
  public:
   /// In-memory database.
-  Database() = default;
+  Database();
+  ~Database();
 
   /// Creates or opens a durable database rooted at \p data_dir.
   static Result<Database> Open(const std::string& data_dir);
 
-  Database(Database&&) noexcept = default;
-  Database& operator=(Database&&) noexcept = default;
+  /// Moving drains and stops both databases' flusher threads first (they
+  /// hold back-pointers); the flusher restarts lazily on the next async
+  /// flush. Concurrent use of a Database while it is being moved is UB, as
+  /// for any standard type.
+  Database(Database&&) noexcept;
+  Database& operator=(Database&&) noexcept;
 
   Status CreateKeyspace(const std::string& name);
-  bool HasKeyspace(const std::string& name) const {
-    return keyspaces_.count(name) > 0;
-  }
+  bool HasKeyspace(const std::string& name) const;
 
   /// Creates a column family. The keyspace must exist.
   Status CreateTable(const TableSchema& schema);
@@ -66,8 +80,21 @@ class Database {
                     const std::vector<Value>& keys);
 
   /// Writes all column families to segment files and truncates the commit
-  /// log. No-op in memory mode.
+  /// log. No-op in memory mode. Internally enqueues every table on the
+  /// background flusher and waits for the barrier, so tables untouched since
+  /// their last flush are skipped.
   Status Flush();
+
+  /// Queues one column family for serialization on the background flusher
+  /// thread and returns once the job is accepted (blocking only while the
+  /// bounded queue is full). Clean tables — no mutations since their last
+  /// flush — are skipped when the job runs. No-op in memory mode.
+  Status FlushTableAsync(const std::string& keyspace, const std::string& table);
+
+  /// Blocks until every queued async flush has completed and returns the
+  /// first flush error since the last barrier (OK when none, or when no
+  /// flush was ever queued).
+  Status WaitFlushed();
 
   /// Bytes on disk: segment files plus commit-log tail. Zero in memory mode.
   Result<uint64_t> DiskSizeBytes() const;
@@ -81,6 +108,19 @@ class Database {
   const std::string& data_dir() const { return data_dir_; }
 
  private:
+  class Flusher;
+
+  static constexpr size_t kTableLockShards = 16;
+
+  /// Lock state lives behind one heap allocation so the Database itself
+  /// stays movable (mutexes are neither movable nor copyable).
+  struct Sync {
+    std::shared_mutex catalog_mu;  ///< keyspaces_ map shape
+    std::array<std::mutex, kTableLockShards> table_shards;  ///< row contents
+    std::mutex log_mu;      ///< commit-log appends
+    std::mutex flusher_mu;  ///< lazy flusher creation
+  };
+
   Status AppendToCommitLog(const std::string& keyspace, const std::string& table,
                            const std::vector<Row>& rows, bool is_delete = false);
   Status ReplayCommitLog();
@@ -88,9 +128,20 @@ class Database {
                           const std::string& table) const;
   std::string CommitLogPath() const;
 
+  /// The shard lock guarding (keyspace, table)'s row contents.
+  std::mutex& TableLock(const std::string& keyspace,
+                        const std::string& table) const;
+
+  /// Serializes one column family to its segment file (runs on the flusher
+  /// thread). Tables dropped since enqueue, or clean since their last
+  /// flush, are skipped.
+  Status FlushTableNow(const std::string& keyspace, const std::string& table);
+
   std::string data_dir_;  // empty => in-memory
   std::map<std::string, std::map<std::string, std::unique_ptr<Table>>>
       keyspaces_;
+  std::unique_ptr<Sync> sync_;
+  std::unique_ptr<Flusher> flusher_;  // created lazily by FlushTableAsync
 };
 
 }  // namespace scdwarf::nosql

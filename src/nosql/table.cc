@@ -91,6 +91,7 @@ Status Table::Insert(Row row) {
     UnindexRow(slot);
     rows_[slot] = std::move(row);
     IndexRow(slot);
+    BumpVersion();
     return Status::OK();
   }
   size_t slot = rows_.size();
@@ -98,6 +99,7 @@ Status Table::Insert(Row row) {
   live_.push_back(true);
   ++live_count_;
   IndexRow(slot);
+  BumpVersion();
   return Status::OK();
 }
 
@@ -110,6 +112,7 @@ Status Table::CreateIndex(std::string_view column) {
       WriteIndexEntry(&entries, rows_[slot][index], rows_[slot][pk_index_]);
     }
   }
+  BumpVersion();
   return Status::OK();
 }
 
@@ -126,6 +129,7 @@ Status Table::DeleteByPk(const Value& key) {
   rows_[slot].clear();
   rows_[slot].shrink_to_fit();
   --live_count_;
+  BumpVersion();
   return Status::OK();
 }
 

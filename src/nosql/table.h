@@ -6,6 +6,7 @@
 #ifndef SCDWARF_NOSQL_TABLE_H_
 #define SCDWARF_NOSQL_TABLE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -70,7 +71,31 @@ class Table {
   /// Inverse of SerializeTo.
   static Result<std::unique_ptr<Table>> Deserialize(ByteReader* reader);
 
+  /// Monotonic mutation counter, bumped by every successful Insert /
+  /// DeleteByPk / CreateIndex. The async flusher compares it against
+  /// flushed_version() to skip serializing tables whose last flush already
+  /// captured every mutation.
+  uint64_t mutation_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// The mutation version the last completed flush captured (0 = never
+  /// flushed; a fresh table therefore starts dirty).
+  uint64_t flushed_version() const {
+    return flushed_version_.load(std::memory_order_acquire);
+  }
+
+  /// Records that a serialization taken at \p version reached disk.
+  /// Monotonic: out-of-order completions keep the maximum.
+  void MarkFlushed(uint64_t version) {
+    uint64_t seen = flushed_version_.load(std::memory_order_relaxed);
+    while (seen < version && !flushed_version_.compare_exchange_weak(
+                                 seen, version, std::memory_order_acq_rel)) {
+    }
+  }
+
  private:
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
   Status ValidateRow(const Row& row) const;
   void IndexRow(size_t row_index);
   void UnindexRow(size_t row_index);
@@ -94,6 +119,8 @@ class Table {
   /// attributes NoSQL-Min's insert times to. Reads resolve entries back
   /// through the primary index, like Cassandra's 2i read path.
   std::map<size_t, std::multimap<Value, Row>> secondary_;
+  std::atomic<uint64_t> version_{1};  // starts above flushed_version_: dirty
+  std::atomic<uint64_t> flushed_version_{0};
 };
 
 }  // namespace scdwarf::nosql

@@ -60,17 +60,22 @@ void TcpServer::AcceptLoop() {
       if (errno == EINTR) continue;
       break;  // listener shut down (or unrecoverable error): stop accepting
     }
+    // Reap before registering so the connection table never grows past
+    // live connections + the ones that finished since the last accept.
+    ReapFinishedConnections();
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
       break;
     }
-    connection_fds_.push_back(fd);
-    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    uint64_t id = next_connection_id_++;
+    Connection& conn = connections_[id];
+    conn.fd = fd;
+    conn.thread = std::thread([this, id, fd] { ServeConnection(id, fd); });
   }
 }
 
-void TcpServer::ServeConnection(int fd) {
+void TcpServer::ServeConnection(uint64_t id, int fd) {
   while (!stopping_.load(std::memory_order_acquire)) {
     Result<std::string> frame = ReadFrame(fd, max_frame_bytes_);
     if (!frame.ok()) break;  // clean EOF, oversized frame, or read error
@@ -78,6 +83,33 @@ void TcpServer::ServeConnection(int fd) {
     if (!WriteFrame(fd, response).ok()) break;
   }
   ::shutdown(fd, SHUT_RDWR);
+  // Self-register as finished; the next reap joins this thread and closes
+  // the socket (the fd stays open until then — no reuse race).
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_.push_back(id);
+}
+
+size_t TcpServer::ReapFinishedConnections() {
+  std::vector<std::thread> done_threads;
+  std::vector<int> done_fds;
+  size_t live = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t id : finished_) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;  // already taken by Stop()
+      done_threads.push_back(std::move(it->second.thread));
+      done_fds.push_back(it->second.fd);
+      connections_.erase(it);
+    }
+    finished_.clear();
+    live = connections_.size();
+  }
+  for (std::thread& thread : done_threads) {
+    if (thread.joinable()) thread.join();
+  }
+  for (int fd : done_fds) ::close(fd);
+  return live;
 }
 
 void TcpServer::Stop() {
@@ -87,18 +119,19 @@ void TcpServer::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  std::vector<std::thread> threads;
-  std::vector<int> fds;
+  std::map<uint64_t, Connection> connections;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    threads.swap(connection_threads_);
-    fds.swap(connection_fds_);
+    connections.swap(connections_);
+    finished_.clear();
   }
-  for (int fd : fds) ::shutdown(fd, SHUT_RDWR);  // unblocks pending reads
-  for (std::thread& thread : threads) {
-    if (thread.joinable()) thread.join();
+  for (auto& [id, conn] : connections) {
+    ::shutdown(conn.fd, SHUT_RDWR);  // unblocks pending reads
   }
-  for (int fd : fds) ::close(fd);
+  for (auto& [id, conn] : connections) {
+    if (conn.thread.joinable()) conn.thread.join();
+  }
+  for (auto& [id, conn] : connections) ::close(conn.fd);
 }
 
 }  // namespace scdwarf::server

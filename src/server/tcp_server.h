@@ -9,7 +9,9 @@
 #define SCDWARF_SERVER_TCP_SERVER_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -42,9 +44,23 @@ class TcpServer {
   /// threads. Idempotent; also run by the destructor.
   void Stop();
 
+  /// Joins and forgets threads of connections that already closed. Each
+  /// connection thread registers itself as finished on exit and the accept
+  /// loop reaps before registering every new connection, so a long-lived
+  /// server with many short connections holds O(live) thread handles, not
+  /// O(ever accepted). Exposed so idle callers (and tests) can trigger a
+  /// sweep directly; returns the number of connections still being served.
+  size_t ReapFinishedConnections();
+
  private:
+  /// One accepted connection: its socket and its serving thread.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+  };
+
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(uint64_t id, int fd);
 
   QueryServer* server_;
   size_t max_frame_bytes_;
@@ -52,9 +68,10 @@ class TcpServer {
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  std::mutex mu_;  ///< guards connection_threads_ + connection_fds_
-  std::vector<std::thread> connection_threads_;
-  std::vector<int> connection_fds_;
+  std::mutex mu_;  ///< guards connections_, finished_, next_connection_id_
+  uint64_t next_connection_id_ = 0;
+  std::map<uint64_t, Connection> connections_;
+  std::vector<uint64_t> finished_;  ///< ids whose serving thread has exited
 };
 
 }  // namespace scdwarf::server

@@ -385,17 +385,10 @@ std::string MakeErrorPayload(const Status& status) {
   return json::SerializeJson(JsonValue(std::move(payload)));
 }
 
-Status WriteFrame(int fd, std::string_view payload) {
-  unsigned char header[4] = {
-      static_cast<unsigned char>((payload.size() >> 24) & 0xff),
-      static_cast<unsigned char>((payload.size() >> 16) & 0xff),
-      static_cast<unsigned char>((payload.size() >> 8) & 0xff),
-      static_cast<unsigned char>(payload.size() & 0xff)};
-  std::string frame(reinterpret_cast<char*>(header), sizeof(header));
-  frame.append(payload);
+Status WriteFull(int fd, const char* data, size_t size) {
   size_t written = 0;
-  while (written < frame.size()) {
-    ssize_t n = ::write(fd, frame.data() + written, frame.size() - written);
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::IoError("frame write failed: " +
@@ -406,10 +399,6 @@ Status WriteFrame(int fd, std::string_view payload) {
   return Status::OK();
 }
 
-namespace {
-
-/// Reads up to \p size bytes, stopping early only at EOF. Returns the number
-/// of bytes actually read (== size unless EOF arrived first).
 Result<size_t> ReadFull(int fd, char* data, size_t size) {
   size_t done = 0;
   while (done < size) {
@@ -425,7 +414,16 @@ Result<size_t> ReadFull(int fd, char* data, size_t size) {
   return done;
 }
 
-}  // namespace
+Status WriteFrame(int fd, std::string_view payload) {
+  unsigned char header[4] = {
+      static_cast<unsigned char>((payload.size() >> 24) & 0xff),
+      static_cast<unsigned char>((payload.size() >> 16) & 0xff),
+      static_cast<unsigned char>((payload.size() >> 8) & 0xff),
+      static_cast<unsigned char>(payload.size() & 0xff)};
+  std::string frame(reinterpret_cast<char*>(header), sizeof(header));
+  frame.append(payload);
+  return WriteFull(fd, frame.data(), frame.size());
+}
 
 Result<std::string> ReadFrame(int fd, size_t max_frame_bytes) {
   char header[4];

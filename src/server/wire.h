@@ -104,6 +104,16 @@ std::string MakeResponse(bool ok, uint64_t epoch, bool cached,
 /// \brief Payload for a failed request: {"code":<slug>,"error":<message>}.
 std::string MakeErrorPayload(const Status& status);
 
+/// \brief Writes exactly \p size bytes to \p fd, looping over short writes
+/// and retrying on EINTR — a signal delivered mid-write must not tear a
+/// frame or surface as a spurious IoError.
+Status WriteFull(int fd, const char* data, size_t size);
+
+/// \brief Reads up to \p size bytes from \p fd, stopping early only at EOF
+/// and retrying on EINTR. Returns the number of bytes actually read
+/// (== \p size unless EOF arrived first).
+Result<size_t> ReadFull(int fd, char* data, size_t size);
+
 /// \brief Writes one frame (4-byte big-endian length + payload) to \p fd.
 Status WriteFrame(int fd, std::string_view payload);
 

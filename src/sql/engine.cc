@@ -4,8 +4,10 @@
 #include <unistd.h>
 
 #include <cctype>
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 
 namespace scdwarf::sql {
 
@@ -90,8 +92,14 @@ Result<SqlEngine> SqlEngine::Open(const std::string& data_dir) {
   return engine;
 }
 
+bool SqlEngine::HasDatabase(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
+  return databases_.count(name) > 0;
+}
+
 Status SqlEngine::CreateDatabase(const std::string& name) {
   if (name.empty()) return Status::InvalidArgument("empty database name");
+  std::unique_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   if (databases_.count(name) > 0) {
     return Status::AlreadyExists("database '" + name + "' already exists");
   }
@@ -101,6 +109,7 @@ Status SqlEngine::CreateDatabase(const std::string& name) {
 
 Status SqlEngine::CreateTable(const SqlTableDef& def) {
   SCD_RETURN_IF_ERROR(def.Validate());
+  std::unique_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   auto db = databases_.find(def.database());
   if (db == databases_.end()) {
     return Status::NotFound("database '" + def.database() + "' does not exist");
@@ -115,6 +124,7 @@ Status SqlEngine::CreateTable(const SqlTableDef& def) {
 
 Status SqlEngine::DropTable(const std::string& database,
                             const std::string& table) {
+  std::unique_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   auto db = databases_.find(database);
   if (db == databases_.end() || db->second.erase(table) == 0) {
     return Status::NotFound("table " + database + "." + table +
@@ -131,11 +141,13 @@ Status SqlEngine::CreateIndex(const std::string& database,
                               const std::string& table,
                               const std::string& column) {
   SCD_ASSIGN_OR_RETURN(HeapTable * t, GetTable(database, table));
+  std::lock_guard<std::mutex> lock(TableLock(database, table));
   return t->CreateIndex(column);
 }
 
 Result<HeapTable*> SqlEngine::GetTable(const std::string& database,
                                        const std::string& table) {
+  std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   auto db = databases_.find(database);
   if (db == databases_.end()) {
     return Status::NotFound("database '" + database + "' does not exist");
@@ -159,8 +171,10 @@ Status SqlEngine::Insert(const std::string& database, const std::string& table,
                          SqlRow row) {
   SCD_ASSIGN_OR_RETURN(HeapTable * t, GetTable(database, table));
   if (!data_dir_.empty()) {
+    std::lock_guard<std::mutex> log_lock(sync_->log_mu);
     SCD_RETURN_IF_ERROR(AppendToRedoLog(database, table, {row}));
   }
+  std::lock_guard<std::mutex> lock(TableLock(database, table));
   return t->Insert(std::move(row));
 }
 
@@ -169,8 +183,10 @@ Status SqlEngine::BulkInsert(const std::string& database,
                              std::vector<SqlRow> rows) {
   SCD_ASSIGN_OR_RETURN(HeapTable * t, GetTable(database, table));
   if (!data_dir_.empty()) {
+    std::lock_guard<std::mutex> log_lock(sync_->log_mu);
     SCD_RETURN_IF_ERROR(AppendToRedoLog(database, table, rows));
   }
+  std::lock_guard<std::mutex> lock(TableLock(database, table));
   for (SqlRow& row : rows) {
     SCD_RETURN_IF_ERROR(t->Insert(std::move(row)));
   }
@@ -190,9 +206,11 @@ Status SqlEngine::BulkDelete(const std::string& database,
     std::vector<SqlRow> key_rows;
     key_rows.reserve(keys.size());
     for (const Value& key : keys) key_rows.push_back({key});
+    std::lock_guard<std::mutex> log_lock(sync_->log_mu);
     SCD_RETURN_IF_ERROR(
         AppendToRedoLog(database, table, key_rows, /*is_delete=*/true));
   }
+  std::lock_guard<std::mutex> lock(TableLock(database, table));
   for (const Value& key : keys) {
     SCD_RETURN_IF_ERROR(t->DeleteByPk(key));
   }
@@ -200,6 +218,7 @@ Status SqlEngine::BulkDelete(const std::string& database,
 }
 
 Status SqlEngine::Flush() {
+  std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   if (data_dir_.empty()) {
     for (const auto& [database, tables] : databases_) {
       for (const auto& [name, table] : tables) table->CommitTransaction();
@@ -242,6 +261,7 @@ Result<uint64_t> SqlEngine::DiskSizeBytes() const {
 
 uint64_t SqlEngine::EstimateBytes() const {
   uint64_t total = 0;
+  std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   for (const auto& [database, tables] : databases_) {
     for (const auto& [name, table] : tables) {
       total += table->EstimateTablespaceBytes();
@@ -252,6 +272,7 @@ uint64_t SqlEngine::EstimateBytes() const {
 
 Result<std::vector<std::string>> SqlEngine::ListTables(
     const std::string& database) const {
+  std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   auto db = databases_.find(database);
   if (db == databases_.end()) {
     return Status::NotFound("database '" + database + "' does not exist");
@@ -271,6 +292,13 @@ std::string SqlEngine::TablespacePath(const std::string& database,
 
 std::string SqlEngine::RedoLogPath() const {
   return (fs::path(data_dir_) / "redolog.bin").string();
+}
+
+std::mutex& SqlEngine::TableLock(const std::string& database,
+                                 const std::string& table) const {
+  size_t h = std::hash<std::string>()(database) * 1000003u ^
+             std::hash<std::string>()(table);
+  return sync_->table_shards[h % kTableLockShards];
 }
 
 Status SqlEngine::AppendToRedoLog(const std::string& database,
@@ -294,10 +322,22 @@ Status SqlEngine::AppendToRedoLog(const std::string& database,
   if (fd < 0) return Status::IoError("cannot open redo log");
   ByteWriter framed;
   framed.PutU32(static_cast<uint32_t>(writer.size()));
-  bool ok = ::write(fd, framed.data().data(), framed.size()) ==
-                static_cast<ssize_t>(framed.size()) &&
-            ::write(fd, writer.data().data(), writer.size()) ==
-                static_cast<ssize_t>(writer.size());
+  // Loop on short writes and EINTR: a signal delivered mid-append must not
+  // turn into a torn redo record or a spurious IoError.
+  auto write_full = [fd](const uint8_t* data, size_t size) {
+    size_t written = 0;
+    while (written < size) {
+      ssize_t n = ::write(fd, data + written, size - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      written += static_cast<size_t>(n);
+    }
+    return true;
+  };
+  bool ok = write_full(framed.data().data(), framed.size()) &&
+            write_full(writer.data().data(), writer.size());
   ok = ok && ::fsync(fd) == 0;
   ::close(fd);
   if (!ok) return Status::IoError("short write to redo log");

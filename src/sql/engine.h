@@ -6,8 +6,11 @@
 #ifndef SCDWARF_SQL_ENGINE_H_
 #define SCDWARF_SQL_ENGINE_H_
 
+#include <array>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "common/result.h"
@@ -20,6 +23,12 @@ namespace scdwarf::sql {
 /// With a data directory, mutation batches append to a redo log before being
 /// applied, Flush() writes one tablespace file per table and truncates the
 /// log, Open() reloads tablespaces then replays any unflushed log tail.
+///
+/// Concurrency: mirrors nosql::Database — mutations from different threads
+/// serialize behind a fixed pool of per-table shard locks, catalog changes
+/// take the catalog lock exclusively, and redo-log appends serialize behind
+/// a dedicated log lock. Reads concurrent with writes to the same table are
+/// not synchronized.
 class SqlEngine {
  public:
   /// In-memory engine.
@@ -32,9 +41,7 @@ class SqlEngine {
   SqlEngine& operator=(SqlEngine&&) noexcept = default;
 
   Status CreateDatabase(const std::string& name);
-  bool HasDatabase(const std::string& name) const {
-    return databases_.count(name) > 0;
-  }
+  bool HasDatabase(const std::string& name) const;
 
   Status CreateTable(const SqlTableDef& def);
   Status DropTable(const std::string& database, const std::string& table);
@@ -70,6 +77,16 @@ class SqlEngine {
   const std::string& data_dir() const { return data_dir_; }
 
  private:
+  static constexpr size_t kTableLockShards = 16;
+
+  /// Lock state lives behind one heap allocation so the engine itself stays
+  /// movable (mutexes are neither movable nor copyable).
+  struct Sync {
+    std::shared_mutex catalog_mu;  ///< databases_ map shape
+    std::array<std::mutex, kTableLockShards> table_shards;  ///< row contents
+    std::mutex log_mu;  ///< redo-log appends
+  };
+
   Status AppendToRedoLog(const std::string& database, const std::string& table,
                          const std::vector<SqlRow>& rows,
                          bool is_delete = false);
@@ -78,9 +95,14 @@ class SqlEngine {
                              const std::string& table) const;
   std::string RedoLogPath() const;
 
+  /// The shard lock guarding (database, table)'s row contents.
+  std::mutex& TableLock(const std::string& database,
+                        const std::string& table) const;
+
   std::string data_dir_;
   std::map<std::string, std::map<std::string, std::unique_ptr<HeapTable>>>
       databases_;
+  std::unique_ptr<Sync> sync_ = std::make_unique<Sync>();
 };
 
 }  // namespace scdwarf::sql

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <set>
 
 #include "common/bytes.h"
 #include "common/hash.h"
+#include "common/histogram.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -309,6 +311,90 @@ TEST(RngTest, NextDoubleInUnitInterval) {
     double v = rng.NextDouble();
     EXPECT_GE(v, 0.0);
     EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(FixedBucketHistogramTest, EmptyHistogramReportsZero) {
+  FixedBucketHistogram hist({1.0, 10.0, 100.0});
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.min(), 0.0);
+  EXPECT_EQ(hist.max(), 0.0);
+  EXPECT_EQ(hist.Quantile(0.0), 0.0);
+  EXPECT_EQ(hist.Quantile(0.5), 0.0);
+  EXPECT_EQ(hist.Quantile(1.0), 0.0);
+}
+
+TEST(FixedBucketHistogramTest, ExtremeQuantilesAreExactMinMax) {
+  FixedBucketHistogram hist({1.0, 10.0, 100.0});
+  hist.Record(3.0);
+  hist.Record(7.0);
+  hist.Record(42.0);
+  EXPECT_EQ(hist.min(), 3.0);
+  EXPECT_EQ(hist.max(), 42.0);
+  EXPECT_EQ(hist.Quantile(0.0), 3.0);
+  EXPECT_EQ(hist.Quantile(1.0), 42.0);
+  // Out-of-range q is clamped, not an error.
+  EXPECT_EQ(hist.Quantile(-0.5), 3.0);
+  EXPECT_EQ(hist.Quantile(2.0), 42.0);
+}
+
+TEST(FixedBucketHistogramTest, OverflowBucketRanksReportLargestSample) {
+  FixedBucketHistogram hist({1.0, 10.0});
+  hist.Record(500.0);
+  hist.Record(900.0);
+  // Every rank lands in the overflow bucket; the estimate must not fall
+  // below the samples it summarizes (the old behavior reported the last
+  // finite bound, 10).
+  EXPECT_EQ(hist.Quantile(0.5), 900.0);
+  auto snapshot = hist.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[2].count, 2u);
+  EXPECT_TRUE(std::isinf(snapshot[2].upper_bound));
+}
+
+TEST(FixedBucketHistogramTest, FirstBucketInterpolatesFromRecordedMin) {
+  FixedBucketHistogram hist({100.0, 1000.0});
+  for (int i = 0; i < 10; ++i) hist.Record(50.0);
+  // All mass sits in [50, 50]; interpolating from 0 would report values the
+  // histogram never saw.
+  double median = hist.Quantile(0.5);
+  EXPECT_GE(median, 50.0);
+  EXPECT_LE(median, 100.0);
+  EXPECT_EQ(hist.Quantile(0.0), 50.0);
+  EXPECT_EQ(hist.Quantile(1.0), 50.0);
+}
+
+TEST(FixedBucketHistogramTest, ValuesBelowFirstBoundStayInObservedRange) {
+  FixedBucketHistogram hist({1.0, 10.0});
+  hist.Record(-8.0);
+  hist.Record(-2.0);
+  EXPECT_EQ(hist.min(), -8.0);
+  EXPECT_EQ(hist.max(), -2.0);
+  double median = hist.Quantile(0.5);
+  EXPECT_GE(median, -8.0);
+  EXPECT_LE(median, -2.0);
+}
+
+TEST(FixedBucketHistogramTest, EmptyBucketsAreSkippedWhenWalkingRanks) {
+  FixedBucketHistogram hist({1.0, 10.0, 100.0, 1000.0});
+  // Mass only in buckets 0 and 3; buckets 1 and 2 are empty.
+  hist.Record(0.5);
+  hist.Record(600.0);
+  hist.Record(700.0);
+  hist.Record(800.0);
+  double q75 = hist.Quantile(0.75);
+  EXPECT_GE(q75, 100.0);  // must land in the (100, 1000] bucket
+  EXPECT_LE(q75, 800.0);
+  EXPECT_EQ(hist.Quantile(0.0), 0.5);
+}
+
+TEST(FixedBucketHistogramTest, InterpolationStaysInsideOwningBucket) {
+  FixedBucketHistogram hist({1.0, 10.0, 100.0});
+  for (int i = 0; i < 100; ++i) hist.Record(5.0);  // bucket (1, 10]
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    double estimate = hist.Quantile(q);
+    EXPECT_GE(estimate, 1.0) << "q=" << q;
+    EXPECT_LE(estimate, 5.0) << "q=" << q;  // clamped by recorded max
   }
 }
 

@@ -1,0 +1,219 @@
+// Thread-count matrix for the parallel construction sweep and the parallel
+// store apply: DwarfBuilder::Build with num_threads in {1, 2, 8} must produce
+// bit-identical cube arenas (structure, statistics, bytes), and storing a
+// cube into a durable nosql database with any thread count must write
+// byte-identical segment files — the parallel paths are pure speedups, never
+// observable behavior.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dwarf/builder.h"
+#include "dwarf/dwarf_cube.h"
+#include "dwarf/query.h"
+#include "mapper/nosql_dwarf_mapper.h"
+#include "nosql/database.h"
+
+namespace scdwarf::dwarf {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Enough tuples to clear the builder's parallel-sweep floor (4096), with
+// plenty of distinct first-dimension groups to split into subtree tasks.
+constexpr int kTuples = 6000;
+
+DwarfBuilder MakeSeededBuilder(BuilderOptions options) {
+  CubeSchema schema("sweep",
+                    {DimensionSpec("Day"), DimensionSpec("Station"),
+                     DimensionSpec("Area")},
+                    "m", AggFn::kSum);
+  DwarfBuilder builder(schema, options);
+  // 97, 89 and 10 are pairwise coprime, so all kTuples key combinations are
+  // distinct: duplicate aggregation removes nothing and the sweep sees more
+  // than its 4096-tuple parallel floor.
+  for (int i = 0; i < kTuples; ++i) {
+    Status status = builder.AddTuple({"d" + std::to_string(i % 97),
+                                      "s" + std::to_string((i * 7) % 89),
+                                      "a" + std::to_string(i % 10)},
+                                     static_cast<Measure>(i % 13));
+    EXPECT_TRUE(status.ok()) << status;
+  }
+  return builder;
+}
+
+DwarfCube BuildWithThreads(int threads, BuildProfile* profile,
+                           BuilderOptions options = {}) {
+  options.num_threads = threads;
+  DwarfBuilder builder = MakeSeededBuilder(options);
+  auto cube = std::move(builder).Build(profile);
+  EXPECT_TRUE(cube.ok()) << cube.status();
+  return std::move(*cube);
+}
+
+void ExpectBitIdentical(const DwarfCube& serial, const DwarfCube& parallel) {
+  EXPECT_TRUE(serial.StructurallyEquals(parallel));
+  EXPECT_EQ(serial.stats().node_count, parallel.stats().node_count);
+  EXPECT_EQ(serial.stats().cell_count, parallel.stats().cell_count);
+  EXPECT_EQ(serial.stats().coalesced_all_count,
+            parallel.stats().coalesced_all_count);
+  EXPECT_EQ(serial.stats().tuple_count, parallel.stats().tuple_count);
+  EXPECT_EQ(serial.stats().approx_bytes, parallel.stats().approx_bytes);
+  std::vector<std::optional<DimKey>> all(serial.num_dimensions(),
+                                         std::nullopt);
+  auto lhs = PointQuery(serial, all);
+  auto rhs = PointQuery(parallel, all);
+  ASSERT_TRUE(lhs.ok()) << lhs.status();
+  ASSERT_TRUE(rhs.ok()) << rhs.status();
+  EXPECT_EQ(*lhs, *rhs);
+}
+
+TEST(ParallelSweepTest, ThreadMatrixProducesBitIdenticalCubes) {
+  BuildProfile serial_profile;
+  DwarfCube serial = BuildWithThreads(1, &serial_profile);
+  EXPECT_EQ(serial_profile.sweep_tasks, 0);  // exact serial path
+
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    BuildProfile profile;
+    DwarfCube parallel = BuildWithThreads(threads, &profile);
+    // The sweep actually split into per-first-dimension subtree tasks.
+    EXPECT_GT(profile.sweep_tasks, 1);
+    ExpectBitIdentical(serial, parallel);
+  }
+}
+
+TEST(ParallelSweepTest, AblationsStayBitIdenticalAcrossThreads) {
+  BuilderOptions no_coalescing;
+  no_coalescing.enable_suffix_coalescing = false;
+  BuilderOptions no_memo;
+  no_memo.enable_merge_memoization = false;
+  for (const BuilderOptions& options : {no_coalescing, no_memo}) {
+    SCOPED_TRACE(options.enable_suffix_coalescing ? "no_memo"
+                                                  : "no_coalescing");
+    DwarfCube serial = BuildWithThreads(1, nullptr, options);
+    for (int threads : {2, 8}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      DwarfCube parallel = BuildWithThreads(threads, nullptr, options);
+      ExpectBitIdentical(serial, parallel);
+    }
+  }
+}
+
+TEST(ParallelSweepTest, SingleValuedLeadingDimensionStillSplits) {
+  // Mirrors the bikes schema on a one-month feed: the leading dimension
+  // holds a single key, so the sweep must descend to the first varying
+  // dimension instead of degenerating to one task.
+  CubeSchema schema("monthlike",
+                    {DimensionSpec("Month"), DimensionSpec("Day"),
+                     DimensionSpec("Station")},
+                    "m", AggFn::kSum);
+  auto build = [&schema](int threads, BuildProfile* profile) {
+    DwarfBuilder builder(schema, {.num_threads = threads});
+    for (int i = 0; i < kTuples; ++i) {
+      EXPECT_TRUE(builder
+                      .AddTuple({"2016-01", "d" + std::to_string(i % 97),
+                                 "s" + std::to_string((i * 7) % 89)},
+                                static_cast<Measure>(i % 13))
+                      .ok());
+    }
+    auto cube = std::move(builder).Build(profile);
+    EXPECT_TRUE(cube.ok()) << cube.status();
+    return std::move(*cube);
+  };
+  DwarfCube serial = build(1, nullptr);
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    BuildProfile profile;
+    DwarfCube parallel = build(threads, &profile);
+    EXPECT_GT(profile.sweep_tasks, 1);  // split below the Month level
+    ExpectBitIdentical(serial, parallel);
+  }
+}
+
+TEST(ParallelSweepTest, SmallInputsFallBackToSerialSweep) {
+  CubeSchema schema("small", {DimensionSpec("Day"), DimensionSpec("Station")},
+                    "m", AggFn::kSum);
+  DwarfBuilder serial_builder(schema, {.num_threads = 1});
+  DwarfBuilder parallel_builder(schema, {.num_threads = 8});
+  for (int i = 0; i < 50; ++i) {  // far below the 4096-tuple floor
+    ASSERT_TRUE(serial_builder
+                    .AddTuple({"d" + std::to_string(i % 5),
+                               "s" + std::to_string(i % 7)},
+                              1)
+                    .ok());
+    ASSERT_TRUE(parallel_builder
+                    .AddTuple({"d" + std::to_string(i % 5),
+                               "s" + std::to_string(i % 7)},
+                              1)
+                    .ok());
+  }
+  BuildProfile profile;
+  auto serial = std::move(serial_builder).Build();
+  auto parallel = std::move(parallel_builder).Build(&profile);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ(profile.sweep_tasks, 0);
+  ExpectBitIdentical(*serial, *parallel);
+}
+
+// ------------------------------------------------- durable segment identity
+
+// All segment files under \p dir, keyed by path relative to \p dir.
+std::map<std::string, std::string> ReadSegments(const fs::path& dir) {
+  std::map<std::string, std::string> segments;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".cf") {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    segments[fs::relative(entry.path(), dir).string()] = std::move(bytes);
+  }
+  return segments;
+}
+
+TEST(ParallelSweepTest, StoreThreadMatrixWritesByteIdenticalSegments) {
+  DwarfCube cube = BuildWithThreads(1, nullptr);
+
+  std::map<std::string, std::string> baseline;
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    fs::path dir = fs::temp_directory_path() /
+                   ("scdwarf_sweep_store_" + std::to_string(threads));
+    fs::remove_all(dir);
+    {
+      auto db = nosql::Database::Open(dir.string());
+      ASSERT_TRUE(db.ok()) << db.status();
+      mapper::NoSqlDwarfMapper cube_mapper(&*db, "ks");
+      auto id = cube_mapper.Store(cube, {.num_threads = threads});
+      ASSERT_TRUE(id.ok()) << id.status();
+      // Store() already flushed (through the async flusher when threads>1);
+      // the database going out of scope drains any remaining work.
+    }
+    std::map<std::string, std::string> segments = ReadSegments(dir);
+    EXPECT_FALSE(segments.empty());
+    if (threads == 1) {
+      baseline = std::move(segments);
+    } else {
+      ASSERT_EQ(segments.size(), baseline.size());
+      for (const auto& [name, bytes] : baseline) {
+        auto it = segments.find(name);
+        ASSERT_NE(it, segments.end()) << "missing segment " << name;
+        EXPECT_EQ(it->second, bytes) << "segment bytes differ: " << name;
+      }
+    }
+    fs::remove_all(dir);
+  }
+}
+
+}  // namespace
+}  // namespace scdwarf::dwarf

@@ -8,11 +8,14 @@
 #include <arpa/inet.h>
 #include <gtest/gtest.h>
 #include <netinet/in.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -473,6 +476,80 @@ TEST(TcpServerTest, ManyConnectionsServeConcurrently) {
   EXPECT_EQ(server.Stats().queries_total,
             static_cast<uint64_t>(kConnections) * kRequestsEach);
   tcp.Stop();
+}
+
+TEST(TcpServerTest, ReapsFinishedConnectionThreads) {
+  QueryServer server{BuildSeedCube()};
+  TcpServer tcp(&server);
+  ASSERT_TRUE(tcp.Start().ok());
+
+  // Many short-lived connections, each fully served then closed client-side.
+  constexpr int kRounds = 12;
+  for (int i = 0; i < kRounds; ++i) {
+    int fd = ConnectLoopback(tcp.port());
+    ASSERT_TRUE(WriteFrame(fd, R"({"op":"stats"})").ok());
+    auto response = ReadFrame(fd, 1 << 20);
+    ASSERT_TRUE(response.ok()) << response.status();
+    ::close(fd);
+  }
+
+  // Each serving thread self-registers as finished once it observes the
+  // close; a sweep must then join and forget every one of them instead of
+  // accumulating kRounds dead threads until Stop().
+  size_t live = tcp.ReapFinishedConnections();
+  for (int spin = 0; spin < 500 && live != 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    live = tcp.ReapFinishedConnections();
+  }
+  EXPECT_EQ(live, 0u);
+  tcp.Stop();
+}
+
+std::atomic<int> g_usr1_seen{0};
+void OnUsr1(int) { g_usr1_seen.fetch_add(1); }
+
+TEST(WireTest, ReadFullRetriesAcrossSignalInterruption) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  // Deliberately no SA_RESTART: a blocked read() must surface EINTR, which
+  // ReadFull/ReadFrame have to retry rather than fail the connection.
+  struct sigaction action {};
+  struct sigaction old_action {};
+  action.sa_handler = OnUsr1;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &old_action), 0);
+
+  std::atomic<bool> started{false};
+  std::string payload;
+  Status read_status = Status::OK();
+  std::thread reader([&] {
+    started.store(true);
+    auto result = ReadFrame(fds[0], 1 << 20);
+    if (result.ok()) {
+      payload = *result;
+    } else {
+      read_status = result.status();
+    }
+  });
+
+  while (!started.load()) std::this_thread::yield();
+  for (int i = 0; i < 5; ++i) {
+    // Let the reader block in read(), then interrupt it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    pthread_kill(reader.native_handle(), SIGUSR1);
+  }
+  const std::string request = R"({"op":"stats"})";
+  ASSERT_TRUE(WriteFrame(fds[1], request).ok());
+  reader.join();
+  sigaction(SIGUSR1, &old_action, nullptr);
+
+  EXPECT_TRUE(read_status.ok()) << read_status;
+  EXPECT_EQ(payload, request);
+  EXPECT_GT(g_usr1_seen.load(), 0);
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 TEST(TcpServerTest, OversizedFrameClosesConnection) {
