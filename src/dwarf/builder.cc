@@ -470,11 +470,15 @@ Result<NodeId> DwarfBuilder::ConstructSweep(int num_threads,
         // stitch below reads them.
         ThreadPool pool(num_threads);
         std::atomic<size_t> next{0};
+        std::atomic<bool> failed{false};
         std::mutex error_mu;
         for (int worker = 0; worker < pool.num_threads(); ++worker) {
-          pool.Submit([this, &groups, &built, &next, &error_mu, &first_error,
-                       split] {
-            for (size_t g; (g = next.fetch_add(1)) < groups.size();) {
+          pool.Submit([this, &groups, &built, &next, &failed, &error_mu,
+                       &first_error, split] {
+            // Stop claiming groups once any build has failed — the sweep's
+            // result is the error either way, so don't pay for the rest.
+            for (size_t g; !failed.load(std::memory_order_relaxed) &&
+                           (g = next.fetch_add(1)) < groups.size();) {
               Impl impl(schema_, options_);
               Result<NodeId> root = impl.Run(tuples_, groups[g].first,
                                              groups[g].second, split + 1,
@@ -482,6 +486,7 @@ Result<NodeId> DwarfBuilder::ConstructSweep(int num_threads,
               if (root.ok()) {
                 built[g].root = *root;
               } else {
+                failed.store(true, std::memory_order_relaxed);
                 std::lock_guard<std::mutex> lock(error_mu);
                 if (first_error.ok()) first_error = root.status();
               }

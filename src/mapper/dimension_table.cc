@@ -112,7 +112,7 @@ Status DimensionTableStore::Store(const DimensionTable& table) {
 
 Result<DimensionTable> DimensionTableStore::Load(const std::string& name) const {
   const nosql::Database* db = db_;
-  SCD_ASSIGN_OR_RETURN(const nosql::Table* table,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const nosql::Table> table,
                        db->GetTable(keyspace_, ColumnFamilyName(name)));
   const nosql::TableSchema& schema = table->schema();
   std::vector<std::string> attribute_names;

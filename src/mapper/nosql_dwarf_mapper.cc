@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "common/parallel.h"
 #include "common/stopwatch.h"
@@ -75,7 +76,7 @@ Status NoSqlDwarfMapper::EnsureSchema() {
 
 Result<int64_t> NoSqlDwarfMapper::NextId(const std::string& table,
                                          size_t id_column) const {
-  SCD_ASSIGN_OR_RETURN(const Table* t,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> t,
                        static_cast<const nosql::Database*>(db_)->GetTable(
                            keyspace_, table));
   int64_t max_id = -1;
@@ -164,8 +165,14 @@ Result<int64_t> NoSqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
                     ? 1
                     : ResolveThreadCount(options.num_threads);
   const bool laned = threads > 1 && !options.via_cql_statements;
-  ApplyLane node_lane(kNodeCf);
-  ApplyLane cell_lane(kCellCf);
+  // Lanes (and their worker threads) exist only when the apply actually
+  // runs laned; a serial Store spawns no threads.
+  std::optional<ApplyLane> node_lane;
+  std::optional<ApplyLane> cell_lane;
+  if (laned) {
+    node_lane.emplace(kNodeCf);
+    cell_lane.emplace(kCellCf);
+  }
   auto generate = [&](size_t begin, size_t end) {
     NodeCellRows out;
     out.node_rows.reserve(end - begin);
@@ -221,13 +228,13 @@ Result<int64_t> NoSqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
           std::make_shared<std::vector<Row>>(std::move(rows.node_rows));
       auto cell_rows =
           std::make_shared<std::vector<Row>>(std::move(rows.cell_rows));
-      SCD_RETURN_IF_ERROR(node_lane.Push([&node_batch, node_rows]() -> Status {
+      SCD_RETURN_IF_ERROR(node_lane->Push([&node_batch, node_rows]() -> Status {
         for (Row& row : *node_rows) {
           SCD_RETURN_IF_ERROR(node_batch.Add(std::move(row)));
         }
         return Status::OK();
       }));
-      SCD_RETURN_IF_ERROR(cell_lane.Push([&cell_batch, cell_rows]() -> Status {
+      SCD_RETURN_IF_ERROR(cell_lane->Push([&cell_batch, cell_rows]() -> Status {
         for (Row& row : *cell_rows) {
           SCD_RETURN_IF_ERROR(cell_batch.Add(std::move(row)));
         }
@@ -255,8 +262,8 @@ Result<int64_t> NoSqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
   Status chunks_status = GenerateApplyChunks<NodeCellRows>(
       threads, ids.visit_order.size(), kDefaultRowChunkItems, generate, apply);
   // Join the lanes before touching the batchers they own, even on error.
-  Status node_lane_status = node_lane.Finish();
-  Status cell_lane_status = cell_lane.Finish();
+  Status node_lane_status = node_lane ? node_lane->Finish() : Status::OK();
+  Status cell_lane_status = cell_lane ? cell_lane->Finish() : Status::OK();
   SCD_RETURN_IF_ERROR(chunks_status);
   SCD_RETURN_IF_ERROR(node_lane_status);
   SCD_RETURN_IF_ERROR(cell_lane_status);
@@ -291,7 +298,7 @@ Result<int64_t> NoSqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
 
 Result<dwarf::DwarfCube> NoSqlDwarfMapper::Load(int64_t schema_id) const {
   const nosql::Database* db = db_;
-  SCD_ASSIGN_OR_RETURN(const Table* schema_cf,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> schema_cf,
                        db->GetTable(keyspace_, kSchemaCf));
   SCD_ASSIGN_OR_RETURN(const Row* schema_row,
                        schema_cf->GetByPk(Value::Int(schema_id)));
@@ -304,7 +311,7 @@ Result<dwarf::DwarfCube> NoSqlDwarfMapper::Load(int64_t schema_id) const {
   }
 
   // Metadata.
-  SCD_ASSIGN_OR_RETURN(const Table* meta_cf, db->GetTable(keyspace_, kMetaCf));
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> meta_cf, db->GetTable(keyspace_, kMetaCf));
   std::vector<MetaRow> meta_rows;
   SCD_ASSIGN_OR_RETURN(
       std::vector<const Row*> meta_matches,
@@ -321,7 +328,7 @@ Result<dwarf::DwarfCube> NoSqlDwarfMapper::Load(int64_t schema_id) const {
 
   // Cells. (Node rows are redundant for reconstruction — the paper's
   // NoSQL-Min schema demonstrates exactly that — but their ids validate.)
-  SCD_ASSIGN_OR_RETURN(const Table* cell_cf, db->GetTable(keyspace_, kCellCf));
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> cell_cf, db->GetTable(keyspace_, kCellCf));
   SCD_ASSIGN_OR_RETURN(
       std::vector<const Row*> cell_matches,
       cell_cf->SelectEq("schema_id", Value::Int(schema_id),
@@ -346,7 +353,7 @@ Result<dwarf::DwarfCube> NoSqlDwarfMapper::Load(int64_t schema_id) const {
 
 Result<bool> NoSqlDwarfMapper::IsDerivedCube(int64_t schema_id) const {
   const nosql::Database* db = db_;
-  SCD_ASSIGN_OR_RETURN(const Table* schema_cf,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> schema_cf,
                        db->GetTable(keyspace_, kSchemaCf));
   SCD_ASSIGN_OR_RETURN(const Row* row, schema_cf->GetByPk(Value::Int(schema_id)));
   return (*row)[5].AsBool();
@@ -354,13 +361,13 @@ Result<bool> NoSqlDwarfMapper::IsDerivedCube(int64_t schema_id) const {
 
 Status NoSqlDwarfMapper::DeleteCube(int64_t schema_id) {
   const nosql::Database* db = db_;
-  SCD_ASSIGN_OR_RETURN(const Table* schema_cf,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> schema_cf,
                        db->GetTable(keyspace_, kSchemaCf));
   SCD_RETURN_IF_ERROR(schema_cf->GetByPk(Value::Int(schema_id)).status());
 
   auto delete_matching = [this, db](const char* table, const char* column,
                                     int64_t id) -> Status {
-    SCD_ASSIGN_OR_RETURN(const Table* t, db->GetTable(keyspace_, table));
+    SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> t, db->GetTable(keyspace_, table));
     SCD_ASSIGN_OR_RETURN(std::vector<const Row*> rows,
                          t->SelectEq(column, Value::Int(id),
                                      /*allow_filtering=*/true));
@@ -377,7 +384,7 @@ Status NoSqlDwarfMapper::DeleteCube(int64_t schema_id) {
 
 Result<std::vector<int64_t>> NoSqlDwarfMapper::ListSchemas() const {
   const nosql::Database* db = db_;
-  SCD_ASSIGN_OR_RETURN(const Table* schema_cf,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> schema_cf,
                        db->GetTable(keyspace_, kSchemaCf));
   std::vector<int64_t> ids;
   for (const Row* row : schema_cf->ScanAll()) {

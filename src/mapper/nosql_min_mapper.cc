@@ -64,7 +64,7 @@ Status NoSqlMinMapper::EnsureSchema() {
 }
 
 Result<int64_t> NoSqlMinMapper::NextId(const std::string& table) const {
-  SCD_ASSIGN_OR_RETURN(const Table* t,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> t,
                        static_cast<const nosql::Database*>(db_)->GetTable(
                            keyspace_, table));
   int64_t max_id = -1;
@@ -152,11 +152,11 @@ Result<int64_t> NoSqlMinMapper::Store(const dwarf::DwarfCube& cube) {
 
 Status NoSqlMinMapper::DeleteCube(int64_t cube_id) {
   const nosql::Database* db = db_;
-  SCD_ASSIGN_OR_RETURN(const Table* cube_cf, db->GetTable(keyspace_, kCubeCf));
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> cube_cf, db->GetTable(keyspace_, kCubeCf));
   SCD_RETURN_IF_ERROR(cube_cf->GetByPk(Value::Int(cube_id)).status());
   auto delete_matching = [this, db](const char* table, const char* column,
                                     int64_t id) -> Status {
-    SCD_ASSIGN_OR_RETURN(const Table* t, db->GetTable(keyspace_, table));
+    SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> t, db->GetTable(keyspace_, table));
     SCD_ASSIGN_OR_RETURN(std::vector<const Row*> rows,
                          t->SelectEq(column, Value::Int(id),
                                      /*allow_filtering=*/true));
@@ -172,11 +172,11 @@ Status NoSqlMinMapper::DeleteCube(int64_t cube_id) {
 
 Result<dwarf::DwarfCube> NoSqlMinMapper::Load(int64_t cube_id) const {
   const nosql::Database* db = db_;
-  SCD_ASSIGN_OR_RETURN(const Table* cube_cf, db->GetTable(keyspace_, kCubeCf));
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> cube_cf, db->GetTable(keyspace_, kCubeCf));
   SCD_RETURN_IF_ERROR(cube_cf->GetByPk(Value::Int(cube_id)).status());
 
   StoredCube stored;
-  SCD_ASSIGN_OR_RETURN(const Table* meta_cf, db->GetTable(keyspace_, kMetaCf));
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> meta_cf, db->GetTable(keyspace_, kMetaCf));
   std::vector<MetaRow> meta_rows;
   SCD_ASSIGN_OR_RETURN(std::vector<const Row*> meta_matches,
                        meta_cf->SelectEq("cube_id", Value::Int(cube_id),
@@ -190,7 +190,7 @@ Result<dwarf::DwarfCube> NoSqlMinMapper::Load(int64_t cube_id) const {
   }
   SCD_ASSIGN_OR_RETURN(stored.meta, MetaFromRows(meta_rows));
 
-  SCD_ASSIGN_OR_RETURN(const Table* cell_cf, db->GetTable(keyspace_, kCellCf));
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> cell_cf, db->GetTable(keyspace_, kCellCf));
   SCD_ASSIGN_OR_RETURN(std::vector<const Row*> cell_matches,
                        cell_cf->SelectEq("cubeid", Value::Int(cube_id),
                                          /*allow_filtering=*/true));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 
 #include "common/parallel.h"
@@ -75,7 +76,7 @@ Status SqlDwarfMapper::EnsureSchema() {
 }
 
 Result<int64_t> SqlDwarfMapper::NextId(const std::string& table) const {
-  SCD_ASSIGN_OR_RETURN(const sql::HeapTable* t,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> t,
                        static_cast<const sql::SqlEngine*>(engine_)->GetTable(
                            database_, table));
   // Rows scan in primary-key order: the last row has the max id.
@@ -173,10 +174,18 @@ Result<int64_t> SqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
   // engine's per-table shard locks.
   int threads = ResolveThreadCount(num_threads_);
   const bool laned = threads > 1;
-  ApplyLane node_lane(kNodeTable);
-  ApplyLane cell_lane(kCellTable);
-  ApplyLane node_children_lane(kNodeChildrenTable);
-  ApplyLane cell_children_lane(kCellChildrenTable);
+  // Lanes (and their worker threads) exist only when the apply actually
+  // runs laned; a serial Store spawns no threads.
+  std::optional<ApplyLane> node_lane;
+  std::optional<ApplyLane> cell_lane;
+  std::optional<ApplyLane> node_children_lane;
+  std::optional<ApplyLane> cell_children_lane;
+  if (laned) {
+    node_lane.emplace(kNodeTable);
+    cell_lane.emplace(kCellTable);
+    node_children_lane.emplace(kNodeChildrenTable);
+    cell_children_lane.emplace(kCellChildrenTable);
+  }
   auto push_rows = [](ApplyLane& lane, RowBatcher<sql::SqlEngine>& batch,
                       std::vector<SqlRow> rows) -> Status {
     auto shared = std::make_shared<std::vector<SqlRow>>(std::move(rows));
@@ -190,12 +199,12 @@ Result<int64_t> SqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
   auto apply = [&](SqlDwarfRows rows) -> Status {
     if (laned) {
       SCD_RETURN_IF_ERROR(
-          push_rows(node_lane, node_batch, std::move(rows.node_rows)));
+          push_rows(*node_lane, node_batch, std::move(rows.node_rows)));
       SCD_RETURN_IF_ERROR(
-          push_rows(cell_lane, cell_batch, std::move(rows.cell_rows)));
-      SCD_RETURN_IF_ERROR(push_rows(node_children_lane, node_children_batch,
+          push_rows(*cell_lane, cell_batch, std::move(rows.cell_rows)));
+      SCD_RETURN_IF_ERROR(push_rows(*node_children_lane, node_children_batch,
                                     std::move(rows.node_children_rows)));
-      SCD_RETURN_IF_ERROR(push_rows(cell_children_lane, cell_children_batch,
+      SCD_RETURN_IF_ERROR(push_rows(*cell_children_lane, cell_children_batch,
                                     std::move(rows.cell_children_rows)));
       return Status::OK();
     }
@@ -216,13 +225,11 @@ Result<int64_t> SqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
   Status chunks_status = GenerateApplyChunks<SqlDwarfRows>(
       threads, n, kDefaultRowChunkItems, generate, apply);
   // Join the lanes before touching the batchers they own, even on error.
-  Status lane_status = node_lane.Finish();
-  if (Status s = cell_lane.Finish(); lane_status.ok()) lane_status = s;
-  if (Status s = node_children_lane.Finish(); lane_status.ok()) {
-    lane_status = s;
-  }
-  if (Status s = cell_children_lane.Finish(); lane_status.ok()) {
-    lane_status = s;
+  Status lane_status;
+  for (std::optional<ApplyLane>* lane :
+       {&node_lane, &cell_lane, &node_children_lane, &cell_children_lane}) {
+    if (!lane->has_value()) continue;
+    if (Status s = (**lane).Finish(); lane_status.ok()) lane_status = s;
   }
   SCD_RETURN_IF_ERROR(chunks_status);
   SCD_RETURN_IF_ERROR(lane_status);
@@ -275,13 +282,13 @@ Result<int64_t> SqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
 
 Status SqlDwarfMapper::DeleteCube(int64_t cube_id) {
   const sql::SqlEngine* engine = engine_;
-  SCD_ASSIGN_OR_RETURN(const sql::HeapTable* cube_table,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> cube_table,
                        engine->GetTable(database_, kCubeTable));
   SCD_RETURN_IF_ERROR(cube_table->GetByPk(Value::Int(cube_id)).status());
 
   auto delete_matching = [this, engine](const char* table, const char* column,
                                         int64_t id) -> Status {
-    SCD_ASSIGN_OR_RETURN(const sql::HeapTable* t,
+    SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> t,
                          engine->GetTable(database_, table));
     SCD_ASSIGN_OR_RETURN(std::vector<const sql::SqlRow*> rows,
                          t->SelectEq(column, Value::Int(id)));
@@ -292,7 +299,7 @@ Status SqlDwarfMapper::DeleteCube(int64_t cube_id) {
   };
   // The join tables carry no cube id; resolve their rows through the cube's
   // cell and node ids.
-  SCD_ASSIGN_OR_RETURN(const sql::HeapTable* cells,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> cells,
                        engine->GetTable(database_, kCellTable));
   SCD_ASSIGN_OR_RETURN(std::vector<const sql::SqlRow*> cell_rows,
                        cells->SelectEq("cube_id", Value::Int(cube_id)));
@@ -302,7 +309,7 @@ Status SqlDwarfMapper::DeleteCube(int64_t cube_id) {
     cell_ids.insert(id);
   }
   auto delete_edges = [this, engine, &cell_ids](const char* table) -> Status {
-    SCD_ASSIGN_OR_RETURN(const sql::HeapTable* t,
+    SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> t,
                          engine->GetTable(database_, table));
     std::vector<Value> keys;
     for (const sql::SqlRow* row : t->ScanAll()) {
@@ -313,7 +320,7 @@ Status SqlDwarfMapper::DeleteCube(int64_t cube_id) {
   };
   // NODE_CHILDREN stores (node_id, cell_id): the cell reference is column 2.
   {
-    SCD_ASSIGN_OR_RETURN(const sql::HeapTable* t,
+    SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> t,
                          engine->GetTable(database_, kNodeChildrenTable));
     std::vector<Value> keys;
     for (const sql::SqlRow* row : t->ScanAll()) {
@@ -331,7 +338,7 @@ Status SqlDwarfMapper::DeleteCube(int64_t cube_id) {
 
 Result<dwarf::DwarfCube> SqlDwarfMapper::Load(int64_t cube_id) const {
   const sql::SqlEngine* engine = engine_;
-  SCD_ASSIGN_OR_RETURN(const sql::HeapTable* cube_table,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> cube_table,
                        engine->GetTable(database_, kCubeTable));
   SCD_ASSIGN_OR_RETURN(const SqlRow* cube_row,
                        cube_table->GetByPk(Value::Int(cube_id)));
@@ -344,7 +351,7 @@ Result<dwarf::DwarfCube> SqlDwarfMapper::Load(int64_t cube_id) const {
   }
 
   // Metadata (skipping the size_mb row).
-  SCD_ASSIGN_OR_RETURN(const sql::HeapTable* meta_table,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> meta_table,
                        engine->GetTable(database_, kMetaTable));
   std::vector<MetaRow> meta_rows;
   SCD_ASSIGN_OR_RETURN(std::vector<const SqlRow*> meta_matches,
@@ -362,11 +369,11 @@ Result<dwarf::DwarfCube> SqlDwarfMapper::Load(int64_t cube_id) const {
   // The relational rebuild stitches three tables: cells joined to their
   // owning node through NODE_CHILDREN and to their pointed node through
   // CELL_CHILDREN.
-  SCD_ASSIGN_OR_RETURN(const sql::HeapTable* cell_table,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> cell_table,
                        engine->GetTable(database_, kCellTable));
-  SCD_ASSIGN_OR_RETURN(const sql::HeapTable* node_children,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> node_children,
                        engine->GetTable(database_, kNodeChildrenTable));
-  SCD_ASSIGN_OR_RETURN(const sql::HeapTable* cell_children,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> cell_children,
                        engine->GetTable(database_, kCellChildrenTable));
 
   std::map<int64_t, int64_t> owner_of_cell;     // cell id -> node id

@@ -52,7 +52,7 @@ Status SqlMinMapper::EnsureSchema() {
 }
 
 Result<int64_t> SqlMinMapper::NextId(const std::string& table) const {
-  SCD_ASSIGN_OR_RETURN(const sql::HeapTable* t,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> t,
                        static_cast<const sql::SqlEngine*>(engine_)->GetTable(
                            database_, table));
   auto rows = t->ScanAll();
@@ -138,12 +138,12 @@ Result<int64_t> SqlMinMapper::Store(const dwarf::DwarfCube& cube) {
 
 Status SqlMinMapper::DeleteCube(int64_t cube_id) {
   const sql::SqlEngine* engine = engine_;
-  SCD_ASSIGN_OR_RETURN(const sql::HeapTable* cube_table,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> cube_table,
                        engine->GetTable(database_, kCubeTable));
   SCD_RETURN_IF_ERROR(cube_table->GetByPk(Value::Int(cube_id)).status());
   auto delete_matching = [this, engine](const char* table, const char* column,
                                         int64_t id) -> Status {
-    SCD_ASSIGN_OR_RETURN(const sql::HeapTable* t,
+    SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> t,
                          engine->GetTable(database_, table));
     SCD_ASSIGN_OR_RETURN(std::vector<const sql::SqlRow*> rows,
                          t->SelectEq(column, Value::Int(id)));
@@ -159,12 +159,12 @@ Status SqlMinMapper::DeleteCube(int64_t cube_id) {
 
 Result<dwarf::DwarfCube> SqlMinMapper::Load(int64_t cube_id) const {
   const sql::SqlEngine* engine = engine_;
-  SCD_ASSIGN_OR_RETURN(const sql::HeapTable* cube_table,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> cube_table,
                        engine->GetTable(database_, kCubeTable));
   SCD_RETURN_IF_ERROR(cube_table->GetByPk(Value::Int(cube_id)).status());
 
   StoredCube stored;
-  SCD_ASSIGN_OR_RETURN(const sql::HeapTable* meta_table,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> meta_table,
                        engine->GetTable(database_, kMetaTable));
   std::vector<MetaRow> meta_rows;
   SCD_ASSIGN_OR_RETURN(std::vector<const SqlRow*> meta_matches,
@@ -179,7 +179,7 @@ Result<dwarf::DwarfCube> SqlMinMapper::Load(int64_t cube_id) const {
   }
   SCD_ASSIGN_OR_RETURN(stored.meta, MetaFromRows(meta_rows));
 
-  SCD_ASSIGN_OR_RETURN(const sql::HeapTable* cell_table,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const sql::HeapTable> cell_table,
                        engine->GetTable(database_, kCellTable));
   SCD_ASSIGN_OR_RETURN(std::vector<const SqlRow*> cell_matches,
                        cell_table->SelectEq("cubeid", Value::Int(cube_id)));

@@ -365,7 +365,7 @@ class Parser {
 // --------------------------------------------------------------- executor
 
 Result<QueryResult> ExecuteInsert(Database* db, const InsertStmt& stmt) {
-  SCD_ASSIGN_OR_RETURN(const Table* table, static_cast<const Database*>(db)
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> table, static_cast<const Database*>(db)
                                               ->GetTable(stmt.keyspace, stmt.table));
   const TableSchema& schema = table->schema();
   Row row(schema.num_columns(), Value::Null());
@@ -378,7 +378,7 @@ Result<QueryResult> ExecuteInsert(Database* db, const InsertStmt& stmt) {
 }
 
 Result<QueryResult> ExecuteSelect(Database* db, const SelectStmt& stmt) {
-  SCD_ASSIGN_OR_RETURN(const Table* table, static_cast<const Database*>(db)
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> table, static_cast<const Database*>(db)
                                               ->GetTable(stmt.keyspace, stmt.table));
   const TableSchema& schema = table->schema();
 
@@ -484,7 +484,7 @@ Result<QueryResult> ExecuteStatement(Database* db, const Statement& statement) {
     return ExecuteSelect(db, *stmt);
   }
   if (const auto* stmt = std::get_if<DeleteStmt>(&statement)) {
-    SCD_ASSIGN_OR_RETURN(const Table* table,
+    SCD_ASSIGN_OR_RETURN(std::shared_ptr<const Table> table,
                          static_cast<const Database*>(db)->GetTable(
                              stmt->keyspace, stmt->table));
     if (table->schema().primary_key() != stmt->column) {

@@ -215,7 +215,7 @@ Status Database::CreateTable(const TableSchema& schema) {
     return Status::AlreadyExists("table " + schema.QualifiedName() +
                                  " already exists");
   }
-  ks->second[schema.name()] = std::make_unique<Table>(schema);
+  ks->second[schema.name()] = std::make_shared<Table>(schema);
   return Status::OK();
 }
 
@@ -237,13 +237,13 @@ Status Database::DropTable(const std::string& keyspace,
 Status Database::CreateIndex(const std::string& keyspace,
                              const std::string& table,
                              const std::string& column) {
-  SCD_ASSIGN_OR_RETURN(Table * t, GetTable(keyspace, table));
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<Table> t, GetTable(keyspace, table));
   std::lock_guard<std::mutex> lock(TableLock(keyspace, table));
   return t->CreateIndex(column);
 }
 
-Result<Table*> Database::GetTable(const std::string& keyspace,
-                                  const std::string& table) {
+Result<std::shared_ptr<Table>> Database::GetTable(const std::string& keyspace,
+                                                  const std::string& table) {
   std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   auto ks = keyspaces_.find(keyspace);
   if (ks == keyspaces_.end()) {
@@ -254,35 +254,40 @@ Result<Table*> Database::GetTable(const std::string& keyspace,
     return Status::NotFound("table " + keyspace + "." + table +
                             " does not exist");
   }
-  return it->second.get();
+  return it->second;
 }
 
-Result<const Table*> Database::GetTable(const std::string& keyspace,
-                                        const std::string& table) const {
+Result<std::shared_ptr<const Table>> Database::GetTable(
+    const std::string& keyspace, const std::string& table) const {
   auto* self = const_cast<Database*>(this);
-  SCD_ASSIGN_OR_RETURN(Table * t, self->GetTable(keyspace, table));
-  return static_cast<const Table*>(t);
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<Table> t,
+                       self->GetTable(keyspace, table));
+  return std::shared_ptr<const Table>(std::move(t));
 }
 
 Status Database::Insert(const std::string& keyspace, const std::string& table,
                         Row row) {
-  SCD_ASSIGN_OR_RETURN(Table * t, GetTable(keyspace, table));
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<Table> t, GetTable(keyspace, table));
+  // One shard-lock critical section covers the log append and the in-memory
+  // apply, so no mutation straddles Flush()'s log rotation (which holds
+  // every shard lock): a logged row is applied before the rotation cut or
+  // logged entirely after it.
+  std::lock_guard<std::mutex> lock(TableLock(keyspace, table));
   if (!data_dir_.empty()) {
     std::lock_guard<std::mutex> log_lock(sync_->log_mu);
     SCD_RETURN_IF_ERROR(AppendToCommitLog(keyspace, table, {row}));
   }
-  std::lock_guard<std::mutex> lock(TableLock(keyspace, table));
   return t->Insert(std::move(row));
 }
 
 Status Database::BulkInsert(const std::string& keyspace,
                             const std::string& table, std::vector<Row> rows) {
-  SCD_ASSIGN_OR_RETURN(Table * t, GetTable(keyspace, table));
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<Table> t, GetTable(keyspace, table));
+  std::lock_guard<std::mutex> lock(TableLock(keyspace, table));
   if (!data_dir_.empty()) {
     std::lock_guard<std::mutex> log_lock(sync_->log_mu);
     SCD_RETURN_IF_ERROR(AppendToCommitLog(keyspace, table, rows));
   }
-  std::lock_guard<std::mutex> lock(TableLock(keyspace, table));
   t->ReserveAdditional(rows.size());
   for (Row& row : rows) {
     SCD_RETURN_IF_ERROR(t->Insert(std::move(row)));
@@ -298,7 +303,8 @@ Status Database::Delete(const std::string& keyspace, const std::string& table,
 Status Database::BulkDelete(const std::string& keyspace,
                             const std::string& table,
                             const std::vector<Value>& keys) {
-  SCD_ASSIGN_OR_RETURN(Table * t, GetTable(keyspace, table));
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<Table> t, GetTable(keyspace, table));
+  std::lock_guard<std::mutex> lock(TableLock(keyspace, table));
   if (!data_dir_.empty()) {
     // Deletes are logged as single-value rows with the delete flag set.
     std::vector<Row> key_rows;
@@ -308,7 +314,6 @@ Status Database::BulkDelete(const std::string& keyspace,
     SCD_RETURN_IF_ERROR(
         AppendToCommitLog(keyspace, table, key_rows, /*is_delete=*/true));
   }
-  std::lock_guard<std::mutex> lock(TableLock(keyspace, table));
   for (const Value& key : keys) {
     SCD_RETURN_IF_ERROR(t->DeleteByPk(key));
   }
@@ -317,6 +322,20 @@ Status Database::BulkDelete(const std::string& keyspace,
 
 Status Database::Flush() {
   if (data_dir_.empty()) return Status::OK();
+  // Rotate the commit log with every writer excluded (all shard locks +
+  // log_mu). Afterwards each logged mutation is either in the sidecar and
+  // already applied to its table — so the serialization below captures it —
+  // or entirely in the fresh live log.
+  {
+    std::array<std::unique_lock<std::mutex>, kTableLockShards> shard_locks;
+    for (size_t i = 0; i < kTableLockShards; ++i) {
+      shard_locks[i] = std::unique_lock<std::mutex>(sync_->table_shards[i]);
+    }
+    std::lock_guard<std::mutex> log_lock(sync_->log_mu);
+    SCD_RETURN_IF_ERROR(RotateCommitLog());
+  }
+  // Jobs are collected after the rotation so every table with sidecar
+  // records still in the catalog gets a flush job.
   std::vector<std::pair<std::string, std::string>> jobs;
   {
     std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
@@ -335,8 +354,11 @@ Status Database::Flush() {
     SCD_RETURN_IF_ERROR(FlushTableAsync(keyspace, name));
   }
   SCD_RETURN_IF_ERROR(WaitFlushed());
+  // Every sidecar record is now covered by a segment (records for tables
+  // dropped meanwhile are skipped at replay anyway), so the sidecar can go.
+  // On any earlier error it survives and is replayed at the next reopen.
   std::error_code ec;
-  fs::remove(CommitLogPath(), ec);
+  fs::remove(RotatedCommitLogPath(), ec);
   return Status::OK();
 }
 
@@ -364,14 +386,14 @@ Status Database::WaitFlushed() {
 
 Status Database::FlushTableNow(const std::string& keyspace,
                                const std::string& table) {
-  Table* t = nullptr;
+  std::shared_ptr<Table> t;
   {
     std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
     auto ks = keyspaces_.find(keyspace);
     if (ks == keyspaces_.end()) return Status::OK();  // dropped since enqueue
     auto it = ks->second.find(table);
     if (it == ks->second.end()) return Status::OK();
-    t = it->second.get();
+    t = it->second;
   }
   ByteWriter writer;
   uint64_t version = 0;
@@ -381,6 +403,15 @@ Status Database::FlushTableNow(const std::string& keyspace,
     if (version == t->flushed_version()) return Status::OK();  // clean
     t->SerializeTo(&writer);
   }
+  // The segment is written under the catalog shared lock: a concurrent
+  // DropTable (exclusive) either already removed the entry — the
+  // re-validation skips the write — or blocks until the segment is out and
+  // then removes the file, so a drop is never resurrected by a stale flush.
+  std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
+  auto ks = keyspaces_.find(keyspace);
+  if (ks == keyspaces_.end()) return Status::OK();
+  auto it = ks->second.find(table);
+  if (it == ks->second.end() || it->second != t) return Status::OK();
   std::error_code ec;
   fs::create_directories(fs::path(data_dir_) / SanitizeName(keyspace), ec);
   if (ec) {
@@ -446,6 +477,35 @@ std::string Database::CommitLogPath() const {
   return (fs::path(data_dir_) / "commitlog.bin").string();
 }
 
+std::string Database::RotatedCommitLogPath() const {
+  return (fs::path(data_dir_) / "commitlog.old.bin").string();
+}
+
+Status Database::RotateCommitLog() {
+  if (!fs::exists(CommitLogPath())) return Status::OK();
+  std::error_code ec;
+  const std::string rotated = RotatedCommitLogPath();
+  if (!fs::exists(rotated)) {
+    fs::rename(CommitLogPath(), rotated, ec);
+    if (ec) return Status::IoError("rotating commit log: " + ec.message());
+    return Status::OK();
+  }
+  // A prior flush failed (or crashed) after rotating: append the live log
+  // to the surviving sidecar so replay order — sidecar, then live — still
+  // reproduces append order.
+  SCD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(CommitLogPath()));
+  {
+    std::ofstream out(rotated, std::ios::binary | std::ios::app);
+    if (!out) return Status::IoError("cannot open rotated commit log");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Status::IoError("short append to rotated commit log");
+  }
+  fs::remove(CommitLogPath(), ec);
+  if (ec) return Status::IoError("removing commit log: " + ec.message());
+  return Status::OK();
+}
+
 Status Database::AppendToCommitLog(const std::string& keyspace,
                                    const std::string& table,
                                    const std::vector<Row>& rows,
@@ -473,8 +533,16 @@ Status Database::AppendToCommitLog(const std::string& keyspace,
 }
 
 Status Database::ReplayCommitLog() {
-  if (!fs::exists(CommitLogPath())) return Status::OK();
-  SCD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(CommitLogPath()));
+  // The sidecar (a flush that never finished) holds older records than the
+  // live log; replay it first. Inserts are upserts, so records whose rows
+  // also reached a segment re-apply idempotently.
+  SCD_RETURN_IF_ERROR(ReplayCommitLogFile(RotatedCommitLogPath()));
+  return ReplayCommitLogFile(CommitLogPath());
+}
+
+Status Database::ReplayCommitLogFile(const std::string& path) {
+  if (!fs::exists(path)) return Status::OK();
+  SCD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(path));
   ByteReader reader(bytes);
   while (!reader.AtEnd()) {
     auto frame_size = reader.ReadU32();

@@ -28,11 +28,23 @@ namespace scdwarf::nosql {
 ///
 /// Concurrency: mutations from different threads are safe and serialize
 /// behind a fixed pool of per-table shard locks (catalog changes — create /
-/// drop — take the catalog lock exclusively). Reads concurrent with writes
-/// to the *same* table are not synchronized; callers partition work so one
-/// table has one writer at a time or accept shard-lock serialization.
+/// drop — take the catalog lock exclusively). Tables are shared_ptr-owned:
+/// GetTable() hands out shared ownership, so a concurrent DropTable only
+/// removes the catalog entry and the table object stays alive until the
+/// last user releases it — no use-after-free, mutations against a dropped
+/// table become no-ops on an orphan. Reads concurrent with writes to the
+/// *same* table are not synchronized; callers partition work so one table
+/// has one writer at a time or accept shard-lock serialization.
 /// FlushTableAsync() hands segment serialization to a background flusher
 /// thread with a bounded queue; WaitFlushed() is the completion barrier.
+///
+/// Durability: each mutation appends to the commit log and applies to the
+/// table under one shard-lock critical section, so no mutation straddles
+/// Flush()'s log rotation. Flush() rotates the log to a sidecar under all
+/// shard locks, serializes every dirty table, and deletes the sidecar only
+/// after every segment hit disk; a crash anywhere in between leaves either
+/// the sidecar or the live log to replay, so acknowledged mutations are
+/// never lost (inserts are upserts, so re-replay is idempotent).
 class Database {
  public:
   /// In-memory database.
@@ -58,10 +70,13 @@ class Database {
   Status CreateIndex(const std::string& keyspace, const std::string& table,
                      const std::string& column);
 
-  Result<Table*> GetTable(const std::string& keyspace,
-                          const std::string& table);
-  Result<const Table*> GetTable(const std::string& keyspace,
-                                const std::string& table) const;
+  /// Looks up a table. The returned shared_ptr keeps the table alive even
+  /// if it is concurrently dropped; mutations applied after the drop go to
+  /// the orphaned object and are discarded with it.
+  Result<std::shared_ptr<Table>> GetTable(const std::string& keyspace,
+                                          const std::string& table);
+  Result<std::shared_ptr<const Table>> GetTable(const std::string& keyspace,
+                                                const std::string& table) const;
 
   /// Applies one insert, first appending it to the commit log (durable mode).
   Status Insert(const std::string& keyspace, const std::string& table, Row row);
@@ -80,9 +95,11 @@ class Database {
                     const std::vector<Value>& keys);
 
   /// Writes all column families to segment files and truncates the commit
-  /// log. No-op in memory mode. Internally enqueues every table on the
-  /// background flusher and waits for the barrier, so tables untouched since
-  /// their last flush are skipped.
+  /// log. No-op in memory mode. Internally rotates the commit log (under
+  /// every shard lock, so no in-flight mutation straddles the cut), enqueues
+  /// every table on the background flusher, waits for the barrier, and
+  /// removes the rotated log only if every segment was written — tables
+  /// untouched since their last flush are skipped.
   Status Flush();
 
   /// Queues one column family for serialization on the background flusher
@@ -123,10 +140,17 @@ class Database {
 
   Status AppendToCommitLog(const std::string& keyspace, const std::string& table,
                            const std::vector<Row>& rows, bool is_delete = false);
+  /// Replays the rotated sidecar (crash mid-flush) then the live log.
   Status ReplayCommitLog();
+  Status ReplayCommitLogFile(const std::string& path);
+  /// Moves the live commit log aside to the sidecar (appending if a prior
+  /// flush's sidecar survived a crash). Caller must exclude writers — every
+  /// shard lock plus log_mu.
+  Status RotateCommitLog();
   std::string SegmentPath(const std::string& keyspace,
                           const std::string& table) const;
   std::string CommitLogPath() const;
+  std::string RotatedCommitLogPath() const;
 
   /// The shard lock guarding (keyspace, table)'s row contents.
   std::mutex& TableLock(const std::string& keyspace,
@@ -134,11 +158,12 @@ class Database {
 
   /// Serializes one column family to its segment file (runs on the flusher
   /// thread). Tables dropped since enqueue, or clean since their last
-  /// flush, are skipped.
+  /// flush, are skipped; the segment hits disk under the catalog shared
+  /// lock so a racing DropTable cannot have its file removal overwritten.
   Status FlushTableNow(const std::string& keyspace, const std::string& table);
 
   std::string data_dir_;  // empty => in-memory
-  std::map<std::string, std::map<std::string, std::unique_ptr<Table>>>
+  std::map<std::string, std::map<std::string, std::shared_ptr<Table>>>
       keyspaces_;
   std::unique_ptr<Sync> sync_;
   std::unique_ptr<Flusher> flusher_;  // created lazily by FlushTableAsync

@@ -118,7 +118,7 @@ Status SqlEngine::CreateTable(const SqlTableDef& def) {
     return Status::AlreadyExists("table " + def.QualifiedName() +
                                  " already exists");
   }
-  db->second[def.name()] = std::make_unique<HeapTable>(def);
+  db->second[def.name()] = std::make_shared<HeapTable>(def);
   return Status::OK();
 }
 
@@ -140,13 +140,13 @@ Status SqlEngine::DropTable(const std::string& database,
 Status SqlEngine::CreateIndex(const std::string& database,
                               const std::string& table,
                               const std::string& column) {
-  SCD_ASSIGN_OR_RETURN(HeapTable * t, GetTable(database, table));
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<HeapTable> t, GetTable(database, table));
   std::lock_guard<std::mutex> lock(TableLock(database, table));
   return t->CreateIndex(column);
 }
 
-Result<HeapTable*> SqlEngine::GetTable(const std::string& database,
-                                       const std::string& table) {
+Result<std::shared_ptr<HeapTable>> SqlEngine::GetTable(
+    const std::string& database, const std::string& table) {
   std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   auto db = databases_.find(database);
   if (db == databases_.end()) {
@@ -157,36 +157,40 @@ Result<HeapTable*> SqlEngine::GetTable(const std::string& database,
     return Status::NotFound("table " + database + "." + table +
                             " does not exist");
   }
-  return it->second.get();
+  return it->second;
 }
 
-Result<const HeapTable*> SqlEngine::GetTable(const std::string& database,
-                                             const std::string& table) const {
+Result<std::shared_ptr<const HeapTable>> SqlEngine::GetTable(
+    const std::string& database, const std::string& table) const {
   auto* self = const_cast<SqlEngine*>(this);
-  SCD_ASSIGN_OR_RETURN(HeapTable * t, self->GetTable(database, table));
-  return static_cast<const HeapTable*>(t);
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<HeapTable> t,
+                       self->GetTable(database, table));
+  return std::shared_ptr<const HeapTable>(std::move(t));
 }
 
 Status SqlEngine::Insert(const std::string& database, const std::string& table,
                          SqlRow row) {
-  SCD_ASSIGN_OR_RETURN(HeapTable * t, GetTable(database, table));
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<HeapTable> t, GetTable(database, table));
+  // One shard-lock critical section covers the log append and the in-memory
+  // apply, so no mutation straddles Flush()'s log rotation (which holds
+  // every shard lock).
+  std::lock_guard<std::mutex> lock(TableLock(database, table));
   if (!data_dir_.empty()) {
     std::lock_guard<std::mutex> log_lock(sync_->log_mu);
     SCD_RETURN_IF_ERROR(AppendToRedoLog(database, table, {row}));
   }
-  std::lock_guard<std::mutex> lock(TableLock(database, table));
   return t->Insert(std::move(row));
 }
 
 Status SqlEngine::BulkInsert(const std::string& database,
                              const std::string& table,
                              std::vector<SqlRow> rows) {
-  SCD_ASSIGN_OR_RETURN(HeapTable * t, GetTable(database, table));
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<HeapTable> t, GetTable(database, table));
+  std::lock_guard<std::mutex> lock(TableLock(database, table));
   if (!data_dir_.empty()) {
     std::lock_guard<std::mutex> log_lock(sync_->log_mu);
     SCD_RETURN_IF_ERROR(AppendToRedoLog(database, table, rows));
   }
-  std::lock_guard<std::mutex> lock(TableLock(database, table));
   for (SqlRow& row : rows) {
     SCD_RETURN_IF_ERROR(t->Insert(std::move(row)));
   }
@@ -201,7 +205,8 @@ Status SqlEngine::Delete(const std::string& database, const std::string& table,
 Status SqlEngine::BulkDelete(const std::string& database,
                              const std::string& table,
                              const std::vector<Value>& keys) {
-  SCD_ASSIGN_OR_RETURN(HeapTable * t, GetTable(database, table));
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<HeapTable> t, GetTable(database, table));
+  std::lock_guard<std::mutex> lock(TableLock(database, table));
   if (!data_dir_.empty()) {
     std::vector<SqlRow> key_rows;
     key_rows.reserve(keys.size());
@@ -210,7 +215,6 @@ Status SqlEngine::BulkDelete(const std::string& database,
     SCD_RETURN_IF_ERROR(
         AppendToRedoLog(database, table, key_rows, /*is_delete=*/true));
   }
-  std::lock_guard<std::mutex> lock(TableLock(database, table));
   for (const Value& key : keys) {
     SCD_RETURN_IF_ERROR(t->DeleteByPk(key));
   }
@@ -218,13 +222,29 @@ Status SqlEngine::BulkDelete(const std::string& database,
 }
 
 Status SqlEngine::Flush() {
-  std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   if (data_dir_.empty()) {
+    std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
     for (const auto& [database, tables] : databases_) {
-      for (const auto& [name, table] : tables) table->CommitTransaction();
+      for (const auto& [name, table] : tables) {
+        std::lock_guard<std::mutex> lock(TableLock(database, name));
+        table->CommitTransaction();
+      }
     }
     return Status::OK();
   }
+  // Rotate the redo log with every writer excluded (all shard locks +
+  // log_mu); after the cut each logged mutation is either in the sidecar
+  // and already applied — captured by the serialization below — or
+  // entirely in the fresh live log.
+  {
+    std::array<std::unique_lock<std::mutex>, kTableLockShards> shard_locks;
+    for (size_t i = 0; i < kTableLockShards; ++i) {
+      shard_locks[i] = std::unique_lock<std::mutex>(sync_->table_shards[i]);
+    }
+    std::lock_guard<std::mutex> log_lock(sync_->log_mu);
+    SCD_RETURN_IF_ERROR(RotateRedoLog());
+  }
+  std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   std::string doublewrite = (fs::path(data_dir_) / "doublewrite.bin").string();
   for (const auto& [database, tables] : databases_) {
     std::error_code ec;
@@ -232,18 +252,26 @@ Status SqlEngine::Flush() {
     if (ec) return Status::IoError("cannot create database dir: " + ec.message());
     for (const auto& [name, table] : tables) {
       ByteWriter writer;
-      table->SerializeTo(&writer);
+      {
+        // Serialize under the shard lock so a concurrent writer can't
+        // mutate the page image mid-snapshot.
+        std::lock_guard<std::mutex> lock(TableLock(database, name));
+        table->SerializeTo(&writer);
+      }
       // InnoDB writes every page twice: first to the doublewrite buffer,
       // then in place (torn-page protection; on by default).
       SCD_RETURN_IF_ERROR(WriteFileAtomic(doublewrite, writer.data()));
       SCD_RETURN_IF_ERROR(
           WriteFileAtomic(TablespacePath(database, name), writer.data()));
+      std::lock_guard<std::mutex> lock(TableLock(database, name));
       table->CommitTransaction();
     }
   }
+  // Every sidecar record is now covered by a tablespace; on any earlier
+  // error the sidecar survives and is replayed at the next reopen.
   std::error_code ec;
   fs::remove(doublewrite, ec);
-  fs::remove(RedoLogPath(), ec);
+  fs::remove(RotatedRedoLogPath(), ec);
   return Status::OK();
 }
 
@@ -292,6 +320,35 @@ std::string SqlEngine::TablespacePath(const std::string& database,
 
 std::string SqlEngine::RedoLogPath() const {
   return (fs::path(data_dir_) / "redolog.bin").string();
+}
+
+std::string SqlEngine::RotatedRedoLogPath() const {
+  return (fs::path(data_dir_) / "redolog.old.bin").string();
+}
+
+Status SqlEngine::RotateRedoLog() {
+  if (!fs::exists(RedoLogPath())) return Status::OK();
+  std::error_code ec;
+  const std::string rotated = RotatedRedoLogPath();
+  if (!fs::exists(rotated)) {
+    fs::rename(RedoLogPath(), rotated, ec);
+    if (ec) return Status::IoError("rotating redo log: " + ec.message());
+    return Status::OK();
+  }
+  // A prior flush failed (or crashed) after rotating: append the live log
+  // to the surviving sidecar so replay order — sidecar, then live — still
+  // reproduces append order.
+  SCD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(RedoLogPath()));
+  {
+    std::ofstream out(rotated, std::ios::binary | std::ios::app);
+    if (!out) return Status::IoError("cannot open rotated redo log");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Status::IoError("short append to rotated redo log");
+  }
+  fs::remove(RedoLogPath(), ec);
+  if (ec) return Status::IoError("removing redo log: " + ec.message());
+  return Status::OK();
 }
 
 std::mutex& SqlEngine::TableLock(const std::string& database,
@@ -345,8 +402,16 @@ Status SqlEngine::AppendToRedoLog(const std::string& database,
 }
 
 Status SqlEngine::ReplayRedoLog() {
-  if (!fs::exists(RedoLogPath())) return Status::OK();
-  SCD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(RedoLogPath()));
+  // The sidecar (a flush that never finished) holds older records than the
+  // live log; replay it first. Rows that also reached a tablespace replay
+  // as tolerated AlreadyExists duplicates.
+  SCD_RETURN_IF_ERROR(ReplayRedoLogFile(RotatedRedoLogPath()));
+  return ReplayRedoLogFile(RedoLogPath());
+}
+
+Status SqlEngine::ReplayRedoLogFile(const std::string& path) {
+  if (!fs::exists(path)) return Status::OK();
+  SCD_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(path));
   ByteReader reader(bytes);
   while (!reader.AtEnd()) {
     auto frame_size = reader.ReadU32();

@@ -27,8 +27,16 @@ namespace scdwarf::sql {
 /// Concurrency: mirrors nosql::Database — mutations from different threads
 /// serialize behind a fixed pool of per-table shard locks, catalog changes
 /// take the catalog lock exclusively, and redo-log appends serialize behind
-/// a dedicated log lock. Reads concurrent with writes to the same table are
-/// not synchronized.
+/// a dedicated log lock. Tables are shared_ptr-owned: GetTable() hands out
+/// shared ownership, so a concurrent DropTable only removes the catalog
+/// entry and the object outlives every user. Reads concurrent with writes
+/// to the same table are not synchronized.
+///
+/// Durability: each mutation appends to the redo log and applies to the
+/// table under one shard-lock critical section; Flush() rotates the log to
+/// a sidecar under all shard locks, serializes every table, and deletes the
+/// sidecar only after every tablespace hit disk, so acknowledged mutations
+/// survive a crash at any point (replay tolerates duplicates).
 class SqlEngine {
  public:
   /// In-memory engine.
@@ -48,10 +56,12 @@ class SqlEngine {
   Status CreateIndex(const std::string& database, const std::string& table,
                      const std::string& column);
 
-  Result<HeapTable*> GetTable(const std::string& database,
-                              const std::string& table);
-  Result<const HeapTable*> GetTable(const std::string& database,
-                                    const std::string& table) const;
+  /// Looks up a table. The returned shared_ptr keeps the table alive even
+  /// if it is concurrently dropped.
+  Result<std::shared_ptr<HeapTable>> GetTable(const std::string& database,
+                                              const std::string& table);
+  Result<std::shared_ptr<const HeapTable>> GetTable(
+      const std::string& database, const std::string& table) const;
 
   Status Insert(const std::string& database, const std::string& table,
                 SqlRow row);
@@ -90,17 +100,24 @@ class SqlEngine {
   Status AppendToRedoLog(const std::string& database, const std::string& table,
                          const std::vector<SqlRow>& rows,
                          bool is_delete = false);
+  /// Replays the rotated sidecar (crash mid-flush) then the live log.
   Status ReplayRedoLog();
+  Status ReplayRedoLogFile(const std::string& path);
+  /// Moves the live redo log aside to the sidecar (appending if a prior
+  /// flush's sidecar survived). Caller must exclude writers — every shard
+  /// lock plus log_mu.
+  Status RotateRedoLog();
   std::string TablespacePath(const std::string& database,
                              const std::string& table) const;
   std::string RedoLogPath() const;
+  std::string RotatedRedoLogPath() const;
 
   /// The shard lock guarding (database, table)'s row contents.
   std::mutex& TableLock(const std::string& database,
                         const std::string& table) const;
 
   std::string data_dir_;
-  std::map<std::string, std::map<std::string, std::unique_ptr<HeapTable>>>
+  std::map<std::string, std::map<std::string, std::shared_ptr<HeapTable>>>
       databases_;
   std::unique_ptr<Sync> sync_ = std::make_unique<Sync>();
 };

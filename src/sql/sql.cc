@@ -394,7 +394,7 @@ Result<size_t> ResolveRef(const std::vector<BoundColumn>& bindings,
 
 Result<SqlResult> ExecuteSelect(SqlEngine* engine, const SqlSelect& stmt) {
   const SqlEngine* const_engine = engine;
-  SCD_ASSIGN_OR_RETURN(const HeapTable* left,
+  SCD_ASSIGN_OR_RETURN(std::shared_ptr<const HeapTable> left,
                        const_engine->GetTable(stmt.database, stmt.table));
 
   // Build bindings and the combined row stream.
@@ -409,7 +409,7 @@ Result<SqlResult> ExecuteSelect(SqlEngine* engine, const SqlSelect& stmt) {
     for (const SqlRow* row : left->ScanAll()) combined.push_back(*row);
   } else {
     SCD_ASSIGN_OR_RETURN(
-        const HeapTable* right,
+        std::shared_ptr<const HeapTable> right,
         const_engine->GetTable(stmt.database, *stmt.join_table));
     for (const SqlColumn& column : right->def().columns()) {
       bindings.push_back({*stmt.join_table, column.name, offset++});
@@ -518,7 +518,7 @@ Result<SqlResult> ExecuteSqlStatement(SqlEngine* engine,
     return SqlResult{};
   }
   if (const auto* stmt = std::get_if<SqlInsert>(&statement)) {
-    SCD_ASSIGN_OR_RETURN(const HeapTable* table,
+    SCD_ASSIGN_OR_RETURN(std::shared_ptr<const HeapTable> table,
                          static_cast<const SqlEngine*>(engine)->GetTable(
                              stmt->database, stmt->table));
     const SqlTableDef& def = table->def();
@@ -540,7 +540,7 @@ Result<SqlResult> ExecuteSqlStatement(SqlEngine* engine,
     return ExecuteSelect(engine, *stmt);
   }
   if (const auto* stmt = std::get_if<SqlDelete>(&statement)) {
-    SCD_ASSIGN_OR_RETURN(const HeapTable* table,
+    SCD_ASSIGN_OR_RETURN(std::shared_ptr<const HeapTable> table,
                          static_cast<const SqlEngine*>(engine)->GetTable(
                              stmt->database, stmt->table));
     std::vector<Value> keys;

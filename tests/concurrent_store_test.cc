@@ -1,0 +1,247 @@
+/// \file concurrent_store_test.cc
+/// \brief Concurrency regressions for the storage engines (ctest label
+/// `parallel`, run under TSAN in the verify flow):
+///  - DropTable racing mutations and background flushes must not free a
+///    table out from under its users (tables are shared_ptr-owned).
+///  - Flush() racing writers must not lose acknowledged mutations: the
+///    commit/redo log is rotated to a sidecar under the shard locks and
+///    only removed once every segment is on disk.
+///  - A sidecar left by a flush that never finished (crash simulation) is
+///    replayed at reopen, before the live log.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nosql/database.h"
+#include "sql/engine.h"
+
+namespace scdwarf {
+namespace {
+
+namespace fs = std::filesystem;
+
+nosql::TableSchema KvSchema(const std::string& name) {
+  return nosql::TableSchema("ks", name,
+                            {{"id", DataType::kInt},
+                             {"payload", DataType::kText}},
+                            "id");
+}
+
+nosql::Row KvRow(int64_t id) {
+  return {Value::Int(id), Value::Text("p" + std::to_string(id))};
+}
+
+sql::SqlTableDef SqlKvDef(const std::string& name) {
+  return sql::SqlTableDef("db", name,
+                          {{"id", DataType::kInt, false},
+                           {"payload", DataType::kText}},
+                          "id");
+}
+
+sql::SqlRow SqlKvRow(int64_t id) {
+  return {Value::Int(id), Value::Text("p" + std::to_string(id))};
+}
+
+class ConcurrentStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("scdwarf_concurrent_store_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+// Regression: GetTable used to hand out a raw pointer that DropTable could
+// destroy mid-mutation (and mid-background-flush) — a use-after-free that
+// TSAN/ASAN flags here. With shared_ptr ownership the mutation lands on the
+// orphaned table object and is discarded with it.
+TEST_F(ConcurrentStoreTest, NoSqlDropTableDuringMutationsAndFlushesIsSafe) {
+  auto db = nosql::Database::Open(dir_.string());
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_TRUE(db->CreateKeyspace("ks").ok());
+  ASSERT_TRUE(db->CreateTable(KvSchema("t")).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int64_t id = 0;
+    while (!stop.load()) {
+      std::vector<nosql::Row> rows;
+      for (int i = 0; i < 8; ++i) rows.push_back(KvRow(id++));
+      // NotFound while the table is dropped is fine; crashing is not.
+      (void)db->BulkInsert("ks", "t", std::move(rows));
+      (void)db->FlushTableAsync("ks", "t");
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    (void)db->DropTable("ks", "t");
+    (void)db->CreateTable(KvSchema("t"));
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_TRUE(db->WaitFlushed().ok());
+  // The final incarnation of the table is still usable.
+  ASSERT_TRUE(db->GetTable("ks", "t").ok());
+  EXPECT_TRUE(db->Insert("ks", "t", KvRow(1 << 20)).ok());
+}
+
+// Regression: Flush() used to delete the whole commit log after its barrier,
+// dropping records for rows a concurrent writer appended-and-applied after
+// their table was serialized — those rows then existed nowhere durable.
+// With the rotate-then-delete protocol every acknowledged row survives
+// reopen, whichever side of a concurrent flush it landed on.
+TEST_F(ConcurrentStoreTest, NoSqlFlushDuringWritesLosesNoAcknowledgedRow) {
+  constexpr int64_t kRows = 400;
+  {
+    auto db = nosql::Database::Open(dir_.string());
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE(db->CreateKeyspace("ks").ok());
+    ASSERT_TRUE(db->CreateTable(KvSchema("t")).ok());
+    ASSERT_TRUE(db->Flush().ok());  // persist schema before the race starts
+    std::atomic<bool> done{false};
+    std::thread writer([&] {
+      for (int64_t id = 0; id < kRows; ++id) {
+        ASSERT_TRUE(db->BulkInsert("ks", "t", {KvRow(id)}).ok());
+      }
+      done.store(true);
+    });
+    while (!done.load()) {
+      ASSERT_TRUE(db->Flush().ok());
+    }
+    writer.join();
+    // Simulated crash: no final Flush — rows not captured by the racing
+    // flushes must still be in the live log (or the sidecar of a flush
+    // that hadn't deleted it yet).
+  }
+  auto db = nosql::Database::Open(dir_.string());
+  ASSERT_TRUE(db.ok()) << db.status();
+  auto table = db->GetTable("ks", "t");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), static_cast<size_t>(kRows));
+}
+
+// Crash between log rotation and sidecar deletion: the sidecar must replay
+// at reopen, and must replay before the live log.
+TEST_F(ConcurrentStoreTest, NoSqlRotatedCommitLogReplaysOnOpen) {
+  {
+    auto db = nosql::Database::Open(dir_.string());
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE(db->CreateKeyspace("ks").ok());
+    ASSERT_TRUE(db->CreateTable(KvSchema("t")).ok());
+    ASSERT_TRUE(db->Flush().ok());  // persist schema; the log only has rows
+    for (int64_t id = 0; id < 10; ++id) {
+      ASSERT_TRUE(db->Insert("ks", "t", KvRow(id)).ok());
+    }
+  }
+  // Simulate a flush that rotated the log and then died.
+  fs::rename(dir_ / "commitlog.bin", dir_ / "commitlog.old.bin");
+  {
+    auto db = nosql::Database::Open(dir_.string());
+    ASSERT_TRUE(db.ok()) << db.status();
+    EXPECT_EQ((*db->GetTable("ks", "t"))->num_rows(), 10u);
+    // More unflushed writes land in a fresh live log while the sidecar
+    // still exists; both must replay, sidecar first.
+    for (int64_t id = 10; id < 15; ++id) {
+      ASSERT_TRUE(db->Insert("ks", "t", KvRow(id)).ok());
+    }
+  }
+  auto db = nosql::Database::Open(dir_.string());
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ((*db->GetTable("ks", "t"))->num_rows(), 15u);
+  // A later clean Flush folds both logs away.
+  ASSERT_TRUE(db->Flush().ok());
+  EXPECT_FALSE(fs::exists(dir_ / "commitlog.bin"));
+  EXPECT_FALSE(fs::exists(dir_ / "commitlog.old.bin"));
+}
+
+TEST_F(ConcurrentStoreTest, SqlDropTableDuringMutationsIsSafe) {
+  auto engine = sql::SqlEngine::Open(dir_.string());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  ASSERT_TRUE(engine->CreateDatabase("db").ok());
+  ASSERT_TRUE(engine->CreateTable(SqlKvDef("t")).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int64_t id = 0;
+    while (!stop.load()) {
+      std::vector<sql::SqlRow> rows;
+      for (int i = 0; i < 8; ++i) rows.push_back(SqlKvRow(id++));
+      (void)engine->BulkInsert("db", "t", std::move(rows));
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    (void)engine->DropTable("db", "t");
+    (void)engine->CreateTable(SqlKvDef("t"));
+  }
+  stop.store(true);
+  writer.join();
+  ASSERT_TRUE(engine->GetTable("db", "t").ok());
+  EXPECT_TRUE(engine->Insert("db", "t", SqlKvRow(1 << 20)).ok());
+}
+
+TEST_F(ConcurrentStoreTest, SqlFlushDuringWritesLosesNoAcknowledgedRow) {
+  constexpr int64_t kRows = 200;  // redo appends fsync: keep the count modest
+  {
+    auto engine = sql::SqlEngine::Open(dir_.string());
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    ASSERT_TRUE(engine->CreateDatabase("db").ok());
+    ASSERT_TRUE(engine->CreateTable(SqlKvDef("t")).ok());
+    ASSERT_TRUE(engine->Flush().ok());  // persist schema before the race starts
+    std::atomic<bool> done{false};
+    std::thread writer([&] {
+      for (int64_t id = 0; id < kRows; ++id) {
+        ASSERT_TRUE(engine->BulkInsert("db", "t", {SqlKvRow(id)}).ok());
+      }
+      done.store(true);
+    });
+    while (!done.load()) {
+      ASSERT_TRUE(engine->Flush().ok());
+    }
+    writer.join();
+  }
+  auto engine = sql::SqlEngine::Open(dir_.string());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto table = engine->GetTable("db", "t");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), static_cast<size_t>(kRows));
+}
+
+TEST_F(ConcurrentStoreTest, SqlRotatedRedoLogReplaysOnOpen) {
+  {
+    auto engine = sql::SqlEngine::Open(dir_.string());
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    ASSERT_TRUE(engine->CreateDatabase("db").ok());
+    ASSERT_TRUE(engine->CreateTable(SqlKvDef("t")).ok());
+    ASSERT_TRUE(engine->Flush().ok());  // persist schema; the log only has rows
+    for (int64_t id = 0; id < 10; ++id) {
+      ASSERT_TRUE(engine->Insert("db", "t", SqlKvRow(id)).ok());
+    }
+  }
+  fs::rename(dir_ / "redolog.bin", dir_ / "redolog.old.bin");
+  {
+    auto engine = sql::SqlEngine::Open(dir_.string());
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    EXPECT_EQ((*engine->GetTable("db", "t"))->num_rows(), 10u);
+    for (int64_t id = 10; id < 15; ++id) {
+      ASSERT_TRUE(engine->Insert("db", "t", SqlKvRow(id)).ok());
+    }
+  }
+  auto engine = sql::SqlEngine::Open(dir_.string());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_EQ((*engine->GetTable("db", "t"))->num_rows(), 15u);
+  ASSERT_TRUE(engine->Flush().ok());
+  EXPECT_FALSE(fs::exists(dir_ / "redolog.bin"));
+  EXPECT_FALSE(fs::exists(dir_ / "redolog.old.bin"));
+}
+
+}  // namespace
+}  // namespace scdwarf
