@@ -116,6 +116,140 @@ struct RunResult {
   uint64_t requests = 0;
 };
 
+// ---------------------------------------------------------------- helpers
+// for the session/revalidation phases: minimal envelope accessors (the
+// bench tolerates malformed responses instead of crashing mid-run).
+
+bool GetBool(const json::JsonValue& object, const char* key) {
+  auto value = object.Get(key);
+  if (!value.ok()) return false;
+  auto flag = value->AsBool();
+  return flag.ok() && *flag;
+}
+
+double GetNumber(const json::JsonValue& object, const char* key) {
+  auto value = object.Get(key);
+  if (!value.ok()) return 0;
+  auto number = value->AsNumber();
+  return number.ok() ? *number : 0;
+}
+
+std::string RowsJson(const json::JsonValue& envelope) {
+  auto rows = envelope.Get("rows");
+  if (!rows.ok()) return "";
+  return json::SerializeJson(*rows);
+}
+
+// Drains a cursor session and compares the concatenated pages against the
+// one-shot rows of the same query — the acceptance check of the session
+// protocol, measured instead of asserted.
+struct CursorRun {
+  uint64_t pages = 0;
+  uint64_t rows = 0;
+  double seconds = 0;
+  bool matches_oneshot = false;
+};
+
+CursorRun RunCursorDrain(server::QueryServer& server,
+                         const std::string& query_json, size_t page_size) {
+  CursorRun run;
+  server::ServerHandle handle(&server);
+  auto oneshot = json::ParseJson(handle.Call(query_json));
+  if (!oneshot.ok()) return run;
+  std::string want = RowsJson(*oneshot);
+
+  Stopwatch watch;
+  auto open = json::ParseJson(handle.QueryOpen(query_json, page_size));
+  if (!open.ok() || !GetBool(*open, "ok")) return run;
+  uint64_t cursor = static_cast<uint64_t>(GetNumber(*open, "cursor"));
+  json::JsonArray drained;
+  while (true) {
+    auto page = json::ParseJson(handle.QueryNext(cursor));
+    if (!page.ok() || !GetBool(*page, "ok")) return run;
+    auto rows = page->Get("rows");
+    if (!rows.ok()) return run;
+    const json::JsonArray* array = rows->AsArray();
+    if (array == nullptr) return run;
+    run.rows += array->size();
+    ++run.pages;
+    for (const json::JsonValue& row : *array) drained.push_back(row);
+    if (GetBool(*page, "done")) break;
+  }
+  run.seconds = watch.ElapsedSeconds();
+  run.matches_oneshot =
+      json::SerializeJson(json::JsonValue(std::move(drained))) == want;
+  return run;
+}
+
+// Probes delta-epoch revalidation: warm a slice on dimension-0 key A, publish
+// a batch touching only key B (the cached entry must carry over as a
+// revalidated hit), then publish a batch touching key A (the entry must drop
+// and recompute).
+struct RevalidationProbe {
+  bool ran = false;
+  uint64_t revalidated_delta = 0;
+  bool revalidated_hit = false;
+  bool invalidated_recompute = false;
+};
+
+// Picks the dimension with the largest dictionary — low-cardinality leading
+// dimensions (a single year, one city) cannot distinguish "touched" from
+// "missed" prefixes.
+size_t WidestDimension(const dwarf::DwarfCube& cube) {
+  size_t best = 0;
+  for (size_t dim = 1; dim < cube.num_dimensions(); ++dim) {
+    if (cube.dictionary(dim).size() > cube.dictionary(best).size()) best = dim;
+  }
+  return best;
+}
+
+RevalidationProbe ProbeRevalidation(server::QueryServer& server,
+                                    const dwarf::DwarfCube& cube, Rng& rng) {
+  RevalidationProbe probe;
+  size_t probe_dim = WidestDimension(cube);
+  const dwarf::Dictionary& dict = cube.dictionary(probe_dim);
+  if (dict.size() < 2) return probe;
+  std::string key_a = dict.DecodeUnchecked(0);
+  std::string key_b = dict.DecodeUnchecked(1);
+
+  json::JsonObject request;
+  request.emplace_back("op", json::JsonValue("slice"));
+  request.emplace_back(
+      "dim", json::JsonValue(cube.schema().dimensions()[probe_dim].name));
+  request.emplace_back("key", json::JsonValue(key_a));
+  std::string query = json::SerializeJson(json::JsonValue(std::move(request)));
+
+  auto make_batch = [&](const std::string& probe_key) {
+    std::vector<std::pair<std::vector<std::string>, dwarf::Measure>> batch;
+    for (int i = 0; i < 4; ++i) {
+      std::vector<std::string> keys;
+      for (size_t dim = 0; dim < cube.num_dimensions(); ++dim) {
+        keys.push_back(dim == probe_dim ? probe_key
+                                        : RandomKey(cube, dim, rng));
+      }
+      batch.emplace_back(std::move(keys), 1);
+    }
+    return batch;
+  };
+
+  server::ServerHandle handle(&server);
+  handle.Call(query);  // warm: compute and cache at the current epoch
+  uint64_t revalidated_before = server.Stats().cache.revalidated;
+
+  if (!server.ApplyUpdate(make_batch(key_b)).ok()) return probe;
+  auto after_miss = json::ParseJson(handle.Call(query));
+  probe.revalidated_delta =
+      server.Stats().cache.revalidated - revalidated_before;
+  probe.revalidated_hit = after_miss.ok() && GetBool(*after_miss, "cached");
+
+  if (!server.ApplyUpdate(make_batch(key_a)).ok()) return probe;
+  auto after_touch = json::ParseJson(handle.Call(query));
+  probe.invalidated_recompute =
+      after_touch.ok() && !GetBool(*after_touch, "cached");
+  probe.ran = true;
+  return probe;
+}
+
 RunResult RunClients(server::QueryServer& server,
                      const std::vector<std::string>& pool, int clients,
                      int requests_per_client) {
@@ -194,6 +328,32 @@ int main() {
                    epoch.status().ToString().c_str());
     }
 
+    // Cursor sessions: drain a leading-dimension rollup at the acceptance
+    // page sizes and check each against the one-shot rows.
+    json::JsonObject rollup;
+    rollup.emplace_back("op", json::JsonValue("rollup"));
+    json::JsonArray group;
+    size_t wide_dim = WidestDimension(**cube);
+    group.push_back(
+        json::JsonValue((*cube)->schema().dimensions()[wide_dim].name));
+    if (dims > 1) {
+      group.push_back(json::JsonValue(
+          (*cube)->schema().dimensions()[wide_dim == 0 ? 1 : 0].name));
+    }
+    rollup.emplace_back("dims", json::JsonValue(std::move(group)));
+    std::string cursor_query =
+        json::SerializeJson(json::JsonValue(std::move(rollup)));
+    bool pagination_matches = true;
+    CursorRun cursor_run;
+    for (size_t page_size : {size_t{1}, size_t{7}, size_t{64}}) {
+      CursorRun run = RunCursorDrain(server, cursor_query, page_size);
+      pagination_matches = pagination_matches && run.matches_oneshot;
+      if (page_size == 64) cursor_run = run;
+    }
+
+    RevalidationProbe probe = ProbeRevalidation(server, **cube, rng);
+    stats = server.Stats();  // refresh: the probes moved the cache counters
+
     std::printf("%-8s %10llu %10.0f %10.1f %10.1f %10.1f %9.3f %9llu %12.1f\n",
                 dataset.c_str(),
                 static_cast<unsigned long long>((*cube)->stats().tuple_count),
@@ -201,6 +361,15 @@ int main() {
                 stats.latency_p99_us, stats.cache_hit_rate,
                 static_cast<unsigned long long>(stats.rejected_total),
                 update_ms);
+    std::printf(
+        "  cursor(page=64): %llu rows in %llu pages, %.1f ms, "
+        "matches_oneshot=%s | reval: delta=%llu hit=%s invalidate=%s\n",
+        static_cast<unsigned long long>(cursor_run.rows),
+        static_cast<unsigned long long>(cursor_run.pages),
+        cursor_run.seconds * 1e3, pagination_matches ? "yes" : "NO",
+        static_cast<unsigned long long>(probe.revalidated_delta),
+        probe.revalidated_hit ? "yes" : "NO",
+        probe.invalidated_recompute ? "yes" : "NO");
 
     benchutil::BenchJsonRow row;
     row.emplace_back("dataset", json::JsonValue(dataset));
@@ -221,6 +390,20 @@ int main() {
     row.emplace_back("update_ms", json::JsonValue(update_ms));
     row.emplace_back("epoch_after_update",
                      json::JsonValue(static_cast<int64_t>(server.epoch())));
+    row.emplace_back("cursor_pages",
+                     json::JsonValue(static_cast<int64_t>(cursor_run.pages)));
+    row.emplace_back("cursor_rows",
+                     json::JsonValue(static_cast<int64_t>(cursor_run.rows)));
+    row.emplace_back("cursor_seconds", json::JsonValue(cursor_run.seconds));
+    row.emplace_back("pagination_matches_oneshot",
+                     json::JsonValue(pagination_matches));
+    row.emplace_back("cache_revalidated", json::JsonValue(static_cast<int64_t>(
+                                              stats.cache.revalidated)));
+    row.emplace_back("revalidated_delta", json::JsonValue(static_cast<int64_t>(
+                                              probe.revalidated_delta)));
+    row.emplace_back("revalidated_hit", json::JsonValue(probe.revalidated_hit));
+    row.emplace_back("invalidated_recompute",
+                     json::JsonValue(probe.invalidated_recompute));
     rows.push_back(std::move(row));
 
     benchutil::EvictDatasetCube(dataset);

@@ -1,0 +1,118 @@
+#include "dwarf/cursor.h"
+
+namespace scdwarf::dwarf {
+
+RowCursor::RowCursor(const DwarfCube& cube, std::vector<bool> enumerate,
+                     std::vector<std::optional<DimKey>> pinned)
+    : cube_(&cube),
+      enumerate_(std::move(enumerate)),
+      pinned_(std::move(pinned)) {
+  if (!cube.empty()) {
+    Frame root;
+    root.node = cube.root();
+    root.level = 0;
+    stack_.push_back(root);
+  }
+}
+
+Result<RowCursor> RowCursor::OverSlice(const DwarfCube& cube, size_t fixed_dim,
+                                       DimKey key) {
+  if (fixed_dim >= cube.num_dimensions()) {
+    return Status::OutOfRange("slice dimension out of range");
+  }
+  std::vector<bool> enumerate(cube.num_dimensions(), true);
+  enumerate[fixed_dim] = false;
+  std::vector<std::optional<DimKey>> pinned(cube.num_dimensions());
+  pinned[fixed_dim] = key;
+  return RowCursor(cube, std::move(enumerate), std::move(pinned));
+}
+
+Result<RowCursor> RowCursor::OverRollUp(const DwarfCube& cube,
+                                        const std::vector<size_t>& group_dims) {
+  std::vector<bool> enumerate(cube.num_dimensions(), false);
+  for (size_t dim : group_dims) {
+    if (dim >= cube.num_dimensions()) {
+      return Status::OutOfRange("group dimension out of range");
+    }
+    enumerate[dim] = true;
+  }
+  std::vector<std::optional<DimKey>> pinned(cube.num_dimensions());
+  return RowCursor(cube, std::move(enumerate), std::move(pinned));
+}
+
+void RowCursor::PopFrame() {
+  if (stack_.back().pushed_label) labels_.pop_back();
+  stack_.pop_back();
+}
+
+size_t RowCursor::Next(size_t max_rows, std::vector<SliceRow>* out) {
+  size_t produced = 0;
+  while (produced < max_rows && !stack_.empty()) {
+    Frame& frame = stack_.back();
+    const DwarfNode& node = cube_->node(frame.node);
+    bool leaf = static_cast<size_t>(frame.level) + 1 == cube_->num_dimensions();
+    if (enumerate_[frame.level]) {
+      if (frame.next_cell == node.cells.size()) {
+        PopFrame();
+        continue;
+      }
+      const DwarfCell& cell = node.cells[frame.next_cell++];
+      labels_.push_back(cube_->dictionary(frame.level).DecodeUnchecked(cell.key));
+      if (leaf) {
+        out->push_back({labels_, cell.measure});
+        labels_.pop_back();
+        ++produced;
+      } else {
+        Frame child;
+        child.node = cell.child;
+        child.level = static_cast<uint16_t>(frame.level + 1);
+        child.pushed_label = true;  // pops the label pushed above
+        stack_.push_back(child);    // invalidates `frame`
+      }
+      continue;
+    }
+    if (pinned_[frame.level].has_value()) {
+      if (frame.entered) {
+        PopFrame();
+        continue;
+      }
+      frame.entered = true;
+      const DwarfCell* cell = node.FindCell(*pinned_[frame.level]);
+      if (cell == nullptr) {
+        PopFrame();
+        continue;
+      }
+      if (leaf) {
+        out->push_back({labels_, cell->measure});
+        ++produced;
+        PopFrame();
+        continue;
+      }
+      Frame child;
+      child.node = cell->child;
+      child.level = static_cast<uint16_t>(frame.level + 1);
+      stack_.push_back(child);
+      continue;
+    }
+    // Rolled-up dimension: follow the precomputed ALL cell.
+    if (frame.entered) {
+      PopFrame();
+      continue;
+    }
+    frame.entered = true;
+    if (leaf) {
+      out->push_back({labels_, node.all_measure});
+      ++produced;
+      PopFrame();
+      continue;
+    }
+    Frame child;
+    child.node = node.all_child;
+    child.level = static_cast<uint16_t>(frame.level + 1);
+    stack_.push_back(child);
+  }
+  rows_emitted_ += produced;
+  return produced;
+}
+
+}  // namespace scdwarf::dwarf

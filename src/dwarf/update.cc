@@ -1,5 +1,7 @@
 #include "dwarf/update.h"
 
+#include <algorithm>
+
 #include "common/stopwatch.h"
 
 namespace scdwarf::dwarf {
@@ -24,10 +26,31 @@ Status CubeUpdater::AddTuple(const std::vector<std::string>& keys,
   return Status::OK();
 }
 
+std::vector<std::vector<std::string>> CubeUpdater::ChangedKeyPrefixes() const {
+  std::vector<std::vector<std::string>> changed;
+  changed.reserve(pending_.size());
+  for (const auto& [keys, measure] : pending_) changed.push_back(keys);
+  std::sort(changed.begin(), changed.end());
+  changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+  return changed;
+}
+
 Result<DwarfCube> CubeUpdater::Rebuild(UpdateProfile* profile) && {
   Stopwatch watch;
   SCD_ASSIGN_OR_RETURN(std::vector<SliceRow> base, ExtractBaseTuples(cube_));
   DwarfBuilder builder(cube_.schema());
+  // Seed the builder with the current dictionaries so every existing value
+  // keeps its id (new values append past them). Stable ids keep cell order —
+  // and therefore slice/rollup row order — stable for untouched subtrees,
+  // which the serving layer's delta-epoch cache revalidation relies on.
+  {
+    std::vector<Dictionary> dictionaries;
+    dictionaries.reserve(cube_.num_dimensions());
+    for (size_t dim = 0; dim < cube_.num_dimensions(); ++dim) {
+      dictionaries.push_back(cube_.dictionary(dim));
+    }
+    SCD_RETURN_IF_ERROR(builder.ImportDictionaries(std::move(dictionaries)));
+  }
   for (const SliceRow& row : base) {
     SCD_RETURN_IF_ERROR(builder.AddAggregatedTuple(row.keys, row.measure));
   }
@@ -37,6 +60,7 @@ Result<DwarfCube> CubeUpdater::Rebuild(UpdateProfile* profile) && {
   UpdateProfile local;
   local.base_tuples = base.size();
   local.new_tuples = pending_.size();
+  local.changed_prefixes = ChangedKeyPrefixes().size();
   SCD_ASSIGN_OR_RETURN(DwarfCube updated, std::move(builder).Build());
   local.rebuild_ms = watch.ElapsedMillis();
   if (profile != nullptr) *profile = local;

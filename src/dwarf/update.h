@@ -28,6 +28,7 @@ Result<std::vector<SliceRow>> ExtractBaseTuples(const DwarfCube& cube);
 struct UpdateProfile {
   uint64_t base_tuples = 0;  ///< distinct tuples re-fed from the old cube
   uint64_t new_tuples = 0;   ///< tuples staged through AddTuple
+  uint64_t changed_prefixes = 0;  ///< |ChangedKeyPrefixes()| of the batch
   double rebuild_ms = 0;     ///< end-to-end Rebuild wall time
 };
 
@@ -61,6 +62,13 @@ class CubeUpdater {
 
   /// Number of staged tuples.
   size_t num_pending() const { return pending_.size(); }
+
+  /// \brief The changed dimension-key prefixes of the staged batch: the
+  /// deduped, sorted decoded key paths of every pending tuple. Publishing
+  /// this set alongside an epoch lets the serving layer revalidate cached
+  /// results whose queries provably miss every changed path instead of
+  /// invalidating its cache wholesale.
+  std::vector<std::vector<std::string>> ChangedKeyPrefixes() const;
 
   /// Installs \p hook, replacing any previous one. See PostRebuildHook.
   void set_post_rebuild_hook(PostRebuildHook hook) { hook_ = std::move(hook); }

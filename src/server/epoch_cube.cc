@@ -18,6 +18,7 @@ Result<uint64_t> EpochCubeStore::ApplyUpdate(
                        const dwarf::UpdateProfile& rebuilt) {
         local_profile = rebuilt;
       });
+  std::vector<std::vector<std::string>> changed = updater.ChangedKeyPrefixes();
   SCD_ASSIGN_OR_RETURN(dwarf::DwarfCube updated, std::move(updater).Rebuild());
   if (profile != nullptr) *profile = local_profile;
   uint64_t published_epoch = 0;
@@ -27,8 +28,8 @@ Result<uint64_t> EpochCubeStore::ApplyUpdate(
     cube_ = std::move(published);
     published_epoch = ++epoch_;
   }
-  // Still under update_mu_, so invalidations arrive in epoch order.
-  if (publish_hook_) publish_hook_(published_epoch);
+  // Still under update_mu_, so revalidation sweeps arrive in epoch order.
+  if (publish_hook_) publish_hook_(published_epoch, changed);
   return published_epoch;
 }
 

@@ -50,12 +50,17 @@ class EpochCubeStore {
     return epoch_;
   }
 
-  /// \brief Installs the publish observer, called with the new epoch right
-  /// after each publish (the server invalidates its result cache here).
-  /// Must be set before updates start flowing; not synchronized itself.
-  void set_publish_hook(std::function<void(uint64_t)> hook) {
-    publish_hook_ = std::move(hook);
-  }
+  /// \brief Observer invoked right after each publish with the new epoch and
+  /// the changed dimension-key prefixes of the batch (the deduped decoded key
+  /// paths of the merged tuples, from dwarf::CubeUpdater::ChangedKeyPrefixes).
+  /// The server revalidates its result cache here: entries whose query
+  /// provably misses every changed path carry over to the new epoch.
+  using PublishHook = std::function<void(
+      uint64_t epoch, const std::vector<std::vector<std::string>>& changed)>;
+
+  /// \brief Installs the publish observer. Must be set before updates start
+  /// flowing; not synchronized itself.
+  void set_publish_hook(PublishHook hook) { publish_hook_ = std::move(hook); }
 
   /// \brief Merges \p tuples into the current cube via dwarf::CubeUpdater and
   /// publishes the result under the next epoch. Returns that epoch. Updates
@@ -72,7 +77,7 @@ class EpochCubeStore {
   std::mutex update_mu_;          ///< serializes writers
   uint64_t epoch_ = 0;
   std::shared_ptr<const dwarf::DwarfCube> cube_;
-  std::function<void(uint64_t)> publish_hook_;
+  PublishHook publish_hook_;
 };
 
 }  // namespace scdwarf::server

@@ -22,6 +22,28 @@ std::string MakeOverloadPayload(size_t max_queue_depth) {
   return json::SerializeJson(JsonValue(std::move(payload)));
 }
 
+std::string MakeTooManySessionsPayload(size_t max_sessions) {
+  JsonObject payload;
+  payload.emplace_back("code", JsonValue("too_many_sessions"));
+  payload.emplace_back(
+      "error",
+      JsonValue("cursor session table full (max " +
+                std::to_string(max_sessions) +
+                "); close or drain a session and retry"));
+  return json::SerializeJson(JsonValue(std::move(payload)));
+}
+
+void ForgetClientCursor(ClientContext* client, uint64_t cursor_id) {
+  if (client == nullptr) return;
+  auto& cursors = client->cursors;
+  for (auto it = cursors.begin(); it != cursors.end(); ++it) {
+    if (*it == cursor_id) {
+      cursors.erase(it);
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 QueryServer::QueryServer(dwarf::DwarfCube cube, ServerOptions options)
@@ -29,14 +51,27 @@ QueryServer::QueryServer(dwarf::DwarfCube cube, ServerOptions options)
       num_workers_(ResolveThreadCount(options_.num_workers)),
       store_(std::move(cube)),
       cache_(options_.cache_capacity, options_.cache_shards),
+      schema_(store_.snapshot().cube->schema()),
       latency_us_(FixedBucketHistogram::ForLatencyMicros()) {
   if (num_workers_ > 1) {
     pool_ = std::make_unique<ThreadPool>(num_workers_);
   }
-  store_.set_publish_hook([this](uint64_t) { cache_.InvalidateAll(); });
+  // Delta-epoch revalidation: carry a cached result over to the new epoch
+  // iff its query provably misses every changed key prefix. The hook runs
+  // under the store's update lock, so sweeps arrive in epoch order.
+  store_.set_publish_hook(
+      [this](uint64_t epoch,
+             const std::vector<std::vector<std::string>>& changed) {
+        cache_.Revalidate(epoch, [this, &changed](const std::string& key) {
+          Result<QueryRequest> parsed = ParseRequest(key);
+          return parsed.ok() &&
+                 !RequestMayTouchPrefixes(schema_, *parsed, changed);
+        });
+      });
 }
 
-std::string QueryServer::HandleFrame(std::string_view request_json) {
+std::string QueryServer::HandleFrame(std::string_view request_json,
+                                     ClientContext* client) {
   Stopwatch watch;
   size_t depth = in_flight_.fetch_add(1, std::memory_order_acq_rel);
   if (depth >= options_.max_queue_depth) {
@@ -50,13 +85,16 @@ std::string QueryServer::HandleFrame(std::string_view request_json) {
     // Single-worker servers execute inline, the repo-wide num_threads == 1
     // convention; admission control above still bounds concurrent callers.
     if (options_.pre_execute_hook) options_.pre_execute_hook();
-    response = Process(request_json);
+    response = Process(request_json, client);
   } else {
     std::promise<std::string> promise;
     std::future<std::string> future = promise.get_future();
-    pool_->Submit([this, request = std::string(request_json), &promise] {
+    // The caller blocks on the future below, so its ClientContext outlives
+    // the worker-side Process call.
+    pool_->Submit([this, request = std::string(request_json), client,
+                   &promise] {
       if (options_.pre_execute_hook) options_.pre_execute_hook();
-      promise.set_value(Process(request));
+      promise.set_value(Process(request, client));
     });
     response = future.get();
   }
@@ -66,15 +104,25 @@ std::string QueryServer::HandleFrame(std::string_view request_json) {
   return response;
 }
 
-std::string QueryServer::Process(std::string_view request_json) {
+std::string QueryServer::Process(std::string_view request_json,
+                                 ClientContext* client) {
   Result<QueryRequest> request = ParseRequest(request_json);
   EpochCubeStore::Snapshot snapshot = store_.snapshot();
   if (!request.ok()) {
     return MakeResponse(false, snapshot.epoch, false,
                         MakeErrorPayload(request.status()));
   }
-  if (request->op == RequestOp::kStats) {
-    return MakeResponse(true, snapshot.epoch, false, BuildStatsPayload());
+  switch (request->op) {
+    case RequestOp::kStats:
+      return MakeResponse(true, snapshot.epoch, false, BuildStatsPayload());
+    case RequestOp::kQueryOpen:
+      return HandleQueryOpen(*request, snapshot, client);
+    case RequestOp::kQueryNext:
+      return HandleQueryNext(*request, client);
+    case RequestOp::kQueryClose:
+      return HandleQueryClose(*request, client);
+    default:
+      break;
   }
   std::string key = NormalizedCacheKey(*request);
   if (std::optional<CachedResult> cached = cache_.Get(key, snapshot.epoch)) {
@@ -83,6 +131,132 @@ std::string QueryServer::Process(std::string_view request_json) {
   ExecResult result = ExecuteRequest(*snapshot.cube, *request);
   cache_.Put(key, snapshot.epoch, CachedResult{result.ok, result.payload_json});
   return MakeResponse(result.ok, snapshot.epoch, false, result.payload_json);
+}
+
+std::string QueryServer::HandleQueryOpen(
+    const QueryRequest& request, const EpochCubeStore::Snapshot& snapshot,
+    ClientContext* client) {
+  Result<dwarf::RowCursor> cursor =
+      OpenRowCursor(*snapshot.cube, *request.open_query);
+  if (!cursor.ok()) {
+    return MakeResponse(false, snapshot.epoch, false,
+                        MakeErrorPayload(cursor.status()));
+  }
+  double now = uptime_.ElapsedSeconds();
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    ReapIdleSessionsLocked(now);
+    if (sessions_.size() >= options_.max_sessions) {
+      sessions_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return MakeResponse(false, snapshot.epoch, false,
+                          MakeTooManySessionsPayload(options_.max_sessions));
+    }
+    id = next_cursor_id_++;
+    sessions_.emplace(
+        id, std::make_shared<Session>(id, snapshot.epoch, snapshot.cube,
+                                      std::move(*cursor), request.page_size,
+                                      now));
+  }
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  if (client != nullptr) client->cursors.push_back(id);
+  JsonObject payload;
+  payload.emplace_back("cursor", JsonValue(static_cast<int64_t>(id)));
+  payload.emplace_back("epoch",
+                       JsonValue(static_cast<int64_t>(snapshot.epoch)));
+  payload.emplace_back(
+      "page_size", JsonValue(static_cast<int64_t>(request.page_size)));
+  return MakeResponse(true, snapshot.epoch, false,
+                      json::SerializeJson(JsonValue(std::move(payload))));
+}
+
+std::string QueryServer::HandleQueryNext(const QueryRequest& request,
+                                         ClientContext* client) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(request.cursor_id);
+    if (it != sessions_.end()) {
+      session = it->second;
+      session->last_used = uptime_.ElapsedSeconds();
+    }
+  }
+  if (session == nullptr) {
+    return MakeResponse(
+        false, store_.epoch(), false,
+        MakeErrorPayload(Status::NotFound(
+            "unknown cursor " + std::to_string(request.cursor_id) +
+            " (closed, drained, or expired)")));
+  }
+  std::vector<dwarf::SliceRow> rows;
+  bool done = false;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    rows.reserve(session->page_size);
+    session->cursor.Next(session->page_size, &rows);
+    done = session->cursor.done();
+  }
+  if (done) {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.erase(session->id);
+    ForgetClientCursor(client, session->id);
+  }
+  // The envelope reports the session's pinned epoch — what the rows were
+  // computed against — not the store's possibly-newer epoch.
+  return MakeResponse(true, session->epoch, false,
+                      MakeCursorPagePayload(session->id, rows, done));
+}
+
+std::string QueryServer::HandleQueryClose(const QueryRequest& request,
+                                          ClientContext* client) {
+  bool closed = false;
+  uint64_t epoch = store_.epoch();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(request.cursor_id);
+    if (it != sessions_.end()) {
+      epoch = it->second->epoch;
+      sessions_.erase(it);
+      closed = true;
+    }
+    ForgetClientCursor(client, request.cursor_id);
+  }
+  JsonObject payload;
+  payload.emplace_back("closed", JsonValue(closed));
+  return MakeResponse(true, epoch, false,
+                      json::SerializeJson(JsonValue(std::move(payload))));
+}
+
+void QueryServer::CloseClientSessions(ClientContext& client) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (uint64_t id : client.cursors) sessions_.erase(id);
+  client.cursors.clear();
+}
+
+size_t QueryServer::ReapIdleSessions() {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return ReapIdleSessionsLocked(uptime_.ElapsedSeconds());
+}
+
+size_t QueryServer::ReapIdleSessionsLocked(double now) {
+  size_t reaped = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second->last_used > options_.session_ttl_seconds) {
+      it = sessions_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  if (reaped > 0) {
+    sessions_expired_.fetch_add(reaped, std::memory_order_relaxed);
+  }
+  return reaped;
+}
+
+size_t QueryServer::open_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
 }
 
 Result<uint64_t> QueryServer::ApplyUpdate(
@@ -119,6 +293,10 @@ ServerStats QueryServer::Stats() const {
       lookups > 0 ? static_cast<double>(stats.cache.hits) /
                         static_cast<double>(lookups)
                   : 0;
+  stats.sessions_open = open_sessions();
+  stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  stats.sessions_expired = sessions_expired_.load(std::memory_order_relaxed);
+  stats.sessions_rejected = sessions_rejected_.load(std::memory_order_relaxed);
   stats.num_workers = num_workers_;
   stats.max_queue_depth = options_.max_queue_depth;
   {
@@ -140,8 +318,16 @@ std::string QueryServer::BuildStatsPayload() const {
   cache.emplace_back("misses", JsonValue(static_cast<int64_t>(stats.cache.misses)));
   cache.emplace_back("evictions", JsonValue(static_cast<int64_t>(stats.cache.evictions)));
   cache.emplace_back("invalidations", JsonValue(static_cast<int64_t>(stats.cache.invalidations)));
+  cache.emplace_back("revalidated", JsonValue(static_cast<int64_t>(stats.cache.revalidated)));
   cache.emplace_back("entries", JsonValue(static_cast<int64_t>(stats.cache.entries)));
   cache.emplace_back("hit_rate", JsonValue(stats.cache_hit_rate));
+  JsonObject sessions;
+  sessions.emplace_back("open", JsonValue(static_cast<int64_t>(stats.sessions_open)));
+  sessions.emplace_back("opened", JsonValue(static_cast<int64_t>(stats.sessions_opened)));
+  sessions.emplace_back("expired", JsonValue(static_cast<int64_t>(stats.sessions_expired)));
+  sessions.emplace_back("rejected", JsonValue(static_cast<int64_t>(stats.sessions_rejected)));
+  sessions.emplace_back("max_sessions", JsonValue(static_cast<int64_t>(options_.max_sessions)));
+  sessions.emplace_back("ttl_seconds", JsonValue(options_.session_ttl_seconds));
   JsonObject last_update;
   last_update.emplace_back("base_tuples", JsonValue(static_cast<int64_t>(stats.last_update.base_tuples)));
   last_update.emplace_back("new_tuples", JsonValue(static_cast<int64_t>(stats.last_update.new_tuples)));
@@ -155,6 +341,7 @@ std::string QueryServer::BuildStatsPayload() const {
   inner.emplace_back("qps", JsonValue(stats.qps));
   inner.emplace_back("latency", JsonValue(std::move(latency)));
   inner.emplace_back("cache", JsonValue(std::move(cache)));
+  inner.emplace_back("sessions", JsonValue(std::move(sessions)));
   inner.emplace_back("num_workers", JsonValue(stats.num_workers));
   inner.emplace_back("max_queue_depth", JsonValue(static_cast<int64_t>(stats.max_queue_depth)));
   inner.emplace_back("last_update", JsonValue(std::move(last_update)));

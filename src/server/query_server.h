@@ -1,7 +1,7 @@
 /// \file query_server.h
 /// \brief The concurrent cube query service: owns the epoch-snapshot cube
-/// store, the result cache and a worker pool, and turns request frames into
-/// response frames.
+/// store, the result cache, the cursor-session table and a worker pool, and
+/// turns request frames into response frames.
 ///
 /// Execution model: callers (TCP connection threads, or test/bench threads
 /// through ServerHandle) block in HandleFrame while the request runs on the
@@ -9,6 +9,11 @@
 /// executing; anything beyond the bound is answered immediately with an
 /// "overloaded" rejection instead of joining an unbounded queue — overload
 /// shows up as explicit errors, not as unbounded latency.
+///
+/// Cursor sessions: query_open pins a session to the current epoch snapshot
+/// (the session holds the snapshot's shared_ptr, so later publishes never
+/// change what an open cursor sees) and query_next pages its rows. Sessions
+/// are bounded by max_sessions and reaped after session_ttl_seconds idle.
 
 #ifndef SCDWARF_SERVER_QUERY_SERVER_H_
 #define SCDWARF_SERVER_QUERY_SERVER_H_
@@ -20,6 +25,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -27,6 +33,7 @@
 #include "common/result.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "dwarf/cursor.h"
 #include "dwarf/dwarf_cube.h"
 #include "server/epoch_cube.h"
 #include "server/result_cache.h"
@@ -51,6 +58,14 @@ struct ServerOptions {
   /// Result-cache shards (clamped to [1, cache_capacity]).
   size_t cache_shards = 8;
 
+  /// Cursor sessions held open at once; query_open beyond the cap is
+  /// rejected with code "too_many_sessions".
+  size_t max_sessions = 64;
+
+  /// Idle time after which an open cursor session is reaped (the sweep runs
+  /// on every query_open, and on demand via ReapIdleSessions).
+  double session_ttl_seconds = 300.0;
+
   /// Test/fault-injection seam: when set, every admitted request invokes it
   /// on the worker thread before executing (the overload tests park the
   /// worker here to fill the queue deterministically).
@@ -71,9 +86,20 @@ struct ServerStats {
   double latency_p99_us = 0;
   ResultCacheStats cache;
   double cache_hit_rate = 0;  ///< hits / (hits + misses), 0 when no lookups
+  uint64_t sessions_open = 0;      ///< cursor sessions currently held
+  uint64_t sessions_opened = 0;    ///< successful query_open calls
+  uint64_t sessions_expired = 0;   ///< sessions reaped by the idle TTL
+  uint64_t sessions_rejected = 0;  ///< query_open rejected by max_sessions
   int num_workers = 0;
   size_t max_queue_depth = 0;
   dwarf::UpdateProfile last_update;  ///< profile of the newest ApplyUpdate
+};
+
+/// \brief Per-connection state: the cursor ids opened over one connection,
+/// so the transport can reclaim them on disconnect. Owned by a single
+/// connection thread — not thread-safe on its own.
+struct ClientContext {
+  std::vector<uint64_t> cursors;
 };
 
 /// \brief Multi-client cube query service over one DwarfCube.
@@ -88,30 +114,75 @@ class QueryServer {
   /// \brief Serves one request frame payload and returns the response frame
   /// payload. Blocks the calling thread until the request has executed on
   /// the worker pool (or was rejected by admission control). Thread-safe.
-  std::string HandleFrame(std::string_view request_json);
+  /// \p client, when given, records cursor sessions opened by this caller so
+  /// CloseClientSessions can reclaim them on disconnect.
+  std::string HandleFrame(std::string_view request_json,
+                          ClientContext* client = nullptr);
 
   /// \brief Merges \p tuples into the served cube and publishes the next
-  /// epoch; the result cache is invalidated before the call returns.
+  /// epoch. Before returning, the result cache is swept: entries whose query
+  /// provably misses every changed key prefix carry over to the new epoch,
+  /// the rest are invalidated. Open cursor sessions are unaffected — they
+  /// keep serving their pinned snapshot.
   Result<uint64_t> ApplyUpdate(
       const std::vector<std::pair<std::vector<std::string>, dwarf::Measure>>&
           tuples);
+
+  /// \brief Closes every cursor session recorded in \p client (idempotent;
+  /// already-expired cursors are skipped silently).
+  void CloseClientSessions(ClientContext& client);
+
+  /// \brief Drops sessions idle longer than session_ttl_seconds and returns
+  /// how many were reaped. Runs implicitly on every query_open.
+  size_t ReapIdleSessions();
 
   ServerStats Stats() const;
 
   uint64_t epoch() const { return store_.epoch(); }
   int num_workers() const { return num_workers_; }
+  size_t open_sessions() const;
   EpochCubeStore& store() { return store_; }
   const ResultCache& cache() const { return cache_; }
 
  private:
+  /// \brief One open cursor: the pinned snapshot plus the paused traversal.
+  struct Session {
+    Session(uint64_t id, uint64_t epoch,
+            std::shared_ptr<const dwarf::DwarfCube> cube,
+            dwarf::RowCursor cursor, size_t page_size, double now)
+        : id(id),
+          epoch(epoch),
+          cube(std::move(cube)),
+          cursor(std::move(cursor)),
+          page_size(page_size),
+          last_used(now) {}
+
+    const uint64_t id;
+    const uint64_t epoch;  ///< the epoch the session serves, forever
+    const std::shared_ptr<const dwarf::DwarfCube> cube;  ///< snapshot pin
+    dwarf::RowCursor cursor;  ///< guarded by mu
+    const size_t page_size;
+    std::mutex mu;           ///< serializes query_next on this cursor
+    double last_used;        ///< uptime seconds; guarded by sessions_mu_
+  };
+
   /// Executes a parsed-or-unparsable request (cache + snapshot path).
-  std::string Process(std::string_view request_json);
+  std::string Process(std::string_view request_json, ClientContext* client);
+  std::string HandleQueryOpen(const QueryRequest& request,
+                              const EpochCubeStore::Snapshot& snapshot,
+                              ClientContext* client);
+  std::string HandleQueryNext(const QueryRequest& request,
+                              ClientContext* client);
+  std::string HandleQueryClose(const QueryRequest& request,
+                               ClientContext* client);
+  size_t ReapIdleSessionsLocked(double now);  // requires sessions_mu_
   std::string BuildStatsPayload() const;
 
   ServerOptions options_;
   int num_workers_;
   EpochCubeStore store_;
   ResultCache cache_;
+  dwarf::CubeSchema schema_;  ///< dimension layout; fixed across epochs
   std::unique_ptr<ThreadPool> pool_;  ///< null when num_workers_ == 1
   Stopwatch uptime_;
   FixedBucketHistogram latency_us_;
@@ -121,21 +192,57 @@ class QueryServer {
   std::atomic<uint64_t> updates_applied_{0};
   mutable std::mutex last_update_mu_;
   dwarf::UpdateProfile last_update_;
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  uint64_t next_cursor_id_ = 1;  ///< guarded by sessions_mu_
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> sessions_expired_{0};
+  std::atomic<uint64_t> sessions_rejected_{0};
 };
 
 /// \brief In-process client used by tests and the load-generator bench: the
-/// same framing semantics as the TCP path minus the socket.
+/// same framing semantics as the TCP path minus the socket, including the
+/// per-connection session cleanup on destruction.
 class ServerHandle {
  public:
   explicit ServerHandle(QueryServer* server) : server_(server) {}
+  ~ServerHandle() {
+    if (server_ != nullptr) server_->CloseClientSessions(context_);
+  }
+
+  ServerHandle(const ServerHandle&) = delete;
+  ServerHandle& operator=(const ServerHandle&) = delete;
+  ServerHandle(ServerHandle&& other) noexcept
+      : server_(other.server_), context_(std::move(other.context_)) {
+    other.server_ = nullptr;
+    other.context_.cursors.clear();
+  }
 
   /// Sends one request payload, returns the response payload. Blocking.
   std::string Call(std::string_view request_json) {
-    return server_->HandleFrame(request_json);
+    return server_->HandleFrame(request_json, &context_);
+  }
+
+  /// Opens a cursor session over \p query_json (a slice/rollup request
+  /// object) with the given page size; returns the raw response payload.
+  std::string QueryOpen(std::string_view query_json, size_t page_size) {
+    return Call("{\"op\":\"query_open\",\"query\":" + std::string(query_json) +
+                ",\"page_size\":" + std::to_string(page_size) + "}");
+  }
+
+  std::string QueryNext(uint64_t cursor) {
+    return Call("{\"op\":\"query_next\",\"cursor\":" + std::to_string(cursor) +
+                "}");
+  }
+
+  std::string QueryClose(uint64_t cursor) {
+    return Call("{\"op\":\"query_close\",\"cursor\":" +
+                std::to_string(cursor) + "}");
   }
 
  private:
   QueryServer* server_;
+  ClientContext context_;
 };
 
 }  // namespace scdwarf::server

@@ -17,6 +17,8 @@ ResultCache::ResultCache(size_t capacity, size_t num_shards)
 }
 
 ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  // Sharded by the epoch-less key: every epoch of one query shares a shard,
+  // so Revalidate can re-tag an entry without migrating it.
   return *shards_[HashString(key) % shards_.size()];
 }
 
@@ -30,8 +32,8 @@ std::optional<CachedResult> ResultCache::Get(const std::string& key,
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
+  Shard& shard = ShardFor(key);
   std::string composed = ComposeKey(key, epoch);
-  Shard& shard = ShardFor(composed);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(composed);
   if (it == shard.index.end()) {
@@ -46,8 +48,8 @@ std::optional<CachedResult> ResultCache::Get(const std::string& key,
 void ResultCache::Put(const std::string& key, uint64_t epoch,
                       CachedResult result) {
   if (capacity_ == 0) return;
+  Shard& shard = ShardFor(key);
   std::string composed = ComposeKey(key, epoch);
-  Shard& shard = ShardFor(composed);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(composed);
   if (it != shard.index.end()) {
@@ -55,13 +57,45 @@ void ResultCache::Put(const std::string& key, uint64_t epoch,
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.push_front(Entry{composed, epoch, std::move(result)});
-  shard.index.emplace(composed, shard.lru.begin());
+  shard.lru.push_front(Entry{key, epoch, std::move(result)});
+  shard.index.emplace(std::move(composed), shard.lru.begin());
   while (shard.lru.size() > shard_capacity_) {
-    shard.index.erase(shard.lru.back().key);
+    const Entry& victim = shard.lru.back();
+    shard.index.erase(ComposeKey(victim.key, victim.epoch));
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+size_t ResultCache::Revalidate(
+    uint64_t new_epoch,
+    const std::function<bool(const std::string& key)>& unaffected) {
+  size_t kept = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->epoch == new_epoch) {
+        ++it;  // already current (shouldn't happen under serialized publishes)
+        continue;
+      }
+      // Only the immediately-previous epoch is a carry-over candidate: an
+      // older entry missed at least one intervening publish, so nothing
+      // proves its result still holds.
+      if (it->epoch + 1 == new_epoch && unaffected && unaffected(it->key)) {
+        shard->index.erase(ComposeKey(it->key, it->epoch));
+        it->epoch = new_epoch;
+        shard->index.emplace(ComposeKey(it->key, it->epoch), it);
+        revalidated_.fetch_add(1, std::memory_order_relaxed);
+        ++kept;
+        ++it;
+        continue;
+      }
+      shard->index.erase(ComposeKey(it->key, it->epoch));
+      it = shard->lru.erase(it);
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return kept;
 }
 
 void ResultCache::InvalidateAll() {
@@ -79,6 +113,7 @@ ResultCacheStats ResultCache::stats() const {
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.revalidated = revalidated_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     stats.entries += shard->lru.size();

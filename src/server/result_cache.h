@@ -2,17 +2,23 @@
 /// \brief Sharded LRU cache of serialized query results, keyed by
 /// (normalized request, epoch).
 ///
-/// The epoch is part of the key, so results from superseded epochs can never
-/// be served; InvalidateAll() additionally drops every entry wholesale on an
-/// epoch bump (stale entries would only waste capacity — they can no longer
-/// match). Sharding by key hash keeps the lock a short critical section per
-/// shard instead of one global mutex on the query hot path.
+/// The epoch is part of the lookup key, so results from superseded epochs
+/// can never be served. On an epoch publish the cache is *revalidated*, not
+/// wholesale invalidated: Revalidate() re-tags every previous-epoch entry
+/// whose query a caller-supplied predicate proves unaffected by the publish
+/// (counted as `revalidated`), and drops the rest (counted as
+/// `invalidations`). A later Get at the new epoch then hits the carried-over
+/// entry without recomputing anything. Sharding is by the *normalized
+/// request* alone — all epochs of one query live in one shard — which keeps
+/// re-tagging a per-shard operation and the lock a short critical section on
+/// the query hot path.
 
 #ifndef SCDWARF_SERVER_RESULT_CACHE_H_
 #define SCDWARF_SERVER_RESULT_CACHE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -35,7 +41,8 @@ struct ResultCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;      ///< capacity evictions, not invalidations
-  uint64_t invalidations = 0;  ///< entries dropped by InvalidateAll
+  uint64_t invalidations = 0;  ///< entries dropped by Revalidate/InvalidateAll
+  uint64_t revalidated = 0;    ///< entries re-tagged to a new epoch
   uint64_t entries = 0;
 };
 
@@ -53,7 +60,15 @@ class ResultCache {
   /// least-recently-used entry when over capacity.
   void Put(const std::string& key, uint64_t epoch, CachedResult result);
 
-  /// Drops every entry (called on epoch bump).
+  /// \brief Epoch-publish sweep. Entries tagged \p new_epoch - 1 whose
+  /// normalized key satisfies \p unaffected are re-tagged to \p new_epoch
+  /// (their results provably carry over); every other stale entry is
+  /// dropped. Returns the number of entries re-tagged. \p unaffected runs
+  /// under the shard lock — keep it cheap relative to a query execution.
+  size_t Revalidate(uint64_t new_epoch,
+                    const std::function<bool(const std::string& key)>& unaffected);
+
+  /// Drops every entry unconditionally (a Revalidate that keeps nothing).
   void InvalidateAll();
 
   ResultCacheStats stats() const;
@@ -62,13 +77,14 @@ class ResultCache {
 
  private:
   struct Entry {
-    std::string key;
+    std::string key;  ///< normalized request, without the epoch
     uint64_t epoch = 0;
     CachedResult result;
   };
   struct Shard {
     std::mutex mu;
     std::list<Entry> lru;  ///< front = most recently used
+    /// Composed "epoch|key" -> LRU position.
     std::unordered_map<std::string, std::list<Entry>::iterator> index;
   };
 
@@ -82,6 +98,7 @@ class ResultCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> revalidated_{0};
 };
 
 }  // namespace scdwarf::server

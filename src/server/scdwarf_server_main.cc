@@ -72,6 +72,10 @@ int main(int argc, char** argv) {
             << R"(  {"op":"point","keys":[null,null,null,null,null,null,null,null]})"
             << "\n"
             << R"(  {"op":"rollup","dims":["Weekday"]})" << "\n"
+            << R"(  {"op":"query_open","query":{"op":"rollup","dims":["Weekday"]},"page_size":64})"
+            << "\n"
+            << R"(  {"op":"query_next","cursor":1}   (repeat until "done":true))"
+            << "\n"
             << R"(  {"op":"stats"})" << "\n"
             << "type 'quit' (or close stdin) to stop\n";
 

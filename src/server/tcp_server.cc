@@ -76,12 +76,15 @@ void TcpServer::AcceptLoop() {
 }
 
 void TcpServer::ServeConnection(uint64_t id, int fd) {
+  ClientContext client;
   while (!stopping_.load(std::memory_order_acquire)) {
     Result<std::string> frame = ReadFrame(fd, max_frame_bytes_);
     if (!frame.ok()) break;  // clean EOF, oversized frame, or read error
-    std::string response = server_->HandleFrame(*frame);
+    std::string response = server_->HandleFrame(*frame, &client);
     if (!WriteFrame(fd, response).ok()) break;
   }
+  // A dropped connection must not leak its cursor sessions until the TTL.
+  server_->CloseClientSessions(client);
   ::shutdown(fd, SHUT_RDWR);
   // Self-register as finished; the next reap joins this thread and closes
   // the socket (the fd stays open until then — no reuse race).

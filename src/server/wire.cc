@@ -24,6 +24,9 @@ Result<RequestOp> ParseOp(std::string_view name) {
   if (name == "slice") return RequestOp::kSlice;
   if (name == "rollup") return RequestOp::kRollUp;
   if (name == "stats") return RequestOp::kStats;
+  if (name == "query_open") return RequestOp::kQueryOpen;
+  if (name == "query_next") return RequestOp::kQueryNext;
+  if (name == "query_close") return RequestOp::kQueryClose;
   return Status::InvalidArgument("unknown op '" + std::string(name) + "'");
 }
 
@@ -94,14 +97,25 @@ const char* RequestOpName(RequestOp op) {
     case RequestOp::kSlice: return "slice";
     case RequestOp::kRollUp: return "rollup";
     case RequestOp::kStats: return "stats";
+    case RequestOp::kQueryOpen: return "query_open";
+    case RequestOp::kQueryNext: return "query_next";
+    case RequestOp::kQueryClose: return "query_close";
   }
   return "?";
 }
 
 namespace {
 
-Result<QueryRequest> ParseRequestImpl(std::string_view request_json) {
-  SCD_ASSIGN_OR_RETURN(JsonValue root, json::ParseJson(request_json));
+Result<uint64_t> ParseCursorId(const JsonValue& root) {
+  SCD_ASSIGN_OR_RETURN(JsonValue cursor, root.Get("cursor"));
+  SCD_ASSIGN_OR_RETURN(double id, cursor.AsNumber());
+  if (id < 0 || id != static_cast<double>(static_cast<uint64_t>(id))) {
+    return Status::InvalidArgument("\"cursor\" must be a non-negative integer");
+  }
+  return static_cast<uint64_t>(id);
+}
+
+Result<QueryRequest> ParseRequestValue(const JsonValue& root) {
   if (!root.is_object()) {
     return Status::InvalidArgument("request must be a JSON object");
   }
@@ -154,8 +168,41 @@ Result<QueryRequest> ParseRequestImpl(std::string_view request_json) {
     }
     case RequestOp::kStats:
       break;
+    case RequestOp::kQueryOpen: {
+      SCD_ASSIGN_OR_RETURN(JsonValue query, root.Get("query"));
+      SCD_ASSIGN_OR_RETURN(QueryRequest inner, ParseRequestValue(query));
+      if (inner.op != RequestOp::kSlice && inner.op != RequestOp::kRollUp) {
+        return Status::InvalidArgument(
+            "query_open pages row results: \"query\" must be a slice or "
+            "rollup request, got op '" +
+            std::string(RequestOpName(inner.op)) + "'");
+      }
+      request.open_query = std::make_shared<QueryRequest>(std::move(inner));
+      SCD_ASSIGN_OR_RETURN(JsonValue page_size, root.Get("page_size"));
+      SCD_ASSIGN_OR_RETURN(double size, page_size.AsNumber());
+      if (size < 1 || size != static_cast<double>(static_cast<size_t>(size))) {
+        return Status::InvalidArgument(
+            "\"page_size\" must be a positive integer");
+      }
+      if (size > static_cast<double>(kMaxPageSize)) {
+        return Status::InvalidArgument(
+            "\"page_size\" exceeds the maximum of " +
+            std::to_string(kMaxPageSize));
+      }
+      request.page_size = static_cast<size_t>(size);
+      break;
+    }
+    case RequestOp::kQueryNext:
+    case RequestOp::kQueryClose:
+      SCD_ASSIGN_OR_RETURN(request.cursor_id, ParseCursorId(root));
+      break;
   }
   return request;
+}
+
+Result<QueryRequest> ParseRequestImpl(std::string_view request_json) {
+  SCD_ASSIGN_OR_RETURN(JsonValue root, json::ParseJson(request_json));
+  return ParseRequestValue(root);
 }
 
 }  // namespace
@@ -233,6 +280,23 @@ std::string NormalizedCacheKey(const QueryRequest& request) {
       break;
     }
     case RequestOp::kStats:
+      break;
+    case RequestOp::kQueryOpen: {
+      // Session ops never enter the result cache; normalized anyway so every
+      // RequestOp has one canonical spelling.
+      if (request.open_query != nullptr) {
+        auto inner = json::ParseJson(NormalizedCacheKey(*request.open_query));
+        root.emplace_back("query",
+                          inner.ok() ? *inner : JsonValue(nullptr));
+      }
+      root.emplace_back(
+          "page_size", JsonValue(static_cast<int64_t>(request.page_size)));
+      break;
+    }
+    case RequestOp::kQueryNext:
+    case RequestOp::kQueryClose:
+      root.emplace_back("cursor",
+                        JsonValue(static_cast<int64_t>(request.cursor_id)));
       break;
   }
   return json::SerializeJson(JsonValue(std::move(root)));
@@ -354,8 +418,129 @@ ExecResult ExecuteRequest(const dwarf::DwarfCube& cube,
     case RequestOp::kStats:
       return {false, MakeErrorPayload(Status::Internal(
                          "stats requests are handled by the server"))};
+    case RequestOp::kQueryOpen:
+    case RequestOp::kQueryNext:
+    case RequestOp::kQueryClose:
+      return {false, MakeErrorPayload(Status::Internal(
+                         "cursor session ops are handled by the server"))};
   }
   return {false, MakeErrorPayload(Status::Internal("unreachable"))};
+}
+
+Result<dwarf::RowCursor> OpenRowCursor(const dwarf::DwarfCube& cube,
+                                       const QueryRequest& query) {
+  switch (query.op) {
+    case RequestOp::kSlice: {
+      SCD_ASSIGN_OR_RETURN(size_t dim,
+                           cube.schema().DimensionIndex(query.slice_dim));
+      auto key = cube.dictionary(dim).Lookup(query.slice_key);
+      // An unknown value selects the empty sub-cube: any id past the
+      // dictionary matches no cell, so the cursor is born exhausted.
+      dwarf::DimKey pinned =
+          key.ok() ? *key
+                   : static_cast<dwarf::DimKey>(cube.dictionary(dim).size());
+      return dwarf::RowCursor::OverSlice(cube, dim, pinned);
+    }
+    case RequestOp::kRollUp: {
+      std::vector<size_t> dims;
+      dims.reserve(query.rollup_dims.size());
+      for (const std::string& name : query.rollup_dims) {
+        SCD_ASSIGN_OR_RETURN(size_t dim, cube.schema().DimensionIndex(name));
+        dims.push_back(dim);
+      }
+      return dwarf::RowCursor::OverRollUp(cube, dims);
+    }
+    default:
+      return Status::InvalidArgument(
+          "cursor sessions support only slice and rollup queries");
+  }
+}
+
+std::string MakeCursorPagePayload(uint64_t cursor_id,
+                                  const std::vector<dwarf::SliceRow>& rows,
+                                  bool done) {
+  JsonObject payload;
+  payload.emplace_back("cursor", JsonValue(static_cast<int64_t>(cursor_id)));
+  payload.emplace_back("rows", RowsToJson(rows));
+  payload.emplace_back("done", JsonValue(done));
+  return json::SerializeJson(JsonValue(std::move(payload)));
+}
+
+namespace {
+
+/// True when the per-dimension constraints of \p request could match the
+/// decoded key path \p path. Undecidable constraints count as matching.
+bool PointKeysMayMatch(const std::vector<std::optional<std::string>>& keys,
+                       const std::vector<std::string>& path) {
+  if (keys.size() != path.size()) return true;  // arity error: conservative
+  for (size_t dim = 0; dim < keys.size(); ++dim) {
+    if (keys[dim].has_value() && *keys[dim] != path[dim]) return false;
+  }
+  return true;
+}
+
+bool PredicatesMayMatch(const std::vector<WirePredicate>& predicates,
+                        const std::vector<std::string>& path) {
+  if (predicates.size() != path.size()) return true;
+  for (size_t dim = 0; dim < predicates.size(); ++dim) {
+    const WirePredicate& predicate = predicates[dim];
+    switch (predicate.kind) {
+      case dwarf::DimPredicate::Kind::kAll:
+        break;
+      case dwarf::DimPredicate::Kind::kPoint:
+        if (predicate.key != path[dim]) return false;
+        break;
+      case dwarf::DimPredicate::Kind::kSet:
+        if (std::find(predicate.keys.begin(), predicate.keys.end(),
+                      path[dim]) == predicate.keys.end()) {
+          return false;
+        }
+        break;
+      case dwarf::DimPredicate::Kind::kRange:
+        // Bounds are dictionary ids; undecidable at the string level.
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool RequestMayTouchPrefixes(
+    const dwarf::CubeSchema& schema, const QueryRequest& request,
+    const std::vector<std::vector<std::string>>& changed) {
+  if (changed.empty()) return false;
+  switch (request.op) {
+    case RequestOp::kPoint:
+      for (const std::vector<std::string>& path : changed) {
+        if (PointKeysMayMatch(request.point_keys, path)) return true;
+      }
+      return false;
+    case RequestOp::kAggregate:
+      for (const std::vector<std::string>& path : changed) {
+        if (PredicatesMayMatch(request.predicates, path)) return true;
+      }
+      return false;
+    case RequestOp::kSlice: {
+      auto dim = schema.DimensionIndex(request.slice_dim);
+      if (!dim.ok()) return true;  // unknown dimension: conservative
+      for (const std::vector<std::string>& path : changed) {
+        if (*dim >= path.size() || path[*dim] == request.slice_key) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case RequestOp::kRollUp:
+    case RequestOp::kStats:
+    case RequestOp::kQueryOpen:
+    case RequestOp::kQueryNext:
+    case RequestOp::kQueryClose:
+      // Every new tuple lands in some roll-up group; the rest are either
+      // uncacheable or stateful — always treat as touched.
+      return true;
+  }
+  return true;
 }
 
 std::string MakeResponse(bool ok, uint64_t epoch, bool cached,

@@ -14,6 +14,19 @@
 ///   {"op":"rollup",    "dims":["Weekday","Area"]}
 ///   {"op":"stats"}
 ///
+/// Cursor sessions page large row results (slice/rollup) incrementally:
+///
+///   {"op":"query_open",  "query":{"op":"rollup","dims":["Weekday"]},
+///                        "page_size":64}
+///   {"op":"query_next",  "cursor":7}
+///   {"op":"query_close", "cursor":7}
+///
+/// query_open pins the session to the server's current epoch snapshot and
+/// answers {"cursor":id,"epoch":E,"page_size":N}; each query_next returns up
+/// to page_size rows plus {"done":bool} — the pinned snapshot keeps serving
+/// even across later epoch publishes, and the cursor is reclaimed once done
+/// is reported (or on query_close / idle-TTL expiry).
+///
 /// "point" takes one entry per dimension (null = ALL, the roll-up wildcard);
 /// "aggregate" takes one predicate per dimension in schema order. Point and
 /// set predicate keys are decoded dimension values; range bounds are encoded
@@ -28,19 +41,30 @@
 #define SCDWARF_SERVER_WIRE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "dwarf/cursor.h"
 #include "dwarf/dwarf_cube.h"
 #include "dwarf/query.h"
 
 namespace scdwarf::server {
 
 /// \brief Operation requested by a client.
-enum class RequestOp { kPoint, kAggregate, kSlice, kRollUp, kStats };
+enum class RequestOp {
+  kPoint,
+  kAggregate,
+  kSlice,
+  kRollUp,
+  kStats,
+  kQueryOpen,
+  kQueryNext,
+  kQueryClose,
+};
 
 /// Wire name of \p op ("point", "aggregate", ...).
 const char* RequestOpName(RequestOp op);
@@ -63,7 +87,14 @@ struct QueryRequest {
   std::string slice_dim;                               ///< kSlice
   std::string slice_key;                               ///< kSlice
   std::vector<std::string> rollup_dims;                ///< kRollUp
+  /// kQueryOpen: the wrapped rows query (slice or rollup only).
+  std::shared_ptr<QueryRequest> open_query;
+  size_t page_size = 0;     ///< kQueryOpen
+  uint64_t cursor_id = 0;   ///< kQueryNext / kQueryClose
 };
+
+/// Largest accepted query_open page_size (keeps one response frame bounded).
+constexpr size_t kMaxPageSize = 1 << 16;
 
 /// \brief Parses one request frame payload. InvalidArgument / ParseError on
 /// malformed input.
@@ -93,8 +124,36 @@ struct ExecResult {
 /// \brief Executes a point/aggregate/slice/rollup request against \p cube.
 /// Pure function of (cube, request) — the server calls it under an epoch
 /// snapshot and the tests call it directly to verify responses byte-for-byte.
+/// Session ops (query_open/next/close) are stateful and handled by the
+/// server; passing one here yields an internal error result.
 ExecResult ExecuteRequest(const dwarf::DwarfCube& cube,
                           const QueryRequest& request);
+
+/// \brief Opens a resumable row cursor for the query wrapped by a
+/// "query_open" request (\p query must be a slice or rollup). A slice key
+/// the dictionary has never seen yields an immediately-exhausted cursor —
+/// the same empty row set the one-shot path returns.
+Result<dwarf::RowCursor> OpenRowCursor(const dwarf::DwarfCube& cube,
+                                       const QueryRequest& query);
+
+/// \brief Payload of one "query_next" page:
+/// {"cursor":id,"rows":[...],"done":bool}. Rows are serialized exactly as
+/// the one-shot slice/rollup payload serializes them, so concatenating the
+/// pages of a session reproduces the one-shot "rows" array byte for byte.
+std::string MakeCursorPagePayload(uint64_t cursor_id,
+                                  const std::vector<dwarf::SliceRow>& rows,
+                                  bool done);
+
+/// \brief Delta-epoch revalidation predicate: true when executing \p request
+/// against a cube updated with tuples whose decoded key paths are \p changed
+/// could produce a different result than on the previous epoch — i.e. the
+/// request does NOT provably miss every changed prefix. Conservative: any
+/// constraint it cannot decide at the string level (range predicates over
+/// dictionary ids, unknown dimension names, arity mismatches) counts as
+/// touching. Roll-ups always touch (every new tuple lands in some group).
+bool RequestMayTouchPrefixes(
+    const dwarf::CubeSchema& schema, const QueryRequest& request,
+    const std::vector<std::vector<std::string>>& changed);
 
 /// \brief Assembles a response frame payload from the envelope fields and a
 /// serialized payload object (merged into the envelope).

@@ -1,0 +1,335 @@
+// Differential fuzz of the cube query service (src/server): ~500
+// seeded-random point / aggregate / slice / rollup requests are sent through
+// every server path — uncached, cached, and cursor-session pagination — and
+// each response must be byte-identical to executing the same request
+// directly against the served snapshot with wire::ExecuteRequest. The sweep
+// crosses two epoch publishes, so cache revalidation, invalidation and
+// snapshot pinning are all on the differential path. Deterministic: one
+// xoshiro seed drives the cube, the updates and every request.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dwarf/builder.h"
+#include "json/json_parser.h"
+#include "json/json_value.h"
+#include "server/query_server.h"
+#include "server/wire.h"
+
+namespace scdwarf::server {
+namespace {
+
+using dwarf::Measure;
+using json::JsonArray;
+using json::JsonObject;
+using json::JsonValue;
+
+constexpr uint64_t kSeed = 0x5ca1ab1e;
+constexpr int kQueries = 500;
+
+const std::vector<std::string>& Days() {
+  static const auto* v = new std::vector<std::string>{
+      "Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+  return *v;
+}
+
+std::vector<std::string> MakeVocab(const std::string& prefix, int count) {
+  std::vector<std::string> vocab;
+  vocab.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    vocab.push_back(prefix + std::to_string(i));
+  }
+  return vocab;
+}
+
+struct FuzzWorld {
+  std::vector<std::string> dims = {"Day", "Station", "Area"};
+  std::vector<std::vector<std::string>> vocab = {
+      Days(), MakeVocab("Station", 12), MakeVocab("Area", 5)};
+};
+
+dwarf::CubeSchema FuzzSchema(const FuzzWorld& world) {
+  std::vector<dwarf::DimensionSpec> specs;
+  for (const std::string& dim : world.dims) {
+    specs.emplace_back(dim);
+  }
+  return dwarf::CubeSchema("fuzz", std::move(specs), "bikes",
+                           dwarf::AggFn::kSum);
+}
+
+std::vector<std::string> RandomKeyPath(const FuzzWorld& world, Rng& rng) {
+  std::vector<std::string> keys;
+  keys.reserve(world.dims.size());
+  for (const auto& vocab : world.vocab) {
+    keys.push_back(vocab[rng.NextBelow(vocab.size())]);
+  }
+  return keys;
+}
+
+dwarf::DwarfCube BuildFuzzCube(const FuzzWorld& world, Rng& rng,
+                               int tuple_count) {
+  dwarf::DwarfBuilder builder(FuzzSchema(world));
+  for (int i = 0; i < tuple_count; ++i) {
+    EXPECT_TRUE(builder
+                    .AddTuple(RandomKeyPath(world, rng),
+                              static_cast<Measure>(rng.NextInRange(1, 50)))
+                    .ok());
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+// A dimension value drawn mostly from the vocabulary, sometimes unknown —
+// the miss paths (NotFound, empty slices) must differ identically too.
+std::string RandomValue(const std::vector<std::string>& vocab, Rng& rng) {
+  if (rng.NextBool(0.12)) return "NoSuch" + std::to_string(rng.NextBelow(4));
+  return vocab[rng.NextBelow(vocab.size())];
+}
+
+std::string RandomRequestJson(const FuzzWorld& world, Rng& rng) {
+  JsonObject root;
+  switch (rng.NextBelow(4)) {
+    case 0: {  // point, each dim null / known / unknown
+      root.emplace_back("op", JsonValue("point"));
+      JsonArray keys;
+      for (const auto& vocab : world.vocab) {
+        if (rng.NextBool(0.3)) {
+          keys.push_back(JsonValue(nullptr));
+        } else {
+          keys.push_back(JsonValue(RandomValue(vocab, rng)));
+        }
+      }
+      root.emplace_back("keys", JsonValue(std::move(keys)));
+      break;
+    }
+    case 1: {  // aggregate with a mixed predicate per dimension
+      root.emplace_back("op", JsonValue("aggregate"));
+      JsonArray predicates;
+      for (const auto& vocab : world.vocab) {
+        JsonObject predicate;
+        switch (rng.NextBelow(4)) {
+          case 0:
+            predicate.emplace_back("kind", JsonValue("all"));
+            break;
+          case 1:
+            predicate.emplace_back("kind", JsonValue("point"));
+            predicate.emplace_back("key", JsonValue(RandomValue(vocab, rng)));
+            break;
+          case 2: {
+            predicate.emplace_back("kind", JsonValue("set"));
+            JsonArray members;
+            size_t count = 1 + rng.NextBelow(3);
+            for (size_t i = 0; i < count; ++i) {
+              members.push_back(JsonValue(RandomValue(vocab, rng)));
+            }
+            predicate.emplace_back("keys", JsonValue(std::move(members)));
+            break;
+          }
+          default: {
+            predicate.emplace_back("kind", JsonValue("range"));
+            int64_t lo = rng.NextInRange(0, static_cast<int64_t>(vocab.size()));
+            int64_t hi = rng.NextInRange(lo, static_cast<int64_t>(vocab.size()));
+            predicate.emplace_back("lo", JsonValue(lo));
+            predicate.emplace_back("hi", JsonValue(hi));
+            break;
+          }
+        }
+        predicates.push_back(JsonValue(std::move(predicate)));
+      }
+      root.emplace_back("predicates", JsonValue(std::move(predicates)));
+      break;
+    }
+    case 2: {  // slice on a random dimension
+      size_t dim = rng.NextBelow(world.dims.size());
+      root.emplace_back("op", JsonValue("slice"));
+      root.emplace_back("dim", JsonValue(world.dims[dim]));
+      root.emplace_back("key", JsonValue(RandomValue(world.vocab[dim], rng)));
+      break;
+    }
+    default: {  // rollup over a random non-empty dimension subset
+      root.emplace_back("op", JsonValue("rollup"));
+      std::vector<std::string> dims = world.dims;
+      // Random order, random non-empty prefix.
+      for (size_t i = dims.size(); i > 1; --i) {
+        std::swap(dims[i - 1], dims[rng.NextBelow(i)]);
+      }
+      size_t count = 1 + rng.NextBelow(dims.size());
+      JsonArray names;
+      for (size_t i = 0; i < count; ++i) names.push_back(JsonValue(dims[i]));
+      root.emplace_back("dims", JsonValue(std::move(names)));
+      break;
+    }
+  }
+  return json::SerializeJson(JsonValue(std::move(root)));
+}
+
+struct ParsedEnvelope {
+  bool ok = false;
+  uint64_t epoch = 0;
+  bool cached = false;
+  JsonValue value;
+};
+
+ParsedEnvelope ParseEnvelope(const std::string& payload) {
+  ParsedEnvelope parsed;
+  auto value = json::ParseJson(payload);
+  EXPECT_TRUE(value.ok()) << payload;
+  if (!value.ok()) return parsed;
+  parsed.value = *value;
+  parsed.ok = value->Get("ok").ValueOrDie().AsBool().ValueOrDie();
+  parsed.epoch = static_cast<uint64_t>(
+      value->Get("epoch").ValueOrDie().AsNumber().ValueOrDie());
+  parsed.cached = value->Get("cached").ValueOrDie().AsBool().ValueOrDie();
+  return parsed;
+}
+
+// Serialized "rows" array of a direct ExecuteRequest payload.
+std::string DirectRowsJson(const ExecResult& direct) {
+  auto payload = json::ParseJson(direct.payload_json);
+  EXPECT_TRUE(payload.ok()) << direct.payload_json;
+  if (!payload.ok()) return "";
+  return json::SerializeJson(payload->Get("rows").ValueOrDie());
+}
+
+// Pages a cursor session to exhaustion and returns the concatenated rows,
+// asserting every page reports \p want_epoch (the pinned snapshot's epoch).
+std::string DrainSessionRows(ServerHandle& handle, const std::string& query,
+                             size_t page_size, uint64_t want_epoch,
+                             QueryServer* server_to_update_mid_drain = nullptr,
+                             const std::vector<std::pair<std::vector<std::string>,
+                                                         Measure>>* update = nullptr) {
+  ParsedEnvelope opened = ParseEnvelope(handle.QueryOpen(query, page_size));
+  EXPECT_TRUE(opened.ok) << query;
+  if (!opened.ok) return "";
+  EXPECT_EQ(opened.epoch, want_epoch);
+  uint64_t cursor = static_cast<uint64_t>(
+      opened.value.Get("cursor").ValueOrDie().AsNumber().ValueOrDie());
+  JsonArray rows;
+  bool first_page = true;
+  for (;;) {
+    ParsedEnvelope page = ParseEnvelope(handle.QueryNext(cursor));
+    EXPECT_TRUE(page.ok) << query;
+    if (!page.ok) break;
+    EXPECT_EQ(page.epoch, want_epoch) << "cursor lost its pinned snapshot";
+    JsonValue rows_value = page.value.Get("rows").ValueOrDie();
+    const JsonArray* got = rows_value.AsArray();
+    EXPECT_NE(got, nullptr);
+    if (got == nullptr) break;
+    rows.insert(rows.end(), got->begin(), got->end());
+    if (page.value.Get("done").ValueOrDie().AsBool().ValueOrDie()) break;
+    if (first_page && server_to_update_mid_drain != nullptr) {
+      // Publish a new epoch mid-pagination: the rest of the drain must not
+      // notice.
+      EXPECT_TRUE(server_to_update_mid_drain->ApplyUpdate(*update).ok());
+      first_page = false;
+    }
+  }
+  return json::SerializeJson(JsonValue(rows));
+}
+
+// One differential check: the server's response bytes must equal the
+// envelope rebuilt around the direct execution's payload.
+void ExpectResponseMatchesDirect(const std::string& response,
+                                 const dwarf::DwarfCube& cube,
+                                 const QueryRequest& request,
+                                 const std::string& request_json) {
+  ParsedEnvelope envelope = ParseEnvelope(response);
+  ExecResult direct = ExecuteRequest(cube, request);
+  EXPECT_EQ(response, MakeResponse(direct.ok, envelope.epoch, envelope.cached,
+                                   direct.payload_json))
+      << request_json;
+}
+
+TEST(ServerFuzzTest, AllServerPathsMatchDirectTraversal) {
+  FuzzWorld world;
+  Rng rng(kSeed);
+  QueryServer server(BuildFuzzCube(world, rng, 400));
+  ServerHandle handle(&server);
+
+  // Publish twice during the sweep: one batch re-touches existing prefixes,
+  // one introduces brand-new dictionary values.
+  int publishes_left = 2;
+  uint64_t rows_compared = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    if (publishes_left > 0 && i > 0 && i % (kQueries / 3) == 0) {
+      std::vector<std::pair<std::vector<std::string>, Measure>> batch;
+      for (int t = 0; t < 8; ++t) {
+        batch.emplace_back(RandomKeyPath(world, rng),
+                           static_cast<Measure>(rng.NextInRange(1, 50)));
+      }
+      if (publishes_left == 1) {
+        batch.emplace_back(
+            std::vector<std::string>{"Mon", "StationNew", "AreaNew"},
+            Measure{17});
+      }
+      ASSERT_TRUE(server.ApplyUpdate(batch).ok());
+      --publishes_left;
+    }
+
+    const std::string request_json = RandomRequestJson(world, rng);
+    auto request = ParseRequest(request_json);
+    ASSERT_TRUE(request.ok()) << request_json;
+    EpochCubeStore::Snapshot snapshot = server.store().snapshot();
+
+    // Path 1: one-shot (a mix of cache misses and hits — repeated requests
+    // re-occur by seed, and revalidation carries entries across publishes).
+    ExpectResponseMatchesDirect(handle.Call(request_json), *snapshot.cube,
+                                *request, request_json);
+    // Path 2: immediately repeated, usually served from the cache.
+    ExpectResponseMatchesDirect(handle.Call(request_json), *snapshot.cube,
+                                *request, request_json);
+
+    // Path 3: cursor pagination for row-producing ops.
+    if (request->op == RequestOp::kSlice || request->op == RequestOp::kRollUp) {
+      ExecResult direct = ExecuteRequest(*snapshot.cube, *request);
+      if (direct.ok) {
+        size_t page_size = 1 + rng.NextBelow(16);
+        std::string rows = DrainSessionRows(handle, request_json, page_size,
+                                            snapshot.epoch);
+        EXPECT_EQ(rows, DirectRowsJson(direct)) << request_json;
+        ++rows_compared;
+      }
+    }
+  }
+  EXPECT_EQ(server.epoch(), 2u);  // both publishes happened
+  EXPECT_GT(rows_compared, 50u);
+  EXPECT_GT(server.Stats().cache.hits, 0u);
+  EXPECT_GT(server.Stats().cache.revalidated, 0u);
+  EXPECT_EQ(server.open_sessions(), 0u);
+}
+
+// Focused differential: sessions opened right before a publish and drained
+// right after must replay the pre-publish snapshot exactly, for several page
+// sizes, while one-shot queries already serve the new epoch.
+TEST(ServerFuzzTest, MidDrainPublishesNeverLeakIntoOpenCursors) {
+  FuzzWorld world;
+  Rng rng(kSeed ^ 0xfeed);
+  QueryServer server(BuildFuzzCube(world, rng, 300));
+  ServerHandle handle(&server);
+
+  for (size_t page_size : {size_t{1}, size_t{7}, size_t{64}}) {
+    const std::string request_json = RandomRequestJson(world, rng);
+    auto request = ParseRequest(request_json);
+    ASSERT_TRUE(request.ok());
+    if (request->op != RequestOp::kSlice && request->op != RequestOp::kRollUp) {
+      continue;  // only row ops page; the seed still advances identically
+    }
+    EpochCubeStore::Snapshot pinned = server.store().snapshot();
+    ExecResult direct = ExecuteRequest(*pinned.cube, *request);
+    if (!direct.ok) continue;
+    std::vector<std::pair<std::vector<std::string>, Measure>> batch;
+    for (int t = 0; t < 4; ++t) {
+      batch.emplace_back(RandomKeyPath(world, rng),
+                         static_cast<Measure>(rng.NextInRange(1, 50)));
+    }
+    std::string rows = DrainSessionRows(handle, request_json, page_size,
+                                        pinned.epoch, &server, &batch);
+    EXPECT_EQ(rows, DirectRowsJson(direct)) << request_json;
+  }
+}
+
+}  // namespace
+}  // namespace scdwarf::server

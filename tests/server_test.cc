@@ -402,6 +402,305 @@ TEST(QueryServerTest, StatsEndpointReportsCounters) {
             1.0);
 }
 
+// --- Cursor sessions -----------------------------------------------------
+
+// Serialized "rows" array of a response payload ("[]" when absent).
+std::string RowsJson(const ParsedResponse& parsed) {
+  auto rows = parsed.value.Get("rows");
+  if (!rows.ok()) return "[]";
+  return json::SerializeJson(*rows);
+}
+
+uint64_t CursorId(const ParsedResponse& parsed) {
+  return static_cast<uint64_t>(
+      parsed.value.Get("cursor").ValueOrDie().AsNumber().ValueOrDie());
+}
+
+// Drains a cursor to exhaustion, concatenating the row arrays of its pages.
+struct DrainedCursor {
+  json::JsonArray rows;
+  size_t pages = 0;
+  std::vector<size_t> page_sizes;
+  std::vector<uint64_t> page_epochs;
+};
+
+DrainedCursor DrainCursor(ServerHandle& handle, uint64_t cursor) {
+  DrainedCursor drained;
+  for (;;) {
+    ParsedResponse page = ParseResponse(handle.QueryNext(cursor));
+    EXPECT_TRUE(page.ok) << json::SerializeJson(page.value);
+    if (!page.ok) break;
+    json::JsonValue rows_value = page.value.Get("rows").ValueOrDie();
+    const json::JsonArray* rows = rows_value.AsArray();
+    EXPECT_NE(rows, nullptr);
+    if (rows == nullptr) break;
+    drained.rows.insert(drained.rows.end(), rows->begin(), rows->end());
+    drained.page_sizes.push_back(rows->size());
+    drained.page_epochs.push_back(page.epoch);
+    ++drained.pages;
+    if (page.value.Get("done").ValueOrDie().AsBool().ValueOrDie()) break;
+  }
+  return drained;
+}
+
+// Acceptance gate: for page_size 1, 7 and 64 the concatenated pages of a
+// cursor session must be byte-identical to the one-shot "rows" array.
+TEST(CursorSessionTest, PaginationIsByteIdenticalToOneShot) {
+  const std::string queries[] = {
+      R"({"op":"rollup","dims":["Day","Station"]})",
+      R"({"op":"rollup","dims":["Station"]})",
+      R"({"op":"slice","dim":"Area","key":"D2"})",
+  };
+  for (const std::string& query : queries) {
+    QueryServer server{BuildSeedCube()};
+    ServerHandle handle(&server);
+    ParsedResponse one_shot = ParseResponse(handle.Call(query));
+    ASSERT_TRUE(one_shot.ok) << query;
+    const std::string want_rows = RowsJson(one_shot);
+
+    for (size_t page_size : {size_t{1}, size_t{7}, size_t{64}}) {
+      ParsedResponse opened = ParseResponse(handle.QueryOpen(query, page_size));
+      ASSERT_TRUE(opened.ok) << query;
+      EXPECT_EQ(opened.value.Get("page_size").ValueOrDie()
+                    .AsNumber().ValueOrDie(),
+                static_cast<double>(page_size));
+      DrainedCursor drained = DrainCursor(handle, CursorId(opened));
+      EXPECT_EQ(json::SerializeJson(json::JsonValue(drained.rows)), want_rows)
+          << query << " page_size=" << page_size;
+      // Every page but the last must be exactly page_size rows.
+      for (size_t i = 0; i + 1 < drained.page_sizes.size(); ++i) {
+        EXPECT_EQ(drained.page_sizes[i], page_size);
+      }
+      if (!drained.page_sizes.empty()) {
+        EXPECT_LE(drained.page_sizes.back(), page_size);
+      }
+    }
+    EXPECT_EQ(server.open_sessions(), 0u);  // drained cursors are reclaimed
+  }
+}
+
+// A publish between pages must not change what the open cursor sees: the
+// session serves its pinned snapshot (and reports that pinned epoch) even
+// though one-shot queries already see the new epoch.
+TEST(CursorSessionTest, MidPaginationPublishKeepsSnapshotPinned) {
+  const std::string query = R"({"op":"rollup","dims":["Day","Station"]})";
+  ServerOptions options;
+  options.num_workers = 1;
+  QueryServer server(BuildSeedCube(), options);
+  ServerHandle handle(&server);
+  const std::string rows_before = RowsJson(ParseResponse(handle.Call(query)));
+
+  ParsedResponse opened = ParseResponse(handle.QueryOpen(query, 1));
+  ASSERT_TRUE(opened.ok);
+  EXPECT_EQ(opened.epoch, 0u);
+  uint64_t cursor = CursorId(opened);
+
+  // Two pages at the pinned epoch, then a publish that both changes an
+  // existing row and adds a brand-new one.
+  json::JsonArray rows;
+  for (int i = 0; i < 2; ++i) {
+    ParsedResponse page = ParseResponse(handle.QueryNext(cursor));
+    ASSERT_TRUE(page.ok);
+    EXPECT_EQ(page.epoch, 0u);
+    const json::JsonArray* got = page.value.Get("rows").ValueOrDie().AsArray();
+    ASSERT_NE(got, nullptr);
+    rows.insert(rows.end(), got->begin(), got->end());
+  }
+  ASSERT_TRUE(server.ApplyUpdate({{{"Mon", "Fenian St", "D2"}, 100},
+                                  {{"Sat", "Heuston", "D8"}, 4}})
+                  .ok());
+  ParsedResponse after = ParseResponse(handle.Call(query));
+  EXPECT_EQ(after.epoch, 1u);
+  EXPECT_NE(RowsJson(after), rows_before);  // the one-shot view moved on
+
+  for (;;) {
+    ParsedResponse page = ParseResponse(handle.QueryNext(cursor));
+    ASSERT_TRUE(page.ok);
+    EXPECT_EQ(page.epoch, 0u) << "cursor must keep its pinned epoch";
+    const json::JsonArray* got = page.value.Get("rows").ValueOrDie().AsArray();
+    ASSERT_NE(got, nullptr);
+    rows.insert(rows.end(), got->begin(), got->end());
+    if (page.value.Get("done").ValueOrDie().AsBool().ValueOrDie()) break;
+  }
+  EXPECT_EQ(json::SerializeJson(json::JsonValue(rows)), rows_before);
+}
+
+TEST(CursorSessionTest, SessionCapCloseAndUnknownCursor) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_sessions = 2;
+  QueryServer server(BuildSeedCube(), options);
+  ServerHandle handle(&server);
+  const std::string query = R"({"op":"rollup","dims":["Day"]})";
+
+  ParsedResponse first = ParseResponse(handle.QueryOpen(query, 4));
+  ParsedResponse second = ParseResponse(handle.QueryOpen(query, 4));
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(server.open_sessions(), 2u);
+
+  ParsedResponse third = ParseResponse(handle.QueryOpen(query, 4));
+  EXPECT_FALSE(third.ok);
+  EXPECT_EQ(ErrorCode(third), "too_many_sessions");
+  EXPECT_EQ(server.Stats().sessions_rejected, 1u);
+
+  ParsedResponse closed = ParseResponse(handle.QueryClose(CursorId(first)));
+  ASSERT_TRUE(closed.ok);
+  EXPECT_TRUE(closed.value.Get("closed").ValueOrDie().AsBool().ValueOrDie());
+  EXPECT_TRUE(ParseResponse(handle.QueryOpen(query, 4)).ok);
+
+  // A closed cursor is gone: next fails, a second close reports closed=false.
+  ParsedResponse next = ParseResponse(handle.QueryNext(CursorId(first)));
+  EXPECT_FALSE(next.ok);
+  EXPECT_EQ(ErrorCode(next), "not_found");
+  ParsedResponse again = ParseResponse(handle.QueryClose(CursorId(first)));
+  ASSERT_TRUE(again.ok);
+  EXPECT_FALSE(again.value.Get("closed").ValueOrDie().AsBool().ValueOrDie());
+}
+
+TEST(CursorSessionTest, IdleSessionsAreReapedByTtl) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.session_ttl_seconds = 0;  // anything idle is expired
+  QueryServer server(BuildSeedCube(), options);
+  ServerHandle handle(&server);
+
+  ParsedResponse opened =
+      ParseResponse(handle.QueryOpen(R"({"op":"rollup","dims":["Day"]})", 4));
+  ASSERT_TRUE(opened.ok);
+  EXPECT_EQ(server.open_sessions(), 1u);
+  EXPECT_GE(server.ReapIdleSessions(), 1u);
+  EXPECT_EQ(server.open_sessions(), 0u);
+  EXPECT_EQ(server.Stats().sessions_expired, 1u);
+
+  ParsedResponse next = ParseResponse(handle.QueryNext(CursorId(opened)));
+  EXPECT_FALSE(next.ok);
+  EXPECT_EQ(ErrorCode(next), "not_found");
+}
+
+TEST(CursorSessionTest, RejectsMalformedSessionRequests) {
+  QueryServer server{BuildSeedCube()};
+  ServerHandle handle(&server);
+  struct Case {
+    const char* request;
+    const char* want_code;
+  };
+  const Case cases[] = {
+      // Only row-producing queries can be paged.
+      {R"({"op":"query_open","query":{"op":"point","keys":["Mon",null,"D2"]},"page_size":4})",
+       "invalid_argument"},
+      {R"({"op":"query_open","query":{"op":"stats"},"page_size":4})",
+       "invalid_argument"},
+      {R"({"op":"query_open","page_size":4})", "invalid_argument"},
+      {R"({"op":"query_open","query":{"op":"rollup","dims":["Day"]}})",
+       "invalid_argument"},  // missing page_size
+      {R"({"op":"query_open","query":{"op":"rollup","dims":["Day"]},"page_size":0})",
+       "invalid_argument"},
+      {R"({"op":"query_open","query":{"op":"rollup","dims":["Day"]},"page_size":100000000})",
+       "invalid_argument"},
+      {R"({"op":"query_next"})", "invalid_argument"},
+      {R"({"op":"query_next","cursor":-3})", "invalid_argument"},
+      {R"({"op":"query_close"})", "invalid_argument"},
+      // Unknown dimension surfaces at open, not at first next.
+      {R"({"op":"query_open","query":{"op":"rollup","dims":["NoSuchDim"]},"page_size":4})",
+       "not_found"},
+  };
+  for (const Case& c : cases) {
+    ParsedResponse parsed = ParseResponse(handle.Call(c.request));
+    EXPECT_FALSE(parsed.ok) << c.request;
+    EXPECT_EQ(ErrorCode(parsed), c.want_code) << c.request;
+  }
+  EXPECT_EQ(server.open_sessions(), 0u);
+}
+
+TEST(CursorSessionTest, UnknownSliceKeyYieldsEmptyDrainedCursor) {
+  QueryServer server{BuildSeedCube()};
+  ServerHandle handle(&server);
+  ParsedResponse opened = ParseResponse(
+      handle.QueryOpen(R"({"op":"slice","dim":"Area","key":"NoSuchArea"})", 8));
+  ASSERT_TRUE(opened.ok);
+  ParsedResponse page = ParseResponse(handle.QueryNext(CursorId(opened)));
+  ASSERT_TRUE(page.ok);
+  EXPECT_EQ(RowsJson(page), "[]");
+  EXPECT_TRUE(page.value.Get("done").ValueOrDie().AsBool().ValueOrDie());
+  EXPECT_EQ(server.open_sessions(), 0u);
+}
+
+// --- Delta-epoch cache revalidation --------------------------------------
+
+TEST(QueryServerTest, CacheRevalidatesEntriesThatMissTheChangedPrefixes) {
+  ServerOptions options;
+  options.num_workers = 1;
+  QueryServer server(BuildSeedCube(), options);
+  ServerHandle handle(&server);
+  const std::string mon_point = R"({"op":"point","keys":["Mon",null,"D2"]})";
+  const std::string d1_slice = R"({"op":"slice","dim":"Area","key":"D1"})";
+  const std::string day_rollup = R"({"op":"rollup","dims":["Day"]})";
+
+  // Warm the cache at epoch 0.
+  ParsedResponse mon_first = ParseResponse(handle.Call(mon_point));
+  handle.Call(d1_slice);
+  handle.Call(day_rollup);
+  EXPECT_EQ(server.cache().stats().entries, 3u);
+
+  // The publish touches only ("Sat","Heuston","D8"): the Mon point and the
+  // D1 slice provably miss it and must carry over; the roll-up cannot (every
+  // new tuple lands in some group) and must drop.
+  ASSERT_TRUE(server.ApplyUpdate({{{"Sat", "Heuston", "D8"}, 4}}).ok());
+  ResultCacheStats after_miss = server.cache().stats();
+  EXPECT_EQ(after_miss.revalidated, 2u);
+  EXPECT_EQ(after_miss.invalidations, 1u);
+  EXPECT_EQ(after_miss.entries, 2u);
+
+  // A revalidated entry serves a *cached* hit at the new epoch, byte-equal
+  // to the epoch-0 result.
+  ParsedResponse mon_second = ParseResponse(handle.Call(mon_point));
+  EXPECT_TRUE(mon_second.cached);
+  EXPECT_EQ(mon_second.epoch, 1u);
+  EXPECT_EQ(json::SerializeJson(
+                mon_second.value.Get("measure").ValueOrDie()),
+            json::SerializeJson(mon_first.value.Get("measure").ValueOrDie()));
+
+  // A publish that *does* touch the Mon prefix invalidates it again.
+  ASSERT_TRUE(server.ApplyUpdate({{{"Mon", "Fenian St", "D2"}, 100}}).ok());
+  ParsedResponse mon_third = ParseResponse(handle.Call(mon_point));
+  EXPECT_FALSE(mon_third.cached);
+  EXPECT_EQ(mon_third.epoch, 2u);
+  EXPECT_EQ(mon_third.value.Get("measure").ValueOrDie()
+                .AsNumber().ValueOrDie(),
+            mon_first.value.Get("measure").ValueOrDie()
+                    .AsNumber().ValueOrDie() +
+                100);
+}
+
+TEST(QueryServerTest, StatsEndpointReportsSessionAndRevalidationCounters) {
+  ServerOptions options;
+  options.num_workers = 1;
+  QueryServer server(BuildSeedCube(), options);
+  ServerHandle handle(&server);
+  handle.Call(R"({"op":"point","keys":["Mon",null,"D2"]})");
+  ASSERT_TRUE(server.ApplyUpdate({{{"Sat", "Heuston", "D8"}, 4}}).ok());
+  ParsedResponse opened =
+      ParseResponse(handle.QueryOpen(R"({"op":"rollup","dims":["Day"]})", 4));
+  ASSERT_TRUE(opened.ok);
+
+  ParsedResponse parsed = ParseResponse(handle.Call(R"({"op":"stats"})"));
+  ASSERT_TRUE(parsed.ok);
+  const json::JsonValue& value = parsed.value;
+  EXPECT_EQ(value.GetPath("stats.cache.revalidated").ValueOrDie()
+                .AsNumber().ValueOrDie(),
+            1.0);
+  EXPECT_EQ(value.GetPath("stats.sessions.open").ValueOrDie()
+                .AsNumber().ValueOrDie(),
+            1.0);
+  EXPECT_EQ(value.GetPath("stats.sessions.opened").ValueOrDie()
+                .AsNumber().ValueOrDie(),
+            1.0);
+  EXPECT_EQ(value.GetPath("stats.sessions.max_sessions").ValueOrDie()
+                .AsNumber().ValueOrDie(),
+            64.0);
+}
+
 // --- TCP front-end -------------------------------------------------------
 
 int ConnectLoopback(int port) {
@@ -502,6 +801,34 @@ TEST(TcpServerTest, ReapsFinishedConnectionThreads) {
     live = tcp.ReapFinishedConnections();
   }
   EXPECT_EQ(live, 0u);
+  tcp.Stop();
+}
+
+TEST(TcpServerTest, DisconnectReclaimsClientCursorSessions) {
+  QueryServer server{BuildSeedCube()};
+  TcpServer tcp(&server);
+  ASSERT_TRUE(tcp.Start().ok());
+
+  int fd = ConnectLoopback(tcp.port());
+  ASSERT_TRUE(
+      WriteFrame(
+          fd,
+          R"({"op":"query_open","query":{"op":"rollup","dims":["Day"]},"page_size":1})")
+          .ok());
+  auto response = ReadFrame(fd, 1 << 20);
+  ASSERT_TRUE(response.ok()) << response.status();
+  ASSERT_TRUE(ParseResponse(*response).ok);
+  EXPECT_EQ(server.open_sessions(), 1u);
+
+  // Dropping the connection mid-pagination must reclaim the cursor without
+  // waiting for the idle TTL.
+  ::close(fd);
+  size_t open = server.open_sessions();
+  for (int spin = 0; spin < 500 && open != 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    open = server.open_sessions();
+  }
+  EXPECT_EQ(open, 0u);
   tcp.Stop();
 }
 
