@@ -93,6 +93,7 @@ BENCHMARK(BM_ClusteredBaseline)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchutil::InstallObservabilityDumps(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

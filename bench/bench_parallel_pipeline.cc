@@ -207,6 +207,7 @@ void WriteJson(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchutil::InstallObservabilityDumps(&argc, argv);
   benchmark::Initialize(&argc, argv);
   for (const std::string& dataset : benchutil::SelectedDatasets()) {
     for (int threads : ThreadSweep()) {

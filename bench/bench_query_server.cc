@@ -277,7 +277,8 @@ RunResult RunClients(server::QueryServer& server,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::InstallObservabilityDumps(&argc, argv);
   int clients = EnvInt("SCDWARF_SERVER_CLIENTS", 8);
   int requests_per_client = EnvInt("SCDWARF_SERVER_REQUESTS", 2000);
   std::vector<std::string> datasets =

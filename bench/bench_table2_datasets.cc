@@ -94,6 +94,7 @@ void PrintTable2() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchutil::InstallObservabilityDumps(&argc, argv);
   benchmark::Initialize(&argc, argv);
   for (const std::string& dataset : benchutil::SelectedDatasets()) {
     benchmark::RegisterBenchmark(("Table2/" + dataset).c_str(),

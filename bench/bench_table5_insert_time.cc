@@ -104,6 +104,7 @@ void PrintTable5() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchutil::InstallObservabilityDumps(&argc, argv);
   benchmark::Initialize(&argc, argv);
   for (const std::string& dataset : benchutil::SelectedDatasets()) {
     size_t index = 0;

@@ -8,8 +8,10 @@
 
 #include "citibikes/bike_feed.h"
 #include "json/json_parser.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "etl/pipeline.h"
 #include "mapper/nosql_dwarf_mapper.h"
 #include "mapper/nosql_min_mapper.h"
@@ -19,6 +21,73 @@
 namespace scdwarf::benchutil {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+std::string g_metrics_dump_path;
+std::string g_trace_dump_path;
+
+bool WriteTextFile(const std::string& path, const std::string& contents) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), out);
+  return std::fclose(out) == 0 && written == contents.size();
+}
+
+void WriteObservabilityDumps() {
+  if (!g_metrics_dump_path.empty()) {
+    std::string json =
+        "{\"metrics\":" +
+        metrics::SnapshotToJson(metrics::GlobalRegistry().Snapshot()) + "}\n";
+    if (WriteTextFile(g_metrics_dump_path, json)) {
+      std::fprintf(stderr, "metrics snapshot written to %s\n",
+                   g_metrics_dump_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics snapshot to %s\n",
+                   g_metrics_dump_path.c_str());
+    }
+  }
+  if (!g_trace_dump_path.empty()) {
+    if (WriteTextFile(g_trace_dump_path, trace::ExportChromeJson())) {
+      std::fprintf(stderr, "trace written to %s (load via chrome://tracing)\n",
+                   g_trace_dump_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   g_trace_dump_path.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+void InstallObservabilityDumps(int* argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--metrics-dump=", 0) == 0) {
+      g_metrics_dump_path = arg.substr(15);
+    } else if (arg.rfind("--trace-dump=", 0) == 0) {
+      g_trace_dump_path = arg.substr(13);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  if (g_metrics_dump_path.empty()) {
+    if (const char* env = std::getenv("SCDWARF_METRICS_DUMP")) {
+      g_metrics_dump_path = env;
+    }
+  }
+  if (g_trace_dump_path.empty()) {
+    if (const char* env = std::getenv("SCDWARF_TRACE_DUMP")) {
+      g_trace_dump_path = env;
+    }
+  }
+  if (!g_trace_dump_path.empty()) trace::SetEnabled(true);
+  if (!g_metrics_dump_path.empty() || !g_trace_dump_path.empty()) {
+    std::atexit(WriteObservabilityDumps);
+  }
+}
 
 Status WriteBenchJson(const std::string& path, const std::string& benchmark,
                       const std::vector<BenchJsonRow>& rows) {

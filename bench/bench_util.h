@@ -31,6 +31,16 @@ using BenchJsonRow = json::JsonObject;
 Status WriteBenchJson(const std::string& path, const std::string& benchmark,
                       const std::vector<BenchJsonRow>& rows);
 
+/// \brief Observability hook shared by every bench main. Consumes
+/// --metrics-dump=PATH and --trace-dump=PATH from argv (google-benchmark's
+/// Initialize would otherwise reject them as unknown flags), with the
+/// SCDWARF_METRICS_DUMP / SCDWARF_TRACE_DUMP environment variables as
+/// fallbacks. A trace path additionally enables span tracing (as if
+/// SCDWARF_TRACE=1). When either path is set, an atexit hook writes the
+/// global metric registry snapshot ({"metrics":[...]}) and/or a
+/// chrome://tracing-compatible span export on process exit.
+void InstallObservabilityDumps(int* argc, char** argv);
+
 /// \brief Dataset names selected for this run (env-filtered Table 2 order).
 std::vector<std::string> SelectedDatasets();
 

@@ -9,6 +9,10 @@ FixedBucketHistogram::FixedBucketHistogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
 
 FixedBucketHistogram FixedBucketHistogram::ForLatencyMicros() {
+  return FixedBucketHistogram(LatencyMicrosBounds());
+}
+
+std::vector<double> FixedBucketHistogram::LatencyMicrosBounds() {
   std::vector<double> bounds;
   for (double decade = 1; decade <= 1e6; decade *= 10) {
     bounds.push_back(decade);
@@ -16,7 +20,7 @@ FixedBucketHistogram FixedBucketHistogram::ForLatencyMicros() {
     bounds.push_back(decade * 5);
   }
   bounds.push_back(1e7);  // 10 s
-  return FixedBucketHistogram(std::move(bounds));
+  return bounds;
 }
 
 void FixedBucketHistogram::Record(double value) {

@@ -29,6 +29,11 @@ class FixedBucketHistogram {
   /// from 1us to 10s.
   static FixedBucketHistogram ForLatencyMicros();
 
+  /// The bucket bounds of ForLatencyMicros(), for callers that construct the
+  /// histogram elsewhere (the metrics registry allocates its histograms on
+  /// the heap, and the atomic members make the type immovable).
+  static std::vector<double> LatencyMicrosBounds();
+
   /// Records one sample. Thread-safe, lock-free (bucket counts are single
   /// increments; min/max tracking is a CAS loop).
   void Record(double value);

@@ -1,0 +1,167 @@
+#include "common/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace scdwarf::trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One process-wide anchor so span timestamps are comparable across threads.
+Clock::time_point Anchor() {
+  static const Clock::time_point anchor = Clock::now();
+  return anchor;
+}
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(Clock::now() - Anchor())
+      .count();
+}
+
+bool EnvEnabled() {
+  const char* value = std::getenv("SCDWARF_TRACE");
+  if (value == nullptr) return false;
+  return std::strcmp(value, "") != 0 && std::strcmp(value, "0") != 0 &&
+         std::strcmp(value, "off") != 0 && std::strcmp(value, "false") != 0;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{EnvEnabled()};
+  return enabled;
+}
+
+struct Ring {
+  std::mutex mu;
+  std::vector<Span> spans;  ///< ring storage, lazily sized to capacity
+  size_t next = 0;          ///< write position
+  uint64_t total = 0;       ///< spans ever recorded since Clear()
+};
+
+Ring& GlobalRing() {
+  static Ring* ring = new Ring();
+  return *ring;
+}
+
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_next_thread_id{1};
+
+uint64_t ThisThreadId() {
+  thread_local const uint64_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Innermost open span of this thread (parent for the next ScopedSpan).
+thread_local uint64_t t_current_span = 0;
+
+void AppendJsonDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  if (!Enabled()) return;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_current_span;
+  t_current_span = id_;
+  start_us_ = NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (id_ == 0) return;
+  double dur_us = NowMicros() - start_us_;
+  t_current_span = parent_;
+  Span span;
+  span.name = name_;
+  span.start_us = start_us_;
+  span.dur_us = dur_us;
+  span.thread = ThisThreadId();
+  span.id = id_;
+  span.parent = parent_;
+  Ring& ring = GlobalRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.spans.size() < kTraceCapacity) {
+    ring.spans.push_back(std::move(span));
+  } else {
+    ring.spans[ring.next] = std::move(span);
+  }
+  ring.next = (ring.next + 1) % kTraceCapacity;
+  ++ring.total;
+}
+
+std::vector<Span> Snapshot() {
+  Ring& ring = GlobalRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  std::vector<Span> out;
+  out.reserve(ring.spans.size());
+  if (ring.total > ring.spans.size()) {
+    // The ring wrapped: oldest span sits at the write position.
+    for (size_t i = 0; i < ring.spans.size(); ++i) {
+      out.push_back(ring.spans[(ring.next + i) % ring.spans.size()]);
+    }
+  } else {
+    out = ring.spans;
+  }
+  return out;
+}
+
+uint64_t dropped_spans() {
+  Ring& ring = GlobalRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  return ring.total > ring.spans.size() ? ring.total - ring.spans.size() : 0;
+}
+
+void Clear() {
+  Ring& ring = GlobalRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.spans.clear();
+  ring.next = 0;
+  ring.total = 0;
+}
+
+std::string ExportChromeJson() {
+  std::vector<Span> spans = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":\"");
+    // Span names are instrumentation-site literals; escape the two
+    // characters that could break the JSON anyway.
+    for (char c : span.name) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.append("\",\"ph\":\"X\",\"ts\":");
+    AppendJsonDouble(&out, span.start_us);
+    out.append(",\"dur\":");
+    AppendJsonDouble(&out, span.dur_us);
+    out.append(",\"pid\":1,\"tid\":");
+    out.append(std::to_string(span.thread));
+    out.append(",\"args\":{\"id\":");
+    out.append(std::to_string(span.id));
+    out.append(",\"parent\":");
+    out.append(std::to_string(span.parent));
+    out.append("}}");
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace scdwarf::trace

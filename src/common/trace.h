@@ -1,0 +1,81 @@
+/// \file trace.h
+/// \brief Scoped-span tracer: a thread-safe ring buffer of
+/// {name, start, dur, thread, parent} spans with a chrome://tracing export.
+///
+/// Tracing is **off by default** and enabled by the SCDWARF_TRACE
+/// environment variable (any value except "", "0", "off", "false"). When
+/// disabled a ScopedSpan is a single relaxed atomic-bool load — no clock
+/// reads, no allocation, no locking — so instrumentation can stay compiled
+/// into every hot path (ETL parse, construction sweep, apply lanes, flushes,
+/// server ops) without perturbing production timings or the bit-identical
+/// build guarantee (spans only observe, they never alter control flow).
+///
+/// When enabled, each ScopedSpan destructor appends one span to a fixed
+/// ring buffer (kTraceCapacity spans; the oldest are overwritten and counted
+/// as dropped). Parent linkage is a thread-local span stack, so nested
+/// scopes form a tree per thread. Export with ExportChromeJson() and load
+/// the file in chrome://tracing or https://ui.perfetto.dev.
+
+#ifndef SCDWARF_COMMON_TRACE_H_
+#define SCDWARF_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scdwarf::trace {
+
+/// Spans retained before the ring overwrites the oldest.
+constexpr size_t kTraceCapacity = 1 << 16;
+
+/// \brief One completed scope.
+struct Span {
+  std::string name;
+  double start_us = 0;  ///< since process trace-clock anchor
+  double dur_us = 0;
+  uint64_t thread = 0;  ///< small sequential per-thread id
+  uint64_t id = 0;      ///< 1-based span id, unique per process
+  uint64_t parent = 0;  ///< enclosing span's id, 0 for roots
+};
+
+/// True when span recording is active (env-initialized, see file comment).
+bool Enabled();
+
+/// Overrides the environment setting (used by --trace-dump and tests).
+void SetEnabled(bool enabled);
+
+/// \brief RAII span: records [construction, destruction) when tracing is
+/// enabled, does nothing otherwise. \p name must outlive the scope (string
+/// literals in practice).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  double start_us_ = 0;
+  uint64_t id_ = 0;  ///< 0 = tracing was disabled at construction
+  uint64_t parent_ = 0;
+};
+
+/// Copies the buffered spans, oldest first. Thread-safe.
+std::vector<Span> Snapshot();
+
+/// Spans overwritten by the ring since the last Clear().
+uint64_t dropped_spans();
+
+/// Empties the buffer and resets the dropped counter (tests, dump-on-exit).
+void Clear();
+
+/// \brief Renders the buffer in the chrome://tracing "trace event" format:
+/// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,"pid":1,
+/// "tid":...,"args":{"id":...,"parent":...}}, ...]}.
+std::string ExportChromeJson();
+
+}  // namespace scdwarf::trace
+
+#endif  // SCDWARF_COMMON_TRACE_H_

@@ -8,9 +8,11 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace scdwarf::dwarf {
 
@@ -530,14 +532,39 @@ Result<NodeId> DwarfBuilder::ConstructSweep(int num_threads,
 Result<DwarfCube> DwarfBuilder::Build(BuildProfile* profile) && {
   SCD_RETURN_IF_ERROR(schema_.Validate());
 
+  static metrics::Counter* const builds_total =
+      metrics::GlobalRegistry().GetCounter(
+          "dwarf_builds_total", {}, "DwarfBuilder::Build invocations");
+  static metrics::Counter* const tuples_total =
+      metrics::GlobalRegistry().GetCounter(
+          "dwarf_build_tuples_total", {},
+          "raw tuples fed into cube construction");
+  static metrics::Counter* const sweep_tasks_total =
+      metrics::GlobalRegistry().GetCounter(
+          "dwarf_sweep_tasks_total", {},
+          "parallel construction-sweep subtree tasks (0 per serial build)");
+  static FixedBucketHistogram* const sort_us =
+      metrics::GlobalRegistry().GetHistogram(
+          "dwarf_sort_us", {}, "tuple sort + duplicate aggregation time (us)");
+  static FixedBucketHistogram* const construct_us =
+      metrics::GlobalRegistry().GetHistogram(
+          "dwarf_construct_us", {}, "DWARF construction sweep time (us)");
+
   int num_threads = ResolveThreadCount(options_.num_threads);
   uint64_t source_count = tuples_.size();
+  builds_total->Increment();
+  tuples_total->Increment(source_count);
   Stopwatch watch;
-  SortAndAggregate(num_threads);
+  {
+    trace::ScopedSpan span("dwarf.sort");
+    SortAndAggregate(num_threads);
+  }
   size_t write = tuples_.size();
+  sort_us->Record(watch.ElapsedMicros());
   if (profile != nullptr) profile->sort_ms = watch.ElapsedMillis();
 
   watch.Restart();
+  trace::ScopedSpan span("dwarf.construct");
   DwarfCube cube;
   cube.schema_ = schema_;
   cube.dictionaries_ = std::move(dictionaries_);
@@ -550,6 +577,8 @@ Result<DwarfCube> DwarfBuilder::Build(BuildProfile* profile) && {
   stats.tuple_count = write;
   stats.source_tuple_count = source_count;
   cube.stats_ = stats;
+  construct_us->Record(watch.ElapsedMicros());
+  sweep_tasks_total->Increment(static_cast<uint64_t>(sweep_tasks));
   if (profile != nullptr) {
     profile->construct_ms = watch.ElapsedMillis();
     profile->sweep_tasks = sweep_tasks;

@@ -5,10 +5,69 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace scdwarf::etl {
+
+namespace {
+
+metrics::Counter* ParallelDocumentsCounter(bool is_json) {
+  static metrics::Counter* const xml = metrics::GlobalRegistry().GetCounter(
+      "etl_documents_total", {{"format", "xml"}},
+      "feed documents consumed by the ETL front-end");
+  static metrics::Counter* const json = metrics::GlobalRegistry().GetCounter(
+      "etl_documents_total", {{"format", "json"}},
+      "feed documents consumed by the ETL front-end");
+  return is_json ? json : xml;
+}
+
+metrics::Counter* ParallelBytesCounter() {
+  static metrics::Counter* const counter = metrics::GlobalRegistry().GetCounter(
+      "etl_bytes_total", {}, "raw feed bytes consumed");
+  return counter;
+}
+
+metrics::Counter* ParallelRecordsCounter() {
+  static metrics::Counter* const counter = metrics::GlobalRegistry().GetCounter(
+      "etl_records_total", {}, "feed records mapped into cube tuples");
+  return counter;
+}
+
+metrics::Counter* ParallelSkippedCounter() {
+  static metrics::Counter* const counter = metrics::GlobalRegistry().GetCounter(
+      "etl_skipped_records_total", {},
+      "malformed records dropped by non-strict pipelines");
+  return counter;
+}
+
+FixedBucketHistogram* ParallelParseHistogram() {
+  static FixedBucketHistogram* const hist =
+      metrics::GlobalRegistry().GetHistogram(
+          "etl_parse_us", {},
+          "per-document extract + map + intern latency (us)");
+  return hist;
+}
+
+FixedBucketHistogram* DrainHistogram() {
+  static FixedBucketHistogram* const hist =
+      metrics::GlobalRegistry().GetHistogram(
+          "etl_drain_us", {},
+          "Finish()-time wait for queued documents to drain (us)");
+  return hist;
+}
+
+FixedBucketHistogram* DictMergeHistogram() {
+  static FixedBucketHistogram* const hist =
+      metrics::GlobalRegistry().GetHistogram(
+          "etl_dict_merge_us", {},
+          "deterministic dictionary merge + tuple remap time (us)");
+  return hist;
+}
+
+}  // namespace
 
 /// Shared worker state, heap-allocated so the pipeline object stays movable
 /// while worker threads hold a stable pointer.
@@ -89,6 +148,8 @@ struct ParallelCubePipeline::State {
   }
 
   DocResult ProcessDocument(const DocTask& task) {
+    trace::ScopedSpan span("etl.parse");
+    Stopwatch watch;
     DocResult out;
     Result<std::vector<FeedRecord>> records =
         task.is_json ? json_extractor->Extract(task.text)
@@ -125,6 +186,11 @@ struct ParallelCubePipeline::State {
       out.tuples.push_back(std::move(tuple));
       ++out.records;
     }
+    ParallelDocumentsCounter(task.is_json)->Increment();
+    ParallelBytesCounter()->Increment(task.text.size());
+    ParallelRecordsCounter()->Increment(out.records);
+    ParallelSkippedCounter()->Increment(out.skipped);
+    ParallelParseHistogram()->Record(watch.ElapsedMicros());
     return out;
   }
 };
@@ -221,60 +287,69 @@ Result<dwarf::DwarfCube> ParallelCubePipeline::Finish(
   if (serial_ != nullptr) return std::move(*serial_).Finish(profile);
 
   Stopwatch watch;
-  JoinWorkers();
+  {
+    trace::ScopedSpan span("etl.drain");
+    JoinWorkers();
+  }
+  DrainHistogram()->Record(watch.ElapsedMicros());
   if (profile != nullptr) profile->drain_ms = watch.ElapsedMillis();
   watch.Restart();
 
-  // The earliest failing document decides the pipeline's fate — the same
-  // error the serial pipeline would have returned from its Consume* call.
-  for (const State::DocResult& result : state_->results) {
-    SCD_RETURN_IF_ERROR(result.status);
-  }
-
-  // Dictionary merge: global ids are assigned in document order, then in
-  // per-document first-seen order — exactly the order the serial pipeline's
-  // Encode calls would have produced. Tuple keys are remapped in place.
-  size_t dims = state_->schema.num_dimensions();
-  std::vector<dwarf::Dictionary> dictionaries;
-  dictionaries.reserve(dims);
-  for (const dwarf::DimensionSpec& dim : state_->schema.dimensions()) {
-    dictionaries.emplace_back(dim.name);
-  }
-  std::vector<std::vector<dwarf::DimKey>> remap(dims);
-  for (State::DocResult& result : state_->results) {
-    for (size_t dim = 0; dim < dims; ++dim) {
-      remap[dim].clear();
-      remap[dim].reserve(result.dict_values[dim].size());
-      for (const std::string& value : result.dict_values[dim]) {
-        remap[dim].push_back(dictionaries[dim].Encode(value));
-      }
-    }
-    for (dwarf::Tuple& tuple : result.tuples) {
-      for (size_t dim = 0; dim < dims; ++dim) {
-        tuple.keys[dim] = remap[dim][tuple.keys[dim]];
-      }
-    }
-  }
-
   dwarf::DwarfBuilder builder(state_->schema, state_->builder_options);
-  SCD_RETURN_IF_ERROR(builder.ImportDictionaries(std::move(dictionaries)));
-  PipelineStats stats;
-  stats.documents = state_->documents;
-  stats.bytes = state_->bytes;
-  for (State::DocResult& result : state_->results) {
-    for (dwarf::Tuple& tuple : result.tuples) {
-      SCD_RETURN_IF_ERROR(builder.AddEncodedTuple(std::move(tuple)));
-    }
-    stats.records += result.records;
-    stats.skipped_records += result.skipped;
-    result.tuples.clear();
-    result.tuples.shrink_to_fit();
-  }
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
-    state_->final_stats = stats;
-    state_->finished = true;
+    trace::ScopedSpan merge_span("etl.dict_merge");
+
+    // The earliest failing document decides the pipeline's fate — the same
+    // error the serial pipeline would have returned from its Consume* call.
+    for (const State::DocResult& result : state_->results) {
+      SCD_RETURN_IF_ERROR(result.status);
+    }
+
+    // Dictionary merge: global ids are assigned in document order, then in
+    // per-document first-seen order — exactly the order the serial pipeline's
+    // Encode calls would have produced. Tuple keys are remapped in place.
+    size_t dims = state_->schema.num_dimensions();
+    std::vector<dwarf::Dictionary> dictionaries;
+    dictionaries.reserve(dims);
+    for (const dwarf::DimensionSpec& dim : state_->schema.dimensions()) {
+      dictionaries.emplace_back(dim.name);
+    }
+    std::vector<std::vector<dwarf::DimKey>> remap(dims);
+    for (State::DocResult& result : state_->results) {
+      for (size_t dim = 0; dim < dims; ++dim) {
+        remap[dim].clear();
+        remap[dim].reserve(result.dict_values[dim].size());
+        for (const std::string& value : result.dict_values[dim]) {
+          remap[dim].push_back(dictionaries[dim].Encode(value));
+        }
+      }
+      for (dwarf::Tuple& tuple : result.tuples) {
+        for (size_t dim = 0; dim < dims; ++dim) {
+          tuple.keys[dim] = remap[dim][tuple.keys[dim]];
+        }
+      }
+    }
+
+    SCD_RETURN_IF_ERROR(builder.ImportDictionaries(std::move(dictionaries)));
+    PipelineStats stats;
+    stats.documents = state_->documents;
+    stats.bytes = state_->bytes;
+    for (State::DocResult& result : state_->results) {
+      for (dwarf::Tuple& tuple : result.tuples) {
+        SCD_RETURN_IF_ERROR(builder.AddEncodedTuple(std::move(tuple)));
+      }
+      stats.records += result.records;
+      stats.skipped_records += result.skipped;
+      result.tuples.clear();
+      result.tuples.shrink_to_fit();
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->final_stats = stats;
+      state_->finished = true;
+    }
   }
+  DictMergeHistogram()->Record(watch.ElapsedMicros());
   if (profile != nullptr) profile->dict_merge_ms = watch.ElapsedMillis();
 
   return std::move(builder).Build(profile == nullptr ? nullptr

@@ -1,6 +1,51 @@
 #include "etl/pipeline.h"
 
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+
 namespace scdwarf::etl {
+
+namespace {
+
+metrics::Counter* DocumentsCounter(bool is_json) {
+  static metrics::Counter* const xml = metrics::GlobalRegistry().GetCounter(
+      "etl_documents_total", {{"format", "xml"}},
+      "feed documents consumed by the ETL front-end");
+  static metrics::Counter* const json = metrics::GlobalRegistry().GetCounter(
+      "etl_documents_total", {{"format", "json"}},
+      "feed documents consumed by the ETL front-end");
+  return is_json ? json : xml;
+}
+
+metrics::Counter* BytesCounter() {
+  static metrics::Counter* const counter = metrics::GlobalRegistry().GetCounter(
+      "etl_bytes_total", {}, "raw feed bytes consumed");
+  return counter;
+}
+
+metrics::Counter* RecordsCounter() {
+  static metrics::Counter* const counter = metrics::GlobalRegistry().GetCounter(
+      "etl_records_total", {}, "feed records mapped into cube tuples");
+  return counter;
+}
+
+metrics::Counter* SkippedRecordsCounter() {
+  static metrics::Counter* const counter = metrics::GlobalRegistry().GetCounter(
+      "etl_skipped_records_total", {},
+      "malformed records dropped by non-strict pipelines");
+  return counter;
+}
+
+FixedBucketHistogram* ParseHistogram() {
+  static FixedBucketHistogram* const hist =
+      metrics::GlobalRegistry().GetHistogram(
+          "etl_parse_us", {},
+          "per-document extract + map + intern latency (us)");
+  return hist;
+}
+
+}  // namespace
 
 CubePipeline::CubePipeline(dwarf::CubeSchema schema, TupleMapper mapper,
                            std::optional<XmlExtractor> xml_extractor,
@@ -18,11 +63,13 @@ Status CubePipeline::ConsumeRecords(const std::vector<FeedRecord>& records) {
     if (!mapped.ok()) {
       if (strict_) return mapped.status();
       ++stats_.skipped_records;
+      SkippedRecordsCounter()->Increment();
       continue;
     }
     SCD_RETURN_IF_ERROR(builder_.AddTuple(mapped->first, mapped->second));
     ++stats_.records;
   }
+  RecordsCounter()->Increment(records.size());
   return Status::OK();
 }
 
@@ -30,22 +77,34 @@ Status CubePipeline::ConsumeXml(std::string_view document) {
   if (!xml_extractor_.has_value()) {
     return Status::FailedPrecondition("pipeline has no XML extractor");
   }
+  trace::ScopedSpan span("etl.parse");
+  Stopwatch watch;
   SCD_ASSIGN_OR_RETURN(std::vector<FeedRecord> records,
                        xml_extractor_->Extract(document));
   ++stats_.documents;
   stats_.bytes += document.size();
-  return ConsumeRecords(records);
+  DocumentsCounter(/*is_json=*/false)->Increment();
+  BytesCounter()->Increment(document.size());
+  Status status = ConsumeRecords(records);
+  ParseHistogram()->Record(watch.ElapsedMicros());
+  return status;
 }
 
 Status CubePipeline::ConsumeJson(std::string_view document) {
   if (!json_extractor_.has_value()) {
     return Status::FailedPrecondition("pipeline has no JSON extractor");
   }
+  trace::ScopedSpan span("etl.parse");
+  Stopwatch watch;
   SCD_ASSIGN_OR_RETURN(std::vector<FeedRecord> records,
                        json_extractor_->Extract(document));
   ++stats_.documents;
   stats_.bytes += document.size();
-  return ConsumeRecords(records);
+  DocumentsCounter(/*is_json=*/true)->Increment();
+  BytesCounter()->Increment(document.size());
+  Status status = ConsumeRecords(records);
+  ParseHistogram()->Record(watch.ElapsedMicros());
+  return status;
 }
 
 Result<dwarf::DwarfCube> CubePipeline::Finish(PipelineProfile* profile) && {

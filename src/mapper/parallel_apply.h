@@ -27,9 +27,40 @@
 #include <thread>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/result.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace scdwarf::mapper {
+
+namespace internal {
+
+/// Lane instrumentation, shared across every lane (one gauge for the summed
+/// queue depth rather than a per-table series — table names are unbounded).
+inline metrics::Gauge* ApplyQueueDepthGauge() {
+  static metrics::Gauge* const gauge = metrics::GlobalRegistry().GetGauge(
+      "mapper_apply_queue_depth", {},
+      "row batches queued across all apply lanes, not yet applied");
+  return gauge;
+}
+
+inline metrics::Counter* ApplyTasksCounter() {
+  static metrics::Counter* const counter = metrics::GlobalRegistry().GetCounter(
+      "mapper_apply_tasks_total", {},
+      "apply-lane tasks executed (chunk x table applications)");
+  return counter;
+}
+
+inline FixedBucketHistogram* ApplyTaskHistogram() {
+  static FixedBucketHistogram* const hist =
+      metrics::GlobalRegistry().GetHistogram(
+          "mapper_apply_task_us", {},
+          "per-task apply latency on a lane worker (us)");
+  return hist;
+}
+
+}  // namespace internal
 
 /// \brief A FIFO queue of apply tasks drained by one background worker.
 class ApplyLane {
@@ -58,6 +89,7 @@ class ApplyLane {
       return Status::FailedPrecondition("lane '" + name_ + "' is finished");
     }
     queue_.push_back(std::move(task));
+    internal::ApplyQueueDepthGauge()->Add(1);
     wake_.notify_one();
     return Status::OK();
   }
@@ -84,10 +116,18 @@ class ApplyLane {
       if (queue_.empty()) return;  // finished, and fully drained
       std::function<Status()> task = std::move(queue_.front());
       queue_.pop_front();
+      internal::ApplyQueueDepthGauge()->Sub(1);
       space_.notify_all();
       if (!error_.ok()) continue;  // sticky error: skip remaining tasks
       lock.unlock();
-      Status status = task();
+      Status status;
+      {
+        trace::ScopedSpan span("mapper.apply_task");
+        Stopwatch watch;
+        status = task();
+        internal::ApplyTaskHistogram()->Record(watch.ElapsedMicros());
+        internal::ApplyTasksCounter()->Increment();
+      }
       lock.lock();
       if (!status.ok() && error_.ok()) {
         error_ = status.WithContext("apply lane '" + name_ + "'");

@@ -9,11 +9,66 @@
 #include <thread>
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+
 namespace scdwarf::nosql {
 
 namespace fs = std::filesystem;
 
 namespace {
+
+metrics::Counter* FlushesCounter() {
+  static metrics::Counter* const counter = metrics::GlobalRegistry().GetCounter(
+      "nosql_flushes_total", {}, "Database::Flush calls");
+  return counter;
+}
+
+FixedBucketHistogram* FlushHistogram() {
+  static FixedBucketHistogram* const hist =
+      metrics::GlobalRegistry().GetHistogram(
+          "nosql_flush_us", {},
+          "full Flush wall time: rotation + segment writes + barrier (us)");
+  return hist;
+}
+
+metrics::Counter* LogRotationsCounter() {
+  static metrics::Counter* const counter = metrics::GlobalRegistry().GetCounter(
+      "nosql_log_rotations_total", {},
+      "commit-log rotations to the flush sidecar");
+  return counter;
+}
+
+FixedBucketHistogram* LogRotateHistogram() {
+  static FixedBucketHistogram* const hist =
+      metrics::GlobalRegistry().GetHistogram(
+          "nosql_log_rotate_us", {},
+          "commit-log rotation critical section incl. writer exclusion (us)");
+  return hist;
+}
+
+metrics::Counter* AsyncFlushesCounter() {
+  static metrics::Counter* const counter = metrics::GlobalRegistry().GetCounter(
+      "nosql_async_flushes_total", {},
+      "segment flush jobs handed to the background flusher");
+  return counter;
+}
+
+metrics::Counter* SegmentFlushesCounter() {
+  static metrics::Counter* const counter = metrics::GlobalRegistry().GetCounter(
+      "nosql_segment_flushes_total", {},
+      "per-table segment serializations actually written (dirty tables)");
+  return counter;
+}
+
+FixedBucketHistogram* SegmentFlushHistogram() {
+  static FixedBucketHistogram* const hist =
+      metrics::GlobalRegistry().GetHistogram(
+          "nosql_segment_flush_us", {},
+          "one table's segment serialize + atomic write time (us)");
+  return hist;
+}
 
 Status WriteFileAtomic(const std::string& path,
                        const std::vector<uint8_t>& bytes) {
@@ -322,17 +377,22 @@ Status Database::BulkDelete(const std::string& keyspace,
 
 Status Database::Flush() {
   if (data_dir_.empty()) return Status::OK();
+  trace::ScopedSpan span("nosql.flush");
+  Stopwatch flush_watch;
+  FlushesCounter()->Increment();
   // Rotate the commit log with every writer excluded (all shard locks +
   // log_mu). Afterwards each logged mutation is either in the sidecar and
   // already applied to its table — so the serialization below captures it —
   // or entirely in the fresh live log.
   {
+    Stopwatch rotate_watch;
     std::array<std::unique_lock<std::mutex>, kTableLockShards> shard_locks;
     for (size_t i = 0; i < kTableLockShards; ++i) {
       shard_locks[i] = std::unique_lock<std::mutex>(sync_->table_shards[i]);
     }
     std::lock_guard<std::mutex> log_lock(sync_->log_mu);
     SCD_RETURN_IF_ERROR(RotateCommitLog());
+    LogRotateHistogram()->Record(rotate_watch.ElapsedMicros());
   }
   // Jobs are collected after the rotation so every table with sidecar
   // records still in the catalog gets a flush job.
@@ -359,12 +419,14 @@ Status Database::Flush() {
   // On any earlier error it survives and is replayed at the next reopen.
   std::error_code ec;
   fs::remove(RotatedCommitLogPath(), ec);
+  FlushHistogram()->Record(flush_watch.ElapsedMicros());
   return Status::OK();
 }
 
 Status Database::FlushTableAsync(const std::string& keyspace,
                                  const std::string& table) {
   if (data_dir_.empty()) return Status::OK();
+  AsyncFlushesCounter()->Increment();
   Flusher* flusher = nullptr;
   {
     std::lock_guard<std::mutex> lock(sync_->flusher_mu);
@@ -386,6 +448,8 @@ Status Database::WaitFlushed() {
 
 Status Database::FlushTableNow(const std::string& keyspace,
                                const std::string& table) {
+  trace::ScopedSpan span("nosql.segment_flush");
+  Stopwatch watch;
   std::shared_ptr<Table> t;
   {
     std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
@@ -420,6 +484,8 @@ Status Database::FlushTableNow(const std::string& keyspace,
   SCD_RETURN_IF_ERROR(
       WriteFileAtomic(SegmentPath(keyspace, table), writer.data()));
   t->MarkFlushed(version);
+  SegmentFlushesCounter()->Increment();
+  SegmentFlushHistogram()->Record(watch.ElapsedMicros());
   return Status::OK();
 }
 
@@ -483,6 +549,7 @@ std::string Database::RotatedCommitLogPath() const {
 
 Status Database::RotateCommitLog() {
   if (!fs::exists(CommitLogPath())) return Status::OK();
+  LogRotationsCounter()->Increment();
   std::error_code ec;
   const std::string rotated = RotatedCommitLogPath();
   if (!fs::exists(rotated)) {

@@ -1,8 +1,10 @@
 #include "server/query_server.h"
 
 #include <future>
+#include <iterator>
 
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "json/json_parser.h"
 #include "json/json_value.h"
 
@@ -50,9 +52,37 @@ QueryServer::QueryServer(dwarf::DwarfCube cube, ServerOptions options)
     : options_(std::move(options)),
       num_workers_(ResolveThreadCount(options_.num_workers)),
       store_(std::move(cube)),
-      cache_(options_.cache_capacity, options_.cache_shards),
+      cache_(options_.cache_capacity, options_.cache_shards, &registry_),
       schema_(store_.snapshot().cube->schema()),
-      latency_us_(FixedBucketHistogram::ForLatencyMicros()) {
+      latency_us_(registry_.GetHistogram(
+          "server_request_us", {},
+          "end-to-end request latency including queueing (us)")),
+      requests_total_(registry_.GetCounter(
+          "server_requests_total", {},
+          "completed requests, including error responses")),
+      rejected_total_(registry_.GetCounter(
+          "server_rejected_total", {},
+          "requests rejected by admission control")),
+      updates_applied_(registry_.GetCounter(
+          "server_updates_applied_total", {},
+          "epoch publishes via ApplyUpdate")),
+      sessions_opened_(registry_.GetCounter(
+          "server_sessions_opened_total", {},
+          "successful query_open calls")),
+      sessions_expired_(registry_.GetCounter(
+          "server_sessions_expired_total", {},
+          "cursor sessions reaped by the idle TTL")),
+      sessions_rejected_(registry_.GetCounter(
+          "server_sessions_rejected_total", {},
+          "query_open calls rejected by max_sessions")),
+      sessions_open_(registry_.GetGauge(
+          "server_sessions_open", {},
+          "cursor sessions currently held open")) {
+  for (size_t i = 0; i < kNumRequestOps; ++i) {
+    op_latency_us_[i] = registry_.GetHistogram(
+        "server_op_us", {{"op", RequestOpName(static_cast<RequestOp>(i))}},
+        "per-op execute latency, excluding admission queueing (us)");
+  }
   if (num_workers_ > 1) {
     pool_ = std::make_unique<ThreadPool>(num_workers_);
   }
@@ -76,7 +106,7 @@ std::string QueryServer::HandleFrame(std::string_view request_json,
   size_t depth = in_flight_.fetch_add(1, std::memory_order_acq_rel);
   if (depth >= options_.max_queue_depth) {
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    rejected_total_.fetch_add(1, std::memory_order_relaxed);
+    rejected_total_->Increment();
     return MakeResponse(false, store_.epoch(), false,
                         MakeOverloadPayload(options_.max_queue_depth));
   }
@@ -99,36 +129,49 @@ std::string QueryServer::HandleFrame(std::string_view request_json,
     response = future.get();
   }
   in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-  queries_total_.fetch_add(1, std::memory_order_relaxed);
-  latency_us_.Record(watch.ElapsedMicros());
+  requests_total_->Increment();
+  latency_us_->Record(watch.ElapsedMicros());
   return response;
 }
 
 std::string QueryServer::Process(std::string_view request_json,
                                  ClientContext* client) {
+  trace::ScopedSpan span("server.process");
   Result<QueryRequest> request = ParseRequest(request_json);
   EpochCubeStore::Snapshot snapshot = store_.snapshot();
   if (!request.ok()) {
     return MakeResponse(false, snapshot.epoch, false,
                         MakeErrorPayload(request.status()));
   }
-  switch (request->op) {
+  Stopwatch watch;
+  std::string response = Dispatch(*request, snapshot, client);
+  op_latency_us_[static_cast<size_t>(request->op)]->Record(
+      watch.ElapsedMicros());
+  return response;
+}
+
+std::string QueryServer::Dispatch(const QueryRequest& request,
+                                  const EpochCubeStore::Snapshot& snapshot,
+                                  ClientContext* client) {
+  switch (request.op) {
     case RequestOp::kStats:
       return MakeResponse(true, snapshot.epoch, false, BuildStatsPayload());
+    case RequestOp::kMetrics:
+      return MakeResponse(true, snapshot.epoch, false, MetricsJson());
     case RequestOp::kQueryOpen:
-      return HandleQueryOpen(*request, snapshot, client);
+      return HandleQueryOpen(request, snapshot, client);
     case RequestOp::kQueryNext:
-      return HandleQueryNext(*request, client);
+      return HandleQueryNext(request, client);
     case RequestOp::kQueryClose:
-      return HandleQueryClose(*request, client);
+      return HandleQueryClose(request, client);
     default:
       break;
   }
-  std::string key = NormalizedCacheKey(*request);
+  std::string key = NormalizedCacheKey(request);
   if (std::optional<CachedResult> cached = cache_.Get(key, snapshot.epoch)) {
     return MakeResponse(cached->ok, snapshot.epoch, true, cached->payload_json);
   }
-  ExecResult result = ExecuteRequest(*snapshot.cube, *request);
+  ExecResult result = ExecuteRequest(*snapshot.cube, request);
   cache_.Put(key, snapshot.epoch, CachedResult{result.ok, result.payload_json});
   return MakeResponse(result.ok, snapshot.epoch, false, result.payload_json);
 }
@@ -148,7 +191,7 @@ std::string QueryServer::HandleQueryOpen(
     std::lock_guard<std::mutex> lock(sessions_mu_);
     ReapIdleSessionsLocked(now);
     if (sessions_.size() >= options_.max_sessions) {
-      sessions_rejected_.fetch_add(1, std::memory_order_relaxed);
+      sessions_rejected_->Increment();
       return MakeResponse(false, snapshot.epoch, false,
                           MakeTooManySessionsPayload(options_.max_sessions));
     }
@@ -157,8 +200,9 @@ std::string QueryServer::HandleQueryOpen(
         id, std::make_shared<Session>(id, snapshot.epoch, snapshot.cube,
                                       std::move(*cursor), request.page_size,
                                       now));
+    sessions_open_->Set(static_cast<int64_t>(sessions_.size()));
   }
-  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  sessions_opened_->Increment();
   if (client != nullptr) client->cursors.push_back(id);
   JsonObject payload;
   payload.emplace_back("cursor", JsonValue(static_cast<int64_t>(id)));
@@ -199,6 +243,7 @@ std::string QueryServer::HandleQueryNext(const QueryRequest& request,
   if (done) {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions_.erase(session->id);
+    sessions_open_->Set(static_cast<int64_t>(sessions_.size()));
     ForgetClientCursor(client, session->id);
   }
   // The envelope reports the session's pinned epoch — what the rows were
@@ -217,6 +262,7 @@ std::string QueryServer::HandleQueryClose(const QueryRequest& request,
     if (it != sessions_.end()) {
       epoch = it->second->epoch;
       sessions_.erase(it);
+      sessions_open_->Set(static_cast<int64_t>(sessions_.size()));
       closed = true;
     }
     ForgetClientCursor(client, request.cursor_id);
@@ -230,6 +276,7 @@ std::string QueryServer::HandleQueryClose(const QueryRequest& request,
 void QueryServer::CloseClientSessions(ClientContext& client) {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   for (uint64_t id : client.cursors) sessions_.erase(id);
+  sessions_open_->Set(static_cast<int64_t>(sessions_.size()));
   client.cursors.clear();
 }
 
@@ -249,7 +296,8 @@ size_t QueryServer::ReapIdleSessionsLocked(double now) {
     }
   }
   if (reaped > 0) {
-    sessions_expired_.fetch_add(reaped, std::memory_order_relaxed);
+    sessions_expired_->Increment(reaped);
+    sessions_open_->Set(static_cast<int64_t>(sessions_.size()));
   }
   return reaped;
 }
@@ -264,7 +312,7 @@ Result<uint64_t> QueryServer::ApplyUpdate(
         tuples) {
   dwarf::UpdateProfile profile;
   SCD_ASSIGN_OR_RETURN(uint64_t epoch, store_.ApplyUpdate(tuples, &profile));
-  updates_applied_.fetch_add(1, std::memory_order_relaxed);
+  updates_applied_->Increment();
   {
     std::lock_guard<std::mutex> lock(last_update_mu_);
     last_update_ = profile;
@@ -275,18 +323,18 @@ Result<uint64_t> QueryServer::ApplyUpdate(
 ServerStats QueryServer::Stats() const {
   ServerStats stats;
   stats.epoch = store_.epoch();
-  stats.queries_total = queries_total_.load(std::memory_order_relaxed);
-  stats.rejected_total = rejected_total_.load(std::memory_order_relaxed);
-  stats.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  stats.queries_total = requests_total_->value();
+  stats.rejected_total = rejected_total_->value();
+  stats.updates_applied = updates_applied_->value();
   stats.uptime_seconds = uptime_.ElapsedSeconds();
   stats.qps = stats.uptime_seconds > 0
                   ? static_cast<double>(stats.queries_total) /
                         stats.uptime_seconds
                   : 0;
-  stats.latency_count = latency_us_.count();
-  stats.latency_p50_us = latency_us_.Quantile(0.50);
-  stats.latency_p90_us = latency_us_.Quantile(0.90);
-  stats.latency_p99_us = latency_us_.Quantile(0.99);
+  stats.latency_count = latency_us_->count();
+  stats.latency_p50_us = latency_us_->Quantile(0.50);
+  stats.latency_p90_us = latency_us_->Quantile(0.90);
+  stats.latency_p99_us = latency_us_->Quantile(0.99);
   stats.cache = cache_.stats();
   uint64_t lookups = stats.cache.hits + stats.cache.misses;
   stats.cache_hit_rate =
@@ -294,9 +342,9 @@ ServerStats QueryServer::Stats() const {
                         static_cast<double>(lookups)
                   : 0;
   stats.sessions_open = open_sessions();
-  stats.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
-  stats.sessions_expired = sessions_expired_.load(std::memory_order_relaxed);
-  stats.sessions_rejected = sessions_rejected_.load(std::memory_order_relaxed);
+  stats.sessions_opened = sessions_opened_->value();
+  stats.sessions_expired = sessions_expired_->value();
+  stats.sessions_rejected = sessions_rejected_->value();
   stats.num_workers = num_workers_;
   stats.max_queue_depth = options_.max_queue_depth;
   {
@@ -348,6 +396,15 @@ std::string QueryServer::BuildStatsPayload() const {
   JsonObject payload;
   payload.emplace_back("stats", JsonValue(std::move(inner)));
   return json::SerializeJson(JsonValue(std::move(payload)));
+}
+
+std::string QueryServer::MetricsJson() const {
+  std::vector<metrics::MetricSnapshot> all = registry_.Snapshot();
+  std::vector<metrics::MetricSnapshot> global =
+      metrics::GlobalRegistry().Snapshot();
+  all.insert(all.end(), std::make_move_iterator(global.begin()),
+             std::make_move_iterator(global.end()));
+  return "{\"metrics\":" + metrics::SnapshotToJson(all) + "}";
 }
 
 }  // namespace scdwarf::server

@@ -18,6 +18,7 @@
 #ifndef SCDWARF_SERVER_QUERY_SERVER_H_
 #define SCDWARF_SERVER_QUERY_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -138,6 +140,12 @@ class QueryServer {
 
   ServerStats Stats() const;
 
+  /// \brief The "metrics" op payload: {"metrics":[...]} covering every series
+  /// of this server's registry followed by the process-global registry (the
+  /// build-side instrumentation). See metrics::SnapshotToJson for the entry
+  /// shape.
+  std::string MetricsJson() const;
+
   uint64_t epoch() const { return store_.epoch(); }
   int num_workers() const { return num_workers_; }
   size_t open_sessions() const;
@@ -168,6 +176,10 @@ class QueryServer {
 
   /// Executes a parsed-or-unparsable request (cache + snapshot path).
   std::string Process(std::string_view request_json, ClientContext* client);
+  /// Runs one successfully-parsed request (the op switch + cache path).
+  std::string Dispatch(const QueryRequest& request,
+                       const EpochCubeStore::Snapshot& snapshot,
+                       ClientContext* client);
   std::string HandleQueryOpen(const QueryRequest& request,
                               const EpochCubeStore::Snapshot& snapshot,
                               ClientContext* client);
@@ -180,24 +192,35 @@ class QueryServer {
 
   ServerOptions options_;
   int num_workers_;
+  /// Per-instance registry: serving metrics stay scoped to this server, so
+  /// concurrent instances (tests, benches) never bleed into each other.
+  /// Declared before cache_ and the metric pointers below, which register
+  /// into it during construction.
+  metrics::MetricRegistry registry_;
   EpochCubeStore store_;
   ResultCache cache_;
   dwarf::CubeSchema schema_;  ///< dimension layout; fixed across epochs
   std::unique_ptr<ThreadPool> pool_;  ///< null when num_workers_ == 1
   Stopwatch uptime_;
-  FixedBucketHistogram latency_us_;
+  FixedBucketHistogram* latency_us_;  ///< server_request_us
+  /// server_op_us{op=...}, indexed by RequestOp.
+  std::array<FixedBucketHistogram*, kNumRequestOps> op_latency_us_{};
+  /// Admission-control level (queued + executing). Stays a plain atomic —
+  /// its acq_rel increment/decrement IS the admission decision, not a
+  /// monitoring read; max_queue_depth bounds it.
   std::atomic<size_t> in_flight_{0};
-  std::atomic<uint64_t> queries_total_{0};
-  std::atomic<uint64_t> rejected_total_{0};
-  std::atomic<uint64_t> updates_applied_{0};
+  metrics::Counter* requests_total_;       ///< server_requests_total
+  metrics::Counter* rejected_total_;       ///< server_rejected_total
+  metrics::Counter* updates_applied_;      ///< server_updates_applied_total
   mutable std::mutex last_update_mu_;
   dwarf::UpdateProfile last_update_;
   mutable std::mutex sessions_mu_;
   std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
   uint64_t next_cursor_id_ = 1;  ///< guarded by sessions_mu_
-  std::atomic<uint64_t> sessions_opened_{0};
-  std::atomic<uint64_t> sessions_expired_{0};
-  std::atomic<uint64_t> sessions_rejected_{0};
+  metrics::Counter* sessions_opened_;    ///< server_sessions_opened_total
+  metrics::Counter* sessions_expired_;   ///< server_sessions_expired_total
+  metrics::Counter* sessions_rejected_;  ///< server_sessions_rejected_total
+  metrics::Gauge* sessions_open_;        ///< server_sessions_open
 };
 
 /// \brief In-process client used by tests and the load-generator bench: the

@@ -6,7 +6,8 @@
 
 namespace scdwarf::server {
 
-ResultCache::ResultCache(size_t capacity, size_t num_shards)
+ResultCache::ResultCache(size_t capacity, size_t num_shards,
+                         metrics::MetricRegistry* registry)
     : capacity_(capacity) {
   num_shards = std::max<size_t>(1, std::min(num_shards, std::max<size_t>(1, capacity)));
   shard_capacity_ = capacity == 0 ? 0 : std::max<size_t>(1, capacity / num_shards);
@@ -14,6 +15,22 @@ ResultCache::ResultCache(size_t capacity, size_t num_shards)
   for (size_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<metrics::MetricRegistry>();
+    registry = owned_registry_.get();
+  }
+  hits_ = registry->GetCounter("server_cache_hits_total", {},
+                               "result-cache lookups answered from cache");
+  misses_ = registry->GetCounter("server_cache_misses_total", {},
+                                 "result-cache lookups that executed a query");
+  evictions_ = registry->GetCounter("server_cache_evictions_total", {},
+                                    "entries evicted by LRU capacity pressure");
+  invalidations_ =
+      registry->GetCounter("server_cache_invalidations_total", {},
+                           "entries dropped by epoch publishes/InvalidateAll");
+  revalidated_ =
+      registry->GetCounter("server_cache_revalidated_total", {},
+                           "entries carried over to a new epoch unexecuted");
 }
 
 ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
@@ -29,7 +46,7 @@ std::string ResultCache::ComposeKey(const std::string& key, uint64_t epoch) {
 std::optional<CachedResult> ResultCache::Get(const std::string& key,
                                              uint64_t epoch) {
   if (capacity_ == 0) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_->Increment();
     return std::nullopt;
   }
   Shard& shard = ShardFor(key);
@@ -37,11 +54,11 @@ std::optional<CachedResult> ResultCache::Get(const std::string& key,
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(composed);
   if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_->Increment();
     return std::nullopt;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_->Increment();
   return it->second->result;
 }
 
@@ -63,7 +80,7 @@ void ResultCache::Put(const std::string& key, uint64_t epoch,
     const Entry& victim = shard.lru.back();
     shard.index.erase(ComposeKey(victim.key, victim.epoch));
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_->Increment();
   }
 }
 
@@ -85,14 +102,14 @@ size_t ResultCache::Revalidate(
         shard->index.erase(ComposeKey(it->key, it->epoch));
         it->epoch = new_epoch;
         shard->index.emplace(ComposeKey(it->key, it->epoch), it);
-        revalidated_.fetch_add(1, std::memory_order_relaxed);
+        revalidated_->Increment();
         ++kept;
         ++it;
         continue;
       }
       shard->index.erase(ComposeKey(it->key, it->epoch));
       it = shard->lru.erase(it);
-      invalidations_.fetch_add(1, std::memory_order_relaxed);
+      invalidations_->Increment();
     }
   }
   return kept;
@@ -101,7 +118,7 @@ size_t ResultCache::Revalidate(
 void ResultCache::InvalidateAll() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    invalidations_.fetch_add(shard->lru.size(), std::memory_order_relaxed);
+    invalidations_->Increment(shard->lru.size());
     shard->lru.clear();
     shard->index.clear();
   }
@@ -109,11 +126,11 @@ void ResultCache::InvalidateAll() {
 
 ResultCacheStats ResultCache::stats() const {
   ResultCacheStats stats;
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
-  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
-  stats.revalidated = revalidated_.load(std::memory_order_relaxed);
+  stats.hits = hits_->value();
+  stats.misses = misses_->value();
+  stats.evictions = evictions_->value();
+  stats.invalidations = invalidations_->value();
+  stats.revalidated = revalidated_->value();
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     stats.entries += shard->lru.size();

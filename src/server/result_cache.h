@@ -16,7 +16,6 @@
 #ifndef SCDWARF_SERVER_RESULT_CACHE_H_
 #define SCDWARF_SERVER_RESULT_CACHE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -27,6 +26,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace scdwarf::server {
 
 /// \brief One cached execution result (see wire.h ExecResult).
@@ -35,8 +36,8 @@ struct CachedResult {
   std::string payload_json;
 };
 
-/// \brief Monotonic cache counters (relaxed atomics; totals are exact, the
-/// entries count is a point-in-time sum over shards).
+/// \brief Monotonic cache counters (read from the registry's counter series;
+/// totals are exact, the entries count is a point-in-time sum over shards).
 struct ResultCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -50,7 +51,11 @@ struct ResultCacheStats {
 /// Get misses, Put is a no-op).
 class ResultCache {
  public:
-  ResultCache(size_t capacity, size_t num_shards);
+  /// \p registry receives the cache's counter series (server_cache_*_total).
+  /// When null the cache owns a private registry — the counters still work,
+  /// they just aren't exported anywhere.
+  explicit ResultCache(size_t capacity, size_t num_shards,
+                       metrics::MetricRegistry* registry = nullptr);
 
   /// Returns the cached result for (key, epoch), refreshing its LRU
   /// position, or nullopt (counted as a miss) when absent.
@@ -94,11 +99,14 @@ class ResultCache {
   size_t capacity_ = 0;        ///< total across shards
   size_t shard_capacity_ = 0;  ///< per shard
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
-  std::atomic<uint64_t> invalidations_{0};
-  std::atomic<uint64_t> revalidated_{0};
+  /// Fallback registry when the caller injected none; the counter pointers
+  /// below stay valid for the cache's lifetime either way.
+  std::unique_ptr<metrics::MetricRegistry> owned_registry_;
+  metrics::Counter* hits_ = nullptr;
+  metrics::Counter* misses_ = nullptr;
+  metrics::Counter* evictions_ = nullptr;
+  metrics::Counter* invalidations_ = nullptr;
+  metrics::Counter* revalidated_ = nullptr;
 };
 
 }  // namespace scdwarf::server

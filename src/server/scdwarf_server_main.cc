@@ -3,11 +3,17 @@
 // Builds the 8-dimension bikes cube from the synthetic XML feed and serves
 // it over the length-prefixed JSON wire format (see src/server/wire.h):
 //
-//   scdwarf_server [port] [records] [workers]
+//   scdwarf_server [--metrics-dump=PATH] [--trace-dump=PATH]
+//                  [port] [records] [workers]
 //
 //   port     TCP port on 127.0.0.1 (default 0 = kernel-assigned, printed)
 //   records  synthetic feed records for the served cube (default 20000)
 //   workers  query worker threads (default 0 = SCDWARF_THREADS / hardware)
+//
+//   --metrics-dump=PATH  on exit, write the full metric registry snapshot
+//                        (the "metrics" op payload) as JSON to PATH
+//   --trace-dump=PATH    enable span tracing (as if SCDWARF_TRACE=1) and on
+//                        exit write a chrome://tracing-compatible JSON file
 //
 // Runs until stdin closes or a "quit" line arrives. Example session with
 // python (4-byte big-endian length prefix per frame):
@@ -20,20 +26,47 @@
 //   print(json.loads(s.recv(n)))
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "citibikes/bike_feed.h"
+#include "common/trace.h"
 #include "etl/pipeline.h"
 #include "server/query_server.h"
 #include "server/tcp_server.h"
 
 using namespace scdwarf;
 
+namespace {
+
+bool WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  int port = argc > 1 ? std::atoi(argv[1]) : 0;
-  int records = argc > 2 ? std::atoi(argv[2]) : 20000;
-  int workers = argc > 3 ? std::atoi(argv[3]) : 0;
+  std::string metrics_dump;
+  std::string trace_dump;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--metrics-dump=", 0) == 0) {
+      metrics_dump = arg.substr(15);
+    } else if (arg.rfind("--trace-dump=", 0) == 0) {
+      trace_dump = arg.substr(13);
+    } else {
+      positional.push_back(std::move(arg));
+    }
+  }
+  if (!trace_dump.empty()) trace::SetEnabled(true);
+  int port = positional.size() > 0 ? std::atoi(positional[0].c_str()) : 0;
+  int records = positional.size() > 1 ? std::atoi(positional[1].c_str()) : 20000;
+  int workers = positional.size() > 2 ? std::atoi(positional[2].c_str()) : 0;
 
   citibikes::BikeFeedConfig config;
   config.target_records = records;
@@ -77,6 +110,7 @@ int main(int argc, char** argv) {
             << R"(  {"op":"query_next","cursor":1}   (repeat until "done":true))"
             << "\n"
             << R"(  {"op":"stats"})" << "\n"
+            << R"(  {"op":"metrics"})" << "\n"
             << "type 'quit' (or close stdin) to stop\n";
 
   std::string line;
@@ -88,5 +122,23 @@ int main(int argc, char** argv) {
   std::cout << "served " << stats.queries_total << " queries ("
             << stats.rejected_total << " rejected), cache hit rate "
             << stats.cache_hit_rate << "\n";
+  if (!metrics_dump.empty()) {
+    if (WriteTextFile(metrics_dump, server.MetricsJson() + "\n")) {
+      std::cout << "metrics snapshot written to " << metrics_dump << "\n";
+    } else {
+      std::cerr << "failed to write metrics snapshot to " << metrics_dump
+                << "\n";
+      return 1;
+    }
+  }
+  if (!trace_dump.empty()) {
+    if (WriteTextFile(trace_dump, trace::ExportChromeJson())) {
+      std::cout << "trace written to " << trace_dump
+                << " (load via chrome://tracing)\n";
+    } else {
+      std::cerr << "failed to write trace to " << trace_dump << "\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -24,6 +24,7 @@ Result<RequestOp> ParseOp(std::string_view name) {
   if (name == "slice") return RequestOp::kSlice;
   if (name == "rollup") return RequestOp::kRollUp;
   if (name == "stats") return RequestOp::kStats;
+  if (name == "metrics") return RequestOp::kMetrics;
   if (name == "query_open") return RequestOp::kQueryOpen;
   if (name == "query_next") return RequestOp::kQueryNext;
   if (name == "query_close") return RequestOp::kQueryClose;
@@ -97,6 +98,7 @@ const char* RequestOpName(RequestOp op) {
     case RequestOp::kSlice: return "slice";
     case RequestOp::kRollUp: return "rollup";
     case RequestOp::kStats: return "stats";
+    case RequestOp::kMetrics: return "metrics";
     case RequestOp::kQueryOpen: return "query_open";
     case RequestOp::kQueryNext: return "query_next";
     case RequestOp::kQueryClose: return "query_close";
@@ -167,6 +169,7 @@ Result<QueryRequest> ParseRequestValue(const JsonValue& root) {
       break;
     }
     case RequestOp::kStats:
+    case RequestOp::kMetrics:
       break;
     case RequestOp::kQueryOpen: {
       SCD_ASSIGN_OR_RETURN(JsonValue query, root.Get("query"));
@@ -280,6 +283,7 @@ std::string NormalizedCacheKey(const QueryRequest& request) {
       break;
     }
     case RequestOp::kStats:
+    case RequestOp::kMetrics:
       break;
     case RequestOp::kQueryOpen: {
       // Session ops never enter the result cache; normalized anyway so every
@@ -416,8 +420,9 @@ ExecResult ExecuteRequest(const dwarf::DwarfCube& cube,
       return RowsResult(dwarf::RollUp(cube, dims));
     }
     case RequestOp::kStats:
+    case RequestOp::kMetrics:
       return {false, MakeErrorPayload(Status::Internal(
-                         "stats requests are handled by the server"))};
+                         "stats/metrics requests are handled by the server"))};
     case RequestOp::kQueryOpen:
     case RequestOp::kQueryNext:
     case RequestOp::kQueryClose:
@@ -533,6 +538,7 @@ bool RequestMayTouchPrefixes(
     }
     case RequestOp::kRollUp:
     case RequestOp::kStats:
+    case RequestOp::kMetrics:
     case RequestOp::kQueryOpen:
     case RequestOp::kQueryNext:
     case RequestOp::kQueryClose:

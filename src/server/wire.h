@@ -13,6 +13,7 @@
 ///   {"op":"slice",     "dim":"Area", "key":"D2"}
 ///   {"op":"rollup",    "dims":["Weekday","Area"]}
 ///   {"op":"stats"}
+///   {"op":"metrics"}
 ///
 /// Cursor sessions page large row results (slice/rollup) incrementally:
 ///
@@ -61,10 +62,15 @@ enum class RequestOp {
   kSlice,
   kRollUp,
   kStats,
+  kMetrics,
   kQueryOpen,
   kQueryNext,
   kQueryClose,
 };
+
+/// Number of RequestOp values, for op-indexed tables.
+constexpr size_t kNumRequestOps =
+    static_cast<size_t>(RequestOp::kQueryClose) + 1;
 
 /// Wire name of \p op ("point", "aggregate", ...).
 const char* RequestOpName(RequestOp op);

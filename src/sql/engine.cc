@@ -9,11 +9,44 @@
 #include <fstream>
 #include <functional>
 
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+
 namespace scdwarf::sql {
 
 namespace fs = std::filesystem;
 
 namespace {
+
+metrics::Counter* FlushesCounter() {
+  static metrics::Counter* const counter = metrics::GlobalRegistry().GetCounter(
+      "sql_flushes_total", {}, "SqlEngine::Flush calls");
+  return counter;
+}
+
+FixedBucketHistogram* FlushHistogram() {
+  static FixedBucketHistogram* const hist =
+      metrics::GlobalRegistry().GetHistogram(
+          "sql_flush_us", {},
+          "full Flush wall time: rotation + tablespace serialization (us)");
+  return hist;
+}
+
+metrics::Counter* LogRotationsCounter() {
+  static metrics::Counter* const counter = metrics::GlobalRegistry().GetCounter(
+      "sql_log_rotations_total", {},
+      "redo-log rotations to the flush sidecar");
+  return counter;
+}
+
+FixedBucketHistogram* LogRotateHistogram() {
+  static FixedBucketHistogram* const hist =
+      metrics::GlobalRegistry().GetHistogram(
+          "sql_log_rotate_us", {},
+          "redo-log rotation critical section incl. writer exclusion (us)");
+  return hist;
+}
 
 Status WriteFileAtomic(const std::string& path,
                        const std::vector<uint8_t>& bytes) {
@@ -222,6 +255,9 @@ Status SqlEngine::BulkDelete(const std::string& database,
 }
 
 Status SqlEngine::Flush() {
+  trace::ScopedSpan span("sql.flush");
+  Stopwatch flush_watch;
+  FlushesCounter()->Increment();
   if (data_dir_.empty()) {
     std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
     for (const auto& [database, tables] : databases_) {
@@ -237,12 +273,14 @@ Status SqlEngine::Flush() {
   // and already applied — captured by the serialization below — or
   // entirely in the fresh live log.
   {
+    Stopwatch rotate_watch;
     std::array<std::unique_lock<std::mutex>, kTableLockShards> shard_locks;
     for (size_t i = 0; i < kTableLockShards; ++i) {
       shard_locks[i] = std::unique_lock<std::mutex>(sync_->table_shards[i]);
     }
     std::lock_guard<std::mutex> log_lock(sync_->log_mu);
     SCD_RETURN_IF_ERROR(RotateRedoLog());
+    LogRotateHistogram()->Record(rotate_watch.ElapsedMicros());
   }
   std::shared_lock<std::shared_mutex> catalog(sync_->catalog_mu);
   std::string doublewrite = (fs::path(data_dir_) / "doublewrite.bin").string();
@@ -272,6 +310,7 @@ Status SqlEngine::Flush() {
   std::error_code ec;
   fs::remove(doublewrite, ec);
   fs::remove(RotatedRedoLogPath(), ec);
+  FlushHistogram()->Record(flush_watch.ElapsedMicros());
   return Status::OK();
 }
 
@@ -328,6 +367,7 @@ std::string SqlEngine::RotatedRedoLogPath() const {
 
 Status SqlEngine::RotateRedoLog() {
   if (!fs::exists(RedoLogPath())) return Status::OK();
+  LogRotationsCounter()->Increment();
   std::error_code ec;
   const std::string rotated = RotatedRedoLogPath();
   if (!fs::exists(rotated)) {

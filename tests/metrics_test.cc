@@ -1,0 +1,294 @@
+// Tests of the metrics registry and scoped-span tracer (src/common/metrics,
+// src/common/trace): series identity and label normalization, the
+// cardinality cap and its overflow series, concurrent increments and
+// snapshots taken under live writers (the reason this binary carries the
+// `parallel` ctest label — run it from a -DSCDWARF_TSAN=ON build), plus the
+// JSON exports and trace parent linkage.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "json/json_parser.h"
+#include "json/json_value.h"
+
+namespace scdwarf::metrics {
+namespace {
+
+TEST(MetricRegistryTest, SameNameAndLabelsYieldOneSeries) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("requests", {{"op", "point"}});
+  Counter* b = registry.GetCounter("requests", {{"op", "point"}});
+  EXPECT_EQ(a, b);
+  // Labels are order-insensitive: sorted before composing the identity.
+  Counter* c =
+      registry.GetCounter("multi", {{"b", "2"}, {"a", "1"}});
+  Counter* d =
+      registry.GetCounter("multi", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(c, d);
+  // A different label value is a different series.
+  Counter* e = registry.GetCounter("requests", {{"op", "slice"}});
+  EXPECT_NE(a, e);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(MetricRegistryTest, CounterGaugeHistogramValues) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("events");
+  counter->Increment();
+  counter->Increment(41);
+  EXPECT_EQ(counter->value(), 42u);
+
+  Gauge* gauge = registry.GetGauge("depth");
+  gauge->Set(10);
+  gauge->Add(5);
+  gauge->Sub(20);
+  EXPECT_EQ(gauge->value(), -5);
+
+  FixedBucketHistogram* hist = registry.GetHistogram("latency_us");
+  hist->Record(100);
+  hist->Record(200);
+  EXPECT_EQ(hist->count(), 2u);
+
+  std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "events");
+  EXPECT_EQ(snapshot[0].type, MetricType::kCounter);
+  EXPECT_EQ(snapshot[0].counter_value, 42u);
+  EXPECT_EQ(snapshot[1].gauge_value, -5);
+  EXPECT_EQ(snapshot[2].hist_count, 2u);
+  EXPECT_GT(snapshot[2].hist_p50, 0);
+}
+
+TEST(MetricRegistryTest, TypeConflictReturnsDummyOutsideSnapshot) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("shared_name");
+  counter->Increment(7);
+  // Re-registering the name as a gauge is a bug in the caller; the registry
+  // degrades to a dummy instead of crashing or corrupting the series.
+  Gauge* dummy = registry.GetGauge("shared_name");
+  dummy->Set(999);
+  std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].type, MetricType::kCounter);
+  EXPECT_EQ(snapshot[0].counter_value, 7u);
+}
+
+TEST(MetricRegistryTest, ConcurrentIncrementsAreExact) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Half the increments re-resolve the series to exercise the
+      // registration path under contention, half use a cached pointer (the
+      // instrumented call sites' pattern).
+      Counter* cached = registry.GetCounter("hits", {{"kind", "cached"}});
+      for (int i = 0; i < kPerThread; ++i) {
+        cached->Increment();
+        registry.GetCounter("hits", {{"kind", "looked_up"}})->Increment();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("hits", {{"kind", "cached"}})->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.GetCounter("hits", {{"kind", "looked_up"}})->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricRegistryTest, LabelCardinalityCapsIntoOverflowSeries) {
+  MetricRegistry registry;
+  for (size_t i = 0; i < kMaxSeriesPerName + 10; ++i) {
+    registry.GetCounter("unbounded", {{"id", std::to_string(i)}})->Increment();
+  }
+  // Every over-cap label set aliases the single overflow series.
+  Counter* over_a =
+      registry.GetCounter("unbounded", {{"id", "beyond-the-cap-a"}});
+  Counter* over_b =
+      registry.GetCounter("unbounded", {{"id", "beyond-the-cap-b"}});
+  EXPECT_EQ(over_a, over_b);
+  EXPECT_LE(registry.size(), kMaxSeriesPerName + 1);
+
+  size_t overflow_series = 0;
+  uint64_t overflow_count = 0;
+  for (const MetricSnapshot& m : registry.Snapshot()) {
+    EXPECT_EQ(m.name, "unbounded");
+    if (m.labels == Labels{{"overflow", "true"}}) {
+      ++overflow_series;
+      overflow_count = m.counter_value;
+    }
+  }
+  EXPECT_EQ(overflow_series, 1u);
+  EXPECT_EQ(overflow_count, 10u);  // the 10 registrations past the cap
+}
+
+TEST(MetricRegistryTest, SnapshotIsConsistentUnderLiveWriters) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("written");
+  FixedBucketHistogram* hist = registry.GetHistogram("written_us");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter->Increment();
+        hist->Record(50);
+        // Registration of fresh series concurrently with snapshots.
+        registry.GetGauge("ephemeral", {{"writer", "x"}})->Set(1);
+      }
+    });
+  }
+  uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    for (const MetricSnapshot& m : registry.Snapshot()) {
+      if (m.name == "written") {
+        // Counters are monotonic: successive snapshots never go backwards.
+        EXPECT_GE(m.counter_value, last);
+        last = m.counter_value;
+      }
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_EQ(counter->value(), hist->count());
+}
+
+TEST(MetricRegistryTest, SnapshotToJsonIsValidAndComplete) {
+  MetricRegistry registry;
+  registry.GetCounter("requests", {{"op", "point"}}, "completed \"requests\"")
+      ->Increment(3);
+  registry.GetGauge("depth", {}, "queue depth")->Set(-2);
+  registry.GetHistogram("lat_us")->Record(123);
+
+  std::string text = SnapshotToJson(registry.Snapshot());
+  auto parsed = json::ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << text;
+  const json::JsonArray* entries = parsed->AsArray();
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->size(), 3u);
+
+  const json::JsonValue& counter = (*entries)[0];
+  EXPECT_EQ(counter.Get("name").ValueOrDie().AsString().ValueOrDie(),
+            "requests");
+  EXPECT_EQ(counter.Get("type").ValueOrDie().AsString().ValueOrDie(),
+            "counter");
+  EXPECT_EQ(counter.GetPath("labels.op").ValueOrDie().AsString().ValueOrDie(),
+            "point");
+  EXPECT_EQ(counter.Get("help").ValueOrDie().AsString().ValueOrDie(),
+            "completed \"requests\"");
+  EXPECT_EQ(counter.Get("value").ValueOrDie().AsNumber().ValueOrDie(), 3.0);
+
+  const json::JsonValue& gauge = (*entries)[1];
+  EXPECT_EQ(gauge.Get("type").ValueOrDie().AsString().ValueOrDie(), "gauge");
+  EXPECT_EQ(gauge.Get("value").ValueOrDie().AsNumber().ValueOrDie(), -2.0);
+
+  const json::JsonValue& hist = (*entries)[2];
+  EXPECT_EQ(hist.Get("type").ValueOrDie().AsString().ValueOrDie(),
+            "histogram");
+  EXPECT_EQ(hist.Get("count").ValueOrDie().AsNumber().ValueOrDie(), 1.0);
+  EXPECT_GT(hist.Get("p50").ValueOrDie().AsNumber().ValueOrDie(), 0.0);
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::SetEnabled(false);
+    trace::Clear();
+  }
+  void TearDown() override {
+    trace::SetEnabled(false);
+    trace::Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(trace::Enabled());
+  {
+    trace::ScopedSpan outer("outer");
+    trace::ScopedSpan inner("inner");
+  }
+  EXPECT_TRUE(trace::Snapshot().empty());
+}
+
+TEST_F(TraceTest, NestedSpansLinkToTheirParent) {
+  trace::SetEnabled(true);
+  {
+    trace::ScopedSpan outer("outer");
+    { trace::ScopedSpan inner("inner"); }
+    { trace::ScopedSpan sibling("sibling"); }
+  }
+  std::vector<trace::Span> spans = trace::Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Spans are recorded at scope *exit*, so children precede their parent.
+  const trace::Span& inner = spans[0];
+  const trace::Span& sibling = spans[1];
+  const trace::Span& outer = spans[2];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(sibling.parent, outer.id);
+  EXPECT_EQ(inner.thread, outer.thread);
+  EXPECT_GE(outer.dur_us, inner.dur_us);
+}
+
+TEST_F(TraceTest, SpansFromDifferentThreadsGetDistinctThreadIds) {
+  trace::SetEnabled(true);
+  { trace::ScopedSpan here("main"); }
+  std::thread other([] { trace::ScopedSpan there("worker"); });
+  other.join();
+  std::vector<trace::Span> spans = trace::Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].thread, spans[1].thread);
+  // Both are roots of their own thread's stack.
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].parent, 0u);
+}
+
+TEST_F(TraceTest, RingOverwritesOldestAndCountsDrops) {
+  trace::SetEnabled(true);
+  const size_t total = trace::kTraceCapacity + 100;
+  for (size_t i = 0; i < total; ++i) {
+    trace::ScopedSpan span("tick");
+  }
+  EXPECT_EQ(trace::Snapshot().size(), trace::kTraceCapacity);
+  EXPECT_EQ(trace::dropped_spans(), 100u);
+  trace::Clear();
+  EXPECT_TRUE(trace::Snapshot().empty());
+  EXPECT_EQ(trace::dropped_spans(), 0u);
+}
+
+TEST_F(TraceTest, ExportChromeJsonParses) {
+  trace::SetEnabled(true);
+  {
+    trace::ScopedSpan outer("etl.parse");
+    trace::ScopedSpan inner("dwarf.sort");
+  }
+  std::string text = trace::ExportChromeJson();
+  auto parsed = json::ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << text;
+  auto events = parsed->Get("traceEvents");
+  ASSERT_TRUE(events.ok());
+  const json::JsonArray* array = events->AsArray();
+  ASSERT_NE(array, nullptr);
+  ASSERT_EQ(array->size(), 2u);
+  std::set<std::string> names;
+  for (const json::JsonValue& event : *array) {
+    names.insert(event.Get("name").ValueOrDie().AsString().ValueOrDie());
+    EXPECT_EQ(event.Get("ph").ValueOrDie().AsString().ValueOrDie(), "X");
+    EXPECT_GE(event.Get("dur").ValueOrDie().AsNumber().ValueOrDie(), 0.0);
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"etl.parse", "dwarf.sort"}));
+}
+
+}  // namespace
+}  // namespace scdwarf::metrics

@@ -701,6 +701,100 @@ TEST(QueryServerTest, StatsEndpointReportsSessionAndRevalidationCounters) {
             64.0);
 }
 
+// Flattens a "metrics" op payload into "name{k=v,...}" -> numeric value
+// (counter/gauge "value", histogram "count").
+std::map<std::string, double> FlattenMetrics(const json::JsonValue& value) {
+  std::map<std::string, double> out;
+  const json::JsonArray* entries =
+      value.Get("metrics").ValueOrDie().AsArray();
+  EXPECT_NE(entries, nullptr);
+  if (entries == nullptr) return out;
+  for (const json::JsonValue& entry : *entries) {
+    std::string key = entry.Get("name").ValueOrDie().AsString().ValueOrDie();
+    const json::JsonObject* labels =
+        entry.Get("labels").ValueOrDie().AsObject();
+    if (labels != nullptr && !labels->empty()) {
+      key.push_back('{');
+      for (const auto& [k, v] : *labels) {
+        if (key.back() != '{') key.push_back(',');
+        key += k + "=" + v.AsString().ValueOrDie();
+      }
+      key.push_back('}');
+    }
+    auto number = entry.Get("value");
+    if (!number.ok()) number = entry.Get("count");
+    out[key] = number.ValueOrDie().AsNumber().ValueOrDie();
+  }
+  return out;
+}
+
+TEST(QueryServerTest, MetricsEndpointExposesMovingCacheAndSessionCounters) {
+  ServerOptions options;
+  options.num_workers = 1;
+  QueryServer server(BuildSeedCube(), options);
+  ServerHandle handle(&server);
+
+  ParsedResponse before = ParseResponse(handle.Call(R"({"op":"metrics"})"));
+  ASSERT_TRUE(before.ok);
+  std::map<std::string, double> baseline = FlattenMetrics(before.value);
+  // Every registered serving series is present from the start.
+  for (const char* name :
+       {"server_requests_total", "server_rejected_total",
+        "server_updates_applied_total", "server_request_us",
+        "server_cache_hits_total", "server_cache_misses_total",
+        "server_cache_evictions_total", "server_cache_invalidations_total",
+        "server_cache_revalidated_total", "server_sessions_opened_total",
+        "server_sessions_expired_total", "server_sessions_rejected_total",
+        "server_sessions_open"}) {
+    EXPECT_TRUE(baseline.count(name)) << "missing metric " << name;
+  }
+  EXPECT_TRUE(baseline.count("server_op_us{op=point}"));
+  EXPECT_TRUE(baseline.count("server_op_us{op=metrics}"));
+
+  // Traffic: a cache miss, a cache hit, and an open cursor session.
+  handle.Call(R"({"op":"point","keys":["Mon",null,"D2"]})");
+  handle.Call(R"({"op":"point","keys":["Mon",null,"D2"]})");
+  ParsedResponse opened =
+      ParseResponse(handle.QueryOpen(R"({"op":"rollup","dims":["Day"]})", 4));
+  ASSERT_TRUE(opened.ok);
+
+  ParsedResponse after = ParseResponse(handle.Call(R"({"op":"metrics"})"));
+  ASSERT_TRUE(after.ok);
+  std::map<std::string, double> moved = FlattenMetrics(after.value);
+  EXPECT_EQ(moved["server_cache_misses_total"],
+            baseline["server_cache_misses_total"] + 1);
+  EXPECT_EQ(moved["server_cache_hits_total"],
+            baseline["server_cache_hits_total"] + 1);
+  EXPECT_EQ(moved["server_sessions_opened_total"],
+            baseline["server_sessions_opened_total"] + 1);
+  EXPECT_EQ(moved["server_sessions_open"], 1.0);
+  // The first metrics call itself completed, so requests moved by >= 4.
+  EXPECT_GE(moved["server_requests_total"],
+            baseline["server_requests_total"] + 4);
+  EXPECT_GE(moved["server_op_us{op=point}"], 2.0);
+}
+
+TEST(QueryServerTest, MetricsAreScopedPerServerInstance) {
+  ServerOptions options;
+  options.num_workers = 1;
+  QueryServer busy(BuildSeedCube(), options);
+  QueryServer idle(BuildSeedCube(), options);
+  ServerHandle busy_handle(&busy);
+  ServerHandle idle_handle(&idle);
+  busy_handle.Call(R"({"op":"point","keys":["Mon",null,"D2"]})");
+  busy_handle.Call(R"({"op":"point","keys":["Mon",null,"D2"]})");
+
+  std::map<std::string, double> busy_metrics = FlattenMetrics(
+      ParseResponse(busy_handle.Call(R"({"op":"metrics"})")).value);
+  std::map<std::string, double> idle_metrics = FlattenMetrics(
+      ParseResponse(idle_handle.Call(R"({"op":"metrics"})")).value);
+  EXPECT_GE(busy_metrics["server_requests_total"], 2.0);
+  // The idle server saw only its own metrics request — the busy server's
+  // traffic never bled into it.
+  EXPECT_EQ(idle_metrics["server_cache_misses_total"], 0.0);
+  EXPECT_EQ(idle_metrics["server_sessions_opened_total"], 0.0);
+}
+
 // --- TCP front-end -------------------------------------------------------
 
 int ConnectLoopback(int port) {

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Docs consistency checks, run by the CI `docs` job and runnable locally:
+#
+#   tools/check_docs.sh
+#
+# 1. Every relative link in every tracked *.md file must resolve to a file
+#    or directory in the repo (http(s)/mailto links are not fetched).
+# 2. Every metric name registered in src/ (via GetCounter/GetGauge/
+#    GetHistogram with a literal name) must be documented in
+#    docs/OPERATIONS.md.
+#
+# Exits non-zero with one line per violation.
+
+set -u
+cd "$(dirname "$0")/.."
+
+errors=0
+report() {
+  echo "check_docs: $1" >&2
+  errors=$((errors + 1))
+}
+
+# --- 1. Markdown link targets resolve -------------------------------------
+
+md_files=$(git ls-files '*.md' 2>/dev/null || find . -name '*.md' -not -path './build*')
+for md in $md_files; do
+  dir=$(dirname "$md")
+  # Inline links: [text](target). Targets with spaces/titles are not used in
+  # this repo, so a simple non-paren span is enough.
+  targets=$(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+  for target in $targets; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;  # external, not fetched
+    esac
+    path=${target%%#*}                          # drop #anchor
+    [ -z "$path" ] && continue                  # same-file anchor
+    if [ ! -e "$dir/$path" ]; then
+      report "$md: broken link -> $target"
+    fi
+  done
+done
+
+# --- 2. Registered metric names are documented ----------------------------
+
+ops_doc=docs/OPERATIONS.md
+if [ ! -f "$ops_doc" ]; then
+  report "missing $ops_doc"
+else
+  # Registration sites often wrap after the '(' — match across newlines (-z).
+  metric_names=$(grep -rzoE 'Get(Counter|Gauge|Histogram)\(\s*"[a-z0-9_]+"' \
+                   src --include='*.cc' --include='*.h' \
+                 | tr '\0' '\n' | grep -oE '"[a-z0-9_]+"' | tr -d '"' \
+                 | sort -u)
+  if [ -z "$metric_names" ]; then
+    report "found no registered metric names in src/ (extraction regex broken?)"
+  fi
+  for name in $metric_names; do
+    if ! grep -q -- "$name" "$ops_doc"; then
+      report "metric \`$name\` is registered in src/ but missing from $ops_doc"
+    fi
+  done
+fi
+
+if [ "$errors" -ne 0 ]; then
+  echo "check_docs: $errors problem(s)" >&2
+  exit 1
+fi
+echo "check_docs: OK ($(echo "$md_files" | wc -w) markdown files, $(echo "$metric_names" | wc -w) metrics)"
