@@ -3,8 +3,11 @@
 // point/aggregate/slice/rollup workload through the in-process ServerHandle
 // (the same execution, admission and caching path as the TCP front-end).
 // Reports QPS, latency quantiles from the server's histogram, and the cache
-// hit rate, then measures the epoch-bump path by applying a small
-// incremental update. Results land machine-readably in BENCH_server.json.
+// hit rate, then measures the epoch-bump path: one small batch applied via
+// the incremental delta merge (with its delta-build/merge split and node
+// reuse), the identical batch applied via a full from-scratch rebuild, and
+// a sustained burst of publishes. Results land machine-readably in
+// BENCH_server.json.
 //
 // Defaults to the Day and Month datasets (the acceptance pair);
 // SCDWARF_DATASETS overrides as usual. SCDWARF_SERVER_CLIENTS and
@@ -311,6 +314,9 @@ int main(int argc, char** argv) {
                      : 0;
 
     // Epoch-bump path: merge a small batch and let the cache invalidate.
+    // The default server publishes via the incremental delta merge; a
+    // second full-rebuild server applies the identical batch from the same
+    // base cube as the O(history) baseline the merge is supposed to kill.
     std::vector<std::pair<std::vector<std::string>, dwarf::Measure>> batch;
     size_t dims = (*cube)->num_dimensions();
     Rng rng(0xfeed);
@@ -328,6 +334,41 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "update failed: %s\n",
                    epoch.status().ToString().c_str());
     }
+    dwarf::UpdateProfile update_profile = server.Stats().last_update;
+
+    double update_full_ms = 0;
+    {
+      server::ServerOptions full_options;
+      full_options.full_rebuild = true;
+      full_options.num_workers = 1;
+      server::QueryServer full_server(dwarf::DwarfCube(**cube), full_options);
+      Stopwatch full_watch;
+      auto full_epoch = full_server.ApplyUpdate(batch);
+      update_full_ms = full_watch.ElapsedMillis();
+      if (!full_epoch.ok()) {
+        std::fprintf(stderr, "full-rebuild update failed: %s\n",
+                     full_epoch.status().ToString().c_str());
+      }
+    }
+    double update_speedup = update_ms > 0 ? update_full_ms / update_ms : 0;
+
+    // Sustained publish rate: back-to-back 4-tuple incremental publishes.
+    constexpr int kPublishBursts = 20;
+    Stopwatch publish_watch;
+    for (int burst = 0; burst < kPublishBursts; ++burst) {
+      std::vector<std::pair<std::vector<std::string>, dwarf::Measure>> small;
+      for (int i = 0; i < 4; ++i) {
+        std::vector<std::string> keys;
+        for (size_t dim = 0; dim < dims; ++dim) {
+          keys.push_back(RandomKey(**cube, dim, rng));
+        }
+        small.emplace_back(std::move(keys), 1);
+      }
+      if (!server.ApplyUpdate(small).ok()) break;
+    }
+    double publish_seconds = publish_watch.ElapsedSeconds();
+    double publish_hz =
+        publish_seconds > 0 ? kPublishBursts / publish_seconds : 0;
 
     // Cursor sessions: drain a leading-dimension rollup at the acceptance
     // page sizes and check each against the one-shot rows.
@@ -371,6 +412,13 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(probe.revalidated_delta),
         probe.revalidated_hit ? "yes" : "NO",
         probe.invalidated_recompute ? "yes" : "NO");
+    std::printf(
+        "  publish: incremental %.2f ms (delta %.2f + merge %.2f, "
+        "%llu nodes reused) vs full rebuild %.2f ms -> %.1fx, "
+        "sustained %.0f publishes/s\n",
+        update_ms, update_profile.delta_build_ms, update_profile.merge_ms,
+        static_cast<unsigned long long>(update_profile.nodes_reused),
+        update_full_ms, update_speedup, publish_hz);
 
     benchutil::BenchJsonRow row;
     row.emplace_back("dataset", json::JsonValue(dataset));
@@ -389,6 +437,14 @@ int main(int argc, char** argv) {
     row.emplace_back("rejected", json::JsonValue(static_cast<int64_t>(stats.rejected_total)));
     row.emplace_back("workers", json::JsonValue(server.num_workers()));
     row.emplace_back("update_ms", json::JsonValue(update_ms));
+    row.emplace_back("update_full_ms", json::JsonValue(update_full_ms));
+    row.emplace_back("update_speedup", json::JsonValue(update_speedup));
+    row.emplace_back("delta_build_ms",
+                     json::JsonValue(update_profile.delta_build_ms));
+    row.emplace_back("merge_ms", json::JsonValue(update_profile.merge_ms));
+    row.emplace_back("nodes_reused", json::JsonValue(static_cast<int64_t>(
+                                         update_profile.nodes_reused)));
+    row.emplace_back("publish_hz", json::JsonValue(publish_hz));
     row.emplace_back("epoch_after_update",
                      json::JsonValue(static_cast<int64_t>(server.epoch())));
     row.emplace_back("cursor_pages",

@@ -74,10 +74,22 @@ void SetEnabled(bool enabled) {
   EnabledFlag().store(enabled, std::memory_order_relaxed);
 }
 
+uint64_t CurrentSpanId() { return t_current_span; }
+
 ScopedSpan::ScopedSpan(const char* name) : name_(name) {
   if (!Enabled()) return;
   id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   parent_ = t_current_span;
+  prev_ = t_current_span;
+  t_current_span = id_;
+  start_us_ = NowMicros();
+}
+
+ScopedSpan::ScopedSpan(const char* name, uint64_t parent) : name_(name) {
+  if (!Enabled()) return;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = parent;
+  prev_ = t_current_span;  // restore this thread's own stack on exit
   t_current_span = id_;
   start_us_ = NowMicros();
 }
@@ -85,7 +97,7 @@ ScopedSpan::ScopedSpan(const char* name) : name_(name) {
 ScopedSpan::~ScopedSpan() {
   if (id_ == 0) return;
   double dur_us = NowMicros() - start_us_;
-  t_current_span = parent_;
+  t_current_span = prev_;
   Span span;
   span.name = name_;
   span.start_us = start_us_;

@@ -44,12 +44,23 @@ bool Enabled();
 /// Overrides the environment setting (used by --trace-dump and tests).
 void SetEnabled(bool enabled);
 
+/// Id of the innermost open span on this thread (0 when none or tracing is
+/// off). Capture it before handing work to another thread and pass it to the
+/// explicit-parent ScopedSpan constructor to link cross-thread spans into
+/// one trace tree.
+uint64_t CurrentSpanId();
+
 /// \brief RAII span: records [construction, destruction) when tracing is
 /// enabled, does nothing otherwise. \p name must outlive the scope (string
 /// literals in practice).
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
+  /// Parents the span on \p parent (a CurrentSpanId() captured on another
+  /// thread) instead of this thread's innermost open span. Nested spans on
+  /// this thread still stack beneath it, and the previous innermost span is
+  /// restored on destruction.
+  ScopedSpan(const char* name, uint64_t parent);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -58,8 +69,9 @@ class ScopedSpan {
  private:
   const char* name_;
   double start_us_ = 0;
-  uint64_t id_ = 0;  ///< 0 = tracing was disabled at construction
-  uint64_t parent_ = 0;
+  uint64_t id_ = 0;      ///< 0 = tracing was disabled at construction
+  uint64_t parent_ = 0;  ///< recorded parent linkage
+  uint64_t prev_ = 0;    ///< this thread's innermost span to restore
 };
 
 /// Copies the buffered spans, oldest first. Thread-safe.

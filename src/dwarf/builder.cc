@@ -88,33 +88,55 @@ class DwarfBuilder::Impl {
     return CloseOpenNode(base_level);
   }
 
-  /// Closes the top of the cube over pre-built subtrees: \p cells carries
-  /// one cell per distinct key at \p split_level (child = subtree root id in
-  /// \p nodes), and every level above the split holds the single key it has
-  /// in \p first. Replays the serial sweep's final cascade exactly: the
-  /// split-level node closes first (including the cross-subtree
-  /// suffix-coalescing merge), then one single-cell wrapper node per level
-  /// up to the root, in descending level order.
-  NodeId FinishTop(const Tuple& first, size_t split_level,
-                   std::vector<DwarfCell> cells,
-                   std::vector<DwarfNode>* nodes) {
+  /// Closes the top of the cube over pre-built subtrees, replaying the
+  /// serial sweep's behavior for levels 0..split exactly. The caller drives
+  /// one cycle per group, in sorted group order:
+  ///
+  ///   BeginStitch(split, nodes);
+  ///   for each group: StitchBoundary(first, prev);  // closes, then opens
+  ///                   <append the group's rebased arena to nodes>
+  ///                   WireGroupRoot(rebased_root);
+  ///   root = FinishStitch();
+  ///
+  /// StitchBoundary runs *before* the group's arena is appended because the
+  /// serial sweep commits the boundary's close cascade (levels split down to
+  /// diverge+1) between the two groups' subtree nodes — the interleaving is
+  /// what keeps the arena bit-identical to the serial one.
+  void BeginStitch(size_t split, std::vector<DwarfNode>* nodes) {
     nodes_ = nodes;
-    DwarfNode node;
-    node.level = static_cast<uint16_t>(split_level);
-    node.cells = std::move(cells);
-    FinalizeAll(&node);
-    NodeId below = Commit(std::move(node));
-    for (size_t level = split_level; level > 0; --level) {
-      DwarfNode wrap;
-      wrap.level = static_cast<uint16_t>(level - 1);
-      DwarfCell cell;
-      cell.key = first.keys[level - 1];
-      cell.child = below;
-      wrap.cells.push_back(cell);
-      FinalizeAll(&wrap);
-      below = Commit(std::move(wrap));
+    stitch_split_ = split;
+    open_.assign(num_dims_, {});
+  }
+
+  /// Closes the open nodes below the divergence of \p first vs \p prev (the
+  /// previous group's first tuple; null for the first group) and opens the
+  /// cell path for the new group down to the split level.
+  void StitchBoundary(const Tuple& first, const Tuple* prev) {
+    size_t diverge = 0;
+    if (prev != nullptr) {
+      while (first.keys[diverge] == prev->keys[diverge]) ++diverge;
+      // diverge <= split: groups are distinct (split+1)-length prefixes.
+      for (size_t level = stitch_split_; level > diverge; --level) {
+        NodeId closed = CloseOpenNode(level);
+        open_[level - 1].back().child = closed;
+      }
     }
-    return below;
+    for (size_t level = diverge; level <= stitch_split_; ++level) {
+      open_[level].push_back(MakeCell(first, level));
+    }
+  }
+
+  /// Wires the just-appended group's subtree root into the pending
+  /// split-level cell opened by StitchBoundary.
+  void WireGroupRoot(NodeId root) { open_[stitch_split_].back().child = root; }
+
+  /// Final cascade: closes split..0 and returns the root id.
+  NodeId FinishStitch() {
+    for (size_t level = stitch_split_; level > 0; --level) {
+      NodeId closed = CloseOpenNode(level);
+      open_[level - 1].back().child = closed;
+    }
+    return CloseOpenNode(0);
   }
 
  private:
@@ -255,6 +277,7 @@ class DwarfBuilder::Impl {
   AggFn agg_;
   std::vector<DwarfNode>* nodes_ = nullptr;
   std::vector<std::vector<DwarfCell>> open_;
+  size_t stitch_split_ = 0;
   std::unordered_map<std::vector<NodeId>, NodeId, NodeListHash> merge_memo_;
 };
 
@@ -410,27 +433,30 @@ void DwarfBuilder::SortAndAggregate(int num_threads) {
 
 // Parallel sweep invariant (why the arena is bit-identical to serial):
 //
-// After SortAndAggregate the tuples are grouped by their first *varying*
-// dimension key (the split level): every dimension above it holds a single
-// key across the whole sorted stream, so the serial sweep keeps exactly one
-// open cell per such level until the final cascade, and every tuple-to-tuple
-// divergence happens at or below the split level. In the serial sweep each
-// group's entire subtree (everything at levels > split reachable before the
-// split-level node closes) is committed to the arena as one contiguous,
-// ascending NodeId range before the next group's first node — the
-// split-level cell for group g is wired only after every node of group g is
-// committed, and the single-cell wrapper nodes above the split level close
-// after the split-level node, in descending level order, exactly as
-// FinishTop replays them. The merge memo never spans groups either: memo
-// keys recorded while a group is open consist solely of that group's ids,
-// while keys looked up during the split-level close contain ids from >= 2
-// distinct groups (a size-one input set is shared/copied, never memoized,
-// and cells within one node have distinct keys, so every memoized top-close
-// merge draws from >= 2 subtree roots). Hence building each group with a
-// fresh Impl into a local arena, concatenating the local arenas in group
-// order with child ids rebased by the group's arena offset, and closing the
-// top levels with another fresh Impl reproduces the serial arena id-for-id —
-// for any thread count and for every ablation combination.
+// The sorted stream is partitioned into groups by a *split level* s chosen
+// below: two consecutive tuples belong to the same group iff their keys
+// agree on every dimension 0..s. In the serial sweep each group's entire
+// subtree (everything at levels > s) is committed to the arena as one
+// contiguous, ascending NodeId range; the boundary between group g and g+1
+// then commits the close cascade for levels s down to diverge(g,g+1)+1 —
+// where diverge is the first dimension on which the groups' prefixes differ
+// — before any node of group g+1. The stitch Impl replays exactly that
+// interleaving: StitchBoundary commits the boundary closes, the caller
+// appends the group's rebased arena, WireGroupRoot wires the pending
+// split-level cell, and FinishStitch replays the final cascade for levels
+// s..0 in descending order.
+//
+// The merge memo never spans phases either: memo keys recorded while a
+// group is open consist solely of that group's ids (contiguous, disjoint
+// ranges in serial), while keys recorded or looked up during boundary/final
+// closes contain either >= 2 distinct groups' subtree-root ids or ids of
+// earlier top-phase nodes (a size-one input set is shared/copied, never
+// memoized, and cells within one node have distinct keys, so every memoized
+// top-phase merge draws from >= 2 children). Serial top-phase lookups
+// therefore never hit group-internal entries and vice versa, so building
+// each group with a fresh Impl and closing the top with another fresh Impl
+// reproduces the serial arena id-for-id — for any thread count, any split
+// level, and every ablation combination.
 Result<NodeId> DwarfBuilder::ConstructSweep(int num_threads,
                                             std::vector<DwarfNode>* nodes,
                                             int* sweep_tasks) {
@@ -438,23 +464,47 @@ Result<NodeId> DwarfBuilder::ConstructSweep(int num_threads,
   const size_t num_dims = schema_.num_dimensions();
   if (num_threads > 1 && num_dims >= 2 && !tuples_.empty() &&
       tuples_.size() >= kMinParallelSweepTuples) {
-    // Split level: the first dimension whose key actually varies. Sorted
-    // order makes first-vs-last comparison sufficient — every dimension
-    // above the split holds one key stream-wide (e.g. a one-month feed
-    // whose leading dimension is Month).
-    size_t split = 0;
-    while (split < num_dims &&
-           tuples_.front().keys[split] == tuples_.back().keys[split]) {
-      ++split;
+    // Adaptive split level: the shallowest dimension whose group count gives
+    // every worker ~2 tasks (cheap insurance against skewed group sizes).
+    // Splitting at the first varying dimension alone can leave a handful of
+    // huge groups (e.g. a Day-led feed with 2 distinct days on 8 threads);
+    // descending one more level multiplies the group count. One pass
+    // histograms consecutive-tuple divergence levels; group count at level s
+    // is then 1 + sum(diverges at <= s). When no level reaches the target,
+    // fall back to the deepest splittable level that still has >= 2 groups.
+    std::vector<size_t> diverge_count(num_dims, 0);
+    for (size_t i = 1; i < tuples_.size(); ++i) {
+      size_t d = 0;
+      while (tuples_[i].keys[d] == tuples_[i - 1].keys[d]) ++d;
+      ++diverge_count[d];
     }
+    const size_t target = 2 * static_cast<size_t>(num_threads);
+    size_t split = num_dims;  // sentinel: no usable split level
+    size_t running = 1;
+    size_t deepest_with_groups = num_dims;
+    for (size_t s = 0; s + 1 < num_dims; ++s) {
+      running += diverge_count[s];
+      if (running >= 2) deepest_with_groups = s;
+      if (running >= target) {
+        split = s;
+        break;
+      }
+    }
+    if (split == num_dims) split = deepest_with_groups;
     if (split + 1 < num_dims) {
-      // Partition the sorted stream into per-split-level-key groups
+      // Partition the sorted stream into per-(split+1)-prefix groups
       // (>= 2 by the choice of split).
       std::vector<std::pair<size_t, size_t>> groups;
       size_t begin = 0;
+      auto same_group = [&](const Tuple& a, const Tuple& b) {
+        for (size_t l = 0; l <= split; ++l) {
+          if (a.keys[l] != b.keys[l]) return false;
+        }
+        return true;
+      };
       for (size_t i = 1; i <= tuples_.size(); ++i) {
         if (i == tuples_.size() ||
-            tuples_[i].keys[split] != tuples_[begin].keys[split]) {
+            !same_group(tuples_[i], tuples_[begin])) {
           groups.emplace_back(begin, i);
           begin = i;
         }
@@ -469,18 +519,22 @@ Result<NodeId> DwarfBuilder::ConstructSweep(int num_threads,
         // Workers claim groups through an atomic cursor so large groups
         // don't serialize behind a static partition. The pool destructor
         // joins every worker, ordering all writes to built before the
-        // stitch below reads them.
+        // stitch below reads them. Each claimed group gets its own span,
+        // parented on the enclosing dwarf.construct span (captured here,
+        // on the submitting thread) so --trace-dump shows the fan-out.
+        uint64_t construct_span = trace::CurrentSpanId();
         ThreadPool pool(num_threads);
         std::atomic<size_t> next{0};
         std::atomic<bool> failed{false};
         std::mutex error_mu;
         for (int worker = 0; worker < pool.num_threads(); ++worker) {
           pool.Submit([this, &groups, &built, &next, &failed, &error_mu,
-                       &first_error, split] {
+                       &first_error, split, construct_span] {
             // Stop claiming groups once any build has failed — the sweep's
             // result is the error either way, so don't pay for the rest.
             for (size_t g; !failed.load(std::memory_order_relaxed) &&
                            (g = next.fetch_add(1)) < groups.size();) {
+              trace::ScopedSpan task_span("dwarf.sweep_task", construct_span);
               Impl impl(schema_, options_);
               Result<NodeId> root = impl.Run(tuples_, groups[g].first,
                                              groups[g].second, split + 1,
@@ -498,14 +552,17 @@ Result<NodeId> DwarfBuilder::ConstructSweep(int num_threads,
       }
       SCD_RETURN_IF_ERROR(first_error);
 
-      // Stitch: append the local arenas in group order, rebasing child ids
-      // by each group's offset, then close the split-level node and its
-      // single-cell wrappers exactly as the serial sweep's final cascade
-      // would (fresh merge memo — top-close merges never hit per-group memo
-      // entries, see the invariant note above).
-      std::vector<DwarfCell> split_cells;
-      split_cells.reserve(groups.size());
+      // Stitch: per group, replay the serial boundary closes first, then
+      // append the group's local arena with child ids rebased by its offset,
+      // then wire the group root into the pending split-level cell. The
+      // interleaving matters — see the invariant note above.
+      *sweep_tasks = static_cast<int>(groups.size());
+      Impl top_impl(schema_, options_);
+      top_impl.BeginStitch(split, nodes);
+      const Tuple* prev = nullptr;
       for (size_t g = 0; g < groups.size(); ++g) {
+        const Tuple& first = tuples_[groups[g].first];
+        top_impl.StitchBoundary(first, prev);
         NodeId offset = static_cast<NodeId>(nodes->size());
         for (DwarfNode& node : built[g].nodes) {
           if (static_cast<size_t>(node.level) + 1 < num_dims) {
@@ -514,15 +571,10 @@ Result<NodeId> DwarfBuilder::ConstructSweep(int num_threads,
           }
           nodes->push_back(std::move(node));
         }
-        DwarfCell cell;
-        cell.key = tuples_[groups[g].first].keys[split];
-        cell.child = offset + built[g].root;
-        split_cells.push_back(cell);
+        top_impl.WireGroupRoot(offset + built[g].root);
+        prev = &first;
       }
-      *sweep_tasks = static_cast<int>(groups.size());
-      Impl top_impl(schema_, options_);
-      return top_impl.FinishTop(tuples_.front(), split,
-                                std::move(split_cells), nodes);
+      return top_impl.FinishStitch();
     }
   }
   Impl impl(schema_, options_);
@@ -569,14 +621,13 @@ Result<DwarfCube> DwarfBuilder::Build(BuildProfile* profile) && {
   cube.schema_ = schema_;
   cube.dictionaries_ = std::move(dictionaries_);
   int sweep_tasks = 0;
+  std::vector<DwarfNode> arena;
   SCD_ASSIGN_OR_RETURN(cube.root_,
-                       ConstructSweep(num_threads, &cube.nodes_, &sweep_tasks));
+                       ConstructSweep(num_threads, &arena, &sweep_tasks));
+  cube.AdoptArena(std::move(arena));
   cube.stats_.tuple_count = write;
   cube.stats_.source_tuple_count = source_count;
-  CubeStats stats = cube.ComputeStats();
-  stats.tuple_count = write;
-  stats.source_tuple_count = source_count;
-  cube.stats_ = stats;
+  cube.stats_ = cube.ComputeStats();
   construct_us->Record(watch.ElapsedMicros());
   sweep_tasks_total->Increment(static_cast<uint64_t>(sweep_tasks));
   if (profile != nullptr) {

@@ -15,15 +15,63 @@ const DwarfCell* DwarfNode::FindCell(DimKey key) const {
   return &*it;
 }
 
+const DwarfNode& DwarfCube::NodeInSharedChunk(NodeId id) const {
+  // Last chunk with begin <= id; the caller already excluded the final chunk.
+  auto it = std::upper_bound(
+      chunks_.begin(), chunks_.end(), id,
+      [](NodeId value, const NodeChunk& chunk) { return value < chunk.begin; });
+  const NodeChunk& chunk = *std::prev(it);
+  return (*chunk.nodes)[id - chunk.begin];
+}
+
+void DwarfCube::AdoptArena(std::vector<DwarfNode> nodes) {
+  num_nodes_ = nodes.size();
+  chunks_.clear();
+  chunks_.push_back(
+      {0, std::make_shared<const std::vector<DwarfNode>>(std::move(nodes))});
+}
+
+void DwarfCube::ShareArenaAndAppend(const DwarfCube& base,
+                                    std::vector<DwarfNode> tail) {
+  chunks_ = base.chunks_;
+  num_nodes_ = base.num_nodes_ + tail.size();
+  chunks_.push_back(
+      {static_cast<NodeId>(base.num_nodes_),
+       std::make_shared<const std::vector<DwarfNode>>(std::move(tail))});
+}
+
 CubeStats DwarfCube::ComputeStats() const {
+  // Walk from the root rather than scanning arena slots: a merged cube's
+  // arena carries dead nodes from prior epochs, and they must not count.
+  // (For from-scratch cubes every slot is reachable, so the numbers are
+  // identical to an arena scan.)
   CubeStats stats;
   stats.tuple_count = stats_.tuple_count;
   stats.source_tuple_count = stats_.source_tuple_count;
-  stats.node_count = nodes_.size();
-  for (const DwarfNode& node : nodes_) {
+  if (empty()) return stats;
+  std::vector<bool> visited(num_nodes_, false);
+  std::vector<NodeId> stack = {root_};
+  visited[root_] = true;
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    const DwarfNode& node = this->node(id);
+    ++stats.node_count;
     stats.cell_count += node.cells.size();
     if (node.all_coalesced) ++stats.coalesced_all_count;
-    stats.approx_bytes += sizeof(DwarfNode) + node.cells.size() * sizeof(DwarfCell);
+    stats.approx_bytes +=
+        sizeof(DwarfNode) + node.cells.size() * sizeof(DwarfCell);
+    if (IsLeafLevel(node.level)) continue;
+    for (const DwarfCell& cell : node.cells) {
+      if (!visited[cell.child]) {
+        visited[cell.child] = true;
+        stack.push_back(cell.child);
+      }
+    }
+    if (!visited[node.all_child]) {
+      visited[node.all_child] = true;
+      stack.push_back(node.all_child);
+    }
   }
   return stats;
 }
@@ -130,6 +178,9 @@ Result<DwarfCube> CubeAssembler::Finish() {
   if (root_ == kNullNode && !nodes_.empty()) {
     return Status::InvalidArgument("nodes added but no root set");
   }
+  if (root_ != kNullNode && root_ >= nodes_.size()) {
+    return Status::InvalidArgument("root id out of range");
+  }
   for (size_t i = 0; i < nodes_.size(); ++i) {
     const DwarfNode& node = nodes_[i];
     if (node.level >= num_dims) {
@@ -166,8 +217,8 @@ Result<DwarfCube> CubeAssembler::Finish() {
   DwarfCube cube;
   cube.schema_ = std::move(schema_);
   cube.dictionaries_ = std::move(dictionaries_);
-  cube.nodes_ = std::move(nodes_);
   cube.root_ = root_;
+  cube.AdoptArena(std::move(nodes_));
   cube.stats_ = cube.ComputeStats();
   return cube;
 }

@@ -3,16 +3,25 @@
 /// cells, plus per-node ALL aggregates with suffix coalescing (shared
 /// subtrees). See Sismanis et al., SIGMOD 2002, and Fig. 2 of the paper.
 ///
-/// Layout notes: nodes live in one contiguous arena indexed by NodeId so that
-/// traversal, the visited lookup table used by the NoSQL mapper, and
-/// serialization are all O(1) per node with no pointer chasing through the
-/// heap. A cell is 16 bytes; a leaf cell stores its measure in place of the
-/// child id.
+/// Layout notes: nodes live in an arena indexed by NodeId so that traversal,
+/// the visited lookup table used by the NoSQL mapper, and serialization are
+/// all O(1) per node with no pointer chasing through the heap. A cell is 16
+/// bytes; a leaf cell stores its measure in place of the child id.
+///
+/// The arena is a short list of immutable shared *chunks*: a cube built from
+/// scratch owns a single chunk covering ids [0, n), and an incrementally
+/// merged cube (dwarf::CubeMerger) shares every chunk of the prior epoch by
+/// shared_ptr and appends one new chunk holding only the merged nodes. Ids
+/// never move, so cross-epoch subtree sharing is free and copying a DwarfCube
+/// costs O(chunks), not O(nodes). Ids left behind by a merge (interior nodes
+/// the new epoch replaced) stay allocated but unreachable — every consumer
+/// walks from the root (TraverseCube), so dead slots are never observed.
 
 #ifndef SCDWARF_DWARF_DWARF_CUBE_H_
 #define SCDWARF_DWARF_DWARF_CUBE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -77,8 +86,18 @@ class DwarfCube {
   NodeId root() const { return root_; }
   bool empty() const { return root_ == kNullNode; }
 
-  const DwarfNode& node(NodeId id) const { return nodes_[id]; }
-  size_t num_nodes() const { return nodes_.size(); }
+  const DwarfNode& node(NodeId id) const {
+    // Fast path covers every from-scratch cube (one chunk) and, for merged
+    // cubes, the newest chunk; older chunks binary-search by start id.
+    const NodeChunk& last = chunks_.back();
+    if (id >= last.begin) return (*last.nodes)[id - last.begin];
+    return NodeInSharedChunk(id);
+  }
+  /// Arena extent (dead merge slots included) — the bound for id-indexed
+  /// lookup tables. Reachable counts live in stats().node_count.
+  size_t num_nodes() const { return num_nodes_; }
+  /// Arena chunks: 1 for a from-scratch cube, +1 per incremental merge.
+  size_t arena_chunks() const { return chunks_.size(); }
 
   /// True when \p level is the bottom (measure-carrying) level.
   bool IsLeafLevel(uint16_t level) const {
@@ -109,9 +128,28 @@ class DwarfCube {
  private:
   friend class DwarfBuilder;
   friend class CubeAssembler;
+  friend class CubeMerger;
+
+  /// One immutable run of the arena: ids [begin, begin + nodes->size()).
+  struct NodeChunk {
+    NodeId begin = 0;
+    std::shared_ptr<const std::vector<DwarfNode>> nodes;
+  };
+
+  /// Out-of-line slow path of node(): binary search over the chunk list.
+  const DwarfNode& NodeInSharedChunk(NodeId id) const;
+
+  /// Replaces the arena with a single chunk owning \p nodes (from-scratch
+  /// builds and store-side reassembly).
+  void AdoptArena(std::vector<DwarfNode> nodes);
+
+  /// Shares \p base's chunks and appends \p tail as one new chunk whose ids
+  /// start at base.num_nodes() (the incremental-merge publish path).
+  void ShareArenaAndAppend(const DwarfCube& base, std::vector<DwarfNode> tail);
 
   CubeSchema schema_;
-  std::vector<DwarfNode> nodes_;
+  std::vector<NodeChunk> chunks_;
+  size_t num_nodes_ = 0;
   std::vector<Dictionary> dictionaries_;
   NodeId root_ = kNullNode;
   CubeStats stats_;

@@ -1,5 +1,6 @@
 #include "dwarf/traversal.h"
 
+#include <algorithm>
 #include <deque>
 
 namespace scdwarf::dwarf {
@@ -91,7 +92,13 @@ std::vector<std::vector<NodeId>> ComputeParentIds(const DwarfCube& cube) {
     std::vector<NodeId>& list = parents[child];
     if (list.empty() || list.back() != parent) list.push_back(parent);
   };
-  for (NodeId id = 0; id < cube.num_nodes(); ++id) {
+  // Walk reachable nodes only, in ascending id order: a merged cube's arena
+  // carries dead nodes from prior epochs, and scanning them would record
+  // phantom parents for subtrees the new epoch still shares.
+  std::vector<NodeId> reachable =
+      CollectReachableNodes(cube, TraversalOrder::kBreadthFirst);
+  std::sort(reachable.begin(), reachable.end());
+  for (NodeId id : reachable) {
     const DwarfNode& node = cube.node(id);
     if (cube.IsLeafLevel(node.level)) continue;
     for (const DwarfCell& cell : node.cells) add_parent(cell.child, id);

@@ -24,12 +24,17 @@ namespace scdwarf::dwarf {
 /// every dimension). COUNT cubes return counts as measures.
 Result<std::vector<SliceRow>> ExtractBaseTuples(const DwarfCube& cube);
 
-/// \brief Volume and wall-clock profile of one CubeUpdater::Rebuild() call.
+/// \brief Volume and wall-clock profile of one CubeUpdater publish —
+/// either a full Rebuild() or an incremental Apply().
 struct UpdateProfile {
-  uint64_t base_tuples = 0;  ///< distinct tuples re-fed from the old cube
+  uint64_t base_tuples = 0;  ///< distinct tuples in the pre-update cube
   uint64_t new_tuples = 0;   ///< tuples staged through AddTuple
   uint64_t changed_prefixes = 0;  ///< |ChangedKeyPrefixes()| of the batch
-  double rebuild_ms = 0;     ///< end-to-end Rebuild wall time
+  double rebuild_ms = 0;     ///< end-to-end publish wall time (either path)
+  bool incremental = false;  ///< true when Apply() took the delta-merge path
+  double delta_build_ms = 0;  ///< Apply(): building the delta DWARF
+  double merge_ms = 0;        ///< Apply(): merging delta into the base cube
+  uint64_t nodes_reused = 0;  ///< Apply(): base subtrees adopted unrebuilt
 };
 
 /// \brief Observer invoked with the rebuilt cube and its profile immediately
@@ -73,9 +78,21 @@ class CubeUpdater {
   /// Installs \p hook, replacing any previous one. See PostRebuildHook.
   void set_post_rebuild_hook(PostRebuildHook hook) { hook_ = std::move(hook); }
 
-  /// Builds the updated cube. Consumes the updater. When \p profile is
-  /// non-null it receives the rebuild profile on success.
+  /// Builds the updated cube by re-running DWARF construction over the base
+  /// tuples plus the staged ones — O(history) per publish, but the reference
+  /// path every other strategy must match. Consumes the updater. When
+  /// \p profile is non-null it receives the rebuild profile on success.
   Result<DwarfCube> Rebuild(UpdateProfile* profile = nullptr) &&;
+
+  /// \brief Incremental publish: builds a small *delta* DWARF from just the
+  /// staged tuples (dictionaries seeded from the live cube, so ids stay
+  /// stable) and merges it into the live structure, re-aggregating only the
+  /// subtrees whose prefixes actually changed and sharing every untouched
+  /// subtree with the prior epoch (see dwarf/merge.h). Cost is
+  /// O(delta x depth) instead of O(history); the result is equal to
+  /// Rebuild() — same query answers, and byte-identical stored segments.
+  /// Consumes the updater.
+  Result<DwarfCube> Apply(UpdateProfile* profile = nullptr) &&;
 
  private:
   DwarfCube cube_;

@@ -1,5 +1,7 @@
 #include "server/epoch_cube.h"
 
+#include "common/trace.h"
+
 namespace scdwarf::server {
 
 Result<uint64_t> EpochCubeStore::ApplyUpdate(
@@ -7,7 +9,9 @@ Result<uint64_t> EpochCubeStore::ApplyUpdate(
         tuples,
     dwarf::UpdateProfile* profile) {
   std::lock_guard<std::mutex> update_lock(update_mu_);
-  // Rebuild against a private copy; readers keep the published cube.
+  trace::ScopedSpan publish_span("server.publish");
+  // Update against a private copy; readers keep the published cube. The copy
+  // is O(arena chunks): chunks are shared immutably across epochs.
   dwarf::CubeUpdater updater(dwarf::DwarfCube(*snapshot().cube));
   for (const auto& [keys, measure] : tuples) {
     SCD_RETURN_IF_ERROR(updater.AddTuple(keys, measure));
@@ -19,10 +23,15 @@ Result<uint64_t> EpochCubeStore::ApplyUpdate(
         local_profile = rebuilt;
       });
   std::vector<std::vector<std::string>> changed = updater.ChangedKeyPrefixes();
-  SCD_ASSIGN_OR_RETURN(dwarf::DwarfCube updated, std::move(updater).Rebuild());
+  bool compact = snapshot().cube->arena_chunks() >= kCompactionChunkLimit;
+  Result<dwarf::DwarfCube> updated =
+      (full_rebuild_ || compact) ? std::move(updater).Rebuild()
+                                 : std::move(updater).Apply();
+  SCD_RETURN_IF_ERROR(updated.status());
   if (profile != nullptr) *profile = local_profile;
   uint64_t published_epoch = 0;
-  auto published = std::make_shared<const dwarf::DwarfCube>(std::move(updated));
+  auto published =
+      std::make_shared<const dwarf::DwarfCube>(std::move(*updated));
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     cube_ = std::move(published);

@@ -62,15 +62,29 @@ class EpochCubeStore {
   /// flowing; not synchronized itself.
   void set_publish_hook(PublishHook hook) { publish_hook_ = std::move(hook); }
 
-  /// \brief Merges \p tuples into the current cube via dwarf::CubeUpdater and
-  /// publishes the result under the next epoch. Returns that epoch. Updates
-  /// are serialized; readers are only blocked for the pointer swap. When
-  /// \p profile is non-null it receives the rebuild profile (captured through
-  /// the updater's post-rebuild hook).
+  /// \brief Merges \p tuples into the current cube and publishes the result
+  /// under the next epoch. Returns that epoch. Uses the incremental
+  /// delta-merge path (dwarf::CubeUpdater::Apply) unless full rebuilds were
+  /// forced with set_full_rebuild, or the arena chunk chain has grown past
+  /// kCompactionChunkLimit — then one full rebuild compacts it (the logical
+  /// result is identical either way). Updates are serialized; readers are
+  /// only blocked for the pointer swap. When \p profile is non-null it
+  /// receives the update profile (captured through the updater's
+  /// post-rebuild hook).
   Result<uint64_t> ApplyUpdate(
       const std::vector<std::pair<std::vector<std::string>, dwarf::Measure>>&
           tuples,
       dwarf::UpdateProfile* profile = nullptr);
+
+  /// \brief Forces every publish through the full from-scratch rebuild path
+  /// (the pre-incremental behavior). Fallback/debug knob; set before updates
+  /// start flowing, not synchronized itself.
+  void set_full_rebuild(bool full_rebuild) { full_rebuild_ = full_rebuild; }
+
+  /// Incremental publishes append one arena chunk per epoch; past this many
+  /// chunks one publish pays for a full rebuild to reset the chain (and drop
+  /// dead nodes) before chunk-lookup costs creep into reads.
+  static constexpr size_t kCompactionChunkLimit = 64;
 
  private:
   mutable std::shared_mutex mu_;  ///< guards epoch_ + cube_
@@ -78,6 +92,7 @@ class EpochCubeStore {
   uint64_t epoch_ = 0;
   std::shared_ptr<const dwarf::DwarfCube> cube_;
   PublishHook publish_hook_;
+  bool full_rebuild_ = false;
 };
 
 }  // namespace scdwarf::server

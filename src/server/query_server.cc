@@ -86,6 +86,7 @@ QueryServer::QueryServer(dwarf::DwarfCube cube, ServerOptions options)
   if (num_workers_ > 1) {
     pool_ = std::make_unique<ThreadPool>(num_workers_);
   }
+  store_.set_full_rebuild(options_.full_rebuild);
   // Delta-epoch revalidation: carry a cached result over to the new epoch
   // iff its query provably misses every changed key prefix. The hook runs
   // under the store's update lock, so sweeps arrive in epoch order.
@@ -380,6 +381,10 @@ std::string QueryServer::BuildStatsPayload() const {
   last_update.emplace_back("base_tuples", JsonValue(static_cast<int64_t>(stats.last_update.base_tuples)));
   last_update.emplace_back("new_tuples", JsonValue(static_cast<int64_t>(stats.last_update.new_tuples)));
   last_update.emplace_back("rebuild_ms", JsonValue(stats.last_update.rebuild_ms));
+  last_update.emplace_back("incremental", JsonValue(stats.last_update.incremental));
+  last_update.emplace_back("delta_build_ms", JsonValue(stats.last_update.delta_build_ms));
+  last_update.emplace_back("merge_ms", JsonValue(stats.last_update.merge_ms));
+  last_update.emplace_back("nodes_reused", JsonValue(static_cast<int64_t>(stats.last_update.nodes_reused)));
   JsonObject inner;
   inner.emplace_back("epoch", JsonValue(static_cast<int64_t>(stats.epoch)));
   inner.emplace_back("queries_total", JsonValue(static_cast<int64_t>(stats.queries_total)));

@@ -68,6 +68,11 @@ struct ServerOptions {
   /// on every query_open, and on demand via ReapIdleSessions).
   double session_ttl_seconds = 300.0;
 
+  /// Forces every publish through the full from-scratch rebuild instead of
+  /// the incremental delta-merge (fallback/debug knob; results are equal,
+  /// full rebuilds just cost O(history) per publish).
+  bool full_rebuild = false;
+
   /// Test/fault-injection seam: when set, every admitted request invokes it
   /// on the worker thread before executing (the overload tests park the
   /// worker here to fill the queue deterministically).

@@ -3,7 +3,7 @@
 // Builds the 8-dimension bikes cube from the synthetic XML feed and serves
 // it over the length-prefixed JSON wire format (see src/server/wire.h):
 //
-//   scdwarf_server [--metrics-dump=PATH] [--trace-dump=PATH]
+//   scdwarf_server [--metrics-dump=PATH] [--trace-dump=PATH] [--full-rebuild]
 //                  [port] [records] [workers]
 //
 //   port     TCP port on 127.0.0.1 (default 0 = kernel-assigned, printed)
@@ -14,6 +14,8 @@
 //                        (the "metrics" op payload) as JSON to PATH
 //   --trace-dump=PATH    enable span tracing (as if SCDWARF_TRACE=1) and on
 //                        exit write a chrome://tracing-compatible JSON file
+//   --full-rebuild       publish updates via full from-scratch rebuilds
+//                        instead of incremental delta merges (fallback knob)
 //
 // Runs until stdin closes or a "quit" line arrives. Example session with
 // python (4-byte big-endian length prefix per frame):
@@ -52,6 +54,7 @@ bool WriteTextFile(const std::string& path, const std::string& contents) {
 int main(int argc, char** argv) {
   std::string metrics_dump;
   std::string trace_dump;
+  bool full_rebuild = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -59,6 +62,8 @@ int main(int argc, char** argv) {
       metrics_dump = arg.substr(15);
     } else if (arg.rfind("--trace-dump=", 0) == 0) {
       trace_dump = arg.substr(13);
+    } else if (arg == "--full-rebuild") {
+      full_rebuild = true;
     } else {
       positional.push_back(std::move(arg));
     }
@@ -93,6 +98,7 @@ int main(int argc, char** argv) {
 
   server::ServerOptions options;
   options.num_workers = workers;
+  options.full_rebuild = full_rebuild;
   server::QueryServer server(std::move(*cube), options);
   server::TcpServer tcp(&server);
   if (Status status = tcp.Start(static_cast<uint16_t>(port)); !status.ok()) {

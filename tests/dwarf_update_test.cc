@@ -121,6 +121,87 @@ TEST(CubeUpdaterTest, ArityMismatchRejected) {
   EXPECT_TRUE(updater.AddTuple({"Mon"}, 1).IsInvalidArgument());
 }
 
+TEST(CubeUpdaterTest, ApplyEqualsRebuild) {
+  std::vector<std::pair<std::vector<std::string>, Measure>> base = {
+      {{"Mon", "Fenian St"}, 3},
+      {{"Mon", "Pearse St"}, 5},
+      {{"Tue", "Fenian St"}, 4},
+      {{"Tue", "Eyre Sq"}, 7}};
+  std::vector<std::pair<std::vector<std::string>, Measure>> batch = {
+      {{"Tue", "Fenian St"}, 2}, {{"Wed", "Custom House"}, 9}};
+
+  CubeUpdater incremental(BuildCube(base));
+  CubeUpdater full(BuildCube(base));
+  for (const auto& [keys, measure] : batch) {
+    ASSERT_TRUE(incremental.AddTuple(keys, measure).ok());
+    ASSERT_TRUE(full.AddTuple(keys, measure).ok());
+  }
+  auto applied = std::move(incremental).Apply();
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  auto rebuilt = std::move(full).Rebuild();
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+
+  EXPECT_TRUE(applied->StructurallyEquals(*rebuilt));
+  // Logical stats agree too: the merged cube's reachable counts must not see
+  // the dead prior-epoch arena slots.
+  EXPECT_EQ(applied->stats().tuple_count, rebuilt->stats().tuple_count);
+  EXPECT_EQ(applied->stats().source_tuple_count,
+            rebuilt->stats().source_tuple_count);
+  EXPECT_EQ(applied->stats().node_count, rebuilt->stats().node_count);
+  EXPECT_EQ(applied->stats().cell_count, rebuilt->stats().cell_count);
+  EXPECT_EQ(applied->stats().coalesced_all_count,
+            rebuilt->stats().coalesced_all_count);
+}
+
+TEST(CubeUpdaterTest, ApplyProfileReportsIncrementalPhases) {
+  DwarfCube cube = BuildCube({{{"Mon", "Fenian St"}, 3},
+                              {{"Mon", "Pearse St"}, 5},
+                              {{"Tue", "Fenian St"}, 4}});
+  CubeUpdater updater(std::move(cube));
+  ASSERT_TRUE(updater.AddTuple({"Tue", "Pearse St"}, 6).ok());
+  UpdateProfile profile;
+  auto updated = std::move(updater).Apply(&profile);
+  ASSERT_TRUE(updated.ok()) << updated.status();
+  EXPECT_TRUE(profile.incremental);
+  EXPECT_EQ(profile.base_tuples, 3u);
+  EXPECT_EQ(profile.new_tuples, 1u);
+  EXPECT_EQ(profile.changed_prefixes, 1u);
+  // The untouched "Mon" subtree is adopted from the prior epoch wholesale.
+  EXPECT_GT(profile.nodes_reused, 0u);
+  EXPECT_GE(profile.rebuild_ms, profile.delta_build_ms);
+}
+
+TEST(CubeUpdaterTest, ApplySharesArenaAcrossEpochs) {
+  DwarfCube cube = BuildCube({{{"Mon", "Fenian St"}, 3},
+                              {{"Tue", "Pearse St"}, 5}});
+  EXPECT_EQ(cube.arena_chunks(), 1u);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    CubeUpdater updater(std::move(cube));
+    ASSERT_TRUE(
+        updater.AddTuple({"Wed", "Stop " + std::to_string(epoch)}, 1).ok());
+    auto updated = std::move(updater).Apply();
+    ASSERT_TRUE(updated.ok()) << updated.status();
+    cube = std::move(updated).ValueOrDie();
+    EXPECT_EQ(cube.arena_chunks(), static_cast<size_t>(epoch + 2));
+  }
+  // A full rebuild compacts the chain back to a single owned chunk.
+  CubeUpdater updater(std::move(cube));
+  ASSERT_TRUE(updater.AddTuple({"Thu", "Stop X"}, 1).ok());
+  auto rebuilt = std::move(updater).Rebuild();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->arena_chunks(), 1u);
+}
+
+TEST(CubeUpdaterTest, ApplyWithNoPendingTuplesIsIdentity) {
+  DwarfCube cube = BuildCube({{{"Mon", "Fenian St"}, 3}});
+  DwarfCube copy = BuildCube({{{"Mon", "Fenian St"}, 3}});
+  CubeUpdater updater(std::move(cube));
+  auto updated = std::move(updater).Apply();
+  ASSERT_TRUE(updated.ok());
+  EXPECT_TRUE(updated->StructurallyEquals(copy));
+  EXPECT_EQ(updated->stats().tuple_count, copy.stats().tuple_count);
+}
+
 TEST(MaterializeSubCubeTest, FiltersAndReaggregates) {
   DwarfCube cube = BuildCube({{{"Mon", "Fenian St"}, 3},
                               {{"Mon", "Pearse St"}, 5},
@@ -182,6 +263,15 @@ TEST_P(UpdaterPropertyTest, BatchedEqualsOneShot) {
     cube = std::move(updated).ValueOrDie();
   }
   EXPECT_TRUE(cube.StructurallyEquals(reference));
+  // The chained incremental merges must also agree with the one-shot build
+  // on every reachability-derived statistic.
+  EXPECT_EQ(cube.stats().tuple_count, reference.stats().tuple_count);
+  EXPECT_EQ(cube.stats().source_tuple_count,
+            reference.stats().source_tuple_count);
+  EXPECT_EQ(cube.stats().node_count, reference.stats().node_count);
+  EXPECT_EQ(cube.stats().cell_count, reference.stats().cell_count);
+  EXPECT_EQ(cube.stats().coalesced_all_count,
+            reference.stats().coalesced_all_count);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, UpdaterPropertyTest,

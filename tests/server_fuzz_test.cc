@@ -6,9 +6,18 @@
 // crosses two epoch publishes, so cache revalidation, invalidation and
 // snapshot pinning are all on the differential path. Deterministic: one
 // xoshiro seed drives the cube, the updates and every request.
+//
+// The epoch-storm mode (EpochStormMatchesFromScratchRebuilds) hammers the
+// incremental delta-merge publish path: 24 interleaved publishes with
+// cursors draining across them, each epoch differentially checked against a
+// from-scratch rebuild over the full tuple history — including byte-level
+// comparison of the durable `.cf` segments both cubes store.
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,6 +26,8 @@
 #include "dwarf/builder.h"
 #include "json/json_parser.h"
 #include "json/json_value.h"
+#include "mapper/nosql_dwarf_mapper.h"
+#include "nosql/database.h"
 #include "server/query_server.h"
 #include "server/wire.h"
 
@@ -329,6 +340,194 @@ TEST(ServerFuzzTest, MidDrainPublishesNeverLeakIntoOpenCursors) {
                                         pinned.epoch, &server, &batch);
     EXPECT_EQ(rows, DirectRowsJson(direct)) << request_json;
   }
+}
+
+// ----------------------------------------------------------- epoch storm
+
+namespace fs = std::filesystem;
+
+// All segment files under \p dir, keyed by path relative to \p dir.
+std::map<std::string, std::string> ReadSegments(const fs::path& dir) {
+  std::map<std::string, std::string> segments;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".cf") {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    segments[fs::relative(entry.path(), dir).string()] = std::move(bytes);
+  }
+  return segments;
+}
+
+// Stores \p cube into a scratch nosql database and returns its `.cf`
+// segment bytes.
+std::map<std::string, std::string> StoreSegments(const dwarf::DwarfCube& cube,
+                                                 const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() / ("scdwarf_storm_" + tag);
+  fs::remove_all(dir);
+  {
+    auto db = nosql::Database::Open(dir.string());
+    EXPECT_TRUE(db.ok()) << db.status();
+    if (!db.ok()) return {};
+    mapper::NoSqlDwarfMapper cube_mapper(&*db, "ks");
+    auto id = cube_mapper.Store(cube, {});
+    EXPECT_TRUE(id.ok()) << id.status();
+  }
+  std::map<std::string, std::string> segments = ReadSegments(dir);
+  fs::remove_all(dir);
+  return segments;
+}
+
+// Mini epoch storm against the default (incremental delta-merge) publish
+// path: 24 small interleaved publishes, with cursor sessions opened before
+// and during the storm draining one page per epoch across many publishes.
+// After every publish the served cube is differentially checked against a
+// cube rebuilt from scratch over the full tuple history — structural
+// equality and identical wire answers every epoch, byte-identical durable
+// `.cf` segments on a sample of epochs (the from-scratch builder feeds the
+// same tuples in the same order, so dictionaries — and therefore segment
+// bytes — are directly comparable).
+TEST(ServerFuzzTest, EpochStormMatchesFromScratchRebuilds) {
+  FuzzWorld world;
+  Rng rng(kSeed ^ 0x5702);
+  std::vector<std::pair<std::vector<std::string>, Measure>> history;
+  dwarf::DwarfBuilder initial(FuzzSchema(world));
+  for (int i = 0; i < 250; ++i) {
+    std::vector<std::string> keys = RandomKeyPath(world, rng);
+    Measure measure = static_cast<Measure>(rng.NextInRange(1, 50));
+    history.emplace_back(keys, measure);
+    ASSERT_TRUE(initial.AddTuple(keys, measure).ok());
+  }
+  QueryServer server(std::move(initial).Build().ValueOrDie());
+  ServerHandle handle(&server);
+
+  auto rebuild_reference = [&]() {
+    dwarf::DwarfBuilder builder(FuzzSchema(world));
+    for (const auto& [keys, measure] : history) {
+      EXPECT_TRUE(builder.AddTuple(keys, measure).ok());
+    }
+    return std::move(builder).Build().ValueOrDie();
+  };
+
+  struct OpenDrain {
+    uint64_t cursor = 0;
+    uint64_t epoch = 0;       ///< pinned snapshot epoch
+    std::string request_json;
+    std::string expect_rows;  ///< direct rows against the pinned snapshot
+    JsonArray rows;
+    bool done = false;
+  };
+  std::vector<OpenDrain> drains;
+  auto pull_page = [&](OpenDrain& drain) {
+    ParsedEnvelope page = ParseEnvelope(handle.QueryNext(drain.cursor));
+    EXPECT_TRUE(page.ok) << drain.request_json;
+    if (!page.ok) {
+      drain.done = true;
+      return;
+    }
+    EXPECT_EQ(page.epoch, drain.epoch) << "cursor lost its pinned snapshot";
+    const JsonArray* got = page.value.Get("rows").ValueOrDie().AsArray();
+    ASSERT_NE(got, nullptr);
+    drain.rows.insert(drain.rows.end(), got->begin(), got->end());
+    if (page.value.Get("done").ValueOrDie().AsBool().ValueOrDie()) {
+      drain.done = true;
+    }
+  };
+
+  constexpr int kEpochs = 24;
+  uint64_t answers_compared = 0;
+  for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+    // Publish a small batch; some tuples re-touch existing prefixes, some
+    // introduce brand-new dictionary values.
+    std::vector<std::pair<std::vector<std::string>, Measure>> batch;
+    int batch_size = 1 + static_cast<int>(rng.NextBelow(6));
+    for (int t = 0; t < batch_size; ++t) {
+      std::vector<std::string> keys = RandomKeyPath(world, rng);
+      if (rng.NextBool(0.15)) {
+        keys[1] = "FreshStation" + std::to_string(epoch);
+      }
+      Measure measure = static_cast<Measure>(rng.NextInRange(1, 50));
+      history.emplace_back(keys, measure);
+      batch.emplace_back(std::move(keys), measure);
+    }
+    ASSERT_TRUE(server.ApplyUpdate(batch).ok());
+    ASSERT_EQ(server.epoch(), static_cast<uint64_t>(epoch));
+    EXPECT_TRUE(server.Stats().last_update.incremental);
+
+    // Differential oracle: the served cube must equal a from-scratch build
+    // over the whole history.
+    dwarf::DwarfCube reference = rebuild_reference();
+    EpochCubeStore::Snapshot snapshot = server.store().snapshot();
+    ASSERT_TRUE(snapshot.cube->StructurallyEquals(reference))
+        << "epoch " << epoch;
+    for (int q = 0; q < 5; ++q) {
+      const std::string request_json = RandomRequestJson(world, rng);
+      auto request = ParseRequest(request_json);
+      ASSERT_TRUE(request.ok()) << request_json;
+      ExecResult served = ExecuteRequest(*snapshot.cube, *request);
+      ExecResult direct = ExecuteRequest(reference, *request);
+      EXPECT_EQ(served.ok, direct.ok) << request_json;
+      EXPECT_EQ(served.payload_json, direct.payload_json) << request_json;
+      ++answers_compared;
+    }
+    if (epoch % 6 == 0 || epoch == kEpochs) {
+      std::map<std::string, std::string> incremental =
+          StoreSegments(*snapshot.cube, "inc");
+      std::map<std::string, std::string> scratch =
+          StoreSegments(reference, "ref");
+      ASSERT_FALSE(scratch.empty());
+      ASSERT_EQ(incremental.size(), scratch.size()) << "epoch " << epoch;
+      for (const auto& [name, bytes] : scratch) {
+        auto it = incremental.find(name);
+        ASSERT_NE(it, incremental.end()) << "missing segment " << name;
+        EXPECT_EQ(it->second, bytes)
+            << "segment bytes differ at epoch " << epoch << ": " << name;
+      }
+    }
+
+    // Advance every open cursor by one page — they keep draining across
+    // publishes against their pinned snapshots.
+    for (OpenDrain& drain : drains) {
+      if (!drain.done) pull_page(drain);
+    }
+    // Every other epoch, open a new cursor against the current snapshot.
+    if (epoch % 2 == 1) {
+      const std::string request_json = RandomRequestJson(world, rng);
+      auto request = ParseRequest(request_json);
+      ASSERT_TRUE(request.ok()) << request_json;
+      if (request->op == RequestOp::kSlice ||
+          request->op == RequestOp::kRollUp) {
+        ExecResult direct = ExecuteRequest(*snapshot.cube, *request);
+        if (direct.ok) {
+          size_t page_size = 1 + rng.NextBelow(4);
+          ParsedEnvelope opened =
+              ParseEnvelope(handle.QueryOpen(request_json, page_size));
+          ASSERT_TRUE(opened.ok) << request_json;
+          OpenDrain drain;
+          drain.cursor = static_cast<uint64_t>(
+              opened.value.Get("cursor").ValueOrDie().AsNumber().ValueOrDie());
+          drain.epoch = snapshot.epoch;
+          EXPECT_EQ(opened.epoch, snapshot.epoch);
+          drain.request_json = request_json;
+          drain.expect_rows = DirectRowsJson(direct);
+          drains.push_back(std::move(drain));
+        }
+      }
+    }
+  }
+
+  // Finish every drain and check the replays.
+  for (OpenDrain& drain : drains) {
+    while (!drain.done) pull_page(drain);
+    EXPECT_EQ(json::SerializeJson(JsonValue(drain.rows)), drain.expect_rows)
+        << drain.request_json;
+  }
+  EXPECT_EQ(server.epoch(), static_cast<uint64_t>(kEpochs));
+  EXPECT_GE(drains.size(), 4u);
+  EXPECT_GT(answers_compared, 100u);
+  EXPECT_EQ(server.open_sessions(), 0u);
 }
 
 }  // namespace
