@@ -260,4 +260,154 @@ std::string SnapshotToJson(const std::vector<MetricSnapshot>& snapshot) {
   return out;
 }
 
+namespace {
+
+/// Prometheus escaping for HELP text: backslash and newline.
+void AppendPromHelp(std::string* out, std::string_view s) {
+  for (char c : s) {
+    if (c == '\\') out->append("\\\\");
+    else if (c == '\n') out->append("\\n");
+    else out->push_back(c);
+  }
+}
+
+/// Prometheus escaping for label values: backslash, quote, newline.
+void AppendPromLabelValue(std::string* out, std::string_view s) {
+  for (char c : s) {
+    if (c == '\\') out->append("\\\\");
+    else if (c == '"') out->append("\\\"");
+    else if (c == '\n') out->append("\\n");
+    else out->push_back(c);
+  }
+}
+
+/// One label block: {k1="v1",k2="v2"} with \p extra appended last (used for
+/// the quantile label). Empty when there is nothing to emit.
+void AppendPromLabels(std::string* out, const Labels& labels,
+                      std::string_view extra = {}) {
+  if (labels.empty() && extra.empty()) return;
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append(k);
+    out->append("=\"");
+    AppendPromLabelValue(out, v);
+    out->push_back('"');
+  }
+  if (!extra.empty()) {
+    if (!first) out->push_back(',');
+    out->append(extra);
+  }
+  out->push_back('}');
+}
+
+void AppendPromDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out->append(buf);
+}
+
+void AppendPromHeader(std::string* out, std::string_view name,
+                      std::string_view help, std::string_view type) {
+  if (!help.empty()) {
+    out->append("# HELP ");
+    out->append(name);
+    out->push_back(' ');
+    AppendPromHelp(out, help);
+    out->push_back('\n');
+  }
+  out->append("# TYPE ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string SnapshotToPrometheusText(
+    const std::vector<MetricSnapshot>& snapshot) {
+  // Group by name (first-appearance order) so every family is contiguous
+  // under one HELP/TYPE header, as the exposition format requires.
+  std::vector<std::string> order;
+  std::unordered_map<std::string, std::vector<const MetricSnapshot*>> families;
+  for (const MetricSnapshot& m : snapshot) {
+    auto [it, inserted] = families.try_emplace(m.name);
+    if (inserted) order.push_back(m.name);
+    it->second.push_back(&m);
+  }
+  std::string out;
+  for (const std::string& name : order) {
+    const std::vector<const MetricSnapshot*>& family = families[name];
+    const MetricSnapshot& head = *family.front();
+    switch (head.type) {
+      case MetricType::kCounter:
+        AppendPromHeader(&out, name, head.help, "counter");
+        for (const MetricSnapshot* m : family) {
+          out.append(name);
+          AppendPromLabels(&out, m->labels);
+          out.push_back(' ');
+          out.append(std::to_string(m->counter_value));
+          out.push_back('\n');
+        }
+        break;
+      case MetricType::kGauge:
+        AppendPromHeader(&out, name, head.help, "gauge");
+        for (const MetricSnapshot* m : family) {
+          out.append(name);
+          AppendPromLabels(&out, m->labels);
+          out.push_back(' ');
+          out.append(std::to_string(m->gauge_value));
+          out.push_back('\n');
+        }
+        break;
+      case MetricType::kHistogram: {
+        // Quantiles + count as a summary family; min/max as gauge families
+        // (FixedBucketHistogram tracks no sum, so _sum is omitted).
+        AppendPromHeader(&out, name, head.help, "summary");
+        constexpr const char* kQuantileLabels[] = {
+            "quantile=\"0.5\"", "quantile=\"0.9\"", "quantile=\"0.99\""};
+        for (const MetricSnapshot* m : family) {
+          const double quantiles[] = {m->hist_p50, m->hist_p90, m->hist_p99};
+          for (size_t q = 0; q < 3; ++q) {
+            out.append(name);
+            AppendPromLabels(&out, m->labels, kQuantileLabels[q]);
+            out.push_back(' ');
+            AppendPromDouble(&out, quantiles[q]);
+            out.push_back('\n');
+          }
+          out.append(name);
+          out.append("_count");
+          AppendPromLabels(&out, m->labels);
+          out.push_back(' ');
+          out.append(std::to_string(m->hist_count));
+          out.push_back('\n');
+        }
+        AppendPromHeader(&out, name + "_min", "", "gauge");
+        for (const MetricSnapshot* m : family) {
+          out.append(name);
+          out.append("_min");
+          AppendPromLabels(&out, m->labels);
+          out.push_back(' ');
+          AppendPromDouble(&out, m->hist_min);
+          out.push_back('\n');
+        }
+        AppendPromHeader(&out, name + "_max", "", "gauge");
+        for (const MetricSnapshot* m : family) {
+          out.append(name);
+          out.append("_max");
+          AppendPromLabels(&out, m->labels);
+          out.push_back(' ');
+          AppendPromDouble(&out, m->hist_max);
+          out.push_back('\n');
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace scdwarf::metrics

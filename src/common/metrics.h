@@ -164,6 +164,21 @@ MetricRegistry& GlobalRegistry();
 ///     "max":.., "p50":.., "p90":.., "p99":..}, ...]
 std::string SnapshotToJson(const std::vector<MetricSnapshot>& snapshot);
 
+/// \brief Renders snapshots in the Prometheus text exposition format (the
+/// "metrics_text" wire op and the --prometheus-dump flags):
+///
+///   # HELP server_requests_total completed requests, including errors
+///   # TYPE server_requests_total counter
+///   server_requests_total 42
+///
+/// Counters and gauges map directly. Histograms are rendered as summaries
+/// (quantile-labeled samples plus _count) followed by <name>_min / <name>_max
+/// gauge families; FixedBucketHistogram tracks no sum, so no _sum sample is
+/// emitted. Series of one name are grouped under a single HELP/TYPE header
+/// regardless of their order in \p snapshot.
+std::string SnapshotToPrometheusText(
+    const std::vector<MetricSnapshot>& snapshot);
+
 }  // namespace scdwarf::metrics
 
 #endif  // SCDWARF_COMMON_METRICS_H_

@@ -219,6 +219,8 @@ Result<DwarfCube> CubeAssembler::Finish() {
   cube.dictionaries_ = std::move(dictionaries_);
   cube.root_ = root_;
   cube.AdoptArena(std::move(nodes_));
+  cube.stats_.tuple_count = tuple_count_;
+  cube.stats_.source_tuple_count = source_tuple_count_;
   cube.stats_ = cube.ComputeStats();
   return cube;
 }

@@ -167,6 +167,15 @@ class CubeAssembler {
 
   void SetRoot(NodeId root) { root_ = root; }
 
+  /// \brief Carries the input-tuple counts into the assembled cube's stats.
+  /// They are a property of the feed, not of the node structure, so a cube
+  /// reassembled from storage (or from an epoch snapshot file) would
+  /// otherwise report zero tuples.
+  void SetTupleCounts(uint64_t tuple_count, uint64_t source_tuple_count) {
+    tuple_count_ = tuple_count;
+    source_tuple_count_ = source_tuple_count;
+  }
+
   /// Validates child references and level consistency, computes stats and
   /// produces the cube.
   Result<DwarfCube> Finish();
@@ -176,6 +185,8 @@ class CubeAssembler {
   std::vector<Dictionary> dictionaries_;
   std::vector<DwarfNode> nodes_;
   NodeId root_ = kNullNode;
+  uint64_t tuple_count_ = 0;
+  uint64_t source_tuple_count_ = 0;
 };
 
 }  // namespace scdwarf::dwarf

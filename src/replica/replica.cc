@@ -1,0 +1,134 @@
+#include "replica/replica.h"
+
+#include <chrono>
+#include <utility>
+
+#include "json/json_parser.h"
+#include "json/json_value.h"
+#include "replica/snapshot.h"
+
+namespace scdwarf::replica {
+
+ReplicaServer::ReplicaServer(ReplicaOptions options)
+    : options_(std::move(options)) {}
+
+ReplicaServer::~ReplicaServer() { Stop(); }
+
+Status ReplicaServer::Start() {
+  if (server_ != nullptr) {
+    return Status::FailedPrecondition("replica already started");
+  }
+  if (options_.snapshot_dir.empty()) {
+    return Status::InvalidArgument("replica requires a snapshot directory");
+  }
+  // Bootstrap: wait for the publisher to spool its first snapshot. A missing
+  // directory counts as "not yet" too — the publisher may create it.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.bootstrap_wait_ms);
+  std::vector<SnapshotFileEntry> entries;
+  for (;;) {
+    Result<std::vector<SnapshotFileEntry>> listed =
+        ListSnapshots(options_.snapshot_dir);
+    if (listed.ok() && !listed->empty()) {
+      entries = std::move(*listed);
+      break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::NotFound("no snapshot appeared in " +
+                              options_.snapshot_dir + " within " +
+                              std::to_string(options_.bootstrap_wait_ms) +
+                              "ms");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const SnapshotFileEntry& newest = entries.back();
+  SCD_ASSIGN_OR_RETURN(CubeSnapshot loaded, LoadCubeSnapshot(newest.path));
+  server::ServerOptions server_options;
+  server_options.num_workers = options_.num_workers;
+  server_options.cache_capacity = options_.cache_capacity;
+  server_options.max_sessions = options_.max_sessions;
+  server_options.retain_epochs = options_.retain_epochs;
+  server_options.allow_snapshot_load = true;
+  server_options.initial_epoch = loaded.epoch;
+  server_ = std::make_unique<server::QueryServer>(std::move(loaded.cube),
+                                                  std::move(server_options));
+  tcp_ = std::make_unique<server::TcpServer>(server_.get(),
+                                             options_.max_frame_bytes);
+  Status started = tcp_->Start(options_.port);
+  if (!started.ok()) {
+    tcp_.reset();
+    server_.reset();
+    return started;
+  }
+  if (options_.poll_interval_ms > 0) {
+    poll_thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(poll_mu_);
+      while (!stopping_) {
+        poll_cv_.wait_for(
+            lock, std::chrono::milliseconds(options_.poll_interval_ms));
+        if (stopping_) break;
+        lock.unlock();
+        (void)PollOnce();  // spool errors are transient; keep polling
+        lock.lock();
+      }
+    });
+  }
+  return Status::OK();
+}
+
+Result<size_t> ReplicaServer::PollOnce() {
+  if (server_ == nullptr) {
+    return Status::FailedPrecondition("replica not started");
+  }
+  SCD_ASSIGN_OR_RETURN(std::vector<SnapshotFileEntry> entries,
+                       ListSnapshots(options_.snapshot_dir));
+  size_t loaded = 0;
+  for (const SnapshotFileEntry& entry : entries) {
+    if (entry.epoch <= server_->epoch()) continue;
+    SCD_RETURN_IF_ERROR(server_->LoadSnapshot(entry.path).status());
+    ++loaded;
+  }
+  return loaded;
+}
+
+void ReplicaServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(poll_mu_);
+    stopping_ = true;
+  }
+  poll_cv_.notify_all();
+  if (poll_thread_.joinable()) poll_thread_.join();
+  if (tcp_ != nullptr) tcp_->Stop();
+}
+
+SnapshotNotifier::SnapshotNotifier(std::vector<client::Endpoint> replicas,
+                                   client::ClientOptions options) {
+  pools_.reserve(replicas.size());
+  for (client::Endpoint& endpoint : replicas) {
+    pools_.push_back(
+        std::make_unique<client::ClientPool>(std::move(endpoint), options));
+  }
+}
+
+size_t SnapshotNotifier::NotifyAll(const std::string& path) {
+  json::JsonObject request;
+  request.emplace_back("op", json::JsonValue("load_snapshot"));
+  request.emplace_back("path", json::JsonValue(path));
+  const std::string frame =
+      json::SerializeJson(json::JsonValue(std::move(request)));
+  size_t acknowledged = 0;
+  for (const std::unique_ptr<client::ClientPool>& pool : pools_) {
+    Result<std::string> response = pool->Call(frame);
+    if (!response.ok()) continue;
+    Result<json::JsonValue> root = json::ParseJson(*response);
+    if (!root.ok()) continue;
+    Result<json::JsonValue> ok = root->Get("ok");
+    if (!ok.ok()) continue;
+    Result<bool> flag = ok->AsBool();
+    if (flag.ok() && *flag) ++acknowledged;
+  }
+  return acknowledged;
+}
+
+}  // namespace scdwarf::replica

@@ -1,0 +1,104 @@
+/// \file replica.h
+/// \brief A replica serving process: loads the newest epoch snapshot file
+/// from a spool directory, serves it read-only over TCP, and follows later
+/// epochs either by publisher notification ("load_snapshot" frames) or by
+/// polling the spool.
+///
+/// Replicas never mutate snapshot files — they mmap them PROT_READ (see
+/// snapshot.h) — and never apply updates themselves; the single publisher
+/// process owns the write path, replicas fan out the read path. Each replica
+/// retains recent epochs (ServerOptions.retain_epochs) so a router can fail
+/// a mid-drain cursor over to it at the epoch the cursor started on.
+
+#ifndef SCDWARF_REPLICA_REPLICA_H_
+#define SCDWARF_REPLICA_REPLICA_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.h"
+#include "common/result.h"
+#include "server/query_server.h"
+#include "server/tcp_server.h"
+
+namespace scdwarf::replica {
+
+/// \brief Replica knobs.
+struct ReplicaOptions {
+  std::string snapshot_dir;  ///< spool to bootstrap + follow (required)
+  uint16_t port = 0;         ///< 0 = kernel-assigned
+  int num_workers = 1;
+  size_t cache_capacity = 4096;
+  size_t max_sessions = 64;
+  size_t retain_epochs = 4;
+  /// Spool poll period; 0 relies on publisher load_snapshot notifications.
+  int poll_interval_ms = 0;
+  /// How long Start() waits for the first snapshot file to appear before
+  /// giving up (the publisher may still be starting).
+  int bootstrap_wait_ms = 10000;
+  size_t max_frame_bytes = 1 << 20;
+};
+
+/// \brief One replica process: QueryServer (allow_snapshot_load) + TcpServer
+/// + optional spool-poll thread.
+class ReplicaServer {
+ public:
+  explicit ReplicaServer(ReplicaOptions options);
+  ~ReplicaServer();
+
+  ReplicaServer(const ReplicaServer&) = delete;
+  ReplicaServer& operator=(const ReplicaServer&) = delete;
+
+  /// \brief Waits for a snapshot to appear in the spool (up to
+  /// bootstrap_wait_ms), loads the newest one, and starts serving.
+  Status Start();
+
+  /// \brief Stops serving and joins the poll thread. Idempotent.
+  void Stop();
+
+  int port() const { return tcp_ != nullptr ? tcp_->port() : 0; }
+  uint64_t epoch() const { return server_ != nullptr ? server_->epoch() : 0; }
+  server::QueryServer* server() { return server_.get(); }
+  server::TcpServer* tcp() { return tcp_.get(); }
+
+  /// \brief Loads every spool snapshot newer than the current epoch, in
+  /// epoch order. Returns how many were loaded. The poll thread calls this
+  /// periodically; tests call it directly.
+  Result<size_t> PollOnce();
+
+ private:
+  ReplicaOptions options_;
+  std::unique_ptr<server::QueryServer> server_;
+  std::unique_ptr<server::TcpServer> tcp_;
+  std::mutex poll_mu_;
+  std::condition_variable poll_cv_;
+  bool stopping_ = false;  ///< guarded by poll_mu_
+  std::thread poll_thread_;
+};
+
+/// \brief Publisher-side fan-out notifier: tells every replica to load a
+/// freshly spooled snapshot file. Wire each publish through
+/// ServerOptions.post_publish.
+class SnapshotNotifier {
+ public:
+  explicit SnapshotNotifier(std::vector<client::Endpoint> replicas,
+                            client::ClientOptions options = {});
+
+  /// \brief Sends {"op":"load_snapshot","path":...} to every replica.
+  /// Best-effort: a down replica catches up from the spool (or the next
+  /// notification) instead of blocking the publisher. Returns how many
+  /// replicas acknowledged the load.
+  size_t NotifyAll(const std::string& path);
+
+ private:
+  std::vector<std::unique_ptr<client::ClientPool>> pools_;
+};
+
+}  // namespace scdwarf::replica
+
+#endif  // SCDWARF_REPLICA_REPLICA_H_

@@ -1,0 +1,645 @@
+#include "replica/router.h"
+
+#include <chrono>
+#include <functional>
+#include <iterator>
+#include <utility>
+
+#include "json/json_parser.h"
+#include "json/json_value.h"
+
+namespace scdwarf::replica {
+
+namespace {
+
+using json::JsonObject;
+using json::JsonValue;
+using server::MakeErrorPayload;
+using server::MakeResponse;
+using server::QueryRequest;
+using server::RequestOp;
+
+/// Envelope fields the router needs from a replica response. Parsed for
+/// routing decisions only — the bytes forwarded to the client stay raw.
+struct Envelope {
+  bool valid = false;  ///< the response parsed and carried an "ok" field
+  bool ok = false;
+  std::string code;    ///< error code on ok:false responses
+  bool has_cursor = false;
+  uint64_t cursor = 0;
+  uint64_t epoch = 0;
+  bool done = false;
+};
+
+Envelope ParseEnvelope(const std::string& raw) {
+  Envelope env;
+  Result<JsonValue> root = json::ParseJson(raw);
+  if (!root.ok()) return env;
+  Result<JsonValue> ok = root->Get("ok");
+  if (!ok.ok()) return env;
+  Result<bool> ok_value = ok->AsBool();
+  if (!ok_value.ok()) return env;
+  env.valid = true;
+  env.ok = *ok_value;
+  if (Result<JsonValue> code = root->Get("code"); code.ok()) {
+    if (Result<std::string> text = code->AsString(); text.ok()) {
+      env.code = *text;
+    }
+  }
+  if (Result<JsonValue> cursor = root->Get("cursor"); cursor.ok()) {
+    if (Result<double> num = cursor->AsNumber(); num.ok() && *num >= 0) {
+      env.cursor = static_cast<uint64_t>(*num);
+      env.has_cursor = true;
+    }
+  }
+  if (Result<JsonValue> epoch = root->Get("epoch"); epoch.ok()) {
+    if (Result<double> num = epoch->AsNumber(); num.ok() && *num >= 0) {
+      env.epoch = static_cast<uint64_t>(*num);
+    }
+  }
+  if (Result<JsonValue> done = root->Get("done"); done.ok()) {
+    if (Result<bool> flag = done->AsBool(); flag.ok()) env.done = *flag;
+  }
+  return env;
+}
+
+/// Rewrites the first "cursor":<digits> to carry \p id. Replica responses
+/// are forwarded as raw bytes; re-serializing through the JSON model would
+/// route int64 measures through doubles, so string surgery is what keeps the
+/// row payloads byte-identical to the replica's. The cursor field precedes
+/// the rows array in every payload that has one, so the first match is
+/// always the envelope's.
+std::string ReplaceCursorField(const std::string& raw, uint64_t id) {
+  static constexpr std::string_view kField = "\"cursor\":";
+  size_t pos = raw.find(kField);
+  if (pos == std::string::npos) return raw;
+  size_t digits = pos + kField.size();
+  size_t end = digits;
+  while (end < raw.size() && raw[end] >= '0' && raw[end] <= '9') ++end;
+  if (end == digits) return raw;
+  return raw.substr(0, pos) + std::string(kField) + std::to_string(id) +
+         raw.substr(end);
+}
+
+std::string MakeNoHealthyReplicaPayload(const Status& last) {
+  JsonObject payload;
+  payload.emplace_back("code", JsonValue("no_healthy_replica"));
+  std::string message = "no healthy replica available";
+  if (!last.ok()) message += "; last error: " + last.message();
+  payload.emplace_back("error", JsonValue(std::move(message)));
+  return json::SerializeJson(JsonValue(std::move(payload)));
+}
+
+std::string MakeTooManySessionsPayload(size_t max_sessions) {
+  JsonObject payload;
+  payload.emplace_back("code", JsonValue("too_many_sessions"));
+  payload.emplace_back(
+      "error",
+      JsonValue("router session table full (max " +
+                std::to_string(max_sessions) +
+                "); close or drain a session and retry"));
+  return json::SerializeJson(JsonValue(std::move(payload)));
+}
+
+void ForgetCursor(server::ClientContext* client, uint64_t cursor_id) {
+  if (client == nullptr) return;
+  auto& cursors = client->cursors;
+  for (auto it = cursors.begin(); it != cursors.end(); ++it) {
+    if (*it == cursor_id) {
+      cursors.erase(it);
+      return;
+    }
+  }
+}
+
+std::string NextRequestFrame(uint64_t replica_cursor) {
+  return "{\"op\":\"query_next\",\"cursor\":" + std::to_string(replica_cursor) +
+         "}";
+}
+
+std::string CloseRequestFrame(uint64_t replica_cursor) {
+  return "{\"op\":\"query_close\",\"cursor\":" +
+         std::to_string(replica_cursor) + "}";
+}
+
+}  // namespace
+
+Router::Router(std::vector<client::Endpoint> replicas, RouterOptions options)
+    : options_(options),
+      requests_total_(registry_.GetCounter(
+          "router_requests_total", {},
+          "requests handled by the router, including errors")),
+      retries_total_(registry_.GetCounter(
+          "router_retries_total", {},
+          "forwards retried on an alternate replica")),
+      failovers_total_(registry_.GetCounter(
+          "router_failovers_total", {},
+          "cursor sessions re-opened on another replica mid-drain")),
+      sessions_opened_(registry_.GetCounter(
+          "router_sessions_opened_total", {},
+          "successful query_open calls through the router")),
+      sessions_open_(registry_.GetGauge(
+          "router_sessions_open", {},
+          "router-side cursor sessions currently held open")),
+      health_checks_total_(registry_.GetCounter(
+          "router_health_checks_total", {},
+          "ping probes sent to replicas")),
+      replica_unhealthy_(registry_.GetCounter(
+          "router_replica_unhealthy_total", {},
+          "healthy->unhealthy transitions across all replicas")) {
+  backends_.reserve(replicas.size());
+  for (client::Endpoint& endpoint : replicas) {
+    auto backend = std::make_unique<Backend>();
+    backend->endpoint = endpoint;
+    backend->pool =
+        std::make_unique<client::ClientPool>(endpoint, options_.client);
+    const std::string name = endpoint.ToString();
+    backend->forwarded = registry_.GetCounter(
+        "router_forwarded_total", {{"replica", name}},
+        "requests forwarded to this replica");
+    backend->healthy_gauge = registry_.GetGauge(
+        "router_replica_healthy", {{"replica", name}},
+        "1 while this replica passes health checks");
+    backend->epoch_gauge = registry_.GetGauge(
+        "router_replica_epoch", {{"replica", name}},
+        "last current epoch this replica reported");
+    backend->healthy_gauge->Set(1);
+    backends_.push_back(std::move(backend));
+  }
+  if (options_.health_interval_ms > 0) {
+    health_thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(health_mu_);
+      while (!stopping_) {
+        health_cv_.wait_for(
+            lock, std::chrono::milliseconds(options_.health_interval_ms));
+        if (stopping_) break;
+        lock.unlock();
+        CheckReplicasOnce();
+        lock.lock();
+      }
+    });
+  }
+}
+
+Router::~Router() {
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    stopping_ = true;
+  }
+  health_cv_.notify_all();
+  if (health_thread_.joinable()) health_thread_.join();
+}
+
+std::string Router::HandleFrame(std::string_view request_json,
+                                server::ClientContext* client) {
+  requests_total_->Increment();
+  Result<QueryRequest> request = server::ParseRequest(request_json);
+  if (!request.ok()) {
+    return MakeResponse(false, BestEpoch(), false,
+                        MakeErrorPayload(request.status()));
+  }
+  switch (request->op) {
+    case RequestOp::kStats:
+      return MakeResponse(true, BestEpoch(), false, BuildStatsPayload());
+    case RequestOp::kMetrics:
+      return MakeResponse(true, BestEpoch(), false, MetricsJson());
+    case RequestOp::kMetricsText: {
+      JsonObject payload;
+      payload.emplace_back("text", JsonValue(MetricsText()));
+      return MakeResponse(true, BestEpoch(), false,
+                          json::SerializeJson(JsonValue(std::move(payload))));
+    }
+    case RequestOp::kPing: {
+      JsonObject payload;
+      payload.emplace_back("epoch",
+                           JsonValue(static_cast<int64_t>(BestEpoch())));
+      payload.emplace_back("uptime_s", JsonValue(uptime_.ElapsedSeconds()));
+      payload.emplace_back("sessions",
+                           JsonValue(static_cast<int64_t>(open_sessions())));
+      return MakeResponse(true, BestEpoch(), false,
+                          json::SerializeJson(JsonValue(std::move(payload))));
+    }
+    case RequestOp::kLoadSnapshot:
+      return MakeResponse(
+          false, BestEpoch(), false,
+          MakeErrorPayload(Status::FailedPrecondition(
+              "load_snapshot must be sent to a replica, not the router")));
+    case RequestOp::kQueryOpen:
+      return HandleOpen(*request, request_json, client);
+    case RequestOp::kQueryNext:
+      return HandleNext(*request, client);
+    case RequestOp::kQueryClose:
+      return HandleClose(*request, client);
+    default:
+      return ForwardOneShot(*request, request_json);
+  }
+}
+
+std::string Router::ForwardOneShot(const QueryRequest& request,
+                                   std::string_view request_json) {
+  std::vector<size_t> candidates = HealthyIndices();
+  if (candidates.empty()) {
+    // Everyone is marked down. Health state is advisory, not authoritative:
+    // try the whole fleet rather than failing a query a replica might still
+    // answer (and let a success mark it back up).
+    for (size_t i = 0; i < backends_.size(); ++i) candidates.push_back(i);
+  }
+  // Hashing the normalized key keeps each logical query on one replica
+  // while the fleet is stable, so per-replica result caches stay hot.
+  size_t start = std::hash<std::string>{}(server::NormalizedCacheKey(request)) %
+                 candidates.size();
+  Status last = Status::OK();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    Backend* backend =
+        backends_[candidates[(start + i) % candidates.size()]].get();
+    if (i > 0) retries_total_->Increment();
+    Result<std::string> response = backend->pool->Call(request_json);
+    if (!response.ok()) {
+      last = response.status();
+      MarkFailure(backend);
+      continue;
+    }
+    backend->forwarded->Increment();
+    Envelope env = ParseEnvelope(*response);
+    if (env.valid) {
+      MarkHealthy(backend);
+      ObserveEpoch(backend, env.epoch);
+    }
+    return *response;
+  }
+  return MakeResponse(false, BestEpoch(), false,
+                      MakeNoHealthyReplicaPayload(last));
+}
+
+std::string Router::HandleOpen(const QueryRequest& request,
+                               std::string_view request_json,
+                               server::ClientContext* client) {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (sessions_.size() >= options_.max_sessions) {
+      return MakeResponse(false, BestEpoch(), false,
+                          MakeTooManySessionsPayload(options_.max_sessions));
+    }
+  }
+  std::vector<size_t> candidates = HealthyIndices();
+  if (candidates.empty()) {
+    for (size_t i = 0; i < backends_.size(); ++i) candidates.push_back(i);
+  }
+  size_t start = round_robin_.fetch_add(1, std::memory_order_relaxed) %
+                 candidates.size();
+  Status last = Status::OK();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    size_t index = candidates[(start + i) % candidates.size()];
+    Backend* backend = backends_[index].get();
+    if (i > 0) retries_total_->Increment();
+    Result<std::string> response = backend->pool->Call(request_json);
+    if (!response.ok()) {
+      last = response.status();
+      MarkFailure(backend);
+      continue;
+    }
+    backend->forwarded->Increment();
+    Envelope env = ParseEnvelope(*response);
+    if (!env.valid) return *response;
+    MarkHealthy(backend);
+    if (!env.ok || !env.has_cursor) {
+      // Deterministic rejection (bad query, replica session table full):
+      // forward it — another replica would answer the same way.
+      return *response;
+    }
+    auto session = std::make_shared<RouterSession>();
+    session->epoch = env.epoch;
+    session->backend = index;
+    session->replica_cursor = env.cursor;
+    // The reopen frame pins the session's epoch so a failover lands on the
+    // exact snapshot this drain started on.
+    QueryRequest pinned = request;
+    pinned.open_epoch = env.epoch;
+    session->open_request = server::NormalizedCacheKey(pinned);
+    uint64_t id = 0;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      id = next_cursor_id_++;
+      session->id = id;
+      sessions_.emplace(id, session);
+      sessions_open_->Set(static_cast<int64_t>(sessions_.size()));
+    }
+    sessions_opened_->Increment();
+    if (client != nullptr) client->cursors.push_back(id);
+    return ReplaceCursorField(*response, id);
+  }
+  return MakeResponse(false, BestEpoch(), false,
+                      MakeNoHealthyReplicaPayload(last));
+}
+
+std::string Router::HandleNext(const QueryRequest& request,
+                               server::ClientContext* client) {
+  std::shared_ptr<RouterSession> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(request.cursor_id);
+    if (it != sessions_.end()) session = it->second;
+  }
+  if (session == nullptr) {
+    // Same wording as the server's unknown-cursor error, so clients see one
+    // behavior whether they talk to a replica or the router.
+    return MakeResponse(
+        false, BestEpoch(), false,
+        MakeErrorPayload(Status::NotFound(
+            "unknown cursor " + std::to_string(request.cursor_id) +
+            " (closed, drained, or expired)")));
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  Backend* backend = backends_[session->backend].get();
+  Result<std::string> response =
+      backend->pool->Call(NextRequestFrame(session->replica_cursor));
+  if (response.ok()) {
+    Envelope env = ParseEnvelope(*response);
+    if (env.valid && env.ok) {
+      MarkHealthy(backend);
+      return DeliverPage(session.get(), *response, env.done, client);
+    }
+    if (env.valid && env.code != "not_found") {
+      return *response;  // deterministic error; the session stays pinned
+    }
+    // not_found: the replica lost the session (restart, TTL) — fail over.
+  } else {
+    MarkFailure(backend);
+  }
+  return FailOverSession(session.get(), session->backend, client);
+}
+
+std::string Router::FailOverSession(RouterSession* session,
+                                    size_t failed_backend,
+                                    server::ClientContext* client) {
+  failovers_total_->Increment();
+  std::string last_error_response;
+  Status last = Status::OK();
+  for (size_t index = 0; index < backends_.size(); ++index) {
+    if (index == failed_backend) continue;
+    Backend* backend = backends_[index].get();
+    if (!backend->healthy.load(std::memory_order_acquire)) continue;
+    Result<std::string> opened = backend->pool->Call(session->open_request);
+    if (!opened.ok()) {
+      last = opened.status();
+      MarkFailure(backend);
+      continue;
+    }
+    Envelope open_env = ParseEnvelope(*opened);
+    if (!open_env.valid) continue;
+    MarkHealthy(backend);
+    if (!open_env.ok || !open_env.has_cursor) {
+      // epoch_gone here, or the replica's session table is full; remember
+      // the response and try the rest of the fleet.
+      last_error_response = *opened;
+      continue;
+    }
+    uint64_t replica_cursor = open_env.cursor;
+    std::string next_frame = NextRequestFrame(replica_cursor);
+    // Replay the pages the client already consumed, discarding them. The
+    // replicas serve bit-identical snapshot files and row order is
+    // deterministic, so page k on this replica is page k on the dead one.
+    bool candidate_failed = false;
+    for (uint64_t page = 0; page < session->pages_delivered; ++page) {
+      Result<std::string> replayed = backend->pool->Call(next_frame);
+      if (!replayed.ok()) {
+        last = replayed.status();
+        MarkFailure(backend);
+        candidate_failed = true;
+        break;
+      }
+      Envelope env = ParseEnvelope(*replayed);
+      if (!env.valid || !env.ok || env.done) {
+        // The cursor ran out before reaching the client's position: the
+        // replicas disagree about the snapshot. Surface it, don't guess.
+        return MakeResponse(
+            false, session->epoch, false,
+            MakeErrorPayload(Status::Internal(
+                "cursor replay diverged on replica " +
+                backend->endpoint.ToString() + " (page " +
+                std::to_string(page + 1) + " of " +
+                std::to_string(session->pages_delivered) + ")")));
+      }
+    }
+    if (candidate_failed) continue;
+    Result<std::string> next = backend->pool->Call(next_frame);
+    if (!next.ok()) {
+      last = next.status();
+      MarkFailure(backend);
+      continue;
+    }
+    Envelope env = ParseEnvelope(*next);
+    if (!env.valid || !env.ok) {
+      last_error_response = *next;
+      continue;
+    }
+    session->backend = index;
+    session->replica_cursor = replica_cursor;
+    return DeliverPage(session, *next, env.done, client);
+  }
+  if (!last_error_response.empty()) return last_error_response;
+  return MakeResponse(false, session->epoch, false,
+                      MakeNoHealthyReplicaPayload(last));
+}
+
+std::string Router::DeliverPage(RouterSession* session, const std::string& raw,
+                                bool done, server::ClientContext* client) {
+  ++session->pages_delivered;
+  if (done) {
+    EraseSession(session->id);
+    ForgetCursor(client, session->id);
+  }
+  return ReplaceCursorField(raw, session->id);
+}
+
+std::string Router::HandleClose(const QueryRequest& request,
+                                server::ClientContext* client) {
+  std::shared_ptr<RouterSession> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(request.cursor_id);
+    if (it != sessions_.end()) {
+      session = it->second;
+      sessions_.erase(it);
+      sessions_open_->Set(static_cast<int64_t>(sessions_.size()));
+    }
+  }
+  ForgetCursor(client, request.cursor_id);
+  if (session == nullptr) {
+    return MakeResponse(true, BestEpoch(), false, "{\"closed\":false}");
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  Backend* backend = backends_[session->backend].get();
+  Result<std::string> response =
+      backend->pool->Call(CloseRequestFrame(session->replica_cursor));
+  if (!response.ok()) {
+    MarkFailure(backend);
+    // The replica-side session dies with its process or its idle TTL; the
+    // router-side one is gone either way, which is what "closed" promises.
+    return MakeResponse(true, session->epoch, false, "{\"closed\":true}");
+  }
+  return *response;
+}
+
+void Router::CloseClientSessions(server::ClientContext& client) {
+  std::vector<uint64_t> cursors;
+  cursors.swap(client.cursors);
+  for (uint64_t id : cursors) {
+    std::shared_ptr<RouterSession> session;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      auto it = sessions_.find(id);
+      if (it == sessions_.end()) continue;
+      session = it->second;
+      sessions_.erase(it);
+      sessions_open_->Set(static_cast<int64_t>(sessions_.size()));
+    }
+    std::lock_guard<std::mutex> lock(session->mu);
+    Backend* backend = backends_[session->backend].get();
+    // Best effort: an unreachable replica reaps the session by TTL.
+    (void)backend->pool->Call(CloseRequestFrame(session->replica_cursor));
+  }
+}
+
+size_t Router::CheckReplicasOnce() {
+  size_t answered = 0;
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    health_checks_total_->Increment();
+    Result<std::string> response = backend->pool->Call("{\"op\":\"ping\"}");
+    if (response.ok()) {
+      Envelope env = ParseEnvelope(*response);
+      if (env.valid && env.ok) {
+        MarkHealthy(backend.get());
+        ObserveEpoch(backend.get(), env.epoch);
+        ++answered;
+        continue;
+      }
+    }
+    MarkFailure(backend.get());
+  }
+  return answered;
+}
+
+std::vector<size_t> Router::HealthyIndices() const {
+  std::vector<size_t> healthy;
+  healthy.reserve(backends_.size());
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    if (backends_[i]->healthy.load(std::memory_order_acquire)) {
+      healthy.push_back(i);
+    }
+  }
+  return healthy;
+}
+
+void Router::MarkFailure(Backend* backend) {
+  int failures = backend->failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (failures >= options_.unhealthy_after &&
+      backend->healthy.exchange(false, std::memory_order_acq_rel)) {
+    replica_unhealthy_->Increment();
+    backend->healthy_gauge->Set(0);
+    // Drop pooled sockets to the dead process so recovery starts clean.
+    backend->pool->DropIdle();
+  }
+}
+
+void Router::MarkHealthy(Backend* backend) {
+  backend->failures.store(0, std::memory_order_release);
+  if (!backend->healthy.exchange(true, std::memory_order_acq_rel)) {
+    backend->healthy_gauge->Set(1);
+  }
+}
+
+void Router::ObserveEpoch(Backend* backend, uint64_t epoch) {
+  backend->epoch.store(epoch, std::memory_order_release);
+  backend->epoch_gauge->Set(static_cast<int64_t>(epoch));
+}
+
+void Router::EraseSession(uint64_t id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(id);
+  sessions_open_->Set(static_cast<int64_t>(sessions_.size()));
+}
+
+size_t Router::healthy_replicas() const {
+  size_t count = 0;
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    if (backend->healthy.load(std::memory_order_acquire)) ++count;
+  }
+  return count;
+}
+
+size_t Router::open_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+uint64_t Router::BestEpoch() const {
+  uint64_t best = 0;
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    uint64_t epoch = backend->epoch.load(std::memory_order_acquire);
+    if (epoch > best) best = epoch;
+  }
+  return best;
+}
+
+std::string Router::BuildStatsPayload() const {
+  JsonObject router;
+  router.emplace_back("replicas",
+                      JsonValue(static_cast<int64_t>(backends_.size())));
+  router.emplace_back("healthy",
+                      JsonValue(static_cast<int64_t>(healthy_replicas())));
+  router.emplace_back("epoch", JsonValue(static_cast<int64_t>(BestEpoch())));
+  router.emplace_back("sessions_open",
+                      JsonValue(static_cast<int64_t>(open_sessions())));
+  router.emplace_back(
+      "requests_total",
+      JsonValue(static_cast<int64_t>(requests_total_->value())));
+  router.emplace_back(
+      "retries_total",
+      JsonValue(static_cast<int64_t>(retries_total_->value())));
+  router.emplace_back(
+      "failovers_total",
+      JsonValue(static_cast<int64_t>(failovers_total_->value())));
+  router.emplace_back(
+      "health_checks_total",
+      JsonValue(static_cast<int64_t>(health_checks_total_->value())));
+  router.emplace_back("uptime_seconds", JsonValue(uptime_.ElapsedSeconds()));
+  json::JsonArray replicas;
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    JsonObject entry;
+    entry.emplace_back("endpoint", JsonValue(backend->endpoint.ToString()));
+    entry.emplace_back(
+        "healthy",
+        JsonValue(backend->healthy.load(std::memory_order_acquire)));
+    entry.emplace_back(
+        "epoch", JsonValue(static_cast<int64_t>(
+                     backend->epoch.load(std::memory_order_acquire))));
+    replicas.emplace_back(JsonValue(std::move(entry)));
+  }
+  router.emplace_back("backends", JsonValue(std::move(replicas)));
+  JsonObject inner;
+  inner.emplace_back("router", JsonValue(std::move(router)));
+  JsonObject payload;
+  payload.emplace_back("stats", JsonValue(std::move(inner)));
+  return json::SerializeJson(JsonValue(std::move(payload)));
+}
+
+std::string Router::MetricsJson() const {
+  std::vector<metrics::MetricSnapshot> all = registry_.Snapshot();
+  std::vector<metrics::MetricSnapshot> global =
+      metrics::GlobalRegistry().Snapshot();
+  all.insert(all.end(), std::make_move_iterator(global.begin()),
+             std::make_move_iterator(global.end()));
+  return "{\"metrics\":" + metrics::SnapshotToJson(all) + "}";
+}
+
+std::string Router::MetricsText() const {
+  std::vector<metrics::MetricSnapshot> all = registry_.Snapshot();
+  std::vector<metrics::MetricSnapshot> global =
+      metrics::GlobalRegistry().Snapshot();
+  all.insert(all.end(), std::make_move_iterator(global.begin()),
+             std::make_move_iterator(global.end()));
+  return metrics::SnapshotToPrometheusText(all);
+}
+
+}  // namespace scdwarf::replica

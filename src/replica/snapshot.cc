@@ -1,0 +1,376 @@
+#include "replica/snapshot.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace scdwarf::replica {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'C', 'D', 'W', 'C', 'U', 'B', 'E'};
+constexpr char kTrailer[8] = {'S', 'C', 'D', 'W', 'E', 'N', 'D', '\0'};
+constexpr uint32_t kVersion = 1;
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked cursor over the mapped file bytes. Every read either
+/// advances or reports the corruption, so a truncated file can never walk
+/// past the mapping.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  Status Need(size_t n) {
+    if (remaining() < n) {
+      return Status::ParseError("snapshot truncated: need " +
+                                std::to_string(n) + " bytes at offset " +
+                                std::to_string(pos_) + ", have " +
+                                std::to_string(remaining()));
+    }
+    return Status::OK();
+  }
+
+  Status ReadRaw(void* out, size_t n) {
+    SCD_RETURN_IF_ERROR(Need(n));
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Result<uint16_t> ReadU16() {
+    SCD_RETURN_IF_ERROR(Need(2));
+    uint16_t v = 0;
+    for (int i = 1; i >= 0; --i) {
+      v = static_cast<uint16_t>(
+          (v << 8) | static_cast<unsigned char>(data_[pos_ + i]));
+    }
+    pos_ += 2;
+    return v;
+  }
+
+  Result<uint32_t> ReadU32() {
+    SCD_RETURN_IF_ERROR(Need(4));
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(data_[pos_ + i]);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    SCD_RETURN_IF_ERROR(Need(8));
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(data_[pos_ + i]);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<std::string> ReadString() {
+    SCD_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+    SCD_RETURN_IF_ERROR(Need(n));
+    std::string s(data_ + pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// RAII over the read-only mapping.
+struct Mapping {
+  void* addr = MAP_FAILED;
+  size_t size = 0;
+  ~Mapping() {
+    if (addr != MAP_FAILED && size > 0) ::munmap(addr, size);
+  }
+};
+
+Status WriteFileAtomically(const std::string& path,
+                           const std::string& contents) {
+  std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + tmp + ": " +
+                           std::string(std::strerror(errno)));
+  }
+  size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Status::IoError("write " + tmp + ": " +
+                                      std::string(std::strerror(errno)));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status status = Status::IoError("fsync " + tmp + ": " +
+                                    std::string(std::strerror(errno)));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status = Status::IoError("rename " + tmp + " -> " + path + ": " +
+                                    std::string(std::strerror(errno)));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCubeSnapshot(const dwarf::DwarfCube& cube, uint64_t epoch,
+                         const std::string& path) {
+  const dwarf::CubeSchema& schema = cube.schema();
+  std::string out;
+  // Rough pre-size: header + ~24 bytes per cell keeps the append loop from
+  // repeatedly reallocating a multi-megabyte buffer.
+  out.reserve(256 + cube.stats().cell_count * 24 + cube.num_nodes() * 24);
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(&out, kVersion);
+  PutU64(&out, epoch);
+  PutString(&out, schema.name());
+  PutU32(&out, static_cast<uint32_t>(schema.num_dimensions()));
+  for (const dwarf::DimensionSpec& dim : schema.dimensions()) {
+    PutString(&out, dim.name);
+    PutString(&out, dim.dimension_table);
+  }
+  PutString(&out, schema.measure_name());
+  PutU32(&out, static_cast<uint32_t>(schema.agg()));
+  for (size_t d = 0; d < cube.num_dimensions(); ++d) {
+    const dwarf::Dictionary& dict = cube.dictionary(d);
+    PutU64(&out, dict.size());
+    for (dwarf::DimKey id = 0; id < dict.size(); ++id) {
+      PutString(&out, dict.DecodeUnchecked(id));
+    }
+  }
+  PutU32(&out, cube.root());
+  PutU64(&out, cube.num_nodes());
+  for (dwarf::NodeId id = 0; id < cube.num_nodes(); ++id) {
+    const dwarf::DwarfNode& node = cube.node(id);
+    PutU16(&out, node.level);
+    out.push_back(node.all_coalesced ? 1 : 0);
+    PutU32(&out, node.all_child);
+    PutU64(&out, static_cast<uint64_t>(node.all_measure));
+    PutU32(&out, static_cast<uint32_t>(node.cells.size()));
+    for (const dwarf::DwarfCell& cell : node.cells) {
+      PutU32(&out, cell.key);
+      PutU32(&out, cell.child);
+      PutU64(&out, static_cast<uint64_t>(cell.measure));
+    }
+  }
+  PutU64(&out, cube.stats().tuple_count);
+  PutU64(&out, cube.stats().source_tuple_count);
+  out.append(kTrailer, sizeof(kTrailer));
+  return WriteFileAtomically(path, out);
+}
+
+Result<CubeSnapshot> LoadCubeSnapshot(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " +
+                           std::string(std::strerror(errno)));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    Status status = Status::IoError("fstat " + path + ": " +
+                                    std::string(std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  Mapping mapping;
+  mapping.size = static_cast<size_t>(st.st_size);
+  if (mapping.size > 0) {
+    // PROT_READ + MAP_SHARED: every replica on the machine shares one page
+    // cache copy of the file, and any write attempt faults instead of
+    // silently corrupting the published artifact.
+    mapping.addr = ::mmap(nullptr, mapping.size, PROT_READ, MAP_SHARED, fd, 0);
+  }
+  ::close(fd);
+  if (mapping.size == 0 || mapping.addr == MAP_FAILED) {
+    return Status::IoError("mmap " + path + ": " +
+                           (mapping.size == 0 ? std::string("empty file")
+                                              : std::strerror(errno)));
+  }
+  Reader in(static_cast<const char*>(mapping.addr), mapping.size);
+  char magic[8];
+  SCD_RETURN_IF_ERROR(in.ReadRaw(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError(path + " is not a cube snapshot (bad magic)");
+  }
+  SCD_ASSIGN_OR_RETURN(uint32_t version, in.ReadU32());
+  if (version != kVersion) {
+    return Status::InvalidArgument("snapshot version " +
+                                   std::to_string(version) +
+                                   " is not supported (want " +
+                                   std::to_string(kVersion) + ")");
+  }
+  SCD_ASSIGN_OR_RETURN(uint64_t epoch, in.ReadU64());
+  SCD_ASSIGN_OR_RETURN(std::string schema_name, in.ReadString());
+  SCD_ASSIGN_OR_RETURN(uint32_t num_dims, in.ReadU32());
+  if (num_dims == 0 || num_dims > 64) {
+    return Status::ParseError("snapshot has implausible dimension count " +
+                              std::to_string(num_dims));
+  }
+  std::vector<dwarf::DimensionSpec> dims;
+  dims.reserve(num_dims);
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    SCD_ASSIGN_OR_RETURN(std::string name, in.ReadString());
+    SCD_ASSIGN_OR_RETURN(std::string table, in.ReadString());
+    dims.emplace_back(std::move(name), std::move(table));
+  }
+  SCD_ASSIGN_OR_RETURN(std::string measure_name, in.ReadString());
+  SCD_ASSIGN_OR_RETURN(uint32_t agg_raw, in.ReadU32());
+  if (agg_raw > static_cast<uint32_t>(dwarf::AggFn::kMax)) {
+    return Status::ParseError("snapshot has unknown aggregate id " +
+                              std::to_string(agg_raw));
+  }
+  dwarf::CubeSchema schema(std::move(schema_name), std::move(dims),
+                           std::move(measure_name),
+                           static_cast<dwarf::AggFn>(agg_raw));
+  std::vector<dwarf::Dictionary> dictionaries;
+  dictionaries.reserve(num_dims);
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    SCD_ASSIGN_OR_RETURN(uint64_t count, in.ReadU64());
+    // Each value needs at least its 4-byte length prefix.
+    if (count * 4 > in.remaining()) {
+      return Status::ParseError("snapshot dictionary " + std::to_string(d) +
+                                " claims " + std::to_string(count) +
+                                " values past end of file");
+    }
+    dwarf::Dictionary dict(schema.dimensions()[d].name);
+    for (uint64_t i = 0; i < count; ++i) {
+      SCD_ASSIGN_OR_RETURN(std::string value, in.ReadString());
+      dict.Encode(value);
+    }
+    if (dict.size() != count) {
+      return Status::ParseError("snapshot dictionary " + std::to_string(d) +
+                                " holds duplicate values");
+    }
+    dictionaries.push_back(std::move(dict));
+  }
+  SCD_ASSIGN_OR_RETURN(uint32_t root, in.ReadU32());
+  SCD_ASSIGN_OR_RETURN(uint64_t num_nodes, in.ReadU64());
+  // Each node needs at least its 19-byte fixed header.
+  if (num_nodes * 19 > in.remaining()) {
+    return Status::ParseError("snapshot claims " + std::to_string(num_nodes) +
+                              " nodes past end of file");
+  }
+  dwarf::CubeAssembler assembler(std::move(schema), std::move(dictionaries));
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    dwarf::DwarfNode node;
+    SCD_ASSIGN_OR_RETURN(node.level, in.ReadU16());
+    char flags = 0;
+    SCD_RETURN_IF_ERROR(in.ReadRaw(&flags, 1));
+    node.all_coalesced = (flags & 1) != 0;
+    SCD_ASSIGN_OR_RETURN(node.all_child, in.ReadU32());
+    SCD_ASSIGN_OR_RETURN(uint64_t all_measure, in.ReadU64());
+    node.all_measure = static_cast<dwarf::Measure>(all_measure);
+    SCD_ASSIGN_OR_RETURN(uint32_t num_cells, in.ReadU32());
+    if (static_cast<uint64_t>(num_cells) * 16 > in.remaining()) {
+      return Status::ParseError("snapshot node " + std::to_string(i) +
+                                " claims " + std::to_string(num_cells) +
+                                " cells past end of file");
+    }
+    node.cells.reserve(num_cells);
+    for (uint32_t c = 0; c < num_cells; ++c) {
+      dwarf::DwarfCell cell;
+      SCD_ASSIGN_OR_RETURN(cell.key, in.ReadU32());
+      SCD_ASSIGN_OR_RETURN(cell.child, in.ReadU32());
+      SCD_ASSIGN_OR_RETURN(uint64_t measure, in.ReadU64());
+      cell.measure = static_cast<dwarf::Measure>(measure);
+      node.cells.push_back(cell);
+    }
+    assembler.AddNode(std::move(node));
+  }
+  SCD_ASSIGN_OR_RETURN(uint64_t tuple_count, in.ReadU64());
+  SCD_ASSIGN_OR_RETURN(uint64_t source_tuple_count, in.ReadU64());
+  char trailer[8];
+  SCD_RETURN_IF_ERROR(in.ReadRaw(trailer, sizeof(trailer)));
+  if (std::memcmp(trailer, kTrailer, sizeof(kTrailer)) != 0) {
+    return Status::ParseError(path + " has a corrupt snapshot trailer");
+  }
+  assembler.SetRoot(root);
+  assembler.SetTupleCounts(tuple_count, source_tuple_count);
+  Result<dwarf::DwarfCube> cube = assembler.Finish();
+  if (!cube.ok()) return cube.status().WithContext("loading " + path);
+  return CubeSnapshot{epoch, std::move(*cube)};
+}
+
+std::string SnapshotFileName(uint64_t epoch) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "epoch-%020llu.cf",
+                static_cast<unsigned long long>(epoch));
+  return buf;
+}
+
+Result<std::vector<SnapshotFileEntry>> ListSnapshots(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    return Status::IoError("opendir " + dir + ": " +
+                           std::string(std::strerror(errno)));
+  }
+  std::vector<SnapshotFileEntry> entries;
+  while (dirent* entry = ::readdir(handle)) {
+    unsigned long long epoch = 0;
+    int consumed = 0;
+    // Exactly the SnapshotFileName pattern: "epoch-<digits>.cf".
+    if (std::sscanf(entry->d_name, "epoch-%20llu.cf%n", &epoch, &consumed) ==
+            1 &&
+        consumed > 0 && entry->d_name[consumed] == '\0') {
+      entries.push_back(
+          {epoch, dir + "/" + entry->d_name});
+    }
+  }
+  ::closedir(handle);
+  std::sort(entries.begin(), entries.end(),
+            [](const SnapshotFileEntry& a, const SnapshotFileEntry& b) {
+              return a.epoch < b.epoch;
+            });
+  return entries;
+}
+
+}  // namespace scdwarf::replica

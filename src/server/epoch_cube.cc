@@ -29,17 +29,47 @@ Result<uint64_t> EpochCubeStore::ApplyUpdate(
                                  : std::move(updater).Apply();
   SCD_RETURN_IF_ERROR(updated.status());
   if (profile != nullptr) *profile = local_profile;
-  uint64_t published_epoch = 0;
   auto published =
       std::make_shared<const dwarf::DwarfCube>(std::move(*updated));
-  {
-    std::unique_lock<std::shared_mutex> lock(mu_);
-    cube_ = std::move(published);
-    published_epoch = ++epoch_;
-  }
+  uint64_t published_epoch = epoch() + 1;
+  PublishLocked(std::move(published), published_epoch);
   // Still under update_mu_, so revalidation sweeps arrive in epoch order.
   if (publish_hook_) publish_hook_(published_epoch, changed);
   return published_epoch;
+}
+
+Result<uint64_t> EpochCubeStore::PublishCube(dwarf::DwarfCube cube,
+                                             uint64_t epoch) {
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  trace::ScopedSpan publish_span("server.publish_snapshot");
+  if (epoch <= this->epoch()) {
+    return Status::FailedPrecondition(
+        "snapshot epoch " + std::to_string(epoch) +
+        " is not newer than current epoch " + std::to_string(this->epoch()));
+  }
+  PublishLocked(std::make_shared<const dwarf::DwarfCube>(std::move(cube)),
+                epoch);
+  return epoch;
+}
+
+Result<EpochCubeStore::Snapshot> EpochCubeStore::SnapshotAt(
+    uint64_t epoch) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const Snapshot& snap : retained_) {
+    if (snap.epoch == epoch) return snap;
+  }
+  return Status::NotFound("epoch " + std::to_string(epoch) +
+                          " is no longer retained (current epoch " +
+                          std::to_string(epoch_) + ")");
+}
+
+void EpochCubeStore::PublishLocked(
+    std::shared_ptr<const dwarf::DwarfCube> cube, uint64_t epoch) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  cube_ = std::move(cube);
+  epoch_ = epoch;
+  retained_.push_back({epoch_, cube_});
+  while (retained_.size() > retain_epochs_) retained_.erase(retained_.begin());
 }
 
 }  // namespace scdwarf::server

@@ -30,8 +30,14 @@ namespace scdwarf::server {
 /// \brief Epoch-snapshot store over one DwarfCube.
 class EpochCubeStore {
  public:
-  explicit EpochCubeStore(dwarf::DwarfCube cube)
-      : cube_(std::make_shared<const dwarf::DwarfCube>(std::move(cube))) {}
+  /// \p initial_epoch seeds the epoch counter: a replica reloading a
+  /// mid-history snapshot file starts where the publisher left off instead
+  /// of renumbering from zero.
+  explicit EpochCubeStore(dwarf::DwarfCube cube, uint64_t initial_epoch = 0)
+      : epoch_(initial_epoch),
+        cube_(std::make_shared<const dwarf::DwarfCube>(std::move(cube))) {
+    retained_.push_back({epoch_, cube_});
+  }
 
   /// \brief One consistent read view: the epoch and the cube it names.
   struct Snapshot {
@@ -48,6 +54,19 @@ class EpochCubeStore {
   uint64_t epoch() const {
     std::shared_lock<std::shared_mutex> lock(mu_);
     return epoch_;
+  }
+
+  /// \brief The retained snapshot of \p epoch, or NotFound when it was never
+  /// published here or has aged out of the retention window. Lets a cursor
+  /// session re-open at the exact epoch it was pinned to on another replica
+  /// (router failover).
+  Result<Snapshot> SnapshotAt(uint64_t epoch) const;
+
+  /// \brief How many epochs stay reachable through SnapshotAt, current one
+  /// included (minimum 1). Set before updates start flowing; not
+  /// synchronized itself.
+  void set_retain_epochs(size_t retain) {
+    retain_epochs_ = retain < 1 ? 1 : retain;
   }
 
   /// \brief Observer invoked right after each publish with the new epoch and
@@ -76,6 +95,15 @@ class EpochCubeStore {
           tuples,
       dwarf::UpdateProfile* profile = nullptr);
 
+  /// \brief Publishes an externally built cube (a loaded snapshot file) under
+  /// \p epoch, which must be greater than the current epoch —
+  /// FailedPrecondition otherwise, so redelivered or out-of-order
+  /// load_snapshot notifications are rejected idempotently. Serialized with
+  /// ApplyUpdate; does NOT invoke the publish hook (a snapshot carries no
+  /// changed-prefix list, so the caller decides how to invalidate caches).
+  /// Returns \p epoch.
+  Result<uint64_t> PublishCube(dwarf::DwarfCube cube, uint64_t epoch);
+
   /// \brief Forces every publish through the full from-scratch rebuild path
   /// (the pre-incremental behavior). Fallback/debug knob; set before updates
   /// start flowing, not synchronized itself.
@@ -87,10 +115,18 @@ class EpochCubeStore {
   static constexpr size_t kCompactionChunkLimit = 64;
 
  private:
-  mutable std::shared_mutex mu_;  ///< guards epoch_ + cube_
+  /// Swaps in \p cube under \p epoch and trims the retention window.
+  /// Caller must hold update_mu_.
+  void PublishLocked(std::shared_ptr<const dwarf::DwarfCube> cube,
+                     uint64_t epoch);
+
+  mutable std::shared_mutex mu_;  ///< guards epoch_, cube_ + retained_
   std::mutex update_mu_;          ///< serializes writers
   uint64_t epoch_ = 0;
   std::shared_ptr<const dwarf::DwarfCube> cube_;
+  /// Recent epochs, ascending, current one last; bounded by retain_epochs_.
+  std::vector<Snapshot> retained_;
+  size_t retain_epochs_ = 4;
   PublishHook publish_hook_;
   bool full_rebuild_ = false;
 };

@@ -1,5 +1,8 @@
 #include "server/query_server.h"
 
+#include <sys/stat.h>
+
+#include <cstdio>
 #include <future>
 #include <iterator>
 
@@ -7,6 +10,7 @@
 #include "common/trace.h"
 #include "json/json_parser.h"
 #include "json/json_value.h"
+#include "replica/snapshot.h"
 
 namespace scdwarf::server {
 
@@ -35,6 +39,13 @@ std::string MakeTooManySessionsPayload(size_t max_sessions) {
   return json::SerializeJson(JsonValue(std::move(payload)));
 }
 
+std::string MakeEpochGonePayload(const Status& status) {
+  JsonObject payload;
+  payload.emplace_back("code", JsonValue("epoch_gone"));
+  payload.emplace_back("error", JsonValue(status.message()));
+  return json::SerializeJson(JsonValue(std::move(payload)));
+}
+
 void ForgetClientCursor(ClientContext* client, uint64_t cursor_id) {
   if (client == nullptr) return;
   auto& cursors = client->cursors;
@@ -51,7 +62,7 @@ void ForgetClientCursor(ClientContext* client, uint64_t cursor_id) {
 QueryServer::QueryServer(dwarf::DwarfCube cube, ServerOptions options)
     : options_(std::move(options)),
       num_workers_(ResolveThreadCount(options_.num_workers)),
-      store_(std::move(cube)),
+      store_(std::move(cube), options_.initial_epoch),
       cache_(options_.cache_capacity, options_.cache_shards, &registry_),
       schema_(store_.snapshot().cube->schema()),
       latency_us_(registry_.GetHistogram(
@@ -77,7 +88,22 @@ QueryServer::QueryServer(dwarf::DwarfCube cube, ServerOptions options)
           "query_open calls rejected by max_sessions")),
       sessions_open_(registry_.GetGauge(
           "server_sessions_open", {},
-          "cursor sessions currently held open")) {
+          "cursor sessions currently held open")),
+      snapshots_published_(registry_.GetCounter(
+          "server_snapshots_published_total", {},
+          "epoch snapshot files spooled to snapshot_dir")),
+      snapshot_write_us_(registry_.GetHistogram(
+          "server_snapshot_write_us", {},
+          "snapshot file serialize + atomic-rename latency (us)")),
+      snapshots_loaded_(registry_.GetCounter(
+          "replica_snapshots_loaded_total", {},
+          "snapshot files loaded and published via LoadSnapshot")),
+      snapshot_load_us_(registry_.GetHistogram(
+          "replica_snapshot_load_us", {},
+          "snapshot mmap + parse + publish latency (us)")),
+      snapshot_bytes_(registry_.GetGauge(
+          "replica_snapshot_bytes", {},
+          "size of the most recently loaded snapshot file")) {
   for (size_t i = 0; i < kNumRequestOps; ++i) {
     op_latency_us_[i] = registry_.GetHistogram(
         "server_op_us", {{"op", RequestOpName(static_cast<RequestOp>(i))}},
@@ -87,9 +113,11 @@ QueryServer::QueryServer(dwarf::DwarfCube cube, ServerOptions options)
     pool_ = std::make_unique<ThreadPool>(num_workers_);
   }
   store_.set_full_rebuild(options_.full_rebuild);
+  store_.set_retain_epochs(options_.retain_epochs);
   // Delta-epoch revalidation: carry a cached result over to the new epoch
   // iff its query provably misses every changed key prefix. The hook runs
-  // under the store's update lock, so sweeps arrive in epoch order.
+  // under the store's update lock, so sweeps — and snapshot spools — arrive
+  // in epoch order.
   store_.set_publish_hook(
       [this](uint64_t epoch,
              const std::vector<std::vector<std::string>>& changed) {
@@ -98,7 +126,38 @@ QueryServer::QueryServer(dwarf::DwarfCube cube, ServerOptions options)
           return parsed.ok() &&
                  !RequestMayTouchPrefixes(schema_, *parsed, changed);
         });
+        SpoolSnapshot(epoch);
       });
+  // The spool starts with the initial cube so a replica fleet can bootstrap
+  // before the first update arrives.
+  SpoolSnapshot(options_.initial_epoch);
+}
+
+void QueryServer::SpoolSnapshot(uint64_t epoch) {
+  if (options_.snapshot_dir.empty()) return;
+  std::string path;
+  Status status = WriteSnapshotFile(*store_.snapshot().cube, epoch, &path);
+  if (!status.ok()) {
+    // Serving must not die with the spool; the gap in published files is
+    // visible to operators through server_snapshots_published_total.
+    std::fprintf(stderr, "scdwarf: snapshot spool for epoch %llu failed: %s\n",
+                 static_cast<unsigned long long>(epoch),
+                 status.ToString().c_str());
+    return;
+  }
+  if (options_.post_publish) options_.post_publish(epoch, path);
+}
+
+Status QueryServer::WriteSnapshotFile(const dwarf::DwarfCube& cube,
+                                      uint64_t epoch, std::string* path_out) {
+  Stopwatch watch;
+  std::string path =
+      options_.snapshot_dir + "/" + replica::SnapshotFileName(epoch);
+  SCD_RETURN_IF_ERROR(replica::WriteCubeSnapshot(cube, epoch, path));
+  snapshots_published_->Increment();
+  snapshot_write_us_->Record(watch.ElapsedMicros());
+  if (path_out != nullptr) *path_out = path;
+  return Status::OK();
 }
 
 std::string QueryServer::HandleFrame(std::string_view request_json,
@@ -159,8 +218,40 @@ std::string QueryServer::Dispatch(const QueryRequest& request,
       return MakeResponse(true, snapshot.epoch, false, BuildStatsPayload());
     case RequestOp::kMetrics:
       return MakeResponse(true, snapshot.epoch, false, MetricsJson());
-    case RequestOp::kQueryOpen:
+    case RequestOp::kPing: {
+      JsonObject payload;
+      payload.emplace_back("epoch",
+                           JsonValue(static_cast<int64_t>(snapshot.epoch)));
+      payload.emplace_back("uptime_s", JsonValue(uptime_.ElapsedSeconds()));
+      payload.emplace_back("sessions",
+                           JsonValue(static_cast<int64_t>(open_sessions())));
+      return MakeResponse(true, snapshot.epoch, false,
+                          json::SerializeJson(JsonValue(std::move(payload))));
+    }
+    case RequestOp::kMetricsText: {
+      JsonObject payload;
+      payload.emplace_back("text", JsonValue(MetricsText()));
+      return MakeResponse(true, snapshot.epoch, false,
+                          json::SerializeJson(JsonValue(std::move(payload))));
+    }
+    case RequestOp::kLoadSnapshot:
+      return HandleLoadSnapshot(request);
+    case RequestOp::kQueryOpen: {
+      // An epoch-pinned open (router failover) re-opens against the retained
+      // snapshot of that exact epoch, so the new cursor replays the same
+      // pages byte for byte.
+      if (request.open_epoch.has_value() &&
+          *request.open_epoch != snapshot.epoch) {
+        Result<EpochCubeStore::Snapshot> pinned =
+            store_.SnapshotAt(*request.open_epoch);
+        if (!pinned.ok()) {
+          return MakeResponse(false, snapshot.epoch, false,
+                              MakeEpochGonePayload(pinned.status()));
+        }
+        return HandleQueryOpen(request, *pinned, client);
+      }
       return HandleQueryOpen(request, snapshot, client);
+    }
     case RequestOp::kQueryNext:
       return HandleQueryNext(request, client);
     case RequestOp::kQueryClose:
@@ -272,6 +363,55 @@ std::string QueryServer::HandleQueryClose(const QueryRequest& request,
   payload.emplace_back("closed", JsonValue(closed));
   return MakeResponse(true, epoch, false,
                       json::SerializeJson(JsonValue(std::move(payload))));
+}
+
+std::string QueryServer::HandleLoadSnapshot(const QueryRequest& request) {
+  if (!options_.allow_snapshot_load) {
+    return MakeResponse(
+        false, store_.epoch(), false,
+        MakeErrorPayload(Status::FailedPrecondition(
+            "load_snapshot is disabled on this server (replica mode only)")));
+  }
+  Result<uint64_t> epoch = LoadSnapshot(request.snapshot_path);
+  if (!epoch.ok()) {
+    return MakeResponse(false, store_.epoch(), false,
+                        MakeErrorPayload(epoch.status()));
+  }
+  JsonObject payload;
+  payload.emplace_back("loaded", JsonValue(true));
+  payload.emplace_back("epoch", JsonValue(static_cast<int64_t>(*epoch)));
+  payload.emplace_back(
+      "nodes", JsonValue(static_cast<int64_t>(
+                   store_.snapshot().cube->num_nodes())));
+  return MakeResponse(true, *epoch, false,
+                      json::SerializeJson(JsonValue(std::move(payload))));
+}
+
+Result<uint64_t> QueryServer::LoadSnapshot(const std::string& path) {
+  Stopwatch watch;
+  Result<replica::CubeSnapshot> loaded = replica::LoadCubeSnapshot(path);
+  SCD_RETURN_IF_ERROR(loaded.status());
+  if (loaded->cube.num_dimensions() != schema_.num_dimensions()) {
+    return Status::InvalidArgument(
+        "snapshot " + path + " has " +
+        std::to_string(loaded->cube.num_dimensions()) +
+        " dimensions; this server serves " +
+        std::to_string(schema_.num_dimensions()));
+  }
+  SCD_ASSIGN_OR_RETURN(
+      uint64_t epoch,
+      store_.PublishCube(std::move(loaded->cube), loaded->epoch));
+  // A snapshot publish carries no changed-prefix list, so no cached entry
+  // can be proven unaffected: drop the cache wholesale. Open cursor
+  // sessions keep their pinned snapshots and are untouched.
+  cache_.Revalidate(epoch, [](const std::string&) { return false; });
+  snapshots_loaded_->Increment();
+  snapshot_load_us_->Record(watch.ElapsedMicros());
+  struct stat file_info {};
+  if (::stat(path.c_str(), &file_info) == 0) {
+    snapshot_bytes_->Set(static_cast<int64_t>(file_info.st_size));
+  }
+  return epoch;
 }
 
 void QueryServer::CloseClientSessions(ClientContext& client) {
@@ -410,6 +550,15 @@ std::string QueryServer::MetricsJson() const {
   all.insert(all.end(), std::make_move_iterator(global.begin()),
              std::make_move_iterator(global.end()));
   return "{\"metrics\":" + metrics::SnapshotToJson(all) + "}";
+}
+
+std::string QueryServer::MetricsText() const {
+  std::vector<metrics::MetricSnapshot> all = registry_.Snapshot();
+  std::vector<metrics::MetricSnapshot> global =
+      metrics::GlobalRegistry().Snapshot();
+  all.insert(all.end(), std::make_move_iterator(global.begin()),
+             std::make_move_iterator(global.end()));
+  return metrics::SnapshotToPrometheusText(all);
 }
 
 }  // namespace scdwarf::server

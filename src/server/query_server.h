@@ -38,6 +38,7 @@
 #include "dwarf/cursor.h"
 #include "dwarf/dwarf_cube.h"
 #include "server/epoch_cube.h"
+#include "server/frame_handler.h"
 #include "server/result_cache.h"
 #include "server/wire.h"
 
@@ -77,6 +78,29 @@ struct ServerOptions {
   /// on the worker thread before executing (the overload tests park the
   /// worker here to fill the queue deterministically).
   std::function<void()> pre_execute_hook;
+
+  /// Accept the "load_snapshot" wire op (replica mode). Off by default: a
+  /// publisher-facing server must not let clients swap its cube.
+  bool allow_snapshot_load = false;
+
+  /// When non-empty, the server spools each published epoch (including the
+  /// initial cube, as epoch initial_epoch) to
+  /// `<snapshot_dir>/epoch-<NNN>.cf` — the fan-out feed replicas load from.
+  std::string snapshot_dir;
+
+  /// Epochs kept reachable for epoch-pinned query_open (router failover),
+  /// current one included. Clamped to at least 1.
+  size_t retain_epochs = 4;
+
+  /// Epoch of the initial cube. A replica that loads a mid-history snapshot
+  /// file passes the file's epoch here so its numbering matches the
+  /// publisher's.
+  uint64_t initial_epoch = 0;
+
+  /// Invoked after every successful publish that wrote a snapshot file, with
+  /// the epoch and the file path (runs on the publishing thread, after the
+  /// cache sweep). The server main uses it to notify replicas.
+  std::function<void(uint64_t epoch, const std::string& path)> post_publish;
 };
 
 /// \brief Point-in-time serving statistics (the "stats" op renders these).
@@ -102,18 +126,11 @@ struct ServerStats {
   dwarf::UpdateProfile last_update;  ///< profile of the newest ApplyUpdate
 };
 
-/// \brief Per-connection state: the cursor ids opened over one connection,
-/// so the transport can reclaim them on disconnect. Owned by a single
-/// connection thread — not thread-safe on its own.
-struct ClientContext {
-  std::vector<uint64_t> cursors;
-};
-
 /// \brief Multi-client cube query service over one DwarfCube.
-class QueryServer {
+class QueryServer : public FrameHandler {
  public:
   explicit QueryServer(dwarf::DwarfCube cube, ServerOptions options = {});
-  ~QueryServer() = default;
+  ~QueryServer() override = default;
 
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
@@ -124,7 +141,7 @@ class QueryServer {
   /// \p client, when given, records cursor sessions opened by this caller so
   /// CloseClientSessions can reclaim them on disconnect.
   std::string HandleFrame(std::string_view request_json,
-                          ClientContext* client = nullptr);
+                          ClientContext* client = nullptr) override;
 
   /// \brief Merges \p tuples into the served cube and publishes the next
   /// epoch. Before returning, the result cache is swept: entries whose query
@@ -137,7 +154,17 @@ class QueryServer {
 
   /// \brief Closes every cursor session recorded in \p client (idempotent;
   /// already-expired cursors are skipped silently).
-  void CloseClientSessions(ClientContext& client);
+  void CloseClientSessions(ClientContext& client) override;
+
+  /// \brief Loads the snapshot file at \p path and publishes it as the
+  /// served cube (replica mode; backs the "load_snapshot" op but is always
+  /// available programmatically). The file's epoch must exceed the current
+  /// epoch — FailedPrecondition otherwise, making redelivered notifications
+  /// harmless. The result cache is dropped wholesale on success: a snapshot
+  /// carries no changed-prefix list, so nothing can be proven unaffected.
+  /// Open cursor sessions keep serving their pinned snapshots. Returns the
+  /// published epoch.
+  Result<uint64_t> LoadSnapshot(const std::string& path);
 
   /// \brief Drops sessions idle longer than session_ttl_seconds and returns
   /// how many were reaped. Runs implicitly on every query_open.
@@ -150,6 +177,10 @@ class QueryServer {
   /// build-side instrumentation). See metrics::SnapshotToJson for the entry
   /// shape.
   std::string MetricsJson() const;
+
+  /// \brief The same series as MetricsJson rendered in Prometheus text
+  /// exposition format (the "metrics_text" op / --prometheus-dump output).
+  std::string MetricsText() const;
 
   uint64_t epoch() const { return store_.epoch(); }
   int num_workers() const { return num_workers_; }
@@ -192,8 +223,17 @@ class QueryServer {
                               ClientContext* client);
   std::string HandleQueryClose(const QueryRequest& request,
                                ClientContext* client);
+  std::string HandleLoadSnapshot(const QueryRequest& request);
   size_t ReapIdleSessionsLocked(double now);  // requires sessions_mu_
   std::string BuildStatsPayload() const;
+  /// Writes the current cube as \p epoch into options_.snapshot_dir and
+  /// invokes post_publish; failures are reported on stderr, never thrown
+  /// into the serving path. No-op when snapshot_dir is unset.
+  void SpoolSnapshot(uint64_t epoch);
+  /// Serializes \p cube as \p epoch into options_.snapshot_dir; on success
+  /// fills \p path_out and bumps the publish metrics.
+  Status WriteSnapshotFile(const dwarf::DwarfCube& cube, uint64_t epoch,
+                           std::string* path_out);
 
   ServerOptions options_;
   int num_workers_;
@@ -226,6 +266,12 @@ class QueryServer {
   metrics::Counter* sessions_expired_;   ///< server_sessions_expired_total
   metrics::Counter* sessions_rejected_;  ///< server_sessions_rejected_total
   metrics::Gauge* sessions_open_;        ///< server_sessions_open
+  /// Snapshot fan-out instrumentation (publisher + replica sides).
+  metrics::Counter* snapshots_published_;    ///< server_snapshots_published_total
+  FixedBucketHistogram* snapshot_write_us_;  ///< server_snapshot_write_us
+  metrics::Counter* snapshots_loaded_;       ///< replica_snapshots_loaded_total
+  FixedBucketHistogram* snapshot_load_us_;   ///< replica_snapshot_load_us
+  metrics::Gauge* snapshot_bytes_;           ///< replica_snapshot_bytes
 };
 
 /// \brief In-process client used by tests and the load-generator bench: the

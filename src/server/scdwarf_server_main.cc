@@ -4,7 +4,8 @@
 // it over the length-prefixed JSON wire format (see src/server/wire.h):
 //
 //   scdwarf_server [--metrics-dump=PATH] [--trace-dump=PATH] [--full-rebuild]
-//                  [port] [records] [workers]
+//                  [--snapshot-dir=DIR] [--notify=HOST:PORT,...]
+//                  [--prometheus-dump=PATH] [port] [records] [workers]
 //
 //   port     TCP port on 127.0.0.1 (default 0 = kernel-assigned, printed)
 //   records  synthetic feed records for the served cube (default 20000)
@@ -16,6 +17,12 @@
 //                        exit write a chrome://tracing-compatible JSON file
 //   --full-rebuild       publish updates via full from-scratch rebuilds
 //                        instead of incremental delta merges (fallback knob)
+//   --snapshot-dir=DIR   spool every published epoch as a snapshot file in
+//                        DIR (replica fleet feed; see docs/OPERATIONS.md)
+//   --notify=LIST        comma-separated replica endpoints to send
+//                        "load_snapshot" after each spooled publish
+//   --prometheus-dump=PATH  on exit, write the metric registries in
+//                        Prometheus text exposition format to PATH
 //
 // Runs until stdin closes or a "quit" line arrives. Example session with
 // python (4-byte big-endian length prefix per frame):
@@ -30,12 +37,15 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "citibikes/bike_feed.h"
+#include "client/client.h"
 #include "common/trace.h"
 #include "etl/pipeline.h"
+#include "replica/replica.h"
 #include "server/query_server.h"
 #include "server/tcp_server.h"
 
@@ -54,6 +64,9 @@ bool WriteTextFile(const std::string& path, const std::string& contents) {
 int main(int argc, char** argv) {
   std::string metrics_dump;
   std::string trace_dump;
+  std::string prometheus_dump;
+  std::string snapshot_dir;
+  std::string notify_list;
   bool full_rebuild = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -62,6 +75,12 @@ int main(int argc, char** argv) {
       metrics_dump = arg.substr(15);
     } else if (arg.rfind("--trace-dump=", 0) == 0) {
       trace_dump = arg.substr(13);
+    } else if (arg.rfind("--prometheus-dump=", 0) == 0) {
+      prometheus_dump = arg.substr(18);
+    } else if (arg.rfind("--snapshot-dir=", 0) == 0) {
+      snapshot_dir = arg.substr(15);
+    } else if (arg.rfind("--notify=", 0) == 0) {
+      notify_list = arg.substr(9);
     } else if (arg == "--full-rebuild") {
       full_rebuild = true;
     } else {
@@ -96,9 +115,33 @@ int main(int argc, char** argv) {
             << cube->stats().tuple_count << " tuples, "
             << cube->num_dimensions() << " dimensions\n";
 
+  std::unique_ptr<replica::SnapshotNotifier> notifier;
+  if (!notify_list.empty()) {
+    auto endpoints = client::ParseEndpointList(notify_list);
+    if (!endpoints.ok()) {
+      std::cerr << endpoints.status() << "\n";
+      return 1;
+    }
+    if (snapshot_dir.empty()) {
+      std::cerr << "--notify requires --snapshot-dir (replicas load the "
+                   "spooled files)\n";
+      return 1;
+    }
+    notifier = std::make_unique<replica::SnapshotNotifier>(*endpoints);
+  }
+
   server::ServerOptions options;
   options.num_workers = workers;
   options.full_rebuild = full_rebuild;
+  options.snapshot_dir = snapshot_dir;
+  if (notifier != nullptr) {
+    options.post_publish = [&notifier](uint64_t epoch,
+                                       const std::string& path) {
+      size_t acked = notifier->NotifyAll(path);
+      std::cout << "epoch " << epoch << " spooled to " << path << "; "
+                << acked << " replica(s) loaded it\n";
+    };
+  }
   server::QueryServer server(std::move(*cube), options);
   server::TcpServer tcp(&server);
   if (Status status = tcp.Start(static_cast<uint16_t>(port)); !status.ok()) {
@@ -133,6 +176,15 @@ int main(int argc, char** argv) {
       std::cout << "metrics snapshot written to " << metrics_dump << "\n";
     } else {
       std::cerr << "failed to write metrics snapshot to " << metrics_dump
+                << "\n";
+      return 1;
+    }
+  }
+  if (!prometheus_dump.empty()) {
+    if (WriteTextFile(prometheus_dump, server.MetricsText())) {
+      std::cout << "prometheus metrics written to " << prometheus_dump << "\n";
+    } else {
+      std::cerr << "failed to write prometheus metrics to " << prometheus_dump
                 << "\n";
       return 1;
     }

@@ -2,8 +2,9 @@
 /// \brief TCP front-end of the query service: a thread-per-connection accept
 /// loop speaking the length-prefixed JSON wire format of wire.h. Each
 /// connection thread reads one frame at a time and blocks in
-/// QueryServer::HandleFrame, so all execution, admission control and caching
-/// happen in the shared QueryServer, identically to in-process callers.
+/// FrameHandler::HandleFrame, so all execution, admission control and caching
+/// happen in the shared handler (a QueryServer serving directly, or a
+/// replica::Router fanning out), identically to in-process callers.
 
 #ifndef SCDWARF_SERVER_TCP_SERVER_H_
 #define SCDWARF_SERVER_TCP_SERVER_H_
@@ -17,16 +18,16 @@
 #include <vector>
 
 #include "common/result.h"
-#include "server/query_server.h"
+#include "server/frame_handler.h"
 
 namespace scdwarf::server {
 
-/// \brief Loopback TCP listener serving one QueryServer.
+/// \brief Loopback TCP listener serving one FrameHandler.
 class TcpServer {
  public:
   /// \p server must outlive this object. Frames beyond \p max_frame_bytes
   /// close the offending connection.
-  explicit TcpServer(QueryServer* server, size_t max_frame_bytes = 1 << 20)
+  explicit TcpServer(FrameHandler* server, size_t max_frame_bytes = 1 << 20)
       : server_(server), max_frame_bytes_(max_frame_bytes) {}
   ~TcpServer() { Stop(); }
 
@@ -62,7 +63,7 @@ class TcpServer {
   void AcceptLoop();
   void ServeConnection(uint64_t id, int fd);
 
-  QueryServer* server_;
+  FrameHandler* server_;
   size_t max_frame_bytes_;
   int listen_fd_ = -1;
   int port_ = 0;

@@ -28,6 +28,9 @@ Result<RequestOp> ParseOp(std::string_view name) {
   if (name == "query_open") return RequestOp::kQueryOpen;
   if (name == "query_next") return RequestOp::kQueryNext;
   if (name == "query_close") return RequestOp::kQueryClose;
+  if (name == "ping") return RequestOp::kPing;
+  if (name == "metrics_text") return RequestOp::kMetricsText;
+  if (name == "load_snapshot") return RequestOp::kLoadSnapshot;
   return Status::InvalidArgument("unknown op '" + std::string(name) + "'");
 }
 
@@ -102,6 +105,9 @@ const char* RequestOpName(RequestOp op) {
     case RequestOp::kQueryOpen: return "query_open";
     case RequestOp::kQueryNext: return "query_next";
     case RequestOp::kQueryClose: return "query_close";
+    case RequestOp::kPing: return "ping";
+    case RequestOp::kMetricsText: return "metrics_text";
+    case RequestOp::kLoadSnapshot: return "load_snapshot";
   }
   return "?";
 }
@@ -193,12 +199,33 @@ Result<QueryRequest> ParseRequestValue(const JsonValue& root) {
             std::to_string(kMaxPageSize));
       }
       request.page_size = static_cast<size_t>(size);
+      if (Result<JsonValue> epoch = root.Get("epoch"); epoch.ok()) {
+        SCD_ASSIGN_OR_RETURN(double pinned, epoch->AsNumber());
+        if (pinned < 0 ||
+            pinned != static_cast<double>(static_cast<uint64_t>(pinned))) {
+          return Status::InvalidArgument(
+              "\"epoch\" must be a non-negative integer");
+        }
+        request.open_epoch = static_cast<uint64_t>(pinned);
+      }
       break;
     }
     case RequestOp::kQueryNext:
-    case RequestOp::kQueryClose:
+    case RequestOp::kQueryClose: {
       SCD_ASSIGN_OR_RETURN(request.cursor_id, ParseCursorId(root));
       break;
+    }
+    case RequestOp::kPing:
+    case RequestOp::kMetricsText:
+      break;
+    case RequestOp::kLoadSnapshot: {
+      SCD_ASSIGN_OR_RETURN(JsonValue path, root.Get("path"));
+      SCD_ASSIGN_OR_RETURN(request.snapshot_path, path.AsString());
+      if (request.snapshot_path.empty()) {
+        return Status::InvalidArgument("\"path\" must not be empty");
+      }
+      break;
+    }
   }
   return request;
 }
@@ -295,12 +322,22 @@ std::string NormalizedCacheKey(const QueryRequest& request) {
       }
       root.emplace_back(
           "page_size", JsonValue(static_cast<int64_t>(request.page_size)));
+      if (request.open_epoch.has_value()) {
+        root.emplace_back(
+            "epoch", JsonValue(static_cast<int64_t>(*request.open_epoch)));
+      }
       break;
     }
     case RequestOp::kQueryNext:
     case RequestOp::kQueryClose:
       root.emplace_back("cursor",
                         JsonValue(static_cast<int64_t>(request.cursor_id)));
+      break;
+    case RequestOp::kPing:
+    case RequestOp::kMetricsText:
+      break;
+    case RequestOp::kLoadSnapshot:
+      root.emplace_back("path", JsonValue(request.snapshot_path));
       break;
   }
   return json::SerializeJson(JsonValue(std::move(root)));
@@ -421,8 +458,13 @@ ExecResult ExecuteRequest(const dwarf::DwarfCube& cube,
     }
     case RequestOp::kStats:
     case RequestOp::kMetrics:
+    case RequestOp::kMetricsText:
+    case RequestOp::kPing:
       return {false, MakeErrorPayload(Status::Internal(
                          "stats/metrics requests are handled by the server"))};
+    case RequestOp::kLoadSnapshot:
+      return {false, MakeErrorPayload(Status::Internal(
+                         "load_snapshot is handled by the server"))};
     case RequestOp::kQueryOpen:
     case RequestOp::kQueryNext:
     case RequestOp::kQueryClose:
@@ -539,6 +581,9 @@ bool RequestMayTouchPrefixes(
     case RequestOp::kRollUp:
     case RequestOp::kStats:
     case RequestOp::kMetrics:
+    case RequestOp::kMetricsText:
+    case RequestOp::kPing:
+    case RequestOp::kLoadSnapshot:
     case RequestOp::kQueryOpen:
     case RequestOp::kQueryNext:
     case RequestOp::kQueryClose:
@@ -576,28 +621,49 @@ std::string MakeErrorPayload(const Status& status) {
   return json::SerializeJson(JsonValue(std::move(payload)));
 }
 
-Status WriteFull(int fd, const char* data, size_t size) {
+namespace {
+
+/// " (peer 127.0.0.1:4321)" when a peer was named, "" otherwise — appended
+/// to frame I/O errors so client-path callers can tell which endpoint broke.
+std::string PeerSuffix(std::string_view peer) {
+  if (peer.empty()) return "";
+  return " (peer " + std::string(peer) + ")";
+}
+
+}  // namespace
+
+Status WriteFull(int fd, const char* data, size_t size,
+                 std::string_view peer) {
   size_t written = 0;
   while (written < size) {
     ssize_t n = ::write(fd, data + written, size - written);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IoError("frame write timed out" + PeerSuffix(peer));
+      }
       return Status::IoError("frame write failed: " +
-                             std::string(std::strerror(errno)));
+                             std::string(std::strerror(errno)) +
+                             PeerSuffix(peer));
     }
     written += static_cast<size_t>(n);
   }
   return Status::OK();
 }
 
-Result<size_t> ReadFull(int fd, char* data, size_t size) {
+Result<size_t> ReadFull(int fd, char* data, size_t size,
+                        std::string_view peer) {
   size_t done = 0;
   while (done < size) {
     ssize_t n = ::read(fd, data + done, size - done);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IoError("frame read timed out" + PeerSuffix(peer));
+      }
       return Status::IoError("frame read failed: " +
-                             std::string(std::strerror(errno)));
+                             std::string(std::strerror(errno)) +
+                             PeerSuffix(peer));
     }
     if (n == 0) break;
     done += static_cast<size_t>(n);
@@ -605,7 +671,7 @@ Result<size_t> ReadFull(int fd, char* data, size_t size) {
   return done;
 }
 
-Status WriteFrame(int fd, std::string_view payload) {
+Status WriteFrame(int fd, std::string_view payload, std::string_view peer) {
   unsigned char header[4] = {
       static_cast<unsigned char>((payload.size() >> 24) & 0xff),
       static_cast<unsigned char>((payload.size() >> 16) & 0xff),
@@ -613,15 +679,19 @@ Status WriteFrame(int fd, std::string_view payload) {
       static_cast<unsigned char>(payload.size() & 0xff)};
   std::string frame(reinterpret_cast<char*>(header), sizeof(header));
   frame.append(payload);
-  return WriteFull(fd, frame.data(), frame.size());
+  return WriteFull(fd, frame.data(), frame.size(), peer);
 }
 
-Result<std::string> ReadFrame(int fd, size_t max_frame_bytes) {
+Result<std::string> ReadFrame(int fd, size_t max_frame_bytes,
+                              std::string_view peer) {
   char header[4];
-  SCD_ASSIGN_OR_RETURN(size_t header_read, ReadFull(fd, header, sizeof(header)));
-  if (header_read == 0) return Status::NotFound("connection closed");
+  SCD_ASSIGN_OR_RETURN(size_t header_read,
+                       ReadFull(fd, header, sizeof(header), peer));
+  if (header_read == 0) {
+    return Status::NotFound("connection closed" + PeerSuffix(peer));
+  }
   if (header_read < sizeof(header)) {
-    return Status::IoError("connection closed mid-header");
+    return Status::IoError("connection closed mid-header" + PeerSuffix(peer));
   }
   size_t size = (static_cast<size_t>(static_cast<unsigned char>(header[0])) << 24) |
                 (static_cast<size_t>(static_cast<unsigned char>(header[1])) << 16) |
@@ -630,12 +700,14 @@ Result<std::string> ReadFrame(int fd, size_t max_frame_bytes) {
   if (size > max_frame_bytes) {
     return Status::IoError("frame of " + std::to_string(size) +
                            " bytes exceeds the " +
-                           std::to_string(max_frame_bytes) + "-byte limit");
+                           std::to_string(max_frame_bytes) + "-byte limit" +
+                           PeerSuffix(peer));
   }
   std::string payload(size, '\0');
-  SCD_ASSIGN_OR_RETURN(size_t payload_read, ReadFull(fd, payload.data(), size));
+  SCD_ASSIGN_OR_RETURN(size_t payload_read,
+                       ReadFull(fd, payload.data(), size, peer));
   if (payload_read < size) {
-    return Status::IoError("connection closed mid-frame");
+    return Status::IoError("connection closed mid-frame" + PeerSuffix(peer));
   }
   return payload;
 }

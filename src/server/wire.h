@@ -14,6 +14,16 @@
 ///   {"op":"rollup",    "dims":["Weekday","Area"]}
 ///   {"op":"stats"}
 ///   {"op":"metrics"}
+///   {"op":"metrics_text"}
+///   {"op":"ping"}
+///   {"op":"load_snapshot", "path":"/spool/epoch-...cf"}
+///
+/// "ping" is the fleet health probe: {"epoch":N,"uptime_s":S,"sessions":K}
+/// with no cube work. "metrics_text" returns {"text":...} holding the metric
+/// registries rendered in the Prometheus text exposition format.
+/// "load_snapshot" asks a replica to publish the epoch snapshot file at
+/// "path" (see src/replica/snapshot.h); servers reject it unless
+/// ServerOptions.allow_snapshot_load is set.
 ///
 /// Cursor sessions page large row results (slice/rollup) incrementally:
 ///
@@ -26,7 +36,11 @@
 /// answers {"cursor":id,"epoch":E,"page_size":N}; each query_next returns up
 /// to page_size rows plus {"done":bool} — the pinned snapshot keeps serving
 /// even across later epoch publishes, and the cursor is reclaimed once done
-/// is reported (or on query_close / idle-TTL expiry).
+/// is reported (or on query_close / idle-TTL expiry). query_open accepts an
+/// optional "epoch" field pinning the session to a *retained* prior epoch
+/// instead of the current one (code "epoch_gone" when it is no longer
+/// retained) — the router uses this to fail a mid-drain cursor over to
+/// another replica at the exact epoch the session started on.
 ///
 /// "point" takes one entry per dimension (null = ALL, the roll-up wildcard);
 /// "aggregate" takes one predicate per dimension in schema order. Point and
@@ -66,11 +80,14 @@ enum class RequestOp {
   kQueryOpen,
   kQueryNext,
   kQueryClose,
+  kPing,
+  kMetricsText,
+  kLoadSnapshot,
 };
 
 /// Number of RequestOp values, for op-indexed tables.
 constexpr size_t kNumRequestOps =
-    static_cast<size_t>(RequestOp::kQueryClose) + 1;
+    static_cast<size_t>(RequestOp::kLoadSnapshot) + 1;
 
 /// Wire name of \p op ("point", "aggregate", ...).
 const char* RequestOpName(RequestOp op);
@@ -97,6 +114,10 @@ struct QueryRequest {
   std::shared_ptr<QueryRequest> open_query;
   size_t page_size = 0;     ///< kQueryOpen
   uint64_t cursor_id = 0;   ///< kQueryNext / kQueryClose
+  /// kQueryOpen: pin the session to this retained epoch instead of the
+  /// current one (absent = current).
+  std::optional<uint64_t> open_epoch;
+  std::string snapshot_path;  ///< kLoadSnapshot
 };
 
 /// Largest accepted query_open page_size (keeps one response frame bounded).
@@ -171,21 +192,28 @@ std::string MakeErrorPayload(const Status& status);
 
 /// \brief Writes exactly \p size bytes to \p fd, looping over short writes
 /// and retrying on EINTR — a signal delivered mid-write must not tear a
-/// frame or surface as a spurious IoError.
-Status WriteFull(int fd, const char* data, size_t size);
+/// frame or surface as a spurious IoError. \p peer, when non-empty, names
+/// the remote endpoint in every error message ("... (peer 127.0.0.1:4321)"),
+/// so client-path callers (the router, the client pool) produce actionable
+/// retry logs instead of anonymous I/O failures.
+Status WriteFull(int fd, const char* data, size_t size,
+                 std::string_view peer = {});
 
 /// \brief Reads up to \p size bytes from \p fd, stopping early only at EOF
 /// and retrying on EINTR. Returns the number of bytes actually read
-/// (== \p size unless EOF arrived first).
-Result<size_t> ReadFull(int fd, char* data, size_t size);
+/// (== \p size unless EOF arrived first). \p peer as in WriteFull; a socket
+/// receive timeout (SO_RCVTIMEO) surfaces as IoError "... timed out".
+Result<size_t> ReadFull(int fd, char* data, size_t size,
+                        std::string_view peer = {});
 
 /// \brief Writes one frame (4-byte big-endian length + payload) to \p fd.
-Status WriteFrame(int fd, std::string_view payload);
+Status WriteFrame(int fd, std::string_view payload, std::string_view peer = {});
 
 /// \brief Reads one frame from \p fd. NotFound on clean EOF before a frame
 /// starts; IoError on truncation, read failure, or a frame longer than
 /// \p max_frame_bytes.
-Result<std::string> ReadFrame(int fd, size_t max_frame_bytes);
+Result<std::string> ReadFrame(int fd, size_t max_frame_bytes,
+                              std::string_view peer = {});
 
 }  // namespace scdwarf::server
 

@@ -18,17 +18,22 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "client/client.h"
 #include "common/rng.h"
 #include "dwarf/builder.h"
 #include "json/json_parser.h"
 #include "json/json_value.h"
 #include "mapper/nosql_dwarf_mapper.h"
 #include "nosql/database.h"
+#include "replica/router.h"
+#include "replica/snapshot.h"
 #include "server/query_server.h"
+#include "server/tcp_server.h"
 #include "server/wire.h"
 
 namespace scdwarf::server {
@@ -528,6 +533,183 @@ TEST(ServerFuzzTest, EpochStormMatchesFromScratchRebuilds) {
   EXPECT_GE(drains.size(), 4u);
   EXPECT_GT(answers_compared, 100u);
   EXPECT_EQ(server.open_sessions(), 0u);
+}
+
+// ----------------------------------------------------------- router mode
+
+// Differential fuzz of the replica fan-out path: the same ~500 seeded
+// requests, but routed client -> TCP -> router -> TCP -> one of three
+// replica processes bootstrapped from the publisher's epoch-0 snapshot
+// file. The publisher publishes three more epochs mid-sweep (each spooled
+// and load_snapshot-notified to the live replicas), cursor sessions drain
+// one page per iteration across those publishes, and one replica is killed
+// cold mid-run — every response must stay byte-identical to executing the
+// request directly against the publisher's snapshot, including the pages
+// that fail over to another replica.
+TEST(ServerFuzzTest, RouterModeMatchesDirectTraversal) {
+  FuzzWorld world;
+  Rng rng(kSeed ^ 0x707e);
+  fs::path spool = fs::temp_directory_path() / "scdwarf_fuzz_router_spool";
+  fs::remove_all(spool);
+  fs::create_directories(spool);
+
+  ServerOptions publisher_options;
+  publisher_options.num_workers = 1;
+  publisher_options.snapshot_dir = spool.string();
+  QueryServer publisher(BuildFuzzCube(world, rng, 400), publisher_options);
+
+  // Three replicas bootstrapped from the spooled epoch-0 file, each behind a
+  // real socket. Index 1 dies mid-run.
+  std::vector<std::unique_ptr<QueryServer>> replicas;
+  std::vector<std::unique_ptr<TcpServer>> replica_tcps;
+  std::vector<client::Endpoint> endpoints;
+  const std::string epoch0 = (spool / replica::SnapshotFileName(0)).string();
+  for (int i = 0; i < 3; ++i) {
+    auto loaded = replica::LoadCubeSnapshot(epoch0);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    ServerOptions replica_options;
+    replica_options.num_workers = 1;
+    replica_options.allow_snapshot_load = true;
+    replica_options.initial_epoch = loaded->epoch;
+    replicas.push_back(
+        std::make_unique<QueryServer>(std::move(loaded->cube),
+                                      replica_options));
+    replica_tcps.push_back(std::make_unique<TcpServer>(replicas.back().get()));
+    ASSERT_TRUE(replica_tcps.back()->Start(0).ok());
+    client::Endpoint endpoint;
+    endpoint.port = static_cast<uint16_t>(replica_tcps.back()->port());
+    endpoints.push_back(endpoint);
+  }
+
+  replica::RouterOptions router_options;
+  router_options.health_interval_ms = 0;  // driven manually below
+  router_options.unhealthy_after = 1;
+  replica::Router router(endpoints, router_options);
+  ASSERT_EQ(router.CheckReplicasOnce(), 3u);
+  TcpServer front(&router);
+  ASSERT_TRUE(front.Start(0).ok());
+  client::Endpoint front_endpoint;
+  front_endpoint.port = static_cast<uint16_t>(front.port());
+  client::CubeClient wire_client(front_endpoint);
+  auto call = [&](const std::string& request_json) {
+    auto response = wire_client.Call(request_json);
+    EXPECT_TRUE(response.ok()) << response.status();
+    return response.ok() ? *response : std::string();
+  };
+
+  int dead_replica = -1;
+  // Publishes spool a snapshot; the publisher then notifies the live
+  // replicas synchronously, exactly like --notify does between processes.
+  auto publish = [&](bool fresh_values) {
+    std::vector<std::pair<std::vector<std::string>, Measure>> batch;
+    for (int t = 0; t < 8; ++t) {
+      batch.emplace_back(RandomKeyPath(world, rng),
+                         static_cast<Measure>(rng.NextInRange(1, 50)));
+    }
+    if (fresh_values) {
+      batch.emplace_back(
+          std::vector<std::string>{"Mon", "StationNew", "AreaNew"},
+          Measure{23});
+    }
+    auto epoch = publisher.ApplyUpdate(batch);
+    ASSERT_TRUE(epoch.ok());
+    const std::string path =
+        (spool / replica::SnapshotFileName(*epoch)).string();
+    for (int i = 0; i < 3; ++i) {
+      if (i == dead_replica) continue;
+      auto loaded_epoch = replicas[i]->LoadSnapshot(path);
+      ASSERT_TRUE(loaded_epoch.ok()) << loaded_epoch.status();
+    }
+  };
+
+  // Cursor sessions drain one page per iteration, across publishes and the
+  // kill, each checked against direct rows on its pinned snapshot.
+  struct RouterDrain {
+    uint64_t cursor = 0;
+    uint64_t epoch = 0;
+    std::string request_json;
+    std::string expect_rows;
+    JsonArray rows;
+    bool done = false;
+  };
+  std::vector<RouterDrain> drains;
+  auto pull_page = [&](RouterDrain& drain) {
+    ParsedEnvelope page = ParseEnvelope(
+        call("{\"op\":\"query_next\",\"cursor\":" +
+             std::to_string(drain.cursor) + "}"));
+    ASSERT_TRUE(page.ok) << drain.request_json;
+    EXPECT_EQ(page.epoch, drain.epoch) << "cursor lost its pinned snapshot";
+    const JsonArray* got = page.value.Get("rows").ValueOrDie().AsArray();
+    ASSERT_NE(got, nullptr);
+    drain.rows.insert(drain.rows.end(), got->begin(), got->end());
+    if (page.value.Get("done").ValueOrDie().AsBool().ValueOrDie()) {
+      drain.done = true;
+    }
+  };
+
+  uint64_t rows_compared = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    if (i == 250) {
+      // Kill one replica cold: connections die mid-use, open cursors pinned
+      // to it must fail over, one-shots must retry an alternate.
+      dead_replica = 1;
+      replica_tcps[1]->Stop();
+    }
+    if (i > 0 && i % 125 == 0) {
+      publish(/*fresh_values=*/i == 375);
+    }
+
+    const std::string request_json = RandomRequestJson(world, rng);
+    auto request = ParseRequest(request_json);
+    ASSERT_TRUE(request.ok()) << request_json;
+    EpochCubeStore::Snapshot snapshot = publisher.store().snapshot();
+
+    // One-shot through client -> router -> replica, byte-identical to
+    // direct traversal of the publisher's current snapshot.
+    ExpectResponseMatchesDirect(call(request_json), *snapshot.cube, *request,
+                                request_json);
+
+    for (RouterDrain& drain : drains) {
+      if (!drain.done) pull_page(drain);
+    }
+    if (i % 20 == 0 &&
+        (request->op == RequestOp::kSlice ||
+         request->op == RequestOp::kRollUp)) {
+      ExecResult direct = ExecuteRequest(*snapshot.cube, *request);
+      if (direct.ok) {
+        size_t page_size = 1 + rng.NextBelow(4);
+        ParsedEnvelope opened = ParseEnvelope(
+            call("{\"op\":\"query_open\",\"query\":" + request_json +
+                 ",\"page_size\":" + std::to_string(page_size) + "}"));
+        ASSERT_TRUE(opened.ok) << request_json;
+        EXPECT_EQ(opened.epoch, snapshot.epoch);
+        RouterDrain drain;
+        drain.cursor = static_cast<uint64_t>(
+            opened.value.Get("cursor").ValueOrDie().AsNumber().ValueOrDie());
+        drain.epoch = snapshot.epoch;
+        drain.request_json = request_json;
+        drain.expect_rows = DirectRowsJson(direct);
+        drains.push_back(std::move(drain));
+      }
+    }
+  }
+
+  for (RouterDrain& drain : drains) {
+    while (!drain.done) pull_page(drain);
+    EXPECT_EQ(json::SerializeJson(JsonValue(drain.rows)), drain.expect_rows)
+        << drain.request_json;
+    ++rows_compared;
+  }
+  EXPECT_EQ(publisher.epoch(), 3u);
+  EXPECT_GE(drains.size(), 6u);
+  EXPECT_GT(rows_compared, 5u);
+  EXPECT_EQ(router.healthy_replicas(), 2u);  // the kill was observed
+  EXPECT_EQ(router.open_sessions(), 0u);
+
+  wire_client.Close();
+  front.Stop();
+  for (auto& tcp : replica_tcps) tcp->Stop();
+  fs::remove_all(spool);
 }
 
 }  // namespace

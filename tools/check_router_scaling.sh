@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Router fan-out scaling gate, run by the CI `release` job after bench_router
+# and runnable locally:
+#
+#   tools/check_router_scaling.sh [path/to/BENCH_server.json]
+#
+# Asserts that 4 replicas deliver >= SCDWARF_MIN_ROUTER_SCALING (default
+# 2.5) times the QPS of 1 replica on the recorded dataset. The replicas are
+# separate processes, so the ratio only materializes when the machine has
+# cores for them to run on: the QPS assertion is enforced only when the
+# recorded router_cores is >= SCDWARF_ROUTER_SCALING_MIN_CORES (default 4).
+# On smaller machines the script still validates that the rows exist and are
+# well-formed, prints the measured ratio, and passes with a note.
+
+set -u
+bench_json="${1:-build/BENCH_server.json}"
+min_scaling="${SCDWARF_MIN_ROUTER_SCALING:-2.5}"
+min_cores="${SCDWARF_ROUTER_SCALING_MIN_CORES:-4}"
+
+if [[ ! -f "${bench_json}" ]]; then
+  echo "check_router_scaling: ${bench_json} not found (run bench_router first)" >&2
+  exit 1
+fi
+
+python3 - "${bench_json}" "${min_scaling}" "${min_cores}" <<'EOF'
+import json, sys
+
+path, min_scaling, min_cores = sys.argv[1], float(sys.argv[2]), int(sys.argv[3])
+results = json.load(open(path))["results"]
+rows = [r for r in results if "router_replicas" in r]
+if not rows:
+    sys.exit("check_router_scaling: no rows with router_replicas in " + path
+             + " (run bench_router first)")
+by_count = {int(r["router_replicas"]): r for r in rows}
+for needed in (1, 4):
+    if needed not in by_count:
+        sys.exit(f"check_router_scaling: no router row with {needed} replicas")
+one, four = by_count[1], by_count[4]
+if one.get("router_qps", 0) <= 0:
+    sys.exit("check_router_scaling: 1-replica row has no positive router_qps")
+ratio = four["router_qps"] / one["router_qps"]
+cores = int(four.get("router_cores", 0))
+print(f"check_router_scaling: {four.get('dataset', '?')}: "
+      f"{one['router_qps']:.0f} qps @ 1 replica -> {four['router_qps']:.0f} qps "
+      f"@ 4 replicas ({ratio:.2f}x on {cores} cores, "
+      f"required >= {min_scaling:.1f}x when cores >= {min_cores})")
+if cores < min_cores:
+    print(f"check_router_scaling: only {cores} core(s) recorded — replica "
+          f"processes shared a core, scaling ratio not enforced")
+    sys.exit(0)
+if ratio < min_scaling:
+    sys.exit(f"check_router_scaling: FAIL — 4 replicas deliver only "
+             f"{ratio:.2f}x the single-replica QPS "
+             f"(required >= {min_scaling:.1f}x)")
+EOF
