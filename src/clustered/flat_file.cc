@@ -422,6 +422,18 @@ Result<dwarf::Measure> FlatFileCube::AggregateQuery(
   if (predicates.size() != num_dimensions()) {
     return Status::InvalidArgument("aggregate query arity mismatch");
   }
+  for (const dwarf::DimPredicate& pred : predicates) {
+    if (pred.kind != dwarf::DimPredicate::Kind::kRange) continue;
+    if (pred.lo > pred.hi) {
+      return Status::InvalidArgument("range predicate has lo > hi");
+    }
+    if (pred.by_rank) {
+      // The flat file stores no rank views; callers must resolve value
+      // ranges to id ranges before querying the clustered layout.
+      return Status::InvalidArgument(
+          "rank-range predicates are not supported on flat-file cubes");
+    }
+  }
   if (empty_) return Status::NotFound("cube is empty");
   bool found = false;
   SCD_ASSIGN_OR_RETURN(Measure result,

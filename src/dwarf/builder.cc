@@ -628,6 +628,7 @@ Result<DwarfCube> DwarfBuilder::Build(BuildProfile* profile) && {
   cube.stats_.tuple_count = write;
   cube.stats_.source_tuple_count = source_count;
   cube.stats_ = cube.ComputeStats();
+  cube.FinalizeOrderedViews();
   construct_us->Record(watch.ElapsedMicros());
   sweep_tasks_total->Increment(static_cast<uint64_t>(sweep_tasks));
   if (profile != nullptr) {

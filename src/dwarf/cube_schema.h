@@ -15,14 +15,24 @@ namespace scdwarf::dwarf {
 /// \brief One dimension of the cube. The optional dimension_table names an
 /// auxiliary dimension table carrying extra attributes; it is copied into
 /// DWARF_Cell.dimension_table_name during the NoSQL mapping (Fig. 3).
+///
+/// `ordered` declares that the dimension's decoded values carry a total order
+/// — lexicographic string order, so it fits ISO dates ("2013-07-01") and
+/// zero-padded numerics ("07") but NOT month names ("July" < "June"). Ordered
+/// dimensions get a dictionary rank view and a per-subtree min/max-rank index
+/// at cube finalize, enabling value-level range predicates and range subtree
+/// pruning (see query.h).
 struct DimensionSpec {
   std::string name;
   std::string dimension_table;  // empty when no dimension table is attached
+  bool ordered = false;         // values are ordered by lexicographic compare
 
   DimensionSpec() = default;
-  DimensionSpec(std::string name_in, std::string dimension_table_in = "")
+  DimensionSpec(std::string name_in, std::string dimension_table_in = "",
+                bool ordered_in = false)
       : name(std::move(name_in)),
-        dimension_table(std::move(dimension_table_in)) {}
+        dimension_table(std::move(dimension_table_in)),
+        ordered(ordered_in) {}
 };
 
 /// \brief Ordered dimensions + measure definition. Dimension order is the

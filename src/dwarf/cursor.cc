@@ -1,13 +1,36 @@
 #include "dwarf/cursor.h"
 
+#include "common/metrics.h"
+
 namespace scdwarf::dwarf {
 
+namespace {
+
+/// Same series query.cc registers — the registry dedupes by name, so both
+/// call sites feed one counter.
+metrics::Counter* RangePrunedCounter() {
+  static metrics::Counter* const counter = metrics::GlobalRegistry().GetCounter(
+      "dwarf_range_subtrees_pruned_total", {},
+      "subtrees skipped because their min/max-rank span misses a range "
+      "predicate's window");
+  return counter;
+}
+
+}  // namespace
+
 RowCursor::RowCursor(const DwarfCube& cube, std::vector<bool> enumerate,
-                     std::vector<std::optional<DimKey>> pinned)
+                     std::vector<std::optional<DimKey>> pinned,
+                     RankFilters filters, std::vector<size_t> order)
     : cube_(&cube),
       enumerate_(std::move(enumerate)),
-      pinned_(std::move(pinned)) {
-  if (!cube.empty()) {
+      pinned_(std::move(pinned)),
+      filters_(std::move(filters)),
+      order_(std::move(order)) {
+  if (!filters_.empty()) ridx_ = cube.range_index();
+  for (size_t j = 0; j < order_.size(); ++j) {
+    order_identity_ = order_identity_ && order_[j] == j;
+  }
+  if (!cube.empty() && !Prunable(cube.root(), 0)) {
     Frame root;
     root.node = cube.root();
     root.level = 0;
@@ -24,20 +47,48 @@ Result<RowCursor> RowCursor::OverSlice(const DwarfCube& cube, size_t fixed_dim,
   enumerate[fixed_dim] = false;
   std::vector<std::optional<DimKey>> pinned(cube.num_dimensions());
   pinned[fixed_dim] = key;
-  return RowCursor(cube, std::move(enumerate), std::move(pinned));
+  return RowCursor(cube, std::move(enumerate), std::move(pinned), {}, {});
 }
 
 Result<RowCursor> RowCursor::OverRollUp(const DwarfCube& cube,
-                                        const std::vector<size_t>& group_dims) {
+                                        const std::vector<size_t>& group_dims,
+                                        const RankFilters* filters) {
+  SCD_ASSIGN_OR_RETURN(std::vector<size_t> order,
+                       RollUpKeyOrder(cube.num_dimensions(), group_dims));
   std::vector<bool> enumerate(cube.num_dimensions(), false);
-  for (size_t dim : group_dims) {
-    if (dim >= cube.num_dimensions()) {
-      return Status::OutOfRange("group dimension out of range");
-    }
-    enumerate[dim] = true;
-  }
+  for (size_t dim : group_dims) enumerate[dim] = true;
+  SCD_RETURN_IF_ERROR(ValidateRankFilters(cube, enumerate, filters));
   std::vector<std::optional<DimKey>> pinned(cube.num_dimensions());
-  return RowCursor(cube, std::move(enumerate), std::move(pinned));
+  return RowCursor(cube, std::move(enumerate), std::move(pinned),
+                   filters != nullptr ? *filters : RankFilters{},
+                   std::move(order));
+}
+
+bool RowCursor::Prunable(NodeId id, size_t level) {
+  if (filters_.empty()) return false;
+  for (size_t dim = level; dim < filters_.size(); ++dim) {
+    if (!filters_[dim].has_value()) continue;
+    const RankWindow& window = *filters_[dim];
+    if (window.lo > window.hi) return true;  // empty window: no rows at all
+    if (ridx_ != nullptr && ridx_->covers(dim) &&
+        ridx_->span(id, dim).Disjoint(window.lo, window.hi)) {
+      RangePrunedCounter()->Increment();
+      return true;
+    }
+  }
+  return false;
+}
+
+void RowCursor::EmitRow(Measure measure, std::vector<SliceRow>* out) {
+  SliceRow row;
+  row.measure = measure;
+  if (order_identity_) {
+    row.keys = labels_;
+  } else {
+    row.keys.resize(order_.size());
+    for (size_t j = 0; j < order_.size(); ++j) row.keys[j] = labels_[order_[j]];
+  }
+  out->push_back(std::move(row));
 }
 
 void RowCursor::PopFrame() {
@@ -57,11 +108,18 @@ size_t RowCursor::Next(size_t max_rows, std::vector<SliceRow>* out) {
         continue;
       }
       const DwarfCell& cell = node.cells[frame.next_cell++];
+      if (!filters_.empty() && filters_[frame.level].has_value()) {
+        const RankWindow& window = *filters_[frame.level];
+        DimKey rank = cube_->dictionary(frame.level).RankOf(cell.key);
+        if (rank < window.lo || rank > window.hi) continue;
+      }
       labels_.push_back(cube_->dictionary(frame.level).DecodeUnchecked(cell.key));
       if (leaf) {
-        out->push_back({labels_, cell.measure});
+        EmitRow(cell.measure, out);
         labels_.pop_back();
         ++produced;
+      } else if (Prunable(cell.child, frame.level + 1)) {
+        labels_.pop_back();
       } else {
         Frame child;
         child.node = cell.child;
@@ -83,8 +141,12 @@ size_t RowCursor::Next(size_t max_rows, std::vector<SliceRow>* out) {
         continue;
       }
       if (leaf) {
-        out->push_back({labels_, cell->measure});
+        EmitRow(cell->measure, out);
         ++produced;
+        PopFrame();
+        continue;
+      }
+      if (Prunable(cell->child, frame.level + 1)) {
         PopFrame();
         continue;
       }
@@ -101,8 +163,12 @@ size_t RowCursor::Next(size_t max_rows, std::vector<SliceRow>* out) {
     }
     frame.entered = true;
     if (leaf) {
-      out->push_back({labels_, node.all_measure});
+      EmitRow(node.all_measure, out);
       ++produced;
+      PopFrame();
+      continue;
+    }
+    if (Prunable(node.all_child, frame.level + 1)) {
       PopFrame();
       continue;
     }

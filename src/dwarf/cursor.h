@@ -32,9 +32,14 @@ class RowCursor {
   static Result<RowCursor> OverSlice(const DwarfCube& cube, size_t fixed_dim,
                                      DimKey key);
 
-  /// Cursor over the rows of dwarf::RollUp(cube, group_dims).
+  /// Cursor over the rows of dwarf::RollUp(cube, group_dims, filters).
+  /// Row keys come back in requested \p group_dims order, and \p filters
+  /// (optional, copied) restricts grouped ordered dims to rank windows with
+  /// the same subtree pruning as the one-shot roll-up — the paged row
+  /// sequence stays byte-identical to the one-shot rows in every case.
   static Result<RowCursor> OverRollUp(const DwarfCube& cube,
-                                      const std::vector<size_t>& group_dims);
+                                      const std::vector<size_t>& group_dims,
+                                      const RankFilters* filters = nullptr);
 
   /// \brief Appends up to \p max_rows next rows to \p out and returns how
   /// many were produced (< max_rows only when the traversal finished).
@@ -60,13 +65,27 @@ class RowCursor {
   };
 
   RowCursor(const DwarfCube& cube, std::vector<bool> enumerate,
-            std::vector<std::optional<DimKey>> pinned);
+            std::vector<std::optional<DimKey>> pinned, RankFilters filters,
+            std::vector<size_t> order);
 
   void PopFrame();
+
+  /// True when the subtree rooted at \p id cannot contain a row: some rank
+  /// filter at or below \p level has an empty window, or the cube's range
+  /// index proves the subtree's span disjoint from a window.
+  bool Prunable(NodeId id, size_t level);
+
+  /// Appends one result row holding the current labels (permuted to the
+  /// caller's requested key order) and \p measure.
+  void EmitRow(Measure measure, std::vector<SliceRow>* out);
 
   const DwarfCube* cube_ = nullptr;
   std::vector<bool> enumerate_;
   std::vector<std::optional<DimKey>> pinned_;
+  RankFilters filters_;             ///< empty when the cursor has no windows
+  const RangeIndex* ridx_ = nullptr;
+  std::vector<size_t> order_;       ///< labels_ index per output key position
+  bool order_identity_ = true;
   std::vector<Frame> stack_;
   std::vector<std::string> labels_;
   uint64_t rows_emitted_ = 0;

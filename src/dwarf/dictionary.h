@@ -7,6 +7,7 @@
 #ifndef SCDWARF_DWARF_DICTIONARY_H_
 #define SCDWARF_DWARF_DICTIONARY_H_
 
+#include <algorithm>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -18,6 +19,13 @@
 namespace scdwarf::dwarf {
 
 /// \brief Append-only string dictionary assigning ids in first-seen order.
+///
+/// Ordered dimensions additionally carry a *rank view*: the permutation
+/// between first-seen ids and lexicographic value order (rank 0 = smallest
+/// value). Because ids are append-only and the view is a pure function of the
+/// value set, ranks are deterministic across epochs — a dictionary-seeded
+/// rebuild or a delta merge that adds no new values reproduces the identical
+/// permutation, and adding values only re-ranks deterministically.
 class Dictionary {
  public:
   Dictionary() = default;
@@ -59,10 +67,53 @@ class Dictionary {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
+  /// \brief (Re)builds the rank view over the current value set. Idempotent:
+  /// a no-op when the view already covers every value (values are append-only,
+  /// so an up-to-date view can never be stale). O(V log V) otherwise.
+  void BuildRankView() {
+    if (rank_of_id_.size() == values_.size()) return;
+    id_of_rank_.resize(values_.size());
+    for (DimKey id = 0; id < values_.size(); ++id) id_of_rank_[id] = id;
+    std::sort(id_of_rank_.begin(), id_of_rank_.end(),
+              [this](DimKey a, DimKey b) { return values_[a] < values_[b]; });
+    rank_of_id_.resize(values_.size());
+    for (DimKey rank = 0; rank < id_of_rank_.size(); ++rank) {
+      rank_of_id_[id_of_rank_[rank]] = rank;
+    }
+  }
+
+  /// True when the rank view covers every value.
+  bool has_rank_view() const { return rank_of_id_.size() == values_.size(); }
+
+  /// Value-order rank of \p id; requires has_rank_view() and id < size().
+  DimKey RankOf(DimKey id) const { return rank_of_id_[id]; }
+
+  /// Id at value-order \p rank; requires has_rank_view() and rank < size().
+  DimKey IdAtRank(DimKey rank) const { return id_of_rank_[rank]; }
+
+  /// First rank whose value is >= \p value (== size() when all are smaller).
+  DimKey LowerBoundRank(std::string_view value) const {
+    auto it = std::lower_bound(
+        id_of_rank_.begin(), id_of_rank_.end(), value,
+        [this](DimKey id, std::string_view v) { return values_[id] < v; });
+    return static_cast<DimKey>(it - id_of_rank_.begin());
+  }
+
+  /// First rank whose value is > \p value (== size() when none is larger).
+  DimKey UpperBoundRank(std::string_view value) const {
+    auto it = std::upper_bound(
+        id_of_rank_.begin(), id_of_rank_.end(), value,
+        [this](std::string_view v, DimKey id) { return v < values_[id]; });
+    return static_cast<DimKey>(it - id_of_rank_.begin());
+  }
+
  private:
   std::string name_;
   std::vector<std::string> values_;
   std::unordered_map<std::string, DimKey> index_;
+  /// Rank view (ordered dimensions only): id -> lexicographic rank and back.
+  std::vector<DimKey> rank_of_id_;
+  std::vector<DimKey> id_of_rank_;
 };
 
 }  // namespace scdwarf::dwarf

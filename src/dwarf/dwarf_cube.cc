@@ -40,6 +40,21 @@ void DwarfCube::ShareArenaAndAppend(const DwarfCube& base,
        std::make_shared<const std::vector<DwarfNode>>(std::move(tail))});
 }
 
+void DwarfCube::FinalizeOrderedViews() {
+  bool any_ordered = false;
+  for (const DimensionSpec& dim : schema_.dimensions()) {
+    any_ordered = any_ordered || dim.ordered;
+  }
+  if (!any_ordered) {
+    range_index_.reset();
+    return;
+  }
+  for (size_t dim = 0; dim < dictionaries_.size(); ++dim) {
+    if (schema_.dimensions()[dim].ordered) dictionaries_[dim].BuildRankView();
+  }
+  range_index_ = RangeIndex::Build(*this);
+}
+
 CubeStats DwarfCube::ComputeStats() const {
   // Walk from the root rather than scanning arena slots: a merged cube's
   // arena carries dead nodes from prior epochs, and they must not count.
@@ -222,6 +237,7 @@ Result<DwarfCube> CubeAssembler::Finish() {
   cube.stats_.tuple_count = tuple_count_;
   cube.stats_.source_tuple_count = source_tuple_count_;
   cube.stats_ = cube.ComputeStats();
+  cube.FinalizeOrderedViews();
   return cube;
 }
 

@@ -28,6 +28,7 @@
 #include "common/result.h"
 #include "dwarf/cube_schema.h"
 #include "dwarf/dictionary.h"
+#include "dwarf/range_index.h"
 #include "dwarf/tuple.h"
 
 namespace scdwarf::dwarf {
@@ -108,6 +109,11 @@ class DwarfCube {
   const Dictionary& dictionary(size_t dim) const { return dictionaries_[dim]; }
   const std::vector<Dictionary>& dictionaries() const { return dictionaries_; }
 
+  /// Min/max-rank subtree sidecar for ordered dimensions, or nullptr when no
+  /// dimension is marked ordered. Rebuilt at every finalize point; range
+  /// evaluators use it to skip subtrees disjoint from the query window.
+  const RangeIndex* range_index() const { return range_index_.get(); }
+
   const CubeStats& stats() const { return stats_; }
 
   /// \brief Recomputes structural statistics by walking the arena.
@@ -147,12 +153,21 @@ class DwarfCube {
   /// start at base.num_nodes() (the incremental-merge publish path).
   void ShareArenaAndAppend(const DwarfCube& base, std::vector<DwarfNode> tail);
 
+  /// Builds the ordered-dimension state — dictionary rank views plus the
+  /// min/max-rank subtree index — for schemas with ordered dims (no-op and
+  /// zero cost otherwise). Every finalize point (DwarfBuilder::Build,
+  /// CubeAssembler::Finish, CubeMerger::Merge) calls this eagerly: cubes are
+  /// shared immutably across server epochs, so building lazily on first
+  /// query would be a data race.
+  void FinalizeOrderedViews();
+
   CubeSchema schema_;
   std::vector<NodeChunk> chunks_;
   size_t num_nodes_ = 0;
   std::vector<Dictionary> dictionaries_;
   NodeId root_ = kNullNode;
   CubeStats stats_;
+  std::shared_ptr<const RangeIndex> range_index_;
 };
 
 /// \brief Low-level assembler used by the store mappers to rebuild a cube

@@ -41,6 +41,7 @@ Result<DwarfCube> CubeMerger::Merge(uint64_t tuple_count,
   merged.stats_.tuple_count = tuple_count;
   merged.stats_.source_tuple_count = source_tuple_count;
   merged.stats_ = merged.ComputeStats();
+  merged.FinalizeOrderedViews();
   if (nodes_reused != nullptr) *nodes_reused = reused_;
   return merged;
 }

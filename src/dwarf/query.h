@@ -17,12 +17,20 @@
 namespace scdwarf::dwarf {
 
 /// \brief Per-dimension predicate of an aggregate query.
+///
+/// A kRange predicate comes in two bound spaces: plain Range() bounds are
+/// encoded dictionary ids (first-seen feed order), RankRange() bounds are
+/// value-order ranks over an *ordered* dimension's rank view (lexicographic
+/// value order — "2013-07-01".."2013-07-31" selects July). Rank ranges need
+/// the cube's dictionary to evaluate, so Matches() covers id-space
+/// predicates only; use MatchesInCube() when the predicate may be by_rank.
 struct DimPredicate {
   enum class Kind { kAll, kPoint, kRange, kSet };
 
   Kind kind = Kind::kAll;
   DimKey point = 0;          ///< kPoint
-  DimKey lo = 0, hi = 0;     ///< kRange, inclusive bounds on encoded ids
+  DimKey lo = 0, hi = 0;     ///< kRange, inclusive bounds (ids or ranks)
+  bool by_rank = false;      ///< kRange: bounds are value-order ranks
   std::vector<DimKey> keys;  ///< kSet
 
   static DimPredicate All() { return {}; }
@@ -39,6 +47,15 @@ struct DimPredicate {
     p.hi = hi;
     return p;
   }
+  /// Range over value-order ranks of an ordered dimension (inclusive).
+  static DimPredicate RankRange(DimKey lo, DimKey hi) {
+    DimPredicate p;
+    p.kind = Kind::kRange;
+    p.lo = lo;
+    p.hi = hi;
+    p.by_rank = true;
+    return p;
+  }
   static DimPredicate Set(std::vector<DimKey> keys) {
     DimPredicate p;
     p.kind = Kind::kSet;
@@ -46,9 +63,21 @@ struct DimPredicate {
     return p;
   }
 
-  /// True when \p key satisfies this predicate.
+  /// True when \p key satisfies this predicate. Valid for id-space
+  /// predicates only (by_rank ranges need a dictionary; see MatchesInCube).
   bool Matches(DimKey key) const;
+
+  /// Matches() with rank resolution: a by_rank range tests the key's
+  /// value-order rank in \p dict (which must carry a rank view).
+  bool MatchesInCube(DimKey key, const Dictionary& dict) const;
 };
+
+/// \brief Validates \p predicates against \p cube: one predicate per
+/// dimension, lo <= hi for every range (InvalidArgument otherwise — the
+/// wire layer rejects lo > hi the same way, so both entry points agree),
+/// and by_rank ranges only on dimensions the schema marks ordered.
+Status ValidatePredicates(const DwarfCube& cube,
+                          const std::vector<DimPredicate>& predicates);
 
 /// \brief Point query: one key or ALL (`std::nullopt`) per dimension.
 /// Navigates a single root-to-leaf path (ALL follows the precomputed
@@ -65,7 +94,12 @@ Result<Measure> PointQueryByName(
 /// \brief General aggregate query: applies one predicate per dimension and
 /// aggregates all matching leaf measures with the cube's aggregate function.
 /// ALL predicates use the precomputed ALL sub-dwarfs; other predicates fan
-/// out over matching cells. Returns NotFound when nothing matches.
+/// out over matching cells — except ranges, which bound the fan-out: id
+/// ranges binary-search the sorted cell window, and rank ranges additionally
+/// skip whole subtrees whose min/max-rank span (cube.range_index()) is
+/// disjoint from the window (counted by dwarf_range_subtrees_pruned_total).
+/// Returns NotFound when nothing matches; InvalidArgument for a range with
+/// lo > hi or a rank range on an unordered dimension.
 Result<Measure> AggregateQuery(const DwarfCube& cube,
                                const std::vector<DimPredicate>& predicates);
 
@@ -81,11 +115,47 @@ struct SliceRow {
 Result<std::vector<SliceRow>> Slice(const DwarfCube& cube, size_t fixed_dim,
                                     DimKey key);
 
+/// \brief Inclusive value-order rank window restricting one grouped
+/// dimension of a roll-up. A window with lo > hi matches nothing (the
+/// wire layer produces it when a value range falls between dictionary
+/// entries) — the roll-up then has zero rows.
+struct RankWindow {
+  DimKey lo = 0;
+  DimKey hi = 0;
+};
+
+/// One optional window per cube dimension; windows are only meaningful on
+/// grouped (enumerated) dims, and require the dim to be schema-ordered.
+using RankFilters = std::vector<std::optional<RankWindow>>;
+
+/// \brief Validates roll-up rank filters: one slot per cube dimension, and
+/// every set window must sit on a grouped (\p enumerate) dimension that the
+/// schema marks ordered. Shared by the one-shot RollUp and RowCursor.
+Status ValidateRankFilters(const DwarfCube& cube,
+                           const std::vector<bool>& enumerate,
+                           const RankFilters* filters);
+
+/// \brief Permutation taking ascending-dimension-order roll-up row keys to
+/// the caller's requested \p group_dims order: `out[j] = keys[order[j]]`.
+/// Shared by RollUp and RowCursor so paginated rows are byte-identical to
+/// one-shot rows. Rejects duplicate (InvalidArgument) and out-of-range
+/// (OutOfRange) group dims.
+Result<std::vector<size_t>> RollUpKeyOrder(size_t num_dimensions,
+                                           const std::vector<size_t>& group_dims);
+
 /// \brief Group-by over a subset of dimensions (roll-up of the rest):
 /// returns one row per distinct combination of \p group_dims values, with
-/// all other dimensions rolled up through their ALL cells.
+/// all other dimensions rolled up through their ALL cells. Row keys are in
+/// *requested* \p group_dims order (not cube dimension order); duplicate
+/// group dims are InvalidArgument.
+///
+/// \p filters, when non-null, restricts grouped ordered dims to rank
+/// windows; subtrees whose min/max-rank span misses a window are pruned via
+/// cube.range_index(). Filters on non-grouped or unordered dims are
+/// InvalidArgument.
 Result<std::vector<SliceRow>> RollUp(const DwarfCube& cube,
-                                     const std::vector<size_t>& group_dims);
+                                     const std::vector<size_t>& group_dims,
+                                     const RankFilters* filters = nullptr);
 
 }  // namespace scdwarf::dwarf
 

@@ -1,0 +1,92 @@
+#include "dwarf/range_index.h"
+
+#include <algorithm>
+
+#include "dwarf/dwarf_cube.h"
+
+namespace scdwarf::dwarf {
+
+namespace {
+
+/// Post-order sidecar fill: a node's row is its own level's cell ranks plus
+/// the union of every child row. Memoized on the visited bitmap so shared
+/// (coalesced) subtrees are computed once; recursion depth is bounded by the
+/// dimension count, not the node count.
+struct SpanBuilder {
+  const DwarfCube& cube;
+  size_t num_slots;
+  const std::vector<int>& slot_of_dim;
+  std::vector<RangeIndex::Span>& spans;
+  std::vector<bool> visited;
+
+  RangeIndex::Span* Row(NodeId id) {
+    return &spans[static_cast<size_t>(id) * num_slots];
+  }
+
+  void MergeChildRow(NodeId dst, NodeId src) {
+    // Child rows are non-empty only for dims at or below the child's level,
+    // all strictly below dst's level — no own-level slot is ever clobbered.
+    RangeIndex::Span* to = Row(dst);
+    const RangeIndex::Span* from = Row(src);
+    for (size_t slot = 0; slot < num_slots; ++slot) {
+      if (from[slot].empty()) continue;
+      if (to[slot].empty()) {
+        to[slot] = from[slot];
+      } else {
+        to[slot].min_rank = std::min(to[slot].min_rank, from[slot].min_rank);
+        to[slot].max_rank = std::max(to[slot].max_rank, from[slot].max_rank);
+      }
+    }
+  }
+
+  void Visit(NodeId id) {
+    if (visited[id]) return;
+    visited[id] = true;
+    const DwarfNode& node = cube.node(id);
+    if (!cube.IsLeafLevel(node.level)) {
+      for (const DwarfCell& cell : node.cells) Visit(cell.child);
+      Visit(node.all_child);
+      for (const DwarfCell& cell : node.cells) MergeChildRow(id, cell.child);
+      MergeChildRow(id, node.all_child);
+    }
+    int slot = slot_of_dim[node.level];
+    if (slot >= 0) {
+      const Dictionary& dict = cube.dictionary(node.level);
+      RangeIndex::Span& own = Row(id)[slot];
+      for (const DwarfCell& cell : node.cells) {
+        DimKey rank = dict.RankOf(cell.key);
+        if (own.empty()) {
+          own.min_rank = rank;
+          own.max_rank = rank;
+        } else {
+          own.min_rank = std::min(own.min_rank, rank);
+          own.max_rank = std::max(own.max_rank, rank);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const RangeIndex> RangeIndex::Build(const DwarfCube& cube) {
+  auto index = std::shared_ptr<RangeIndex>(new RangeIndex());
+  index->slot_of_dim_.assign(cube.num_dimensions(), -1);
+  size_t slots = 0;
+  for (size_t dim = 0; dim < cube.num_dimensions(); ++dim) {
+    if (cube.schema().dimensions()[dim].ordered) {
+      index->slot_of_dim_[dim] = static_cast<int>(slots++);
+    }
+  }
+  if (slots == 0) return nullptr;
+  index->num_slots_ = slots;
+  index->spans_.assign(cube.num_nodes() * slots, Span{});
+  if (!cube.empty()) {
+    SpanBuilder builder{cube, slots, index->slot_of_dim_, index->spans_,
+                        std::vector<bool>(cube.num_nodes(), false)};
+    builder.Visit(cube.root());
+  }
+  return index;
+}
+
+}  // namespace scdwarf::dwarf

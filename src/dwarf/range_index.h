@@ -1,0 +1,73 @@
+/// \file range_index.h
+/// \brief Per-subtree min/max-rank sidecar for ordered dimensions: for every
+/// reachable node and every ordered dimension at or below the node's level,
+/// the [min, max] value-order ranks of the keys appearing in that subtree.
+///
+/// This is the coarse pruning structure behind first-class range predicates
+/// (DGFIndex-style bounds hung on the DWARF's own subtrees): a range
+/// evaluator entering a node checks the span against the query window and
+/// skips the whole subtree when they are disjoint instead of enumerating it.
+///
+/// The index is immutable and rebuilt at each cube finalize point (from-
+/// scratch build, store reassembly, delta merge) over reachable nodes only;
+/// dead merge slots keep the empty span. It is keyed by NodeId, so it lives
+/// beside the arena, not inside the nodes — cubes without ordered dimensions
+/// pay nothing.
+
+#ifndef SCDWARF_DWARF_RANGE_INDEX_H_
+#define SCDWARF_DWARF_RANGE_INDEX_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "dwarf/tuple.h"
+
+namespace scdwarf::dwarf {
+
+class DwarfCube;
+using NodeId = uint32_t;
+
+/// \brief Immutable (node x ordered-dim) -> [min-rank, max-rank] table.
+class RangeIndex {
+ public:
+  /// Inclusive rank bounds; empty() when the subtree holds no key of the
+  /// dimension (unreachable node, or a dim above the node's level).
+  struct Span {
+    DimKey min_rank = 1;
+    DimKey max_rank = 0;
+    bool empty() const { return min_rank > max_rank; }
+    /// True when no rank in this span falls inside [lo, hi].
+    bool Disjoint(DimKey lo, DimKey hi) const {
+      return empty() || min_rank > hi || max_rank < lo;
+    }
+  };
+
+  /// Builds the index over \p cube's reachable nodes for every dimension the
+  /// schema marks ordered. The ordered dims' dictionaries must already carry
+  /// rank views. Returns nullptr when no dimension is ordered.
+  static std::shared_ptr<const RangeIndex> Build(const DwarfCube& cube);
+
+  /// True when \p dim is covered (schema-ordered at build time).
+  bool covers(size_t dim) const {
+    return dim < slot_of_dim_.size() && slot_of_dim_[dim] >= 0;
+  }
+
+  /// Span of dimension \p dim beneath node \p id; requires covers(dim) and
+  /// id < the arena extent the index was built over.
+  Span span(NodeId id, size_t dim) const {
+    return spans_[static_cast<size_t>(id) * num_slots_ +
+                  static_cast<size_t>(slot_of_dim_[dim])];
+  }
+
+ private:
+  RangeIndex() = default;
+
+  size_t num_slots_ = 0;
+  std::vector<int> slot_of_dim_;  ///< dim -> slot, -1 when not ordered
+  std::vector<Span> spans_;       ///< node-major: [id * num_slots_ + slot]
+};
+
+}  // namespace scdwarf::dwarf
+
+#endif  // SCDWARF_DWARF_RANGE_INDEX_H_

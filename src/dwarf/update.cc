@@ -179,14 +179,16 @@ Result<DwarfCube> MaterializeSubCube(
   if (predicates.size() != cube.num_dimensions()) {
     return Status::InvalidArgument("sub-cube predicate arity mismatch");
   }
+  SCD_RETURN_IF_ERROR(ValidatePredicates(cube, predicates));
   SCD_ASSIGN_OR_RETURN(std::vector<SliceRow> base, ExtractBaseTuples(cube));
   DwarfBuilder builder(cube.schema());
   for (const SliceRow& row : base) {
     bool match = true;
     for (size_t dim = 0; dim < predicates.size(); ++dim) {
       // Base tuples carry decoded keys; translate through the dictionary.
+      // MatchesInCube resolves by_rank ranges against the rank view.
       auto key = cube.dictionary(dim).Lookup(row.keys[dim]);
-      if (!key.ok() || !predicates[dim].Matches(*key)) {
+      if (!key.ok() || !predicates[dim].MatchesInCube(*key, cube.dictionary(dim))) {
         match = false;
         break;
       }

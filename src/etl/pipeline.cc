@@ -116,10 +116,14 @@ dwarf::CubeSchema MakeBikesCubeSchema() {
   return dwarf::CubeSchema(
       "bikes",
       {
+          // Date (ISO "2013-07-01") and Hour ("%02d") are ordered: their
+          // lexicographic value order is chronological. Month stays
+          // unordered — its values are month *names* ("July" < "June"
+          // lexicographically, which is not the calendar order).
           dwarf::DimensionSpec("Month"),
-          dwarf::DimensionSpec("Date"),
+          dwarf::DimensionSpec("Date", "", /*ordered_in=*/true),
           dwarf::DimensionSpec("Weekday"),
-          dwarf::DimensionSpec("Hour"),
+          dwarf::DimensionSpec("Hour", "", /*ordered_in=*/true),
           dwarf::DimensionSpec("Area"),
           dwarf::DimensionSpec("Station", "Station"),
           dwarf::DimensionSpec("Status"),

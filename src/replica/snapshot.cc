@@ -17,7 +17,12 @@ namespace {
 
 constexpr char kMagic[8] = {'S', 'C', 'D', 'W', 'C', 'U', 'B', 'E'};
 constexpr char kTrailer[8] = {'S', 'C', 'D', 'W', 'E', 'N', 'D', '\0'};
-constexpr uint32_t kVersion = 1;
+/// v2 adds one ordered-flag byte per dimension spec (rank views themselves
+/// are not serialized — the load path recomputes them from the
+/// dictionaries, which are identical to the publisher's, so the views are
+/// too). v1 files load as all-unordered.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 void PutU16(std::string* out, uint16_t v) {
   out->push_back(static_cast<char>(v & 0xff));
@@ -177,6 +182,7 @@ Status WriteCubeSnapshot(const dwarf::DwarfCube& cube, uint64_t epoch,
   for (const dwarf::DimensionSpec& dim : schema.dimensions()) {
     PutString(&out, dim.name);
     PutString(&out, dim.dimension_table);
+    out.push_back(dim.ordered ? 1 : 0);
   }
   PutString(&out, schema.measure_name());
   PutU32(&out, static_cast<uint32_t>(schema.agg()));
@@ -242,10 +248,11 @@ Result<CubeSnapshot> LoadCubeSnapshot(const std::string& path) {
     return Status::ParseError(path + " is not a cube snapshot (bad magic)");
   }
   SCD_ASSIGN_OR_RETURN(uint32_t version, in.ReadU32());
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return Status::InvalidArgument("snapshot version " +
                                    std::to_string(version) +
                                    " is not supported (want " +
+                                   std::to_string(kMinVersion) + ".." +
                                    std::to_string(kVersion) + ")");
   }
   SCD_ASSIGN_OR_RETURN(uint64_t epoch, in.ReadU64());
@@ -260,7 +267,13 @@ Result<CubeSnapshot> LoadCubeSnapshot(const std::string& path) {
   for (uint32_t d = 0; d < num_dims; ++d) {
     SCD_ASSIGN_OR_RETURN(std::string name, in.ReadString());
     SCD_ASSIGN_OR_RETURN(std::string table, in.ReadString());
-    dims.emplace_back(std::move(name), std::move(table));
+    bool ordered = false;  // v1 predates ordered dims
+    if (version >= 2) {
+      char flag = 0;
+      SCD_RETURN_IF_ERROR(in.ReadRaw(&flag, 1));
+      ordered = flag != 0;
+    }
+    dims.emplace_back(std::move(name), std::move(table), ordered);
   }
   SCD_ASSIGN_OR_RETURN(std::string measure_name, in.ReadString());
   SCD_ASSIGN_OR_RETURN(uint32_t agg_raw, in.ReadU32());

@@ -46,6 +46,19 @@ std::string MakeEpochGonePayload(const Status& status) {
   return json::SerializeJson(JsonValue(std::move(payload)));
 }
 
+/// True when \p request carries a value-range constraint — a value-bound
+/// aggregate range or a rollup "where" clause — i.e. the constraints the
+/// revalidation sweep can decide at the string level.
+bool RequestHasRangeConstraint(const QueryRequest& request) {
+  for (const WirePredicate& predicate : request.predicates) {
+    if (predicate.kind == dwarf::DimPredicate::Kind::kRange &&
+        predicate.value_bounds) {
+      return true;
+    }
+  }
+  return !request.rollup_where.empty();
+}
+
 void ForgetClientCursor(ClientContext* client, uint64_t cursor_id) {
   if (client == nullptr) return;
   auto& cursors = client->cursors;
@@ -77,6 +90,10 @@ QueryServer::QueryServer(dwarf::DwarfCube cube, ServerOptions options)
       updates_applied_(registry_.GetCounter(
           "server_updates_applied_total", {},
           "epoch publishes via ApplyUpdate")),
+      range_revalidations_(registry_.GetCounter(
+          "server_range_revalidations_total", {},
+          "cached range-constrained results carried across an epoch publish "
+          "because every changed key provably missed the range")),
       sessions_opened_(registry_.GetCounter(
           "server_sessions_opened_total", {},
           "successful query_open calls")),
@@ -123,8 +140,12 @@ QueryServer::QueryServer(dwarf::DwarfCube cube, ServerOptions options)
              const std::vector<std::vector<std::string>>& changed) {
         cache_.Revalidate(epoch, [this, &changed](const std::string& key) {
           Result<QueryRequest> parsed = ParseRequest(key);
-          return parsed.ok() &&
-                 !RequestMayTouchPrefixes(schema_, *parsed, changed);
+          bool keep = parsed.ok() &&
+                      !RequestMayTouchPrefixes(schema_, *parsed, changed);
+          if (keep && RequestHasRangeConstraint(*parsed)) {
+            range_revalidations_->Increment();
+          }
+          return keep;
         });
         SpoolSnapshot(epoch);
       });

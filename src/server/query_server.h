@@ -257,6 +257,10 @@ class QueryServer : public FrameHandler {
   metrics::Counter* requests_total_;       ///< server_requests_total
   metrics::Counter* rejected_total_;       ///< server_rejected_total
   metrics::Counter* updates_applied_;      ///< server_updates_applied_total
+  /// server_range_revalidations_total: cached entries with a value-range
+  /// constraint carried across an epoch publish because every changed key
+  /// provably missed the range (served again without recomputation).
+  metrics::Counter* range_revalidations_;
   mutable std::mutex last_update_mu_;
   dwarf::UpdateProfile last_update_;
   mutable std::mutex sessions_mu_;

@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "json/json_parser.h"
 #include "json/json_value.h"
@@ -34,6 +36,23 @@ Result<RequestOp> ParseOp(std::string_view name) {
   return Status::InvalidArgument("unknown op '" + std::string(name) + "'");
 }
 
+/// Parses one id-form range bound. Rejects anything a DimKey cannot hold
+/// exactly: NaN (every comparison with it is false, so it used to sneak past
+/// a plain `< 0` check into an undefined cast), non-integral values, and
+/// values outside [0, 2^32).
+Result<dwarf::DimKey> ParseDimKeyBound(const JsonValue& bound,
+                                       const char* name) {
+  SCD_ASSIGN_OR_RETURN(double number, bound.AsNumber());
+  if (!(number >= 0) ||
+      number > static_cast<double>(std::numeric_limits<dwarf::DimKey>::max()) ||
+      number != std::floor(number)) {
+    return Status::InvalidArgument(
+        std::string("range bound \"") + name +
+        "\" must be an integer dictionary id in [0, 2^32)");
+  }
+  return static_cast<dwarf::DimKey>(number);
+}
+
 Result<WirePredicate> ParsePredicate(const JsonValue& value) {
   const JsonObject* object = value.AsObject();
   if (object == nullptr) {
@@ -52,13 +71,27 @@ Result<WirePredicate> ParsePredicate(const JsonValue& value) {
     predicate.kind = dwarf::DimPredicate::Kind::kRange;
     SCD_ASSIGN_OR_RETURN(JsonValue lo, value.Get("lo"));
     SCD_ASSIGN_OR_RETURN(JsonValue hi, value.Get("hi"));
-    SCD_ASSIGN_OR_RETURN(double lo_number, lo.AsNumber());
-    SCD_ASSIGN_OR_RETURN(double hi_number, hi.AsNumber());
-    if (lo_number < 0 || hi_number < 0) {
-      return Status::InvalidArgument("range bounds must be non-negative ids");
+    if (lo.is_string() || hi.is_string()) {
+      // Value form: both bounds are decoded dimension values, resolved
+      // against the ordered dimension's rank view at encode time.
+      if (!lo.is_string() || !hi.is_string()) {
+        return Status::InvalidArgument(
+            "range bounds must both be ids (numbers) or both be values "
+            "(strings)");
+      }
+      predicate.value_bounds = true;
+      SCD_ASSIGN_OR_RETURN(predicate.lo_value, lo.AsString());
+      SCD_ASSIGN_OR_RETURN(predicate.hi_value, hi.AsString());
+      if (predicate.lo_value > predicate.hi_value) {
+        return Status::InvalidArgument("range predicate has lo > hi");
+      }
+    } else {
+      SCD_ASSIGN_OR_RETURN(predicate.lo, ParseDimKeyBound(lo, "lo"));
+      SCD_ASSIGN_OR_RETURN(predicate.hi, ParseDimKeyBound(hi, "hi"));
+      if (predicate.lo > predicate.hi) {
+        return Status::InvalidArgument("range predicate has lo > hi");
+      }
     }
-    predicate.lo = static_cast<dwarf::DimKey>(lo_number);
-    predicate.hi = static_cast<dwarf::DimKey>(hi_number);
   } else if (kind == "set") {
     predicate.kind = dwarf::DimPredicate::Kind::kSet;
     SCD_ASSIGN_OR_RETURN(JsonValue keys, value.Get("keys"));
@@ -172,6 +205,39 @@ Result<QueryRequest> ParseRequestValue(const JsonValue& root) {
     case RequestOp::kRollUp: {
       SCD_ASSIGN_OR_RETURN(JsonValue dims, root.Get("dims"));
       SCD_ASSIGN_OR_RETURN(request.rollup_dims, ParseStringArray(dims, "dims"));
+      if (Result<JsonValue> where = root.Get("where"); where.ok()) {
+        const JsonArray* array = where->AsArray();
+        if (array == nullptr) {
+          return Status::InvalidArgument(
+              "\"where\" must be an array of {dim,lo,hi} objects");
+        }
+        for (const JsonValue& entry : *array) {
+          WireRangeFilter filter;
+          SCD_ASSIGN_OR_RETURN(JsonValue dim, entry.Get("dim"));
+          SCD_ASSIGN_OR_RETURN(filter.dim, dim.AsString());
+          SCD_ASSIGN_OR_RETURN(JsonValue lo, entry.Get("lo"));
+          SCD_ASSIGN_OR_RETURN(filter.lo, lo.AsString());
+          SCD_ASSIGN_OR_RETURN(JsonValue hi, entry.Get("hi"));
+          SCD_ASSIGN_OR_RETURN(filter.hi, hi.AsString());
+          if (filter.lo > filter.hi) {
+            return Status::InvalidArgument("rollup \"where\" range on '" +
+                                           filter.dim + "' has lo > hi");
+          }
+          if (std::find(request.rollup_dims.begin(), request.rollup_dims.end(),
+                        filter.dim) == request.rollup_dims.end()) {
+            return Status::InvalidArgument(
+                "rollup \"where\" dimension '" + filter.dim +
+                "' is not in \"dims\"");
+          }
+          for (const WireRangeFilter& prev : request.rollup_where) {
+            if (prev.dim == filter.dim) {
+              return Status::InvalidArgument(
+                  "duplicate rollup \"where\" dimension '" + filter.dim + "'");
+            }
+          }
+          request.rollup_where.push_back(std::move(filter));
+        }
+      }
       break;
     }
     case RequestOp::kStats:
@@ -273,8 +339,17 @@ std::string NormalizedCacheKey(const QueryRequest& request) {
             break;
           case dwarf::DimPredicate::Kind::kRange:
             entry.emplace_back("kind", JsonValue("range"));
-            entry.emplace_back("lo", JsonValue(static_cast<int64_t>(predicate.lo)));
-            entry.emplace_back("hi", JsonValue(static_cast<int64_t>(predicate.hi)));
+            // String bounds serialize quoted, so the value form can never
+            // collide with an id form in the cache.
+            if (predicate.value_bounds) {
+              entry.emplace_back("lo", JsonValue(predicate.lo_value));
+              entry.emplace_back("hi", JsonValue(predicate.hi_value));
+            } else {
+              entry.emplace_back("lo",
+                                 JsonValue(static_cast<int64_t>(predicate.lo)));
+              entry.emplace_back("hi",
+                                 JsonValue(static_cast<int64_t>(predicate.hi)));
+            }
             break;
           case dwarf::DimPredicate::Kind::kSet: {
             entry.emplace_back("kind", JsonValue("set"));
@@ -307,6 +382,25 @@ std::string NormalizedCacheKey(const QueryRequest& request) {
         dims.push_back(JsonValue(dim));
       }
       root.emplace_back("dims", JsonValue(std::move(dims)));
+      // "where" entries are order-insensitive (one per dim); sort by dim so
+      // permutations share a cache entry. Omitted entirely when empty, so
+      // plain roll-up keys are unchanged.
+      if (!request.rollup_where.empty()) {
+        std::vector<WireRangeFilter> sorted = request.rollup_where;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const WireRangeFilter& a, const WireRangeFilter& b) {
+                    return a.dim < b.dim;
+                  });
+        JsonArray where;
+        for (const WireRangeFilter& filter : sorted) {
+          JsonObject entry;
+          entry.emplace_back("dim", JsonValue(filter.dim));
+          entry.emplace_back("lo", JsonValue(filter.lo));
+          entry.emplace_back("hi", JsonValue(filter.hi));
+          where.push_back(JsonValue(std::move(entry)));
+        }
+        root.emplace_back("where", JsonValue(std::move(where)));
+      }
       break;
     }
     case RequestOp::kStats:
@@ -366,12 +460,37 @@ Result<std::vector<dwarf::DimPredicate>> EncodePredicates(
         encoded.push_back(dwarf::DimPredicate::Point(id));
         break;
       }
-      case dwarf::DimPredicate::Kind::kRange:
+      case dwarf::DimPredicate::Kind::kRange: {
+        if (predicate.value_bounds) {
+          const dwarf::Dictionary& dict = cube.dictionary(dim);
+          if (!cube.schema().dimensions()[dim].ordered ||
+              !dict.has_rank_view()) {
+            return Status::InvalidArgument(
+                "value-bound range on dimension '" +
+                cube.schema().dimensions()[dim].name +
+                "', which is not marked ordered in the cube schema");
+          }
+          if (predicate.lo_value > predicate.hi_value) {
+            return Status::InvalidArgument("range predicate has lo > hi");
+          }
+          // [lo_value, hi_value] inclusive over decoded values becomes a
+          // half-open rank window [LowerBound(lo), UpperBound(hi)).
+          dwarf::DimKey lo_rank = dict.LowerBoundRank(predicate.lo_value);
+          dwarf::DimKey hi_excl = dict.UpperBoundRank(predicate.hi_value);
+          if (lo_rank >= hi_excl) {
+            return Status::NotFound("no value of dimension " +
+                                    std::to_string(dim) +
+                                    " falls in the requested range");
+          }
+          encoded.push_back(dwarf::DimPredicate::RankRange(lo_rank, hi_excl - 1));
+          break;
+        }
         if (predicate.lo > predicate.hi) {
           return Status::InvalidArgument("range predicate has lo > hi");
         }
         encoded.push_back(dwarf::DimPredicate::Range(predicate.lo, predicate.hi));
         break;
+      }
       case dwarf::DimPredicate::Kind::kSet: {
         std::vector<dwarf::DimKey> ids;
         for (const std::string& member : predicate.keys) {
@@ -422,6 +541,42 @@ ExecResult RowsResult(const Result<std::vector<dwarf::SliceRow>>& rows) {
   return {true, json::SerializeJson(JsonValue(std::move(payload)))};
 }
 
+/// Resolves a rollup request's "where" value ranges to per-dimension rank
+/// windows. A range that covers no dictionary entry resolves to the empty
+/// window (lo > hi), which matches nothing — a zero-row roll-up, not an
+/// error. Leaves \p filters empty when the request has no "where" clause.
+Status ResolveRollupFilters(const dwarf::DwarfCube& cube,
+                            const std::vector<WireRangeFilter>& where,
+                            dwarf::RankFilters* filters) {
+  if (where.empty()) return Status::OK();
+  filters->assign(cube.num_dimensions(), std::nullopt);
+  for (const WireRangeFilter& filter : where) {
+    SCD_ASSIGN_OR_RETURN(size_t dim, cube.schema().DimensionIndex(filter.dim));
+    const dwarf::Dictionary& dict = cube.dictionary(dim);
+    if (!cube.schema().dimensions()[dim].ordered || !dict.has_rank_view()) {
+      return Status::InvalidArgument(
+          "rollup \"where\" range on dimension '" + filter.dim +
+          "', which is not marked ordered in the cube schema");
+    }
+    if (filter.lo > filter.hi) {
+      return Status::InvalidArgument("rollup \"where\" range on '" +
+                                     filter.dim + "' has lo > hi");
+    }
+    dwarf::DimKey lo_rank = dict.LowerBoundRank(filter.lo);
+    dwarf::DimKey hi_excl = dict.UpperBoundRank(filter.hi);
+    dwarf::RankWindow window;
+    if (lo_rank >= hi_excl) {
+      window.lo = 1;
+      window.hi = 0;  // empty window: the roll-up has zero rows
+    } else {
+      window.lo = lo_rank;
+      window.hi = hi_excl - 1;
+    }
+    (*filters)[dim] = window;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 ExecResult ExecuteRequest(const dwarf::DwarfCube& cube,
@@ -454,7 +609,12 @@ ExecResult ExecuteRequest(const dwarf::DwarfCube& cube,
         if (!dim.ok()) return {false, MakeErrorPayload(dim.status())};
         dims.push_back(*dim);
       }
-      return RowsResult(dwarf::RollUp(cube, dims));
+      dwarf::RankFilters filters;
+      Status resolved = ResolveRollupFilters(cube, request.rollup_where,
+                                             &filters);
+      if (!resolved.ok()) return {false, MakeErrorPayload(resolved)};
+      return RowsResult(dwarf::RollUp(
+          cube, dims, filters.empty() ? nullptr : &filters));
     }
     case RequestOp::kStats:
     case RequestOp::kMetrics:
@@ -495,7 +655,11 @@ Result<dwarf::RowCursor> OpenRowCursor(const dwarf::DwarfCube& cube,
         SCD_ASSIGN_OR_RETURN(size_t dim, cube.schema().DimensionIndex(name));
         dims.push_back(dim);
       }
-      return dwarf::RowCursor::OverRollUp(cube, dims);
+      dwarf::RankFilters filters;
+      SCD_RETURN_IF_ERROR(
+          ResolveRollupFilters(cube, query.rollup_where, &filters));
+      return dwarf::RowCursor::OverRollUp(
+          cube, dims, filters.empty() ? nullptr : &filters);
     }
     default:
       return Status::InvalidArgument(
@@ -544,7 +708,13 @@ bool PredicatesMayMatch(const std::vector<WirePredicate>& predicates,
         }
         break;
       case dwarf::DimPredicate::Kind::kRange:
-        // Bounds are dictionary ids; undecidable at the string level.
+        // Value bounds ARE decidable here: rank order is lexicographic value
+        // order, so a changed key outside [lo, hi] provably misses the
+        // range. Id bounds stay undecidable at the string level.
+        if (predicate.value_bounds && (path[dim] < predicate.lo_value ||
+                                       path[dim] > predicate.hi_value)) {
+          return false;
+        }
         break;
     }
   }
@@ -578,7 +748,26 @@ bool RequestMayTouchPrefixes(
       }
       return false;
     }
-    case RequestOp::kRollUp:
+    case RequestOp::kRollUp: {
+      // A plain roll-up always touches (every new tuple lands in some
+      // group), but a "where" clause makes it decidable: a changed path
+      // misses when its key on some filtered dimension falls outside the
+      // filter's value range.
+      if (request.rollup_where.empty()) return true;
+      for (const std::vector<std::string>& path : changed) {
+        bool excluded = false;
+        for (const WireRangeFilter& filter : request.rollup_where) {
+          auto dim = schema.DimensionIndex(filter.dim);
+          if (!dim.ok() || *dim >= path.size()) continue;  // conservative
+          if (path[*dim] < filter.lo || path[*dim] > filter.hi) {
+            excluded = true;
+            break;
+          }
+        }
+        if (!excluded) return true;
+      }
+      return false;
+    }
     case RequestOp::kStats:
     case RequestOp::kMetrics:
     case RequestOp::kMetricsText:
@@ -587,8 +776,7 @@ bool RequestMayTouchPrefixes(
     case RequestOp::kQueryOpen:
     case RequestOp::kQueryNext:
     case RequestOp::kQueryClose:
-      // Every new tuple lands in some roll-up group; the rest are either
-      // uncacheable or stateful — always treat as touched.
+      // Uncacheable or stateful ops — always treat as touched.
       return true;
   }
   return true;

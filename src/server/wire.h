@@ -8,10 +8,15 @@
 ///   {"op":"point",     "keys":["Ireland", null, "Fenian St"]}
 ///   {"op":"aggregate", "predicates":[{"kind":"point","key":"D2"},
 ///                                    {"kind":"range","lo":0,"hi":4},
+///                                    {"kind":"range","lo":"2013-07-01",
+///                                                    "hi":"2013-07-31"},
 ///                                    {"kind":"set","keys":["Mon","Fri"]},
 ///                                    {"kind":"all"}]}
 ///   {"op":"slice",     "dim":"Area", "key":"D2"}
 ///   {"op":"rollup",    "dims":["Weekday","Area"]}
+///   {"op":"rollup",    "dims":["Date","Area"],
+///                      "where":[{"dim":"Date","lo":"2013-07-01",
+///                                             "hi":"2013-07-31"}]}
 ///   {"op":"stats"}
 ///   {"op":"metrics"}
 ///   {"op":"metrics_text"}
@@ -44,9 +49,21 @@
 ///
 /// "point" takes one entry per dimension (null = ALL, the roll-up wildcard);
 /// "aggregate" takes one predicate per dimension in schema order. Point and
-/// set predicate keys are decoded dimension values; range bounds are encoded
-/// dictionary ids (the id order is first-seen feed order, exactly the
-/// semantics of dwarf::DimPredicate::Range).
+/// set predicate keys are decoded dimension values. Range bounds come in two
+/// forms that must not be mixed within one predicate:
+///
+///  - number bounds are encoded dictionary ids (the id order is first-seen
+///    feed order, exactly the semantics of dwarf::DimPredicate::Range);
+///  - string bounds are decoded dimension *values*, resolved through the
+///    dimension's value-order rank view — valid only on dimensions the cube
+///    schema marks ordered (InvalidArgument otherwise). Value order is
+///    lexicographic, so ISO dates and zero-padded numerics are chronological.
+///
+/// "rollup" accepts an optional "where" array restricting grouped ordered
+/// dimensions to inclusive value ranges (string bounds, same rank-view
+/// semantics); each "where" entry's dim must appear in "dims" exactly once.
+/// lo > hi is InvalidArgument for every range form, at this layer and in the
+/// direct dwarf API alike.
 ///
 /// Responses carry {"ok":bool, "epoch":N, "cached":bool} plus either a
 /// result ("measure" or "rows") or {"code","error"} on failure. Overloaded
@@ -97,9 +114,20 @@ const char* RequestOpName(RequestOp op);
 struct WirePredicate {
   dwarf::DimPredicate::Kind kind = dwarf::DimPredicate::Kind::kAll;
   std::string key;                    ///< kPoint: decoded dimension value
-  dwarf::DimKey lo = 0;               ///< kRange: encoded id bounds,
+  dwarf::DimKey lo = 0;               ///< kRange id form: encoded id bounds,
   dwarf::DimKey hi = 0;               ///< inclusive
+  bool value_bounds = false;          ///< kRange: bounds are decoded values
+  std::string lo_value;               ///< kRange value form, inclusive
+  std::string hi_value;               ///< kRange value form, inclusive
   std::vector<std::string> keys;      ///< kSet: decoded dimension values
+};
+
+/// \brief One "where" entry of a rollup request: an inclusive value range
+/// over a grouped ordered dimension.
+struct WireRangeFilter {
+  std::string dim;
+  std::string lo;
+  std::string hi;
 };
 
 /// \brief A parsed request. Only the fields of the active op are meaningful.
@@ -110,6 +138,7 @@ struct QueryRequest {
   std::string slice_dim;                               ///< kSlice
   std::string slice_key;                               ///< kSlice
   std::vector<std::string> rollup_dims;                ///< kRollUp
+  std::vector<WireRangeFilter> rollup_where;           ///< kRollUp, optional
   /// kQueryOpen: the wrapped rows query (slice or rollup only).
   std::shared_ptr<QueryRequest> open_query;
   size_t page_size = 0;     ///< kQueryOpen
@@ -136,7 +165,10 @@ std::string NormalizedCacheKey(const QueryRequest& request);
 /// \brief Encodes the predicates of an "aggregate" request against \p cube's
 /// dictionaries. Set members unknown to the dictionary are dropped (they can
 /// match nothing); a point key or a fully-unknown set yields NotFound, which
-/// matches AggregateQuery's no-tuples-match result.
+/// matches AggregateQuery's no-tuples-match result. Value-form range bounds
+/// resolve to a rank window over the dimension's rank view (the dimension
+/// must be schema-ordered — InvalidArgument otherwise); a value range that
+/// covers no dictionary entry yields NotFound like an unmatched point.
 Result<std::vector<dwarf::DimPredicate>> EncodePredicates(
     const dwarf::DwarfCube& cube, const std::vector<WirePredicate>& predicates);
 
@@ -175,9 +207,13 @@ std::string MakeCursorPagePayload(uint64_t cursor_id,
 /// against a cube updated with tuples whose decoded key paths are \p changed
 /// could produce a different result than on the previous epoch — i.e. the
 /// request does NOT provably miss every changed prefix. Conservative: any
-/// constraint it cannot decide at the string level (range predicates over
-/// dictionary ids, unknown dimension names, arity mismatches) counts as
-/// touching. Roll-ups always touch (every new tuple lands in some group).
+/// constraint it cannot decide at the string level (id-form range predicates,
+/// unknown dimension names, arity mismatches) counts as touching. Value-form
+/// ranges ARE decidable: rank order is lexicographic value order, so a
+/// changed key outside [lo, hi] provably misses the range. Plain roll-ups
+/// always touch (every new tuple lands in some group), but a roll-up with a
+/// "where" clause misses when every changed path falls outside some filter's
+/// value range.
 bool RequestMayTouchPrefixes(
     const dwarf::CubeSchema& schema, const QueryRequest& request,
     const std::vector<std::vector<std::string>>& changed);

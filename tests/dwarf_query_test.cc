@@ -4,9 +4,11 @@
 #include <map>
 #include <optional>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "dwarf/builder.h"
 #include "dwarf/query.h"
+#include "dwarf/update.h"
 
 namespace scdwarf::dwarf {
 namespace {
@@ -198,6 +200,54 @@ TEST_F(DwarfQueryTest, RollUpBadDimRejected) {
   EXPECT_TRUE(RollUp(cube_, {7}).status().IsOutOfRange());
 }
 
+// Regression: the enumerator emits row keys in ascending cube-dimension
+// order, but callers name dims in request order. A {City, Day} roll-up must
+// answer (city, day) rows, not (day, city).
+TEST_F(DwarfQueryTest, RollUpOutOfOrderDimsKeysFollowRequestOrder) {
+  auto rows = RollUp(cube_, {1, 0});
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 6u);
+  std::map<std::pair<std::string, std::string>, Measure> by_pair;
+  for (const SliceRow& row : *rows) {
+    ASSERT_EQ(row.keys.size(), 2u);
+    by_pair[{row.keys[0], row.keys[1]}] = row.measure;
+  }
+  // keys[0] must be the City (dim 1), keys[1] the Day (dim 0).
+  EXPECT_EQ((by_pair[{"Dublin", "Mon"}]), 8);
+  EXPECT_EQ((by_pair[{"Cork", "Tue"}]), 1);
+  EXPECT_EQ((by_pair[{"Galway", "Wed"}]), 8);
+  EXPECT_EQ((by_pair.count({"Mon", "Dublin"})), 0u);
+
+  // The same request through the ascending spelling returns the same groups
+  // with the columns swapped.
+  auto ascending = RollUp(cube_, {0, 1});
+  ASSERT_TRUE(ascending.ok());
+  ASSERT_EQ(ascending->size(), rows->size());
+  for (const SliceRow& row : *ascending) {
+    EXPECT_EQ((by_pair[{row.keys[1], row.keys[0]}]), row.measure);
+  }
+}
+
+TEST_F(DwarfQueryTest, RollUpDuplicateDimsRejected) {
+  EXPECT_TRUE(RollUp(cube_, {0, 0}).status().IsInvalidArgument());
+  EXPECT_TRUE(RollUp(cube_, {1, 0, 1}).status().IsInvalidArgument());
+}
+
+// lo > hi is a caller error at every entry point (the wire layer has always
+// rejected it; the direct API used to silently answer NotFound).
+TEST_F(DwarfQueryTest, RangeLoGreaterThanHiRejected) {
+  std::vector<DimPredicate> predicates = {
+      DimPredicate::Range(2, 1), DimPredicate::All(), DimPredicate::All()};
+  EXPECT_TRUE(AggregateQuery(cube_, predicates).status().IsInvalidArgument());
+}
+
+TEST_F(DwarfQueryTest, RankRangeOnUnorderedDimRejected) {
+  // The bikes test cube marks no dimension ordered.
+  std::vector<DimPredicate> predicates = {
+      DimPredicate::RankRange(0, 1), DimPredicate::All(), DimPredicate::All()};
+  EXPECT_TRUE(AggregateQuery(cube_, predicates).status().IsInvalidArgument());
+}
+
 TEST(DimPredicateTest, Matches) {
   EXPECT_TRUE(DimPredicate::All().Matches(99));
   EXPECT_TRUE(DimPredicate::Point(5).Matches(5));
@@ -314,6 +364,209 @@ TEST_P(AggregateQueryPropertyTest, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AggregateQueryPropertyTest,
                          ::testing::Values(101, 202, 303, 404));
+
+// ---------------------------------------------------------------------------
+// Ordered dimensions: value-order rank ranges, subtree pruning, roll-up rank
+// filters — differentially checked against a naive tuple evaluator across
+// incremental publishes.
+
+using Fact = std::pair<std::vector<std::string>, Measure>;
+
+/// Station (unordered) x Date (ordered). The ordered dim sits BELOW the
+/// root level so a narrow date window can prune whole station subtrees —
+/// the case the min/max-rank sidecar exists for. Dates are fed OUT of
+/// chronological order, so dictionary ids and value-order ranks genuinely
+/// differ.
+DwarfCube BuildOrderedCube(const std::vector<Fact>& facts) {
+  CubeSchema schema("od",
+                    {DimensionSpec("Station"),
+                     DimensionSpec("Date", "", /*ordered_in=*/true)},
+                    "m", AggFn::kSum);
+  DwarfBuilder builder(schema);
+  for (const Fact& fact : facts) {
+    EXPECT_TRUE(builder.AddTuple(fact.first, fact.second).ok());
+  }
+  auto cube = std::move(builder).Build();
+  EXPECT_TRUE(cube.ok()) << cube.status();
+  return std::move(cube).ValueOrDie();
+}
+
+Measure NaiveDateRangeSum(const std::vector<Fact>& facts,
+                          const std::string& lo, const std::string& hi,
+                          bool* any) {
+  Measure sum = 0;
+  *any = false;
+  for (const Fact& fact : facts) {
+    const std::string& date = fact.first[1];
+    if (date < lo || date > hi) continue;
+    sum += fact.second;
+    *any = true;
+  }
+  return sum;
+}
+
+/// Resolves a value range to a RankRange predicate over the Date dim,
+/// mirroring the wire layer's LowerBoundRank/UpperBoundRank resolution.
+std::optional<DimPredicate> ResolveDateRange(const DwarfCube& cube,
+                                             const std::string& lo,
+                                             const std::string& hi) {
+  const Dictionary& dict = cube.dictionary(1);
+  DimKey lo_rank = dict.LowerBoundRank(lo);
+  DimKey hi_excl = dict.UpperBoundRank(hi);
+  if (lo_rank >= hi_excl) return std::nullopt;  // covers no stored value
+  return DimPredicate::RankRange(lo_rank, hi_excl - 1);
+}
+
+TEST(OrderedDimTest, RankViewFollowsValueOrderNotIdOrder) {
+  DwarfCube cube = BuildOrderedCube({{{"S1", "2013-07-03"}, 1},
+                                     {{"S2", "2013-07-01"}, 2},
+                                     {{"S1", "2013-07-05"}, 3}});
+  const Dictionary& dict = cube.dictionary(1);
+  ASSERT_TRUE(dict.has_rank_view());
+  // Ids are first-seen order (07-03=0, 07-01=1, 07-05=2); ranks are value
+  // order.
+  EXPECT_EQ(dict.RankOf(dict.Lookup("2013-07-01").ValueOrDie()), 0u);
+  EXPECT_EQ(dict.RankOf(dict.Lookup("2013-07-03").ValueOrDie()), 1u);
+  EXPECT_EQ(dict.RankOf(dict.Lookup("2013-07-05").ValueOrDie()), 2u);
+  EXPECT_EQ(dict.IdAtRank(0), dict.Lookup("2013-07-01").ValueOrDie());
+  // The unordered dim gets no rank view, and the cube carries a range index
+  // covering only the Date dim.
+  EXPECT_FALSE(cube.dictionary(0).has_rank_view());
+  ASSERT_NE(cube.range_index(), nullptr);
+  EXPECT_TRUE(cube.range_index()->covers(1));
+  EXPECT_FALSE(cube.range_index()->covers(0));
+}
+
+TEST(OrderedDimTest, RankRangeMatchesNaiveAcrossPublishes) {
+  std::vector<Fact> facts = {
+      {{"S1", "2013-07-10"}, 4}, {{"S2", "2013-07-02"}, 7},
+      {{"S1", "2013-07-06"}, 1}, {{"S1", "2013-07-02"}, 3},
+      {{"S3", "2013-07-14"}, 9},
+  };
+  DwarfCube cube = BuildOrderedCube(facts);
+
+  // Two incremental publishes, each interleaving new dates between existing
+  // ranks (and extending both ends).
+  const std::vector<std::vector<Fact>> publishes = {
+      {{{"S2", "2013-07-04"}, 5}, {{"S1", "2013-07-01"}, 2}},
+      {{{"S3", "2013-07-08"}, 6}, {{"S1", "2013-07-20"}, 8},
+       {{"S2", "2013-07-06"}, 1}},
+  };
+  const std::vector<std::pair<std::string, std::string>> ranges = {
+      {"2013-07-01", "2013-07-31"},  // everything
+      {"2013-07-02", "2013-07-06"},  // interior window
+      {"2013-07-03", "2013-07-05"},  // hits only late-published dates
+      {"2013-07-15", "2013-07-19"},  // gap: covers no stored date
+      {"2013-07-14", "2013-07-14"},  // single day, one station's subtree
+  };
+
+  metrics::Counter* pruned = metrics::GlobalRegistry().GetCounter(
+      "dwarf_range_subtrees_pruned_total");
+  uint64_t pruned_before = pruned->value();
+
+  for (size_t epoch = 0;; ++epoch) {
+    // All station ids, so the root genuinely fans out (the ALL fast path
+    // would bypass subtree pruning).
+    std::vector<DimKey> all_stations;
+    for (DimKey id = 0; id < cube.dictionary(0).size(); ++id) {
+      all_stations.push_back(id);
+    }
+    for (const auto& [lo, hi] : ranges) {
+      bool any = false;
+      Measure expected = NaiveDateRangeSum(facts, lo, hi, &any);
+      std::optional<DimPredicate> range = ResolveDateRange(cube, lo, hi);
+      if (!range.has_value()) {
+        EXPECT_FALSE(any) << lo << ".." << hi;
+        continue;
+      }
+      for (const DimPredicate& station :
+           {DimPredicate::All(), DimPredicate::Set(all_stations)}) {
+        Result<Measure> actual = AggregateQuery(cube, {station, *range});
+        if (any) {
+          ASSERT_TRUE(actual.ok()) << actual.status();
+          EXPECT_EQ(*actual, expected)
+              << lo << ".." << hi << " epoch " << epoch;
+        } else {
+          EXPECT_TRUE(actual.status().IsNotFound());
+        }
+      }
+    }
+    if (epoch == publishes.size()) break;
+    // Publish the next delta through the incremental merge path; ids of
+    // existing values must survive, and the rank view must absorb the new
+    // interleaved dates.
+    std::vector<DimKey> ids_before;
+    for (const Fact& fact : facts) {
+      ids_before.push_back(
+          cube.dictionary(1).Lookup(fact.first[1]).ValueOrDie());
+    }
+    auto merged = MergeTuples(std::move(cube), publishes[epoch]);
+    ASSERT_TRUE(merged.ok()) << merged.status();
+    cube = std::move(merged).ValueOrDie();
+    for (size_t i = 0; i < facts.size(); ++i) {
+      EXPECT_EQ(cube.dictionary(1).Lookup(facts[i].first[1]).ValueOrDie(),
+                ids_before[i]);
+    }
+    facts.insert(facts.end(), publishes[epoch].begin(),
+                 publishes[epoch].end());
+  }
+  // The narrow windows must have skipped at least one disjoint station
+  // subtree.
+  EXPECT_GT(pruned->value(), pruned_before);
+}
+
+TEST(OrderedDimTest, RollUpRankFiltersMatchManualFilter) {
+  std::vector<Fact> facts = {
+      {{"S1", "2013-07-10"}, 4}, {{"S2", "2013-07-02"}, 7},
+      {{"S1", "2013-07-06"}, 1}, {{"S1", "2013-07-02"}, 3},
+      {{"S3", "2013-07-14"}, 9},
+  };
+  DwarfCube cube = BuildOrderedCube(facts);
+  const Dictionary& dict = cube.dictionary(1);
+
+  RankFilters filters(cube.num_dimensions());
+  filters[1] = RankWindow{dict.LowerBoundRank("2013-07-02"),
+                          static_cast<DimKey>(
+                              dict.UpperBoundRank("2013-07-10") - 1)};
+  auto rows = RollUp(cube, {0, 1}, &filters);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  std::map<std::pair<std::string, std::string>, Measure> by_pair;
+  for (const SliceRow& row : *rows) {
+    EXPECT_GE(row.keys[1], "2013-07-02");
+    EXPECT_LE(row.keys[1], "2013-07-10");
+    by_pair[{row.keys[0], row.keys[1]}] = row.measure;
+  }
+  EXPECT_EQ(by_pair.size(), 4u);  // S3's 07-14 row filtered out
+  EXPECT_EQ((by_pair[{"S1", "2013-07-02"}]), 3);
+  EXPECT_EQ((by_pair[{"S1", "2013-07-10"}]), 4);
+
+  // An empty window (lo > hi) matches nothing: zero rows, not an error.
+  filters[1] = RankWindow{1, 0};
+  auto empty = RollUp(cube, {0, 1}, &filters);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  // A filter on a non-grouped dim is a caller error.
+  filters[1] = RankWindow{0, 1};
+  EXPECT_TRUE(RollUp(cube, {0}, &filters).status().IsInvalidArgument());
+  // As is a filter on an unordered dim.
+  RankFilters station_filter(cube.num_dimensions());
+  station_filter[0] = RankWindow{0, 1};
+  EXPECT_TRUE(
+      RollUp(cube, {0, 1}, &station_filter).status().IsInvalidArgument());
+}
+
+TEST(OrderedDimTest, MaterializeSubCubeHonorsRankRanges) {
+  DwarfCube cube = BuildOrderedCube({{{"S1", "2013-07-03"}, 1},
+                                     {{"S2", "2013-07-01"}, 2},
+                                     {{"S1", "2013-07-05"}, 3}});
+  std::optional<DimPredicate> range =
+      ResolveDateRange(cube, "2013-07-01", "2013-07-03");
+  ASSERT_TRUE(range.has_value());
+  auto sub = MaterializeSubCube(cube, {DimPredicate::All(), *range});
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  EXPECT_EQ(sub->stats().tuple_count, 2u);
+}
 
 }  // namespace
 }  // namespace scdwarf::dwarf

@@ -2,7 +2,9 @@
 // contain commas (the classic value-list splitter bug), empty set<int>
 // literals, and a truncation sweep feeding every byte prefix of valid
 // statements through the parsers. Everything must come back as a Result —
-// never an abort, hang, or out-of-bounds read.
+// never an abort, hang, or out-of-bounds read. Plus the wire-protocol
+// request parser: range bounds that are not valid dictionary ids must be
+// rejected before they are cast to DimKey.
 
 #include <gtest/gtest.h>
 
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "nosql/cql.h"
+#include "server/wire.h"
 #include "sql/engine.h"
 #include "sql/sql.h"
 
@@ -226,6 +229,99 @@ TEST(SqlTruncationTest, EveryPrefixReturnsAResult) {
            "WHERE t.name = 'x' AND id = 1",
        }) {
     SweepSqlPrefixes(statement);
+  }
+}
+
+// ------------------------------------------------------------------ wire
+
+std::string AggregateWithRange(const std::string& lo, const std::string& hi) {
+  return R"({"op":"aggregate","predicates":[{"kind":"range","lo":)" + lo +
+         R"(,"hi":)" + hi + "}]}";
+}
+
+// Regression: id-form bounds used to be cast straight from double to DimKey.
+// A NaN slipped past the `< 0` check (every comparison with NaN is false)
+// and the cast was undefined behaviour; 3.5 silently truncated to 3; 2^32
+// and 1e300 wrapped. All of them must be InvalidArgument now.
+TEST(WireRangeBoundTest, NonIdNumericBoundsAreRejected) {
+  for (const char* bounds : {
+           "3.5,4",       // non-integral lo
+           "0,6.25",      // non-integral hi
+           "-1,4",        // negative
+           "0,-0.5",      // negative fraction
+           "4294967296,4294967297",  // 2^32: one past DimKey range
+           "0,1e300",     // astronomically large
+           "1e300,1e301",
+       }) {
+    std::string lo = bounds, hi = lo.substr(lo.find(',') + 1);
+    lo = lo.substr(0, lo.find(','));
+    auto parsed = scdwarf::server::ParseRequest(AggregateWithRange(lo, hi));
+    EXPECT_TRUE(parsed.status().IsInvalidArgument())
+        << "bounds " << bounds << " -> " << parsed.status();
+  }
+}
+
+TEST(WireRangeBoundTest, ValidIdBoundsStillParse) {
+  for (const char* bounds : {"0,0", "0,4294967295", "7,7"}) {
+    std::string lo = bounds, hi = lo.substr(lo.find(',') + 1);
+    lo = lo.substr(0, lo.find(','));
+    auto parsed = scdwarf::server::ParseRequest(AggregateWithRange(lo, hi));
+    EXPECT_TRUE(parsed.ok()) << "bounds " << bounds << " -> "
+                             << parsed.status();
+  }
+}
+
+TEST(WireRangeBoundTest, LoGreaterThanHiIsInvalidAtTheWireLayer) {
+  auto id_form = scdwarf::server::ParseRequest(AggregateWithRange("5", "4"));
+  EXPECT_TRUE(id_form.status().IsInvalidArgument());
+  auto value_form = scdwarf::server::ParseRequest(
+      AggregateWithRange("\"2013-07-31\"", "\"2013-07-01\""));
+  EXPECT_TRUE(value_form.status().IsInvalidArgument());
+}
+
+TEST(WireRangeBoundTest, ValueBoundsParseAndMixedBoundsAreRejected) {
+  auto value_form = scdwarf::server::ParseRequest(
+      AggregateWithRange("\"2013-07-01\"", "\"2013-07-31\""));
+  ASSERT_TRUE(value_form.ok()) << value_form.status();
+  ASSERT_EQ(value_form->predicates.size(), 1u);
+  EXPECT_TRUE(value_form->predicates[0].value_bounds);
+  EXPECT_EQ(value_form->predicates[0].lo_value, "2013-07-01");
+  EXPECT_EQ(value_form->predicates[0].hi_value, "2013-07-31");
+
+  for (const char* mixed : {R"("2013-07-01",4)", R"(4,"2013-07-31")"}) {
+    std::string lo = mixed, hi = lo.substr(lo.find(',') + 1);
+    lo = lo.substr(0, lo.find(','));
+    auto parsed = scdwarf::server::ParseRequest(AggregateWithRange(lo, hi));
+    EXPECT_TRUE(parsed.status().IsInvalidArgument())
+        << mixed << " -> " << parsed.status();
+  }
+}
+
+TEST(WireRollupWhereTest, ParsesAndValidates) {
+  auto ok = scdwarf::server::ParseRequest(
+      R"({"op":"rollup","dims":["Date","Area"],)"
+      R"("where":[{"dim":"Date","lo":"2013-07-01","hi":"2013-07-31"}]})");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  ASSERT_EQ(ok->rollup_where.size(), 1u);
+  EXPECT_EQ(ok->rollup_where[0].dim, "Date");
+  EXPECT_EQ(ok->rollup_where[0].lo, "2013-07-01");
+  EXPECT_EQ(ok->rollup_where[0].hi, "2013-07-31");
+
+  for (const char* bad : {
+           // filter dim not in the grouped dims
+           R"({"op":"rollup","dims":["Area"],)"
+           R"("where":[{"dim":"Date","lo":"a","hi":"b"}]})",
+           // duplicate filter dims
+           R"({"op":"rollup","dims":["Date"],)"
+           R"("where":[{"dim":"Date","lo":"a","hi":"b"},)"
+           R"({"dim":"Date","lo":"c","hi":"d"}]})",
+           // lo > hi
+           R"({"op":"rollup","dims":["Date"],)"
+           R"("where":[{"dim":"Date","lo":"b","hi":"a"}]})",
+       }) {
+    auto parsed = scdwarf::server::ParseRequest(bad);
+    EXPECT_TRUE(parsed.status().IsInvalidArgument())
+        << bad << " -> " << parsed.status();
   }
 }
 

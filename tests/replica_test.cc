@@ -241,6 +241,96 @@ TEST(SnapshotCodecTest, RoundTripAfterIncrementalMerges) {
   fs::remove_all(dir);
 }
 
+// v2 snapshots persist each dimension's ordered flag; the load path
+// recomputes the rank views and range index from the dictionaries, so a
+// freshly-bootstrapped replica answers value-range requests identically.
+TEST(SnapshotCodecTest, OrderedFlagsSurviveRoundTrip) {
+  std::vector<dwarf::DimensionSpec> specs;
+  specs.emplace_back("Day", "", /*ordered_in=*/true);
+  specs.emplace_back("Station");
+  dwarf::DwarfBuilder builder(dwarf::CubeSchema("ordered", std::move(specs),
+                                                "bikes", dwarf::AggFn::kSum));
+  ASSERT_TRUE(builder.AddTuple({"Wed", "Station2"}, 5).ok());
+  ASSERT_TRUE(builder.AddTuple({"Mon", "Station0"}, 7).ok());
+  ASSERT_TRUE(builder.AddTuple({"Tue", "Station1"}, 9).ok());
+  dwarf::DwarfCube cube = std::move(builder).Build().ValueOrDie();
+
+  fs::path dir = ScratchDir("ordered");
+  const std::string path = (dir / SnapshotFileName(1)).string();
+  ASSERT_TRUE(WriteCubeSnapshot(cube, 1, path).ok());
+  auto loaded = LoadCubeSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->cube.schema().dimensions()[0].ordered);
+  EXPECT_FALSE(loaded->cube.schema().dimensions()[1].ordered);
+  ASSERT_TRUE(loaded->cube.dictionary(0).has_rank_view());
+  ASSERT_NE(loaded->cube.range_index(), nullptr);
+  EXPECT_TRUE(loaded->cube.range_index()->covers(0));
+
+  const std::string ranged =
+      R"({"op":"aggregate","predicates":[)"
+      R"({"kind":"range","lo":"Mon","hi":"Tue"},{"kind":"all"}]})";
+  auto request = ParseRequest(ranged);
+  ASSERT_TRUE(request.ok());
+  ExecResult original = server::ExecuteRequest(cube, *request);
+  ExecResult replica = server::ExecuteRequest(loaded->cube, *request);
+  ASSERT_TRUE(original.ok);
+  EXPECT_EQ(original.payload_json, replica.payload_json);
+  fs::remove_all(dir);
+}
+
+// A v1 file (predating the per-dimension ordered byte) still loads, as
+// all-unordered; versions past kVersion are rejected cleanly.
+TEST(SnapshotCodecTest, V1SnapshotsLoadAsUnordered) {
+  dwarf::DwarfCube cube = BuildCube(0xabc, 40);  // all-unordered schema
+  fs::path dir = ScratchDir("v1compat");
+  const std::string v2_path = (dir / SnapshotFileName(2)).string();
+  ASSERT_TRUE(WriteCubeSnapshot(cube, 2, v2_path).ok());
+  std::string bytes = ReadFileBytes(v2_path);
+  auto u32le = [&bytes](size_t pos) {
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) |
+          static_cast<unsigned char>(bytes[pos + static_cast<size_t>(i)]);
+    }
+    return v;
+  };
+
+  // Downgrade in place: version 2 -> 1, and strip the ordered byte v2
+  // appends after each dimension spec (0 for this cube).
+  size_t pos = 8;  // past the magic
+  ASSERT_EQ(u32le(pos), 2u);
+  bytes[pos] = 1;
+  pos += 4 + 8;             // version + epoch
+  pos += 4 + u32le(pos);    // schema name
+  uint32_t num_dims = u32le(pos);
+  pos += 4;
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    pos += 4 + u32le(pos);  // dimension name
+    pos += 4 + u32le(pos);  // dimension table
+    ASSERT_EQ(bytes[pos], 0);
+    bytes.erase(pos, 1);
+  }
+  const std::string v1_path = (dir / SnapshotFileName(3)).string();
+  WriteFileBytes(v1_path, bytes);
+
+  auto loaded = LoadCubeSnapshot(v1_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->epoch, 2u);
+  for (const auto& dim : loaded->cube.schema().dimensions()) {
+    EXPECT_FALSE(dim.ordered);
+  }
+  EXPECT_EQ(loaded->cube.range_index(), nullptr);
+  ExpectSameAnswers(cube, loaded->cube);
+
+  // An unknown future version is an InvalidArgument, not a parse attempt.
+  std::string future = ReadFileBytes(v2_path);
+  future[8] = 99;
+  const std::string future_path = (dir / SnapshotFileName(4)).string();
+  WriteFileBytes(future_path, future);
+  EXPECT_TRUE(LoadCubeSnapshot(future_path).status().IsInvalidArgument());
+  fs::remove_all(dir);
+}
+
 TEST(SnapshotCodecTest, TruncatedAndCorruptBytesNeverCrash) {
   fs::path dir = ScratchDir("corrupt");
   dwarf::DwarfCube cube = BuildCube(4, 12);

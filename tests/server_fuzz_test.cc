@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -66,12 +67,16 @@ struct FuzzWorld {
   std::vector<std::string> dims = {"Day", "Station", "Area"};
   std::vector<std::vector<std::string>> vocab = {
       Days(), MakeVocab("Station", 12), MakeVocab("Area", 5)};
+  // Day and Station are ordered, so value-form ranges and roll-up "where"
+  // filters are legal on them (Area stays unordered to keep the rejection
+  // paths on the differential path too).
+  std::vector<bool> ordered = {true, true, false};
 };
 
 dwarf::CubeSchema FuzzSchema(const FuzzWorld& world) {
   std::vector<dwarf::DimensionSpec> specs;
-  for (const std::string& dim : world.dims) {
-    specs.emplace_back(dim);
+  for (size_t dim = 0; dim < world.dims.size(); ++dim) {
+    specs.emplace_back(world.dims[dim], "", world.ordered[dim]);
   }
   return dwarf::CubeSchema("fuzz", std::move(specs), "bikes",
                            dwarf::AggFn::kSum);
@@ -124,7 +129,8 @@ std::string RandomRequestJson(const FuzzWorld& world, Rng& rng) {
     case 1: {  // aggregate with a mixed predicate per dimension
       root.emplace_back("op", JsonValue("aggregate"));
       JsonArray predicates;
-      for (const auto& vocab : world.vocab) {
+      for (size_t dim = 0; dim < world.vocab.size(); ++dim) {
+        const auto& vocab = world.vocab[dim];
         JsonObject predicate;
         switch (rng.NextBelow(4)) {
           case 0:
@@ -146,10 +152,22 @@ std::string RandomRequestJson(const FuzzWorld& world, Rng& rng) {
           }
           default: {
             predicate.emplace_back("kind", JsonValue("range"));
-            int64_t lo = rng.NextInRange(0, static_cast<int64_t>(vocab.size()));
-            int64_t hi = rng.NextInRange(lo, static_cast<int64_t>(vocab.size()));
-            predicate.emplace_back("lo", JsonValue(lo));
-            predicate.emplace_back("hi", JsonValue(hi));
+            if (world.ordered[dim] && rng.NextBool(0.5)) {
+              // Value form: bounds are dimension values resolved through the
+              // rank view (sometimes unknown values — the resolver clamps).
+              std::string a = RandomValue(vocab, rng);
+              std::string b = RandomValue(vocab, rng);
+              if (b < a) std::swap(a, b);
+              predicate.emplace_back("lo", JsonValue(std::move(a)));
+              predicate.emplace_back("hi", JsonValue(std::move(b)));
+            } else {
+              int64_t lo =
+                  rng.NextInRange(0, static_cast<int64_t>(vocab.size()));
+              int64_t hi =
+                  rng.NextInRange(lo, static_cast<int64_t>(vocab.size()));
+              predicate.emplace_back("lo", JsonValue(lo));
+              predicate.emplace_back("hi", JsonValue(hi));
+            }
             break;
           }
         }
@@ -176,6 +194,26 @@ std::string RandomRequestJson(const FuzzWorld& world, Rng& rng) {
       JsonArray names;
       for (size_t i = 0; i < count; ++i) names.push_back(JsonValue(dims[i]));
       root.emplace_back("dims", JsonValue(std::move(names)));
+      // Sometimes constrain one grouped ordered dim to a value window.
+      if (rng.NextBool(0.4)) {
+        for (size_t i = 0; i < count; ++i) {
+          size_t dim = std::find(world.dims.begin(), world.dims.end(),
+                                 dims[i]) -
+                       world.dims.begin();
+          if (!world.ordered[dim]) continue;
+          std::string a = RandomValue(world.vocab[dim], rng);
+          std::string b = RandomValue(world.vocab[dim], rng);
+          if (b < a) std::swap(a, b);
+          JsonObject filter;
+          filter.emplace_back("dim", JsonValue(dims[i]));
+          filter.emplace_back("lo", JsonValue(std::move(a)));
+          filter.emplace_back("hi", JsonValue(std::move(b)));
+          JsonArray where;
+          where.push_back(JsonValue(std::move(filter)));
+          root.emplace_back("where", JsonValue(std::move(where)));
+          break;
+        }
+      }
       break;
     }
   }
@@ -315,6 +353,73 @@ TEST(ServerFuzzTest, AllServerPathsMatchDirectTraversal) {
   EXPECT_GT(server.Stats().cache.hits, 0u);
   EXPECT_GT(server.Stats().cache.revalidated, 0u);
   EXPECT_EQ(server.open_sessions(), 0u);
+}
+
+// \p name's value in a Prometheus text exposition dump ("name 3"), or 0.
+uint64_t MetricValue(const std::string& text, const std::string& name) {
+  size_t pos = text.find("\n" + name + " ");
+  if (pos == std::string::npos) return 0;
+  return static_cast<uint64_t>(
+      std::stoull(text.substr(pos + name.size() + 2)));
+}
+
+// Focused revalidation check: a cached value-range aggregate and a cached
+// ranged roll-up must survive a publish whose every changed key falls
+// OUTSIDE the range — served cached (not recomputed) on the new epoch, and
+// still byte-identical to direct execution. "Mon" < "Tue" < "Wed"
+// lexicographically, so a ["Mon","Tue"] window provably misses "Wed" keys.
+TEST(ServerFuzzTest, RangeQueriesRevalidateAcrossMissPublish) {
+  FuzzWorld world;
+  dwarf::DwarfBuilder builder(FuzzSchema(world));
+  ASSERT_TRUE(builder.AddTuple({"Mon", "Station1", "Area0"}, 5).ok());
+  ASSERT_TRUE(builder.AddTuple({"Tue", "Station2", "Area1"}, 7).ok());
+  ASSERT_TRUE(builder.AddTuple({"Wed", "Station3", "Area2"}, 9).ok());
+  QueryServer server(std::move(builder).Build().ValueOrDie());
+  ServerHandle handle(&server);
+
+  const std::string aggregate =
+      R"({"op":"aggregate","predicates":[)"
+      R"({"kind":"range","lo":"Mon","hi":"Tue"},)"
+      R"({"kind":"all"},{"kind":"all"}]})";
+  const std::string rollup =
+      R"({"op":"rollup","dims":["Day","Station"],)"
+      R"("where":[{"dim":"Day","lo":"Mon","hi":"Tue"}]})";
+  for (const std::string& request_json : {aggregate, rollup}) {
+    ParsedEnvelope first = ParseEnvelope(handle.Call(request_json));
+    ASSERT_TRUE(first.ok) << request_json;
+    EXPECT_FALSE(first.cached);
+    EXPECT_TRUE(ParseEnvelope(handle.Call(request_json)).cached);
+  }
+
+  // Every changed key has Day="Wed", outside ["Mon","Tue"].
+  ASSERT_TRUE(server
+                  .ApplyUpdate({{{"Wed", "Station1", "Area0"}, 11},
+                                {{"Wed", "StationNew", "Area4"}, 13}})
+                  .ok());
+
+  uint64_t revalidations =
+      MetricValue(server.MetricsText(), "server_range_revalidations_total");
+  EXPECT_GE(revalidations, 2u) << server.MetricsText();
+  EpochCubeStore::Snapshot snapshot = server.store().snapshot();
+  for (const std::string& request_json : {aggregate, rollup}) {
+    std::string response = handle.Call(request_json);
+    ParsedEnvelope envelope = ParseEnvelope(response);
+    EXPECT_TRUE(envelope.cached) << "recomputed after a miss-publish: "
+                                 << request_json;
+    EXPECT_EQ(envelope.epoch, 1u);
+    auto request = ParseRequest(request_json);
+    ASSERT_TRUE(request.ok());
+    ExpectResponseMatchesDirect(response, *snapshot.cube, *request,
+                                request_json);
+  }
+
+  // A publish that DOES land inside the window must invalidate.
+  ASSERT_TRUE(server.ApplyUpdate({{{"Tue", "Station2", "Area1"}, 3}}).ok());
+  for (const std::string& request_json : {aggregate, rollup}) {
+    ParsedEnvelope envelope = ParseEnvelope(handle.Call(request_json));
+    EXPECT_FALSE(envelope.cached) << request_json;
+    ASSERT_TRUE(envelope.ok);
+  }
 }
 
 // Focused differential: sessions opened right before a publish and drained

@@ -142,6 +142,57 @@ TEST(WireTest, PointQueryMatchesDirectQuery) {
   EXPECT_EQ(parsed.epoch, 0u);
 }
 
+// Focused (non-differential) check of the ranged wire surface: the column
+// order of out-of-order roll-up dims, a "where" window, and a value-form
+// aggregate, all against hand-computed answers. "Fri" < "Mon" < "Thu" <
+// "Tue" < "Wed" lexicographically, so ["Mon","Thu"] covers {Mon, Thu} only.
+TEST(WireTest, OrderedRollupAndValueRangesMatchHandComputedRows) {
+  dwarf::CubeSchema schema(
+      "bikes",
+      {dwarf::DimensionSpec("Day", "", /*ordered_in=*/true),
+       dwarf::DimensionSpec("Station"), dwarf::DimensionSpec("Area")},
+      "bikes", dwarf::AggFn::kSum);
+  dwarf::DwarfBuilder builder(std::move(schema));
+  for (const auto& [keys, measure] : SeedTuples()) {
+    ASSERT_TRUE(builder.AddTuple(keys, measure).ok());
+  }
+  QueryServer server{std::move(builder).Build().ValueOrDie()};
+  ServerHandle handle(&server);
+
+  // dims out of schema order + a Day window: keys[0] must be the Area.
+  ParsedResponse rollup = ParseResponse(handle.Call(
+      R"({"op":"rollup","dims":["Area","Day"],)"
+      R"("where":[{"dim":"Day","lo":"Mon","hi":"Thu"}]})"));
+  ASSERT_TRUE(rollup.ok);
+  EXPECT_EQ(json::SerializeJson(rollup.value.Get("rows").ValueOrDie()),
+            R"([{"keys":["D2","Mon"],"measure":8},)"
+            R"({"keys":["D2","Thu"],"measure":6}])");
+
+  // Value-form aggregate over the same window: Mon (3+5) + Thu (6).
+  ParsedResponse aggregate = ParseResponse(handle.Call(
+      R"({"op":"aggregate","predicates":[)"
+      R"({"kind":"range","lo":"Mon","hi":"Thu"},)"
+      R"({"kind":"all"},{"kind":"all"}]})"));
+  ASSERT_TRUE(aggregate.ok);
+  EXPECT_EQ(
+      aggregate.value.Get("measure").ValueOrDie().AsNumber().ValueOrDie(),
+      14.0);
+
+  // A value range on an unordered dim is an invalid_argument, and a window
+  // covering no stored value is not_found.
+  ParsedResponse unordered = ParseResponse(handle.Call(
+      R"({"op":"aggregate","predicates":[{"kind":"all"},)"
+      R"({"kind":"range","lo":"A","hi":"Z"},{"kind":"all"}]})"));
+  EXPECT_FALSE(unordered.ok);
+  EXPECT_EQ(ErrorCode(unordered), "invalid_argument");
+  ParsedResponse gap = ParseResponse(handle.Call(
+      R"({"op":"aggregate","predicates":[)"
+      R"({"kind":"range","lo":"Sat","hi":"Sun"},)"
+      R"({"kind":"all"},{"kind":"all"}]})"));
+  EXPECT_FALSE(gap.ok);
+  EXPECT_EQ(ErrorCode(gap), "not_found");
+}
+
 TEST(WireTest, NormalizedCacheKeyIgnoresSpellingDifferences) {
   auto a = ParseRequest(R"({"op":"aggregate","predicates":[
       {"kind":"all"},{"kind":"set","keys":["b","a","b"]},

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Range-query smoke, run by the CI `release` job after bench_query_server
+# and runnable locally:
+#
+#   tools/check_range_pruning.sh [path/to/BENCH_server.json]
+#
+# Asserts the range phase of bench_query_server held its invariants on the
+# Month-scale dataset: the value-form range aggregate answered exactly like
+# the equivalent set enumeration, the min/max-rank subtree index actually
+# pruned subtrees (dwarf_range_subtrees_pruned_total moved), and the cached
+# range aggregate survived an outside-the-window publish as a revalidated
+# hit. SCDWARF_MIN_RANGE_SPEEDUP optionally also gates the pruned-vs-enum
+# latency ratio (default 0.0, i.e. off — the probe queries are microsecond
+# scale and CI runners are too noisy; docs/BENCHMARKS.md records the ratio
+# seen on quiet hardware instead).
+
+set -u
+bench_json="${1:-build/BENCH_server.json}"
+min_speedup="${SCDWARF_MIN_RANGE_SPEEDUP:-0.0}"
+
+if [[ ! -f "${bench_json}" ]]; then
+  echo "check_range_pruning: ${bench_json} not found (run bench_query_server first)" >&2
+  exit 1
+fi
+
+python3 - "${bench_json}" "${min_speedup}" <<'EOF'
+import json, sys
+
+path, min_speedup = sys.argv[1], float(sys.argv[2])
+results = json.load(open(path))["results"]
+rows = [r for r in results if r.get("range_dim")]
+if not rows:
+    sys.exit("check_range_pruning: no rows with a range phase in " + path)
+# Prefer the Month row (the acceptance scale); otherwise the largest dataset.
+row = next((r for r in rows if r.get("dataset") == "Month"),
+           max(rows, key=lambda r: r.get("tuples", 0)))
+pruned = row["range_subtrees_pruned"]
+speedup = row["range_speedup"]
+print(f"check_range_pruning: {row['dataset']} range({row['range_dim']}): "
+      f"pruned {row['range_pruned_us']:.1f} us vs enum "
+      f"{row['range_enum_us']:.1f} us ({speedup:.1f}x, required >= "
+      f"{min_speedup:.1f}x), {pruned} subtrees pruned, "
+      f"answers_match={row['range_answers_match']}, "
+      f"reval_hit={row['range_reval_hit']}")
+failures = []
+if not row["range_answers_match"]:
+    failures.append("range aggregate disagrees with the set enumeration")
+if pruned <= 0:
+    failures.append("dwarf_range_subtrees_pruned_total did not move")
+if not row["range_reval_hit"]:
+    failures.append("cached range aggregate was not revalidated across "
+                    "an outside-the-window publish")
+if speedup < min_speedup:
+    failures.append(f"range speedup {speedup:.1f}x below required "
+                    f"{min_speedup:.1f}x")
+if failures:
+    sys.exit("check_range_pruning: FAIL — " + "; ".join(failures))
+EOF
