@@ -15,6 +15,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "client/client.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "server/query_server.h"
 #include "server/tcp_server.h"
@@ -32,14 +34,17 @@ namespace scdwarf::replica {
 struct ReplicaOptions {
   std::string snapshot_dir;  ///< spool to bootstrap + follow (required)
   uint16_t port = 0;         ///< 0 = kernel-assigned
+  /// Address the TCP listener binds ("0.0.0.0" serves every interface —
+  /// required when the spool is a shared filesystem and clients are remote).
+  std::string bind_address = server::TcpServer::kLoopback;
   int num_workers = 1;
   size_t cache_capacity = 4096;
   size_t max_sessions = 64;
   size_t retain_epochs = 4;
   /// Spool poll period; 0 relies on publisher load_snapshot notifications.
   int poll_interval_ms = 0;
-  /// How long Start() waits for the first snapshot file to appear before
-  /// giving up (the publisher may still be starting).
+  /// How long Start() waits for the first loadable snapshot file to appear
+  /// before giving up (the publisher may still be starting).
   int bootstrap_wait_ms = 10000;
   size_t max_frame_bytes = 1 << 20;
 };
@@ -54,8 +59,14 @@ class ReplicaServer {
   ReplicaServer(const ReplicaServer&) = delete;
   ReplicaServer& operator=(const ReplicaServer&) = delete;
 
-  /// \brief Waits for a snapshot to appear in the spool (up to
-  /// bootstrap_wait_ms), loads the newest one, and starts serving.
+  /// \brief Waits for a loadable snapshot to appear in the spool (up to
+  /// bootstrap_wait_ms), then catches up: the trailing retain_epochs spool
+  /// files are loaded oldest-first, so a restarted replica rejoins at the
+  /// newest spooled epoch — without waiting for a publisher notification —
+  /// with its epoch-retention window already populated for epoch-pinned
+  /// router failover. Corrupt or truncated files are skipped (counted by
+  /// replica_snapshot_load_failures_total), never fatal, as long as at
+  /// least one file loads.
   Status Start();
 
   /// \brief Stops serving and joins the poll thread. Idempotent.
@@ -67,14 +78,27 @@ class ReplicaServer {
   server::TcpServer* tcp() { return tcp_.get(); }
 
   /// \brief Loads every spool snapshot newer than the current epoch, in
-  /// epoch order. Returns how many were loaded. The poll thread calls this
-  /// periodically; tests call it directly.
+  /// epoch order. Returns how many were loaded. A file that fails to load
+  /// (truncated, bad magic, mid-rename garbage) is skipped with
+  /// replica_snapshot_load_failures_total bumped — the next good file still
+  /// loads and serving never stops; a failed path is not re-attempted until
+  /// its size changes. The poll thread calls this periodically; tests call
+  /// it directly.
   Result<size_t> PollOnce();
 
  private:
+  /// True when \p path already failed at its current size (so one bad file
+  /// is counted once, not once per poll).
+  bool AlreadyFailed(const std::string& path);
+  void RememberFailure(const std::string& path, const Status& status);
+
   ReplicaOptions options_;
   std::unique_ptr<server::QueryServer> server_;
   std::unique_ptr<server::TcpServer> tcp_;
+  metrics::Counter* load_failures_;  ///< replica_snapshot_load_failures_total
+  metrics::Counter* catchup_loads_;  ///< replica_catchup_loads_total
+  std::mutex failed_mu_;
+  std::map<std::string, uint64_t> failed_sizes_;  ///< guarded by failed_mu_
   std::mutex poll_mu_;
   std::condition_variable poll_cv_;
   bool stopping_ = false;  ///< guarded by poll_mu_

@@ -5,13 +5,16 @@
 // follows later epochs via publisher "load_snapshot" notifications and/or
 // spool polling:
 //
-//   scdwarf_replica --snapshot-dir=DIR [--port=N] [--workers=N]
+//   scdwarf_replica --snapshot-dir=DIR [--port=N] [--bind=ADDR] [--workers=N]
 //                   [--poll-ms=N] [--cache-capacity=N] [--retain-epochs=N]
 //                   [--metrics-dump=PATH] [--trace-dump=PATH]
 //                   [--prometheus-dump=PATH]
 //
 //   --snapshot-dir=DIR   spool directory to bootstrap from (required)
-//   --port=N             TCP port on 127.0.0.1 (default 0 = kernel-assigned)
+//   --port=N             TCP port (default 0 = kernel-assigned)
+//   --bind=ADDR          IPv4 address to listen on (default 127.0.0.1;
+//                        0.0.0.0 serves every interface — use when the spool
+//                        is on a shared filesystem and clients are remote)
 //   --workers=N          query worker threads (default 1)
 //   --poll-ms=N          poll the spool every N ms for new epochs
 //                        (default 0 = rely on load_snapshot notifications)
@@ -21,7 +24,7 @@
 //   --trace-dump=PATH    enable span tracing; write chrome://tracing JSON
 //   --prometheus-dump=PATH  on exit, write Prometheus text-format metrics
 //
-// Prints "replica serving on 127.0.0.1:PORT (epoch N, ...)" once ready —
+// Prints "replica serving on ADDR:PORT (epoch N, ...)" once ready —
 // parent processes (bench_router) parse that line, so it is flushed
 // explicitly. Runs until stdin closes or a "quit" line arrives.
 
@@ -56,6 +59,8 @@ int main(int argc, char** argv) {
       options.snapshot_dir = arg.substr(15);
     } else if (arg.rfind("--port=", 0) == 0) {
       options.port = static_cast<uint16_t>(std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--bind=", 0) == 0) {
+      options.bind_address = arg.substr(7);
     } else if (arg.rfind("--workers=", 0) == 0) {
       options.num_workers = std::atoi(arg.c_str() + 10);
     } else if (arg.rfind("--poll-ms=", 0) == 0) {
@@ -78,8 +83,8 @@ int main(int argc, char** argv) {
   }
   if (options.snapshot_dir.empty()) {
     std::cerr << "usage: scdwarf_replica --snapshot-dir=DIR [--port=N] "
-                 "[--workers=N] [--poll-ms=N] [--cache-capacity=N] "
-                 "[--retain-epochs=N]\n";
+                 "[--bind=ADDR] [--workers=N] [--poll-ms=N] "
+                 "[--cache-capacity=N] [--retain-epochs=N]\n";
     return 2;
   }
   if (!trace_dump.empty()) trace::SetEnabled(true);
@@ -91,7 +96,8 @@ int main(int argc, char** argv) {
   }
   // stdout may be a pipe (bench_router forks replicas and parses this line):
   // flush so the parent is never left blocking on a buffered banner.
-  std::cout << "replica serving on 127.0.0.1:" << replica_server.port()
+  std::cout << "replica serving on " << replica_server.tcp()->bind_address()
+            << ":" << replica_server.port()
             << " (epoch " << replica_server.epoch() << ", "
             << replica_server.server()->num_workers() << " worker(s), spool "
             << options.snapshot_dir << ")" << std::endl;

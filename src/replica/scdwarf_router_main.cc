@@ -6,11 +6,13 @@
 // until they answer pings again. See src/replica/router.h.
 //
 //   scdwarf_router --replicas=HOST:PORT,HOST:PORT,... [--port=N]
-//                  [--health-ms=N] [--metrics-dump=PATH]
+//                  [--bind=ADDR] [--health-ms=N] [--metrics-dump=PATH]
 //                  [--prometheus-dump=PATH]
 //
 //   --replicas=LIST      comma-separated replica endpoints (required)
-//   --port=N             TCP port on 127.0.0.1 (default 0 = kernel-assigned)
+//   --port=N             TCP port (default 0 = kernel-assigned)
+//   --bind=ADDR          IPv4 address to listen on (default 127.0.0.1;
+//                        0.0.0.0 serves every interface)
 //   --health-ms=N        health-check period (default 500; 0 disables)
 //   --metrics-dump=PATH  on exit, write the router metric registry as JSON
 //   --prometheus-dump=PATH  on exit, write Prometheus text-format metrics
@@ -43,6 +45,7 @@ int main(int argc, char** argv) {
   std::string metrics_dump;
   std::string prometheus_dump;
   int port = 0;
+  std::string bind_address = server::TcpServer::kLoopback;
   replica::RouterOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -50,6 +53,8 @@ int main(int argc, char** argv) {
       replica_list = arg.substr(11);
     } else if (arg.rfind("--port=", 0) == 0) {
       port = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--bind=", 0) == 0) {
+      bind_address = arg.substr(7);
     } else if (arg.rfind("--health-ms=", 0) == 0) {
       options.health_interval_ms = std::atoi(arg.c_str() + 12);
     } else if (arg.rfind("--metrics-dump=", 0) == 0) {
@@ -63,7 +68,7 @@ int main(int argc, char** argv) {
   }
   if (replica_list.empty()) {
     std::cerr << "usage: scdwarf_router --replicas=HOST:PORT,... [--port=N] "
-                 "[--health-ms=N]\n";
+                 "[--bind=ADDR] [--health-ms=N]\n";
     return 2;
   }
   auto endpoints = client::ParseEndpointList(replica_list);
@@ -75,12 +80,14 @@ int main(int argc, char** argv) {
   replica::Router router(*endpoints, options);
   router.CheckReplicasOnce();  // populate health + epochs before serving
   server::TcpServer tcp(&router);
-  if (Status status = tcp.Start(static_cast<uint16_t>(port)); !status.ok()) {
+  if (Status status = tcp.Start(static_cast<uint16_t>(port), bind_address);
+      !status.ok()) {
     std::cerr << status << "\n";
     return 1;
   }
   // Flushed for the same reason as the replica banner: parents parse it.
-  std::cout << "router serving on 127.0.0.1:" << tcp.port() << " over "
+  std::cout << "router serving on " << tcp.bind_address() << ":" << tcp.port()
+            << " over "
             << router.num_replicas() << " replica(s), "
             << router.healthy_replicas() << " healthy (epoch "
             << router.BestEpoch() << ")" << std::endl;

@@ -5,9 +5,10 @@
 //
 //   scdwarf_server [--metrics-dump=PATH] [--trace-dump=PATH] [--full-rebuild]
 //                  [--snapshot-dir=DIR] [--notify=HOST:PORT,...]
-//                  [--prometheus-dump=PATH] [port] [records] [workers]
+//                  [--bind=ADDR] [--prometheus-dump=PATH]
+//                  [port] [records] [workers]
 //
-//   port     TCP port on 127.0.0.1 (default 0 = kernel-assigned, printed)
+//   port     TCP port (default 0 = kernel-assigned, printed)
 //   records  synthetic feed records for the served cube (default 20000)
 //   workers  query worker threads (default 0 = SCDWARF_THREADS / hardware)
 //
@@ -21,6 +22,8 @@
 //                        DIR (replica fleet feed; see docs/OPERATIONS.md)
 //   --notify=LIST        comma-separated replica endpoints to send
 //                        "load_snapshot" after each spooled publish
+//   --bind=ADDR          IPv4 address to listen on (default 127.0.0.1;
+//                        0.0.0.0 serves every interface)
 //   --prometheus-dump=PATH  on exit, write the metric registries in
 //                        Prometheus text exposition format to PATH
 //
@@ -67,6 +70,7 @@ int main(int argc, char** argv) {
   std::string prometheus_dump;
   std::string snapshot_dir;
   std::string notify_list;
+  std::string bind_address = server::TcpServer::kLoopback;
   bool full_rebuild = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -81,6 +85,8 @@ int main(int argc, char** argv) {
       snapshot_dir = arg.substr(15);
     } else if (arg.rfind("--notify=", 0) == 0) {
       notify_list = arg.substr(9);
+    } else if (arg.rfind("--bind=", 0) == 0) {
+      bind_address = arg.substr(7);
     } else if (arg == "--full-rebuild") {
       full_rebuild = true;
     } else {
@@ -144,11 +150,13 @@ int main(int argc, char** argv) {
   }
   server::QueryServer server(std::move(*cube), options);
   server::TcpServer tcp(&server);
-  if (Status status = tcp.Start(static_cast<uint16_t>(port)); !status.ok()) {
+  if (Status status = tcp.Start(static_cast<uint16_t>(port), bind_address);
+      !status.ok()) {
     std::cerr << status << "\n";
     return 1;
   }
-  std::cout << "serving on 127.0.0.1:" << tcp.port() << " with "
+  std::cout << "serving on " << tcp.bind_address() << ":" << tcp.port()
+            << " with "
             << server.num_workers() << " worker(s)\n"
             << "wire: 4-byte big-endian length + JSON, e.g.\n"
             << R"(  {"op":"point","keys":[null,null,null,null,null,null,null,null]})"

@@ -12,20 +12,24 @@
 
 namespace scdwarf::server {
 
-Status TcpServer::Start(uint16_t port) {
+Status TcpServer::Start(uint16_t port, const std::string& bind_address) {
   if (listen_fd_ >= 0) {
     return Status::FailedPrecondition("server already started");
   }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        "invalid bind address \"" + bind_address +
+        "\" (expected an IPv4 literal such as 127.0.0.1 or 0.0.0.0)");
+  }
+  addr.sin_port = htons(port);
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IoError("socket: " + std::string(std::strerror(errno)));
   }
   int enable = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     Status status =
         Status::IoError("bind: " + std::string(std::strerror(errno)));
@@ -48,6 +52,7 @@ Status TcpServer::Start(uint16_t port) {
   }
   listen_fd_ = fd;
   port_ = ntohs(bound.sin_port);
+  bind_address_ = bind_address;
   stopping_.store(false, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -22,7 +23,9 @@
 
 namespace scdwarf::server {
 
-/// \brief Loopback TCP listener serving one FrameHandler.
+/// \brief TCP listener serving one FrameHandler. Binds loopback by default;
+/// pass a bind address to Start() to serve a whole machine or rack
+/// ("0.0.0.0" for every interface — the fleet binaries expose it as --bind).
 class TcpServer {
  public:
   /// \p server must outlive this object. Frames beyond \p max_frame_bytes
@@ -34,12 +37,20 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds 127.0.0.1:\p port (0 = kernel-assigned, see port()) and starts
-  /// the accept thread.
-  Status Start(uint16_t port = 0);
+  /// Binds \p bind_address:\p port (port 0 = kernel-assigned, see port())
+  /// and starts the accept thread. \p bind_address must be an IPv4 literal
+  /// ("127.0.0.1", "0.0.0.0", a specific interface address); anything else
+  /// is an InvalidArgument before any socket is opened.
+  Status Start(uint16_t port = 0, const std::string& bind_address = kLoopback);
+
+  /// The default bind address: loopback only.
+  static constexpr const char* kLoopback = "127.0.0.1";
 
   /// The bound port; valid after a successful Start().
   int port() const { return port_; }
+
+  /// The address Start() bound; valid after a successful Start().
+  const std::string& bind_address() const { return bind_address_; }
 
   /// Shuts the listener and every live connection down and joins all
   /// threads. Idempotent; also run by the destructor.
@@ -67,6 +78,7 @@ class TcpServer {
   size_t max_frame_bytes_;
   int listen_fd_ = -1;
   int port_ = 0;
+  std::string bind_address_;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::mutex mu_;  ///< guards connections_, finished_, next_connection_id_

@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -278,14 +281,10 @@ TEST(SnapshotCodecTest, OrderedFlagsSurviveRoundTrip) {
   fs::remove_all(dir);
 }
 
-// A v1 file (predating the per-dimension ordered byte) still loads, as
-// all-unordered; versions past kVersion are rejected cleanly.
-TEST(SnapshotCodecTest, V1SnapshotsLoadAsUnordered) {
-  dwarf::DwarfCube cube = BuildCube(0xabc, 40);  // all-unordered schema
-  fs::path dir = ScratchDir("v1compat");
-  const std::string v2_path = (dir / SnapshotFileName(2)).string();
-  ASSERT_TRUE(WriteCubeSnapshot(cube, 2, v2_path).ok());
-  std::string bytes = ReadFileBytes(v2_path);
+/// Downgrades v2 snapshot bytes to the v1 layout in place: version field
+/// back to 1 and the per-dimension ordered byte v2 appends after each
+/// dimension spec stripped (it must be 0 — v1 cannot express ordered dims).
+std::string DowngradeV2ToV1(std::string bytes) {
   auto u32le = [&bytes](size_t pos) {
     uint32_t v = 0;
     for (int i = 3; i >= 0; --i) {
@@ -294,11 +293,8 @@ TEST(SnapshotCodecTest, V1SnapshotsLoadAsUnordered) {
     }
     return v;
   };
-
-  // Downgrade in place: version 2 -> 1, and strip the ordered byte v2
-  // appends after each dimension spec (0 for this cube).
   size_t pos = 8;  // past the magic
-  ASSERT_EQ(u32le(pos), 2u);
+  EXPECT_EQ(u32le(pos), 2u);
   bytes[pos] = 1;
   pos += 4 + 8;             // version + epoch
   pos += 4 + u32le(pos);    // schema name
@@ -307,11 +303,21 @@ TEST(SnapshotCodecTest, V1SnapshotsLoadAsUnordered) {
   for (uint32_t d = 0; d < num_dims; ++d) {
     pos += 4 + u32le(pos);  // dimension name
     pos += 4 + u32le(pos);  // dimension table
-    ASSERT_EQ(bytes[pos], 0);
+    EXPECT_EQ(bytes[pos], 0);
     bytes.erase(pos, 1);
   }
+  return bytes;
+}
+
+// A v1 file (predating the per-dimension ordered byte) still loads, as
+// all-unordered; versions past kVersion are rejected cleanly.
+TEST(SnapshotCodecTest, V1SnapshotsLoadAsUnordered) {
+  dwarf::DwarfCube cube = BuildCube(0xabc, 40);  // all-unordered schema
+  fs::path dir = ScratchDir("v1compat");
+  const std::string v2_path = (dir / SnapshotFileName(2)).string();
+  ASSERT_TRUE(WriteCubeSnapshot(cube, 2, v2_path).ok());
   const std::string v1_path = (dir / SnapshotFileName(3)).string();
-  WriteFileBytes(v1_path, bytes);
+  WriteFileBytes(v1_path, DowngradeV2ToV1(ReadFileBytes(v2_path)));
 
   auto loaded = LoadCubeSnapshot(v1_path);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
@@ -329,6 +335,73 @@ TEST(SnapshotCodecTest, V1SnapshotsLoadAsUnordered) {
   WriteFileBytes(future_path, future);
   EXPECT_TRUE(LoadCubeSnapshot(future_path).status().IsInvalidArgument());
   fs::remove_all(dir);
+}
+
+/// The fixed cube behind the committed v1 golden file — small enough that
+/// the pinned answers below are hand-checkable.
+dwarf::DwarfCube GoldenCube() {
+  dwarf::DwarfBuilder builder(TestSchema());
+  const std::vector<std::tuple<const char*, const char*, Measure>> tuples = {
+      {"Mon", "Station0", 5},  {"Mon", "Station1", 7}, {"Tue", "Station0", 11},
+      {"Wed", "Station2", 13}, {"Mon", "Station0", 3}, {"Sun", "Station4", 2},
+  };
+  for (const auto& [day, station, measure] : tuples) {
+    EXPECT_TRUE(builder.AddTuple({day, station}, measure).ok());
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+// The committed golden file pins the v1 on-disk layout: bytes an older
+// publisher shipped must keep loading under every future reader, with the
+// answers they encoded. Unlike V1SnapshotsLoadAsUnordered (which downgrades
+// bytes produced by *today's* writer), this catches reader regressions
+// against the historical format even after the writer moves on.
+// SCDWARF_REGEN_GOLDEN=1 rewrites the file and prints fresh pinned payloads
+// — only legitimate when the downgrade helper itself changes; never regen to
+// paper over a reader-side failure.
+TEST(SnapshotCodecTest, V1GoldenFileKeepsLoadingWithPinnedAnswers) {
+  const std::string golden =
+      std::string(SCDWARF_TESTDATA_DIR) + "/epoch-v1-golden.cf";
+  const std::pair<const char*, const char*> kPinned[] = {
+      {R"({"op":"point","keys":["Mon","Station0"]})", R"({"measure":8})"},
+      {R"({"op":"point","keys":[null,null]})", R"({"measure":41})"},
+      {R"({"op":"rollup","dims":["Day"]})",
+       R"({"rows":[{"keys":["Mon"],"measure":15},{"keys":["Tue"],"measure":11},)"
+       R"({"keys":["Wed"],"measure":13},{"keys":["Sun"],"measure":2}]})"},
+      {R"({"op":"slice","dim":"Station","key":"Station0"})",
+       R"({"rows":[{"keys":["Mon"],"measure":8},)"
+       R"({"keys":["Tue"],"measure":11}]})"},
+  };
+
+  if (std::getenv("SCDWARF_REGEN_GOLDEN") != nullptr) {
+    fs::path dir = ScratchDir("golden_regen");
+    const std::string v2_path = (dir / SnapshotFileName(1)).string();
+    ASSERT_TRUE(WriteCubeSnapshot(GoldenCube(), 1, v2_path).ok());
+    WriteFileBytes(golden, DowngradeV2ToV1(ReadFileBytes(v2_path)));
+    fs::remove_all(dir);
+    for (const auto& [request_json, unused] : kPinned) {
+      auto request = ParseRequest(request_json);
+      ASSERT_TRUE(request.ok());
+      ExecResult fresh = server::ExecuteRequest(GoldenCube(), *request);
+      std::fprintf(stderr, "pin %s -> %s\n", request_json,
+                   fresh.payload_json.c_str());
+    }
+  }
+
+  auto loaded = LoadCubeSnapshot(golden);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->epoch, 1u);
+  for (const auto& dim : loaded->cube.schema().dimensions()) {
+    EXPECT_FALSE(dim.ordered);
+  }
+  ExpectSameAnswers(GoldenCube(), loaded->cube);
+  for (const auto& [request_json, payload] : kPinned) {
+    auto request = ParseRequest(request_json);
+    ASSERT_TRUE(request.ok()) << request_json;
+    ExecResult got = server::ExecuteRequest(loaded->cube, *request);
+    EXPECT_TRUE(got.ok) << request_json;
+    EXPECT_EQ(got.payload_json, payload) << request_json;
+  }
 }
 
 TEST(SnapshotCodecTest, TruncatedAndCorruptBytesNeverCrash) {
