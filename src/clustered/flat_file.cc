@@ -20,7 +20,7 @@ using dwarf::Measure;
 using dwarf::NodeId;
 
 /// Serializes one node with node-indexed children (file ids, not offsets).
-void EncodeNode(const DwarfCube& cube, const DwarfNode& node,
+void EncodeNode(const DwarfCube& cube, const dwarf::NodeView& node,
                 const std::vector<uint32_t>& file_ids, ByteWriter* out) {
   bool leaf = cube.IsLeafLevel(node.level);
   out->PutVarint(node.level);

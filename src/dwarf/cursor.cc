@@ -100,7 +100,7 @@ size_t RowCursor::Next(size_t max_rows, std::vector<SliceRow>* out) {
   size_t produced = 0;
   while (produced < max_rows && !stack_.empty()) {
     Frame& frame = stack_.back();
-    const DwarfNode& node = cube_->node(frame.node);
+    const NodeView node = cube_->node(frame.node);
     bool leaf = static_cast<size_t>(frame.level) + 1 == cube_->num_dimensions();
     if (enumerate_[frame.level]) {
       if (frame.next_cell == node.cells.size()) {

@@ -2,42 +2,86 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace scdwarf::dwarf {
 
-const DwarfCell* DwarfNode::FindCell(DimKey key) const {
+std::atomic<int64_t> NodeArena::live_instances_{0};
+
+namespace {
+
+const DwarfCell* FindCellIn(const DwarfCell* begin, const DwarfCell* end,
+                            DimKey key) {
   auto it = std::lower_bound(
-      cells.begin(), cells.end(), key,
+      begin, end, key,
       [](const DwarfCell& cell, DimKey k) { return cell.key < k; });
-  if (it == cells.end() || it->key != key) return nullptr;
-  return &*it;
+  if (it == end || it->key != key) return nullptr;
+  return it;
 }
 
-const DwarfNode& DwarfCube::NodeInSharedChunk(NodeId id) const {
+}  // namespace
+
+const DwarfCell* DwarfNode::FindCell(DimKey key) const {
+  return FindCellIn(cells.data(), cells.data() + cells.size(), key);
+}
+
+const DwarfCell* NodeView::FindCell(DimKey key) const {
+  return FindCellIn(cells.begin(), cells.end(), key);
+}
+
+DwarfNode MaterializeNode(const NodeView& view) {
+  DwarfNode node;
+  node.cells.assign(view.cells.begin(), view.cells.end());
+  node.all_child = view.all_child;
+  node.all_measure = view.all_measure;
+  node.level = view.level;
+  node.all_coalesced = view.all_coalesced;
+  return node;
+}
+
+std::shared_ptr<const NodeArena> FlattenNodes(const std::vector<DwarfNode>& nodes) {
+  size_t total_cells = 0;
+  for (const DwarfNode& node : nodes) total_cells += node.cells.size();
+  std::vector<FlatNode> flat;
+  flat.reserve(nodes.size());
+  std::vector<DwarfCell> cells;
+  cells.reserve(total_cells);
+  for (const DwarfNode& node : nodes) {
+    FlatNode entry;
+    entry.first_cell = static_cast<uint32_t>(cells.size());
+    entry.num_cells = static_cast<uint32_t>(node.cells.size());
+    entry.all_child = node.all_child;
+    entry.level = node.level;
+    entry.flags = node.all_coalesced ? FlatNode::kAllCoalesced : 0;
+    entry.all_measure = node.all_measure;
+    flat.push_back(entry);
+    cells.insert(cells.end(), node.cells.begin(), node.cells.end());
+  }
+  return std::make_shared<const NodeArena>(std::move(flat), std::move(cells));
+}
+
+NodeView DwarfCube::NodeInSharedChunk(NodeId id) const {
   // Last chunk with begin <= id; the caller already excluded the final chunk.
   auto it = std::upper_bound(
       chunks_.begin(), chunks_.end(), id,
       [](NodeId value, const NodeChunk& chunk) { return value < chunk.begin; });
   const NodeChunk& chunk = *std::prev(it);
-  return (*chunk.nodes)[id - chunk.begin];
+  return chunk.arena->View(id - chunk.begin);
 }
 
 void DwarfCube::AdoptArena(std::vector<DwarfNode> nodes) {
   num_nodes_ = nodes.size();
   chunks_.clear();
-  chunks_.push_back(
-      {0, std::make_shared<const std::vector<DwarfNode>>(std::move(nodes))});
+  chunks_.push_back({0, FlattenNodes(nodes)});
 }
 
 void DwarfCube::ShareArenaAndAppend(const DwarfCube& base,
                                     std::vector<DwarfNode> tail) {
   chunks_ = base.chunks_;
   num_nodes_ = base.num_nodes_ + tail.size();
-  chunks_.push_back(
-      {static_cast<NodeId>(base.num_nodes_),
-       std::make_shared<const std::vector<DwarfNode>>(std::move(tail))});
+  chunks_.push_back({static_cast<NodeId>(base.num_nodes_), FlattenNodes(tail)});
 }
 
 void DwarfCube::FinalizeOrderedViews() {
@@ -70,12 +114,12 @@ CubeStats DwarfCube::ComputeStats() const {
   while (!stack.empty()) {
     NodeId id = stack.back();
     stack.pop_back();
-    const DwarfNode& node = this->node(id);
+    const NodeView node = this->node(id);
     ++stats.node_count;
     stats.cell_count += node.cells.size();
     if (node.all_coalesced) ++stats.coalesced_all_count;
     stats.approx_bytes +=
-        sizeof(DwarfNode) + node.cells.size() * sizeof(DwarfCell);
+        sizeof(FlatNode) + node.cells.size() * sizeof(DwarfCell);
     if (IsLeafLevel(node.level)) continue;
     for (const DwarfCell& cell : node.cells) {
       if (!visited[cell.child]) {
@@ -91,11 +135,91 @@ CubeStats DwarfCube::ComputeStats() const {
   return stats;
 }
 
+Result<DwarfCube> DwarfCube::FromFlatArena(
+    CubeSchema schema, std::vector<Dictionary> dictionaries,
+    std::shared_ptr<const NodeArena> arena, NodeId root,
+    const CubeStats& stats) {
+  SCD_RETURN_IF_ERROR(schema.Validate());
+  if (dictionaries.size() != schema.num_dimensions()) {
+    return Status::InvalidArgument("flat arena needs one dictionary per dimension");
+  }
+  if (arena == nullptr) {
+    return Status::InvalidArgument("flat arena is null");
+  }
+  const size_t num_dims = schema.num_dimensions();
+  const size_t num_nodes = arena->num_nodes();
+  const size_t num_cells = arena->num_cells();
+  const FlatNode* nodes = arena->nodes();
+  const DwarfCell* cells = arena->cells();
+  if (root == kNullNode && num_nodes != 0) {
+    return Status::InvalidArgument("flat arena has nodes but no root");
+  }
+  if (root != kNullNode && root >= num_nodes) {
+    return Status::InvalidArgument("flat arena root id out of range");
+  }
+  for (size_t i = 0; i < num_nodes; ++i) {
+    const FlatNode& node = nodes[i];
+    if (node.level >= num_dims) {
+      return Status::InvalidArgument("flat arena node " + std::to_string(i) +
+                                     " has invalid level " +
+                                     std::to_string(node.level));
+    }
+    // 64-bit sum: first_cell + num_cells cannot wrap past the check.
+    if (static_cast<uint64_t>(node.first_cell) + node.num_cells > num_cells) {
+      return Status::InvalidArgument("flat arena node " + std::to_string(i) +
+                                     " cell run out of range");
+    }
+    bool leaf = static_cast<size_t>(node.level) + 1 == num_dims;
+    const DwarfCell* run = cells + node.first_cell;
+    for (uint32_t c = 0; c < node.num_cells; ++c) {
+      // Child level must be exactly level + 1: levels strictly increase along
+      // every edge, so a corrupt file cannot smuggle in a reference cycle.
+      if (!leaf) {
+        if (run[c].child >= num_nodes) {
+          return Status::InvalidArgument("flat arena node " + std::to_string(i) +
+                                         " has dangling child reference");
+        }
+        if (nodes[run[c].child].level != node.level + 1) {
+          return Status::InvalidArgument("flat arena node " + std::to_string(i) +
+                                         " child level mismatch");
+        }
+      }
+      if (c > 0 && run[c - 1].key >= run[c].key) {
+        return Status::InvalidArgument("flat arena node " + std::to_string(i) +
+                                       " cells are not strictly sorted");
+      }
+    }
+    if (!leaf) {
+      if (node.all_child >= num_nodes) {
+        return Status::InvalidArgument("flat arena node " + std::to_string(i) +
+                                       " has dangling ALL reference");
+      }
+      if (nodes[node.all_child].level != node.level + 1) {
+        return Status::InvalidArgument("flat arena node " + std::to_string(i) +
+                                       " ALL level mismatch");
+      }
+    }
+  }
+  if (root != kNullNode && nodes[root].level != 0) {
+    return Status::InvalidArgument("flat arena root is not a level-0 node");
+  }
+  DwarfCube cube;
+  cube.schema_ = std::move(schema);
+  cube.dictionaries_ = std::move(dictionaries);
+  cube.root_ = root;
+  cube.num_nodes_ = num_nodes;
+  cube.chunks_.clear();
+  cube.chunks_.push_back({0, std::move(arena)});
+  cube.stats_ = stats;
+  cube.FinalizeOrderedViews();
+  return cube;
+}
+
 namespace {
 
 void DebugPrint(const DwarfCube& cube, NodeId id, int indent,
                 std::ostringstream* out) {
-  const DwarfNode& node = cube.node(id);
+  const NodeView node = cube.node(id);
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   bool leaf = cube.IsLeafLevel(node.level);
   *out << pad << "node#" << id << " ["
@@ -124,14 +248,14 @@ void DebugPrint(const DwarfCube& cube, NodeId id, int indent,
 /// Recursively compares the subtrees rooted at `a_id` / `b_id`.
 bool SubtreeEquals(const DwarfCube& a, NodeId a_id, const DwarfCube& b,
                    NodeId b_id) {
-  const DwarfNode& na = a.node(a_id);
-  const DwarfNode& nb = b.node(b_id);
+  const NodeView na = a.node(a_id);
+  const NodeView nb = b.node(b_id);
   if (na.level != nb.level) return false;
   if (na.cells.size() != nb.cells.size()) return false;
   bool leaf = a.IsLeafLevel(na.level);
   // Compare by decoded label, not raw id: two cubes may have assigned
   // dictionary ids in different orders, which also changes cell sort order.
-  auto label_order = [](const DwarfCube& cube, const DwarfNode& node) {
+  auto label_order = [](const DwarfCube& cube, const NodeView& node) {
     std::vector<std::pair<std::string, const DwarfCell*>> ordered;
     ordered.reserve(node.cells.size());
     for (const DwarfCell& cell : node.cells) {

@@ -58,7 +58,7 @@ NodeId CubeMerger::ImportSubtree(NodeId delta_id) {
   // Copy by value: Commit below may reallocate tail_ but never touches the
   // delta arena, so holding a reference into delta_ across recursion is fine;
   // the copy is for the remap.
-  DwarfNode copy = delta_.node(delta_id);
+  DwarfNode copy = MaterializeNode(delta_.node(delta_id));
   if (!delta_.IsLeafLevel(copy.level)) {
     for (DwarfCell& cell : copy.cells) cell.child = ImportSubtree(cell.child);
     // Memoization keeps a coalesced ALL aliasing its cell's subtree: the
@@ -75,8 +75,8 @@ NodeId CubeMerger::MergeNodes(NodeId base_id, NodeId delta_id) {
   auto it = merge_memo_.find(key);
   if (it != merge_memo_.end()) return it->second;
 
-  const DwarfNode& b = base_.node(base_id);
-  const DwarfNode& d = delta_.node(delta_id);
+  const NodeView b = base_.node(base_id);
+  const NodeView d = delta_.node(delta_id);
   SCD_CHECK(b.level == d.level);
   bool leaf = base_.IsLeafLevel(b.level);
   AggFn agg = base_.agg();

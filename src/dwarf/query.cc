@@ -76,7 +76,7 @@ Result<Measure> PointQuery(const DwarfCube& cube,
 
   NodeId current = cube.root();
   for (size_t level = 0; level < keys.size(); ++level) {
-    const DwarfNode& node = cube.node(current);
+    const NodeView node = cube.node(current);
     bool leaf = level + 1 == keys.size();
     if (keys[level].has_value()) {
       const DwarfCell* cell = node.FindCell(*keys[level]);
@@ -136,7 +136,7 @@ struct AggregateEvaluator {
         }
       }
     }
-    const DwarfNode& node = cube.node(id);
+    const NodeView node = cube.node(id);
     const DimPredicate& pred = predicates[level];
     bool leaf = level + 1 == predicates.size();
     if (pred.kind == DimPredicate::Kind::kAll) {
@@ -296,7 +296,7 @@ struct Enumerator {
 
   void Visit(NodeId id, size_t level) {
     if (Prunable(id, level)) return;
-    const DwarfNode& node = cube.node(id);
+    const NodeView node = cube.node(id);
     bool leaf = level + 1 == cube.num_dimensions();
     if (enumerate[level]) {
       const Dictionary& dict = cube.dictionary(level);
@@ -323,7 +323,7 @@ struct Enumerator {
     }
   }
 
-  void Emit(const DwarfNode&, const DwarfCell& cell, bool leaf, size_t level) {
+  void Emit(const NodeView&, const DwarfCell& cell, bool leaf, size_t level) {
     if (leaf) {
       rows->push_back({labels, cell.measure});
     } else {

@@ -42,7 +42,7 @@ struct SpanBuilder {
   void Visit(NodeId id) {
     if (visited[id]) return;
     visited[id] = true;
-    const DwarfNode& node = cube.node(id);
+    const NodeView node = cube.node(id);
     if (!cube.IsLeafLevel(node.level)) {
       for (const DwarfCell& cell : node.cells) Visit(cell.child);
       Visit(node.all_child);

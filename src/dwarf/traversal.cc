@@ -9,7 +9,7 @@ namespace {
 
 Status VisitOneNode(const DwarfCube& cube, NodeId id, const CubeVisitor& visitor,
                     bool leaf) {
-  const DwarfNode& node = cube.node(id);
+  const NodeView node = cube.node(id);
   if (visitor.on_node) {
     SCD_RETURN_IF_ERROR(visitor.on_node(id, node));
   }
@@ -27,7 +27,7 @@ Status VisitOneNode(const DwarfCube& cube, NodeId id, const CubeVisitor& visitor
 /// Appends a node's unvisited children (cell children plus the ALL child).
 void PushChildren(const DwarfCube& cube, NodeId id, std::vector<bool>* visited,
                   std::deque<NodeId>* queue, bool front) {
-  const DwarfNode& node = cube.node(id);
+  const NodeView node = cube.node(id);
   if (cube.IsLeafLevel(node.level)) return;
   // For depth-first order children are pushed to the front in reverse so the
   // first cell's subtree is processed first, mirroring §4's description.
@@ -77,7 +77,7 @@ std::vector<NodeId> CollectReachableNodes(const DwarfCube& cube,
   std::vector<NodeId> ids;
   ids.reserve(cube.num_nodes());
   CubeVisitor visitor;
-  visitor.on_node = [&ids](NodeId id, const DwarfNode&) {
+  visitor.on_node = [&ids](NodeId id, const NodeView&) {
     ids.push_back(id);
     return Status::OK();
   };
@@ -99,7 +99,7 @@ std::vector<std::vector<NodeId>> ComputeParentIds(const DwarfCube& cube) {
       CollectReachableNodes(cube, TraversalOrder::kBreadthFirst);
   std::sort(reachable.begin(), reachable.end());
   for (NodeId id : reachable) {
-    const DwarfNode& node = cube.node(id);
+    const NodeView node = cube.node(id);
     if (cube.IsLeafLevel(node.level)) continue;
     for (const DwarfCell& cell : node.cells) add_parent(cell.child, id);
     add_parent(node.all_child, id);

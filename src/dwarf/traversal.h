@@ -31,7 +31,7 @@ enum class TraversalOrder {
 /// walk and is propagated.
 struct CubeVisitor {
   /// Called once per reachable node, before its cells.
-  std::function<Status(NodeId id, const DwarfNode& node)> on_node;
+  std::function<Status(NodeId id, const NodeView& node)> on_node;
 
   /// Called once per regular cell of each visited node. \p leaf is true on
   /// the bottom level where the cell carries a measure.
@@ -41,7 +41,7 @@ struct CubeVisitor {
   /// Called once per node for its ALL cell. For interior nodes
   /// \p all_child is the aggregate sub-dwarf; for leaves \p all_measure
   /// carries the aggregate.
-  std::function<Status(NodeId parent_id, const DwarfNode& node, bool leaf)>
+  std::function<Status(NodeId parent_id, const NodeView& node, bool leaf)>
       on_all_cell;
 };
 

@@ -19,7 +19,7 @@ bool CubeContainsPath(const DwarfCube& cube,
   for (size_t dim = 0; dim < keys.size(); ++dim) {
     auto key = cube.dictionary(dim).Lookup(keys[dim]);
     if (!key.ok()) return false;
-    const DwarfNode& node = cube.node(id);
+    const NodeView node = cube.node(id);
     const DwarfCell* cell = node.FindCell(*key);
     if (cell == nullptr) return false;
     if (!cube.IsLeafLevel(node.level)) id = cell->child;

@@ -12,7 +12,7 @@ CubeIdMap AssignIds(const dwarf::DwarfCube& cube, int64_t node_base,
   map.next_cell_id = cell_base;
 
   dwarf::CubeVisitor visitor;
-  visitor.on_node = [&](dwarf::NodeId id, const dwarf::DwarfNode& node) {
+  visitor.on_node = [&](dwarf::NodeId id, const dwarf::NodeView& node) {
     map.node_ids[id] = map.next_node_id++;
     map.visit_order.push_back(id);
     map.cell_ids[id].resize(node.cells.size());

@@ -178,7 +178,7 @@ Result<int64_t> NoSqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
     out.node_rows.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) {
       dwarf::NodeId node_id = ids.visit_order[i];
-      const dwarf::DwarfNode& node = cube.node(node_id);
+      const dwarf::NodeView node = cube.node(node_id);
       bool leaf = cube.IsLeafLevel(node.level);
       const std::string& dim_table =
           cube.schema().dimensions()[node.level].dimension_table;

@@ -114,7 +114,7 @@ Result<int64_t> SqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
   std::vector<uint64_t> nc_prefix(n + 1, 0);
   std::vector<uint64_t> cc_prefix(n + 1, 0);
   for (size_t i = 0; i < n; ++i) {
-    const dwarf::DwarfNode& node = cube.node(ids.visit_order[i]);
+    const dwarf::NodeView node = cube.node(ids.visit_order[i]);
     uint64_t cells = node.cells.size() + 1;  // + the ALL cell
     nc_prefix[i + 1] = nc_prefix[i] + cells;
     cc_prefix[i + 1] =
@@ -147,7 +147,7 @@ Result<int64_t> SqlDwarfMapper::Store(const dwarf::DwarfCube& cube,
     };
     for (size_t i = begin; i < end; ++i) {
       dwarf::NodeId node_id = ids.visit_order[i];
-      const dwarf::DwarfNode& node = cube.node(node_id);
+      const dwarf::NodeView node = cube.node(node_id);
       bool leaf = cube.IsLeafLevel(node.level);
       const std::string& dim_table =
           cube.schema().dimensions()[node.level].dimension_table;

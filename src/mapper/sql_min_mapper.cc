@@ -75,7 +75,7 @@ Result<int64_t> SqlMinMapper::Store(const dwarf::DwarfCube& cube) {
     std::vector<SqlRow> out;
     for (size_t i = begin; i < end; ++i) {
       dwarf::NodeId node_id = ids.visit_order[i];
-      const dwarf::DwarfNode& node = cube.node(node_id);
+      const dwarf::NodeView node = cube.node(node_id);
       bool leaf = cube.IsLeafLevel(node.level);
       bool is_root = node_id == cube.root();
       for (size_t c = 0; c < node.cells.size(); ++c) {

@@ -21,8 +21,22 @@ constexpr char kTrailer[8] = {'S', 'C', 'D', 'W', 'E', 'N', 'D', '\0'};
 /// are not serialized — the load path recomputes them from the
 /// dictionaries, which are identical to the publisher's, so the views are
 /// too). v1 files load as all-unordered.
-constexpr uint32_t kVersion = 2;
+///
+/// v3 replaces the per-node records with a direct image of the flat arena
+/// (dwarf_cube.h): after the dictionaries come root/node/cell counts, the
+/// CubeStats block, padding to an 8-byte file offset, then the raw FlatNode
+/// and DwarfCell arrays (first_cell globalized across chunks). Loading a v3
+/// file validates the arrays in place and points the cube at the mapping —
+/// no per-node rebuild — with the mapping pinned for the cube's lifetime.
+/// v1/v2 files still load through the CubeAssembler path below.
+constexpr uint32_t kVersion = 3;
 constexpr uint32_t kMinVersion = 1;
+
+// The v3 arrays are memcpy'd native structs; every producer and consumer of
+// snapshot files in this codebase is little-endian (x86-64 / aarch64), and
+// the scalar fields of v1/v2 were already little-endian on the wire.
+static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__,
+              "snapshot v3 writes native little-endian arrays");
 
 void PutU16(std::string* out, uint16_t v) {
   out->push_back(static_cast<char>(v & 0xff));
@@ -111,13 +125,27 @@ class Reader {
     return s;
   }
 
+  /// Current byte pointer (for pointing arrays into the mapping).
+  const char* cursor() const { return data_ + pos_; }
+
+  Status Skip(size_t n) {
+    SCD_RETURN_IF_ERROR(Need(n));
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// Skips padding up to the next 8-byte-aligned file offset.
+  Status AlignTo8() { return Skip((8 - pos_ % 8) % 8); }
+
  private:
   const char* data_;
   size_t size_;
   size_t pos_ = 0;
 };
 
-/// RAII over the read-only mapping.
+/// RAII over the read-only mapping. Held by shared_ptr when a v3 load points
+/// the cube's arena straight into the mapped bytes (the keepalive handle of
+/// dwarf::NodeArena); released at end of parse for v1/v2 rebuild loads.
 struct Mapping {
   void* addr = MAP_FAILED;
   size_t size = 0;
@@ -170,10 +198,21 @@ Status WriteFileAtomically(const std::string& path,
 Status WriteCubeSnapshot(const dwarf::DwarfCube& cube, uint64_t epoch,
                          const std::string& path) {
   const dwarf::CubeSchema& schema = cube.schema();
+  // The image stores cell runs with 32-bit offsets; a cube anywhere near
+  // these bounds (> 2^32 cells ≈ 64 GiB of cells) cannot be snapshotted.
+  uint64_t total_cells = 0;
+  for (dwarf::NodeId id = 0; id < cube.num_nodes(); ++id) {
+    total_cells += cube.node(id).cells.size();
+  }
+  if (cube.num_nodes() >= dwarf::kNullNode ||
+      total_cells > static_cast<uint64_t>(UINT32_MAX)) {
+    return Status::InvalidArgument("cube too large for a v3 snapshot image");
+  }
   std::string out;
-  // Rough pre-size: header + ~24 bytes per cell keeps the append loop from
-  // repeatedly reallocating a multi-megabyte buffer.
-  out.reserve(256 + cube.stats().cell_count * 24 + cube.num_nodes() * 24);
+  // Exact-ish pre-size: header + dictionaries dominate the slack; the arrays
+  // are appended in two block copies per node.
+  out.reserve(512 + total_cells * sizeof(dwarf::DwarfCell) +
+              cube.num_nodes() * sizeof(dwarf::FlatNode));
   out.append(kMagic, sizeof(kMagic));
   PutU32(&out, kVersion);
   PutU64(&out, epoch);
@@ -195,21 +234,39 @@ Status WriteCubeSnapshot(const dwarf::DwarfCube& cube, uint64_t epoch,
   }
   PutU32(&out, cube.root());
   PutU64(&out, cube.num_nodes());
+  PutU64(&out, total_cells);
+  const dwarf::CubeStats& stats = cube.stats();
+  PutU64(&out, stats.node_count);
+  PutU64(&out, stats.cell_count);
+  PutU64(&out, stats.coalesced_all_count);
+  PutU64(&out, stats.tuple_count);
+  PutU64(&out, stats.source_tuple_count);
+  PutU64(&out, stats.approx_bytes);
+  // Pad to an 8-byte file offset so the mmap'd arrays are pointer-aligned
+  // (the mapping itself is page-aligned; FlatNode is 24 bytes, so the cell
+  // array after it stays 8-aligned too).
+  while (out.size() % 8 != 0) out.push_back(0);
+  // The node array, with first_cell globalized: chunks are serialized in id
+  // order, so the image is one contiguous arena regardless of how many merge
+  // chunks the live cube carried.
+  uint32_t next_cell = 0;
   for (dwarf::NodeId id = 0; id < cube.num_nodes(); ++id) {
-    const dwarf::DwarfNode& node = cube.node(id);
-    PutU16(&out, node.level);
-    out.push_back(node.all_coalesced ? 1 : 0);
-    PutU32(&out, node.all_child);
-    PutU64(&out, static_cast<uint64_t>(node.all_measure));
-    PutU32(&out, static_cast<uint32_t>(node.cells.size()));
-    for (const dwarf::DwarfCell& cell : node.cells) {
-      PutU32(&out, cell.key);
-      PutU32(&out, cell.child);
-      PutU64(&out, static_cast<uint64_t>(cell.measure));
-    }
+    const dwarf::NodeView node = cube.node(id);
+    dwarf::FlatNode entry;
+    entry.first_cell = next_cell;
+    entry.num_cells = static_cast<uint32_t>(node.cells.size());
+    entry.all_child = node.all_child;
+    entry.level = node.level;
+    entry.flags = node.all_coalesced ? dwarf::FlatNode::kAllCoalesced : 0;
+    entry.all_measure = node.all_measure;
+    out.append(reinterpret_cast<const char*>(&entry), sizeof(entry));
+    next_cell += entry.num_cells;
   }
-  PutU64(&out, cube.stats().tuple_count);
-  PutU64(&out, cube.stats().source_tuple_count);
+  for (dwarf::NodeId id = 0; id < cube.num_nodes(); ++id) {
+    const dwarf::NodeView node = cube.node(id);
+    out.append(reinterpret_cast<const char*>(node.cells.data()),
+               node.cells.size() * sizeof(dwarf::DwarfCell));
+  }
   out.append(kTrailer, sizeof(kTrailer));
   return WriteFileAtomically(path, out);
 }
@@ -227,21 +284,22 @@ Result<CubeSnapshot> LoadCubeSnapshot(const std::string& path) {
     ::close(fd);
     return status;
   }
-  Mapping mapping;
-  mapping.size = static_cast<size_t>(st.st_size);
-  if (mapping.size > 0) {
+  auto mapping = std::make_shared<Mapping>();
+  mapping->size = static_cast<size_t>(st.st_size);
+  if (mapping->size > 0) {
     // PROT_READ + MAP_SHARED: every replica on the machine shares one page
     // cache copy of the file, and any write attempt faults instead of
     // silently corrupting the published artifact.
-    mapping.addr = ::mmap(nullptr, mapping.size, PROT_READ, MAP_SHARED, fd, 0);
+    mapping->addr =
+        ::mmap(nullptr, mapping->size, PROT_READ, MAP_SHARED, fd, 0);
   }
   ::close(fd);
-  if (mapping.size == 0 || mapping.addr == MAP_FAILED) {
+  if (mapping->size == 0 || mapping->addr == MAP_FAILED) {
     return Status::IoError("mmap " + path + ": " +
-                           (mapping.size == 0 ? std::string("empty file")
-                                              : std::strerror(errno)));
+                           (mapping->size == 0 ? std::string("empty file")
+                                               : std::strerror(errno)));
   }
-  Reader in(static_cast<const char*>(mapping.addr), mapping.size);
+  Reader in(static_cast<const char*>(mapping->addr), mapping->size);
   char magic[8];
   SCD_RETURN_IF_ERROR(in.ReadRaw(magic, sizeof(magic)));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -307,6 +365,40 @@ Result<CubeSnapshot> LoadCubeSnapshot(const std::string& path) {
   }
   SCD_ASSIGN_OR_RETURN(uint32_t root, in.ReadU32());
   SCD_ASSIGN_OR_RETURN(uint64_t num_nodes, in.ReadU64());
+  if (version >= 3) {
+    // Direct arena image: validate the raw arrays in place and point the
+    // cube at the mapping (pinned by the arena's keepalive handle). No
+    // per-node rebuild, no stats walk — load cost is the validation scan.
+    SCD_ASSIGN_OR_RETURN(uint64_t num_cells, in.ReadU64());
+    if (num_nodes >= dwarf::kNullNode ||
+        num_cells > static_cast<uint64_t>(UINT32_MAX)) {
+      return Status::ParseError("snapshot arena counts exceed 32-bit ids");
+    }
+    dwarf::CubeStats stats;
+    SCD_ASSIGN_OR_RETURN(stats.node_count, in.ReadU64());
+    SCD_ASSIGN_OR_RETURN(stats.cell_count, in.ReadU64());
+    SCD_ASSIGN_OR_RETURN(stats.coalesced_all_count, in.ReadU64());
+    SCD_ASSIGN_OR_RETURN(stats.tuple_count, in.ReadU64());
+    SCD_ASSIGN_OR_RETURN(stats.source_tuple_count, in.ReadU64());
+    SCD_ASSIGN_OR_RETURN(stats.approx_bytes, in.ReadU64());
+    SCD_RETURN_IF_ERROR(in.AlignTo8());
+    const auto* nodes = reinterpret_cast<const dwarf::FlatNode*>(in.cursor());
+    SCD_RETURN_IF_ERROR(in.Skip(num_nodes * sizeof(dwarf::FlatNode)));
+    const auto* cells = reinterpret_cast<const dwarf::DwarfCell*>(in.cursor());
+    SCD_RETURN_IF_ERROR(in.Skip(num_cells * sizeof(dwarf::DwarfCell)));
+    char trailer[8];
+    SCD_RETURN_IF_ERROR(in.ReadRaw(trailer, sizeof(trailer)));
+    if (std::memcmp(trailer, kTrailer, sizeof(kTrailer)) != 0) {
+      return Status::ParseError(path + " has a corrupt snapshot trailer");
+    }
+    auto arena = std::make_shared<const dwarf::NodeArena>(
+        nodes, num_nodes, cells, num_cells, mapping);
+    Result<dwarf::DwarfCube> cube = dwarf::DwarfCube::FromFlatArena(
+        std::move(schema), std::move(dictionaries), std::move(arena), root,
+        stats);
+    if (!cube.ok()) return cube.status().WithContext("loading " + path);
+    return CubeSnapshot{epoch, std::move(*cube)};
+  }
   // Each node needs at least its 19-byte fixed header.
   if (num_nodes * 19 > in.remaining()) {
     return Status::ParseError("snapshot claims " + std::to_string(num_nodes) +

@@ -5,28 +5,40 @@
 /// kernel page cache holds a single copy of the file bytes no matter how
 /// many replicas on the machine map it.
 ///
-/// File layout (all integers little-endian, strings length-prefixed):
+/// File layout, current version v3 (all integers little-endian, strings
+/// length-prefixed):
 ///
 ///   "SCDWCUBE"  u32 version  u64 epoch
-///   schema      (name, dimensions + dimension tables, measure, aggregate)
+///   schema      (name, dimensions + dimension tables + ordered flags,
+///                measure, aggregate)
 ///   dictionaries (per dimension: id-ordered value list)
-///   root id, node count, then every arena slot in id order
-///   tuple counts, "SCDWEND\0" trailer
+///   root id, node count, cell count, CubeStats block (6 × u64)
+///   padding to an 8-byte file offset
+///   FlatNode[node count]   — raw 24-byte arena records, first_cell
+///                            globalized across chunks
+///   DwarfCell[cell count]  — raw 16-byte cell records
+///   "SCDWEND\0" trailer
+///
+/// v3 is a direct image of the flat arena (dwarf_cube.h, DESIGN.md §12):
+/// loading validates the arrays in place (id bounds, level monotonicity,
+/// strict cell sort) and points the cube at the mapping, which stays mapped
+/// for the cube's lifetime via the arena's keepalive handle — replica load
+/// is validate-and-point, not rebuild. v1 (unordered dims, per-node records)
+/// and v2 (ordered flags, per-node records) still load through the
+/// CubeAssembler rebuild path.
 ///
 /// Nodes are written in arena-id order *including dead merge slots* (ids an
 /// incremental merge left unreachable), so node ids survive the round trip
 /// unchanged and the writer never needs a reachability pass. Dead slots are
-/// still well-formed nodes, so CubeAssembler validation accepts them, and
-/// compaction (EpochCubeStore::kCompactionChunkLimit) bounds how many a
-/// long-lived publisher accumulates.
+/// still well-formed nodes, so validation accepts them, and compaction
+/// (EpochCubeStore::kCompactionChunkLimit) bounds how many a long-lived
+/// publisher accumulates.
 ///
 /// Writes go to a temp file in the same directory followed by an atomic
 /// rename: a reader never observes a partially-written snapshot under the
 /// final name. Loading maps the file PROT_READ and parses straight out of
 /// the mapping (bounds-checked; a truncated or corrupt file is an error,
-/// never a crash), then rebuilds the in-memory cube through CubeAssembler —
-/// the mapping is released once parsing ends. The snapshot file itself is
-/// never written to by a reader.
+/// never a crash). The snapshot file itself is never written to by a reader.
 
 #ifndef SCDWARF_REPLICA_SNAPSHOT_H_
 #define SCDWARF_REPLICA_SNAPSHOT_H_

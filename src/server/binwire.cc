@@ -1,0 +1,507 @@
+#include "server/binwire.h"
+
+#include <cstring>
+
+namespace scdwarf::server::binwire {
+
+namespace {
+
+void PutU8(uint8_t value, std::string* out) {
+  out->push_back(static_cast<char>(value));
+}
+
+void PutU16(uint16_t value, std::string* out) {
+  for (int shift = 0; shift < 16; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void PutU32(uint32_t value, std::string* out) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void PutU64(uint64_t value, std::string* out) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void PutI64(int64_t value, std::string* out) {
+  PutU64(static_cast<uint64_t>(value), out);
+}
+
+void PutString(std::string_view text, std::string* out) {
+  PutU32(static_cast<uint32_t>(text.size()), out);
+  out->append(text);
+}
+
+/// Bounds-checked little-endian reader over one payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Result<uint8_t> U8() {
+    SCD_RETURN_IF_ERROR(Need(1));
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint16_t> U16() {
+    SCD_RETURN_IF_ERROR(Need(2));
+    uint16_t value = 0;
+    for (int i = 0; i < 2; ++i) {
+      value |= static_cast<uint16_t>(
+          static_cast<unsigned char>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += 2;
+    return value;
+  }
+
+  Result<uint32_t> U32() {
+    SCD_RETURN_IF_ERROR(Need(4));
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<uint32_t>(
+                   static_cast<unsigned char>(data_[pos_ + i]))
+               << (8 * i);
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  Result<uint64_t> U64() {
+    SCD_RETURN_IF_ERROR(Need(8));
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(
+                   static_cast<unsigned char>(data_[pos_ + i]))
+               << (8 * i);
+    }
+    pos_ += 8;
+    return value;
+  }
+
+  Result<int64_t> I64() {
+    SCD_ASSIGN_OR_RETURN(uint64_t raw, U64());
+    return static_cast<int64_t>(raw);
+  }
+
+  Result<std::string> String() {
+    SCD_ASSIGN_OR_RETURN(uint32_t size, U32());
+    SCD_RETURN_IF_ERROR(Need(size));
+    std::string value(data_.substr(pos_, size));
+    pos_ += size;
+    return value;
+  }
+
+  Result<std::string_view> Bytes(size_t size) {
+    SCD_RETURN_IF_ERROR(Need(size));
+    std::string_view value = data_.substr(pos_, size);
+    pos_ += size;
+    return value;
+  }
+
+  /// Rejects a declared element count no payload of this size could hold
+  /// (each element needs at least \p min_element_bytes), so corrupt counts
+  /// never drive a huge reserve or a long parse loop.
+  Status CheckCount(uint64_t count, size_t min_element_bytes) const {
+    if (count > remaining() / (min_element_bytes ? min_element_bytes : 1)) {
+      return Status::InvalidArgument(
+          "binary payload declares " + std::to_string(count) +
+          " elements but only " + std::to_string(remaining()) +
+          " bytes remain");
+    }
+    return Status::OK();
+  }
+
+  Status ExpectExhausted() const {
+    if (pos_ != data_.size()) {
+      return Status::InvalidArgument(
+          "binary payload has " + std::to_string(remaining()) +
+          " trailing bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t bytes) const {
+    if (data_.size() - pos_ < bytes) {
+      return Status::InvalidArgument("binary payload truncated (need " +
+                                     std::to_string(bytes) + " bytes at " +
+                                     std::to_string(pos_) + ")");
+    }
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Predicate kind tags on the wire (fixed, independent of the enum values).
+constexpr uint8_t kPredAll = 0;
+constexpr uint8_t kPredPoint = 1;
+constexpr uint8_t kPredRange = 2;
+constexpr uint8_t kPredSet = 3;
+
+Status EncodeRequestBody(const QueryRequest& request, std::string* out);
+
+Status EncodeOpFields(const QueryRequest& request, std::string* out) {
+  switch (request.op) {
+    case RequestOp::kPoint:
+      PutU32(static_cast<uint32_t>(request.point_keys.size()), out);
+      for (const std::optional<std::string>& key : request.point_keys) {
+        PutU8(key.has_value() ? 1 : 0, out);
+        if (key.has_value()) PutString(*key, out);
+      }
+      return Status::OK();
+    case RequestOp::kAggregate:
+      PutU32(static_cast<uint32_t>(request.predicates.size()), out);
+      for (const WirePredicate& predicate : request.predicates) {
+        switch (predicate.kind) {
+          case dwarf::DimPredicate::Kind::kAll:
+            PutU8(kPredAll, out);
+            break;
+          case dwarf::DimPredicate::Kind::kPoint:
+            PutU8(kPredPoint, out);
+            PutString(predicate.key, out);
+            break;
+          case dwarf::DimPredicate::Kind::kRange:
+            PutU8(kPredRange, out);
+            PutU8(predicate.value_bounds ? 1 : 0, out);
+            if (predicate.value_bounds) {
+              PutString(predicate.lo_value, out);
+              PutString(predicate.hi_value, out);
+            } else {
+              PutU32(predicate.lo, out);
+              PutU32(predicate.hi, out);
+            }
+            break;
+          case dwarf::DimPredicate::Kind::kSet:
+            PutU8(kPredSet, out);
+            PutU32(static_cast<uint32_t>(predicate.keys.size()), out);
+            for (const std::string& member : predicate.keys) {
+              PutString(member, out);
+            }
+            break;
+        }
+      }
+      return Status::OK();
+    case RequestOp::kSlice:
+      PutString(request.slice_dim, out);
+      PutString(request.slice_key, out);
+      return Status::OK();
+    case RequestOp::kRollUp:
+      PutU32(static_cast<uint32_t>(request.rollup_dims.size()), out);
+      for (const std::string& dim : request.rollup_dims) PutString(dim, out);
+      PutU32(static_cast<uint32_t>(request.rollup_where.size()), out);
+      for (const WireRangeFilter& filter : request.rollup_where) {
+        PutString(filter.dim, out);
+        PutString(filter.lo, out);
+        PutString(filter.hi, out);
+      }
+      return Status::OK();
+    case RequestOp::kStats:
+    case RequestOp::kMetrics:
+    case RequestOp::kPing:
+    case RequestOp::kMetricsText:
+      return Status::OK();
+    case RequestOp::kQueryOpen: {
+      if (request.open_query == nullptr) {
+        return Status::InvalidArgument(
+            "query_open request has no inner query");
+      }
+      std::string inner;
+      SCD_RETURN_IF_ERROR(EncodeRequestBody(*request.open_query, &inner));
+      PutU32(static_cast<uint32_t>(inner.size()), out);
+      out->append(inner);
+      PutU64(request.page_size, out);
+      PutU8(request.open_epoch.has_value() ? 1 : 0, out);
+      if (request.open_epoch.has_value()) PutU64(*request.open_epoch, out);
+      return Status::OK();
+    }
+    case RequestOp::kQueryNext:
+    case RequestOp::kQueryClose:
+      PutU64(request.cursor_id, out);
+      return Status::OK();
+    case RequestOp::kLoadSnapshot:
+      PutString(request.snapshot_path, out);
+      return Status::OK();
+    case RequestOp::kHello:
+      return Status::InvalidArgument(
+          "hello is the negotiation op and only travels as JSON");
+  }
+  return Status::Internal("unreachable");
+}
+
+Status EncodeRequestBody(const QueryRequest& request, std::string* out) {
+  PutU8(kMagic, out);
+  PutU8(kVersion, out);
+  PutU8(static_cast<uint8_t>(request.op), out);
+  return EncodeOpFields(request, out);
+}
+
+Result<QueryRequest> DecodeRequestBody(Reader* in);
+
+Status DecodeOpFields(RequestOp op, Reader* in, QueryRequest* request) {
+  switch (op) {
+    case RequestOp::kPoint: {
+      SCD_ASSIGN_OR_RETURN(uint32_t count, in->U32());
+      SCD_RETURN_IF_ERROR(in->CheckCount(count, 1));
+      request->point_keys.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        SCD_ASSIGN_OR_RETURN(uint8_t has_value, in->U8());
+        if (has_value == 0) {
+          request->point_keys.push_back(std::nullopt);
+        } else {
+          SCD_ASSIGN_OR_RETURN(std::string key, in->String());
+          request->point_keys.push_back(std::move(key));
+        }
+      }
+      return Status::OK();
+    }
+    case RequestOp::kAggregate: {
+      SCD_ASSIGN_OR_RETURN(uint32_t count, in->U32());
+      SCD_RETURN_IF_ERROR(in->CheckCount(count, 1));
+      request->predicates.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        WirePredicate predicate;
+        SCD_ASSIGN_OR_RETURN(uint8_t kind, in->U8());
+        switch (kind) {
+          case kPredAll:
+            predicate.kind = dwarf::DimPredicate::Kind::kAll;
+            break;
+          case kPredPoint: {
+            predicate.kind = dwarf::DimPredicate::Kind::kPoint;
+            SCD_ASSIGN_OR_RETURN(predicate.key, in->String());
+            break;
+          }
+          case kPredRange: {
+            predicate.kind = dwarf::DimPredicate::Kind::kRange;
+            SCD_ASSIGN_OR_RETURN(uint8_t value_bounds, in->U8());
+            predicate.value_bounds = value_bounds != 0;
+            if (predicate.value_bounds) {
+              SCD_ASSIGN_OR_RETURN(predicate.lo_value, in->String());
+              SCD_ASSIGN_OR_RETURN(predicate.hi_value, in->String());
+            } else {
+              SCD_ASSIGN_OR_RETURN(predicate.lo, in->U32());
+              SCD_ASSIGN_OR_RETURN(predicate.hi, in->U32());
+            }
+            break;
+          }
+          case kPredSet: {
+            predicate.kind = dwarf::DimPredicate::Kind::kSet;
+            SCD_ASSIGN_OR_RETURN(uint32_t members, in->U32());
+            SCD_RETURN_IF_ERROR(in->CheckCount(members, 4));
+            predicate.keys.reserve(members);
+            for (uint32_t j = 0; j < members; ++j) {
+              SCD_ASSIGN_OR_RETURN(std::string member, in->String());
+              predicate.keys.push_back(std::move(member));
+            }
+            break;
+          }
+          default:
+            return Status::InvalidArgument(
+                "unknown binary predicate kind " + std::to_string(kind));
+        }
+        request->predicates.push_back(std::move(predicate));
+      }
+      return Status::OK();
+    }
+    case RequestOp::kSlice: {
+      SCD_ASSIGN_OR_RETURN(request->slice_dim, in->String());
+      SCD_ASSIGN_OR_RETURN(request->slice_key, in->String());
+      return Status::OK();
+    }
+    case RequestOp::kRollUp: {
+      SCD_ASSIGN_OR_RETURN(uint32_t dims, in->U32());
+      SCD_RETURN_IF_ERROR(in->CheckCount(dims, 4));
+      request->rollup_dims.reserve(dims);
+      for (uint32_t i = 0; i < dims; ++i) {
+        SCD_ASSIGN_OR_RETURN(std::string dim, in->String());
+        request->rollup_dims.push_back(std::move(dim));
+      }
+      SCD_ASSIGN_OR_RETURN(uint32_t filters, in->U32());
+      SCD_RETURN_IF_ERROR(in->CheckCount(filters, 12));
+      request->rollup_where.reserve(filters);
+      for (uint32_t i = 0; i < filters; ++i) {
+        WireRangeFilter filter;
+        SCD_ASSIGN_OR_RETURN(filter.dim, in->String());
+        SCD_ASSIGN_OR_RETURN(filter.lo, in->String());
+        SCD_ASSIGN_OR_RETURN(filter.hi, in->String());
+        request->rollup_where.push_back(std::move(filter));
+      }
+      return Status::OK();
+    }
+    case RequestOp::kStats:
+    case RequestOp::kMetrics:
+    case RequestOp::kPing:
+    case RequestOp::kMetricsText:
+      return Status::OK();
+    case RequestOp::kQueryOpen: {
+      SCD_ASSIGN_OR_RETURN(uint32_t inner_size, in->U32());
+      SCD_ASSIGN_OR_RETURN(std::string_view inner_bytes,
+                           in->Bytes(inner_size));
+      Reader inner(inner_bytes);
+      SCD_ASSIGN_OR_RETURN(QueryRequest inner_request,
+                           DecodeRequestBody(&inner));
+      SCD_RETURN_IF_ERROR(inner.ExpectExhausted());
+      request->open_query =
+          std::make_shared<QueryRequest>(std::move(inner_request));
+      SCD_ASSIGN_OR_RETURN(uint64_t page_size, in->U64());
+      request->page_size = static_cast<size_t>(page_size);
+      SCD_ASSIGN_OR_RETURN(uint8_t has_epoch, in->U8());
+      if (has_epoch != 0) {
+        SCD_ASSIGN_OR_RETURN(uint64_t epoch, in->U64());
+        request->open_epoch = epoch;
+      }
+      return Status::OK();
+    }
+    case RequestOp::kQueryNext:
+    case RequestOp::kQueryClose: {
+      SCD_ASSIGN_OR_RETURN(request->cursor_id, in->U64());
+      return Status::OK();
+    }
+    case RequestOp::kLoadSnapshot: {
+      SCD_ASSIGN_OR_RETURN(request->snapshot_path, in->String());
+      return Status::OK();
+    }
+    case RequestOp::kHello:
+      return Status::InvalidArgument(
+          "hello is the negotiation op and only travels as JSON");
+  }
+  return Status::InvalidArgument("unknown binary op");
+}
+
+Result<QueryRequest> DecodeRequestBody(Reader* in) {
+  SCD_ASSIGN_OR_RETURN(uint8_t magic, in->U8());
+  if (magic != kMagic) {
+    return Status::InvalidArgument("binary request magic mismatch");
+  }
+  SCD_ASSIGN_OR_RETURN(uint8_t version, in->U8());
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported binary wire version " +
+                                   std::to_string(version));
+  }
+  SCD_ASSIGN_OR_RETURN(uint8_t op_byte, in->U8());
+  if (op_byte >= kNumRequestOps) {
+    return Status::InvalidArgument("unknown binary op " +
+                                   std::to_string(op_byte));
+  }
+  QueryRequest request;
+  request.op = static_cast<RequestOp>(op_byte);
+  SCD_RETURN_IF_ERROR(DecodeOpFields(request.op, in, &request));
+  return request;
+}
+
+}  // namespace
+
+Result<std::string> EncodeRequest(const QueryRequest& request) {
+  std::string out;
+  out.reserve(64);
+  SCD_RETURN_IF_ERROR(EncodeRequestBody(request, &out));
+  return out;
+}
+
+Result<QueryRequest> DecodeRequest(std::string_view payload) {
+  Reader in(payload);
+  SCD_ASSIGN_OR_RETURN(QueryRequest request, DecodeRequestBody(&in));
+  SCD_RETURN_IF_ERROR(in.ExpectExhausted());
+  return request;
+}
+
+std::string EncodeJsonPassthrough(std::string_view response_json) {
+  std::string out;
+  out.reserve(response_json.size() + 8);
+  PutU8(kMagic, &out);
+  PutU8(kKindJsonPassthrough, &out);
+  PutString(response_json, &out);
+  return out;
+}
+
+std::string EncodeCursorPage(uint64_t epoch, uint64_t cursor_id,
+                             const std::vector<dwarf::SliceRow>& rows,
+                             bool done) {
+  size_t bytes = 2 + 8 + 8 + 1 + 4;
+  for (const dwarf::SliceRow& row : rows) {
+    bytes += 2 + 8;
+    for (const std::string& key : row.keys) bytes += 4 + key.size();
+  }
+  std::string out;
+  out.reserve(bytes);
+  PutU8(kMagic, &out);
+  PutU8(kKindCursorPage, &out);
+  PutU64(epoch, &out);
+  PutU64(cursor_id, &out);
+  PutU8(done ? 1 : 0, &out);
+  PutU32(static_cast<uint32_t>(rows.size()), &out);
+  for (const dwarf::SliceRow& row : rows) {
+    PutU16(static_cast<uint16_t>(row.keys.size()), &out);
+    for (const std::string& key : row.keys) PutString(key, &out);
+    PutI64(row.measure, &out);
+  }
+  return out;
+}
+
+Result<std::string> DecodeResponse(std::string_view payload) {
+  Reader in(payload);
+  SCD_ASSIGN_OR_RETURN(uint8_t magic, in.U8());
+  if (magic != kMagic) {
+    return Status::InvalidArgument("binary response magic mismatch");
+  }
+  SCD_ASSIGN_OR_RETURN(uint8_t kind, in.U8());
+  if (kind == kKindJsonPassthrough) {
+    SCD_ASSIGN_OR_RETURN(std::string response, in.String());
+    SCD_RETURN_IF_ERROR(in.ExpectExhausted());
+    return response;
+  }
+  if (kind != kKindCursorPage) {
+    return Status::InvalidArgument("unknown binary response kind " +
+                                   std::to_string(kind));
+  }
+  SCD_ASSIGN_OR_RETURN(uint64_t epoch, in.U64());
+  SCD_ASSIGN_OR_RETURN(uint64_t cursor_id, in.U64());
+  SCD_ASSIGN_OR_RETURN(uint8_t done, in.U8());
+  SCD_ASSIGN_OR_RETURN(uint32_t num_rows, in.U32());
+  SCD_RETURN_IF_ERROR(in.CheckCount(num_rows, 10));
+  std::vector<dwarf::SliceRow> rows;
+  rows.reserve(num_rows);
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    dwarf::SliceRow row;
+    SCD_ASSIGN_OR_RETURN(uint16_t num_keys, in.U16());
+    SCD_RETURN_IF_ERROR(in.CheckCount(num_keys, 4));
+    row.keys.reserve(num_keys);
+    for (uint16_t k = 0; k < num_keys; ++k) {
+      SCD_ASSIGN_OR_RETURN(std::string key, in.String());
+      row.keys.push_back(std::move(key));
+    }
+    SCD_ASSIGN_OR_RETURN(row.measure, in.I64());
+    rows.push_back(std::move(row));
+  }
+  SCD_RETURN_IF_ERROR(in.ExpectExhausted());
+  // Reconstruct the canonical JSON response through the same payload
+  // builders the JSON path uses, so the bytes a binary client hands back up
+  // are indistinguishable from a JSON connection's.
+  return MakeResponse(true, epoch, false,
+                      MakeCursorPagePayload(cursor_id, rows, done != 0));
+}
+
+Result<CursorPageHeader> PeekCursorPage(std::string_view payload) {
+  Reader in(payload);
+  SCD_ASSIGN_OR_RETURN(uint8_t magic, in.U8());
+  SCD_ASSIGN_OR_RETURN(uint8_t kind, in.U8());
+  if (magic != kMagic || kind != kKindCursorPage) {
+    return Status::InvalidArgument("not a binary cursor page");
+  }
+  CursorPageHeader header;
+  SCD_ASSIGN_OR_RETURN(header.epoch, in.U64());
+  SCD_ASSIGN_OR_RETURN(header.cursor_id, in.U64());
+  SCD_ASSIGN_OR_RETURN(uint8_t done, in.U8());
+  header.done = done != 0;
+  SCD_ASSIGN_OR_RETURN(header.num_rows, in.U32());
+  return header;
+}
+
+}  // namespace scdwarf::server::binwire

@@ -1,0 +1,97 @@
+/// \file binwire.h
+/// \brief The "bin1" binary wire encoding: a compact, length-delimited
+/// rendering of the same requests and responses wire.h spells in JSON.
+///
+/// Framing is unchanged — every payload still travels inside the 4-byte
+/// big-endian length frame of wire.h — only the payload bytes differ. A
+/// binary payload always starts with the magic byte 0xB1, which no JSON
+/// payload can start with (requests and responses are JSON objects, so their
+/// first byte is '{'), letting a negotiated connection tell the two apart
+/// per frame. The byte-level layout of every message is specified in
+/// docs/WIRE_PROTOCOL.md; this header is the single implementation of it.
+///
+/// Integers are little-endian fixed width; strings are u32 length-prefixed
+/// UTF-8 with no terminator. Decoding is strictly bounds-checked: truncated
+/// or corrupt payloads produce InvalidArgument, never a crash or overread —
+/// the server fuzzer leans on this.
+///
+/// Responses come in two kinds:
+///  - kind 0 ("JSON passthrough"): the complete JSON response string,
+///    embedded verbatim. Every op can be answered this way, so a generic
+///    FrameHandler supports binary clients without op-specific code.
+///  - kind 3 ("cursor page"): a query_next page encoded natively — epoch,
+///    cursor id, done flag and the rows as raw length-prefixed keys plus an
+///    i64 measure. DecodeResponse reconstructs the canonical JSON response
+///    byte-identically (it routes through MakeCursorPagePayload /
+///    MakeResponse), so callers above the client see one format regardless
+///    of what the connection negotiated.
+
+#ifndef SCDWARF_SERVER_BINWIRE_H_
+#define SCDWARF_SERVER_BINWIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "dwarf/cursor.h"
+#include "server/wire.h"
+
+namespace scdwarf::server::binwire {
+
+/// First payload byte of every binary message. JSON payloads start with '{'.
+constexpr unsigned char kMagic = 0xB1;
+
+/// Encoding version carried in every binary request (second byte).
+constexpr uint8_t kVersion = 1;
+
+/// Response kinds (second byte of a binary response).
+constexpr uint8_t kKindJsonPassthrough = 0;
+constexpr uint8_t kKindCursorPage = 3;
+
+/// True when \p payload starts with the binary magic byte.
+inline bool IsBinaryPayload(std::string_view payload) {
+  return !payload.empty() &&
+         static_cast<unsigned char>(payload[0]) == kMagic;
+}
+
+/// \brief Encodes \p request as a bin1 request payload. InvalidArgument for
+/// ops that never travel in binary (hello is the JSON-only negotiation op).
+Result<std::string> EncodeRequest(const QueryRequest& request);
+
+/// \brief Decodes a bin1 request payload. InvalidArgument on bad magic,
+/// unsupported version, unknown op, or truncated/corrupt bytes.
+Result<QueryRequest> DecodeRequest(std::string_view payload);
+
+/// \brief Wraps a complete JSON response string as a kind-0 binary response.
+std::string EncodeJsonPassthrough(std::string_view response_json);
+
+/// \brief Encodes one query_next page as a kind-3 binary response. The
+/// server's zero-copy path: rows go straight from the cursor to the wire
+/// with no JSON materialization.
+std::string EncodeCursorPage(uint64_t epoch, uint64_t cursor_id,
+                             const std::vector<dwarf::SliceRow>& rows,
+                             bool done);
+
+/// \brief Decodes a binary response back to the canonical JSON response
+/// string — byte-identical to what the JSON wire path would have produced
+/// for the same answer. InvalidArgument on corrupt bytes.
+Result<std::string> DecodeResponse(std::string_view payload);
+
+/// \brief Kind-3 header fields, readable without materializing the rows.
+struct CursorPageHeader {
+  uint64_t epoch = 0;
+  uint64_t cursor_id = 0;
+  bool done = false;
+  uint32_t num_rows = 0;
+};
+
+/// \brief Reads the header of a kind-3 cursor page (cheap: no row decode).
+/// InvalidArgument when \p payload is not a kind-3 binary response — callers
+/// draining cursors use this to steer without paying for reconstruction.
+Result<CursorPageHeader> PeekCursorPage(std::string_view payload);
+
+}  // namespace scdwarf::server::binwire
+
+#endif  // SCDWARF_SERVER_BINWIRE_H_

@@ -1,0 +1,28 @@
+#include "server/frame_handler.h"
+
+#include "server/binwire.h"
+#include "server/wire.h"
+
+namespace scdwarf::server {
+
+std::string FrameHandler::HandleBinaryFrame(std::string_view request_payload,
+                                            ClientContext* client) {
+  // A negotiated connection may still send JSON frames (the formats share
+  // one connection; no JSON object starts with the 0xB1 magic byte). Answer
+  // them in kind.
+  if (!binwire::IsBinaryPayload(request_payload)) {
+    return HandleFrame(request_payload, client);
+  }
+  Result<QueryRequest> request = binwire::DecodeRequest(request_payload);
+  if (!request.ok()) {
+    return binwire::EncodeJsonPassthrough(
+        MakeResponse(false, 0, false, MakeErrorPayload(request.status())));
+  }
+  // NormalizedCacheKey is the canonical JSON spelling of a request, so the
+  // decoded request re-enters the JSON path as if the client had sent it
+  // that way — same parsing, same cache keys, same responses.
+  return binwire::EncodeJsonPassthrough(
+      HandleFrame(NormalizedCacheKey(*request), client));
+}
+
+}  // namespace scdwarf::server

@@ -6,6 +6,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 
@@ -33,6 +34,7 @@ Result<RequestOp> ParseOp(std::string_view name) {
   if (name == "ping") return RequestOp::kPing;
   if (name == "metrics_text") return RequestOp::kMetricsText;
   if (name == "load_snapshot") return RequestOp::kLoadSnapshot;
+  if (name == "hello") return RequestOp::kHello;
   return Status::InvalidArgument("unknown op '" + std::string(name) + "'");
 }
 
@@ -141,6 +143,7 @@ const char* RequestOpName(RequestOp op) {
     case RequestOp::kPing: return "ping";
     case RequestOp::kMetricsText: return "metrics_text";
     case RequestOp::kLoadSnapshot: return "load_snapshot";
+    case RequestOp::kHello: return "hello";
   }
   return "?";
 }
@@ -292,6 +295,14 @@ Result<QueryRequest> ParseRequestValue(const JsonValue& root) {
       }
       break;
     }
+    case RequestOp::kHello: {
+      // "formats" is optional: a bare hello means JSON only.
+      if (Result<JsonValue> formats = root.Get("formats"); formats.ok()) {
+        SCD_ASSIGN_OR_RETURN(request.hello_formats,
+                             ParseStringArray(*formats, "formats"));
+      }
+      break;
+    }
   }
   return request;
 }
@@ -433,6 +444,14 @@ std::string NormalizedCacheKey(const QueryRequest& request) {
     case RequestOp::kLoadSnapshot:
       root.emplace_back("path", JsonValue(request.snapshot_path));
       break;
+    case RequestOp::kHello: {
+      JsonArray formats;
+      for (const std::string& format : request.hello_formats) {
+        formats.push_back(JsonValue(format));
+      }
+      root.emplace_back("formats", JsonValue(std::move(formats)));
+      break;
+    }
   }
   return json::SerializeJson(JsonValue(std::move(root)));
 }
@@ -510,35 +529,76 @@ Result<std::vector<dwarf::DimPredicate>> EncodePredicates(
   return encoded;
 }
 
+void AppendJsonString(std::string_view text, std::string* out) {
+  out->push_back('"');
+  out->append(json::EscapeJsonString(text));
+  out->push_back('"');
+}
+
+void AppendJsonMeasure(dwarf::Measure value, std::string* out) {
+  // Mirrors JsonValue::ToFieldString for numbers: the JSON model stores
+  // every number as a double, so measures round-trip through one here too —
+  // hand-assembled payloads must stay byte-identical to model-built ones.
+  double as_double = static_cast<double>(value);
+  if (std::nearbyint(as_double) == as_double && std::fabs(as_double) < 1e15) {
+    out->append(std::to_string(static_cast<long long>(as_double)));
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", as_double);
+  out->append(buffer);
+}
+
+void AppendRowsJson(const std::vector<dwarf::SliceRow>& rows,
+                    std::string* out) {
+  out->push_back('[');
+  bool first_row = true;
+  for (const dwarf::SliceRow& row : rows) {
+    if (!first_row) out->push_back(',');
+    first_row = false;
+    out->append("{\"keys\":[");
+    bool first_key = true;
+    for (const std::string& key : row.keys) {
+      if (!first_key) out->push_back(',');
+      first_key = false;
+      AppendJsonString(key, out);
+    }
+    out->append("],\"measure\":");
+    AppendJsonMeasure(row.measure, out);
+    out->push_back('}');
+  }
+  out->push_back(']');
+}
+
 namespace {
 
-JsonValue RowsToJson(const std::vector<dwarf::SliceRow>& rows) {
-  JsonArray array;
-  array.reserve(rows.size());
+/// Rough serialized footprint of one row, for payload buffer reservation:
+/// braces/field names plus the key bytes themselves.
+size_t EstimateRowsJsonBytes(const std::vector<dwarf::SliceRow>& rows) {
+  size_t bytes = 2;
   for (const dwarf::SliceRow& row : rows) {
-    JsonObject entry;
-    JsonArray keys;
-    keys.reserve(row.keys.size());
-    for (const std::string& key : row.keys) keys.push_back(JsonValue(key));
-    entry.emplace_back("keys", JsonValue(std::move(keys)));
-    entry.emplace_back("measure", JsonValue(row.measure));
-    array.push_back(JsonValue(std::move(entry)));
+    bytes += 40;  // {"keys":[],"measure":} + digits + commas
+    for (const std::string& key : row.keys) bytes += key.size() + 3;
   }
-  return JsonValue(std::move(array));
+  return bytes;
 }
 
 ExecResult MeasureResult(const Result<dwarf::Measure>& measure) {
   if (!measure.ok()) return {false, MakeErrorPayload(measure.status())};
-  JsonObject payload;
-  payload.emplace_back("measure", JsonValue(*measure));
-  return {true, json::SerializeJson(JsonValue(std::move(payload)))};
+  std::string payload = "{\"measure\":";
+  AppendJsonMeasure(*measure, &payload);
+  payload.push_back('}');
+  return {true, std::move(payload)};
 }
 
 ExecResult RowsResult(const Result<std::vector<dwarf::SliceRow>>& rows) {
   if (!rows.ok()) return {false, MakeErrorPayload(rows.status())};
-  JsonObject payload;
-  payload.emplace_back("rows", RowsToJson(*rows));
-  return {true, json::SerializeJson(JsonValue(std::move(payload)))};
+  std::string payload;
+  payload.reserve(16 + EstimateRowsJsonBytes(*rows));
+  payload.append("{\"rows\":");
+  AppendRowsJson(*rows, &payload);
+  payload.push_back('}');
+  return {true, std::move(payload)};
 }
 
 /// Resolves a rollup request's "where" value ranges to per-dimension rank
@@ -620,6 +680,7 @@ ExecResult ExecuteRequest(const dwarf::DwarfCube& cube,
     case RequestOp::kMetrics:
     case RequestOp::kMetricsText:
     case RequestOp::kPing:
+    case RequestOp::kHello:
       return {false, MakeErrorPayload(Status::Internal(
                          "stats/metrics requests are handled by the server"))};
     case RequestOp::kLoadSnapshot:
@@ -670,11 +731,16 @@ Result<dwarf::RowCursor> OpenRowCursor(const dwarf::DwarfCube& cube,
 std::string MakeCursorPagePayload(uint64_t cursor_id,
                                   const std::vector<dwarf::SliceRow>& rows,
                                   bool done) {
-  JsonObject payload;
-  payload.emplace_back("cursor", JsonValue(static_cast<int64_t>(cursor_id)));
-  payload.emplace_back("rows", RowsToJson(rows));
-  payload.emplace_back("done", JsonValue(done));
-  return json::SerializeJson(JsonValue(std::move(payload)));
+  std::string payload;
+  payload.reserve(48 + EstimateRowsJsonBytes(rows));
+  payload.append("{\"cursor\":");
+  payload.append(std::to_string(cursor_id));
+  payload.append(",\"rows\":");
+  AppendRowsJson(rows, &payload);
+  payload.append(",\"done\":");
+  payload.append(done ? "true" : "false");
+  payload.push_back('}');
+  return payload;
 }
 
 namespace {
@@ -776,6 +842,7 @@ bool RequestMayTouchPrefixes(
     case RequestOp::kQueryOpen:
     case RequestOp::kQueryNext:
     case RequestOp::kQueryClose:
+    case RequestOp::kHello:
       // Uncacheable or stateful ops — always treat as touched.
       return true;
   }

@@ -68,6 +68,13 @@
 /// Responses carry {"ok":bool, "epoch":N, "cached":bool} plus either a
 /// result ("measure" or "rows") or {"code","error"} on failure. Overloaded
 /// servers answer {"ok":false, "code":"overloaded", ...} without executing.
+///
+/// Format negotiation: {"op":"hello","formats":["json","bin1"]} offers the
+/// server the wire formats this connection can speak. The server answers
+/// {"format":"bin1"} (or "json") and, once "bin1" is chosen, decodes every
+/// later frame on the connection by its first payload byte — 0xB1 for the
+/// length-prefixed binary encoding of binwire.h, '{' for JSON. The complete
+/// frame-level spec of both formats lives in docs/WIRE_PROTOCOL.md.
 
 #ifndef SCDWARF_SERVER_WIRE_H_
 #define SCDWARF_SERVER_WIRE_H_
@@ -100,11 +107,11 @@ enum class RequestOp {
   kPing,
   kMetricsText,
   kLoadSnapshot,
+  kHello,
 };
 
 /// Number of RequestOp values, for op-indexed tables.
-constexpr size_t kNumRequestOps =
-    static_cast<size_t>(RequestOp::kLoadSnapshot) + 1;
+constexpr size_t kNumRequestOps = static_cast<size_t>(RequestOp::kHello) + 1;
 
 /// Wire name of \p op ("point", "aggregate", ...).
 const char* RequestOpName(RequestOp op);
@@ -147,6 +154,9 @@ struct QueryRequest {
   /// current one (absent = current).
   std::optional<uint64_t> open_epoch;
   std::string snapshot_path;  ///< kLoadSnapshot
+  /// kHello: wire formats the client can speak, in preference order
+  /// (e.g. ["json","bin1"]). Empty means JSON only.
+  std::vector<std::string> hello_formats;
 };
 
 /// Largest accepted query_open page_size (keeps one response frame bounded).
@@ -202,6 +212,21 @@ Result<dwarf::RowCursor> OpenRowCursor(const dwarf::DwarfCube& cube,
 std::string MakeCursorPagePayload(uint64_t cursor_id,
                                   const std::vector<dwarf::SliceRow>& rows,
                                   bool done);
+
+/// \brief Appends \p text as a quoted, escaped JSON string to \p out.
+void AppendJsonString(std::string_view text, std::string* out);
+
+/// \brief Appends \p value formatted exactly as the JSON model serializes a
+/// number (integers up to 1e15 in decimal, %.17g beyond), so hand-assembled
+/// payloads stay byte-identical to JsonValue-built ones.
+void AppendJsonMeasure(dwarf::Measure value, std::string* out);
+
+/// \brief Appends the canonical "rows" array serialization of \p rows
+/// ([{"keys":[...],"measure":N},...]) to \p out. Both the one-shot
+/// slice/rollup payload and cursor pages are built from this, appending into
+/// one reserved buffer instead of materializing a JsonValue tree per row.
+void AppendRowsJson(const std::vector<dwarf::SliceRow>& rows,
+                    std::string* out);
 
 /// \brief Delta-epoch revalidation predicate: true when executing \p request
 /// against a cube updated with tuples whose decoded key paths are \p changed

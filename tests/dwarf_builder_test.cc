@@ -60,7 +60,7 @@ TEST(DwarfBuilderTest, SingleDimensionCube) {
   auto cube = std::move(builder).Build();
   ASSERT_TRUE(cube.ok()) << cube.status();
   EXPECT_EQ(cube->num_nodes(), 1u);
-  const DwarfNode& root = cube->node(cube->root());
+  const NodeView root = cube->node(cube->root());
   EXPECT_EQ(root.cells.size(), 3u);
   EXPECT_EQ(root.all_measure, 7);
 }
@@ -70,7 +70,7 @@ TEST(DwarfBuilderTest, GeoCubeStructure) {
   EXPECT_EQ(cube.stats().tuple_count, 4u);
   EXPECT_EQ(cube.stats().source_tuple_count, 4u);
 
-  const DwarfNode& root = cube.node(cube.root());
+  const NodeView root = cube.node(cube.root());
   ASSERT_EQ(root.cells.size(), 2u);  // Ireland, France
   EXPECT_FALSE(root.all_coalesced);
 
@@ -299,7 +299,7 @@ TEST_P(DwarfInvariantTest, ArenaIsWellFormed) {
   auto cube = std::move(builder).Build();
   ASSERT_TRUE(cube.ok());
   for (NodeId id = 0; id < cube->num_nodes(); ++id) {
-    const DwarfNode& node = cube->node(id);
+    const NodeView node = cube->node(id);
     ASSERT_FALSE(node.cells.empty());
     for (size_t c = 1; c < node.cells.size(); ++c) {
       ASSERT_LT(node.cells[c - 1].key, node.cells[c].key);

@@ -60,7 +60,7 @@ TEST(TraversalTest, DepthFirstDescendsBeforeSiblings) {
   // Second visited node must be a child of the root's first cell
   // (the paper's "Ireland first, then all its descendants" order).
   ASSERT_GE(visited.size(), 2u);
-  const DwarfNode& root = cube.node(cube.root());
+  const NodeView root = cube.node(cube.root());
   EXPECT_EQ(visited[1], root.cells[0].child);
 }
 
@@ -75,7 +75,7 @@ TEST(TraversalTest, CellCallbacksCoverAllCells) {
     if (leaf) ++leaf_cells;
     return Status::OK();
   };
-  visitor.on_all_cell = [&](NodeId, const DwarfNode&, bool) {
+  visitor.on_all_cell = [&](NodeId, const NodeView&, bool) {
     ++all_count;
     return Status::OK();
   };
@@ -89,7 +89,7 @@ TEST(TraversalTest, VisitorErrorAbortsWalk) {
   DwarfCube cube = BuildSmallCube();
   int visits = 0;
   CubeVisitor visitor;
-  visitor.on_node = [&](NodeId, const DwarfNode&) -> Status {
+  visitor.on_node = [&](NodeId, const NodeView&) -> Status {
     if (++visits == 2) return Status::Internal("stop");
     return Status::OK();
   };
@@ -104,7 +104,7 @@ TEST(TraversalTest, EmptyCubeTraversalIsOk) {
   DwarfCube cube = std::move(builder).Build().ValueOrDie();
   int visits = 0;
   CubeVisitor visitor;
-  visitor.on_node = [&](NodeId, const DwarfNode&) {
+  visitor.on_node = [&](NodeId, const NodeView&) {
     ++visits;
     return Status::OK();
   };
@@ -119,7 +119,7 @@ TEST(TraversalTest, ParentIdsInvertChildEdges) {
   EXPECT_TRUE(parents[cube.root()].empty());
   // Verify every parent list against a forward scan.
   for (NodeId id = 0; id < cube.num_nodes(); ++id) {
-    const DwarfNode& node = cube.node(id);
+    const NodeView node = cube.node(id);
     if (cube.IsLeafLevel(node.level)) continue;
     for (const DwarfCell& cell : node.cells) {
       const std::vector<NodeId>& p = parents[cell.child];

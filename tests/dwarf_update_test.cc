@@ -192,6 +192,36 @@ TEST(CubeUpdaterTest, ApplySharesArenaAcrossEpochs) {
   EXPECT_EQ(rebuilt->arena_chunks(), 1u);
 }
 
+// Epoch drop frees the arena as whole chunks: chunk counts (not node counts)
+// govern allocation lifetime, per-node/per-cell destructors cannot exist
+// (static_asserts in dwarf_cube.h pin trivial destructibility), and copying
+// or merging a cube shares chunks instead of duplicating nodes.
+TEST(CubeUpdaterTest, EpochDropFreesArenaAsWholeChunks) {
+  const int64_t baseline = NodeArena::live_instances();
+  {
+    DwarfCube cube = BuildCube({{{"Mon", "Fenian St"}, 3},
+                                {{"Tue", "Pearse St"}, 5}});
+    EXPECT_EQ(NodeArena::live_instances(), baseline + 1);
+    {
+      // Copying shares the chunk — no new arena comes to life.
+      DwarfCube copy = cube;
+      EXPECT_EQ(NodeArena::live_instances(), baseline + 1);
+    }
+    EXPECT_EQ(NodeArena::live_instances(), baseline + 1);
+
+    // Each incremental merge appends exactly one tail chunk; the prior
+    // epoch's chunks stay shared, not copied.
+    CubeUpdater updater(std::move(cube));
+    ASSERT_TRUE(updater.AddTuple({"Wed", "Eyre Sq"}, 2).ok());
+    auto merged = std::move(updater).Apply();
+    ASSERT_TRUE(merged.ok()) << merged.status();
+    EXPECT_EQ(merged->arena_chunks(), 2u);
+    EXPECT_EQ(NodeArena::live_instances(), baseline + 2);
+  }
+  // Dropping the last cube of the lineage releases every chunk.
+  EXPECT_EQ(NodeArena::live_instances(), baseline);
+}
+
 TEST(CubeUpdaterTest, ApplyWithNoPendingTuplesIsIdentity) {
   DwarfCube cube = BuildCube({{{"Mon", "Fenian St"}, 3}});
   DwarfCube copy = BuildCube({{{"Mon", "Fenian St"}, 3}});

@@ -281,6 +281,68 @@ TEST(SnapshotCodecTest, OrderedFlagsSurviveRoundTrip) {
   fs::remove_all(dir);
 }
 
+/// Re-encodes \p cube in the legacy v2 snapshot layout (per-node records,
+/// no arena image) — the bytes a pre-v3 publisher shipped. The production
+/// writer moved to the v3 flat-arena image, so v2/v1 compat coverage (and
+/// golden regen) builds its legacy bytes here.
+std::string EncodeLegacyV2Snapshot(const dwarf::DwarfCube& cube,
+                                   uint64_t epoch) {
+  std::string out;
+  auto put_u16 = [&out](uint16_t v) {
+    for (int i = 0; i < 2; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  };
+  auto put_u32 = [&out](uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  };
+  auto put_u64 = [&out](uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  };
+  auto put_string = [&](const std::string& s) {
+    put_u32(static_cast<uint32_t>(s.size()));
+    out.append(s);
+  };
+  const dwarf::CubeSchema& schema = cube.schema();
+  out.append("SCDWCUBE", 8);
+  put_u32(2);  // legacy version
+  put_u64(epoch);
+  put_string(schema.name());
+  put_u32(static_cast<uint32_t>(schema.num_dimensions()));
+  for (const dwarf::DimensionSpec& dim : schema.dimensions()) {
+    put_string(dim.name);
+    put_string(dim.dimension_table);
+    out.push_back(dim.ordered ? 1 : 0);
+  }
+  put_string(schema.measure_name());
+  put_u32(static_cast<uint32_t>(schema.agg()));
+  for (size_t d = 0; d < cube.num_dimensions(); ++d) {
+    const dwarf::Dictionary& dict = cube.dictionary(d);
+    put_u64(dict.size());
+    for (dwarf::DimKey id = 0; id < dict.size(); ++id) {
+      put_string(dict.DecodeUnchecked(id));
+    }
+  }
+  put_u32(cube.root());
+  put_u64(cube.num_nodes());
+  for (dwarf::NodeId id = 0; id < cube.num_nodes(); ++id) {
+    const dwarf::NodeView node = cube.node(id);
+    put_u16(node.level);
+    out.push_back(node.all_coalesced ? 1 : 0);
+    put_u32(node.all_child);
+    put_u64(static_cast<uint64_t>(node.all_measure));
+    put_u32(static_cast<uint32_t>(node.cells.size()));
+    for (const dwarf::DwarfCell& cell : node.cells) {
+      put_u32(cell.key);
+      put_u32(cell.child);
+      put_u64(static_cast<uint64_t>(cell.measure));
+    }
+  }
+  put_u64(cube.stats().tuple_count);
+  put_u64(cube.stats().source_tuple_count);
+  out.append("SCDWEND", 7);
+  out.push_back('\0');
+  return out;
+}
+
 /// Downgrades v2 snapshot bytes to the v1 layout in place: version field
 /// back to 1 and the per-dimension ordered byte v2 appends after each
 /// dimension spec stripped (it must be 0 — v1 cannot express ordered dims).
@@ -309,15 +371,22 @@ std::string DowngradeV2ToV1(std::string bytes) {
   return bytes;
 }
 
-// A v1 file (predating the per-dimension ordered byte) still loads, as
-// all-unordered; versions past kVersion are rejected cleanly.
+// A v2 file (per-node records) and a v1 file (additionally predating the
+// per-dimension ordered byte) both still load — v1 as all-unordered;
+// versions past kVersion are rejected cleanly.
 TEST(SnapshotCodecTest, V1SnapshotsLoadAsUnordered) {
   dwarf::DwarfCube cube = BuildCube(0xabc, 40);  // all-unordered schema
   fs::path dir = ScratchDir("v1compat");
   const std::string v2_path = (dir / SnapshotFileName(2)).string();
-  ASSERT_TRUE(WriteCubeSnapshot(cube, 2, v2_path).ok());
+  WriteFileBytes(v2_path, EncodeLegacyV2Snapshot(cube, 2));
   const std::string v1_path = (dir / SnapshotFileName(3)).string();
   WriteFileBytes(v1_path, DowngradeV2ToV1(ReadFileBytes(v2_path)));
+
+  auto v2_loaded = LoadCubeSnapshot(v2_path);
+  ASSERT_TRUE(v2_loaded.ok()) << v2_loaded.status();
+  EXPECT_EQ(v2_loaded->epoch, 2u);
+  EXPECT_TRUE(v2_loaded->cube.StructurallyEquals(cube));
+  ExpectSameAnswers(cube, v2_loaded->cube);
 
   auto loaded = LoadCubeSnapshot(v1_path);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
@@ -353,12 +422,12 @@ dwarf::DwarfCube GoldenCube() {
 
 // The committed golden file pins the v1 on-disk layout: bytes an older
 // publisher shipped must keep loading under every future reader, with the
-// answers they encoded. Unlike V1SnapshotsLoadAsUnordered (which downgrades
-// bytes produced by *today's* writer), this catches reader regressions
-// against the historical format even after the writer moves on.
-// SCDWARF_REGEN_GOLDEN=1 rewrites the file and prints fresh pinned payloads
-// — only legitimate when the downgrade helper itself changes; never regen to
-// paper over a reader-side failure.
+// answers they encoded. Unlike V1SnapshotsLoadAsUnordered (which builds its
+// legacy bytes fresh each run), this catches reader regressions against the
+// historical format even after the writer moves on (it writes v3 images
+// now). SCDWARF_REGEN_GOLDEN=1 rewrites the file and prints fresh pinned
+// payloads — only legitimate when the legacy encode/downgrade helpers
+// themselves change; never regen to paper over a reader-side failure.
 TEST(SnapshotCodecTest, V1GoldenFileKeepsLoadingWithPinnedAnswers) {
   const std::string golden =
       std::string(SCDWARF_TESTDATA_DIR) + "/epoch-v1-golden.cf";
@@ -374,11 +443,8 @@ TEST(SnapshotCodecTest, V1GoldenFileKeepsLoadingWithPinnedAnswers) {
   };
 
   if (std::getenv("SCDWARF_REGEN_GOLDEN") != nullptr) {
-    fs::path dir = ScratchDir("golden_regen");
-    const std::string v2_path = (dir / SnapshotFileName(1)).string();
-    ASSERT_TRUE(WriteCubeSnapshot(GoldenCube(), 1, v2_path).ok());
-    WriteFileBytes(golden, DowngradeV2ToV1(ReadFileBytes(v2_path)));
-    fs::remove_all(dir);
+    WriteFileBytes(golden,
+                   DowngradeV2ToV1(EncodeLegacyV2Snapshot(GoldenCube(), 1)));
     for (const auto& [request_json, unused] : kPinned) {
       auto request = ParseRequest(request_json);
       ASSERT_TRUE(request.ok());
@@ -402,6 +468,36 @@ TEST(SnapshotCodecTest, V1GoldenFileKeepsLoadingWithPinnedAnswers) {
     EXPECT_TRUE(got.ok) << request_json;
     EXPECT_EQ(got.payload_json, payload) << request_json;
   }
+}
+
+// v3 files are direct flat-arena images: loading validates the raw arrays
+// and points the cube at the mapping — one new arena, a single chunk, stats
+// straight from the header — instead of rebuilding node by node.
+TEST(SnapshotCodecTest, V3ImageLoadsByValidateAndPoint) {
+  fs::path dir = ScratchDir("v3image");
+  dwarf::DwarfCube cube = BuildCube(0x33, 50);
+  const std::string path = (dir / SnapshotFileName(9)).string();
+  ASSERT_TRUE(WriteCubeSnapshot(cube, 9, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 12u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[8]), 3u);  // version field
+
+  const int64_t arenas_before = dwarf::NodeArena::live_instances();
+  auto loaded = LoadCubeSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->epoch, 9u);
+  EXPECT_EQ(loaded->cube.arena_chunks(), 1u);
+  EXPECT_EQ(dwarf::NodeArena::live_instances(), arenas_before + 1);
+  // Stats come from the header block, not a rebuild walk.
+  EXPECT_EQ(loaded->cube.stats().node_count, cube.stats().node_count);
+  EXPECT_EQ(loaded->cube.stats().cell_count, cube.stats().cell_count);
+  EXPECT_EQ(loaded->cube.stats().coalesced_all_count,
+            cube.stats().coalesced_all_count);
+  EXPECT_EQ(loaded->cube.stats().tuple_count, cube.stats().tuple_count);
+  EXPECT_EQ(loaded->cube.stats().approx_bytes, cube.stats().approx_bytes);
+  EXPECT_TRUE(loaded->cube.StructurallyEquals(cube));
+  ExpectSameAnswers(cube, loaded->cube);
+  fs::remove_all(dir);
 }
 
 TEST(SnapshotCodecTest, TruncatedAndCorruptBytesNeverCrash) {

@@ -8,6 +8,8 @@
 # 2. Every metric name registered in src/ (via GetCounter/GetGauge/
 #    GetHistogram with a literal name) must be documented in
 #    docs/OPERATIONS.md.
+# 3. Every RequestOp enumerator in src/server/wire.h must appear in
+#    docs/WIRE_PROTOCOL.md — the wire spec may not silently lag the op set.
 #
 # Exits non-zero with one line per violation.
 
@@ -61,8 +63,30 @@ else
   done
 fi
 
+# --- 3. Every RequestOp enumerator appears in the wire spec ---------------
+
+wire_doc=docs/WIRE_PROTOCOL.md
+wire_header=src/server/wire.h
+if [ ! -f "$wire_doc" ]; then
+  report "missing $wire_doc"
+elif [ ! -f "$wire_header" ]; then
+  report "missing $wire_header (RequestOp extraction source)"
+else
+  # The enum body runs from "enum class RequestOp {" to the first "};".
+  request_ops=$(sed -n '/enum class RequestOp/,/};/p' "$wire_header" \
+                | grep -oE 'k[A-Za-z0-9]+' | sort -u)
+  if [ -z "$request_ops" ]; then
+    report "found no RequestOp enumerators in $wire_header (extraction broken?)"
+  fi
+  for op in $request_ops; do
+    if ! grep -q -- "$op" "$wire_doc"; then
+      report "RequestOp::$op exists in $wire_header but is missing from $wire_doc"
+    fi
+  done
+fi
+
 if [ "$errors" -ne 0 ]; then
   echo "check_docs: $errors problem(s)" >&2
   exit 1
 fi
-echo "check_docs: OK ($(echo "$md_files" | wc -w) markdown files, $(echo "$metric_names" | wc -w) metrics)"
+echo "check_docs: OK ($(echo "$md_files" | wc -w) markdown files, $(echo "$metric_names" | wc -w) metrics, $(echo "$request_ops" | wc -w) wire ops)"

@@ -1,0 +1,236 @@
+#!/usr/bin/env bash
+# Wire-format smoke, run by the CI `release` job and runnable locally:
+#
+#   tools/check_wire_format.sh [path/to/build-dir]
+#
+# Boots a real scdwarf_server, negotiates the bin1 binary wire format from
+# an INDEPENDENT client (bin1 re-implemented in Python straight from
+# docs/WIRE_PROTOCOL.md — none of the C++ codec is involved on the client
+# side), then answers point/aggregate/slice/rollup one-shots and a cursor
+# drain in both framings and diffs the results:
+#
+#  - every binary one-shot answer must be byte-identical to the JSON
+#    connection's answer for the same (warmed) query;
+#  - kind-3 cursor pages, decoded from raw bytes, must concatenate to
+#    exactly the one-shot rollup rows;
+#  - a JSON frame sent on the negotiated connection must still be answered
+#    in JSON (mixed-format mode).
+#
+# A divergence between this script and the server is a bug in the code or
+# in WIRE_PROTOCOL.md — both are load-bearing.
+
+set -u
+build_dir="${1:-build}"
+server_bin="${build_dir}/src/server/scdwarf_server"
+
+if [[ ! -x "${server_bin}" ]]; then
+  echo "check_wire_format: ${server_bin} not found (build first)" >&2
+  exit 1
+fi
+
+python3 - "${server_bin}" <<'EOF'
+import json
+import re
+import socket
+import struct
+import subprocess
+import sys
+
+server_bin = sys.argv[1]
+
+# --- bin1 primitives, straight from docs/WIRE_PROTOCOL.md §5 ---------------
+
+MAGIC = 0xB1
+OPS = {"point": 0x00, "aggregate": 0x01, "slice": 0x02, "rollup": 0x03,
+       "query_open": 0x06, "query_next": 0x07, "query_close": 0x08}
+
+def bstr(text):
+    raw = text.encode()
+    return struct.pack("<I", len(raw)) + raw
+
+def encode_request(req):
+    op = req["op"]
+    out = bytes([MAGIC, 1, OPS[op]])
+    if op == "point":
+        out += struct.pack("<I", len(req["keys"]))
+        for key in req["keys"]:
+            out += b"\x00" if key is None else b"\x01" + bstr(key)
+    elif op == "aggregate":
+        out += struct.pack("<I", len(req["predicates"]))
+        for pred in req["predicates"]:
+            kind = pred["kind"]
+            if kind == "all":
+                out += bytes([0])
+            elif kind == "point":
+                out += bytes([1]) + bstr(pred["key"])
+            elif kind == "range":
+                if isinstance(pred["lo"], str):
+                    out += bytes([2, 1]) + bstr(pred["lo"]) + bstr(pred["hi"])
+                else:
+                    out += bytes([2, 0]) + struct.pack("<II", pred["lo"], pred["hi"])
+            elif kind == "set":
+                out += bytes([3]) + struct.pack("<I", len(pred["keys"]))
+                for member in pred["keys"]:
+                    out += bstr(member)
+    elif op == "slice":
+        out += bstr(req["dim"]) + bstr(req["key"])
+    elif op == "rollup":
+        out += struct.pack("<I", len(req["dims"]))
+        for dim in req["dims"]:
+            out += bstr(dim)
+        where = req.get("where", [])
+        out += struct.pack("<I", len(where))
+        for f in where:
+            out += bstr(f["dim"]) + bstr(f["lo"]) + bstr(f["hi"])
+    elif op == "query_open":
+        inner = encode_request(req["query"])
+        out += struct.pack("<I", len(inner)) + inner
+        out += struct.pack("<Q", req["page_size"])
+        if "epoch" in req:
+            out += b"\x01" + struct.pack("<Q", req["epoch"])
+        else:
+            out += b"\x00"
+    elif op in ("query_next", "query_close"):
+        out += struct.pack("<Q", req["cursor"])
+    return out
+
+def decode_cursor_page(payload):
+    """Kind-3 page -> (epoch, cursor, done, rows) from raw bytes."""
+    assert payload[0] == MAGIC and payload[1] == 3, "not a kind-3 page"
+    epoch, cursor = struct.unpack_from("<QQ", payload, 2)
+    done = payload[18] != 0
+    (num_rows,) = struct.unpack_from("<I", payload, 19)
+    pos, rows = 23, []
+    for _ in range(num_rows):
+        (num_keys,) = struct.unpack_from("<H", payload, pos)
+        pos += 2
+        keys = []
+        for _ in range(num_keys):
+            (size,) = struct.unpack_from("<I", payload, pos)
+            pos += 4
+            keys.append(payload[pos:pos + size].decode())
+            pos += size
+        (measure,) = struct.unpack_from("<q", payload, pos)
+        pos += 8
+        rows.append({"keys": keys, "measure": measure})
+    assert pos == len(payload), "trailing bytes after cursor page"
+    return epoch, cursor, done, rows
+
+def unwrap_kind0(payload):
+    assert payload[0] == MAGIC and payload[1] == 0, \
+        f"expected kind-0 binary response, got {payload[:2].hex()}"
+    (size,) = struct.unpack_from("<I", payload, 2)
+    assert len(payload) == 6 + size, "kind-0 length mismatch"
+    return payload[6:]
+
+# --- framing ---------------------------------------------------------------
+
+def recv_exact(sock, size):
+    # MSG_WAITALL is unreliable on sockets with a timeout; loop instead.
+    buf = bytearray()
+    while len(buf) < size:
+        chunk = sock.recv(size - len(buf))
+        if not chunk:
+            raise ConnectionError("server closed mid-frame")
+        buf += chunk
+    return bytes(buf)
+
+def call(sock, payload):
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+    (size,) = struct.unpack(">I", recv_exact(sock, 4))
+    return recv_exact(sock, size)
+
+failures = []
+def check(name, ok, detail=""):
+    print(f"check_wire_format: {'ok  ' if ok else 'FAIL'} {name}"
+          + (f" ({detail})" if detail and not ok else ""))
+    if not ok:
+        failures.append(name)
+
+# --- boot the server -------------------------------------------------------
+
+proc = subprocess.Popen([server_bin, "0", "4000", "2"],
+                        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+                        text=True)
+port = ndims = None
+for line in proc.stdout:
+    m = re.search(r"cube ready: .* (\d+) dimensions", line)
+    if m:
+        ndims = int(m.group(1))
+    m = re.search(r"serving on ([\d.]+):(\d+)", line)
+    if m:
+        port = int(m.group(2))
+        break
+assert port and ndims, "server banner never announced port + dimensions"
+
+try:
+    js = socket.create_connection(("127.0.0.1", port), timeout=10)
+    bn = socket.create_connection(("127.0.0.1", port), timeout=10)
+
+    # Negotiate bin1 on one connection; the other stays JSON.
+    hello = json.loads(call(bn, b'{"op":"hello","formats":["json","bin1"]}'))
+    check("hello negotiates bin1", hello.get("format") == "bin1", str(hello))
+
+    # Discover a real key for the slice query from a Weekday rollup.
+    rollup_req = {"op": "rollup", "dims": ["Weekday"]}
+    rollup_rows = json.loads(call(js, json.dumps(rollup_req).encode()))["rows"]
+    weekday = rollup_rows[0]["keys"][0]
+
+    one_shots = [
+        {"op": "point", "keys": [None] * ndims},
+        {"op": "aggregate", "predicates": [{"kind": "all"}] * ndims},
+        {"op": "slice", "dim": "Weekday", "key": weekday},
+        rollup_req,
+    ]
+    for req in one_shots:
+        as_json = json.dumps(req).encode()
+        call(js, as_json)                    # warm: both answers below are hits
+        via_json = call(js, as_json)
+        via_bin = unwrap_kind0(call(bn, encode_request(req)))
+        check(f"binary == JSON for {req['op']}", via_bin == via_json,
+              f"{via_bin[:80]!r} vs {via_json[:80]!r}")
+
+    # Cursor drain: kind-3 pages decoded from raw bytes must concatenate to
+    # the one-shot rollup rows, all pinned to one epoch.
+    oneshot = json.loads(call(js, json.dumps(rollup_req).encode()))
+    opened = json.loads(unwrap_kind0(call(bn, encode_request(
+        {"op": "query_open", "query": rollup_req, "page_size": 7}))))
+    check("binary query_open", opened.get("ok") is True, str(opened))
+    cursor, drained, epochs = opened["cursor"], [], set()
+    next_frame = encode_request({"op": "query_next", "cursor": cursor})
+    while True:
+        epoch, got_cursor, done, rows = decode_cursor_page(call(bn, next_frame))
+        epochs.add(epoch)
+        check("page cursor id matches", got_cursor == cursor)
+        drained.extend(rows)
+        if done:
+            break
+    check("cursor pages == one-shot rows", drained == oneshot["rows"],
+          f"{len(drained)} vs {len(oneshot['rows'])} rows")
+    check("drain pinned to one epoch", len(epochs) == 1, str(epochs))
+
+    # Mixed-format mode: a JSON frame on the negotiated connection is
+    # answered in JSON.
+    ping = call(bn, b'{"op":"ping"}')
+    check("JSON frame on bin1 connection answered as JSON",
+          ping[:1] == b"{", ping[:20].decode(errors="replace"))
+
+    # Strict decoding: a truncated binary request errors, connection lives.
+    err = json.loads(unwrap_kind0(call(bn, bytes([MAGIC, 1, OPS["slice"]]))))
+    check("truncated binary request -> invalid_argument",
+          err.get("code") == "invalid_argument", str(err))
+    check("connection survives the error",
+          json.loads(call(bn, b'{"op":"ping"}')).get("ok") is True)
+
+    js.close(); bn.close()
+finally:
+    try:
+        proc.stdin.write("quit\n"); proc.stdin.flush()
+    except (BrokenPipeError, OSError):
+        pass
+    proc.wait(timeout=10)
+
+if failures:
+    sys.exit("check_wire_format: FAIL — " + ", ".join(failures))
+print("check_wire_format: OK")
+EOF
